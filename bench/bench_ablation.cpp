@@ -1,0 +1,126 @@
+// Ablation studies of PAC's design choices (DESIGN.md section 5):
+//   - the stage-1 timeout (paper fixes it at 16 cycles),
+//   - the number of coalescing streams (paper: 16),
+//   - the network-controller bypass optimization (paper section 3.2),
+//   - the flush-on-full-chunk extension (ours, not in the paper),
+//   - device protocols: HMC 1.0 (128 B), HMC 2.1 (256 B), HBM (1 KB row),
+//   - power-of-two-only request sizes vs exact runs.
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  SystemConfig cfg;
+};
+
+void run_variants(const EvalContext& ctx, const std::vector<Variant>& variants,
+                  const std::string& title) {
+  const Workload* suites[] = {find_workload("gs"), find_workload("hpcg"),
+                              find_workload("sort")};
+  Table t({"variant", "suite", "coal.eff", "txn.eff", "cycles",
+           "energy (uJ)"});
+  for (const Variant& v : variants) {
+    for (const Workload* suite : suites) {
+      std::fprintf(stderr, "[ablation] %s / %s ...\n", v.name.c_str(),
+                   std::string(suite->name()).c_str());
+      const RunResult r =
+          run_suite(*suite, CoalescerKind::kPac, ctx.wcfg, v.cfg);
+      t.add_row({v.name, std::string(suite->name()),
+                 Table::pct(r.coalescing_efficiency() * 100.0),
+                 Table::pct(r.transaction_eff() * 100.0),
+                 std::to_string(r.cycles), Table::num(r.total_energy / 1e6)});
+    }
+  }
+  t.print(title);
+}
+
+}  // namespace
+
+namespace {
+
+/// Head-to-head of all four coalescer organizations on three suites.
+void coalescer_shootout(const EvalContext& ctx) {
+  const Workload* suites[] = {find_workload("gs"), find_workload("hpcg"),
+                              find_workload("bfs")};
+  Table t({"suite", "coalescer", "coal.eff", "txn.eff", "cycles",
+           "comparisons"});
+  for (const Workload* suite : suites) {
+    const std::vector<Trace> traces = suite->generate(ctx.wcfg);
+    for (CoalescerKind kind :
+         {CoalescerKind::kDirect, CoalescerKind::kMshrDmc,
+          CoalescerKind::kSortingDmc, CoalescerKind::kPac}) {
+      std::fprintf(stderr, "[shootout] %s / %s ...\n",
+                   std::string(suite->name()).c_str(),
+                   std::string(to_string(kind)).c_str());
+      SystemConfig cfg = ctx.scfg;
+      cfg.coalescer = kind;
+      const RunResult r = simulate(cfg, traces);
+      t.add_row({std::string(suite->name()), std::string(to_string(kind)),
+                 Table::pct(r.coalescing_efficiency() * 100.0),
+                 Table::pct(r.transaction_eff() * 100.0),
+                 std::to_string(r.cycles),
+                 std::to_string(r.coal.comparisons)});
+    }
+  }
+  t.print("Ablation - coalescer organizations head-to-head");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const EvalContext ctx(cli);
+
+  coalescer_shootout(ctx);
+  {
+    std::vector<Variant> v;
+    for (std::uint32_t timeout : {4u, 8u, 16u, 32u, 64u}) {
+      Variant var{"timeout=" + std::to_string(timeout), ctx.scfg};
+      var.cfg.pac.timeout = timeout;
+      v.push_back(var);
+    }
+    run_variants(ctx, v, "Ablation - stage-1 timeout (paper default: 16)");
+  }
+  {
+    std::vector<Variant> v;
+    for (std::uint32_t streams : {4u, 8u, 16u, 32u}) {
+      Variant var{"streams=" + std::to_string(streams), ctx.scfg};
+      var.cfg.pac.num_streams = streams;
+      v.push_back(var);
+    }
+    run_variants(ctx, v, "Ablation - coalescing streams (paper default: 16)");
+  }
+  {
+    std::vector<Variant> v;
+    Variant on{"bypass=on", ctx.scfg};
+    Variant off{"bypass=off", ctx.scfg};
+    off.cfg.pac.enable_bypass_controller = false;
+    Variant full{"flush-on-full-chunk", ctx.scfg};
+    full.cfg.pac.flush_on_full_chunk = true;
+    Variant nosec{"no-secondary-coalescing", ctx.scfg};
+    nosec.cfg.pac.enable_secondary_coalescing = false;
+    v = {on, off, full, nosec};
+    run_variants(ctx, v,
+                 "Ablation - controller bypass, flush-on-full-chunk, "
+                 "secondary coalescing");
+  }
+  {
+    std::vector<Variant> v;
+    Variant hmc1{"protocol=hmc1(128B)", ctx.scfg};
+    hmc1.cfg.pac.protocol = CoalescingProtocol::hmc1();
+    Variant hmc2{"protocol=hmc2(256B)", ctx.scfg};
+    Variant hbm{"protocol=hbm(1KB)", ctx.scfg};
+    hbm.cfg.pac.protocol = CoalescingProtocol::hbm();
+    hbm.cfg.hmc.map.row_bytes = 1024;  // HBM-style 1 KB rows
+    Variant pow2{"hmc2,pow2-only", ctx.scfg};
+    pow2.cfg.pac.protocol.pow2_sizes_only = true;
+    v = {hmc1, hmc2, hbm, pow2};
+    run_variants(ctx, v,
+                 "Ablation - device protocols (paper section 4.1)");
+  }
+  return 0;
+}

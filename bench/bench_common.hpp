@@ -1,0 +1,87 @@
+// Shared driver for the figure-reproduction benches: runs every suite under
+// the requested coalescers, generating each suite's traces exactly once.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim::bench {
+
+struct SuiteResults {
+  std::string name;
+  std::map<CoalescerKind, RunResult> runs;
+
+  [[nodiscard]] const RunResult& at(CoalescerKind k) const {
+    return runs.at(k);
+  }
+};
+
+class EvalContext {
+ public:
+  explicit EvalContext(const Cli& cli) {
+    wcfg.max_ops_per_core = cli.get_u64("ops", cli.has("quick") ? 40'000
+                                                                : 150'000);
+    wcfg.scale = cli.get_double("scale", cli.has("quick") ? 0.5 : 1.0);
+    wcfg.seed = cli.get_u64("seed", 42);
+    wcfg.compute_scale = cli.get_double("cscale", wcfg.compute_scale);
+    only = cli.get("suite", "");
+
+    scfg.max_outstanding_loads = static_cast<std::uint32_t>(
+        cli.get_u64("mlp", scfg.max_outstanding_loads));
+    scfg.prefetch.degree = static_cast<std::uint32_t>(
+        cli.get_u64("pfdegree", scfg.prefetch.degree));
+    scfg.prefetch.refill_threshold = static_cast<std::uint32_t>(
+        cli.get_u64("pfrefill", scfg.prefetch.refill_threshold));
+    scfg.pac.timeout = static_cast<std::uint32_t>(
+        cli.get_u64("timeout", scfg.pac.timeout));
+    scfg.pac.num_streams = static_cast<std::uint32_t>(
+        cli.get_u64("streams", scfg.pac.num_streams));
+    if (cli.has("nobypass")) scfg.pac.enable_bypass_controller = false;
+    if (cli.has("noprefetch")) scfg.enable_prefetch = false;
+    // csvdir=<dir>: mirror every printed table as a CSV artifact.
+    Table::set_csv_dir(cli.get("csvdir", ""));
+  }
+
+  WorkloadConfig wcfg;
+  SystemConfig scfg;
+  std::string only;  ///< restrict to one suite (suite=name)
+
+  /// Run all 14 suites (or the selected one) under each kind.
+  std::vector<SuiteResults> run_all(std::vector<CoalescerKind> kinds) const {
+    std::vector<SuiteResults> out;
+    for (const Workload* suite : all_workloads()) {
+      if (!only.empty() && only != suite->name()) continue;
+      SuiteResults results;
+      results.name = std::string(suite->name());
+      std::fprintf(stderr, "[bench] %s ...\n", results.name.c_str());
+      const std::vector<Trace> traces = suite->generate(wcfg);
+      for (CoalescerKind kind : kinds) {
+        SystemConfig cfg = scfg;
+        cfg.coalescer = kind;
+        cfg.num_cores = wcfg.num_cores;
+        results.runs.emplace(kind, simulate(cfg, traces));
+      }
+      out.push_back(std::move(results));
+    }
+    return out;
+  }
+};
+
+/// Mean of a metric over suites.
+template <typename Fn>
+double average(const std::vector<SuiteResults>& all, Fn&& metric) {
+  if (all.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : all) sum += metric(s);
+  return sum / static_cast<double>(all.size());
+}
+
+}  // namespace pacsim::bench

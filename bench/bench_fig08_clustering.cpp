@@ -1,0 +1,72 @@
+// Reproduces paper Figures 8 and 9: DBSCAN clustering (epsilon = 4 KB, the
+// physical page size) of raw-request physical addresses traced from a time
+// segment of BFS (Fig. 8, sparsely scattered) and SPARSELU (Fig. 9, densely
+// clustered).
+//
+// Paper reference: BFS requests scatter over distinct pages (mostly noise /
+// tiny clusters); SPARSELU exhibits large dense clusters, explaining its
+// far higher coalescing probability.
+#include <algorithm>
+
+#include "analysis/dbscan.hpp"
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+namespace {
+
+void cluster_suite(const EvalContext& ctx, const char* name,
+                   const char* figure) {
+  const Workload* suite = find_workload(name);
+  SystemConfig cfg = ctx.scfg;
+  cfg.coalescer = CoalescerKind::kPac;
+  cfg.record_raw_trace = true;
+  cfg.raw_trace_start = 50'000;  // a segment inside steady state
+  cfg.raw_trace_limit = 10'000;  // paper: a 10,000-cycle segment
+
+  WorkloadConfig wcfg = ctx.wcfg;
+  const std::vector<Trace> traces = suite->generate(wcfg);
+  const RunResult r = simulate(cfg, traces);
+
+  DbscanConfig db;
+  db.epsilon = 4096.0;  // one physical page, as in the paper
+  db.min_points = 4;
+  const DbscanResult res = dbscan_addresses(r.raw_trace, db);
+
+  std::vector<DbscanCluster> clusters = res.clusters;
+  std::sort(clusters.begin(), clusters.end(),
+            [](const DbscanCluster& a, const DbscanCluster& b) {
+              return a.size > b.size;
+            });
+
+  Table t({"cluster", "requests", "span (KB)", "centroid"});
+  const std::size_t show = std::min<std::size_t>(clusters.size(), 10);
+  for (std::size_t i = 0; i < show; ++i) {
+    const DbscanCluster& c = clusters[i];
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(c.centroid));
+    t.add_row({std::to_string(i), std::to_string(c.size),
+               Table::num(static_cast<double>(c.max_addr - c.min_addr) /
+                          1024.0),
+               buf});
+  }
+  t.print(std::string(figure) + " - DBSCAN clusters of " + name +
+          " request addresses (top 10 of " +
+          std::to_string(res.num_clusters()) + ")");
+  std::printf(
+      "%s: %zu points, %zu clusters, %zu noise (%.1f%% clustered)\n",
+      name, res.labels.size(), res.num_clusters(), res.noise_count,
+      res.clustered_fraction() * 100.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const EvalContext ctx(cli);
+  cluster_suite(ctx, "bfs", "Fig 8");
+  cluster_suite(ctx, "sparselu", "Fig 9");
+  return 0;
+}

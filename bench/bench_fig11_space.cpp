@@ -1,0 +1,79 @@
+// Reproduces paper Figure 11: (a) space overhead of PAC versus parallel
+// bitonic and odd-even merge sorting networks, (b) the coalescing-stream
+// occupancy distribution of HPCG, and (c) average stream utilization.
+//
+// Paper reference: (a) at N = 64 the bitonic sorter needs 672 comparators
+// and the odd-even merge sorter 543, versus 64 for PAC; with 16 streams PAC
+// needs 384 B of buffer (128 B block-maps + 256 B request buffers).
+// (b) 35.33% of samples occupy <= 2 streams, 77.57% fall within 2-4.
+// (c) 4.49 streams used on average; BFS highest at 9.99.
+#include "baseline/sorting_network.hpp"
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+namespace {
+
+void fig11a() {
+  Table t({"N", "PAC comparators", "bitonic", "odd-even merge",
+           "PAC buffer (B)", "bitonic buffer (B)", "odd-even buffer (B)"});
+  for (std::uint32_t n = 4; n <= 64; n *= 2) {
+    const SortingNetwork bitonic = SortingNetwork::bitonic(n);
+    const SortingNetwork oem = SortingNetwork::odd_even_merge(n);
+    const PacSpaceModel pac{n};
+    t.add_row({std::to_string(n), std::to_string(pac.comparator_count()),
+               std::to_string(bitonic.comparator_count()),
+               std::to_string(oem.comparator_count()),
+               std::to_string(pac.buffer_bytes()),
+               std::to_string(bitonic.buffer_bytes()),
+               std::to_string(oem.buffer_bytes())});
+  }
+  t.print(
+      "Fig 11a - space overhead vs sorting networks "
+      "(paper: 672/543 comparators at N=64 vs 64 for PAC; 384 B PAC buffer "
+      "at 16 streams)");
+}
+
+void fig11b(const EvalContext& ctx) {
+  const Workload* suite = find_workload("hpcg");
+  const RunResult r = run_suite(*suite, CoalescerKind::kPac, ctx.wcfg,
+                                ctx.scfg);
+  const Histogram& occ = r.pac.stream_occupancy;
+  Table t({"occupied streams", "samples", "share"});
+  for (const auto& [streams, count] : occ.buckets()) {
+    t.add_row({std::to_string(streams), std::to_string(count),
+               Table::pct(occ.fraction(streams) * 100.0)});
+  }
+  t.print("Fig 11b - HPCG coalescing-stream occupancy per 16-cycle window");
+  std::printf(
+      "HPCG: <=2 streams: %.2f%% (paper 35.33%%), 2-4 streams: %.2f%% "
+      "(paper 77.57%%)\n",
+      occ.fraction_between(1, 2) * 100.0, occ.fraction_between(2, 4) * 100.0);
+}
+
+void fig11c(const EvalContext& ctx) {
+  const auto all = ctx.run_all({CoalescerKind::kPac});
+  Table t({"suite", "avg streams in use"});
+  double sum = 0.0;
+  for (const auto& s : all) {
+    const double mean = s.at(CoalescerKind::kPac).pac.stream_occupancy.mean();
+    sum += mean;
+    t.add_row({s.name, Table::num(mean)});
+  }
+  t.add_row({"AVERAGE", Table::num(sum / static_cast<double>(all.size()))});
+  t.print(
+      "Fig 11c - average coalescing-stream utilization "
+      "(paper: 4.49 avg, BFS highest at 9.99)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const EvalContext ctx(cli);
+  fig11a();
+  fig11b(ctx);
+  fig11c(ctx);
+  return 0;
+}

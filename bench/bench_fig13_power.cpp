@@ -1,0 +1,58 @@
+// Reproduces paper Figures 13 and 14: per-operation HMC energy savings of
+// PAC and the overall energy saving of PAC vs the MSHR-based DMC, both
+// relative to the no-coalescing controller.
+//
+// Paper reference (Fig 13): VAULT-RQST-SLOT -59.35%, VAULT-RSP-SLOT
+// -48.75%, VAULT-CTRL -57.09%, LINK-LOCAL-ROUTE -61.39%, LINK-REMOTE-ROUTE
+// -53.22%. (Fig 14): PAC -59.21% overall vs DMC -39.57%.
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const EvalContext ctx(cli);
+  const auto all = ctx.run_all(
+      {CoalescerKind::kDirect, CoalescerKind::kMshrDmc, CoalescerKind::kPac});
+
+  // Fig 13: average per-operation saving of PAC across suites.
+  constexpr HmcOp kOps[] = {HmcOp::kVaultRqstSlot, HmcOp::kVaultRspSlot,
+                            HmcOp::kVaultCtrl, HmcOp::kLinkLocalRoute,
+                            HmcOp::kLinkRemoteRoute, HmcOp::kDramAccess,
+                            HmcOp::kDramData};
+  Table t13({"HMC operation", "avg energy saving (PAC vs none)"});
+  for (HmcOp op : kOps) {
+    const double avg = average(all, [op](const SuiteResults& s) {
+      const double base =
+          s.at(CoalescerKind::kDirect).energy[static_cast<std::size_t>(op)];
+      const double pac =
+          s.at(CoalescerKind::kPac).energy[static_cast<std::size_t>(op)];
+      return percent_reduction(base, pac);
+    });
+    t13.add_row({std::string(to_string(op)), Table::pct(avg)});
+  }
+  t13.print(
+      "Fig 13 - energy saving per HMC operation "
+      "(paper: RQST-SLOT 59.35%, RSP-SLOT 48.75%, CTRL 57.09%, "
+      "LINK-LOCAL 61.39%, LINK-REMOTE 53.22%)");
+
+  // Fig 14: overall energy saving per suite, PAC vs MSHR-based DMC.
+  Table t14({"suite", "MSHR-DMC saving", "PAC saving"});
+  double dmc_sum = 0.0, pac_sum = 0.0;
+  for (const auto& s : all) {
+    const double base = s.at(CoalescerKind::kDirect).total_energy;
+    const double dmc = percent_reduction(
+        base, s.at(CoalescerKind::kMshrDmc).total_energy);
+    const double pac =
+        percent_reduction(base, s.at(CoalescerKind::kPac).total_energy);
+    dmc_sum += dmc;
+    pac_sum += pac;
+    t14.add_row({s.name, Table::pct(dmc), Table::pct(pac)});
+  }
+  const double n = static_cast<double>(all.size());
+  t14.add_row({"AVERAGE", Table::pct(dmc_sum / n), Table::pct(pac_sum / n)});
+  t14.print(
+      "Fig 14 - overall energy saving (paper: DMC 39.57%, PAC 59.21%)");
+  return 0;
+}

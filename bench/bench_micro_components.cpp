@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks for the PAC building blocks (not a paper
+// figure; used to track the simulator's own performance).
+#include <benchmark/benchmark.h>
+
+#include "analysis/dbscan.hpp"
+#include "baseline/sorting_network.hpp"
+#include "common/rng.hpp"
+#include "mem/page_table.hpp"
+#include "pac/block_map.hpp"
+#include "pac/coalescing_table.hpp"
+#include "pac/pac.hpp"
+#include "pac/request_aggregator.hpp"
+
+namespace {
+
+using namespace pacsim;
+
+void BM_BlockMapSetAndChunk(benchmark::State& state) {
+  BlockMap map;
+  Rng rng(7);
+  for (auto _ : state) {
+    map.set(static_cast<unsigned>(rng.below(64)));
+    benchmark::DoNotOptimize(map.chunk(static_cast<unsigned>(rng.below(16)), 4));
+  }
+}
+BENCHMARK(BM_BlockMapSetAndChunk);
+
+void BM_CoalescingTableSegments(benchmark::State& state) {
+  const CoalescingTable table(CoalescingProtocol::hmc2());
+  std::uint16_t pattern = 0;
+  for (auto _ : state) {
+    pattern = static_cast<std::uint16_t>((pattern + 1) & 0xF);
+    benchmark::DoNotOptimize(table.segments(pattern));
+  }
+}
+BENCHMARK(BM_CoalescingTableSegments);
+
+void BM_CoalescingTableWide(benchmark::State& state) {
+  const CoalescingTable table(CoalescingProtocol::hbm());
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.segments(static_cast<std::uint16_t>(rng.next())));
+  }
+}
+BENCHMARK(BM_CoalescingTableWide);
+
+void BM_AggregatorInsert(benchmark::State& state) {
+  PacConfig cfg;
+  PacStats stats;
+  RequestAggregator agg(cfg, &stats);
+  Rng rng(3);
+  std::uint64_t id = 1;
+  Cycle now = 0;
+  for (auto _ : state) {
+    MemRequest req;
+    req.id = id++;
+    req.paddr = (rng.below(32) << kPageShift) | (rng.below(64) << 6);
+    req.op = MemOp::kLoad;
+    if (agg.insert(req, now) == RequestAggregator::InsertResult::kNoStream) {
+      while (auto s = agg.take_flushable(now + 100)) benchmark::DoNotOptimize(s);
+      now += 100;
+    }
+    ++now;
+  }
+}
+BENCHMARK(BM_AggregatorInsert);
+
+void BM_SortingNetworkApply(benchmark::State& state) {
+  const auto net = SortingNetwork::bitonic(
+      static_cast<std::uint32_t>(state.range(0)));
+  std::vector<std::uint64_t> values(net.inputs());
+  Rng rng(5);
+  for (auto _ : state) {
+    for (auto& v : values) v = rng.next();
+    net.apply(std::span<std::uint64_t>(values));
+    benchmark::DoNotOptimize(values.front());
+  }
+}
+BENCHMARK(BM_SortingNetworkApply)->Arg(16)->Arg(64);
+
+void BM_Dbscan(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<Addr> points(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : points) p = rng.below(1ULL << 30);
+  const DbscanConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbscan_addresses(points, cfg));
+  }
+}
+BENCHMARK(BM_Dbscan)->Arg(1000)->Arg(10000);
+
+void BM_PageTableTranslate(benchmark::State& state) {
+  PageTable pt(1 << 20, 17);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.translate(0, rng.below(1ULL << 30)));
+  }
+}
+BENCHMARK(BM_PageTableTranslate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Writing your own workload: implement the Workload interface (or just
+// record traces directly) and run it through the full system. The kernel
+// here is a pointer-chasing hash-join probe - a pattern not in the paper's
+// suites - with a configurable match locality.
+//
+//   ./custom_workload [ops=100000] [locality=0.7]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+#include "workloads/kernel_support.hpp"
+
+using namespace pacsim;
+
+namespace {
+
+/// Hash-join probe: stream the probe relation, hash each key, walk a short
+/// bucket chain. `locality` is the fraction of probes that hit a "hot"
+/// page-clustered region of the hash table.
+class HashJoinWorkload final : public Workload {
+ public:
+  explicit HashJoinWorkload(double locality) : locality_(locality) {}
+
+  std::string_view name() const override { return "hashjoin"; }
+  std::string_view description() const override {
+    return "hash-join probe with tunable page locality";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t probe_rows = scaled(1 << 20, cfg.scale, 1 << 12);
+    const std::uint64_t buckets = 1 << 18;
+    VirtualArena arena;
+    const Addr probe = arena.alloc(probe_rows * 16);   // (key, payload)
+    const Addr table = arena.alloc(buckets * 32);      // bucket heads
+    const Addr hot = arena.alloc(64 * kPageSize);      // hot region
+    const Addr out = arena.alloc(probe_rows * 8);
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      Rng rng(cfg.seed ^ 0x70A5ULL ^ core);
+      const Range rows = core_partition(probe_rows, core, cfg.num_cores);
+      for (;;) {
+        for (std::uint64_t i = rows.begin; i < rows.end; ++i) {
+          rec.load(probe + i * 16);  // sequential probe stream
+          rec.compute(2);            // hash
+          if (rng.uniform() < locality_) {
+            // Hot probe: lands in the page-clustered region.
+            const std::uint64_t page = rng.below(64);
+            const std::uint64_t slot = rng.below(kPageSize / 32);
+            rec.load(hot + page * kPageSize + slot * 32);
+          } else {
+            rec.load(table + rng.below(buckets) * 32);  // cold scatter
+          }
+          rec.compute(1);
+          rec.store(out + i * 8);  // sequential result
+        }
+      }
+    });
+  }
+
+ private:
+  double locality_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  WorkloadConfig wcfg;
+  wcfg.max_ops_per_core = cli.get_u64("ops", 100'000);
+
+  Table t({"locality", "coalescer", "coal.eff", "txn.eff",
+           "speedup vs none"});
+  for (double locality : {0.2, cli.get_double("locality", 0.7), 0.95}) {
+    const HashJoinWorkload suite(locality);
+    const std::vector<Trace> traces = suite.generate(wcfg);
+    SystemConfig base;
+    base.coalescer = CoalescerKind::kDirect;
+    const RunResult none = simulate(base, traces);
+    for (CoalescerKind kind :
+         {CoalescerKind::kMshrDmc, CoalescerKind::kPac}) {
+      SystemConfig cfg;
+      cfg.coalescer = kind;
+      const RunResult r = simulate(cfg, traces);
+      t.add_row({Table::num(locality, 2), std::string(to_string(kind)),
+                 Table::pct(r.coalescing_efficiency() * 100.0),
+                 Table::pct(r.transaction_eff() * 100.0),
+                 Table::pct(percent_improvement(
+                     static_cast<double>(none.cycles),
+                     static_cast<double>(r.cycles)))});
+    }
+  }
+  t.print("custom workload: hash-join probe locality sweep");
+  std::printf(
+      "PAC's advantage grows with page locality - the knob this kernel\n"
+      "exposes. Use it to predict whether your application benefits.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Protocol portability demo (paper section 4.1): the same PAC pipeline
+// retargeted from HMC 1.0 (128 B) to HMC 2.1 (256 B) to HBM (1 KB rows) by
+// swapping only the CoalescingProtocol descriptor - no coalescing-logic
+// changes. Drives a PAC instance directly through its public API.
+//
+//   ./hbm_port [pages=64] [burst=16]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "mem/packet.hpp"
+#include "pac/pac.hpp"
+
+using namespace pacsim;
+
+namespace {
+
+struct Standalone {
+  PowerModel power;
+  HmcDevice device;
+  Pac pac;
+  Cycle now = 0;
+  std::uint64_t next_id = 1;
+  std::uint64_t satisfied = 0;
+
+  Standalone(const PacConfig& cfg, const HmcConfig& hmc)
+      : device(hmc, &power), pac(cfg, &device) {}
+
+  void tick() {
+    device.tick(now);
+    for (const DeviceResponse& rsp : device.drain_completed()) {
+      pac.complete(rsp, now);
+    }
+    pac.tick(now);
+    satisfied += pac.drain_satisfied().size();
+    ++now;
+  }
+
+  void feed(Addr paddr, bool store) {
+    MemRequest r;
+    r.id = next_id++;
+    r.paddr = paddr;
+    r.bytes = 64;
+    r.op = store ? MemOp::kStore : MemOp::kLoad;
+    while (!pac.accept(r, now)) tick();
+  }
+
+  void drain() {
+    while (!(pac.idle() && device.idle())) tick();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::uint64_t pages = cli.get_u64("pages", 64);
+  const std::uint64_t burst = cli.get_u64("burst", 16);
+
+  Table t({"protocol", "max request", "issued", "avg request (B)",
+           "txn efficiency", "satisfied raws"});
+
+  for (const CoalescingProtocol& protocol :
+       {CoalescingProtocol::hmc1(), CoalescingProtocol::hmc2(),
+        CoalescingProtocol::hbm()}) {
+    PacConfig cfg;
+    cfg.protocol = protocol;
+    cfg.enable_bypass_controller = false;
+    HmcConfig hmc;
+    if (protocol.max_request > 256) hmc.map.row_bytes = 1024;  // HBM rows
+
+    Standalone sys(cfg, hmc);
+    // Identical input stream for every protocol: bursts of `burst`
+    // consecutive cache lines at random page bases.
+    Rng rng(1);
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      const Addr page = (0x100 + rng.below(1 << 20)) << kPageShift;
+      const std::uint64_t start = rng.below(64 - burst);
+      for (std::uint64_t b = 0; b < burst; ++b) {
+        sys.feed(page + (start + b) * 64, false);
+      }
+      sys.tick();
+    }
+    sys.drain();
+
+    const CoalescerStats& s = sys.pac.stats();
+    t.add_row({std::string(protocol.name),
+               std::to_string(protocol.max_request) + "B",
+               std::to_string(s.issued_requests),
+               Table::num(s.issued_requests == 0
+                              ? 0.0
+                              : static_cast<double>(s.issued_payload_bytes) /
+                                    static_cast<double>(s.issued_requests)),
+               Table::pct(transaction_efficiency(s.issued_payload_bytes,
+                                                 s.issued_requests) *
+                          100.0),
+               std::to_string(sys.satisfied)});
+  }
+  t.print("protocol portability: one pipeline, three devices");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Quickstart: run one suite under all three coalescers and print the
+// headline metrics (coalescing efficiency, bank conflicts, energy, runtime).
+//
+//   ./quickstart [workload=stream] [scale=1.0] [ops=200000]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace pacsim;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string name = cli.get("workload", "stream");
+  const Workload* suite = find_workload(name);
+  if (suite == nullptr) {
+    std::printf("unknown workload '%s'; available:", name.c_str());
+    for (auto n : workload_names()) std::printf(" %.*s",
+                                                static_cast<int>(n.size()),
+                                                n.data());
+    std::printf("\n");
+    return 1;
+  }
+
+  WorkloadConfig wcfg;
+  wcfg.scale = cli.get_double("scale", 1.0);
+  wcfg.max_ops_per_core = cli.get_u64("ops", 200'000);
+  wcfg.compute_scale = cli.get_double("cscale", wcfg.compute_scale);
+
+  SystemConfig base;  // paper Table 1 defaults
+  base.max_outstanding_loads =
+      static_cast<std::uint32_t>(cli.get_u64("mlp", base.max_outstanding_loads));
+  base.prefetch.degree =
+      static_cast<std::uint32_t>(cli.get_u64("pfdegree", base.prefetch.degree));
+
+  std::printf("suite: %s — %.*s\n", name.c_str(),
+              static_cast<int>(suite->description().size()),
+              suite->description().data());
+
+  Table table({"coalescer", "coal.eff", "txn.eff", "bank conflicts",
+               "energy (uJ)", "cycles", "avg HMC ns"});
+  RunResult direct;
+  for (CoalescerKind kind :
+       {CoalescerKind::kDirect, CoalescerKind::kMshrDmc, CoalescerKind::kPac}) {
+    const RunResult r = run_suite(*suite, kind, wcfg, base);
+    if (kind == CoalescerKind::kDirect) direct = r;
+    // report=prefix: dump a JSON report per configuration.
+    if (cli.has("report")) {
+      const std::string path = cli.get("report") + "." +
+                               std::string(to_string(kind)) + ".json";
+      write_run_report(path, name + "/" + std::string(to_string(kind)),
+                       kind, r);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    table.add_row({std::string(to_string(kind)),
+                   Table::pct(r.coalescing_efficiency() * 100.0),
+                   Table::pct(r.transaction_eff() * 100.0),
+                   std::to_string(r.hmc.bank_conflicts),
+                   Table::num(r.total_energy / 1e6),
+                   std::to_string(r.cycles),
+                   Table::num(r.avg_hmc_latency_ns())});
+    if (cli.has("verbose")) {
+      std::printf("volume[%s]: raw=%llu issued=%llu payloadMB=%.2f\n",
+                  to_string(kind).data(),
+                  static_cast<unsigned long long>(r.coal.raw_requests),
+                  static_cast<unsigned long long>(r.coal.issued_requests),
+                  static_cast<double>(r.coal.issued_payload_bytes) / 1e6);
+      std::printf("energy[%s] (uJ):", to_string(kind).data());
+      for (std::size_t op = 0; op < r.energy.size(); ++op) {
+        std::printf(" %s=%.2f", to_string(static_cast<HmcOp>(op)).data(),
+                    r.energy[op] / 1e6);
+      }
+      std::printf("\n");
+    }
+    if (kind == CoalescerKind::kPac && cli.has("verbose")) {
+      const PacStats& p = r.pac;
+      std::printf(
+          "PAC internals: raw=%llu issued=%llu c0_bypass=%llu "
+          "ctrl_bypass=%llu mshr_merges=%llu flushes(t=%llu,f=%llu,full=%llu) "
+          "occupancy=%.2f stage2=%.2f stage3=%.2f maq_fill=%.2f "
+          "prefetches=%llu\n",
+          static_cast<unsigned long long>(p.base.raw_requests),
+          static_cast<unsigned long long>(p.base.issued_requests),
+          static_cast<unsigned long long>(p.c0_bypass_requests),
+          static_cast<unsigned long long>(p.controller_bypass_requests),
+          static_cast<unsigned long long>(p.mshr_merges),
+          static_cast<unsigned long long>(p.timeout_flushes),
+          static_cast<unsigned long long>(p.fence_flushes),
+          static_cast<unsigned long long>(p.full_chunk_flushes),
+          p.stream_occupancy.mean(), p.stage2_latency.mean(),
+          p.stage3_latency.mean(), p.maq_fill_latency.mean(),
+          static_cast<unsigned long long>(r.prefetches_issued));
+    }
+    if (kind == CoalescerKind::kPac) {
+      std::printf(
+          "PAC vs direct: %.2f%% faster, %.2f%% fewer bank conflicts, "
+          "%.2f%% less HMC energy\n",
+          percent_improvement(static_cast<double>(direct.cycles),
+                              static_cast<double>(r.cycles)),
+          percent_reduction(static_cast<double>(direct.hmc.bank_conflicts),
+                            static_cast<double>(r.hmc.bank_conflicts)),
+          percent_reduction(direct.total_energy, r.total_energy));
+    }
+  }
+  table.print("quickstart: " + name);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Sparse-solver scenario: an HPCG-style conjugate-gradient workload on the
+// PAC memory stack, sweeping the stage-1 timeout to show the aggregation
+// window / latency trade-off the paper discusses in section 5.3.4.
+//
+//   ./sparse_solver [ops=120000] [suite=hpcg]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+using namespace pacsim;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  WorkloadConfig wcfg;
+  wcfg.max_ops_per_core = cli.get_u64("ops", 120'000);
+  const std::string name = cli.get("suite", "hpcg");
+  const Workload* suite = find_workload(name);
+  if (suite == nullptr) {
+    std::printf("unknown suite '%s'\n", name.c_str());
+    return 1;
+  }
+
+  const std::vector<Trace> traces = suite->generate(wcfg);
+
+  // Baseline without coalescing.
+  SystemConfig base;
+  base.coalescer = CoalescerKind::kDirect;
+  const RunResult none = simulate(base, traces);
+
+  Table t({"timeout (cyc)", "coal.eff", "bank-conflict red.", "energy red.",
+           "speedup vs none"});
+  for (std::uint32_t timeout : {4u, 8u, 16u, 32u, 64u}) {
+    SystemConfig cfg;
+    cfg.coalescer = CoalescerKind::kPac;
+    cfg.pac.timeout = timeout;
+    const RunResult r = simulate(cfg, traces);
+    t.add_row({std::to_string(timeout),
+               Table::pct(r.coalescing_efficiency() * 100.0),
+               Table::pct(percent_reduction(
+                   static_cast<double>(none.hmc.bank_conflicts),
+                   static_cast<double>(r.hmc.bank_conflicts))),
+               Table::pct(percent_reduction(none.total_energy,
+                                            r.total_energy)),
+               Table::pct(percent_improvement(
+                   static_cast<double>(none.cycles),
+                   static_cast<double>(r.cycles)))});
+  }
+  t.print("sparse solver (" + name + "): PAC timeout sweep");
+  std::printf(
+      "The paper pins the timeout at 16 cycles: long enough to gather\n"
+      "adjacent misses, short enough to hide within the ~93 ns HMC access.\n");
+  return 0;
+}

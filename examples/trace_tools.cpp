@@ -1,0 +1,104 @@
+// Trace utilities: export any built-in suite's traces to a portable binary
+// file, re-import them, and characterize their footprint - the workflow for
+// plugging externally collected traces (e.g. from a real Spike run) into
+// the simulated memory stack.
+//
+//   ./trace_tools export suite=gs file=/tmp/gs.trc [ops=50000]
+//   ./trace_tools inspect file=/tmp/gs.trc
+//   ./trace_tools run file=/tmp/gs.trc            # simulate under PAC
+//   ./trace_tools demo                            # export+inspect+run
+#include <cstdio>
+
+#include "analysis/footprint.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/trace_io.hpp"
+#include "sim/runner.hpp"
+
+using namespace pacsim;
+
+namespace {
+
+int do_export(const Cli& cli, const std::string& file) {
+  const std::string name = cli.get("suite", "gs");
+  const Workload* suite = find_workload(name);
+  if (suite == nullptr) {
+    std::printf("unknown suite '%s'\n", name.c_str());
+    return 1;
+  }
+  WorkloadConfig wcfg;
+  wcfg.max_ops_per_core = cli.get_u64("ops", 50'000);
+  const std::vector<Trace> traces = suite->generate(wcfg);
+  save_traces(file, traces);
+  std::uint64_t ops = 0;
+  for (const Trace& t : traces) ops += t.size();
+  std::printf("exported %zu cores, %llu ops -> %s\n", traces.size(),
+              static_cast<unsigned long long>(ops), file.c_str());
+  return 0;
+}
+
+int do_inspect(const std::string& file) {
+  const std::vector<Trace> traces = load_traces(file);
+  Table t({"core", "ops", "loads", "stores", "atomics", "fences",
+           "compute cyc"});
+  std::vector<Addr> addresses;
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    std::uint64_t loads = 0, stores = 0, atomics = 0, fences = 0, comp = 0;
+    for (const TraceOp& op : traces[c]) {
+      switch (op.kind) {
+        case OpKind::kLoad: ++loads; addresses.push_back(op.vaddr); break;
+        case OpKind::kStore: ++stores; addresses.push_back(op.vaddr); break;
+        case OpKind::kAtomic: ++atomics; break;
+        case OpKind::kFence: ++fences; break;
+        case OpKind::kCompute: comp += op.arg; break;
+      }
+    }
+    t.add_row({std::to_string(c), std::to_string(traces[c].size()),
+               std::to_string(loads), std::to_string(stores),
+               std::to_string(atomics), std::to_string(fences),
+               std::to_string(comp)});
+  }
+  t.print("trace contents: " + file);
+
+  const FootprintStats s = analyze_footprint(addresses);
+  std::printf(
+      "footprint: %llu accesses over %llu pages (%.1f rq/page), in-page "
+      "adjacent %.2f%%, cross-page %.4f%%\n",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.distinct_pages),
+      s.requests_per_page.mean(), s.in_page_fraction() * 100.0,
+      s.cross_page_fraction() * 100.0);
+  return 0;
+}
+
+int do_run(const std::string& file) {
+  const std::vector<Trace> traces = load_traces(file);
+  Table t({"coalescer", "coal.eff", "txn.eff", "cycles"});
+  for (CoalescerKind kind : {CoalescerKind::kDirect, CoalescerKind::kPac}) {
+    SystemConfig cfg;
+    cfg.coalescer = kind;
+    cfg.num_cores = static_cast<std::uint32_t>(
+        traces.empty() ? 1 : traces.size());
+    const RunResult r = simulate(cfg, traces);
+    t.add_row({std::string(to_string(kind)),
+               Table::pct(r.coalescing_efficiency() * 100.0),
+               Table::pct(r.transaction_eff() * 100.0),
+               std::to_string(r.cycles)});
+  }
+  t.print("replayed trace file: " + file);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string file = cli.get("file", "/tmp/pacsim_demo.trc");
+  if (cli.has("export")) return do_export(cli, file);
+  if (cli.has("inspect")) return do_inspect(file);
+  if (cli.has("run")) return do_run(file);
+  // Demo: full round trip.
+  if (int rc = do_export(cli, file); rc != 0) return rc;
+  if (int rc = do_inspect(file); rc != 0) return rc;
+  return do_run(file);
+}

@@ -1,0 +1,95 @@
+#include "analysis/dbscan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pacsim {
+
+DbscanResult dbscan_addresses(const std::vector<Addr>& points,
+                              const DbscanConfig& cfg) {
+  DbscanResult result;
+  const std::size_t n = points.size();
+  result.labels.assign(n, -1);
+  if (n == 0) return result;
+
+  // Sort indices by address; epsilon-neighborhoods become index ranges.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return points[a] < points[b];
+  });
+
+  // For each sorted position, find its neighborhood [lo, hi) via two
+  // pointers (both bounds are monotone in the position).
+  std::vector<std::size_t> lo(n), hi(n);
+  {
+    std::size_t left = 0, right = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = static_cast<double>(points[order[i]]);
+      while (static_cast<double>(points[order[left]]) < p - cfg.epsilon) {
+        ++left;
+      }
+      if (right < i) right = i;
+      while (right + 1 < n &&
+             static_cast<double>(points[order[right + 1]]) <= p + cfg.epsilon) {
+        ++right;
+      }
+      lo[i] = left;
+      hi[i] = right + 1;
+    }
+  }
+
+  auto is_core = [&](std::size_t pos) {
+    return hi[pos] - lo[pos] >= cfg.min_points;
+  };
+
+  // Expand clusters in sorted order: classic DBSCAN with a worklist.
+  std::vector<int> sorted_label(n, -1);
+  int next_cluster = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sorted_label[i] != -1 || !is_core(i)) continue;
+    const int cluster = next_cluster++;
+    stack.assign(1, i);
+    sorted_label[i] = cluster;
+    while (!stack.empty()) {
+      const std::size_t pos = stack.back();
+      stack.pop_back();
+      if (!is_core(pos)) continue;  // border point: claimed, not expanded
+      for (std::size_t nb = lo[pos]; nb < hi[pos]; ++nb) {
+        if (sorted_label[nb] == -1) {
+          sorted_label[nb] = cluster;
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // Collect cluster summaries and scatter labels back to input order.
+  result.clusters.assign(static_cast<std::size_t>(next_cluster), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = sorted_label[i];
+    const std::size_t original = order[i];
+    result.labels[original] = label;
+    if (label < 0) {
+      ++result.noise_count;
+      continue;
+    }
+    DbscanCluster& c = result.clusters[static_cast<std::size_t>(label)];
+    const Addr a = points[original];
+    if (c.size == 0) {
+      c.min_addr = c.max_addr = a;
+    } else {
+      c.min_addr = std::min(c.min_addr, a);
+      c.max_addr = std::max(c.max_addr, a);
+    }
+    c.centroid += static_cast<double>(a);
+    ++c.size;
+  }
+  for (DbscanCluster& c : result.clusters) {
+    if (c.size > 0) c.centroid /= static_cast<double>(c.size);
+  }
+  return result;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,46 @@
+// DBSCAN (Ester et al., KDD'96) over 1-D physical addresses.
+//
+// The paper clusters traced request addresses with epsilon = 4 KB (one
+// physical page) to visualize spatial locality (Figs. 8-9). Addresses are
+// one-dimensional, so epsilon-neighborhoods are contiguous ranges of the
+// sorted point set and the full DBSCAN semantics run in O(n log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pacsim {
+
+struct DbscanConfig {
+  double epsilon = 4096.0;   ///< neighborhood radius in bytes
+  std::size_t min_points = 4;  ///< core-point density threshold
+};
+
+struct DbscanCluster {
+  std::size_t size = 0;
+  Addr min_addr = 0;
+  Addr max_addr = 0;
+  double centroid = 0.0;
+};
+
+struct DbscanResult {
+  /// Cluster id per input point (input order); -1 marks noise.
+  std::vector<int> labels;
+  std::vector<DbscanCluster> clusters;
+  std::size_t noise_count = 0;
+
+  [[nodiscard]] std::size_t num_clusters() const { return clusters.size(); }
+  [[nodiscard]] double clustered_fraction() const {
+    return labels.empty()
+               ? 0.0
+               : 1.0 - static_cast<double>(noise_count) /
+                           static_cast<double>(labels.size());
+  }
+};
+
+DbscanResult dbscan_addresses(const std::vector<Addr>& points,
+                              const DbscanConfig& cfg);
+
+}  // namespace pacsim

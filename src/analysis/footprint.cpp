@@ -1,0 +1,69 @@
+#include "analysis/footprint.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pacsim {
+
+FootprintStats analyze_footprint(const std::vector<Addr>& addresses,
+                                 std::size_t window) {
+  FootprintStats stats;
+  stats.requests = addresses.size();
+
+  std::unordered_map<std::uint64_t, std::uint64_t> per_page;
+  std::unordered_set<std::uint64_t> blocks;
+
+  // Sliding multiset of the last `window` block ids.
+  std::unordered_map<std::uint64_t, std::uint32_t> recent;
+  std::deque<std::uint64_t> order;
+  auto in_window = [&](std::uint64_t block) {
+    const auto it = recent.find(block);
+    return it != recent.end() && it->second > 0;
+  };
+
+  for (Addr a : addresses) {
+    const std::uint64_t block = a >> kCacheBlockShift;
+    const std::uint64_t page = a >> kPageShift;
+    ++per_page[page];
+    blocks.insert(block);
+
+    const bool left = block > 0 && in_window(block - 1);
+    const bool right = in_window(block + 1);
+    const bool left_same_page =
+        left && ((block - 1) >> (kPageShift - kCacheBlockShift)) == page;
+    const bool right_same_page =
+        right && ((block + 1) >> (kPageShift - kCacheBlockShift)) == page;
+    if (left_same_page || right_same_page) {
+      ++stats.in_page_adjacent;
+    } else if (left || right) {
+      ++stats.cross_page_adjacent;
+    }
+
+    // Same 256 B chunk (4 blocks) neighbourhood.
+    const std::uint64_t chunk = block >> 2;
+    for (std::uint64_t b = chunk << 2; b < (chunk << 2) + 4; ++b) {
+      if (b != block && in_window(b)) {
+        ++stats.same_chunk;
+        break;
+      }
+    }
+
+    ++recent[block];
+    order.push_back(block);
+    if (order.size() > window) {
+      const std::uint64_t old = order.front();
+      order.pop_front();
+      if (--recent[old] == 0) recent.erase(old);
+    }
+  }
+
+  stats.distinct_pages = per_page.size();
+  stats.distinct_blocks = blocks.size();
+  for (const auto& [page, count] : per_page) {
+    stats.requests_per_page.add(static_cast<std::int64_t>(count));
+  }
+  return stats;
+}
+
+}  // namespace pacsim

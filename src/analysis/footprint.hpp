@@ -1,0 +1,47 @@
+// Address-stream characterization: the measurement behind the paper's
+// section 2.3 motivation - how much request adjacency exists, and whether
+// it lies within physical pages (PAC's target) or across page boundaries
+// (which Fig. 2 shows to be negligible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+
+struct FootprintStats {
+  std::uint64_t requests = 0;
+  std::uint64_t distinct_pages = 0;
+  std::uint64_t distinct_blocks = 0;
+  /// Requests with a block-adjacent partner in the same page within the
+  /// coalescing window (the opportunity a paged coalescer can harvest).
+  std::uint64_t in_page_adjacent = 0;
+  /// Requests adjacent only across a page boundary within the window (the
+  /// additional opportunity a cross-page design would add - paper Fig. 2).
+  std::uint64_t cross_page_adjacent = 0;
+  /// Requests whose 256 B chunk saw another request within the window.
+  std::uint64_t same_chunk = 0;
+  Histogram requests_per_page;  ///< footprint density distribution
+
+  [[nodiscard]] double in_page_fraction() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(in_page_adjacent) /
+                               static_cast<double>(requests);
+  }
+  [[nodiscard]] double cross_page_fraction() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cross_page_adjacent) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Analyze a block-granular physical address stream. `window` is the number
+/// of recent requests a hardware coalescer could hold concurrently (16 in
+/// PAC's PRA at one request per cycle and a 16-cycle timeout).
+FootprintStats analyze_footprint(const std::vector<Addr>& addresses,
+                                 std::size_t window = 16);
+
+}  // namespace pacsim

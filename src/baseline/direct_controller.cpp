@@ -1,0 +1,57 @@
+#include "baseline/direct_controller.hpp"
+
+#include <utility>
+
+#include "mem/packet.hpp"
+
+namespace pacsim {
+
+DirectController::DirectController(const DirectControllerConfig& cfg,
+                                   HmcDevice* device)
+    : cfg_(cfg), device_(device) {}
+
+bool DirectController::accept(const MemRequest& request, Cycle now) {
+  if (request.op == MemOp::kFence) {
+    ++stats_.fences;
+    return true;  // in-order dispatch: nothing to drain
+  }
+  if (outstanding_.size() >= cfg_.max_outstanding) return false;
+  if (!device_->can_accept()) return false;
+
+  const bool atomic = request.op == MemOp::kAtomic;
+  DeviceRequest req;
+  req.id = next_device_id_++;
+  req.base = atomic ? (request.paddr & ~Addr{kFlitBytes - 1})
+                    : (request.paddr & ~Addr{cfg_.line_bytes - 1});
+  req.bytes = atomic ? kFlitBytes : cfg_.line_bytes;
+  req.store = request.is_store();
+  req.atomic = atomic;
+  req.created_at = now;
+  req.raw_ids.push_back(request.id);
+
+  ++stats_.raw_requests;
+  if (atomic) ++stats_.atomics;
+  ++stats_.issued_requests;
+  stats_.issued_payload_bytes += req.bytes;
+  stats_.request_size_bytes.add(req.bytes);
+
+  outstanding_.emplace(req.id, request.id);
+  device_->submit(std::move(req), now);
+  return true;
+}
+
+void DirectController::tick(Cycle now) { (void)now; }
+
+void DirectController::complete(const DeviceResponse& response, Cycle now) {
+  (void)now;
+  auto it = outstanding_.find(response.request_id);
+  if (it == outstanding_.end()) return;
+  satisfied_.push_back(it->second);
+  outstanding_.erase(it);
+}
+
+std::vector<std::uint64_t> DirectController::drain_satisfied() {
+  return std::exchange(satisfied_, {});
+}
+
+}  // namespace pacsim

@@ -1,0 +1,40 @@
+// The no-coalescing baseline: a standard HMC controller that forwards every
+// raw cache-line request unmodified (paper section 5.3.6 uses this as the
+// performance baseline).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hmc/hmc_device.hpp"
+#include "pac/coalescer.hpp"
+
+namespace pacsim {
+
+struct DirectControllerConfig {
+  std::uint32_t max_outstanding = 16;  ///< matched to the MSHR count
+  std::uint32_t line_bytes = 64;
+};
+
+class DirectController final : public Coalescer {
+ public:
+  DirectController(const DirectControllerConfig& cfg, HmcDevice* device);
+
+  bool accept(const MemRequest& request, Cycle now) override;
+  void tick(Cycle now) override;
+  void complete(const DeviceResponse& response, Cycle now) override;
+  std::vector<std::uint64_t> drain_satisfied() override;
+  [[nodiscard]] bool idle() const override { return outstanding_.empty(); }
+  [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
+
+ private:
+  DirectControllerConfig cfg_;
+  HmcDevice* device_;
+  CoalescerStats stats_;
+  std::unordered_map<std::uint64_t, std::uint64_t> outstanding_;  ///< dev -> raw
+  std::uint64_t next_device_id_ = 1;
+  std::vector<std::uint64_t> satisfied_;
+};
+
+}  // namespace pacsim

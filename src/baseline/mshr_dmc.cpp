@@ -1,0 +1,120 @@
+#include "baseline/mshr_dmc.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "mem/packet.hpp"
+
+namespace pacsim {
+
+MshrDmc::MshrDmc(const MshrDmcConfig& cfg, HmcDevice* device)
+    : cfg_(cfg), device_(device) {
+  entries_.resize(cfg_.num_mshrs);
+}
+
+bool MshrDmc::dispatch_entry(Entry& entry, Cycle now) {
+  if (!device_->can_accept()) return false;
+  DeviceRequest req;
+  req.id = entry.device_request_id;
+  req.base = entry.line;
+  req.bytes = entry.atomic ? kFlitBytes : cfg_.line_bytes;
+  req.store = entry.store;
+  req.atomic = entry.atomic;
+  req.created_at = now;
+  req.raw_ids = entry.raw_ids;
+  device_->submit(std::move(req), now);
+  entry.dispatched = true;
+  ++stats_.issued_requests;
+  const std::uint32_t bytes = entry.atomic ? kFlitBytes : cfg_.line_bytes;
+  stats_.issued_payload_bytes += bytes;
+  stats_.request_size_bytes.add(bytes);
+  return true;
+}
+
+bool MshrDmc::accept(const MemRequest& request, Cycle now) {
+  if (request.op == MemOp::kFence) {
+    // Requests dispatch as soon as they are buffered, so ordering at this
+    // level is already preserved; the fence is a no-op for this baseline.
+    ++stats_.fences;
+    return true;
+  }
+
+  const Addr line = request.paddr & ~Addr{cfg_.line_bytes - 1};
+  const bool store = request.is_store();
+  const bool atomic = request.op == MemOp::kAtomic;
+
+  // Comparator work of the associative search; committed only when the
+  // request is actually accepted (stall-retries re-present the same
+  // request and do not count as new comparison passes).
+  const std::uint64_t scan_comparisons = occupied_;
+
+  if (!atomic) {
+    // Compare against every occupied MSHR (associative search).
+    for (auto& entry : entries_) {
+      if (!entry.valid) continue;
+      if (entry.atomic || entry.store || store) continue;  // loads only
+      if (entry.line == line) {
+        entry.raw_ids.push_back(request.id);
+        stats_.comparisons += scan_comparisons;
+        ++stats_.raw_requests;
+        ++stats_.coalesced_away;
+        return true;
+      }
+    }
+  }
+
+  if (occupied_ == entries_.size()) return false;  // cache blocks
+
+  for (auto& entry : entries_) {
+    if (entry.valid) continue;
+    entry.valid = true;
+    entry.line = atomic ? (request.paddr & ~Addr{kFlitBytes - 1}) : line;
+    entry.store = store;
+    entry.atomic = atomic;
+    entry.dispatched = false;
+    entry.device_request_id = next_device_id_++;
+    entry.raw_ids.assign(1, request.id);
+    ++occupied_;
+    stats_.comparisons += scan_comparisons;
+    ++stats_.raw_requests;
+    if (atomic) ++stats_.atomics;
+    // Immediate dispatch (section 2.2.2): "whenever a pending miss is merged
+    // into a new MSHR entry, a new memory request is immediately dispatched".
+    dispatch_entry(entry, now);
+    return true;
+  }
+  assert(false);
+  return false;
+}
+
+void MshrDmc::tick(Cycle now) {
+  // Retry entries the device refused at allocation time.
+  for (auto& entry : entries_) {
+    if (entry.valid && !entry.dispatched) {
+      if (!dispatch_entry(entry, now)) break;
+    }
+  }
+}
+
+void MshrDmc::complete(const DeviceResponse& response, Cycle now) {
+  (void)now;
+  for (auto& entry : entries_) {
+    if (!entry.valid || entry.device_request_id != response.request_id) {
+      continue;
+    }
+    satisfied_.insert(satisfied_.end(), entry.raw_ids.begin(),
+                      entry.raw_ids.end());
+    entry.valid = false;
+    entry.raw_ids.clear();
+    --occupied_;
+    return;
+  }
+}
+
+std::vector<std::uint64_t> MshrDmc::drain_satisfied() {
+  return std::exchange(satisfied_, {});
+}
+
+bool MshrDmc::idle() const { return occupied_ == 0; }
+
+}  // namespace pacsim

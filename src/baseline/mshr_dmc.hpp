@@ -1,0 +1,59 @@
+// Conventional MSHR-based dynamic memory coalescing: the paper's primary
+// baseline (sections 2.2.1 and 5.3.1).
+//
+// Misses to the same 64 B cache line merge as subentries of an existing
+// MSHR; everything else allocates a new entry whose fixed-size cache-line
+// request is dispatched to the memory device immediately. Because dispatch
+// is immediate, an entry can never grow to a wider request - precisely the
+// limitation PAC removes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hmc/hmc_device.hpp"
+#include "pac/coalescer.hpp"
+
+namespace pacsim {
+
+struct MshrDmcConfig {
+  std::uint32_t num_mshrs = 16;
+  std::uint32_t line_bytes = 64;  ///< fixed coalesced request size
+};
+
+class MshrDmc final : public Coalescer {
+ public:
+  MshrDmc(const MshrDmcConfig& cfg, HmcDevice* device);
+
+  bool accept(const MemRequest& request, Cycle now) override;
+  void tick(Cycle now) override;
+  void complete(const DeviceResponse& response, Cycle now) override;
+  std::vector<std::uint64_t> drain_satisfied() override;
+  [[nodiscard]] bool idle() const override;
+  [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
+
+  [[nodiscard]] unsigned occupied() const { return occupied_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Addr line = 0;   ///< line base address
+    bool store = false;
+    bool atomic = false;
+    bool dispatched = false;
+    std::uint64_t device_request_id = 0;
+    std::vector<std::uint64_t> raw_ids;
+  };
+
+  bool dispatch_entry(Entry& entry, Cycle now);
+
+  MshrDmcConfig cfg_;
+  HmcDevice* device_;
+  CoalescerStats stats_;
+  std::vector<Entry> entries_;
+  unsigned occupied_ = 0;
+  std::uint64_t next_device_id_ = 1;
+  std::vector<std::uint64_t> satisfied_;
+};
+
+}  // namespace pacsim

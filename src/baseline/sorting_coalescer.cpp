@@ -1,0 +1,148 @@
+#include "baseline/sorting_coalescer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mem/packet.hpp"
+
+namespace pacsim {
+
+SortingCoalescer::SortingCoalescer(const SortingCoalescerConfig& cfg,
+                                   HmcDevice* device)
+    : cfg_(cfg),
+      device_(device),
+      network_(SortingNetwork::bitonic(cfg.window)) {
+  window_.reserve(cfg_.window);
+}
+
+bool SortingCoalescer::accept(const MemRequest& request, Cycle now) {
+  if (request.op == MemOp::kFence) {
+    ++stats_.fences;
+    // Force the partial window through the sorter immediately.
+    if (!window_.empty()) sort_and_merge(now);
+    return true;
+  }
+  if (request.op == MemOp::kAtomic) {
+    if (outstanding_ >= cfg_.max_outstanding || !device_->can_accept()) {
+      return false;
+    }
+    ++stats_.raw_requests;
+    ++stats_.atomics;
+    DeviceRequest req;
+    req.id = next_device_id_++;
+    req.base = request.paddr & ~Addr{kFlitBytes - 1};
+    req.bytes = kFlitBytes;
+    req.atomic = true;
+    req.store = request.is_store();
+    req.created_at = now;
+    req.raw_ids.push_back(request.id);
+    ++stats_.issued_requests;
+    stats_.issued_payload_bytes += req.bytes;
+    stats_.request_size_bytes.add(req.bytes);
+    ++outstanding_;
+    device_->submit(std::move(req), now);
+    return true;
+  }
+
+  if (window_.size() >= cfg_.window || now < sort_busy_until_) return false;
+  ++stats_.raw_requests;
+  window_.push_back(Entry{request.paddr & ~Addr{cfg_.line_bytes - 1},
+                          request.is_store(), request.id, now});
+  return true;
+}
+
+void SortingCoalescer::sort_and_merge(Cycle now) {
+  // The hardware runs the full bitonic network regardless of occupancy:
+  // every comparator fires (this is the comparison cost of Fig. 7/11a).
+  stats_.comparisons += network_.comparator_count();
+  sort_busy_until_ = now + network_.depth();
+
+  // Key: (address, store bit) - stores sort after loads at equal addresses.
+  std::vector<std::pair<std::uint64_t, std::size_t>> keys(cfg_.window);
+  for (std::size_t i = 0; i < cfg_.window; ++i) {
+    if (i < window_.size()) {
+      keys[i] = {(window_[i].line << 1) | (window_[i].store ? 1 : 0), i};
+    } else {
+      keys[i] = {~std::uint64_t{0}, i};  // padding sorts to the end
+    }
+  }
+  network_.apply(std::span<std::pair<std::uint64_t, std::size_t>>(keys));
+
+  // Linear merge pass over the sorted sequence.
+  const std::size_t valid = window_.size();
+  std::optional<DeviceRequest> open;
+  auto flush_open = [&] {
+    if (!open.has_value()) return;
+    stats_.coalesced_away += open->raw_ids.size() - 1;
+    ready_.push_back(std::move(*open));
+    open.reset();
+  };
+  std::size_t seen = 0;
+  for (const auto& [key, index] : keys) {
+    if (seen++ >= valid) break;
+    const Entry& e = window_[index];
+    if (open.has_value() && open->store == e.store) {
+      const Addr end = open->base + open->bytes;
+      if (e.line == end - cfg_.line_bytes) {
+        // Duplicate line: fold into the open request.
+        open->raw_ids.push_back(e.raw_id);
+        continue;
+      }
+      if (e.line == end && open->bytes + cfg_.line_bytes <= cfg_.max_request) {
+        open->bytes += cfg_.line_bytes;
+        open->raw_ids.push_back(e.raw_id);
+        continue;
+      }
+    }
+    flush_open();
+    DeviceRequest req;
+    req.id = next_device_id_++;
+    req.base = e.line;
+    req.bytes = cfg_.line_bytes;
+    req.store = e.store;
+    req.created_at = now;
+    req.raw_ids.push_back(e.raw_id);
+    open = std::move(req);
+  }
+  flush_open();
+  window_.clear();
+}
+
+void SortingCoalescer::dispatch(Cycle now) {
+  while (!ready_.empty() && outstanding_ < cfg_.max_outstanding &&
+         device_->can_accept()) {
+    DeviceRequest req = std::move(ready_.front());
+    ready_.erase(ready_.begin());
+    ++stats_.issued_requests;
+    stats_.issued_payload_bytes += req.bytes;
+    stats_.request_size_bytes.add(req.bytes);
+    ++outstanding_;
+    device_->submit(std::move(req), now);
+  }
+}
+
+void SortingCoalescer::tick(Cycle now) {
+  if (now >= sort_busy_until_ && !window_.empty()) {
+    const bool full = window_.size() >= cfg_.window;
+    const bool expired = now - window_.front().arrived >= cfg_.timeout;
+    if (full || expired) sort_and_merge(now);
+  }
+  if (now >= sort_busy_until_) dispatch(now);
+}
+
+void SortingCoalescer::complete(const DeviceResponse& response, Cycle now) {
+  (void)now;
+  satisfied_.insert(satisfied_.end(), response.raw_ids.begin(),
+                    response.raw_ids.end());
+  if (outstanding_ > 0) --outstanding_;
+}
+
+std::vector<std::uint64_t> SortingCoalescer::drain_satisfied() {
+  return std::exchange(satisfied_, {});
+}
+
+bool SortingCoalescer::idle() const {
+  return window_.empty() && ready_.empty() && outstanding_ == 0;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,70 @@
+// Sorting-network-based dynamic memory coalescer, modelling the prior HMC
+// coalescer of Wang et al. (ICPP'18) that paper section 2.2.2 and Fig. 11a
+// compare PAC against.
+//
+// Raw requests are buffered into a fixed window; when the window fills (or
+// the oldest entry times out) the whole window is run through a parallel
+// bitonic sorting network keyed on physical address, then a linear merge
+// pass fuses address-contiguous same-type neighbours into packets of up to
+// `max_request` bytes. Every sort pays the full network's comparator count
+// - the space/energy scaling problem PAC's paged streams avoid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baseline/sorting_network.hpp"
+#include "hmc/hmc_device.hpp"
+#include "pac/coalescer.hpp"
+
+namespace pacsim {
+
+struct SortingCoalescerConfig {
+  std::uint32_t window = 16;        ///< sorting-network inputs
+  std::uint32_t timeout = 16;       ///< cycles before a partial window sorts
+  std::uint32_t max_request = 256;  ///< HMC 2.1 packet limit
+  std::uint32_t line_bytes = 64;
+  std::uint32_t max_outstanding = 16;  ///< device requests in flight
+};
+
+class SortingCoalescer final : public Coalescer {
+ public:
+  SortingCoalescer(const SortingCoalescerConfig& cfg, HmcDevice* device);
+
+  bool accept(const MemRequest& request, Cycle now) override;
+  void tick(Cycle now) override;
+  void complete(const DeviceResponse& response, Cycle now) override;
+  std::vector<std::uint64_t> drain_satisfied() override;
+  [[nodiscard]] bool idle() const override;
+  [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
+
+  [[nodiscard]] std::size_t window_occupancy() const { return window_.size(); }
+  [[nodiscard]] const SortingNetwork& network() const { return network_; }
+
+ private:
+  struct Entry {
+    Addr line = 0;
+    bool store = false;
+    std::uint64_t raw_id = 0;
+    Cycle arrived = 0;
+  };
+
+  void sort_and_merge(Cycle now);
+  void dispatch(Cycle now);
+
+  SortingCoalescerConfig cfg_;
+  HmcDevice* device_;
+  SortingNetwork network_;
+  CoalescerStats stats_;
+
+  std::vector<Entry> window_;
+  /// Coalesced requests awaiting device admission.
+  std::vector<DeviceRequest> ready_;
+  Cycle sort_busy_until_ = 0;
+  std::uint32_t outstanding_ = 0;
+  std::uint64_t next_device_id_ = 1;
+  std::vector<std::uint64_t> satisfied_;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,74 @@
+#include "baseline/sorting_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace pacsim {
+
+SortingNetwork SortingNetwork::bitonic(std::uint32_t n) {
+  assert(is_pow2(n));
+  SortingNetwork net(n);
+  // Classic iterative bitonic construction: for every (k, j) phase, wire i
+  // pairs with i^j; direction follows bit k of i.
+  for (std::uint32_t k = 2; k <= n; k <<= 1) {
+    for (std::uint32_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t l = i ^ j;
+        if (l > i) {
+          net.comparators_.push_back(Comparator{i, l, (i & k) == 0});
+        }
+      }
+    }
+  }
+  return net;
+}
+
+namespace {
+void oem_merge(std::vector<Comparator>& out, std::uint32_t lo, std::uint32_t n,
+               std::uint32_t r) {
+  const std::uint32_t m = r * 2;
+  if (m < n) {
+    oem_merge(out, lo, n, m);      // even subsequence
+    oem_merge(out, lo + r, n, m);  // odd subsequence
+    for (std::uint32_t i = lo + r; i + r < lo + n; i += m) {
+      out.push_back(Comparator{i, i + r, true});
+    }
+  } else {
+    out.push_back(Comparator{lo, lo + r, true});
+  }
+}
+
+void oem_sort(std::vector<Comparator>& out, std::uint32_t lo, std::uint32_t n) {
+  if (n <= 1) return;
+  const std::uint32_t m = n / 2;
+  oem_sort(out, lo, m);
+  oem_sort(out, lo + m, m);
+  oem_merge(out, lo, n, 1);
+}
+}  // namespace
+
+SortingNetwork SortingNetwork::odd_even_merge(std::uint32_t n) {
+  assert(is_pow2(n));
+  SortingNetwork net(n);
+  oem_sort(net.comparators_, 0, n);
+  return net;
+}
+
+std::uint32_t SortingNetwork::depth() const {
+  // Greedy layering: a comparator joins the earliest layer after the last
+  // use of either of its wires.
+  std::vector<std::uint32_t> wire_layer(n_, 0);
+  std::uint32_t depth = 0;
+  for (const Comparator& c : comparators_) {
+    const std::uint32_t layer =
+        std::max(wire_layer[c.lo], wire_layer[c.hi]) + 1;
+    wire_layer[c.lo] = layer;
+    wire_layer[c.hi] = layer;
+    depth = std::max(depth, layer);
+  }
+  return depth;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,82 @@
+// Parallel sorting networks used by prior DMC hardware (Wang et al., ICPP'18)
+// and compared against PAC in paper Fig. 11a.
+//
+// Both classic constructions are provided: Batcher's bitonic sorter and his
+// odd-even merge sorter. The networks are built explicitly (comparator
+// lists), so the comparator counts the paper quotes (672 and 543 at N = 64)
+// are measured, not assumed, and the networks can actually sort - which the
+// tests verify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pacsim {
+
+/// One compare-exchange element.
+struct Comparator {
+  std::uint32_t lo = 0;  ///< wire receiving the smaller value (if ascending)
+  std::uint32_t hi = 0;
+  bool ascending = true;
+};
+
+class SortingNetwork {
+ public:
+  /// Batcher bitonic sorter for n inputs (n must be a power of two).
+  static SortingNetwork bitonic(std::uint32_t n);
+  /// Batcher odd-even merge sorter for n inputs (n must be a power of two).
+  static SortingNetwork odd_even_merge(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t inputs() const { return n_; }
+  [[nodiscard]] std::size_t comparator_count() const {
+    return comparators_.size();
+  }
+  /// Pipeline depth: number of dependent comparator layers.
+  [[nodiscard]] std::uint32_t depth() const;
+
+  /// Run the network over `values` in place (values.size() == inputs()).
+  template <typename T>
+  void apply(std::span<T> values) const {
+    for (const Comparator& c : comparators_) {
+      T& a = values[c.lo];
+      T& b = values[c.hi];
+      const bool swap_needed = c.ascending ? (b < a) : (a < b);
+      if (swap_needed) std::swap(a, b);
+    }
+  }
+
+  [[nodiscard]] const std::vector<Comparator>& comparators() const {
+    return comparators_;
+  }
+
+  /// Buffer bytes a pipelined hardware realization needs: each comparator
+  /// latches one 4 B address tag (model used for the Fig. 11a comparison).
+  [[nodiscard]] std::size_t buffer_bytes() const {
+    return comparators_.size() * 4;
+  }
+
+ private:
+  explicit SortingNetwork(std::uint32_t n) : n_(n) {}
+
+  std::uint32_t n_ = 0;
+  std::vector<Comparator> comparators_;
+};
+
+/// PAC's space overheads for N coalescing streams, for the same comparison:
+/// one comparator per stream, an 8 B block-map and a 16 B request buffer per
+/// stream (paper section 5.3.3: 16 streams -> 384 B total).
+struct PacSpaceModel {
+  std::uint32_t streams = 16;
+  [[nodiscard]] std::size_t comparator_count() const { return streams; }
+  [[nodiscard]] std::size_t blockmap_bytes() const { return streams * 8; }
+  [[nodiscard]] std::size_t request_buffer_bytes() const {
+    return streams * 16;
+  }
+  [[nodiscard]] std::size_t buffer_bytes() const {
+    return blockmap_bytes() + request_buffer_bytes();
+  }
+};
+
+}  // namespace pacsim

@@ -1,0 +1,76 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  assert(is_pow2(cfg_.line_bytes));
+  line_shift_ = log2_exact(cfg_.line_bytes);
+  num_sets_ = static_cast<std::uint32_t>(cfg_.size_bytes /
+                                         (cfg_.line_bytes * cfg_.ways));
+  assert(num_sets_ > 0 && is_pow2(num_sets_));
+  lines_.resize(static_cast<std::size_t>(num_sets_) * cfg_.ways);
+}
+
+bool Cache::probe(Addr addr) const {
+  const Addr block = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(block & (num_sets_ - 1));
+  const Addr tag = block >> log2_exact(num_sets_);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+CacheAccess Cache::access(Addr addr, bool store) {
+  return access_internal(addr, store, false);
+}
+
+CacheAccess Cache::access_internal(Addr addr, bool store, bool is_fill) {
+  const Addr block = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(block & (num_sets_ - 1));
+  const Addr tag = block >> log2_exact(num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+
+  ++stamp_;
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = stamp_;
+      line.dirty = line.dirty || store;
+      CacheAccess result{true, false, false, 0};
+      if (!is_fill) {
+        ++hits_;
+        result.prefetched_hit = line.prefetched;
+        line.prefetched = false;
+      }
+      return result;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  ++misses_;
+  CacheAccess result{false, false, false, 0};
+  if (victim->valid && victim->dirty) {
+    ++writebacks_;
+    result.writeback = true;
+    const Addr victim_block =
+        (victim->tag << log2_exact(num_sets_)) | set;
+    result.victim_addr = victim_block << line_shift_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = store;
+  victim->prefetched = is_fill;
+  victim->lru = stamp_;
+  return result;
+}
+
+}  // namespace pacsim

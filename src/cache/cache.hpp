@@ -1,0 +1,74 @@
+// Set-associative write-back cache with LRU replacement.
+//
+// The model is functional-plus-latency: tags and dirty bits are exact, data
+// values are not stored (the coalescer stack only needs the address stream).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 8ULL << 20;  ///< 8 MB LLC by default
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t hit_latency = 12;  ///< cycles
+};
+
+/// Outcome of a cache access.
+struct CacheAccess {
+  bool hit = false;
+  bool writeback = false;  ///< a dirty victim was evicted
+  bool prefetched_hit = false;  ///< first demand hit on a prefetched line
+  Addr victim_addr = 0;    ///< block base of the evicted dirty victim
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Access `addr`; on miss the line is allocated (write-allocate) and the
+  /// victim, if dirty, is reported for write-back.
+  CacheAccess access(Addr addr, bool store);
+
+  /// Tag check without side effects.
+  [[nodiscard]] bool probe(Addr addr) const;
+
+  /// Allocate a line without demand semantics (prefetch fill). The line is
+  /// tagged with a prefetched bit; the first demand hit reports it, which
+  /// keeps the stream prefetcher trained. Returns the same victim
+  /// information as access().
+  CacheAccess fill(Addr addr) { return access_internal(addr, false, true); }
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;  ///< filled by prefetch, no demand hit yet
+    std::uint64_t lru = 0;    ///< last-use stamp
+  };
+
+  CacheAccess access_internal(Addr addr, bool store, bool is_fill);
+
+  CacheConfig cfg_;
+  std::uint32_t num_sets_;
+  unsigned line_shift_;
+  std::vector<Line> lines_;  ///< num_sets_ x ways, row-major
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,77 @@
+#include "cache/prefetcher.hpp"
+
+#include <cstdlib>
+
+namespace pacsim {
+
+StreamPrefetcher::StreamPrefetcher(std::uint32_t num_cores,
+                                   const PrefetcherConfig& cfg)
+    : cfg_(cfg) {
+  tables_.resize(num_cores);
+  for (auto& t : tables_) t.resize(cfg_.streams_per_core);
+}
+
+std::vector<Addr> StreamPrefetcher::on_miss(std::uint32_t core,
+                                            Addr block_addr) {
+  const std::int64_t block =
+      static_cast<std::int64_t>(block_addr >> kCacheBlockShift);
+  auto& table = tables_[core];
+  ++stamp_;
+
+  // Find the stream this miss continues: the new block must be one stride
+  // beyond the stream's last block.
+  Stream* lru_entry = &table[0];
+  for (auto& s : table) {
+    if (!s.valid) {
+      lru_entry = &s;
+      continue;
+    }
+    if (s.lru < lru_entry->lru || !lru_entry->valid) {
+      if (!lru_entry->valid && s.valid) {
+        // keep the invalid entry as the allocation target
+      } else {
+        lru_entry = &s;
+      }
+    }
+    const std::int64_t delta = block - static_cast<std::int64_t>(s.last_block);
+    if (delta != 0 && std::llabs(delta) <= cfg_.max_stride_blocks &&
+        (s.confidence == 0 || delta == s.stride)) {
+      s.issued_ahead -= delta / (s.stride == 0 ? delta : s.stride);
+      if (s.issued_ahead < 0) s.issued_ahead = 0;
+      s.stride = delta;
+      s.last_block = static_cast<Addr>(block);
+      s.lru = stamp_;
+      if (s.confidence < cfg_.train_threshold) {
+        ++s.confidence;
+        return {};
+      }
+      // Batch refill: once fewer than refill_threshold prefetched blocks
+      // remain ahead of the demand stream, top back up to `degree` in one
+      // burst of adjacent blocks.
+      if (s.issued_ahead >= static_cast<std::int64_t>(cfg_.refill_threshold)) {
+        return {};
+      }
+      std::vector<Addr> out;
+      out.reserve(cfg_.degree);
+      for (std::int64_t i = s.issued_ahead + 1;
+           i <= static_cast<std::int64_t>(cfg_.degree); ++i) {
+        const std::int64_t target = block + s.stride * i;
+        if (target < 0) break;
+        out.push_back(static_cast<Addr>(target) << kCacheBlockShift);
+      }
+      s.issued_ahead = cfg_.degree;
+      issued_ += out.size();
+      return out;
+    }
+  }
+
+  // No stream matched: (re)allocate the LRU entry.
+  lru_entry->valid = true;
+  lru_entry->last_block = static_cast<Addr>(block);
+  lru_entry->stride = 0;
+  lru_entry->confidence = 0;
+  lru_entry->lru = stamp_;
+  return {};
+}
+
+}  // namespace pacsim

@@ -1,0 +1,54 @@
+// Per-core stream prefetcher attached to the LLC.
+//
+// The paper (section 4.2) points out that PAC coalesces prefetch requests
+// issued at cache-line granularity; this prefetcher is the substrate that
+// supplies them. It detects unit-stride (and small-stride) miss streams per
+// core and emits `degree` block-granular prefetch candidates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pacsim {
+
+struct PrefetcherConfig {
+  std::uint32_t streams_per_core = 8;  ///< tracked miss streams
+  std::uint32_t degree = 8;            ///< lookahead depth in blocks
+  /// Top the stream back up to `degree` blocks ahead once fewer than this
+  /// many prefetched blocks remain. Refilling in batches (rather than one
+  /// line per trigger) is what hands the coalescer groups of adjacent
+  /// requests in the same cycle.
+  std::uint32_t refill_threshold = 4;
+  std::uint32_t train_threshold = 2;   ///< consecutive hits to trust a stream
+  std::int64_t max_stride_blocks = 2;  ///< |stride| accepted, in blocks
+};
+
+class StreamPrefetcher {
+ public:
+  StreamPrefetcher(std::uint32_t num_cores, const PrefetcherConfig& cfg);
+
+  /// Observe an LLC demand miss from `core`; returns the block base
+  /// addresses worth prefetching (possibly empty).
+  std::vector<Addr> on_miss(std::uint32_t core, Addr block_addr);
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+ private:
+  struct Stream {
+    Addr last_block = 0;   ///< block index (addr >> 6)
+    std::int64_t stride = 0;
+    std::int64_t issued_ahead = 0;  ///< strides already prefetched past last
+    std::uint32_t confidence = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  PrefetcherConfig cfg_;
+  std::vector<std::vector<Stream>> tables_;  ///< [core][stream]
+  std::uint64_t stamp_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace pacsim

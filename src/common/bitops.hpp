@@ -1,0 +1,54 @@
+// Bit-manipulation helpers used by the block-map machinery.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace pacsim {
+
+/// One contiguous run of set bits inside a bit pattern.
+struct BitRun {
+  unsigned offset = 0;  ///< index of the first set bit in the run
+  unsigned length = 0;  ///< number of consecutive set bits
+
+  friend bool operator==(const BitRun&, const BitRun&) = default;
+};
+
+/// Decompose `bits` (valid within the low `width` bits) into its maximal
+/// contiguous runs of set bits, in ascending offset order.
+inline std::vector<BitRun> bit_runs(std::uint64_t bits, unsigned width = 64) {
+  std::vector<BitRun> runs;
+  if (width < 64) bits &= (std::uint64_t{1} << width) - 1;
+  while (bits != 0) {
+    const unsigned start = static_cast<unsigned>(std::countr_zero(bits));
+    const std::uint64_t shifted = bits >> start;
+    const unsigned len = static_cast<unsigned>(std::countr_one(shifted));
+    runs.push_back({start, len});
+    if (start + len >= 64) break;
+    bits &= ~(((std::uint64_t{1} << len) - 1) << start);
+  }
+  return runs;
+}
+
+/// Number of set bits.
+inline unsigned popcount64(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// True when `v` is a power of two (v != 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) {
+  unsigned s = 0;
+  while ((std::uint64_t{1} << s) < v) ++s;
+  return s;
+}
+
+}  // namespace pacsim

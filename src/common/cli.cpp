@@ -1,0 +1,39 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace pacsim {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string raw = argv[i];
+    const auto start = raw.find_first_not_of('-');
+    if (start == std::string::npos) continue;
+    std::string arg = raw.substr(start);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.insert_or_assign(std::move(arg), std::string("1"));
+    } else {
+      kv_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::uint64_t Cli::get_u64(const std::string& key, std::uint64_t fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace pacsim

@@ -1,0 +1,27 @@
+// Minimal key=value command line parsing for bench/example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pacsim {
+
+/// Parses `key=value` arguments plus bare flags (`--quick` -> quick=1).
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,77 @@
+// Bounded FIFO used for hardware queues (MAQ, vault slots, link buffers).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace pacsim {
+
+/// A FIFO with a fixed capacity; push fails (returns false) when full.
+/// Models hardware queue structures where back-pressure matters.
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  /// Pop the head; undefined when empty (assert in debug builds).
+  T pop() {
+    assert(!items_.empty());
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!items_.empty());
+    return items_.front();
+  }
+  [[nodiscard]] T& front() {
+    assert(!items_.empty());
+    return items_.front();
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t free_slots() const {
+    return capacity_ - items_.size();
+  }
+
+  void clear() { items_.clear(); }
+
+  /// Remove every element matching `pred`; returns the number removed.
+  /// (Hardware analogue: associative invalidation of queue slots.)
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t removed = 0;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (pred(*it)) {
+        it = items_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,62 @@
+// Deterministic PRNG (xoshiro256**) so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace pacsim {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Used instead of std::mt19937 for speed and cross-platform determinism.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) {
+    return bound ? next() % bound : 0;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately geometric with the given mean (>= 1).
+  std::uint64_t geometric(double mean) {
+    if (mean <= 1.0) return 1;
+    std::uint64_t n = 1;
+    const double p = 1.0 / mean;
+    while (uniform() > p && n < 64 * static_cast<std::uint64_t>(mean)) ++n;
+    return n;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace pacsim

@@ -1,0 +1,34 @@
+#include "common/stats.hpp"
+
+namespace pacsim {
+
+double Histogram::fraction_between(std::int64_t lo, std::int64_t hi) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (auto it = buckets_.lower_bound(lo);
+       it != buckets_.end() && it->first <= hi; ++it) {
+    acc += it->second;
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [bucket, weight] : buckets_) {
+    acc += static_cast<double>(bucket) * static_cast<double>(weight);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+double percent_reduction(double base, double now) {
+  if (base <= 0.0) return 0.0;
+  return (base - now) / base * 100.0;
+}
+
+double percent_improvement(double base_time, double now_time) {
+  if (base_time <= 0.0) return 0.0;
+  return (base_time - now_time) / base_time * 100.0;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,80 @@
+// Lightweight statistics: counters, running means, and histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pacsim {
+
+/// Running mean / min / max / count accumulator.
+class RunningStat {
+ public:
+  void add(double v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integer-bucketed histogram (exact buckets, sparse storage).
+class Histogram {
+ public:
+  void add(std::int64_t bucket, std::uint64_t weight = 1) {
+    buckets_[bucket] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t at(std::int64_t bucket) const {
+    auto it = buckets_.find(bucket);
+    return it == buckets_.end() ? 0 : it->second;
+  }
+  /// Fraction of weight in the given bucket.
+  [[nodiscard]] double fraction(std::int64_t bucket) const {
+    return total_ ? static_cast<double>(at(bucket)) / total_ : 0.0;
+  }
+  /// Fraction of weight in buckets [lo, hi] inclusive.
+  [[nodiscard]] double fraction_between(std::int64_t lo, std::int64_t hi) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  void reset() {
+    buckets_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Percent change helpers used throughout the evaluation benches.
+/// Reduction of `now` relative to `base` in percent (positive = improvement).
+double percent_reduction(double base, double now);
+/// Speedup of `now` over `base` in percent (positive = faster).
+double percent_improvement(double base_time, double now_time);
+
+}  // namespace pacsim

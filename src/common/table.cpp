@@ -1,0 +1,114 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+
+namespace pacsim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + emit_row(headers_) + sep;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    return out + "\"";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) line += ',';
+      line += quote(c < row.size() ? row[c] : std::string{});
+    }
+    return line + "\n";
+  };
+  std::string out = emit(headers_);
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+namespace {
+std::string& csv_dir() {
+  static std::string dir;
+  return dir;
+}
+}  // namespace
+
+void Table::set_csv_dir(std::string dir) { csv_dir() = std::move(dir); }
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), to_string().c_str());
+  std::fflush(stdout);
+  if (csv_dir().empty()) return;
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+    if (slug.size() >= 60) break;
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  const std::string path = csv_dir() + "/" + slug + ".csv";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string csv = to_csv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+}
+
+}  // namespace pacsim

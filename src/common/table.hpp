@@ -1,0 +1,42 @@
+// ASCII table printer used by the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pacsim {
+
+/// Builds and prints an aligned ASCII table (one per paper table/figure).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; cells beyond the header count are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);
+
+  /// Render the whole table to a string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (header row + data rows, RFC-4180 quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stdout with a title banner. When a CSV directory has been
+  /// configured (set_csv_dir), also writes `<slug-of-title>.csv` there.
+  void print(const std::string& title) const;
+
+  /// Configure a directory for CSV artifacts; empty disables (default).
+  static void set_csv_dir(std::string dir);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pacsim

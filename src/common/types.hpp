@@ -1,0 +1,54 @@
+// Fundamental types shared across the PAC simulation stack.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pacsim {
+
+/// Physical or virtual byte address.
+using Addr = std::uint64_t;
+
+/// CPU clock cycle count (2 GHz reference clock unless stated otherwise).
+using Cycle = std::uint64_t;
+
+/// Picojoules, the unit of the HMC power model.
+using PicoJoule = double;
+
+inline constexpr unsigned kPageShift = 12;            ///< 4 KB OS pages
+inline constexpr Addr kPageSize = Addr{1} << kPageShift;
+inline constexpr unsigned kCacheBlockShift = 6;       ///< 64 B cache lines
+inline constexpr Addr kCacheBlockSize = Addr{1} << kCacheBlockShift;
+inline constexpr unsigned kBlocksPerPage =
+    static_cast<unsigned>(kPageSize / kCacheBlockSize);  // 64
+
+/// Memory operation kinds as seen below the LLC.
+enum class MemOp : std::uint8_t {
+  kLoad = 0,   ///< read miss / prefetch fill
+  kStore = 1,  ///< write-back or write miss
+  kAtomic = 2, ///< AMO; never coalesced, routed straight to the controller
+  kFence = 3,  ///< ordering barrier; flushes the coalescing network
+};
+
+/// Physical page number of an address.
+constexpr Addr page_number(Addr a) { return a >> kPageShift; }
+/// Byte offset within the 4 KB page.
+constexpr Addr page_offset(Addr a) { return a & (kPageSize - 1); }
+/// 64 B block index within the page (bits 6..11), as in paper Fig. 5(a).
+constexpr unsigned block_in_page(Addr a) {
+  return static_cast<unsigned>(page_offset(a) >> kCacheBlockShift);
+}
+/// Address rounded down to its cache-block base.
+constexpr Addr block_base(Addr a) { return a & ~(kCacheBlockSize - 1); }
+
+constexpr std::string_view to_string(MemOp op) {
+  switch (op) {
+    case MemOp::kLoad: return "load";
+    case MemOp::kStore: return "store";
+    case MemOp::kAtomic: return "atomic";
+    case MemOp::kFence: return "fence";
+  }
+  return "?";
+}
+
+}  // namespace pacsim

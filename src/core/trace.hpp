@@ -1,0 +1,28 @@
+// Per-core operation traces: the interface between workload kernels and the
+// trace-driven core model (the Spike substitution described in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pacsim {
+
+enum class OpKind : std::uint8_t {
+  kLoad = 0,
+  kStore,
+  kAtomic,
+  kFence,
+  kCompute,  ///< arg = busy cycles (models non-memory instructions)
+};
+
+struct TraceOp {
+  Addr vaddr = 0;       ///< virtual address (unused for kCompute)
+  std::uint32_t arg = 0;  ///< access bytes, or busy cycles for kCompute
+  OpKind kind = OpKind::kCompute;
+};
+
+using Trace = std::vector<TraceOp>;
+
+}  // namespace pacsim

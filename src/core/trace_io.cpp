@@ -1,0 +1,73 @@
+#include "core/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace pacsim {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'C', 'T', 'R', 'C', 'E', '1'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("trace file truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_traces(const std::string& path, const std::vector<Trace>& traces) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(traces.size()));
+  for (const Trace& trace : traces) {
+    put<std::uint64_t>(out, trace.size());
+    for (const TraceOp& op : trace) {
+      put<std::uint64_t>(out, op.vaddr);
+      put<std::uint32_t>(out, op.arg);
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(op.kind));
+    }
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Trace> load_traces(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a pacsim trace file: " + path);
+  }
+  const auto cores = get<std::uint32_t>(in);
+  if (cores > 4096) throw std::runtime_error("implausible core count");
+  std::vector<Trace> traces(cores);
+  for (Trace& trace : traces) {
+    const auto count = get<std::uint64_t>(in);
+    if (count > (1ULL << 32)) throw std::runtime_error("implausible trace");
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TraceOp op;
+      op.vaddr = get<std::uint64_t>(in);
+      op.arg = get<std::uint32_t>(in);
+      const auto kind = get<std::uint8_t>(in);
+      if (kind > static_cast<std::uint8_t>(OpKind::kCompute)) {
+        throw std::runtime_error("bad op kind in trace file");
+      }
+      op.kind = static_cast<OpKind>(kind);
+      trace.push_back(op);
+    }
+  }
+  return traces;
+}
+
+}  // namespace pacsim

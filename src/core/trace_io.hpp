@@ -1,0 +1,25 @@
+// Binary trace files: persist per-core op traces so externally generated
+// streams (e.g. from a real Spike run) can drive the simulated system, and
+// expensive trace generation can be cached across bench runs.
+//
+// Format (little-endian):
+//   8 bytes magic "PACTRCE1"
+//   u32 core count
+//   per core: u64 op count, then ops as { u64 vaddr, u32 arg, u8 kind }.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace pacsim {
+
+/// Write `traces` to `path`; throws std::runtime_error on I/O failure.
+void save_traces(const std::string& path, const std::vector<Trace>& traces);
+
+/// Read traces written by save_traces; throws std::runtime_error on I/O
+/// failure or malformed content.
+std::vector<Trace> load_traces(const std::string& path);
+
+}  // namespace pacsim

@@ -1,0 +1,64 @@
+// Records the memory behaviour of a workload kernel into a Trace.
+//
+// Kernels call load()/store()/compute() as they execute over synthetic
+// data; when the per-core budget is reached the recorder throws TraceFull,
+// which the workload driver catches - this cleanly stops arbitrarily deep
+// kernel recursion (FFT, sort) without threading status through every call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace pacsim {
+
+class TraceRecorder {
+ public:
+  /// Thrown when the op budget is exhausted.
+  struct TraceFull {};
+
+  TraceRecorder(Trace* out, std::size_t max_ops)
+      : out_(out), max_ops_(max_ops) {}
+
+  void load(Addr vaddr, std::uint32_t bytes = 8) {
+    push(TraceOp{vaddr, bytes, OpKind::kLoad});
+  }
+  void store(Addr vaddr, std::uint32_t bytes = 8) {
+    push(TraceOp{vaddr, bytes, OpKind::kStore});
+  }
+  void atomic(Addr vaddr, std::uint32_t bytes = 8) {
+    push(TraceOp{vaddr, bytes, OpKind::kAtomic});
+  }
+  void fence() { push(TraceOp{0, 0, OpKind::kFence}); }
+  /// Model `cycles` of non-memory work (ALU/FPU/branches), scaled by the
+  /// workload's compute multiplier.
+  void compute(std::uint32_t cycles) {
+    cycles = static_cast<std::uint32_t>(
+        static_cast<double>(cycles) * compute_scale_ + 0.5);
+    if (cycles == 0) return;
+    // Merge adjacent compute into one op to keep traces compact.
+    if (!out_->empty() && out_->back().kind == OpKind::kCompute) {
+      out_->back().arg += cycles;
+      return;
+    }
+    push(TraceOp{0, cycles, OpKind::kCompute});
+  }
+
+  void set_compute_scale(double scale) { compute_scale_ = scale; }
+
+  [[nodiscard]] bool full() const { return out_->size() >= max_ops_; }
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
+
+ private:
+  void push(TraceOp op) {
+    if (full()) throw TraceFull{};
+    out_->push_back(op);
+  }
+
+  Trace* out_;
+  std::size_t max_ops_;
+  double compute_scale_ = 1.0;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,43 @@
+// A single DRAM bank operating under the HMC closed-page policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "hmc/hmc_config.hpp"
+
+namespace pacsim {
+
+/// Closed-page bank: every access activates its row, bursts the data, and
+/// precharges. The bank is busy for the full row cycle; data becomes
+/// available before the precharge completes.
+class Bank {
+ public:
+  [[nodiscard]] bool busy(Cycle now) const { return now < busy_until_; }
+  [[nodiscard]] Cycle busy_until() const { return busy_until_; }
+
+  /// Begin an access of `payload_bytes` at `now` (bank must be free).
+  /// Returns the cycle the data burst completes (response can depart).
+  Cycle start_access(Cycle now, std::uint32_t payload_bytes,
+                     const HmcConfig& cfg) {
+    const Cycle burst =
+        (payload_bytes + cfg.bank_bytes_per_cycle - 1) / cfg.bank_bytes_per_cycle;
+    const Cycle data_ready = now + cfg.t_rcd + cfg.t_cl + burst;
+    busy_until_ = data_ready + cfg.t_rp;
+    ++accesses_;
+    return data_ready;
+  }
+
+  /// Hold the bank busy through `until` (refresh or maintenance).
+  void occupy_until(Cycle until) {
+    if (until > busy_until_) busy_until_ = until;
+  }
+
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  Cycle busy_until_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace pacsim

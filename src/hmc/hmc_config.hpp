@@ -1,0 +1,48 @@
+// Structural and timing configuration of the simulated HMC device.
+//
+// Timing values are CPU cycles at the 2 GHz reference clock of Table 1
+// (0.5 ns / cycle). Defaults are chosen so that the average loaded access
+// latency lands near the 93 ns the paper reports for its HMC-Sim setup.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/address_map.hpp"
+
+namespace pacsim {
+
+struct HmcConfig {
+  AddressMapConfig map;       ///< 32 vaults x 16 banks, 256 B rows, 8 GB
+
+  std::uint32_t num_links = 4;
+  std::uint32_t cycles_per_flit = 2;   ///< SERDES serialization per 16 B FLIT
+  std::uint32_t xbar_local_cycles = 10;  ///< link -> quadrant-local vault
+  std::uint32_t xbar_remote_cycles = 30; ///< link -> remote-quadrant vault
+  std::uint32_t vault_dispatch_cycles = 2;
+
+  // Closed-page DRAM timing (paper section 2.2.2: every access opens and
+  // closes its row). Calibrated so the loaded average access latency lands
+  // near the 93 ns of paper Table 1.
+  std::uint32_t t_rcd = 34;  ///< activate to column command (17 ns)
+  std::uint32_t t_cl = 34;   ///< column access latency (17 ns)
+  std::uint32_t t_rp = 30;   ///< precharge (15 ns)
+  std::uint32_t bank_bytes_per_cycle = 32;  ///< TSV burst bandwidth
+
+  std::uint32_t max_outstanding = 256;  ///< device-side admission limit
+
+  // Refresh: vaults are refreshed in rotation; all banks of the selected
+  // vault are busy for t_rfc. With 32 vaults and the default spacing every
+  // vault is refreshed every 32 * t_refi cycles (= 8 us at 2 GHz).
+  bool enable_refresh = true;
+  std::uint32_t t_refi = 500;  ///< cycles between per-vault refresh slots
+  std::uint32_t t_rfc = 280;   ///< refresh cycle time (140 ns)
+
+  /// Vaults are partitioned into quadrants; a link is local to the vaults of
+  /// its own quadrant (HMC 2.1 quadrant organization).
+  [[nodiscard]] bool is_local(std::uint32_t link, std::uint32_t vault) const {
+    const std::uint32_t vaults_per_link = map.num_vaults / num_links;
+    return vault / vaults_per_link == link;
+  }
+};
+
+}  // namespace pacsim

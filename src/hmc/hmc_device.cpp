@@ -1,0 +1,216 @@
+#include "hmc/hmc_device.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+#include "mem/packet.hpp"
+
+namespace pacsim {
+
+HmcDevice::HmcDevice(const HmcConfig& cfg, PowerModel* power)
+    : cfg_(cfg), map_(cfg.map), power_(power), next_refresh_(cfg.t_refi) {
+  link_req_busy_.assign(cfg_.num_links, 0);
+  link_rsp_busy_.assign(cfg_.num_links, 0);
+  banks_.resize(cfg_.map.num_vaults);
+  for (auto& vault : banks_) vault.resize(cfg_.map.banks_per_vault);
+  vault_queue_.resize(cfg_.map.num_vaults);
+}
+
+void HmcDevice::schedule(Cycle cycle, EventKind kind, RowTxn* txn,
+                         Request* request) {
+  events_.push(Event{cycle, next_seq_++, kind, txn, request});
+}
+
+void HmcDevice::submit(DeviceRequest req, Cycle now) {
+  assert(can_accept());
+  ++outstanding_;
+  ++stats_.requests;
+  stats_.payload_bytes += req.bytes;
+
+  auto request = std::make_unique<Request>();
+  request->req = std::move(req);
+  request->link = rr_link_++ % cfg_.num_links;  // round-robin link dispatch
+  request->submit_cycle = now;
+
+  const DeviceRequest& r = request->req;
+  const std::uint32_t req_flits = request_flits(r.bytes, r.store);
+  stats_.request_flits += req_flits;
+
+  // Serialize the full request packet onto the chosen SERDES link.
+  const Cycle ser_start = std::max(now, link_req_busy_[request->link]);
+  const Cycle ser_end = ser_start + Cycle{req_flits} * cfg_.cycles_per_flit;
+  link_req_busy_[request->link] = ser_end;
+
+  // Decompose into per-row accesses (one row for every HMC-sized request;
+  // several for HBM-style wide requests).
+  const std::uint32_t row_bytes = cfg_.map.row_bytes;
+  Addr cursor = r.base;
+  const Addr end = r.base + r.bytes;
+  while (cursor < end) {
+    const Addr row_end = (cursor | (row_bytes - 1)) + 1;
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(std::min<Addr>(row_end, end) - cursor);
+
+    auto txn = std::make_unique<RowTxn>();
+    txn->parent = request.get();
+    txn->loc = map_.decode(cursor);
+    txn->payload = payload;
+    txn->local = cfg_.is_local(request->link, txn->loc.vault);
+
+    // Request-direction routing cost and energy for this row's share.
+    const std::uint32_t route_flits =
+        1 + (r.store ? static_cast<std::uint32_t>(
+                           ceil_div(payload, kFlitBytes))
+                     : 0);
+    if (txn->local) {
+      ++stats_.local_routes;
+    } else {
+      ++stats_.remote_routes;
+    }
+    power_->add_link_packet(txn->local, route_flits);
+
+    const Cycle xbar =
+        txn->local ? cfg_.xbar_local_cycles : cfg_.xbar_remote_cycles;
+    schedule(ser_end + xbar, EventKind::kVaultArrive, txn.get(), request.get());
+
+    ++request->pending_rows;
+    request->rows.push_back(std::move(txn));
+    cursor = row_end;
+  }
+
+  auto [it, inserted] = inflight_.try_emplace(r.id, std::move(request));
+  assert(inserted && "duplicate DeviceRequest id");
+  (void)it;
+}
+
+void HmcDevice::tick(Cycle now) {
+  // Rotating per-vault refresh (closed-page DRAM still refreshes).
+  if (cfg_.enable_refresh && now >= next_refresh_) {
+    const std::uint32_t vault = refresh_vault_++ % cfg_.map.num_vaults;
+    for (Bank& bank : banks_[vault]) {
+      bank.occupy_until(now + cfg_.t_rfc);
+      power_->add(HmcOp::kDramRefresh, 1.0);
+    }
+    ++stats_.refreshes;
+    next_refresh_ = now + cfg_.t_refi;
+  }
+
+  // Deliver every event due at or before `now`.
+  while (!events_.empty() && events_.top().cycle <= now) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.kind) {
+      case EventKind::kVaultArrive: {
+        ev.txn->vault_enqueue = ev.cycle;
+        vault_queue_[ev.txn->loc.vault].push_back(ev.txn);
+        active_vaults_ |= (std::uint64_t{1} << ev.txn->loc.vault);
+        break;
+      }
+      case EventKind::kDataReady:
+        on_data_ready(*ev.txn, ev.cycle);
+        break;
+      case EventKind::kComplete: {
+        Request& request = *ev.request;
+        completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
+                                            request.req.raw_ids});
+        stats_.access_latency.add(
+            static_cast<double>(ev.cycle - request.submit_cycle));
+        --outstanding_;
+        inflight_.erase(request.req.id);
+        break;
+      }
+    }
+  }
+
+  // Each vault controller attempts one dispatch per cycle (FIFO order:
+  // head-of-line blocking is exactly the bank-conflict cost PAC removes).
+  std::uint64_t mask = active_vaults_;
+  while (mask != 0) {
+    const std::uint32_t vault =
+        static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    vault_dispatch(vault, now);
+  }
+}
+
+void HmcDevice::vault_dispatch(std::uint32_t vault, Cycle now) {
+  auto& queue = vault_queue_[vault];
+  if (queue.empty()) {
+    active_vaults_ &= ~(std::uint64_t{1} << vault);
+    return;
+  }
+  RowTxn* txn = queue.front();
+  Bank& bank = banks_[vault][txn->loc.bank];
+  if (bank.busy(now)) {
+    if (!txn->conflict_counted) {
+      ++stats_.bank_conflicts;
+      txn->conflict_counted = true;
+    }
+    ++stats_.conflict_wait_cycles;
+    return;  // head-of-line: retry next cycle
+  }
+
+  queue.pop_front();
+  if (queue.empty()) active_vaults_ &= ~(std::uint64_t{1} << vault);
+
+  // Request-slot occupancy and controller energy.
+  const Cycle waited = now - txn->vault_enqueue;
+  power_->add(HmcOp::kVaultRqstSlot, static_cast<double>(waited + 1));
+  power_->add(HmcOp::kVaultCtrl, 1.0);
+  power_->add_ctrl_wait(static_cast<double>(waited));
+
+  const Cycle dispatch_done = now + cfg_.vault_dispatch_cycles;
+  const Cycle data_ready = bank.start_access(dispatch_done, txn->payload, cfg_);
+  ++stats_.row_accesses;
+  power_->add(HmcOp::kDramAccess, 1.0);
+  power_->add(HmcOp::kDramData, static_cast<double>(txn->payload));
+  schedule(data_ready, EventKind::kDataReady, txn, txn->parent);
+}
+
+void HmcDevice::on_data_ready(RowTxn& txn, Cycle now) {
+  txn.data_ready = now;
+  Request& request = *txn.parent;
+  assert(request.pending_rows > 0);
+  if (--request.pending_rows == 0) finish_request(request, now);
+}
+
+void HmcDevice::finish_request(Request& request, Cycle now) {
+  const DeviceRequest& r = request.req;
+  const std::uint32_t rsp_flits = response_flits(r.bytes, r.store);
+  stats_.response_flits += rsp_flits;
+
+  // Response-direction routing energy, charged per row share.
+  Cycle xbar_back = cfg_.xbar_local_cycles;
+  for (const auto& row : request.rows) {
+    const std::uint32_t route_flits =
+        1 + (r.store ? 0
+                     : static_cast<std::uint32_t>(
+                           ceil_div(row->payload, kFlitBytes)));
+    power_->add_link_packet(row->local, route_flits);
+    if (!row->local) xbar_back = cfg_.xbar_remote_cycles;
+  }
+
+  const Cycle ser_start =
+      std::max(now + xbar_back, link_rsp_busy_[request.link]);
+  const Cycle ser_end = ser_start + Cycle{rsp_flits} * cfg_.cycles_per_flit;
+  link_rsp_busy_[request.link] = ser_end;
+
+  // Response-slot occupancy: each row's data waits in the vault response
+  // slots until the response packet starts serializing.
+  for (const auto& row : request.rows) {
+    const Cycle held = ser_start > row->data_ready
+                           ? ser_start - row->data_ready
+                           : Cycle{1};
+    power_->add(HmcOp::kVaultRspSlot, static_cast<double>(held));
+  }
+
+  schedule(ser_end, EventKind::kComplete, nullptr, &request);
+}
+
+std::vector<DeviceResponse> HmcDevice::drain_completed() {
+  return std::exchange(completed_, {});
+}
+
+}  // namespace pacsim

@@ -1,0 +1,120 @@
+// Cycle-approximate Hybrid Memory Cube device model.
+//
+// The model captures the HMC behaviours the PAC paper depends on:
+//   - packetized FLIT interface with per-transaction control overhead,
+//   - round-robin dispatch of requests over the SERDES links,
+//   - crossbar routing with distinct local/remote vault cost,
+//   - vault controllers with request/response slot occupancy,
+//   - closed-page DRAM banks (every access is a full row cycle),
+//   - event-based energy accounting (PowerModel).
+//
+// Requests wider than one DRAM row are decomposed into per-row accesses that
+// fan out across vaults (row interleave) and complete as a single response.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hmc/bank.hpp"
+#include "hmc/hmc_config.hpp"
+#include "hmc/hmc_stats.hpp"
+#include "hmc/power_model.hpp"
+#include "mem/address_map.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+class HmcDevice {
+ public:
+  HmcDevice(const HmcConfig& cfg, PowerModel* power);
+
+  /// True when the device can admit another request this cycle.
+  [[nodiscard]] bool can_accept() const {
+    return outstanding_ < cfg_.max_outstanding;
+  }
+
+  /// Admit a request at `now`. Pre: can_accept().
+  void submit(DeviceRequest req, Cycle now);
+
+  /// Advance device state to cycle `now` (monotonically increasing).
+  void tick(Cycle now);
+
+  /// Completed responses since the last drain.
+  std::vector<DeviceResponse> drain_completed();
+
+  [[nodiscard]] bool idle() const { return outstanding_ == 0; }
+  [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
+  [[nodiscard]] const HmcStats& stats() const { return stats_; }
+  [[nodiscard]] const HmcConfig& config() const { return cfg_; }
+  [[nodiscard]] const AddressMap& address_map() const { return map_; }
+
+ private:
+  struct Request;  // a device request in flight
+
+  /// One per-row DRAM access belonging to a Request.
+  struct RowTxn {
+    Request* parent = nullptr;
+    DramLocation loc;
+    std::uint32_t payload = 0;   ///< bytes of this request within the row
+    bool local = false;          ///< vault local to the ingress link
+    Cycle vault_enqueue = 0;
+    Cycle data_ready = 0;
+    bool conflict_counted = false;
+  };
+
+  struct Request {
+    DeviceRequest req;
+    std::uint32_t link = 0;
+    Cycle submit_cycle = 0;
+    std::uint32_t pending_rows = 0;
+    std::vector<std::unique_ptr<RowTxn>> rows;
+  };
+
+  enum class EventKind : std::uint8_t { kVaultArrive, kDataReady, kComplete };
+
+  struct Event {
+    Cycle cycle;
+    std::uint64_t seq;  ///< tie-break for determinism
+    EventKind kind;
+    RowTxn* txn;
+    Request* request;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.cycle != b.cycle ? a.cycle > b.cycle : a.seq > b.seq;
+    }
+  };
+
+  void schedule(Cycle cycle, EventKind kind, RowTxn* txn, Request* request);
+  void vault_dispatch(std::uint32_t vault, Cycle now);
+  void on_data_ready(RowTxn& txn, Cycle now);
+  void finish_request(Request& request, Cycle now);
+
+  HmcConfig cfg_;
+  AddressMap map_;
+  PowerModel* power_;
+  HmcStats stats_;
+
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t rr_link_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Cycle next_refresh_ = 0;
+  std::uint32_t refresh_vault_ = 0;
+
+  std::vector<Cycle> link_req_busy_;  ///< per-link request-side serialization
+  std::vector<Cycle> link_rsp_busy_;  ///< per-link response-side serialization
+  std::vector<std::vector<Bank>> banks_;           ///< [vault][bank]
+  std::vector<std::deque<RowTxn*>> vault_queue_;   ///< request slots
+  std::uint64_t active_vaults_ = 0;                ///< bitmask of non-empty queues
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Request>> inflight_;
+  std::vector<DeviceResponse> completed_;
+};
+
+}  // namespace pacsim

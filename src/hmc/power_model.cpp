@@ -1,0 +1,27 @@
+#include "hmc/power_model.hpp"
+
+namespace pacsim {
+
+void PowerModel::add(HmcOp op, double quantity) {
+  PicoJoule unit = 0.0;
+  switch (op) {
+    case HmcOp::kVaultRqstSlot: unit = cfg_.vault_rqst_slot_cycle; break;
+    case HmcOp::kVaultRspSlot: unit = cfg_.vault_rsp_slot_cycle; break;
+    case HmcOp::kVaultCtrl: unit = cfg_.vault_ctrl_request; break;
+    case HmcOp::kLinkLocalRoute: unit = cfg_.link_packet_local; break;
+    case HmcOp::kLinkRemoteRoute: unit = cfg_.link_packet_remote; break;
+    case HmcOp::kDramAccess: unit = cfg_.dram_access; break;
+    case HmcOp::kDramData: unit = cfg_.dram_byte; break;
+    case HmcOp::kDramRefresh: unit = cfg_.dram_refresh_bank; break;
+    case HmcOp::kCount: return;
+  }
+  energy_[static_cast<std::size_t>(op)] += unit * quantity;
+}
+
+PicoJoule PowerModel::total() const {
+  PicoJoule sum = 0.0;
+  for (PicoJoule e : energy_) sum += e;
+  return sum;
+}
+
+}  // namespace pacsim

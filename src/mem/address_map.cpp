@@ -1,0 +1,36 @@
+#include "mem/address_map.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+AddressMap::AddressMap(const AddressMapConfig& cfg) : cfg_(cfg) {
+  assert(is_pow2(cfg_.row_bytes));
+  assert(is_pow2(cfg_.num_vaults));
+  assert(is_pow2(cfg_.banks_per_vault));
+  assert(is_pow2(cfg_.capacity_bytes));
+  row_shift_ = log2_exact(cfg_.row_bytes);
+  vault_shift_ = log2_exact(cfg_.num_vaults);
+  bank_shift_ = log2_exact(cfg_.banks_per_vault);
+  rows_per_bank_ = cfg_.capacity_bytes >> (row_shift_ + vault_shift_ + bank_shift_);
+}
+
+DramLocation AddressMap::decode(Addr a) const {
+  a &= cfg_.capacity_bytes - 1;  // wrap into the device
+  const std::uint64_t row_index = a >> row_shift_;
+  DramLocation loc;
+  loc.vault = static_cast<std::uint32_t>(row_index & (cfg_.num_vaults - 1));
+  loc.bank = static_cast<std::uint32_t>((row_index >> vault_shift_) &
+                                        (cfg_.banks_per_vault - 1));
+  loc.row = row_index >> (vault_shift_ + bank_shift_);
+  return loc;
+}
+
+Addr AddressMap::encode(const DramLocation& loc) const {
+  const std::uint64_t row_index =
+      (loc.row << (vault_shift_ + bank_shift_)) |
+      (static_cast<std::uint64_t>(loc.bank) << vault_shift_) | loc.vault;
+  return row_index << row_shift_;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,58 @@
+// Physical address -> (vault, bank, row) decomposition for the HMC device.
+//
+// HMC interleaves consecutive 256 B DRAM rows across vaults first, then
+// across the banks within a vault (paper section 4.2: "HMC employs vault and
+// traditional bank interleaving ... to further reduce the potential for bank
+// conflicts").
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+
+struct AddressMapConfig {
+  std::uint32_t num_vaults = 32;
+  std::uint32_t banks_per_vault = 16;
+  std::uint32_t row_bytes = 256;           ///< HMC block (row) size
+  std::uint64_t capacity_bytes = 8ULL << 30;  ///< 8 GB device
+};
+
+/// Decoded location of an address inside the cube.
+struct DramLocation {
+  std::uint32_t vault = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+
+  friend bool operator==(const DramLocation&, const DramLocation&) = default;
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const AddressMapConfig& cfg);
+
+  [[nodiscard]] DramLocation decode(Addr a) const;
+  /// Inverse of decode for the row base address (offset zero).
+  [[nodiscard]] Addr encode(const DramLocation& loc) const;
+
+  [[nodiscard]] std::uint32_t num_vaults() const { return cfg_.num_vaults; }
+  [[nodiscard]] std::uint32_t banks_per_vault() const {
+    return cfg_.banks_per_vault;
+  }
+  [[nodiscard]] std::uint32_t row_bytes() const { return cfg_.row_bytes; }
+  [[nodiscard]] std::uint64_t rows_per_bank() const { return rows_per_bank_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return cfg_.capacity_bytes;
+  }
+
+ private:
+  AddressMapConfig cfg_;
+  unsigned row_shift_;
+  unsigned vault_shift_;
+  unsigned bank_shift_;
+  std::uint64_t rows_per_bank_;
+};
+
+}  // namespace pacsim

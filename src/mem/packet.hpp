@@ -1,0 +1,55 @@
+// FLIT math for the packetized HMC interface (HMC 2.1 spec behaviours).
+//
+// Every HMC transaction consists of a request packet and a response packet,
+// each carrying a 16 B control message (one FLIT of header+tail). A read
+// request is a single control FLIT; the data rides in the response. A write
+// carries its payload in the request and receives a single-FLIT response.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+
+namespace pacsim {
+
+inline constexpr std::uint32_t kFlitBytes = 16;
+/// Control overhead per HMC transaction: 16 B in the request packet plus
+/// 16 B in the response packet (paper section 5.3.2).
+inline constexpr std::uint32_t kControlBytesPerTransaction = 32;
+
+/// FLITs in the request packet.
+constexpr std::uint32_t request_flits(std::uint32_t payload_bytes, bool store) {
+  const std::uint32_t data =
+      store ? static_cast<std::uint32_t>(ceil_div(payload_bytes, kFlitBytes))
+            : 0;
+  return 1 + data;  // 1 control FLIT + data FLITs
+}
+
+/// FLITs in the response packet.
+constexpr std::uint32_t response_flits(std::uint32_t payload_bytes, bool store) {
+  const std::uint32_t data =
+      store ? 0
+            : static_cast<std::uint32_t>(ceil_div(payload_bytes, kFlitBytes));
+  return 1 + data;
+}
+
+/// Total bytes moved on the links for one transaction (both directions).
+constexpr std::uint32_t transaction_bytes(std::uint32_t payload_bytes,
+                                          bool store) {
+  return (request_flits(payload_bytes, store) +
+          response_flits(payload_bytes, store)) *
+         kFlitBytes;
+}
+
+/// Transaction efficiency as defined by paper Eq. (2):
+///   payload / (payload + control overhead).
+constexpr double transaction_efficiency(std::uint64_t payload_bytes,
+                                        std::uint64_t transactions) {
+  const std::uint64_t total =
+      payload_bytes + transactions * kControlBytesPerTransaction;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(payload_bytes) / static_cast<double>(total);
+}
+
+}  // namespace pacsim

@@ -1,0 +1,32 @@
+#include "mem/page_table.hpp"
+
+#include <stdexcept>
+
+namespace pacsim {
+
+PageTable::PageTable(std::uint64_t phys_pages, std::uint64_t seed) {
+  frames_.resize(phys_pages);
+  for (std::uint64_t i = 0; i < phys_pages; ++i) frames_[i] = i;
+  // Fisher-Yates with the deterministic xoshiro stream.
+  Rng rng(seed);
+  for (std::uint64_t i = phys_pages; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    std::swap(frames_[i - 1], frames_[j]);
+  }
+}
+
+Addr PageTable::translate(std::uint8_t process, Addr vaddr) {
+  const std::uint64_t vpn = page_number(vaddr);
+  // Processes get disjoint key spaces; 2^48 pages per process is ample.
+  const std::uint64_t key = (static_cast<std::uint64_t>(process) << 48) | vpn;
+  auto [it, inserted] = map_.try_emplace(key, 0);
+  if (inserted) {
+    if (next_free_ >= frames_.size()) {
+      throw std::runtime_error("PageTable: out of physical frames");
+    }
+    it->second = frames_[next_free_++];
+  }
+  return (it->second << kPageShift) | page_offset(vaddr);
+}
+
+}  // namespace pacsim

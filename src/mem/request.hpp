@@ -1,0 +1,50 @@
+// Memory request types exchanged between the LLC, the coalescers, and the
+// 3D-stacked memory device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pacsim {
+
+/// A raw request as flushed from the last-level cache: a 64 B cache-block
+/// miss, a write-back, an atomic, or a fence marker.
+struct MemRequest {
+  std::uint64_t id = 0;     ///< unique per simulation
+  Addr paddr = 0;           ///< physical address (block-aligned for misses)
+  std::uint32_t bytes = kCacheBlockSize;  ///< data size requested by the CPU
+  MemOp op = MemOp::kLoad;
+  std::uint8_t core = 0;    ///< originating core
+  std::uint8_t process = 0; ///< owning process (multiprocessing experiments)
+  Cycle created_at = 0;     ///< cycle the request left the LLC
+
+  [[nodiscard]] Addr ppn() const { return page_number(paddr); }
+  [[nodiscard]] unsigned block() const { return block_in_page(paddr); }
+  [[nodiscard]] bool is_store() const { return op == MemOp::kStore; }
+};
+
+/// A (possibly coalesced) request as dispatched to the memory device.
+/// `raw_ids` lists every raw MemRequest serviced by this packet, which is
+/// what lets tests assert conservation (each raw id serviced exactly once).
+struct DeviceRequest {
+  std::uint64_t id = 0;
+  Addr base = 0;            ///< base physical address, granule-aligned
+  std::uint32_t bytes = 0;  ///< payload size (64..256 B for HMC 2.1)
+  bool store = false;
+  bool atomic = false;
+  std::vector<std::uint64_t> raw_ids;
+  Cycle created_at = 0;     ///< cycle the device request was assembled
+
+  [[nodiscard]] Addr ppn() const { return page_number(base); }
+};
+
+/// Completion record returned by the memory device.
+struct DeviceResponse {
+  std::uint64_t request_id = 0;
+  Cycle completed_at = 0;
+  std::vector<std::uint64_t> raw_ids;
+};
+
+}  // namespace pacsim

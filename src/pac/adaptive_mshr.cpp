@@ -1,0 +1,83 @@
+#include "pac/adaptive_mshr.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+AdaptiveMshrFile::AdaptiveMshrFile(const PacConfig& cfg) : cfg_(cfg) {
+  entries_.resize(cfg_.num_mshrs);
+}
+
+bool AdaptiveMshrFile::try_merge_into(AdaptiveMshrEntry& entry,
+                                      const DeviceRequest& req) {
+  if (!entry.valid) return false;
+  if (entry.store || entry.atomic || req.store || req.atomic) return false;
+  if (req.base < entry.base ||
+      req.base + req.bytes > entry.base + entry.bytes) {
+    return false;
+  }
+  for (std::uint64_t raw : req.raw_ids) {
+    entry.subentries.push_back(MshrSubentry{
+        raw, subentry_index(entry.base, req.base, cfg_.protocol.granule)});
+  }
+  return true;
+}
+
+bool AdaptiveMshrFile::try_merge(const DeviceRequest& req,
+                                 std::uint64_t* comparisons) {
+  // The OP bit is compared together with the address (section 3.1.3), so a
+  // single comparator pass over the occupied entries covers both.
+  for (auto& entry : entries_) {
+    if (!entry.valid) continue;
+    ++*comparisons;
+    if (try_merge_into(entry, req)) return true;
+  }
+  return false;
+}
+
+AdaptiveMshrEntry& AdaptiveMshrFile::allocate(const DeviceRequest& req) {
+  assert(has_free());
+  for (auto& entry : entries_) {
+    if (entry.valid) continue;
+    entry.valid = true;
+    entry.base = req.base;
+    entry.bytes = req.bytes;
+    entry.store = req.store;
+    entry.atomic = req.atomic;
+    entry.dispatched = false;
+    entry.device_request_id = req.id;
+    entry.subentries.clear();
+    for (std::uint64_t raw : req.raw_ids) {
+      entry.subentries.push_back(MshrSubentry{raw, 0});
+    }
+    ++occupied_;
+    return entry;
+  }
+  assert(false && "has_free() lied");
+  return entries_.front();
+}
+
+std::vector<std::uint64_t> AdaptiveMshrFile::on_response(
+    std::uint64_t device_request_id) {
+  for (auto& entry : entries_) {
+    if (!entry.valid || entry.device_request_id != device_request_id) continue;
+    std::vector<std::uint64_t> raws;
+    raws.reserve(entry.subentries.size());
+    for (const MshrSubentry& sub : entry.subentries) raws.push_back(sub.raw_id);
+    entry.valid = false;
+    entry.subentries.clear();
+    --occupied_;
+    return raws;
+  }
+  return {};
+}
+
+std::vector<AdaptiveMshrEntry*> AdaptiveMshrFile::undispatched() {
+  std::vector<AdaptiveMshrEntry*> out;
+  for (auto& entry : entries_) {
+    if (entry.valid && !entry.dispatched) out.push_back(&entry);
+  }
+  return out;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,89 @@
+// Adaptive MSHRs, paper section 3.1.3.
+//
+// Standard MSHRs extended two ways: (1) subentries carry a 2-bit block
+// index so one entry can track misses to blocks N..N+3 of a wide coalesced
+// request, and (2) an OP bit distinguishes loads from stores so the type
+// comparison rides along with the address comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+#include "pac/pac_config.hpp"
+
+namespace pacsim {
+
+/// A subentry: one raw miss attached to an entry, with its block index.
+struct MshrSubentry {
+  std::uint64_t raw_id = 0;
+  std::uint8_t block_index = 0;  ///< 2-bit index: block N+index of the entry
+};
+
+struct AdaptiveMshrEntry {
+  bool valid = false;
+  Addr base = 0;            ///< granule-aligned base of the wide request
+  std::uint32_t bytes = 0;
+  bool store = false;       ///< the OP bit
+  bool atomic = false;
+  bool dispatched = false;  ///< request already sent to the device
+  std::uint64_t device_request_id = 0;
+  std::vector<MshrSubentry> subentries;
+};
+
+/// Derive the 2-bit subentry index for a raw address within an entry.
+inline std::uint8_t subentry_index(Addr entry_base, Addr raw_addr,
+                                   std::uint32_t granule) {
+  return static_cast<std::uint8_t>((raw_addr - entry_base) / granule);
+}
+
+class AdaptiveMshrFile {
+ public:
+  explicit AdaptiveMshrFile(const PacConfig& cfg);
+
+  /// Try to absorb `req` into an in-flight entry covering the same blocks
+  /// (secondary coalescing; loads only - a store needs its own packet).
+  /// Increments `comparisons` by the number of occupied entries examined.
+  bool try_merge(const DeviceRequest& req, std::uint64_t* comparisons);
+
+  /// Targeted variant: compare `req` against one specific entry (used when
+  /// a newly allocated entry is checked against the waiting MAQ slots).
+  bool try_merge_into(AdaptiveMshrEntry& entry, const DeviceRequest& req);
+
+  /// Kroft check at coalescer entry: like try_merge but not billed to the
+  /// comparison statistic (both designs perform this MSHR lookup).
+  bool try_attach(const DeviceRequest& req) {
+    for (auto& entry : entries_) {
+      if (entry.valid && try_merge_into(entry, req)) return true;
+    }
+    return false;
+  }
+
+  /// Allocate a new entry for `req`. Pre: has_free().
+  AdaptiveMshrEntry& allocate(const DeviceRequest& req);
+
+  /// Release the entry owning `device_request_id`; returns the raw ids its
+  /// subentries were waiting on. Entry may be absent (e.g. zero-subentry
+  /// overfetch pieces): returns empty in that case.
+  std::vector<std::uint64_t> on_response(std::uint64_t device_request_id);
+
+  [[nodiscard]] bool has_free() const { return occupied_ < entries_.size(); }
+  [[nodiscard]] bool all_occupied() const {
+    return occupied_ == entries_.size();
+  }
+  [[nodiscard]] unsigned occupied() const { return occupied_; }
+  [[nodiscard]] bool empty() const { return occupied_ == 0; }
+  [[nodiscard]] const std::vector<AdaptiveMshrEntry>& entries() const {
+    return entries_;
+  }
+  /// Entries allocated but not yet dispatched to the device.
+  std::vector<AdaptiveMshrEntry*> undispatched();
+
+ private:
+  PacConfig cfg_;
+  std::vector<AdaptiveMshrEntry> entries_;
+  unsigned occupied_ = 0;
+};
+
+}  // namespace pacsim

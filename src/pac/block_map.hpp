@@ -1,0 +1,53 @@
+// The block-map: one bit per coalescing block inside a 4 KB physical page
+// (paper Fig. 5(a)). 64 bits suffice for the default 64 B granule; the
+// fine-grained 16 B granule needs 256 bits, so the map is a fixed array of
+// four words with only `blocks` bits active.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitops.hpp"
+
+namespace pacsim {
+
+class BlockMap {
+ public:
+  static constexpr unsigned kMaxBlocks = 256;
+
+  void set(unsigned block) {
+    words_[block >> 6] |= (std::uint64_t{1} << (block & 63));
+  }
+  [[nodiscard]] bool test(unsigned block) const {
+    return (words_[block >> 6] >> (block & 63)) & 1;
+  }
+  [[nodiscard]] bool any() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) != 0;
+  }
+  [[nodiscard]] unsigned count() const {
+    unsigned n = 0;
+    for (std::uint64_t w : words_) n += popcount64(w);
+    return n;
+  }
+
+  /// Extract chunk `index` of `width` bits (width <= 16, chunks are aligned,
+  /// so a chunk never straddles a word boundary for the supported widths).
+  [[nodiscard]] std::uint16_t chunk(unsigned index, unsigned width) const {
+    const unsigned bit = index * width;
+    const std::uint64_t word = words_[bit >> 6];
+    const std::uint64_t mask = (width >= 64) ? ~std::uint64_t{0}
+                                             : (std::uint64_t{1} << width) - 1;
+    return static_cast<std::uint16_t>((word >> (bit & 63)) & mask);
+  }
+
+  void clear() { words_.fill(0); }
+
+  [[nodiscard]] std::uint64_t word(unsigned i) const { return words_[i]; }
+
+  friend bool operator==(const BlockMap&, const BlockMap&) = default;
+
+ private:
+  std::array<std::uint64_t, kMaxBlocks / 64> words_{};
+};
+
+}  // namespace pacsim

@@ -1,0 +1,80 @@
+#include "pac/blockmap_decoder.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+BlockMapDecoder::BlockMapDecoder(const PacConfig& cfg, PacStats* stats)
+    : cfg_(cfg), stats_(stats) {}
+
+void BlockMapDecoder::accept(CoalescingStream stream, Cycle now) {
+  assert(can_accept());
+  decode_done_ = now + cfg_.decode_cycles;
+  pending_.clear();
+  next_write_ = 0;
+
+  const unsigned width = cfg_.protocol.chunk_blocks();
+  for (unsigned c = 0; c < cfg_.protocol.chunks_per_page(); ++c) {
+    const std::uint16_t bits = stream.map.chunk(c, width);
+    if (bits == 0) continue;
+    BlockSequence seq;
+    seq.ppn = stream.ppn;
+    seq.store = stream.store;
+    seq.chunk_index = static_cast<std::uint16_t>(c);
+    seq.bits = bits;
+    const unsigned chunk_lo = c * width;
+    const unsigned chunk_hi = chunk_lo + width - 1;
+    for (const RawRef& raw : stream.raws) {
+      // A raw reference is owned by the chunk holding its first block, so
+      // every raw id lands in exactly one downstream device request.
+      if (raw.first_block >= chunk_lo && raw.first_block <= chunk_hi) {
+        seq.raws.push_back(raw);
+      }
+    }
+    pending_.push_back(std::move(seq));
+  }
+  current_ = std::move(stream);
+}
+
+bool BlockMapDecoder::try_attach(Addr ppn, bool store, unsigned first_block,
+                                 unsigned last_block, std::uint64_t raw_id) {
+  if (!current_.has_value()) return false;
+  const unsigned width = cfg_.protocol.chunk_blocks();
+  for (std::size_t i = next_write_; i < pending_.size(); ++i) {
+    BlockSequence& seq = pending_[i];
+    if (seq.ppn != ppn || seq.store != store) continue;
+    const unsigned chunk_lo = seq.chunk_index * width;
+    if (first_block < chunk_lo || last_block >= chunk_lo + width) continue;
+    bool covered = true;
+    for (unsigned b = first_block; b <= last_block && covered; ++b) {
+      covered = (seq.bits >> (b - chunk_lo)) & 1;
+    }
+    if (!covered) continue;
+    seq.raws.push_back(RawRef{static_cast<std::uint16_t>(first_block),
+                              static_cast<std::uint16_t>(last_block), raw_id});
+    return true;
+  }
+  return false;
+}
+
+void BlockMapDecoder::tick(Cycle now, FixedQueue<BlockSequence>& out) {
+  if (!current_.has_value() || now < decode_done_) return;
+  // Sequential writes over the shared data bus: one chunk per cycle.
+  if (next_write_ < pending_.size()) {
+    if (out.full()) return;  // buffer back-pressure stalls stage 2
+    BlockSequence seq = std::move(pending_[next_write_]);
+    seq.buffered_at = now;
+    const bool ok = out.push(std::move(seq));
+    assert(ok);
+    (void)ok;
+    ++next_write_;
+    if (next_write_ < pending_.size()) return;
+  }
+  // All chunks written: stage-2 latency is flush -> last buffer write.
+  stats_->stage2_latency.add(static_cast<double>(now - current_->flushed_at));
+  current_.reset();
+  pending_.clear();
+  next_write_ = 0;
+}
+
+}  // namespace pacsim

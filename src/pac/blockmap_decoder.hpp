@@ -1,0 +1,50 @@
+// Stage 2: the block-map decoder, paper section 3.3.2.
+//
+// Partitions a flushed stream's block-map into chunk-width pieces (16 OR
+// gates check the chunks in parallel; 2 cycles: decode + store) and writes
+// the non-empty chunks sequentially into the shared block sequence buffer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "pac/coalescing_stream.hpp"
+#include "pac/pac_config.hpp"
+#include "pac/pac_stats.hpp"
+
+namespace pacsim {
+
+class BlockMapDecoder {
+ public:
+  BlockMapDecoder(const PacConfig& cfg, PacStats* stats);
+
+  /// True when a new stream can enter stage 2 this cycle.
+  [[nodiscard]] bool can_accept() const { return !current_.has_value(); }
+
+  /// Begin decoding `stream` at `now`. Pre: can_accept().
+  void accept(CoalescingStream stream, Cycle now);
+
+  /// Advance; writes at most one sequence per cycle into `out` (the shared
+  /// data bus of section 3.3.2). Stalls while `out` is full.
+  void tick(Cycle now, FixedQueue<BlockSequence>& out);
+
+  /// Associative duplicate check over the stage-2 registers: if the pending
+  /// sequences already cover blocks [first, last] of (ppn, store), attach
+  /// the raw id so it is serviced by the in-flight coalesced request.
+  bool try_attach(Addr ppn, bool store, unsigned first_block,
+                  unsigned last_block, std::uint64_t raw_id);
+
+  [[nodiscard]] bool idle() const { return !current_.has_value(); }
+
+ private:
+  PacConfig cfg_;
+  PacStats* stats_;
+  std::optional<CoalescingStream> current_;
+  Cycle decode_done_ = 0;            ///< cycle the parallel decode finishes
+  std::vector<BlockSequence> pending_;  ///< decoded, awaiting buffer writes
+  std::size_t next_write_ = 0;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,62 @@
+// Abstract interface shared by every coalescer the paper evaluates:
+// PAC, the conventional MSHR-based DMC, and the no-coalescing controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+/// Counters every coalescer reports; the evaluation metrics of sections
+/// 5.3.1-5.3.2 are all derived from these.
+struct CoalescerStats {
+  std::uint64_t raw_requests = 0;      ///< accepted from the LLC path
+  std::uint64_t coalesced_away = 0;    ///< raw requests that did not become
+                                       ///< their own device request
+  std::uint64_t issued_requests = 0;   ///< device requests dispatched
+  std::uint64_t issued_payload_bytes = 0;
+  std::uint64_t comparisons = 0;       ///< comparator operations performed
+  std::uint64_t atomics = 0;
+  std::uint64_t fences = 0;
+  Histogram request_size_bytes;        ///< distribution of issued sizes
+
+  /// Paper Eq. (1): reduced requests / total requests.
+  [[nodiscard]] double coalescing_efficiency() const {
+    return raw_requests == 0
+               ? 0.0
+               : static_cast<double>(coalesced_away) /
+                     static_cast<double>(raw_requests);
+  }
+};
+
+/// A coalescer sits between the LLC miss/write-back queues and the memory
+/// device. The system feeds it raw requests, ticks it, and delivers device
+/// responses back; the coalescer reports which raw requests are satisfied.
+class Coalescer {
+ public:
+  virtual ~Coalescer() = default;
+
+  /// Offer one raw request. Returns false when the coalescer cannot accept
+  /// this cycle (back-pressure: the LLC stays blocked).
+  virtual bool accept(const MemRequest& request, Cycle now) = 0;
+
+  /// Advance internal pipelines; may submit device requests.
+  virtual void tick(Cycle now) = 0;
+
+  /// Deliver a completed device response.
+  virtual void complete(const DeviceResponse& response, Cycle now) = 0;
+
+  /// Raw request ids satisfied since the last drain.
+  virtual std::vector<std::uint64_t> drain_satisfied() = 0;
+
+  /// True when no raw request is buffered anywhere inside the coalescer.
+  [[nodiscard]] virtual bool idle() const = 0;
+
+  [[nodiscard]] virtual const CoalescerStats& stats() const = 0;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,58 @@
+// One coalescing stream: the stage-1 aggregation state for a single
+// (physical page, request type) pair. Paper Fig. 4 / Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pac/block_map.hpp"
+
+namespace pacsim {
+
+/// A raw request recorded in a stream: which coalescing block it touched.
+struct RawRef {
+  std::uint16_t first_block = 0;  ///< first granule block covered
+  std::uint16_t last_block = 0;   ///< last granule block covered (inclusive)
+  std::uint64_t id = 0;           ///< raw MemRequest id
+};
+
+struct CoalescingStream {
+  bool valid = false;
+  Addr ppn = 0;        ///< physical page number tag
+  bool store = false;  ///< T bit (load = 0 / store = 1)
+  BlockMap map;        ///< block-map of requested granule blocks
+  std::uint32_t count = 0;     ///< raw requests merged so far
+  Cycle allocated_at = 0;      ///< for the timeout protocol
+  Cycle flushed_at = 0;        ///< set when the stream leaves stage 1
+  bool force_flush = false;    ///< fence encountered
+  std::vector<RawRef> raws;
+
+  /// C bit: streams with a single request bypass stages 2-3.
+  [[nodiscard]] bool coalescing() const { return count >= 2; }
+
+  void reset() {
+    valid = false;
+    store = false;
+    ppn = 0;
+    map.clear();
+    count = 0;
+    allocated_at = 0;
+    flushed_at = 0;
+    force_flush = false;
+    raws.clear();
+  }
+};
+
+/// One decoded block-sequence entry: a non-empty chunk of the block-map
+/// headed to the request assembler.
+struct BlockSequence {
+  Addr ppn = 0;
+  bool store = false;
+  std::uint16_t chunk_index = 0;  ///< which chunk of the page
+  std::uint16_t bits = 0;         ///< the chunk's bit pattern
+  Cycle buffered_at = 0;          ///< entered the block sequence buffer
+  std::vector<RawRef> raws;       ///< raw requests covered by this chunk
+};
+
+}  // namespace pacsim

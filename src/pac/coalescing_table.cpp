@@ -1,0 +1,63 @@
+#include "pac/coalescing_table.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+CoalescingTable::CoalescingTable(const CoalescingProtocol& protocol)
+    : protocol_(protocol), width_(protocol.chunk_blocks()) {
+  assert(width_ >= 1 && width_ <= 16);
+  for (std::uint16_t pattern = 0; pattern < 16; ++pattern) {
+    nibble_lut_[pattern] = bit_runs(pattern, 4);
+  }
+}
+
+void CoalescingTable::append_run(std::vector<Segment>& out, Segment run) const {
+  if (!protocol_.pow2_sizes_only) {
+    out.push_back(run);
+    return;
+  }
+  // Largest power-of-two pieces first, e.g. a 3-block run becomes 2+1.
+  while (run.length > 0) {
+    unsigned piece = 1;
+    while (piece * 2 <= run.length) piece *= 2;
+    out.push_back(Segment{run.offset, piece});
+    run.offset += piece;
+    run.length -= piece;
+  }
+}
+
+std::vector<Segment> CoalescingTable::segments(std::uint16_t bits) const {
+  std::vector<Segment> out;
+  if (width_ <= 4) {
+    // Single LUT reference, exactly as in Fig. 5(b) stage 3.
+    for (const Segment& run : nibble_lut_[bits & ((1u << width_) - 1)]) {
+      append_run(out, run);
+    }
+    return out;
+  }
+
+  // Wide sequences: look up each nibble and append, merging runs that span
+  // nibble boundaries (paper section 4.1: "appending four 16-entry
+  // coalescing tables together").
+  Segment open{0, 0};  // run currently being merged across nibbles
+  bool has_open = false;
+  const std::uint32_t nibbles = lookups_per_sequence();
+  for (std::uint32_t n = 0; n < nibbles; ++n) {
+    const std::uint16_t nib = static_cast<std::uint16_t>((bits >> (4 * n)) & 0xF);
+    for (const Segment& run : nibble_lut_[nib]) {
+      const unsigned abs_offset = run.offset + 4 * n;
+      if (has_open && open.offset + open.length == abs_offset) {
+        open.length += run.length;  // continues across the boundary
+      } else {
+        if (has_open) append_run(out, open);
+        open = Segment{abs_offset, run.length};
+        has_open = true;
+      }
+    }
+  }
+  if (has_open) append_run(out, open);
+  return out;
+}
+
+}  // namespace pacsim

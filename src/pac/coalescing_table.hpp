@@ -1,0 +1,50 @@
+// The coalescing table: the look-up structure that stage 3 uses to turn a
+// block sequence into coalesced request segments (paper section 3.3.3).
+//
+// For HMC's 4-bit sequences the table is an exact 16-entry LUT. Wider
+// sequences (HBM rows, fine-grained mode) are handled the way section 4.1
+// describes: nibble-wise lookups whose results are appended, merging runs
+// that cross nibble boundaries — no change to the lookup logic itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "pac/protocol.hpp"
+
+namespace pacsim {
+
+/// One coalesced request inside a chunk: `offset` blocks from the chunk
+/// base, `length` contiguous blocks.
+using Segment = BitRun;
+
+class CoalescingTable {
+ public:
+  explicit CoalescingTable(const CoalescingProtocol& protocol);
+
+  /// Decompose a block-sequence `bits` (chunk of `chunk_blocks()` bits) into
+  /// coalesced segments. Offsets are relative to the chunk base.
+  [[nodiscard]] std::vector<Segment> segments(std::uint16_t bits) const;
+
+  /// Number of table look-ups a hardware implementation performs for one
+  /// sequence (1 for 4-bit chunks; one per nibble for wider chunks).
+  [[nodiscard]] std::uint32_t lookups_per_sequence() const {
+    return ceil_div(width_, 4);
+  }
+
+  [[nodiscard]] const CoalescingProtocol& protocol() const { return protocol_; }
+
+ private:
+  /// Split a run into power-of-two pieces when the protocol restricts
+  /// request sizes (64/128/256 B), largest-first.
+  void append_run(std::vector<Segment>& out, Segment run) const;
+
+  CoalescingProtocol protocol_;
+  std::uint32_t width_;  ///< chunk width in bits
+  /// The 16-entry nibble LUT (index = 4-bit layout, value = its runs).
+  std::array<std::vector<Segment>, 16> nibble_lut_;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,346 @@
+#include "pac/pac.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "mem/packet.hpp"
+
+namespace pacsim {
+
+Pac::Pac(const PacConfig& cfg, HmcDevice* device)
+    : cfg_(cfg),
+      device_(device),
+      table_(cfg.protocol),
+      aggregator_(cfg, &stats_),
+      decoder_(cfg, &stats_),
+      assembler_(cfg, &stats_, &table_, &next_device_id_),
+      seq_buffer_(cfg.seq_buffer_entries),
+      maq_(cfg.maq_entries),
+      mshrs_(cfg) {
+  maq_push_times_.assign(cfg.maq_entries == 0 ? 1 : cfg.maq_entries, 0);
+}
+
+bool Pac::network_empty() const {
+  return aggregator_.empty() && decoder_.idle() && seq_buffer_.empty() &&
+         assembler_.idle() && !pending_c0_.has_value();
+}
+
+bool Pac::idle() const {
+  return network_empty() && maq_.empty() && mshrs_.empty() &&
+         !fence_draining_;
+}
+
+DeviceRequest Pac::make_single_request(const CoalescingStream& stream,
+                                       Cycle now) {
+  assert(stream.count == 1);
+  const RawRef& raw = stream.raws.front();
+  DeviceRequest req;
+  req.id = next_device_id_++;
+  req.base = (stream.ppn << kPageShift) +
+             static_cast<Addr>(raw.first_block) * cfg_.protocol.granule;
+  req.bytes = (raw.last_block - raw.first_block + 1) * cfg_.protocol.granule;
+  req.store = stream.store;
+  req.created_at = now;
+  req.raw_ids.push_back(raw.id);
+  return req;
+}
+
+void Pac::submit_to_device(AdaptiveMshrEntry& entry, const DeviceRequest& req,
+                           Cycle now) {
+  device_->submit(req, now);
+  entry.dispatched = true;
+  ++stats_.base.issued_requests;
+  stats_.base.issued_payload_bytes += req.bytes;
+  stats_.base.request_size_bytes.add(req.bytes);
+}
+
+void Pac::allocate_and_dispatch(DeviceRequest req, Cycle now) {
+  AdaptiveMshrEntry& entry = mshrs_.allocate(req);
+  // Pending misses are flushed to the memory controller immediately once
+  // stored in the MSHRs (section 3.2); if the device is saturated the entry
+  // is retried each tick.
+  if (device_->can_accept()) submit_to_device(entry, req, now);
+  // A new entry is a new merge target for everything waiting in the MAQ.
+  sweep_maq_merges(entry);
+}
+
+bool Pac::emit(DeviceRequest&& request) {
+  // MSHR-side comparator work is not billed to the Fig. 7 statistic: that
+  // metric counts the coalescing-procedure comparisons, and an MSHR lookup
+  // exists identically in every miss-handling design.
+  std::uint64_t unbilled = 0;
+  if (cfg_.enable_secondary_coalescing && !request.atomic &&
+      mshrs_.try_merge(request, &unbilled)) {
+    ++stats_.mshr_merges;
+    stats_.base.coalesced_away += request.raw_ids.size();
+    return true;
+  }
+  if (maq_.full()) return false;  // leaves `request` intact for the caller
+  const bool ok = maq_.push(std::move(request));
+  assert(ok);
+  track_maq_push(last_tick_);
+  return ok;
+}
+
+void Pac::track_maq_push(Cycle now) {
+  const std::size_t ring = maq_push_times_.size();
+  const std::size_t slot = maq_pushes_ % ring;
+  if (maq_pushes_ >= ring) {
+    // Fig. 12b: cycles needed to supply one full MAQ of requests. Sparse
+    // suites bypass stages 2-3 and push fastest (paper: BFS 8.62 ns).
+    stats_.maq_fill_latency.add(static_cast<double>(now -
+                                                    maq_push_times_[slot]));
+  }
+  maq_push_times_[slot] = now;
+  ++maq_pushes_;
+}
+
+void Pac::sweep_maq_merges(AdaptiveMshrEntry& target) {
+  if (!cfg_.enable_secondary_coalescing) return;
+  maq_.erase_if([this, &target](DeviceRequest& req) {
+    if (req.atomic) return false;
+    if (!mshrs_.try_merge_into(target, req)) return false;
+    ++stats_.mshr_merges;
+    stats_.base.coalesced_away += req.raw_ids.size();
+    return true;
+  });
+}
+
+bool Pac::accept(const MemRequest& request, Cycle now) {
+  if (fence_draining_) return false;
+
+  if (request.op == MemOp::kFence) {
+    ++stats_.base.fences;
+    aggregator_.force_flush_all();
+    fence_draining_ = true;
+    return true;
+  }
+
+  if (request.op == MemOp::kAtomic) {
+    // Atomics are routed straight to the memory controller to preserve
+    // atomicity (section 3.3.1); they still need an MSHR for the response.
+    if (!mshrs_.has_free() || !device_->can_accept()) return false;
+    ++stats_.base.raw_requests;
+    ++stats_.base.atomics;
+    DeviceRequest req;
+    req.id = next_device_id_++;
+    req.base = request.paddr & ~Addr{kFlitBytes - 1};
+    req.bytes = kFlitBytes;
+    req.atomic = true;
+    req.store = request.is_store();
+    req.created_at = now;
+    req.raw_ids.push_back(request.id);
+    allocate_and_dispatch(std::move(req), now);
+    return true;
+  }
+
+  if (bypass_active_) {
+    // Network controller has the coalescing network disabled: the raw
+    // request enters the MSHRs directly (section 3.2).
+    if (!mshrs_.has_free()) {
+      bypass_active_ = false;  // re-enable coalescing
+    } else {
+      ++stats_.base.raw_requests;
+      ++stats_.controller_bypass_requests;
+      DeviceRequest req;
+      req.id = next_device_id_++;
+      const unsigned shift = cfg_.protocol.granule_shift();
+      req.base = (request.paddr >> shift) << shift;
+      const Addr end = request.paddr + request.bytes;
+      req.bytes = static_cast<std::uint32_t>(
+          (((end - 1) >> shift) + 1 - (req.base >> shift)) *
+          cfg_.protocol.granule);
+      req.store = request.is_store();
+      req.created_at = now;
+      req.raw_ids.push_back(request.id);
+      std::uint64_t unbilled = 0;
+      if (!mshrs_.try_merge(req, &unbilled)) {
+        allocate_and_dispatch(std::move(req), now);
+      } else {
+        ++stats_.mshr_merges;
+        stats_.base.coalesced_away += 1;
+      }
+      return true;
+    }
+  }
+
+  // Kroft MSHR check first: a miss whose block is already covered by an
+  // in-flight adaptive-MSHR entry attaches as a subentry - the data is
+  // already on its way, so re-aggregating it would fetch the block twice.
+  if (request.op == MemOp::kLoad && cfg_.enable_secondary_coalescing) {
+    const unsigned shift = cfg_.protocol.granule_shift();
+    DeviceRequest probe;
+    probe.base = (request.paddr >> shift) << shift;
+    const Addr end = request.paddr + request.bytes;
+    probe.bytes = static_cast<std::uint32_t>(
+        (((end - 1) >> shift) + 1 - (probe.base >> shift)) *
+        cfg_.protocol.granule);
+    probe.raw_ids.push_back(request.id);
+    if (mshrs_.try_attach(probe)) {
+      stats_.base.comparisons += aggregator_.active_streams();
+      ++stats_.base.raw_requests;
+      ++stats_.base.coalesced_away;
+      ++stats_.mshr_merges;
+      return true;
+    }
+    // The covering request may still be waiting in the MAQ; attach there
+    // (the MAQ slots are compared associatively, like the MSHRs).
+    for (DeviceRequest& waiting : maq_) {
+      if (waiting.store || waiting.atomic) continue;
+      if (probe.base >= waiting.base &&
+          probe.base + probe.bytes <= waiting.base + waiting.bytes) {
+        waiting.raw_ids.push_back(request.id);
+        stats_.base.comparisons += aggregator_.active_streams();
+        ++stats_.base.raw_requests;
+        ++stats_.base.coalesced_away;
+        ++stats_.mshr_merges;
+        return true;
+      }
+    }
+    // ... or still inside stage 2 / the block sequence buffer.
+    const unsigned shift2 = cfg_.protocol.granule_shift();
+    const unsigned first_block =
+        static_cast<unsigned>(page_offset(request.paddr) >> shift2);
+    const unsigned last_block = static_cast<unsigned>(
+        page_offset(request.paddr + request.bytes - 1) >> shift2);
+    if (decoder_.try_attach(request.ppn(), false, first_block, last_block,
+                            request.id)) {
+      stats_.base.comparisons += aggregator_.active_streams();
+      ++stats_.base.raw_requests;
+      ++stats_.base.coalesced_away;
+      ++stats_.mshr_merges;
+      return true;
+    }
+    const unsigned width = cfg_.protocol.chunk_blocks();
+    for (BlockSequence& seq : seq_buffer_) {
+      if (seq.ppn != request.ppn() || seq.store) continue;
+      const unsigned chunk_lo = seq.chunk_index * width;
+      if (first_block < chunk_lo || last_block >= chunk_lo + width) continue;
+      bool covered = true;
+      for (unsigned b = first_block; b <= last_block && covered; ++b) {
+        covered = (seq.bits >> (b - chunk_lo)) & 1;
+      }
+      if (!covered) continue;
+      seq.raws.push_back(RawRef{static_cast<std::uint16_t>(first_block),
+                                static_cast<std::uint16_t>(last_block),
+                                request.id});
+      stats_.base.comparisons += aggregator_.active_streams();
+      ++stats_.base.raw_requests;
+      ++stats_.base.coalesced_away;
+      ++stats_.mshr_merges;
+      return true;
+    }
+  }
+
+  // Stage-1 comparator pass over the active streams. One pass is counted
+  // per accepted request (a stalled input re-presents the same request;
+  // the Fig. 7 metric counts the logical comparison, not the retry).
+  if (CoalescingStream* match = aggregator_.find_match(request)) {
+    stats_.base.comparisons += aggregator_.active_streams();
+    aggregator_.merge(*match, request);
+    ++stats_.base.raw_requests;
+    return true;
+  }
+
+  if (!aggregator_.allocate(request, now)) return false;
+  stats_.base.comparisons += aggregator_.active_streams();
+  ++stats_.base.raw_requests;
+  return true;
+}
+
+void Pac::tick(Cycle now) {
+  last_tick_ = now;
+  // --- Coalescing-stream occupancy sampling (Fig. 11b/c). ---
+  if (now >= next_occupancy_sample_) {
+    const unsigned active = aggregator_.active_streams();
+    if (active > 0) stats_.stream_occupancy.add(active);
+    next_occupancy_sample_ = now + cfg_.occupancy_sample_period;
+  }
+
+  // --- Retry MSHR entries the device previously refused. ---
+  for (AdaptiveMshrEntry* entry : mshrs_.undispatched()) {
+    if (!device_->can_accept()) break;
+    DeviceRequest req;
+    req.id = entry->device_request_id;
+    req.base = entry->base;
+    req.bytes = entry->bytes;
+    req.store = entry->store;
+    req.atomic = entry->atomic;
+    req.created_at = now;
+    for (const MshrSubentry& sub : entry->subentries) {
+      req.raw_ids.push_back(sub.raw_id);
+    }
+    submit_to_device(*entry, req, now);
+  }
+
+  // --- MAQ -> adaptive MSHRs. Merging already happened when the request
+  // entered the MAQ (emit) and re-fires whenever a new entry allocates
+  // (sweep_maq_merges), so this stage only performs allocations. ---
+  for (int moves = 0; moves < 2 && !maq_.empty() && mshrs_.has_free();
+       ++moves) {
+    allocate_and_dispatch(maq_.pop(), now);
+  }
+
+  // --- Stage 3: block sequences -> coalesced requests -> MAQ. ---
+  assembler_.tick(now, seq_buffer_, *this);
+
+  // --- Stage 2: flushed block-maps -> block sequence buffer. ---
+  decoder_.tick(now, seq_buffer_);
+
+  // --- Stage 1 flush policy. ---
+  // Retry a C=0 request that found the MAQ full earlier.
+  if (pending_c0_.has_value() && emit(std::move(*pending_c0_))) {
+    pending_c0_.reset();
+  }
+  // One coalescing stream may enter stage 2 per cycle.
+  if (decoder_.can_accept()) {
+    if (auto stream = aggregator_.take_flushable(
+            now, RequestAggregator::FlushClass::kCoalescing)) {
+      decoder_.accept(std::move(*stream), now);
+    }
+  }
+  // One single-request stream may bypass stages 2-3 per cycle (C bit = 0).
+  if (!pending_c0_.has_value()) {
+    if (auto stream = aggregator_.take_flushable(
+            now, RequestAggregator::FlushClass::kSingle)) {
+      ++stats_.c0_bypass_requests;
+      DeviceRequest req = make_single_request(*stream, now);
+      if (!emit(std::move(req))) pending_c0_ = std::move(req);
+    }
+  }
+
+  // The Fig. 12b fill metric measures contiguous replenishment: an MAQ
+  // that drained empty restarts the 16-push window (idle phases between
+  // kernel bursts are not "filling latency").
+  if (maq_.empty()) maq_pushes_ = 0;
+
+  // --- Fence drain completes once nothing is buffered before the MSHRs. ---
+  if (fence_draining_ && network_empty() && maq_.empty()) {
+    fence_draining_ = false;
+  }
+
+  // --- Network-controller bypass (section 3.2). ---
+  if (cfg_.enable_bypass_controller) {
+    if (bypass_active_) {
+      if (mshrs_.all_occupied()) bypass_active_ = false;
+    } else if (maq_.empty() && mshrs_.empty() && network_empty() &&
+               !fence_draining_) {
+      // The coalescing network is disabled only when the whole memory path
+      // is idle (program start, I/O-bound phases - section 3.2); it is
+      // re-enabled as soon as all MSHRs are occupied.
+      bypass_active_ = true;
+    }
+  }
+}
+
+void Pac::complete(const DeviceResponse& response, Cycle now) {
+  (void)now;
+  std::vector<std::uint64_t> raws = mshrs_.on_response(response.request_id);
+  satisfied_.insert(satisfied_.end(), raws.begin(), raws.end());
+}
+
+std::vector<std::uint64_t> Pac::drain_satisfied() {
+  return std::exchange(satisfied_, {});
+}
+
+}  // namespace pacsim

@@ -1,0 +1,93 @@
+// The Paged Adaptive Coalescer: the paper's primary contribution.
+//
+// Sits between the LLC miss/write-back queues and the memory device and
+// wires together the three-stage pipelined coalescing network, the memory
+// access queue (MAQ), the adaptive MSHRs and the network-controller bypass
+// (paper Fig. 3 / Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "hmc/hmc_device.hpp"
+#include "pac/adaptive_mshr.hpp"
+#include "pac/blockmap_decoder.hpp"
+#include "pac/coalescer.hpp"
+#include "pac/coalescing_table.hpp"
+#include "pac/pac_config.hpp"
+#include "pac/pac_stats.hpp"
+#include "pac/request_aggregator.hpp"
+#include "pac/request_assembler.hpp"
+
+namespace pacsim {
+
+class Pac final : public Coalescer, private MaqSink {
+ public:
+  Pac(const PacConfig& cfg, HmcDevice* device);
+
+  bool accept(const MemRequest& request, Cycle now) override;
+  void tick(Cycle now) override;
+  void complete(const DeviceResponse& response, Cycle now) override;
+  std::vector<std::uint64_t> drain_satisfied() override;
+  [[nodiscard]] bool idle() const override;
+  [[nodiscard]] const CoalescerStats& stats() const override {
+    return stats_.base;
+  }
+
+  [[nodiscard]] const PacStats& pac_stats() const { return stats_; }
+  [[nodiscard]] const PacConfig& config() const { return cfg_; }
+  [[nodiscard]] const AdaptiveMshrFile& mshrs() const { return mshrs_; }
+  [[nodiscard]] const RequestAggregator& aggregator() const {
+    return aggregator_;
+  }
+  [[nodiscard]] bool bypass_active() const { return bypass_active_; }
+  [[nodiscard]] bool fence_draining() const { return fence_draining_; }
+
+ private:
+  // MaqSink: merge-on-insertion against the adaptive MSHRs (section 3.2:
+  // MAQ entries are "simultaneously compared with the existing MSHRs"),
+  // then queue. Returns false only when the MAQ is full.
+  [[nodiscard]] bool emit(DeviceRequest&& request) override;
+  [[nodiscard]] bool maq_full() const override { return maq_.full(); }
+
+  /// Re-compare waiting MAQ entries after a new MSHR entry appears.
+  void sweep_maq_merges(AdaptiveMshrEntry& target);
+
+  /// Submit one device request, recording the issue-side statistics.
+  void submit_to_device(AdaptiveMshrEntry& entry, const DeviceRequest& req,
+                        Cycle now);
+  /// Allocate an MSHR entry for `req` and dispatch it if the device accepts.
+  void allocate_and_dispatch(DeviceRequest req, Cycle now);
+  /// Build the single-block device request for a C=0 / bypass / atomic raw.
+  DeviceRequest make_single_request(const CoalescingStream& stream, Cycle now);
+  [[nodiscard]] bool network_empty() const;
+  void track_maq_push(Cycle now);
+
+  PacConfig cfg_;
+  HmcDevice* device_;
+  PacStats stats_;
+  CoalescingTable table_;
+  RequestAggregator aggregator_;
+  BlockMapDecoder decoder_;
+  RequestAssembler assembler_;
+  FixedQueue<BlockSequence> seq_buffer_;
+  FixedQueue<DeviceRequest> maq_;
+  AdaptiveMshrFile mshrs_;
+
+  std::uint64_t next_device_id_ = 1;
+  Cycle last_tick_ = 0;  ///< most recent tick, used by accept-path pushes
+  bool fence_draining_ = false;
+  bool bypass_active_ = false;
+  std::optional<DeviceRequest> pending_c0_;  ///< C=0 flush awaiting MAQ space
+  std::vector<std::uint64_t> satisfied_;
+
+  /// Ring of the last `maq_entries` MAQ-push timestamps: the Fig. 12b
+  /// metric is the time to supply one full MAQ's worth of requests.
+  std::vector<Cycle> maq_push_times_;
+  std::uint64_t maq_pushes_ = 0;
+  Cycle next_occupancy_sample_ = 0;
+};
+
+}  // namespace pacsim

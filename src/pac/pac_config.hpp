@@ -1,0 +1,45 @@
+// Configuration of the paged adaptive coalescer (paper Table 1 defaults).
+#pragma once
+
+#include <cstdint>
+
+#include "pac/protocol.hpp"
+
+namespace pacsim {
+
+struct PacConfig {
+  CoalescingProtocol protocol = CoalescingProtocol::hmc2();
+
+  std::uint32_t num_streams = 16;   ///< parallel coalescing streams
+  std::uint32_t timeout = 16;       ///< cycles a stream may aggregate
+  std::uint32_t maq_entries = 16;   ///< MAQ depth == #MSHRs (section 3.1.2)
+  std::uint32_t num_mshrs = 16;     ///< adaptive MSHR entries
+
+  std::uint32_t seq_buffer_entries = 32;  ///< block sequence buffer depth
+
+  // Pipeline timing (section 3.3): decode = 2 cycles, one table look-up per
+  // sequence, one assembly cycle per emitted request.
+  std::uint32_t decode_cycles = 2;
+  std::uint32_t table_lookup_cycles = 1;
+  std::uint32_t assemble_cycles_per_request = 1;
+
+  /// Network-controller optimization (section 3.2): raw requests bypass the
+  /// network while the MAQ is empty and MSHRs are available.
+  bool enable_bypass_controller = true;
+
+  /// Extension (not in the paper, ablation bench): flush a stream as soon as
+  /// one of its 256 B chunks is completely populated.
+  bool flush_on_full_chunk = false;
+
+  /// Secondary coalescing: the associative duplicate checks against the
+  /// in-flight MSHR entries, MAQ slots and stage-2 registers (Kroft-style;
+  /// DESIGN.md section 5.0). Disable to measure their contribution - without
+  /// them duplicate misses re-fetch their blocks.
+  bool enable_secondary_coalescing = true;
+
+  /// Sampling period for the coalescing-stream occupancy statistic
+  /// (paper Fig. 11b accumulates occupancy every 16 cycles).
+  std::uint32_t occupancy_sample_period = 16;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,47 @@
+// PAC-specific statistics on top of the common coalescer counters.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "pac/coalescer.hpp"
+
+namespace pacsim {
+
+struct PacStats {
+  CoalescerStats base;
+
+  // Flush accounting (stage 1).
+  std::uint64_t flushed_streams = 0;
+  std::uint64_t timeout_flushes = 0;
+  std::uint64_t fence_flushes = 0;
+  std::uint64_t full_chunk_flushes = 0;  ///< flush-on-full-chunk extension
+
+  /// Raw requests whose stream held only one request (C bit = 0) and that
+  /// therefore skipped stages 2-3 (paper Fig. 12c).
+  std::uint64_t c0_bypass_requests = 0;
+  /// Raw requests admitted while the network controller had the coalescing
+  /// network disabled (section 3.2 bypass optimization).
+  std::uint64_t controller_bypass_requests = 0;
+
+  /// Fig. 2 probe: raw requests that were physically adjacent to a block
+  /// buffered in a *different* page's coalescing stream — i.e. the only
+  /// coalescing opportunities a cross-page scheme would add.
+  std::uint64_t cross_page_adjacent = 0;
+
+  /// Occupied coalescing streams, sampled every 16 cycles (Fig. 11b/c).
+  Histogram stream_occupancy;
+
+  /// Pipeline stage latencies in cycles (Fig. 12a).
+  RunningStat stage2_latency;  ///< flush -> all sequences buffered
+  RunningStat stage3_latency;  ///< sequence pop -> last request in MAQ
+
+  /// Cycles for the MAQ to go from empty to full (Fig. 12b reports ns).
+  RunningStat maq_fill_latency;
+
+  /// Secondary coalescing: device requests absorbed by an in-flight
+  /// adaptive-MSHR entry covering the same blocks.
+  std::uint64_t mshr_merges = 0;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,49 @@
+// Coalescing protocol descriptors: how PAC adapts to a target 3D-stacked
+// memory device (paper section 4.1, "Applicability").
+//
+// PAC is retargeted by changing only the coalescing granule and the maximum
+// request size; the pipeline logic is untouched. The chunk width (blocks per
+// maximal request) determines the block-sequence width: 4 bits for HMC 2.1,
+// 16 bits for HBM-row or fine-grained coalescing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+
+struct CoalescingProtocol {
+  std::string_view name = "hmc2";
+  std::uint32_t granule = 64;        ///< coalescing block size in bytes
+  std::uint32_t max_request = 256;   ///< maximal device request in bytes
+  bool pow2_sizes_only = false;      ///< restrict requests to 64/128/256 B
+
+  /// Blocks per maximal request == width of one block-sequence entry.
+  [[nodiscard]] std::uint32_t chunk_blocks() const {
+    return max_request / granule;
+  }
+  [[nodiscard]] std::uint32_t blocks_per_page() const {
+    return static_cast<std::uint32_t>(kPageSize / granule);
+  }
+  [[nodiscard]] std::uint32_t chunks_per_page() const {
+    return blocks_per_page() / chunk_blocks();
+  }
+  [[nodiscard]] unsigned granule_shift() const { return log2_exact(granule); }
+
+  /// HMC 2.1: 64 B blocks, 256 B max packets (the paper's default target).
+  static constexpr CoalescingProtocol hmc2() { return {"hmc2", 64, 256, false}; }
+  /// HMC 1.0: max request limited to 128 B.
+  static constexpr CoalescingProtocol hmc1() { return {"hmc1", 64, 128, false}; }
+  /// HBM: 64 B blocks coalesced up to the 1 KB row (16-bit block sequence).
+  static constexpr CoalescingProtocol hbm() { return {"hbm", 64, 1024, false}; }
+  /// Fine-grained mode used for paper Fig. 10b: coalesce at the actual
+  /// 16 B FLIT granularity instead of cache lines.
+  static constexpr CoalescingProtocol hmc_fine() {
+    return {"hmc-fine", 16, 256, false};
+  }
+};
+
+}  // namespace pacsim

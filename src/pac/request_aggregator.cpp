@@ -1,0 +1,167 @@
+#include "pac/request_aggregator.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+RequestAggregator::RequestAggregator(const PacConfig& cfg, PacStats* stats)
+    : cfg_(cfg), stats_(stats) {
+  streams_.resize(cfg_.num_streams);
+}
+
+unsigned RequestAggregator::active_streams() const {
+  unsigned n = 0;
+  for (const auto& s : streams_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+namespace {
+/// First and last granule block covered by a raw request within its page.
+struct BlockSpan {
+  unsigned first;
+  unsigned last;
+};
+
+BlockSpan block_span(const MemRequest& request, const CoalescingProtocol& p) {
+  const unsigned shift = p.granule_shift();
+  return BlockSpan{
+      static_cast<unsigned>(page_offset(request.paddr) >> shift),
+      static_cast<unsigned>(page_offset(request.paddr + request.bytes - 1) >>
+                            shift)};
+}
+}  // namespace
+
+CoalescingStream* RequestAggregator::find_match(const MemRequest& request) {
+  assert(request.op == MemOp::kLoad || request.op == MemOp::kStore);
+
+  const Addr ppn = request.ppn();
+  const bool store = request.is_store();
+  const BlockSpan span = block_span(request, cfg_.protocol);
+
+  CoalescingStream* match = nullptr;
+  for (auto& s : streams_) {
+    if (!s.valid) continue;
+    // Fig. 2 probe: physically adjacent to another page's buffered block?
+    if (!s.force_flush && s.store == store) {
+      if (s.ppn + 1 == ppn && span.first == 0 &&
+          s.map.test(cfg_.protocol.blocks_per_page() - 1)) {
+        ++stats_->cross_page_adjacent;
+      } else if (s.ppn == ppn + 1 &&
+                 span.last == cfg_.protocol.blocks_per_page() - 1 &&
+                 s.map.test(0)) {
+        ++stats_->cross_page_adjacent;
+      }
+    }
+    if (s.ppn == ppn && s.store == store && !s.force_flush &&
+        match == nullptr) {
+      match = &s;
+    }
+  }
+  return match;
+}
+
+void RequestAggregator::merge(CoalescingStream& stream,
+                              const MemRequest& request) {
+  const BlockSpan span = block_span(request, cfg_.protocol);
+  for (unsigned b = span.first; b <= span.last; ++b) stream.map.set(b);
+  ++stream.count;
+  stream.raws.push_back(RawRef{static_cast<std::uint16_t>(span.first),
+                               static_cast<std::uint16_t>(span.last),
+                               request.id});
+}
+
+bool RequestAggregator::allocate(const MemRequest& request, Cycle now) {
+  for (auto& s : streams_) {
+    if (s.valid) continue;
+    const BlockSpan span = block_span(request, cfg_.protocol);
+    s.reset();
+    s.valid = true;
+    s.ppn = request.ppn();
+    s.store = request.is_store();
+    s.count = 1;
+    s.allocated_at = now;
+    for (unsigned b = span.first; b <= span.last; ++b) s.map.set(b);
+    s.raws.push_back(RawRef{static_cast<std::uint16_t>(span.first),
+                            static_cast<std::uint16_t>(span.last),
+                            request.id});
+    return true;
+  }
+  return false;
+}
+
+RequestAggregator::InsertResult RequestAggregator::insert(
+    const MemRequest& request, Cycle now) {
+  if (CoalescingStream* match = find_match(request)) {
+    merge(*match, request);
+    return InsertResult::kMerged;
+  }
+  return allocate(request, now) ? InsertResult::kAllocated
+                                : InsertResult::kNoStream;
+}
+
+bool RequestAggregator::flush_due(const CoalescingStream& s, Cycle now) const {
+  if (!s.valid) return false;
+  if (s.force_flush) return true;
+  if (now - s.allocated_at >= cfg_.timeout) return true;
+  if (cfg_.flush_on_full_chunk) {
+    const unsigned width = cfg_.protocol.chunk_blocks();
+    const std::uint16_t full = static_cast<std::uint16_t>((1u << width) - 1);
+    for (unsigned c = 0; c < cfg_.protocol.chunks_per_page(); ++c) {
+      if (s.map.chunk(c, width) == full) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+bool class_matches(const CoalescingStream& s,
+                   RequestAggregator::FlushClass cls) {
+  switch (cls) {
+    case RequestAggregator::FlushClass::kAny: return true;
+    case RequestAggregator::FlushClass::kSingle: return !s.coalescing();
+    case RequestAggregator::FlushClass::kCoalescing: return s.coalescing();
+  }
+  return true;
+}
+}  // namespace
+
+bool RequestAggregator::has_flushable(Cycle now, FlushClass cls) const {
+  for (const auto& s : streams_) {
+    if (flush_due(s, now) && class_matches(s, cls)) return true;
+  }
+  return false;
+}
+
+std::optional<CoalescingStream> RequestAggregator::take_flushable(
+    Cycle now, FlushClass cls) {
+  CoalescingStream* oldest = nullptr;
+  for (auto& s : streams_) {
+    if (flush_due(s, now) && class_matches(s, cls) &&
+        (oldest == nullptr || s.allocated_at < oldest->allocated_at)) {
+      oldest = &s;
+    }
+  }
+  if (oldest == nullptr) return std::nullopt;
+
+  if (oldest->force_flush) {
+    ++stats_->fence_flushes;
+  } else if (now - oldest->allocated_at >= cfg_.timeout) {
+    ++stats_->timeout_flushes;
+  } else {
+    ++stats_->full_chunk_flushes;
+  }
+  ++stats_->flushed_streams;
+
+  CoalescingStream out = std::move(*oldest);
+  out.flushed_at = now;
+  oldest->reset();
+  return out;
+}
+
+void RequestAggregator::force_flush_all() {
+  for (auto& s : streams_) {
+    if (s.valid) s.force_flush = true;
+  }
+}
+
+}  // namespace pacsim

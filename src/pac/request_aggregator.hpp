@@ -1,0 +1,73 @@
+// Stage 1: the paged request aggregator (PRA), paper section 3.3.1.
+//
+// Incoming raw requests are compared in parallel (hardware comparators)
+// against every active coalescing stream on (PPN, T bit). Matching requests
+// merge into the stream's block-map; otherwise a free stream is allocated.
+// Streams are flushed downstream on timeout, fence, or (optional extension)
+// when a maximal-request chunk fills completely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "pac/coalescing_stream.hpp"
+#include "pac/pac_config.hpp"
+#include "pac/pac_stats.hpp"
+
+namespace pacsim {
+
+class RequestAggregator {
+ public:
+  RequestAggregator(const PacConfig& cfg, PacStats* stats);
+
+  enum class InsertResult {
+    kMerged,     ///< joined an existing stream
+    kAllocated,  ///< started a new stream
+    kNoStream,   ///< all streams busy with other pages: input stalls
+  };
+
+  /// Offer a raw load/store. Counts comparator work and the Fig. 2
+  /// cross-page adjacency probe as side effects.
+  InsertResult insert(const MemRequest& request, Cycle now);
+
+  /// Parallel comparator pass only: the stream matching (PPN, T bit), or
+  /// nullptr. Counts comparisons and runs the Fig. 2 cross-page probe.
+  CoalescingStream* find_match(const MemRequest& request);
+  /// Merge `request` into `stream` (must match on PPN and type).
+  void merge(CoalescingStream& stream, const MemRequest& request);
+  /// Allocate a fresh stream; false when every stream is busy.
+  bool allocate(const MemRequest& request, Cycle now);
+
+  /// Which flush-due streams to extract: single-request streams head for the
+  /// MAQ (C bit = 0), coalescing streams head for stage 2.
+  enum class FlushClass { kAny, kSingle, kCoalescing };
+
+  /// True if some stream of `cls` is due to flush at `now`.
+  [[nodiscard]] bool has_flushable(Cycle now,
+                                   FlushClass cls = FlushClass::kAny) const;
+
+  /// Extract the oldest flush-due stream of `cls` (timeout, fence or full
+  /// chunk). Returns nullopt when none is due.
+  std::optional<CoalescingStream> take_flushable(
+      Cycle now, FlushClass cls = FlushClass::kAny);
+
+  /// Memory fence: force every active stream to flush (section 3.3.1).
+  void force_flush_all();
+
+  [[nodiscard]] unsigned active_streams() const;
+  [[nodiscard]] bool empty() const { return active_streams() == 0; }
+  [[nodiscard]] const std::vector<CoalescingStream>& streams() const {
+    return streams_;
+  }
+
+ private:
+  [[nodiscard]] bool flush_due(const CoalescingStream& s, Cycle now) const;
+
+  PacConfig cfg_;
+  PacStats* stats_;
+  std::vector<CoalescingStream> streams_;
+};
+
+}  // namespace pacsim

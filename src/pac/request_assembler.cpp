@@ -1,0 +1,71 @@
+#include "pac/request_assembler.hpp"
+
+#include <cassert>
+
+namespace pacsim {
+
+RequestAssembler::RequestAssembler(const PacConfig& cfg, PacStats* stats,
+                                   const CoalescingTable* table,
+                                   std::uint64_t* id_counter)
+    : cfg_(cfg), stats_(stats), table_(table), id_counter_(id_counter) {}
+
+DeviceRequest RequestAssembler::build_request(const Segment& segment,
+                                              Cycle now) const {
+  const BlockSequence& seq = *current_;
+  const std::uint32_t granule = cfg_.protocol.granule;
+  const unsigned chunk_base = seq.chunk_index * cfg_.protocol.chunk_blocks();
+  const unsigned seg_lo = chunk_base + segment.offset;
+  const unsigned seg_hi = seg_lo + segment.length - 1;
+
+  DeviceRequest req;
+  req.id = (*id_counter_)++;
+  req.base = (seq.ppn << kPageShift) + static_cast<Addr>(seg_lo) * granule;
+  req.bytes = segment.length * granule;
+  req.store = seq.store;
+  req.created_at = now;
+  for (const RawRef& raw : seq.raws) {
+    if (raw.first_block >= seg_lo && raw.first_block <= seg_hi) {
+      req.raw_ids.push_back(raw.id);
+    }
+  }
+  return req;
+}
+
+void RequestAssembler::tick(Cycle now, FixedQueue<BlockSequence>& in,
+                            MaqSink& maq) {
+  if (!current_.has_value()) {
+    if (in.empty()) return;
+    current_ = in.pop();
+    popped_at_ = now;
+    lookup_done_ = now + cfg_.table_lookup_cycles;
+    segments_ = table_->segments(current_->bits);
+    // Hardware performs one LUT reference per nibble of the sequence.
+    assert(!segments_.empty());
+    next_segment_ = 0;
+    return;
+  }
+  if (now < lookup_done_) return;
+
+  // Assemble one coalesced request per cycle; stall while the MAQ is full
+  // (which in turn blocks the pipeline and ultimately the cache).
+  if (next_segment_ < segments_.size()) {
+    if (maq.maq_full()) return;
+    DeviceRequest req = build_request(segments_[next_segment_], now);
+    // A request covering k raw requests removes k-1 memory accesses.
+    stats_->base.coalesced_away += req.raw_ids.empty()
+                                       ? 0
+                                       : req.raw_ids.size() - 1;
+    const bool ok = maq.emit(std::move(req));
+    assert(ok);
+    (void)ok;
+    ++next_segment_;
+    if (next_segment_ < segments_.size()) return;
+  }
+
+  stats_->stage3_latency.add(static_cast<double>(now - popped_at_));
+  current_.reset();
+  segments_.clear();
+  next_segment_ = 0;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,57 @@
+// Stage 3: the request assembler, paper section 3.3.3.
+//
+// Pops block sequences from the shared buffer in FIFO order, references the
+// coalescing table (1 cycle per sequence) and assembles one coalesced
+// device request per cycle into the MAQ.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "mem/request.hpp"
+#include "pac/coalescing_stream.hpp"
+#include "pac/coalescing_table.hpp"
+#include "pac/pac_config.hpp"
+#include "pac/pac_stats.hpp"
+
+namespace pacsim {
+
+/// Destination of assembled requests. The MAQ implementation performs the
+/// paper's merge-on-insertion against the adaptive MSHRs, so emit() may
+/// absorb a request without queueing it; it returns false only when the
+/// MAQ is full (pipeline stall).
+class MaqSink {
+ public:
+  virtual ~MaqSink() = default;
+  [[nodiscard]] virtual bool emit(DeviceRequest&& request) = 0;
+  [[nodiscard]] virtual bool maq_full() const = 0;
+};
+
+class RequestAssembler {
+ public:
+  RequestAssembler(const PacConfig& cfg, PacStats* stats,
+                   const CoalescingTable* table, std::uint64_t* id_counter);
+
+  /// Advance one cycle: consume from `in`, emit into `maq`.
+  void tick(Cycle now, FixedQueue<BlockSequence>& in, MaqSink& maq);
+
+  [[nodiscard]] bool idle() const { return !current_.has_value(); }
+
+ private:
+  DeviceRequest build_request(const Segment& segment, Cycle now) const;
+
+  PacConfig cfg_;
+  PacStats* stats_;
+  const CoalescingTable* table_;
+  std::uint64_t* id_counter_;
+
+  std::optional<BlockSequence> current_;
+  Cycle popped_at_ = 0;  ///< when the current sequence entered stage 3
+  Cycle lookup_done_ = 0;
+  std::vector<Segment> segments_;
+  std::size_t next_segment_ = 0;
+};
+
+}  // namespace pacsim

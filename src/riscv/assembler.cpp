@@ -1,0 +1,521 @@
+#include "riscv/assembler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <cctype>
+#include <sstream>
+
+#include "riscv/interpreter.hpp"
+
+namespace pacsim::rv {
+namespace {
+
+// ---------------------------------------------------------------- lexing --
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Split an operand list on commas (whitespace-insensitive).
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cur = strip(cur);
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// ------------------------------------------------------------- encodings --
+
+std::uint32_t r_type(std::uint32_t f7, unsigned rs2, unsigned rs1,
+                     std::uint32_t f3, unsigned rd, std::uint32_t opcode) {
+  return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) |
+         opcode;
+}
+
+std::uint32_t i_type(std::int64_t imm, unsigned rs1, std::uint32_t f3,
+                     unsigned rd, std::uint32_t opcode) {
+  return (static_cast<std::uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) |
+         (f3 << 12) | (rd << 7) | opcode;
+}
+
+std::uint32_t s_type(std::int64_t imm, unsigned rs2, unsigned rs1,
+                     std::uint32_t f3) {
+  const std::uint32_t v = static_cast<std::uint32_t>(imm & 0xFFF);
+  return ((v >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+         ((v & 0x1F) << 7) | 0x23;
+}
+
+std::uint32_t b_type(std::int64_t imm, unsigned rs2, unsigned rs1,
+                     std::uint32_t f3) {
+  const std::uint32_t v = static_cast<std::uint32_t>(imm & 0x1FFF);
+  return (((v >> 12) & 1) << 31) | (((v >> 5) & 0x3F) << 25) | (rs2 << 20) |
+         (rs1 << 15) | (f3 << 12) | (((v >> 1) & 0xF) << 8) |
+         (((v >> 11) & 1) << 7) | 0x63;
+}
+
+std::uint32_t u_type(std::int64_t imm20, unsigned rd, std::uint32_t opcode) {
+  return (static_cast<std::uint32_t>(imm20 & 0xFFFFF) << 12) | (rd << 7) |
+         opcode;
+}
+
+std::uint32_t j_type(std::int64_t imm, unsigned rd) {
+  const std::uint32_t v = static_cast<std::uint32_t>(imm & 0x1FFFFF);
+  return (((v >> 20) & 1) << 31) | (((v >> 1) & 0x3FF) << 21) |
+         (((v >> 11) & 1) << 20) | (((v >> 12) & 0xFF) << 12) | (rd << 7) |
+         0x6F;
+}
+
+struct OpDesc {
+  enum Kind {
+    kR, kRW,      // register-register (64 / 32-bit form)
+    kI, kIW,      // immediate arithmetic
+    kShift, kShiftW,
+    kLoad, kStore,
+    kBranch, kLui, kAuipc, kJal, kJalr,
+    kAmo, kFence, kEcall, kEbreak,
+  } kind;
+  std::uint32_t opcode = 0;
+  std::uint32_t f3 = 0;
+  std::uint32_t f7 = 0;
+};
+
+const std::unordered_map<std::string, OpDesc>& op_table() {
+  static const std::unordered_map<std::string, OpDesc> table = {
+      // RV64I register-register
+      {"add", {OpDesc::kR, 0x33, 0, 0x00}},
+      {"sub", {OpDesc::kR, 0x33, 0, 0x20}},
+      {"sll", {OpDesc::kR, 0x33, 1, 0x00}},
+      {"slt", {OpDesc::kR, 0x33, 2, 0x00}},
+      {"sltu", {OpDesc::kR, 0x33, 3, 0x00}},
+      {"xor", {OpDesc::kR, 0x33, 4, 0x00}},
+      {"srl", {OpDesc::kR, 0x33, 5, 0x00}},
+      {"sra", {OpDesc::kR, 0x33, 5, 0x20}},
+      {"or", {OpDesc::kR, 0x33, 6, 0x00}},
+      {"and", {OpDesc::kR, 0x33, 7, 0x00}},
+      {"addw", {OpDesc::kR, 0x3B, 0, 0x00}},
+      {"subw", {OpDesc::kR, 0x3B, 0, 0x20}},
+      {"sllw", {OpDesc::kR, 0x3B, 1, 0x00}},
+      {"srlw", {OpDesc::kR, 0x3B, 5, 0x00}},
+      {"sraw", {OpDesc::kR, 0x3B, 5, 0x20}},
+      // RV64M
+      {"mul", {OpDesc::kR, 0x33, 0, 0x01}},
+      {"mulh", {OpDesc::kR, 0x33, 1, 0x01}},
+      {"mulhsu", {OpDesc::kR, 0x33, 2, 0x01}},
+      {"mulhu", {OpDesc::kR, 0x33, 3, 0x01}},
+      {"div", {OpDesc::kR, 0x33, 4, 0x01}},
+      {"divu", {OpDesc::kR, 0x33, 5, 0x01}},
+      {"rem", {OpDesc::kR, 0x33, 6, 0x01}},
+      {"remu", {OpDesc::kR, 0x33, 7, 0x01}},
+      {"mulw", {OpDesc::kR, 0x3B, 0, 0x01}},
+      {"divw", {OpDesc::kR, 0x3B, 4, 0x01}},
+      {"divuw", {OpDesc::kR, 0x3B, 5, 0x01}},
+      {"remw", {OpDesc::kR, 0x3B, 6, 0x01}},
+      {"remuw", {OpDesc::kR, 0x3B, 7, 0x01}},
+      // OP-IMM
+      {"addi", {OpDesc::kI, 0x13, 0}},
+      {"slti", {OpDesc::kI, 0x13, 2}},
+      {"sltiu", {OpDesc::kI, 0x13, 3}},
+      {"xori", {OpDesc::kI, 0x13, 4}},
+      {"ori", {OpDesc::kI, 0x13, 6}},
+      {"andi", {OpDesc::kI, 0x13, 7}},
+      {"addiw", {OpDesc::kIW, 0x1B, 0}},
+      {"slli", {OpDesc::kShift, 0x13, 1, 0x00}},
+      {"srli", {OpDesc::kShift, 0x13, 5, 0x00}},
+      {"srai", {OpDesc::kShift, 0x13, 5, 0x10}},
+      {"slliw", {OpDesc::kShiftW, 0x1B, 1, 0x00}},
+      {"srliw", {OpDesc::kShiftW, 0x1B, 5, 0x00}},
+      {"sraiw", {OpDesc::kShiftW, 0x1B, 5, 0x20}},
+      // loads / stores
+      {"lb", {OpDesc::kLoad, 0x03, 0}},
+      {"lh", {OpDesc::kLoad, 0x03, 1}},
+      {"lw", {OpDesc::kLoad, 0x03, 2}},
+      {"ld", {OpDesc::kLoad, 0x03, 3}},
+      {"lbu", {OpDesc::kLoad, 0x03, 4}},
+      {"lhu", {OpDesc::kLoad, 0x03, 5}},
+      {"lwu", {OpDesc::kLoad, 0x03, 6}},
+      {"sb", {OpDesc::kStore, 0x23, 0}},
+      {"sh", {OpDesc::kStore, 0x23, 1}},
+      {"sw", {OpDesc::kStore, 0x23, 2}},
+      {"sd", {OpDesc::kStore, 0x23, 3}},
+      // control
+      {"beq", {OpDesc::kBranch, 0x63, 0}},
+      {"bne", {OpDesc::kBranch, 0x63, 1}},
+      {"blt", {OpDesc::kBranch, 0x63, 4}},
+      {"bge", {OpDesc::kBranch, 0x63, 5}},
+      {"bltu", {OpDesc::kBranch, 0x63, 6}},
+      {"bgeu", {OpDesc::kBranch, 0x63, 7}},
+      {"lui", {OpDesc::kLui, 0x37}},
+      {"auipc", {OpDesc::kAuipc, 0x17}},
+      {"jal", {OpDesc::kJal, 0x6F}},
+      {"jalr", {OpDesc::kJalr, 0x67, 0}},
+      // AMO (f7 holds funct5 << 2)
+      {"amoswap.w", {OpDesc::kAmo, 0x2F, 2, 0x01 << 2}},
+      {"amoswap.d", {OpDesc::kAmo, 0x2F, 3, 0x01 << 2}},
+      {"amoadd.w", {OpDesc::kAmo, 0x2F, 2, 0x00 << 2}},
+      {"amoadd.d", {OpDesc::kAmo, 0x2F, 3, 0x00 << 2}},
+      {"amoxor.w", {OpDesc::kAmo, 0x2F, 2, 0x04 << 2}},
+      {"amoxor.d", {OpDesc::kAmo, 0x2F, 3, 0x04 << 2}},
+      {"amoand.d", {OpDesc::kAmo, 0x2F, 3, 0x0C << 2}},
+      {"amoor.d", {OpDesc::kAmo, 0x2F, 3, 0x08 << 2}},
+      // system
+      {"fence", {OpDesc::kFence, 0x0F}},
+      {"ecall", {OpDesc::kEcall, 0x73}},
+      {"ebreak", {OpDesc::kEbreak, 0x73}},
+  };
+  return table;
+}
+
+// -------------------------------------------------------------- assembler --
+
+struct Line {
+  std::size_t number = 0;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  Addr addr = 0;
+};
+
+class Assembler {
+ public:
+  Program run(const std::string& source, Addr base) {
+    program_.base = base;
+    first_pass(source, base);
+    for (const Line& line : lines_) encode(line);
+    return std::move(program_);
+  }
+
+ private:
+  [[noreturn]] static void fail(const Line& line, const std::string& msg) {
+    throw AsmError(line.number, msg + " ('" + line.mnemonic + "')");
+  }
+
+  unsigned parse_reg(const Line& line, const std::string& name) const {
+    const int r = reg_index(name);
+    if (r < 0) fail(line, "bad register '" + name + "'");
+    return static_cast<unsigned>(r);
+  }
+
+  std::int64_t parse_imm(const Line& line, const std::string& text) const {
+    // Either a number (dec/hex, optionally negative) or a label.
+    if (!text.empty() &&
+        (std::isdigit(static_cast<unsigned char>(text[0])) ||
+         text[0] == '-' || text[0] == '+')) {
+      try {
+        return static_cast<std::int64_t>(std::stoll(text, nullptr, 0));
+      } catch (const std::exception&) {
+        fail(line, "bad immediate '" + text + "'");
+      }
+    }
+    const auto it = program_.labels.find(text);
+    if (it == program_.labels.end()) fail(line, "unknown label '" + text + "'");
+    return static_cast<std::int64_t>(it->second);
+  }
+
+  /// Parse "imm(reg)".
+  std::pair<std::int64_t, unsigned> parse_mem(const Line& line,
+                                              const std::string& text) const {
+    const auto open = text.find('(');
+    const auto close = text.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(line, "expected imm(reg), got '" + text + "'");
+    }
+    const std::string imm_text = strip(text.substr(0, open));
+    const std::int64_t imm =
+        imm_text.empty() ? 0 : parse_imm(line, imm_text);
+    const unsigned reg =
+        parse_reg(line, strip(text.substr(open + 1, close - open - 1)));
+    return {imm, reg};
+  }
+
+  void emit32(std::uint32_t word) {
+    for (int i = 0; i < 4; ++i) {
+      program_.bytes.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+    }
+  }
+
+  /// First pass: strip comments, expand pseudo-instructions into their
+  /// concrete forms (so addresses are exact), record label addresses.
+  void first_pass(const std::string& source, Addr base) {
+    std::istringstream in(source);
+    std::string raw;
+    std::size_t number = 0;
+    Addr cursor = base;
+    while (std::getline(in, raw)) {
+      ++number;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.erase(hash);
+      std::string text = strip(raw);
+      while (!text.empty()) {
+        const auto colon = text.find(':');
+        // Leading label(s).
+        if (colon != std::string::npos &&
+            text.find_first_of(" \t") > colon) {
+          const std::string label = strip(text.substr(0, colon));
+          if (label.empty()) throw AsmError(number, "empty label");
+          program_.labels[label] = cursor;
+          text = strip(text.substr(colon + 1));
+          continue;
+        }
+        break;
+      }
+      if (text.empty()) continue;
+
+      Line line;
+      line.number = number;
+      const auto space = text.find_first_of(" \t");
+      line.mnemonic = text.substr(0, space);
+      std::transform(line.mnemonic.begin(), line.mnemonic.end(),
+                     line.mnemonic.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (space != std::string::npos) {
+        line.operands = split_operands(strip(text.substr(space)));
+      }
+      line.addr = cursor;
+
+      cursor += size_of(line);
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  /// Bytes the (possibly pseudo) line expands to.
+  Addr size_of(const Line& line) {
+    const std::string& m = line.mnemonic;
+    if (m == ".dword") return 8 * line.operands.size();
+    if (m == ".word") return 4 * line.operands.size();
+    if (m == ".space") {
+      return static_cast<Addr>(std::stoll(line.operands.at(0), nullptr, 0));
+    }
+    if (m == ".align") return 0;  // handled as padding during pass 1? no-op
+    if (m == "li") return 8;      // worst case lui+addiw (fixed for layout)
+    if (m == "call") return 4;
+    return 4;  // every real instruction and 1-instruction pseudo
+  }
+
+  void encode(const Line& line) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) fail(line, "expected " + std::to_string(n) +
+                                          " operands");
+    };
+
+    // Directives.
+    if (m == ".dword") {
+      for (const auto& op : ops) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(parse_imm(line, op));
+        emit32(static_cast<std::uint32_t>(v));
+        emit32(static_cast<std::uint32_t>(v >> 32));
+      }
+      return;
+    }
+    if (m == ".word") {
+      for (const auto& op : ops) {
+        emit32(static_cast<std::uint32_t>(parse_imm(line, op)));
+      }
+      return;
+    }
+    if (m == ".space") {
+      const auto n = static_cast<std::size_t>(parse_imm(line, ops.at(0)));
+      program_.bytes.insert(program_.bytes.end(), n, 0);
+      return;
+    }
+    if (m == ".align") return;
+
+    // Pseudo-instructions.
+    if (m == "nop") {
+      emit32(i_type(0, 0, 0, 0, 0x13));
+      return;
+    }
+    if (m == "mv") {
+      need(2);
+      emit32(i_type(0, parse_reg(line, ops[1]), 0, parse_reg(line, ops[0]),
+                    0x13));
+      return;
+    }
+    if (m == "not") {
+      need(2);
+      emit32(i_type(-1, parse_reg(line, ops[1]), 4, parse_reg(line, ops[0]),
+                    0x13));
+      return;
+    }
+    if (m == "neg") {
+      need(2);
+      emit32(r_type(0x20, parse_reg(line, ops[1]), 0, 0,
+                    parse_reg(line, ops[0]), 0x33));
+      return;
+    }
+    if (m == "li") {
+      need(2);
+      const unsigned rd = parse_reg(line, ops[0]);
+      const std::int64_t v = parse_imm(line, ops[1]);
+      if (v < std::numeric_limits<std::int32_t>::min() ||
+          v > std::numeric_limits<std::int32_t>::max()) {
+        fail(line, "li immediate out of 32-bit range (use shifts)");
+      }
+      // Fixed two-instruction expansion keeps pass-1 layout exact.
+      const std::int64_t hi = (v + 0x800) >> 12;
+      const std::int64_t lo = v - (hi << 12);
+      emit32(u_type(hi, rd, 0x37));               // lui rd, hi
+      emit32(i_type(lo, rd, 0, rd, 0x1B));        // addiw rd, rd, lo
+      return;
+    }
+    if (m == "j") {
+      need(1);
+      emit32(j_type(parse_imm(line, ops[0]) -
+                        static_cast<std::int64_t>(line.addr),
+                    0));
+      return;
+    }
+    if (m == "call") {
+      need(1);
+      emit32(j_type(parse_imm(line, ops[0]) -
+                        static_cast<std::int64_t>(line.addr),
+                    1));
+      return;
+    }
+    if (m == "ret") {
+      emit32(i_type(0, 1, 0, 0, 0x67));
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      need(2);
+      const std::int64_t off =
+          parse_imm(line, ops[1]) - static_cast<std::int64_t>(line.addr);
+      emit32(b_type(off, 0, parse_reg(line, ops[0]), m == "beqz" ? 0 : 1));
+      return;
+    }
+    if (m == "bgt" || m == "ble") {
+      need(3);
+      // Swap operands: bgt a,b,L == blt b,a,L.
+      const std::int64_t off =
+          parse_imm(line, ops[2]) - static_cast<std::int64_t>(line.addr);
+      emit32(b_type(off, parse_reg(line, ops[0]), parse_reg(line, ops[1]),
+                    m == "bgt" ? 4 : 5));
+      return;
+    }
+
+    const auto it = op_table().find(m);
+    if (it == op_table().end()) fail(line, "unknown mnemonic");
+    const OpDesc& d = it->second;
+
+    switch (d.kind) {
+      case OpDesc::kR:
+      case OpDesc::kRW: {
+        need(3);
+        emit32(r_type(d.f7, parse_reg(line, ops[2]), parse_reg(line, ops[1]),
+                      d.f3, parse_reg(line, ops[0]), d.opcode));
+        break;
+      }
+      case OpDesc::kI:
+      case OpDesc::kIW: {
+        need(3);
+        const std::int64_t imm = parse_imm(line, ops[2]);
+        if (imm < -2048 || imm > 2047) fail(line, "immediate out of range");
+        emit32(i_type(imm, parse_reg(line, ops[1]), d.f3,
+                      parse_reg(line, ops[0]), d.opcode));
+        break;
+      }
+      case OpDesc::kShift:
+      case OpDesc::kShiftW: {
+        need(3);
+        const std::int64_t shamt = parse_imm(line, ops[2]);
+        const bool wide = d.kind == OpDesc::kShift;
+        const std::int64_t limit = wide ? 63 : 31;
+        if (shamt < 0 || shamt > limit) fail(line, "shift amount out of range");
+        // RV64 shifts use a 6-bit shamt (top field imm[11:6]); the W forms
+        // keep the 5-bit shamt with a 7-bit top field imm[11:5].
+        const std::int64_t top = static_cast<std::int64_t>(d.f7)
+                                 << (wide ? 6 : 5);
+        emit32(i_type(shamt | top, parse_reg(line, ops[1]), d.f3,
+                      parse_reg(line, ops[0]), d.opcode));
+        break;
+      }
+      case OpDesc::kLoad: {
+        need(2);
+        const auto [imm, rs1] = parse_mem(line, ops[1]);
+        if (imm < -2048 || imm > 2047) fail(line, "offset out of range");
+        emit32(i_type(imm, rs1, d.f3, parse_reg(line, ops[0]), d.opcode));
+        break;
+      }
+      case OpDesc::kStore: {
+        need(2);
+        const auto [imm, rs1] = parse_mem(line, ops[1]);
+        if (imm < -2048 || imm > 2047) fail(line, "offset out of range");
+        emit32(s_type(imm, parse_reg(line, ops[0]), rs1, d.f3));
+        break;
+      }
+      case OpDesc::kBranch: {
+        need(3);
+        const std::int64_t off =
+            parse_imm(line, ops[2]) - static_cast<std::int64_t>(line.addr);
+        if (off < -4096 || off > 4095) fail(line, "branch out of range");
+        emit32(b_type(off, parse_reg(line, ops[1]), parse_reg(line, ops[0]),
+                      d.f3));
+        break;
+      }
+      case OpDesc::kLui:
+      case OpDesc::kAuipc: {
+        need(2);
+        emit32(u_type(parse_imm(line, ops[1]), parse_reg(line, ops[0]),
+                      d.opcode));
+        break;
+      }
+      case OpDesc::kJal: {
+        need(2);
+        const std::int64_t off =
+            parse_imm(line, ops[1]) - static_cast<std::int64_t>(line.addr);
+        emit32(j_type(off, parse_reg(line, ops[0])));
+        break;
+      }
+      case OpDesc::kJalr: {
+        need(2);
+        const auto [imm, rs1] = parse_mem(line, ops[1]);
+        emit32(i_type(imm, rs1, 0, parse_reg(line, ops[0]), 0x67));
+        break;
+      }
+      case OpDesc::kAmo: {
+        need(3);
+        const auto [imm, rs1] = parse_mem(line, ops[2]);
+        if (imm != 0) fail(line, "AMO address must be (reg) with no offset");
+        emit32(r_type(d.f7, parse_reg(line, ops[1]), rs1, d.f3,
+                      parse_reg(line, ops[0]), d.opcode));
+        break;
+      }
+      case OpDesc::kFence:
+        emit32(0x0000000F);
+        break;
+      case OpDesc::kEcall:
+        emit32(0x00000073);
+        break;
+      case OpDesc::kEbreak:
+        emit32(0x00100073);
+        break;
+    }
+  }
+
+  Program program_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source, Addr base) {
+  Assembler assembler;
+  return assembler.run(source, base);
+}
+
+}  // namespace pacsim::rv

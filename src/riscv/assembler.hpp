@@ -1,0 +1,48 @@
+// A small two-pass RV64IMA assembler producing real machine code for the
+// interpreter. Supports the instruction subset the interpreter executes,
+// labels, common pseudo-instructions (li, mv, j, ret, beqz, ...) and the
+// data directives .dword/.word/.space/.align.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pacsim::rv {
+
+struct Program {
+  Addr base = 0;
+  std::vector<std::uint8_t> bytes;
+  std::unordered_map<std::string, Addr> labels;
+
+  [[nodiscard]] Addr label(const std::string& name) const {
+    const auto it = labels.find(name);
+    if (it == labels.end()) {
+      throw std::runtime_error("unknown label: " + name);
+    }
+    return it->second;
+  }
+  [[nodiscard]] Addr end() const { return base + bytes.size(); }
+};
+
+/// Assembly error with the offending 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assemble `source` at `base`; throws AsmError on malformed input.
+Program assemble(const std::string& source, Addr base = 0x1000);
+
+}  // namespace pacsim::rv

@@ -1,0 +1,362 @@
+#include "riscv/interpreter.hpp"
+
+#include <limits>
+
+namespace pacsim::rv {
+namespace {
+
+std::int64_t sext(std::uint64_t value, unsigned bits) {
+  const unsigned shift = 64 - bits;
+  return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+std::uint32_t bits(std::uint32_t inst, unsigned hi, unsigned lo) {
+  return (inst >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+std::int64_t imm_i(std::uint32_t inst) { return sext(inst >> 20, 12); }
+std::int64_t imm_s(std::uint32_t inst) {
+  return sext((bits(inst, 31, 25) << 5) | bits(inst, 11, 7), 12);
+}
+std::int64_t imm_b(std::uint32_t inst) {
+  const std::uint32_t v = (bits(inst, 31, 31) << 12) |
+                          (bits(inst, 7, 7) << 11) |
+                          (bits(inst, 30, 25) << 5) | (bits(inst, 11, 8) << 1);
+  return sext(v, 13);
+}
+std::int64_t imm_u(std::uint32_t inst) {
+  return sext(inst & 0xFFFFF000u, 32);
+}
+std::int64_t imm_j(std::uint32_t inst) {
+  const std::uint32_t v = (bits(inst, 31, 31) << 20) |
+                          (bits(inst, 19, 12) << 12) |
+                          (bits(inst, 20, 20) << 11) |
+                          (bits(inst, 30, 21) << 1);
+  return sext(v, 21);
+}
+
+std::int64_t as_s(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+std::uint64_t sext32(std::uint64_t v) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+}
+
+std::uint64_t mulh_signed(std::int64_t a, std::int64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__int128>(a) * static_cast<__int128>(b)) >> 64);
+}
+std::uint64_t mulh_unsigned(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+std::uint64_t mulh_su(std::int64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__int128>(a) * static_cast<unsigned __int128>(b)) >> 64);
+}
+
+std::uint64_t div_signed(std::int64_t a, std::int64_t b) {
+  if (b == 0) return ~std::uint64_t{0};
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+    return static_cast<std::uint64_t>(a);
+  }
+  return static_cast<std::uint64_t>(a / b);
+}
+std::uint64_t rem_signed(std::int64_t a, std::int64_t b) {
+  if (b == 0) return static_cast<std::uint64_t>(a);
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return static_cast<std::uint64_t>(a % b);
+}
+
+}  // namespace
+
+int reg_index(const std::string& name) {
+  static const char* kAbi[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  for (int i = 0; i < 32; ++i) {
+    if (name == kAbi[i]) return i;
+  }
+  if (name == "fp") return 8;
+  if (name.size() >= 2 && name[0] == 'x') {
+    int idx = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return -1;
+      idx = idx * 10 + (name[i] - '0');
+    }
+    return idx < 32 ? idx : -1;
+  }
+  return -1;
+}
+
+std::uint64_t Interpreter::mem_load(Addr addr, unsigned bytes,
+                                    bool sign_extend) {
+  ++stats_.loads;
+  if (rec_ != nullptr) rec_->load(addr, bytes);
+  const std::uint64_t raw = mem_->load(addr, bytes);
+  return sign_extend ? static_cast<std::uint64_t>(sext(raw, bytes * 8)) : raw;
+}
+
+void Interpreter::mem_store(Addr addr, std::uint64_t value, unsigned bytes) {
+  ++stats_.stores;
+  if (rec_ != nullptr) rec_->store(addr, bytes);
+  mem_->store(addr, value, bytes);
+}
+
+Halt Interpreter::run(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    const Halt h = step();
+    if (h != Halt::kRunning) return h;
+  }
+  return Halt::kMaxSteps;
+}
+
+Halt Interpreter::step() {
+  const std::uint32_t inst =
+      static_cast<std::uint32_t>(mem_->load(pc_, 4));
+  last_inst_ = inst;
+  ++stats_.instructions;
+  const std::uint32_t opcode = inst & 0x7F;
+  const unsigned rd = bits(inst, 11, 7);
+  const unsigned rs1 = bits(inst, 19, 15);
+  const unsigned rs2 = bits(inst, 24, 20);
+  const std::uint32_t f3 = bits(inst, 14, 12);
+  const std::uint32_t f7 = bits(inst, 31, 25);
+  Addr next_pc = pc_ + 4;
+
+  auto wr = [&](std::uint64_t v) {
+    if (rd != 0) x_[rd] = v;
+  };
+  auto compute1 = [&] {
+    if (rec_ != nullptr) rec_->compute(1);
+  };
+
+  try {
+    switch (opcode) {
+      case 0x37:  // LUI
+        wr(static_cast<std::uint64_t>(imm_u(inst)));
+        compute1();
+        break;
+      case 0x17:  // AUIPC
+        wr(pc_ + static_cast<std::uint64_t>(imm_u(inst)));
+        compute1();
+        break;
+      case 0x6F:  // JAL
+        wr(pc_ + 4);
+        next_pc = pc_ + static_cast<std::uint64_t>(imm_j(inst));
+        compute1();
+        break;
+      case 0x67: {  // JALR
+        const Addr target =
+            (x_[rs1] + static_cast<std::uint64_t>(imm_i(inst))) & ~Addr{1};
+        wr(pc_ + 4);
+        next_pc = target;
+        compute1();
+        break;
+      }
+      case 0x63: {  // branches
+        bool taken = false;
+        switch (f3) {
+          case 0: taken = x_[rs1] == x_[rs2]; break;
+          case 1: taken = x_[rs1] != x_[rs2]; break;
+          case 4: taken = as_s(x_[rs1]) < as_s(x_[rs2]); break;
+          case 5: taken = as_s(x_[rs1]) >= as_s(x_[rs2]); break;
+          case 6: taken = x_[rs1] < x_[rs2]; break;
+          case 7: taken = x_[rs1] >= x_[rs2]; break;
+          default: return Halt::kIllegal;
+        }
+        if (taken) {
+          next_pc = pc_ + static_cast<std::uint64_t>(imm_b(inst));
+          ++stats_.branches_taken;
+        }
+        compute1();
+        break;
+      }
+      case 0x03: {  // loads
+        const Addr addr = x_[rs1] + static_cast<std::uint64_t>(imm_i(inst));
+        switch (f3) {
+          case 0: wr(mem_load(addr, 1, true)); break;   // LB
+          case 1: wr(mem_load(addr, 2, true)); break;   // LH
+          case 2: wr(mem_load(addr, 4, true)); break;   // LW
+          case 3: wr(mem_load(addr, 8, false)); break;  // LD
+          case 4: wr(mem_load(addr, 1, false)); break;  // LBU
+          case 5: wr(mem_load(addr, 2, false)); break;  // LHU
+          case 6: wr(mem_load(addr, 4, false)); break;  // LWU
+          default: return Halt::kIllegal;
+        }
+        break;
+      }
+      case 0x23: {  // stores
+        const Addr addr = x_[rs1] + static_cast<std::uint64_t>(imm_s(inst));
+        switch (f3) {
+          case 0: mem_store(addr, x_[rs2], 1); break;
+          case 1: mem_store(addr, x_[rs2], 2); break;
+          case 2: mem_store(addr, x_[rs2], 4); break;
+          case 3: mem_store(addr, x_[rs2], 8); break;
+          default: return Halt::kIllegal;
+        }
+        break;
+      }
+      case 0x13: {  // OP-IMM
+        const std::uint64_t imm = static_cast<std::uint64_t>(imm_i(inst));
+        const unsigned shamt = bits(inst, 25, 20);
+        switch (f3) {
+          case 0: wr(x_[rs1] + imm); break;                      // ADDI
+          case 2: wr(as_s(x_[rs1]) < as_s(imm) ? 1 : 0); break;  // SLTI
+          case 3: wr(x_[rs1] < imm ? 1 : 0); break;              // SLTIU
+          case 4: wr(x_[rs1] ^ imm); break;
+          case 6: wr(x_[rs1] | imm); break;
+          case 7: wr(x_[rs1] & imm); break;
+          case 1: wr(x_[rs1] << shamt); break;  // SLLI
+          case 5:
+            wr(bits(inst, 30, 30) ? static_cast<std::uint64_t>(
+                                        as_s(x_[rs1]) >> shamt)  // SRAI
+                                  : x_[rs1] >> shamt);           // SRLI
+            break;
+          default: return Halt::kIllegal;
+        }
+        compute1();
+        break;
+      }
+      case 0x1B: {  // OP-IMM-32
+        const std::uint64_t imm = static_cast<std::uint64_t>(imm_i(inst));
+        const unsigned shamt = bits(inst, 24, 20);
+        const std::uint32_t w = static_cast<std::uint32_t>(x_[rs1]);
+        switch (f3) {
+          case 0: wr(sext32(w + static_cast<std::uint32_t>(imm))); break;
+          case 1: wr(sext32(w << shamt)); break;  // SLLIW
+          case 5:
+            wr(bits(inst, 30, 30)
+                   ? sext32(static_cast<std::uint32_t>(
+                         static_cast<std::int32_t>(w) >> shamt))  // SRAIW
+                   : sext32(w >> shamt));                         // SRLIW
+            break;
+          default: return Halt::kIllegal;
+        }
+        compute1();
+        break;
+      }
+      case 0x33: {  // OP
+        if (f7 == 0x01) {  // RV64M
+          switch (f3) {
+            case 0: wr(x_[rs1] * x_[rs2]); break;  // MUL
+            case 1: wr(mulh_signed(as_s(x_[rs1]), as_s(x_[rs2]))); break;
+            case 2: wr(mulh_su(as_s(x_[rs1]), x_[rs2])); break;
+            case 3: wr(mulh_unsigned(x_[rs1], x_[rs2])); break;
+            case 4: wr(div_signed(as_s(x_[rs1]), as_s(x_[rs2]))); break;
+            case 5:  // DIVU
+              wr(x_[rs2] == 0 ? ~std::uint64_t{0} : x_[rs1] / x_[rs2]);
+              break;
+            case 6: wr(rem_signed(as_s(x_[rs1]), as_s(x_[rs2]))); break;
+            case 7:  // REMU
+              wr(x_[rs2] == 0 ? x_[rs1] : x_[rs1] % x_[rs2]);
+              break;
+          }
+          compute1();
+          break;
+        }
+        const unsigned shamt = static_cast<unsigned>(x_[rs2] & 63);
+        switch (f3) {
+          case 0:
+            wr(f7 == 0x20 ? x_[rs1] - x_[rs2] : x_[rs1] + x_[rs2]);
+            break;
+          case 1: wr(x_[rs1] << shamt); break;
+          case 2: wr(as_s(x_[rs1]) < as_s(x_[rs2]) ? 1 : 0); break;
+          case 3: wr(x_[rs1] < x_[rs2] ? 1 : 0); break;
+          case 4: wr(x_[rs1] ^ x_[rs2]); break;
+          case 5:
+            wr(f7 == 0x20
+                   ? static_cast<std::uint64_t>(as_s(x_[rs1]) >> shamt)
+                   : x_[rs1] >> shamt);
+            break;
+          case 6: wr(x_[rs1] | x_[rs2]); break;
+          case 7: wr(x_[rs1] & x_[rs2]); break;
+        }
+        compute1();
+        break;
+      }
+      case 0x3B: {  // OP-32
+        const std::uint32_t a = static_cast<std::uint32_t>(x_[rs1]);
+        const std::uint32_t b = static_cast<std::uint32_t>(x_[rs2]);
+        if (f7 == 0x01) {  // RV64M W-forms
+          const std::int32_t sa = static_cast<std::int32_t>(a);
+          const std::int32_t sb = static_cast<std::int32_t>(b);
+          switch (f3) {
+            case 0: wr(sext32(a * b)); break;  // MULW
+            case 4:                            // DIVW
+              wr(sb == 0 ? ~std::uint64_t{0}
+                         : (sa == std::numeric_limits<std::int32_t>::min() &&
+                                    sb == -1
+                                ? sext32(static_cast<std::uint32_t>(sa))
+                                : sext32(static_cast<std::uint32_t>(sa / sb))));
+              break;
+            case 5: wr(sb == 0 ? sext32(a) : sext32(a / b)); break;  // DIVUW
+            case 6:                                                  // REMW
+              wr(sb == 0 ? sext32(a)
+                         : (sa == std::numeric_limits<std::int32_t>::min() &&
+                                    sb == -1
+                                ? 0
+                                : sext32(static_cast<std::uint32_t>(sa % sb))));
+              break;
+            case 7: wr(sb == 0 ? sext32(a) : sext32(a % b)); break;  // REMUW
+            default: return Halt::kIllegal;
+          }
+          compute1();
+          break;
+        }
+        const unsigned shamt = static_cast<unsigned>(x_[rs2] & 31);
+        switch (f3) {
+          case 0: wr(f7 == 0x20 ? sext32(a - b) : sext32(a + b)); break;
+          case 1: wr(sext32(a << shamt)); break;
+          case 5:
+            wr(f7 == 0x20 ? sext32(static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(a) >> shamt))
+                          : sext32(a >> shamt));
+            break;
+          default: return Halt::kIllegal;
+        }
+        compute1();
+        break;
+      }
+      case 0x0F:  // FENCE
+        if (rec_ != nullptr) rec_->fence();
+        break;
+      case 0x73:  // SYSTEM
+        if (inst == 0x00000073) return Halt::kEcall;
+        if (inst == 0x00100073) return Halt::kEbreak;
+        return Halt::kIllegal;
+      case 0x2F: {  // AMO (RV64A subset)
+        const std::uint32_t f5 = bits(inst, 31, 27);
+        const unsigned bytes = f3 == 2 ? 4 : (f3 == 3 ? 8 : 0);
+        if (bytes == 0) return Halt::kIllegal;
+        const Addr addr = x_[rs1];
+        ++stats_.amos;
+        if (rec_ != nullptr) rec_->atomic(addr, bytes);
+        const std::uint64_t old = bytes == 4
+                                      ? sext32(mem_->load(addr, 4))
+                                      : mem_->load(addr, 8);
+        std::uint64_t result = 0;
+        switch (f5) {
+          case 0x01: result = x_[rs2]; break;        // AMOSWAP
+          case 0x00: result = old + x_[rs2]; break;  // AMOADD
+          case 0x04: result = old ^ x_[rs2]; break;  // AMOXOR
+          case 0x0C: result = old & x_[rs2]; break;  // AMOAND
+          case 0x08: result = old | x_[rs2]; break;  // AMOOR
+          default: return Halt::kIllegal;
+        }
+        mem_->store(addr, result, bytes);
+        wr(old);
+        break;
+      }
+      default:
+        return Halt::kIllegal;
+    }
+  } catch (const TraceRecorder::TraceFull&) {
+    return Halt::kTraceFull;
+  }
+
+  pc_ = next_pc;
+  return Halt::kRunning;
+}
+
+}  // namespace pacsim::rv

@@ -1,0 +1,82 @@
+// Functional RV64IMA-subset interpreter - the "Spike-lite" front end.
+//
+// Executes real RV64 machine code (as produced by rv::Assembler) over the
+// sparse Memory, optionally recording every memory access and instruction
+// into a TraceRecorder so that assembly kernels can drive the same
+// simulated memory stack as the built-in C++ workloads.
+//
+// Supported: RV64I (full integer subset incl. W-forms), RV64M, FENCE,
+// ECALL/EBREAK (halt), and the AMO instructions AMOSWAP/AMOADD/AMOXOR/
+// AMOAND/AMOOR (W and D forms). Not modelled: CSRs, interrupts, paging,
+// compressed instructions, floating point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/trace_recorder.hpp"
+#include "riscv/memory.hpp"
+
+namespace pacsim::rv {
+
+enum class Halt : std::uint8_t {
+  kRunning = 0,
+  kEcall,       ///< environment call: programs use this to exit
+  kEbreak,
+  kIllegal,     ///< undecodable instruction
+  kMaxSteps,    ///< step budget exhausted
+  kTraceFull,   ///< the attached TraceRecorder reached its budget
+};
+
+struct ExecStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t amos = 0;
+  std::uint64_t branches_taken = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(Memory* memory) : mem_(memory) {}
+
+  /// Attach a recorder: loads/stores/AMOs/fences are recorded, and every
+  /// non-memory instruction contributes one compute cycle.
+  void attach_recorder(TraceRecorder* recorder) { rec_ = recorder; }
+
+  void set_pc(Addr pc) { pc_ = pc; }
+  [[nodiscard]] Addr pc() const { return pc_; }
+
+  [[nodiscard]] std::uint64_t reg(unsigned index) const { return x_[index]; }
+  void set_reg(unsigned index, std::uint64_t value) {
+    if (index != 0) x_[index] = value;
+  }
+
+  /// Execute one instruction; returns the halt condition (kRunning if the
+  /// program continues).
+  Halt step();
+
+  /// Run until halt or `max_steps` instructions.
+  Halt run(std::uint64_t max_steps);
+
+  [[nodiscard]] const ExecStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t last_instruction() const { return last_inst_; }
+
+ private:
+  std::uint64_t mem_load(Addr addr, unsigned bytes, bool sign_extend);
+  void mem_store(Addr addr, std::uint64_t value, unsigned bytes);
+
+  Memory* mem_;
+  TraceRecorder* rec_ = nullptr;
+  std::array<std::uint64_t, 32> x_{};
+  Addr pc_ = 0;
+  ExecStats stats_;
+  std::uint32_t last_inst_ = 0;
+};
+
+/// Register ABI names ("a0", "t3", "sp", ...) -> index; returns -1 when
+/// unknown. Shared by the assembler and tests.
+int reg_index(const std::string& name);
+
+}  // namespace pacsim::rv

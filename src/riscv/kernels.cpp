@@ -1,0 +1,173 @@
+#include "riscv/kernels.hpp"
+
+namespace pacsim::rv {
+namespace {
+
+// STREAM triad: a[i] = b[i] + s * c[i] over per-core 512 KB slices.
+constexpr const char* kStream = R"(
+    li   t0, 0x10000000      # a
+    li   t1, 0x14000000      # b
+    li   t2, 0x18000000      # c
+    li   t3, 65536           # doubles per core
+    mul  t4, a0, t3
+    slli t4, t4, 3
+    add  t0, t0, t4
+    add  t1, t1, t4
+    add  t2, t2, t4
+    li   t5, 0
+    li   t6, 3
+stream_loop:
+    ld   a2, 0(t1)
+    ld   a3, 0(t2)
+    mul  a3, a3, t6
+    add  a2, a2, a3
+    sd   a2, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 8
+    addi t5, t5, 1
+    blt  t5, t3, stream_loop
+    ecall
+)";
+
+// Page-clustered gather bursts (the GS pattern) + per-burst sequential
+// scatter; page bases from a per-core xorshift stream.
+constexpr const char* kGather = R"(
+    li   s0, 0x20000000      # 64 MB table
+    li   s1, 0x40000000      # output
+    li   t0, 4096
+    mul  t1, a0, t0
+    slli t1, t1, 3
+    add  s1, s1, t1
+    li   s2, 0
+    li   s3, 4096            # bursts per core (budget will cut earlier)
+    addi s4, a0, 99          # xorshift seed
+gs_burst:
+    slli t2, s4, 13
+    xor  s4, s4, t2
+    srli t2, s4, 7
+    xor  s4, s4, t2
+    slli t2, s4, 17
+    xor  s4, s4, t2
+    li   t3, 16383
+    and  t2, s4, t3
+    slli t2, t2, 12
+    add  t2, t2, s0
+    li   t4, 0
+    li   t5, 32
+gs_inner:
+    ld   a2, 0(t2)
+    sd   a2, 0(s1)
+    addi t2, t2, 8
+    addi s1, s1, 8
+    addi t4, t4, 1
+    blt  t4, t5, gs_inner
+    addi s2, s2, 1
+    blt  s2, s3, gs_burst
+    ecall
+)";
+
+// GUPS-style random updates over a 128 MB table: load, xor, store at
+// xorshift addresses - the scattered pattern that defeats coalescing.
+constexpr const char* kRandom = R"(
+    li   s0, 0x20000000
+    addi s4, a0, 7           # seed
+    li   s2, 0
+    li   s3, 1000000
+rand_loop:
+    slli t2, s4, 13
+    xor  s4, s4, t2
+    srli t2, s4, 7
+    xor  s4, s4, t2
+    slli t2, s4, 17
+    xor  s4, s4, t2
+    li   t3, 0x00FFFFF8      # 16M-aligned-8 mask inside 128 MB
+    and  t2, s4, t3
+    add  t2, t2, s0
+    ld   a2, 0(t2)
+    xor  a2, a2, s4
+    sd   a2, 0(t2)
+    addi s2, s2, 1
+    blt  s2, s3, rand_loop
+    ecall
+)";
+
+// 1-D three-point stencil sweep: out[i] = in[i-1] + in[i] + in[i+1] over
+// per-core 1 MB slices (the MG/SP access class).
+constexpr const char* kStencil = R"(
+    li   t0, 0x30000000      # in
+    li   t1, 0x38000000      # out
+    li   t3, 131072          # doubles per core
+    mul  t4, a0, t3
+    slli t4, t4, 3
+    add  t0, t0, t4
+    add  t1, t1, t4
+    li   t5, 1
+    addi t6, t3, -1
+stencil_loop:
+    slli a4, t5, 3
+    add  a5, t0, a4
+    ld   a2, -8(a5)
+    ld   a3, 0(a5)
+    ld   a6, 8(a5)
+    add  a2, a2, a3
+    add  a2, a2, a6
+    add  a5, t1, a4
+    sd   a2, 0(a5)
+    addi t5, t5, 1
+    blt  t5, t6, stencil_loop
+    ecall
+)";
+
+// Histogram: sequential key scan + atomic increments into a shared 2 MB
+// bucket table (the IS class, exercising the AMO bypass path).
+constexpr const char* kHistogram = R"(
+    li   s0, 0x50000000      # keys (sequential reads)
+    li   s1, 0x58000000      # shared buckets
+    li   t3, 262144          # keys per core
+    mul  t4, a0, t3
+    slli t4, t4, 3
+    add  s0, s0, t4
+    li   t5, 0
+    addi s4, a0, 31          # xorshift for synthetic key values
+hist_loop:
+    ld   a2, 0(s0)
+    slli t2, s4, 13
+    xor  s4, s4, t2
+    srli t2, s4, 7
+    xor  s4, s4, t2
+    li   t6, 0x1FFFF8
+    and  a3, s4, t6
+    add  a3, a3, s1
+    li   a4, 1
+    amoadd.d a5, a4, (a3)
+    addi s0, s0, 8
+    addi t5, t5, 1
+    blt  t5, t3, hist_loop
+    ecall
+)";
+
+}  // namespace
+
+const std::vector<const RiscvProgramWorkload*>& rv_workloads() {
+  static const RiscvProgramWorkload kKernels[] = {
+      {"rv-stream", "STREAM triad in RV64 assembly", kStream},
+      {"rv-gs", "page-clustered gather/scatter in RV64 assembly", kGather},
+      {"rv-rand", "GUPS-style random updates in RV64 assembly", kRandom},
+      {"rv-stencil", "1-D stencil sweep in RV64 assembly", kStencil},
+      {"rv-hist", "histogram with AMO increments in RV64 assembly",
+       kHistogram},
+  };
+  static const std::vector<const RiscvProgramWorkload*> all = {
+      &kKernels[0], &kKernels[1], &kKernels[2], &kKernels[3], &kKernels[4]};
+  return all;
+}
+
+const RiscvProgramWorkload* find_rv_workload(std::string_view name) {
+  for (const RiscvProgramWorkload* w : rv_workloads()) {
+    if (w->name() == name) return w;
+  }
+  return nullptr;
+}
+
+}  // namespace pacsim::rv

@@ -1,0 +1,23 @@
+// A library of RV64 assembly kernels, exposed as regular Workloads: the
+// same memory stack can be driven either by the C++ mini-suites or by real
+// machine code running on the interpreter (Spike-equivalent methodology).
+//
+// Kernel convention: a0 = core id, a1 = core count, sp = per-core stack;
+// kernels partition data by core id and halt with `ecall` (or run until the
+// per-core trace budget fills).
+#pragma once
+
+#include <vector>
+
+#include "riscv/riscv_workload.hpp"
+
+namespace pacsim::rv {
+
+/// All built-in assembly kernels (rv-stream, rv-gs, rv-rand, rv-stencil,
+/// rv-hist).
+const std::vector<const RiscvProgramWorkload*>& rv_workloads();
+
+/// Look up one kernel by name; nullptr when unknown.
+const RiscvProgramWorkload* find_rv_workload(std::string_view name);
+
+}  // namespace pacsim::rv

@@ -1,0 +1,56 @@
+// Sparse flat memory for the RV64 interpreter: page-backed, zero-initialized.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pacsim::rv {
+
+class Memory {
+ public:
+  std::uint64_t load(Addr addr, unsigned bytes) const {
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      value |= static_cast<std::uint64_t>(peek(addr + i)) << (8 * i);
+    }
+    return value;
+  }
+
+  void store(Addr addr, std::uint64_t value, unsigned bytes) {
+    for (unsigned i = 0; i < bytes; ++i) {
+      poke(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  /// Bulk copy used by the loader.
+  void write_block(Addr addr, const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) poke(addr + i, bytes[i]);
+  }
+
+  [[nodiscard]] std::size_t pages_touched() const { return pages_.size(); }
+
+ private:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  std::uint8_t peek(Addr addr) const {
+    const auto it = pages_.find(addr / kPageBytes);
+    if (it == pages_.end()) return 0;
+    return it->second[addr % kPageBytes];
+  }
+
+  void poke(Addr addr, std::uint8_t value) {
+    auto& page = pages_[addr / kPageBytes];
+    if (page.empty()) page.resize(kPageBytes, 0);
+    page[addr % kPageBytes] = value;
+  }
+
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+};
+
+}  // namespace pacsim::rv

@@ -1,0 +1,42 @@
+#include "riscv/riscv_workload.hpp"
+
+#include "core/trace_recorder.hpp"
+#include "riscv/interpreter.hpp"
+#include "riscv/memory.hpp"
+
+namespace pacsim::rv {
+
+std::vector<Trace> RiscvProgramWorkload::generate(
+    const WorkloadConfig& cfg) const {
+  const Program program = assemble(source_, load_base_);
+
+  std::vector<Trace> traces(cfg.num_cores);
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    Memory memory;
+    memory.write_block(program.base, program.bytes.data(),
+                       program.bytes.size());
+
+    Interpreter cpu(&memory);
+    cpu.set_pc(program.base);
+    cpu.set_reg(static_cast<unsigned>(reg_index("a0")), core);
+    cpu.set_reg(static_cast<unsigned>(reg_index("a1")), cfg.num_cores);
+    // Per-core stacks above the image, page-aligned and disjoint.
+    const Addr stack_top =
+        ((program.end() + kPageSize) & ~Addr{kPageSize - 1}) +
+        (core + 1) * 64 * kPageSize;
+    cpu.set_reg(static_cast<unsigned>(reg_index("sp")), stack_top);
+
+    TraceRecorder recorder(&traces[core], cfg.max_ops_per_core);
+    recorder.set_compute_scale(cfg.compute_scale);
+    cpu.attach_recorder(&recorder);
+
+    last_halt_ = cpu.run(max_steps_);
+    if (last_halt_ == Halt::kIllegal) {
+      throw std::runtime_error(
+          name_ + ": illegal instruction at pc=" + std::to_string(cpu.pc()));
+    }
+  }
+  return traces;
+}
+
+}  // namespace pacsim::rv

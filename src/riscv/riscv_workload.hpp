@@ -1,0 +1,50 @@
+// Adapter: run an assembled RV64 program on every core to produce the
+// per-core traces the System consumes - the closest equivalent of the
+// paper's Spike-based trace collection.
+//
+// Convention for kernels: on entry a0 = core id, a1 = core count,
+// sp = a per-core stack top; the program partitions its own data by core id
+// and exits with `ecall`. If the per-core op budget fills first, the trace
+// simply ends there (exactly like the C++ workloads).
+#pragma once
+
+#include <string>
+
+#include "riscv/assembler.hpp"
+#include "riscv/interpreter.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim::rv {
+
+class RiscvProgramWorkload final : public Workload {
+ public:
+  RiscvProgramWorkload(std::string name, std::string description,
+                       std::string source, Addr load_base = 0x1000,
+                       std::uint64_t max_steps = 50'000'000)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        source_(std::move(source)),
+        load_base_(load_base),
+        max_steps_(max_steps) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::string_view description() const override {
+    return description_;
+  }
+
+  [[nodiscard]] std::vector<Trace> generate(
+      const WorkloadConfig& cfg) const override;
+
+  /// The halt condition of the most recent per-core run (diagnostics).
+  [[nodiscard]] Halt last_halt() const { return last_halt_; }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::string source_;
+  Addr load_base_;
+  std::uint64_t max_steps_;
+  mutable Halt last_halt_ = Halt::kRunning;
+};
+
+}  // namespace pacsim::rv

@@ -1,0 +1,58 @@
+// Results of one full-system run and the derived evaluation metrics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hmc/hmc_stats.hpp"
+#include "hmc/power_model.hpp"
+#include "mem/packet.hpp"
+#include "pac/coalescer.hpp"
+#include "pac/pac_stats.hpp"
+
+namespace pacsim {
+
+struct RunResult {
+  Cycle cycles = 0;  ///< total runtime in CPU cycles
+  double ns_per_cycle = 0.5;
+
+  CoalescerStats coal;
+  PacStats pac;        ///< valid only when has_pac
+  bool has_pac = false;
+
+  HmcStats hmc;
+  std::array<PicoJoule, static_cast<std::size_t>(HmcOp::kCount)> energy{};
+  PicoJoule total_energy = 0.0;
+
+  /// Captured raw-request addresses (when SystemConfig::record_raw_trace).
+  std::vector<Addr> raw_trace;
+
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t llc_hits = 0, llc_misses = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t core_stall_cycles = 0;
+
+  /// Paper Eq. (1).
+  [[nodiscard]] double coalescing_efficiency() const {
+    return coal.coalescing_efficiency();
+  }
+  /// Paper Eq. (2): payload over payload + per-transaction control bytes.
+  [[nodiscard]] double transaction_eff() const {
+    return transaction_efficiency(coal.issued_payload_bytes,
+                                  coal.issued_requests);
+  }
+  /// Total bytes moved on the links (payload + control), for Fig. 10c.
+  [[nodiscard]] std::uint64_t link_bytes() const {
+    return coal.issued_payload_bytes +
+           coal.issued_requests * kControlBytesPerTransaction;
+  }
+  [[nodiscard]] double runtime_ns() const {
+    return static_cast<double>(cycles) * ns_per_cycle;
+  }
+  [[nodiscard]] double avg_hmc_latency_ns() const {
+    return hmc.access_latency.mean() * ns_per_cycle;
+  }
+};
+
+}  // namespace pacsim

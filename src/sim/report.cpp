@@ -1,0 +1,113 @@
+#include "sim/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pacsim {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string run_report_json(const std::string& label, CoalescerKind kind,
+                            const RunResult& r) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"label\": \"" << escape(label) << "\",\n";
+  out << "  \"coalescer\": \"" << to_string(kind) << "\",\n";
+  out << "  \"cycles\": " << r.cycles << ",\n";
+  out << "  \"runtime_ns\": " << num(r.runtime_ns()) << ",\n";
+  out << "  \"raw_requests\": " << r.coal.raw_requests << ",\n";
+  out << "  \"issued_requests\": " << r.coal.issued_requests << ",\n";
+  out << "  \"issued_payload_bytes\": " << r.coal.issued_payload_bytes
+      << ",\n";
+  out << "  \"coalescing_efficiency\": " << num(r.coalescing_efficiency())
+      << ",\n";
+  out << "  \"transaction_efficiency\": " << num(r.transaction_eff())
+      << ",\n";
+  out << "  \"link_bytes\": " << r.link_bytes() << ",\n";
+  out << "  \"comparisons\": " << r.coal.comparisons << ",\n";
+  out << "  \"atomics\": " << r.coal.atomics << ",\n";
+  out << "  \"fences\": " << r.coal.fences << ",\n";
+  out << "  \"bank_conflicts\": " << r.hmc.bank_conflicts << ",\n";
+  out << "  \"row_accesses\": " << r.hmc.row_accesses << ",\n";
+  out << "  \"refreshes\": " << r.hmc.refreshes << ",\n";
+  out << "  \"local_routes\": " << r.hmc.local_routes << ",\n";
+  out << "  \"remote_routes\": " << r.hmc.remote_routes << ",\n";
+  out << "  \"avg_hmc_latency_ns\": " << num(r.avg_hmc_latency_ns()) << ",\n";
+  out << "  \"l1_hits\": " << r.l1_hits << ",\n";
+  out << "  \"l1_misses\": " << r.l1_misses << ",\n";
+  out << "  \"llc_hits\": " << r.llc_hits << ",\n";
+  out << "  \"llc_misses\": " << r.llc_misses << ",\n";
+  out << "  \"prefetches\": " << r.prefetches_issued << ",\n";
+  out << "  \"energy_pj\": {\n";
+  for (std::size_t op = 0; op < r.energy.size(); ++op) {
+    out << "    \"" << to_string(static_cast<HmcOp>(op))
+        << "\": " << num(r.energy[op]);
+    out << (op + 1 < r.energy.size() ? ",\n" : "\n");
+  }
+  out << "  },\n";
+  out << "  \"total_energy_pj\": " << num(r.total_energy) << ",\n";
+  out << "  \"request_size_histogram\": {";
+  bool first = true;
+  for (const auto& [bytes, count] : r.coal.request_size_bytes.buckets()) {
+    if (!first) out << ", ";
+    out << "\"" << bytes << "\": " << count;
+    first = false;
+  }
+  out << "}";
+  if (r.has_pac) {
+    out << ",\n  \"pac\": {\n";
+    out << "    \"c0_bypass_requests\": " << r.pac.c0_bypass_requests
+        << ",\n";
+    out << "    \"controller_bypass_requests\": "
+        << r.pac.controller_bypass_requests << ",\n";
+    out << "    \"mshr_merges\": " << r.pac.mshr_merges << ",\n";
+    out << "    \"timeout_flushes\": " << r.pac.timeout_flushes << ",\n";
+    out << "    \"fence_flushes\": " << r.pac.fence_flushes << ",\n";
+    out << "    \"cross_page_adjacent\": " << r.pac.cross_page_adjacent
+        << ",\n";
+    out << "    \"avg_stream_occupancy\": "
+        << num(r.pac.stream_occupancy.mean()) << ",\n";
+    out << "    \"stage2_latency_cycles\": "
+        << num(r.pac.stage2_latency.mean()) << ",\n";
+    out << "    \"stage3_latency_cycles\": "
+        << num(r.pac.stage3_latency.mean()) << ",\n";
+    out << "    \"maq_fill_latency_cycles\": "
+        << num(r.pac.maq_fill_latency.mean()) << "\n";
+    out << "  }";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+void write_run_report(const std::string& path, const std::string& label,
+                      CoalescerKind kind, const RunResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write report: " + path);
+  out << run_report_json(label, kind, result);
+  if (!out) throw std::runtime_error("report write failed: " + path);
+}
+
+}  // namespace pacsim

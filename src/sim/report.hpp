@@ -1,0 +1,21 @@
+// Machine-readable run reports: serialize a RunResult (plus the headline
+// derived metrics) as JSON for downstream tooling and plotting scripts.
+#pragma once
+
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/system_config.hpp"
+
+namespace pacsim {
+
+/// JSON object describing one run. `label` names the run (suite +
+/// coalescer); pretty-printed with two-space indentation.
+std::string run_report_json(const std::string& label, CoalescerKind kind,
+                            const RunResult& result);
+
+/// Write a report to a file; throws std::runtime_error on I/O failure.
+void write_run_report(const std::string& path, const std::string& label,
+                      CoalescerKind kind, const RunResult& result);
+
+}  // namespace pacsim

@@ -1,0 +1,55 @@
+#include "sim/runner.hpp"
+
+namespace pacsim {
+
+RunResult simulate(const SystemConfig& cfg, const std::vector<Trace>& traces,
+                   const std::vector<std::uint8_t>& processes) {
+  System system(cfg);
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    const Trace& trace =
+        core < traces.size() ? traces[core] : Trace{};
+    const std::uint8_t process =
+        core < processes.size() ? processes[core] : std::uint8_t{0};
+    system.load_trace(core, trace, process);
+  }
+  return system.run();
+}
+
+RunResult run_suite(const Workload& suite, CoalescerKind kind,
+                    const WorkloadConfig& wcfg, SystemConfig cfg) {
+  cfg.coalescer = kind;
+  cfg.num_cores = wcfg.num_cores;
+  const std::vector<Trace> traces = suite.generate(wcfg);
+  return simulate(cfg, traces);
+}
+
+RunResult run_multiprocess(const Workload& first, const Workload& second,
+                           CoalescerKind kind, const WorkloadConfig& wcfg,
+                           SystemConfig cfg) {
+  cfg.coalescer = kind;
+  cfg.num_cores = wcfg.num_cores;
+
+  WorkloadConfig half = wcfg;
+  half.num_cores = wcfg.num_cores / 2;
+
+  WorkloadConfig other = half;
+  other.seed = wcfg.seed ^ 0x0DD5EEDULL;
+
+  const std::vector<Trace> t1 = first.generate(half);
+  const std::vector<Trace> t2 = second.generate(other);
+
+  std::vector<Trace> traces;
+  std::vector<std::uint8_t> processes;
+  traces.reserve(wcfg.num_cores);
+  for (const Trace& t : t1) {
+    traces.push_back(t);
+    processes.push_back(0);
+  }
+  for (const Trace& t : t2) {
+    traces.push_back(t);
+    processes.push_back(1);
+  }
+  return simulate(cfg, traces, processes);
+}
+
+}  // namespace pacsim

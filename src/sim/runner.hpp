@@ -1,0 +1,29 @@
+// Convenience drivers used by the benches, examples and integration tests:
+// generate a suite's traces once and simulate them under any coalescer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim {
+
+/// Simulate pre-generated traces. `processes[i]` is the address space of
+/// core i (defaults to a single shared process).
+RunResult simulate(const SystemConfig& cfg, const std::vector<Trace>& traces,
+                   const std::vector<std::uint8_t>& processes = {});
+
+/// Generate + simulate one suite under `kind`.
+RunResult run_suite(const Workload& suite, CoalescerKind kind,
+                    const WorkloadConfig& wcfg, SystemConfig cfg);
+
+/// Paper Fig. 6b multiprocessing mode: two suites pinned to disjoint core
+/// halves with distinct processes (distinct page tables).
+RunResult run_multiprocess(const Workload& first, const Workload& second,
+                           CoalescerKind kind, const WorkloadConfig& wcfg,
+                           SystemConfig cfg);
+
+}  // namespace pacsim

@@ -1,0 +1,364 @@
+#include "sim/system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "baseline/direct_controller.hpp"
+#include "baseline/mshr_dmc.hpp"
+
+namespace pacsim {
+
+System::System(const SystemConfig& cfg)
+    : cfg_(cfg),
+      power_(cfg.power),
+      hmc_(std::make_unique<HmcDevice>(cfg.hmc, &power_)),
+      l2_(cfg.l2),
+      prefetcher_(cfg.num_cores, cfg.prefetch),
+      page_table_(cfg.phys_pages, cfg.page_table_seed),
+      miss_queue_(cfg.miss_queue_entries),
+      wb_queue_(cfg.wb_queue_entries) {
+  cores_.resize(cfg.num_cores);
+  l1_.reserve(cfg.num_cores);
+  for (std::uint32_t i = 0; i < cfg.num_cores; ++i) l1_.emplace_back(cfg.l1);
+
+  switch (cfg.coalescer) {
+    case CoalescerKind::kPac: {
+      auto pac = std::make_unique<Pac>(cfg.pac, hmc_.get());
+      pac_ = pac.get();
+      coalescer_ = std::move(pac);
+      break;
+    }
+    case CoalescerKind::kMshrDmc:
+      coalescer_ = std::make_unique<MshrDmc>(cfg.mshr_dmc, hmc_.get());
+      break;
+    case CoalescerKind::kDirect:
+      coalescer_ = std::make_unique<DirectController>(cfg.direct, hmc_.get());
+      break;
+    case CoalescerKind::kSortingDmc:
+      coalescer_ =
+          std::make_unique<SortingCoalescer>(cfg.sorting_dmc, hmc_.get());
+      break;
+  }
+}
+
+void System::load_trace(std::uint32_t core, Trace trace, std::uint8_t process) {
+  assert(core < cores_.size());
+  cores_[core].trace = std::move(trace);
+  cores_[core].process = process;
+  cores_[core].done = cores_[core].trace.empty();
+}
+
+MemRequest System::make_raw(Addr paddr, MemOp op, std::uint8_t core,
+                            std::uint32_t bytes) {
+  MemRequest req;
+  req.id = next_raw_id_++;
+  req.paddr = paddr;
+  req.bytes = bytes;
+  req.op = op;
+  req.core = core;
+  req.process = cores_[core].process;
+  req.created_at = now_;
+  return req;
+}
+
+void System::l2_install_dirty(Addr block) {
+  const CacheAccess acc = l2_.access(block, true);
+  if (acc.writeback) {
+    // A write-back slot was reserved by the caller's capacity pre-check.
+    const bool ok = wb_queue_.push(
+        make_raw(acc.victim_addr, MemOp::kStore, 0, cfg_.l2.line_bytes));
+    assert(ok);
+    (void)ok;
+  }
+}
+
+void System::issue_prefetches(std::uint32_t core, Addr block) {
+  if (!cfg_.enable_prefetch) return;
+  for (Addr target : prefetcher_.on_miss(core, block)) {
+    if (miss_queue_.full() || wb_queue_.full()) break;
+    // Skip lines that are valid or already being filled: the prefetcher
+    // shares the MSHRs' visibility of outstanding fills.
+    if (l2_.probe(target)) continue;
+    const CacheAccess acc = l2_.fill(target);
+    if (acc.writeback) {
+      const bool ok = wb_queue_.push(
+          make_raw(acc.victim_addr, MemOp::kStore, 0, cfg_.l2.line_bytes));
+      assert(ok);
+      (void)ok;
+    }
+    llc_inflight_.insert(target);
+    MemRequest req =
+        make_raw(target, MemOp::kLoad,
+                 static_cast<std::uint8_t>(core), cfg_.l2.line_bytes);
+    inflight_misses_.emplace(req.id, MissInfo{static_cast<std::uint8_t>(core),
+                                              /*demand_load=*/false,
+                                              /*primary_fill=*/true, target});
+    const bool ok = miss_queue_.push(std::move(req));
+    assert(ok);
+    (void)ok;
+    ++prefetch_count_;
+  }
+}
+
+void System::step_core(std::uint32_t i) {
+  CoreState& c = cores_[i];
+  if (c.done) return;
+  if (now_ < c.ready_at) return;
+  if (c.pc >= c.trace.size()) {
+    c.done = true;
+    return;
+  }
+
+  const TraceOp& op = c.trace[c.pc];
+  switch (op.kind) {
+    case OpKind::kCompute:
+      c.ready_at = now_ + op.arg;
+      ++c.pc;
+      return;
+
+    case OpKind::kFence: {
+      if (miss_queue_.full()) {
+        ++c.stall_cycles;
+        return;
+      }
+      const bool ok = miss_queue_.push(make_raw(0, MemOp::kFence,
+                                                static_cast<std::uint8_t>(i), 0));
+      assert(ok);
+      (void)ok;
+      c.ready_at = now_ + 1;
+      ++c.pc;
+      return;
+    }
+
+    case OpKind::kAtomic: {
+      if (c.outstanding_loads >= cfg_.max_outstanding_loads ||
+          miss_queue_.full()) {
+        ++c.stall_cycles;
+        return;
+      }
+      const Addr paddr = page_table_.translate(c.process, op.vaddr);
+      MemRequest req = make_raw(paddr, MemOp::kAtomic,
+                                static_cast<std::uint8_t>(i), op.arg);
+      inflight_misses_.emplace(
+          req.id, MissInfo{static_cast<std::uint8_t>(i), /*demand_load=*/true});
+      const bool ok = miss_queue_.push(std::move(req));
+      assert(ok);
+      (void)ok;
+      ++c.outstanding_loads;
+      c.ready_at = now_ + 1;
+      ++c.pc;
+      return;
+    }
+
+    case OpKind::kLoad:
+    case OpKind::kStore: {
+      const bool is_store = op.kind == OpKind::kStore;
+      const Addr paddr = page_table_.translate(c.process, op.vaddr);
+      const Addr block = block_base(paddr);
+
+      if (l1_[i].probe(block)) {
+        l1_[i].access(block, is_store);
+        c.ready_at = now_ + (is_store ? 1 : cfg_.l1.hit_latency);
+        ++c.pc;
+        return;
+      }
+
+      // Cross-core access to an LLC line still being filled: the line's
+      // tag is present but its data is not, so a raw request is emitted
+      // and merged (or duplicated) below the LLC.
+      if (llc_inflight_.contains(block)) {
+        if (miss_queue_.full() || wb_queue_.full()) {
+          ++c.stall_cycles;
+          return;
+        }
+        if (!is_store && c.outstanding_loads >= cfg_.max_outstanding_loads) {
+          ++c.stall_cycles;
+          return;
+        }
+        const CacheAccess a1 = l1_[i].access(block, is_store);
+        MemRequest req = make_raw(block, MemOp::kLoad,
+                                  static_cast<std::uint8_t>(i),
+                                  cfg_.l2.line_bytes);
+        inflight_misses_.emplace(
+            req.id, MissInfo{static_cast<std::uint8_t>(i),
+                             /*demand_load=*/!is_store,
+                             /*primary_fill=*/false, block});
+        const bool ok = miss_queue_.push(std::move(req));
+        assert(ok);
+        (void)ok;
+        if (!is_store) ++c.outstanding_loads;
+        if (a1.writeback) l2_install_dirty(a1.victim_addr);
+        // Keep the prefetch stream trained: demand catching up with its
+        // prefetches is the steady state of a bandwidth-bound loop.
+        issue_prefetches(i, block);
+        c.ready_at = now_ + 1;
+        ++c.pc;
+        return;
+      }
+
+      // L1 miss. Worst case needs: one miss-queue slot and two write-back
+      // slots (L2 demand victim + L1 victim's install victim).
+      const bool l2_hit = l2_.probe(block);
+      if (!l2_hit) {
+        if (miss_queue_.full() || wb_queue_.free_slots() < 2) {
+          ++c.stall_cycles;
+          return;
+        }
+        if (!is_store && c.outstanding_loads >= cfg_.max_outstanding_loads) {
+          ++c.stall_cycles;
+          return;
+        }
+      } else if (wb_queue_.full()) {
+        ++c.stall_cycles;  // the L1 victim install may still evict from L2
+        return;
+      }
+
+      // Commit point: no stalls past here.
+      const CacheAccess a1 = l1_[i].access(block, is_store);
+
+      if (l2_hit) {
+        const CacheAccess a2 = l2_.access(block, false);  // LRU touch
+        // First demand hit on a prefetched line keeps the stream trained.
+        if (a2.prefetched_hit) issue_prefetches(i, block);
+        c.ready_at = now_ + cfg_.l2.hit_latency;
+      } else {
+        const CacheAccess a2 = l2_.access(block, false);
+        if (a2.writeback) {
+          const bool ok = wb_queue_.push(make_raw(
+              a2.victim_addr, MemOp::kStore, 0, cfg_.l2.line_bytes));
+          assert(ok);
+          (void)ok;
+        }
+        MemRequest req = make_raw(block, MemOp::kLoad,
+                                  static_cast<std::uint8_t>(i),
+                                  cfg_.l2.line_bytes);
+        inflight_misses_.emplace(
+            req.id, MissInfo{static_cast<std::uint8_t>(i),
+                             /*demand_load=*/!is_store,
+                             /*primary_fill=*/true, block});
+        llc_inflight_.insert(block);
+        const bool ok = miss_queue_.push(std::move(req));
+        assert(ok);
+        (void)ok;
+        if (!is_store) ++c.outstanding_loads;
+        issue_prefetches(i, block);
+        // The scoreboard hides the miss: the core issues on (in-order cores
+        // would stall at first use; the scoreboard depth models the MLP a
+        // real core + prefetcher exposes below the LLC).
+        c.ready_at = now_ + 1;
+      }
+
+      if (a1.writeback) l2_install_dirty(a1.victim_addr);
+      ++c.pc;
+      return;
+    }
+  }
+}
+
+void System::feed_coalescer() {
+  // One raw request enters the coalescer per cycle (the PRA compares one
+  // input against all streams per cycle); miss and WB queues alternate.
+  FixedQueue<MemRequest>* first = feed_from_wb_first_ ? &wb_queue_ : &miss_queue_;
+  FixedQueue<MemRequest>* second = feed_from_wb_first_ ? &miss_queue_ : &wb_queue_;
+  feed_from_wb_first_ = !feed_from_wb_first_;
+  for (FixedQueue<MemRequest>* q : {first, second}) {
+    if (q->empty()) continue;
+    // MSHR/tag lookup at the head of the miss queue: a duplicate request
+    // whose line has finished filling while it waited is satisfied from the
+    // now-valid LLC line instead of being injected (all coalescer configs
+    // see the same policy).
+    if (q == &miss_queue_) {
+      const MemRequest& head = q->front();
+      if (head.op == MemOp::kLoad) {
+        auto it = inflight_misses_.find(head.id);
+        if (it != inflight_misses_.end() && !it->second.primary_fill &&
+            !llc_inflight_.contains(block_base(head.paddr))) {
+          on_satisfied(head.id);
+          q->pop();
+          return;
+        }
+      }
+    }
+    if (coalescer_->accept(q->front(), now_)) {
+      const MemRequest& req = q->front();
+      if (cfg_.record_raw_trace && now_ >= cfg_.raw_trace_start &&
+          raw_trace_.size() < cfg_.raw_trace_limit &&
+          (req.op == MemOp::kLoad || req.op == MemOp::kStore)) {
+        raw_trace_.push_back(req.paddr);
+      }
+      q->pop();
+    }
+    return;  // at most one attempt per cycle
+  }
+}
+
+void System::on_satisfied(std::uint64_t raw_id) {
+  auto it = inflight_misses_.find(raw_id);
+  if (it == inflight_misses_.end()) return;  // write-backs are untracked
+  if (it->second.demand_load) {
+    CoreState& c = cores_[it->second.core];
+    assert(c.outstanding_loads > 0);
+    --c.outstanding_loads;
+  }
+  if (it->second.primary_fill) llc_inflight_.erase(it->second.block);
+  inflight_misses_.erase(it);
+}
+
+bool System::finished() const {
+  for (const CoreState& c : cores_) {
+    if (!c.done) return false;
+  }
+  return miss_queue_.empty() && wb_queue_.empty() && coalescer_->idle() &&
+         hmc_->idle();
+}
+
+void System::step() {
+  hmc_->tick(now_);
+  for (const DeviceResponse& rsp : hmc_->drain_completed()) {
+    coalescer_->complete(rsp, now_);
+  }
+  coalescer_->tick(now_);
+  for (std::uint64_t raw : coalescer_->drain_satisfied()) on_satisfied(raw);
+  feed_coalescer();
+  for (std::uint32_t i = 0; i < cores_.size(); ++i) step_core(i);
+  ++now_;
+}
+
+RunResult System::run() {
+  while (!finished()) {
+    step();
+    if (now_ > cfg_.max_cycles) {
+      throw std::runtime_error(
+          "System::run exceeded max_cycles watchdog (outstanding=" +
+          std::to_string(hmc_->outstanding()) +
+          ", inflight=" + std::to_string(inflight_misses_.size()) + ")");
+    }
+  }
+
+  RunResult r;
+  r.cycles = now_;
+  r.ns_per_cycle = cfg_.ns_per_cycle();
+  r.coal = coalescer_->stats();
+  if (pac_ != nullptr) {
+    r.pac = pac_->pac_stats();
+    r.has_pac = true;
+  }
+  r.hmc = hmc_->stats();
+  for (std::size_t i = 0; i < r.energy.size(); ++i) {
+    r.energy[i] = power_.energy(static_cast<HmcOp>(i));
+  }
+  r.total_energy = power_.total();
+  for (const Cache& l1 : l1_) {
+    r.l1_hits += l1.hits();
+    r.l1_misses += l1.misses();
+  }
+  r.llc_hits = l2_.hits();
+  r.llc_misses = l2_.misses();
+  r.prefetches_issued = prefetch_count_;
+  for (const CoreState& c : cores_) r.core_stall_cycles += c.stall_cycles;
+  r.raw_trace = raw_trace_;
+  return r;
+}
+
+}  // namespace pacsim

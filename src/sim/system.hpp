@@ -1,0 +1,99 @@
+// The full simulated system: trace-driven cores -> private L1s -> shared
+// LLC (+ stream prefetcher) -> miss/write-back queues -> coalescer (PAC,
+// MSHR-DMC or direct controller) -> HMC device. Paper Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/prefetcher.hpp"
+#include "common/fixed_queue.hpp"
+#include "core/trace.hpp"
+#include "hmc/hmc_device.hpp"
+#include "mem/page_table.hpp"
+#include "pac/coalescer.hpp"
+#include "pac/pac.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system_config.hpp"
+
+namespace pacsim {
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  /// Install the trace `core` executes; `process` selects the address space
+  /// (multiprocessing experiments give core groups distinct processes).
+  void load_trace(std::uint32_t core, Trace trace, std::uint8_t process = 0);
+
+  /// Run to completion (all traces executed, all misses drained).
+  RunResult run();
+
+  [[nodiscard]] const Coalescer& coalescer() const { return *coalescer_; }
+  [[nodiscard]] const HmcDevice& hmc() const { return *hmc_; }
+  [[nodiscard]] Cycle now() const { return now_; }
+
+ private:
+  struct CoreState {
+    Trace trace;
+    std::size_t pc = 0;
+    std::uint8_t process = 0;
+    Cycle ready_at = 0;
+    std::uint32_t outstanding_loads = 0;
+    std::uint64_t stall_cycles = 0;
+    bool done = false;
+  };
+
+  struct MissInfo {
+    std::uint8_t core = 0;
+    bool demand_load = false;  ///< holds a scoreboard slot until satisfied
+    bool primary_fill = false; ///< the request that fills the LLC line
+    Addr block = 0;
+  };
+
+  void step();  ///< advance one cycle
+  void step_core(std::uint32_t i);
+  void feed_coalescer();
+  void on_satisfied(std::uint64_t raw_id);
+  /// Install an L1 victim into the LLC (full line present, no memory fetch).
+  void l2_install_dirty(Addr block);
+  void issue_prefetches(std::uint32_t core, Addr block);
+  [[nodiscard]] bool finished() const;
+  MemRequest make_raw(Addr paddr, MemOp op, std::uint8_t core,
+                      std::uint32_t bytes);
+
+  SystemConfig cfg_;
+  PowerModel power_;
+  std::unique_ptr<HmcDevice> hmc_;
+  std::unique_ptr<Coalescer> coalescer_;
+  Pac* pac_ = nullptr;  ///< non-null when coalescer_ is a Pac
+
+  std::vector<CoreState> cores_;
+  std::vector<Cache> l1_;
+  Cache l2_;
+  StreamPrefetcher prefetcher_;
+  PageTable page_table_;
+
+  FixedQueue<MemRequest> miss_queue_;
+  FixedQueue<MemRequest> wb_queue_;
+  std::unordered_map<std::uint64_t, MissInfo> inflight_misses_;
+  /// LLC lines allocated but still being filled from memory. An access from
+  /// another core during this window emits a raw request of its own - which
+  /// the coalescers merge (MSHR subentry behaviour) and the no-coalescing
+  /// controller sends as a redundant transaction, exactly the effect the
+  /// paper's DMC baselines exploit.
+  std::unordered_set<Addr> llc_inflight_;
+
+  std::vector<Addr> raw_trace_;
+
+  Cycle now_ = 0;
+  std::uint64_t next_raw_id_ = 1;
+  std::uint64_t prefetch_count_ = 0;
+  bool feed_from_wb_first_ = false;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,72 @@
+// Full-system configuration (paper Table 1 defaults).
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/direct_controller.hpp"
+#include "baseline/mshr_dmc.hpp"
+#include "baseline/sorting_coalescer.hpp"
+#include "cache/cache.hpp"
+#include "cache/prefetcher.hpp"
+#include "hmc/hmc_config.hpp"
+#include "hmc/power_model.hpp"
+#include "pac/pac_config.hpp"
+
+namespace pacsim {
+
+enum class CoalescerKind : std::uint8_t {
+  kDirect = 0,  ///< standard HMC controller, no request aggregation
+  kMshrDmc,     ///< conventional MSHR-based DMC
+  kPac,         ///< paged adaptive coalescer
+  kSortingDmc,  ///< sorting-network DMC (Wang et al., ICPP'18)
+};
+
+constexpr std::string_view to_string(CoalescerKind k) {
+  switch (k) {
+    case CoalescerKind::kDirect: return "direct";
+    case CoalescerKind::kMshrDmc: return "mshr-dmc";
+    case CoalescerKind::kPac: return "pac";
+    case CoalescerKind::kSortingDmc: return "sorting-dmc";
+  }
+  return "?";
+}
+
+struct SystemConfig {
+  std::uint32_t num_cores = 8;        ///< Table 1: 8 RV64 cores @ 2 GHz
+  CacheConfig l1{16 * 1024, 8, 64, 2};        ///< 16 KB, 8-way
+  CacheConfig l2{8ULL << 20, 8, 64, 12};      ///< 8 MB shared LLC, 8-way
+
+  bool enable_prefetch = true;
+  PrefetcherConfig prefetch{};
+
+  std::uint32_t miss_queue_entries = 32;
+  std::uint32_t wb_queue_entries = 32;
+  /// Demand-load scoreboard depth per core (the memory-level parallelism a
+  /// core can expose; see DESIGN.md "Concurrency source").
+  std::uint32_t max_outstanding_loads = 8;
+
+  std::uint64_t page_table_seed = 0xA11CEULL;
+  std::uint64_t phys_pages = 2ULL << 20;  ///< 8 GB of 4 KB frames
+
+  HmcConfig hmc{};
+  PowerConfig power{};
+
+  CoalescerKind coalescer = CoalescerKind::kPac;
+  PacConfig pac{};
+  MshrDmcConfig mshr_dmc{};
+  DirectControllerConfig direct{};
+  SortingCoalescerConfig sorting_dmc{};
+
+  Cycle max_cycles = 500'000'000;  ///< deadlock watchdog
+
+  /// Optional raw-request address capture (Figs. 8-9 clustering input):
+  /// physical addresses of load/store requests entering the coalescer.
+  bool record_raw_trace = false;
+  Cycle raw_trace_start = 0;          ///< begin capturing at this cycle
+  std::uint64_t raw_trace_limit = 10'000;
+
+  double cpu_ghz = 2.0;
+  [[nodiscard]] double ns_per_cycle() const { return 1.0 / cpu_ghz; }
+};
+
+}  // namespace pacsim

@@ -1,0 +1,75 @@
+// Shared helpers for workload kernels.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/trace.hpp"
+#include "core/trace_recorder.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim {
+
+/// Bump allocator over the workload's virtual address space.
+class VirtualArena {
+ public:
+  explicit VirtualArena(Addr base = 0x1000'0000ULL) : cursor_(base) {}
+
+  /// Allocate `bytes`, aligned to `align` (pages by default so that array
+  /// bases coincide with page boundaries, as malloc'd big arrays do).
+  Addr alloc(std::uint64_t bytes, Addr align = kPageSize) {
+    cursor_ = (cursor_ + align - 1) & ~(align - 1);
+    const Addr base = cursor_;
+    cursor_ += bytes;
+    return base;
+  }
+
+  [[nodiscard]] Addr cursor() const { return cursor_; }
+
+ private:
+  Addr cursor_;
+};
+
+/// Run `kernel(rec, core)` for every core, honouring the op budget.
+/// The kernel loops until TraceFull is thrown or it returns on its own.
+template <typename Kernel>
+std::vector<Trace> record_per_core(const WorkloadConfig& cfg, Kernel&& kernel) {
+  std::vector<Trace> traces(cfg.num_cores);
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    TraceRecorder rec(&traces[core], cfg.max_ops_per_core);
+    rec.set_compute_scale(cfg.compute_scale);
+    try {
+      kernel(rec, core);
+    } catch (const TraceRecorder::TraceFull&) {
+      // Budget reached: the trace is complete as recorded.
+    }
+  }
+  return traces;
+}
+
+/// Contiguous [begin, end) range of element indices owned by `core`.
+struct Range {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+inline Range core_partition(std::uint64_t n, std::uint32_t core,
+                            std::uint32_t num_cores) {
+  const std::uint64_t chunk = n / num_cores;
+  const std::uint64_t rem = n % num_cores;
+  const std::uint64_t begin = core * chunk + std::min<std::uint64_t>(core, rem);
+  const std::uint64_t extra = core < rem ? 1 : 0;
+  return Range{begin, begin + chunk + extra};
+}
+
+/// Scale a size, clamped to a minimum of `min_value`.
+inline std::uint64_t scaled(std::uint64_t v, double scale,
+                            std::uint64_t min_value = 1) {
+  const auto s = static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+  return s < min_value ? min_value : s;
+}
+
+}  // namespace pacsim

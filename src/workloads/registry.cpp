@@ -1,0 +1,31 @@
+#include "workloads/workload.hpp"
+
+#include "workloads/suites.hpp"
+
+namespace pacsim {
+
+const std::vector<const Workload*>& all_workloads() {
+  static const std::vector<const Workload*> all = {
+      suites::stream(), suites::gs(),       suites::hpcg(),
+      suites::nas_cg(), suites::nas_mg(),   suites::nas_sp(),
+      suites::nas_lu(), suites::nas_ep(),   suites::nas_is(),
+      suites::bfs(),    suites::sscav2(),   suites::sparselu(),
+      suites::sort(),   suites::fft(),
+  };
+  return all;
+}
+
+const Workload* find_workload(std::string_view name) {
+  for (const Workload* w : all_workloads()) {
+    if (w->name() == name) return w;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> workload_names() {
+  std::vector<std::string_view> names;
+  for (const Workload* w : all_workloads()) names.push_back(w->name());
+  return names;
+}
+
+}  // namespace pacsim

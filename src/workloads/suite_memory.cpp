@@ -1,0 +1,115 @@
+// Memory benchmarks: STREAM and Gather/Scatter.
+#include "workloads/kernel_support.hpp"
+#include "workloads/suites.hpp"
+
+namespace pacsim::suites {
+namespace {
+
+/// McCalpin STREAM. The three working arrays are sized to (mostly) fit the
+/// 8 MB LLC, matching the paper's observation that for STREAM "the majority
+/// of memory accesses are sequential and satisfied by the multilevel cache":
+/// only the cold pass and capacity evictions reach the coalescer, and those
+/// misses are perfectly sequential.
+class StreamWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "stream"; }
+  std::string_view description() const override {
+    return "STREAM copy/scale/add/triad over LLC-resident arrays";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t n = scaled(48 * 1024, cfg.scale, 4096);  // doubles
+    VirtualArena arena;
+    const Addr a = arena.alloc(n * 8);
+    const Addr b = arena.alloc(n * 8);
+    const Addr c = arena.alloc(n * 8);
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      const Range r = core_partition(n, core, cfg.num_cores);
+      for (;;) {
+        for (std::uint64_t i = r.begin; i < r.end; ++i) {  // copy: c = a
+          rec.load(a + i * 8);
+          rec.store(c + i * 8);
+          rec.compute(1);
+        }
+        for (std::uint64_t i = r.begin; i < r.end; ++i) {  // scale: b = s*c
+          rec.load(c + i * 8);
+          rec.store(b + i * 8);
+          rec.compute(2);
+        }
+        for (std::uint64_t i = r.begin; i < r.end; ++i) {  // add: c = a+b
+          rec.load(a + i * 8);
+          rec.load(b + i * 8);
+          rec.store(c + i * 8);
+          rec.compute(2);
+        }
+        for (std::uint64_t i = r.begin; i < r.end; ++i) {  // triad: a = b+s*c
+          rec.load(b + i * 8);
+          rec.load(c + i * 8);
+          rec.store(a + i * 8);
+          rec.compute(2);
+        }
+      }
+    });
+  }
+};
+
+/// Gather/Scatter with page-clustered indices: a random page of the table
+/// is selected, then a burst of elements inside it is gathered. This is the
+/// locality class of the TTU GS suite, and the in-page bursts are exactly
+/// what a paged coalescer exploits (>70% efficiency in paper Fig. 6a).
+class GatherScatterWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "gs"; }
+  std::string_view description() const override {
+    return "gather/scatter with page-clustered index bursts";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t table_elems =
+        scaled(8ULL * 1024 * 1024, cfg.scale, 1 << 16);  // 64 MB of doubles
+    const std::uint64_t burst = 48;  ///< contiguous elements per gather
+    VirtualArena arena;
+    const Addr table = arena.alloc(table_elems * 8);
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      Rng rng(cfg.seed * 0x9E37 + core);
+      const std::uint64_t pages = table_elems * 8 / kPageSize;
+      // Separate per-core index and output arrays (as MPI ranks would own).
+      VirtualArena local(0x7000'0000ULL + core * 0x0800'0000ULL);
+      const std::uint64_t out_elems = 1 << 18;
+      const Addr idx = local.alloc(out_elems * 8);
+      const Addr out = local.alloc(out_elems * 8);
+      for (;;) {
+        Addr gather_base = table;
+        for (std::uint64_t i = 0; i < out_elems; ++i) {
+          if (i % burst == 0) {
+            // New contiguous vector segment at a random in-page offset of a
+            // random page (unit-stride gather bursts, as in the GS suite).
+            const std::uint64_t page = rng.below(pages);
+            const std::uint64_t slot = rng.below(kPageSize / 8 - burst);
+            gather_base = table + page * kPageSize + slot * 8;
+          }
+          rec.load(idx + i * 8);  // sequential index stream
+          rec.load(gather_base + (i % burst) * 8);  // unit-stride gather
+          rec.store(out + i * 8);  // sequential scatter target
+          rec.compute(2);
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+const Workload* stream() {
+  static const StreamWorkload w;
+  return &w;
+}
+
+const Workload* gs() {
+  static const GatherScatterWorkload w;
+  return &w;
+}
+
+}  // namespace pacsim::suites

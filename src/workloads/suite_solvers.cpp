@@ -1,0 +1,301 @@
+// Numerical solver suites: HPCG, NAS CG, NAS MG, NAS SP, and blocked LU.
+#include "workloads/kernel_support.hpp"
+#include "workloads/suites.hpp"
+
+namespace pacsim::suites {
+namespace {
+
+/// HPCG-style conjugate gradient on a 27-point 3D stencil matrix in CSR.
+/// The value/column streams are long sequential reads; the x[col] gathers
+/// are stencil-local. This mixed locality yields the mid-range coalescing
+/// efficiency the paper reports for HPCG.
+class HpcgWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "hpcg"; }
+  std::string_view description() const override {
+    return "CG on a 27-point stencil (CSR SpMV + vector ops)";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t dim = scaled(32, cfg.scale, 8);  // dim^3 grid
+    const std::uint64_t n = dim * dim * dim;
+    VirtualArena arena;
+    const Addr val = arena.alloc(n * 27 * 8);   // matrix values
+    const Addr col = arena.alloc(n * 27 * 4);   // column indices
+    const Addr x = arena.alloc(n * 8);
+    const Addr y = arena.alloc(n * 8);
+    const Addr p = arena.alloc(n * 8);
+    const Addr r = arena.alloc(n * 8);
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      const Range rows = core_partition(n, core, cfg.num_cores);
+      for (;;) {
+        // SpMV: y = A * p.
+        for (std::uint64_t i = rows.begin; i < rows.end; ++i) {
+          const std::uint64_t iz = i / (dim * dim);
+          const std::uint64_t iy = (i / dim) % dim;
+          const std::uint64_t ix = i % dim;
+          std::uint64_t nnz = 0;
+          for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                const std::int64_t jz = static_cast<std::int64_t>(iz) + dz;
+                const std::int64_t jy = static_cast<std::int64_t>(iy) + dy;
+                const std::int64_t jx = static_cast<std::int64_t>(ix) + dx;
+                if (jz < 0 || jy < 0 || jx < 0 ||
+                    jz >= static_cast<std::int64_t>(dim) ||
+                    jy >= static_cast<std::int64_t>(dim) ||
+                    jx >= static_cast<std::int64_t>(dim)) {
+                  continue;
+                }
+                const std::uint64_t j =
+                    (static_cast<std::uint64_t>(jz) * dim +
+                     static_cast<std::uint64_t>(jy)) *
+                        dim +
+                    static_cast<std::uint64_t>(jx);
+                rec.load(val + (i * 27 + nnz) * 8);
+                rec.load(col + (i * 27 + nnz) * 4, 4);
+                rec.load(x + j * 8);  // stencil-local gather
+                rec.compute(2);
+                ++nnz;
+              }
+            }
+          }
+          rec.store(y + i * 8);
+        }
+        // Vector updates: r = r - alpha*y ; p = r + beta*p (fused sweep).
+        for (std::uint64_t i = rows.begin; i < rows.end; ++i) {
+          rec.load(r + i * 8);
+          rec.load(y + i * 8);
+          rec.store(r + i * 8);
+          rec.load(p + i * 8);
+          rec.store(p + i * 8);
+          rec.compute(4);
+        }
+      }
+    });
+  }
+};
+
+/// NAS CG: sparse matrix with uniformly random column positions. Unlike
+/// HPCG, the x[col] gathers have no spatial structure at all.
+class NasCgWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "cg"; }
+  std::string_view description() const override {
+    return "NAS CG: SpMV with uniformly random sparsity";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t n = scaled(96 * 1024, cfg.scale, 4096);
+    const std::uint64_t nnz_per_row = 16;
+    VirtualArena arena;
+    const Addr val = arena.alloc(n * nnz_per_row * 8);
+    const Addr col = arena.alloc(n * nnz_per_row * 4);
+    const Addr x = arena.alloc(n * 8);
+    const Addr y = arena.alloc(n * 8);
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      Rng rng(cfg.seed ^ (0xC6ULL << 32) ^ core);
+      const Range rows = core_partition(n, core, cfg.num_cores);
+      for (;;) {
+        for (std::uint64_t i = rows.begin; i < rows.end; ++i) {
+          for (std::uint64_t k = 0; k < nnz_per_row; ++k) {
+            const std::uint64_t j = rng.below(n);  // random column
+            rec.load(val + (i * nnz_per_row + k) * 8);
+            rec.load(col + (i * nnz_per_row + k) * 4, 4);
+            rec.load(x + j * 8);
+            rec.compute(2);
+          }
+          rec.store(y + i * 8);
+        }
+      }
+    });
+  }
+};
+
+/// NAS MG: V-cycle multigrid. Relaxation sweeps stream the fine grid in x
+/// (dense sequential runs) while touching +-1 plane neighbours.
+class NasMgWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "mg"; }
+  std::string_view description() const override {
+    return "NAS MG: 3D multigrid relaxation + restriction";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t dim = scaled(96, cfg.scale, 16);
+    VirtualArena arena;
+    const Addr u = arena.alloc(dim * dim * dim * 8);
+    const Addr rgrid = arena.alloc(dim * dim * dim * 8);
+    const Addr coarse = arena.alloc((dim / 2) * (dim / 2) * (dim / 2) * 8);
+
+    auto at = [dim](Addr base, std::uint64_t z, std::uint64_t y,
+                    std::uint64_t x) {
+      return base + ((z * dim + y) * dim + x) * 8;
+    };
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      const Range zs = core_partition(dim - 2, core, cfg.num_cores);
+      for (;;) {
+        // Red-black relaxation: x-sweeps with 7-point neighbourhood.
+        for (std::uint64_t z = zs.begin + 1; z < zs.end + 1; ++z) {
+          for (std::uint64_t y = 1; y + 1 < dim; ++y) {
+            for (std::uint64_t x = 1; x + 1 < dim; ++x) {
+              rec.load(at(u, z, y, x - 1));
+              rec.load(at(u, z, y, x + 1));
+              rec.load(at(u, z, y - 1, x));
+              rec.load(at(u, z, y + 1, x));
+              rec.load(at(u, z - 1, y, x));
+              rec.load(at(u, z + 1, y, x));
+              rec.load(at(rgrid, z, y, x));
+              rec.store(at(u, z, y, x));
+              rec.compute(4);
+            }
+          }
+        }
+        // Restriction to the coarse grid (strided reads, sequential writes).
+        const std::uint64_t half = dim / 2;
+        for (std::uint64_t z = zs.begin / 2; z < zs.end / 2; ++z) {
+          for (std::uint64_t y = 0; y < half; ++y) {
+            for (std::uint64_t x = 0; x < half; ++x) {
+              rec.load(at(u, 2 * z, 2 * y, 2 * x));
+              rec.load(at(u, 2 * z, 2 * y, 2 * x + 1));
+              rec.load(at(u, 2 * z, 2 * y + 1, 2 * x));
+              rec.load(at(u, 2 * z + 1, 2 * y, 2 * x));
+              rec.store(coarse + ((z * half + y) * half + x) * 8);
+              rec.compute(3);
+            }
+          }
+        }
+      }
+    });
+  }
+};
+
+/// NAS SP: scalar penta-diagonal solver. Forward/backward line sweeps over
+/// several 5-variable cell arrays; the x-direction sweeps are long unit
+/// strides over a working set far larger than the LLC, which is why SP
+/// moves the most data of all suites (paper Fig. 10c).
+class NasSpWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "sp"; }
+  std::string_view description() const override {
+    return "NAS SP: penta-diagonal sweeps over 5-variable cells";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t dim = scaled(64, cfg.scale, 12);
+    const std::uint64_t vars = 5;
+    const std::uint64_t cells = dim * dim * dim;
+    VirtualArena arena;
+    const Addr lhs = arena.alloc(cells * vars * 8);
+    const Addr rhs = arena.alloc(cells * vars * 8);
+    const Addr us = arena.alloc(cells * vars * 8);
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      const Range planes = core_partition(dim, core, cfg.num_cores);
+      auto cell = [&](Addr base, std::uint64_t idx, std::uint64_t v) {
+        return base + (idx * vars + v) * 8;
+      };
+      for (;;) {
+        // x-sweep: unit stride through the cell arrays.
+        for (std::uint64_t z = planes.begin; z < planes.end; ++z) {
+          for (std::uint64_t y = 0; y < dim; ++y) {
+            for (std::uint64_t x = 1; x < dim; ++x) {
+              const std::uint64_t i = (z * dim + y) * dim + x;
+              for (std::uint64_t v = 0; v < vars; ++v) {
+                rec.load(cell(lhs, i - 1, v));
+                rec.load(cell(rhs, i, v));
+                rec.store(cell(rhs, i, v));
+                rec.compute(4);
+              }
+              rec.load(cell(us, i, 0));
+            }
+          }
+        }
+        // y-sweep: stride dim*vars*8 bytes between dependent cells.
+        for (std::uint64_t z = planes.begin; z < planes.end; ++z) {
+          for (std::uint64_t x = 0; x < dim; ++x) {
+            for (std::uint64_t y = 1; y < dim; ++y) {
+              const std::uint64_t i = (z * dim + y) * dim + x;
+              const std::uint64_t prev = (z * dim + (y - 1)) * dim + x;
+              for (std::uint64_t v = 0; v < vars; ++v) {
+                rec.load(cell(lhs, prev, v));
+                rec.store(cell(rhs, i, v));
+                rec.compute(4);
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+};
+
+/// Blocked dense LU factorization: panel updates and trailing-submatrix
+/// GEMMs stream dense rows, giving the dense-adjacency profile of the
+/// paper's LU suite (>70% coalescing efficiency).
+class NasLuWorkload final : public Workload {
+ public:
+  std::string_view name() const override { return "lu"; }
+  std::string_view description() const override {
+    return "blocked dense LU factorization";
+  }
+
+  std::vector<Trace> generate(const WorkloadConfig& cfg) const override {
+    const std::uint64_t n = scaled(1024, cfg.scale, 128);  // matrix order
+    VirtualArena arena;
+    const Addr a = arena.alloc(n * n * 8);
+    const std::uint64_t bs = 32;  // block size
+
+    return record_per_core(cfg, [&](TraceRecorder& rec, std::uint32_t core) {
+      auto elem = [&](std::uint64_t i, std::uint64_t j) {
+        return a + (i * n + j) * 8;
+      };
+      for (;;) {
+        for (std::uint64_t k = 0; k < n; k += bs) {
+          // Trailing update: rows are partitioned across cores; each core
+          // streams its rows (unit stride in j).
+          for (std::uint64_t i = k + bs + core; i < n; i += cfg.num_cores) {
+            for (std::uint64_t kk = k; kk < k + bs && kk < n; ++kk) {
+              rec.load(elem(i, kk));  // multiplier column
+              for (std::uint64_t j = kk + 1; j < std::min(n, kk + 1 + bs);
+                   ++j) {
+                rec.load(elem(kk, j));
+                rec.load(elem(i, j));
+                rec.store(elem(i, j));
+                rec.compute(2);
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+const Workload* hpcg() {
+  static const HpcgWorkload w;
+  return &w;
+}
+const Workload* nas_cg() {
+  static const NasCgWorkload w;
+  return &w;
+}
+const Workload* nas_mg() {
+  static const NasMgWorkload w;
+  return &w;
+}
+const Workload* nas_sp() {
+  static const NasSpWorkload w;
+  return &w;
+}
+const Workload* nas_lu() {
+  static const NasLuWorkload w;
+  return &w;
+}
+
+}  // namespace pacsim::suites

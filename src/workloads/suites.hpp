@@ -1,0 +1,30 @@
+// Internal: accessors for the singleton instance of each suite.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace pacsim::suites {
+
+// Memory benchmarks.
+const Workload* stream();   ///< McCalpin STREAM (copy/scale/add/triad)
+const Workload* gs();       ///< gather/scatter with clustered indices
+
+// Solvers.
+const Workload* hpcg();     ///< 27-point CG (HPCG-style)
+const Workload* nas_cg();   ///< NAS CG: random sparse matrix
+const Workload* nas_mg();   ///< NAS MG: 3D multigrid V-cycle
+const Workload* nas_sp();   ///< NAS SP: penta-diagonal line sweeps
+const Workload* nas_lu();   ///< blocked dense LU (NAS LU class)
+
+// Graph analytics.
+const Workload* bfs();      ///< GAPBS-style BFS on a uniform random graph
+const Workload* sscav2();   ///< SSCA#2 kernels on an R-MAT graph
+
+// BOTS / NAS kernels.
+const Workload* sparselu(); ///< BOTS SparseLU over dense blocks
+const Workload* sort();     ///< BOTS-style parallel mergesort
+const Workload* fft();      ///< iterative radix-2 FFT
+const Workload* nas_ep();   ///< NAS EP: compute-bound random pairs
+const Workload* nas_is();   ///< NAS IS: integer bucket sort
+
+}  // namespace pacsim::suites

@@ -1,0 +1,43 @@
+// Workload interface: each of the paper's 14 test suites is represented by
+// a mini-kernel that executes its core loop over synthetic data and records
+// the resulting per-core memory traces (see DESIGN.md substitution notes).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace pacsim {
+
+struct WorkloadConfig {
+  std::uint32_t num_cores = 8;
+  std::uint64_t seed = 42;
+  std::size_t max_ops_per_core = 300'000;
+  double scale = 1.0;  ///< dataset scale factor (1.0 = default sizes)
+  /// Multiplier on every kernel compute() gap: models the non-memory
+  /// instructions surrounding each recorded access (issue-width-1 in-order
+  /// cores execute several ALU/branch ops per load/store).
+  double compute_scale = 4.0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+
+  /// Produce one trace per core; deterministic in cfg.seed.
+  [[nodiscard]] virtual std::vector<Trace> generate(
+      const WorkloadConfig& cfg) const = 0;
+};
+
+/// All 14 suites in the paper's evaluation order.
+const std::vector<const Workload*>& all_workloads();
+/// Look a suite up by name (e.g. "bfs"); nullptr when unknown.
+const Workload* find_workload(std::string_view name);
+std::vector<std::string_view> workload_names();
+
+}  // namespace pacsim

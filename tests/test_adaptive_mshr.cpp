@@ -1,0 +1,125 @@
+#include "pac/adaptive_mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+DeviceRequest dev(std::uint64_t id, Addr base, std::uint32_t bytes,
+                  bool store = false,
+                  std::initializer_list<std::uint64_t> raws = {}) {
+  DeviceRequest r;
+  r.id = id;
+  r.base = base;
+  r.bytes = bytes;
+  r.store = store;
+  r.raw_ids = raws;
+  return r;
+}
+
+struct MshrTest : ::testing::Test {
+  PacConfig cfg;
+  AdaptiveMshrFile file{cfg};
+  std::uint64_t comparisons = 0;
+};
+
+TEST_F(MshrTest, AllocateAndRelease) {
+  file.allocate(dev(7, 0x1000, 256, false, {1, 2}));
+  EXPECT_EQ(file.occupied(), 1u);
+  EXPECT_FALSE(file.all_occupied());
+  const auto raws = file.on_response(7);
+  EXPECT_EQ(raws, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(file.empty());
+}
+
+TEST_F(MshrTest, UnknownResponseIsEmpty) {
+  EXPECT_TRUE(file.on_response(999).empty());
+}
+
+TEST_F(MshrTest, CapacityTracking) {
+  for (std::uint32_t i = 0; i < cfg.num_mshrs; ++i) {
+    ASSERT_TRUE(file.has_free());
+    file.allocate(dev(i + 1, i * 0x1000, 64));
+  }
+  EXPECT_TRUE(file.all_occupied());
+  EXPECT_FALSE(file.has_free());
+  file.on_response(1);
+  EXPECT_TRUE(file.has_free());
+}
+
+TEST_F(MshrTest, MergeContainedLoad) {
+  file.allocate(dev(1, 0x1000, 256));
+  EXPECT_TRUE(file.try_merge(dev(2, 0x1040, 64, false, {42}), &comparisons));
+  EXPECT_EQ(comparisons, 1u);
+  const auto raws = file.on_response(1);
+  ASSERT_EQ(raws.size(), 1u);
+  EXPECT_EQ(raws[0], 42u);
+}
+
+TEST_F(MshrTest, NoMergeOutsideRange) {
+  file.allocate(dev(1, 0x1000, 128));
+  EXPECT_FALSE(file.try_merge(dev(2, 0x1080, 64), &comparisons));
+  EXPECT_FALSE(file.try_merge(dev(3, 0x0FC0, 64), &comparisons));
+  // Straddling the end of the entry is also not contained.
+  EXPECT_FALSE(file.try_merge(dev(4, 0x1040, 128), &comparisons));
+}
+
+TEST_F(MshrTest, OpBitBlocksLoadStoreMerge) {
+  // Section 3.1.3: the OP bit rides with the address comparison; loads and
+  // stores never merge.
+  file.allocate(dev(1, 0x1000, 256, /*store=*/true));
+  EXPECT_FALSE(file.try_merge(dev(2, 0x1000, 64, false), &comparisons));
+  file.allocate(dev(3, 0x2000, 256, false));
+  EXPECT_FALSE(file.try_merge(dev(4, 0x2000, 64, true), &comparisons));
+}
+
+TEST_F(MshrTest, AtomicsNeverMerge) {
+  DeviceRequest a = dev(1, 0x1000, 64);
+  a.atomic = true;
+  file.allocate(a);
+  EXPECT_FALSE(file.try_merge(dev(2, 0x1000, 16), &comparisons));
+}
+
+TEST_F(MshrTest, SubentryIndexDerivation) {
+  // Section 3.1.3: indexes 00..11 name blocks N..N+3 of the entry.
+  EXPECT_EQ(subentry_index(0x1000, 0x1000, 64), 0);
+  EXPECT_EQ(subentry_index(0x1000, 0x1040, 64), 1);
+  EXPECT_EQ(subentry_index(0x1000, 0x1080, 64), 2);
+  EXPECT_EQ(subentry_index(0x1000, 0x10C0, 64), 3);
+}
+
+TEST_F(MshrTest, MergeRecordsSubentryIndex) {
+  file.allocate(dev(1, 0x1000, 256));
+  ASSERT_TRUE(file.try_merge(dev(2, 0x10C0, 64, false, {9}), &comparisons));
+  const AdaptiveMshrEntry* entry = nullptr;
+  for (const auto& e : file.entries()) {
+    if (e.valid) entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->subentries.size(), 1u);
+  EXPECT_EQ(entry->subentries[0].block_index, 3);
+}
+
+TEST_F(MshrTest, TryAttachSkipsComparisonAccounting) {
+  file.allocate(dev(1, 0x1000, 256));
+  EXPECT_TRUE(file.try_attach(dev(2, 0x1000, 64, false, {5})));
+  EXPECT_EQ(comparisons, 0u);
+}
+
+TEST_F(MshrTest, UndispatchedTracking) {
+  AdaptiveMshrEntry& e = file.allocate(dev(1, 0x1000, 64));
+  EXPECT_EQ(file.undispatched().size(), 1u);
+  e.dispatched = true;
+  EXPECT_TRUE(file.undispatched().empty());
+}
+
+TEST_F(MshrTest, ComparisonsCountOccupiedEntriesOnly) {
+  file.allocate(dev(1, 0x1000, 64));
+  file.allocate(dev(2, 0x2000, 64));
+  comparisons = 0;
+  EXPECT_FALSE(file.try_merge(dev(3, 0x9000, 64), &comparisons));
+  EXPECT_EQ(comparisons, 2u);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,105 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(AddressMap, ConsecutiveRowsInterleaveAcrossVaults) {
+  AddressMap map(AddressMapConfig{});
+  // Paper section 4.2: vault interleave first - consecutive 256 B rows land
+  // in consecutive vaults.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const DramLocation loc = map.decode(static_cast<Addr>(i) * 256);
+    EXPECT_EQ(loc.vault, i % 32);
+  }
+}
+
+TEST(AddressMap, BankInterleaveAfterVaults) {
+  AddressMap map(AddressMapConfig{});
+  // After one full sweep of the vaults the bank index advances.
+  const DramLocation a = map.decode(0);
+  const DramLocation b = map.decode(32ULL * 256);
+  EXPECT_EQ(a.vault, b.vault);
+  EXPECT_EQ(a.bank + 1, b.bank);
+}
+
+TEST(AddressMap, SameRowForAllBytesOfARow) {
+  AddressMap map(AddressMapConfig{});
+  const DramLocation base = map.decode(4096);
+  for (Addr off = 0; off < 256; ++off) {
+    EXPECT_EQ(map.decode(4096 + off), base);
+  }
+}
+
+TEST(AddressMap, CapacityWrap) {
+  AddressMapConfig cfg;
+  AddressMap map(cfg);
+  EXPECT_EQ(map.decode(cfg.capacity_bytes + 512), map.decode(512));
+}
+
+struct MapParam {
+  std::uint32_t vaults;
+  std::uint32_t banks;
+  std::uint32_t row_bytes;
+};
+
+class AddressMapRoundTrip : public ::testing::TestWithParam<MapParam> {};
+
+TEST_P(AddressMapRoundTrip, EncodeDecodeRoundTrip) {
+  const MapParam p = GetParam();
+  AddressMapConfig cfg;
+  cfg.num_vaults = p.vaults;
+  cfg.banks_per_vault = p.banks;
+  cfg.row_bytes = p.row_bytes;
+  cfg.capacity_bytes = 1ULL << 30;
+  AddressMap map(cfg);
+
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr a = (rng.below(cfg.capacity_bytes / p.row_bytes)) * p.row_bytes;
+    const DramLocation loc = map.decode(a);
+    EXPECT_LT(loc.vault, p.vaults);
+    EXPECT_LT(loc.bank, p.banks);
+    EXPECT_LT(loc.row, map.rows_per_bank());
+    EXPECT_EQ(map.encode(loc), a) << "address " << a;
+  }
+}
+
+TEST_P(AddressMapRoundTrip, DistinctRowsDistinctLocations) {
+  const MapParam p = GetParam();
+  AddressMapConfig cfg;
+  cfg.num_vaults = p.vaults;
+  cfg.banks_per_vault = p.banks;
+  cfg.row_bytes = p.row_bytes;
+  cfg.capacity_bytes = 1ULL << 26;
+  AddressMap map(cfg);
+  // Injectivity over a window: different rows never map to the same
+  // (vault, bank, row) triple.
+  const std::uint64_t window = 4096;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> seen;
+  for (std::uint64_t i = 0; i < window; ++i) {
+    const DramLocation loc = map.decode(i * p.row_bytes);
+    EXPECT_TRUE(seen.insert({loc.vault, loc.bank, loc.row}).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AddressMapRoundTrip,
+    ::testing::Values(MapParam{32, 16, 256},   // HMC 2.1 (paper Table 1)
+                      MapParam{16, 8, 256},    // HMC 1.0-ish
+                      MapParam{8, 16, 1024},   // HBM-style 1 KB rows
+                      MapParam{4, 4, 256}, MapParam{64, 2, 128}),
+    [](const ::testing::TestParamInfo<MapParam>& info) {
+      return "v" + std::to_string(info.param.vaults) + "b" +
+             std::to_string(info.param.banks) + "r" +
+             std::to_string(info.param.row_bytes);
+    });
+
+}  // namespace
+}  // namespace pacsim

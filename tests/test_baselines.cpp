@@ -1,0 +1,192 @@
+// Tests for the conventional MSHR-based DMC and the no-coalescing
+// controller baselines.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/direct_controller.hpp"
+#include "baseline/mshr_dmc.hpp"
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+template <typename C>
+struct Harness {
+  HmcConfig hmc_cfg;
+  PowerModel power;
+  HmcDevice device{hmc_cfg, &power};
+  C coalescer;
+  Cycle now = 0;
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> satisfied;
+
+  template <typename Cfg>
+  explicit Harness(Cfg cfg) : coalescer(cfg, &device) {}
+
+  MemRequest make(Addr paddr, MemOp op = MemOp::kLoad) {
+    MemRequest r;
+    r.id = next_id++;
+    r.paddr = paddr;
+    r.op = op;
+    return r;
+  }
+
+  void tick() {
+    device.tick(now);
+    for (const DeviceResponse& rsp : device.drain_completed()) {
+      coalescer.complete(rsp, now);
+    }
+    coalescer.tick(now);
+    for (auto id : coalescer.drain_satisfied()) satisfied.push_back(id);
+    ++now;
+  }
+
+  std::uint64_t feed(Addr paddr, MemOp op = MemOp::kLoad) {
+    MemRequest r = make(paddr, op);
+    while (!coalescer.accept(r, now)) tick();
+    return r.id;
+  }
+
+  void drain() {
+    while (!(coalescer.idle() && device.idle())) tick();
+  }
+};
+
+TEST(MshrDmc, FixedLineSizeRequests) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  h.feed(0x1234);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 1u);
+  EXPECT_EQ(h.coalescer.stats().issued_payload_bytes, 64u);
+}
+
+TEST(MshrDmc, MergesSameLineLoads) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  const auto a = h.feed(0x1000);
+  const auto b = h.feed(0x1008);  // same 64 B line
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 1u);
+  EXPECT_EQ(h.coalescer.stats().coalesced_away, 1u);
+  std::set<std::uint64_t> got(h.satisfied.begin(), h.satisfied.end());
+  EXPECT_EQ(got, (std::set<std::uint64_t>{a, b}));
+}
+
+TEST(MshrDmc, AdjacentLinesNeverMerge) {
+  // The fundamental limitation PAC removes (section 2.2.2): requests are
+  // fixed at 64 B regardless of adjacency.
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  for (Addr b = 0; b < 4; ++b) h.feed(0x4000 + b * 64);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 4u);
+  EXPECT_EQ(h.coalescer.stats().coalesced_away, 0u);
+}
+
+TEST(MshrDmc, StoresDoNotMergeWithLoads) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  h.feed(0x1000, MemOp::kLoad);
+  h.feed(0x1000, MemOp::kStore);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 2u);
+}
+
+TEST(MshrDmc, StallsWhenAllMshrsBusy) {
+  MshrDmcConfig cfg;
+  cfg.num_mshrs = 2;
+  Harness<MshrDmc> h{cfg};
+  MemRequest a = h.make(0x0000);
+  MemRequest b = h.make(0x1000);
+  MemRequest c = h.make(0x2000);
+  ASSERT_TRUE(h.coalescer.accept(a, h.now));
+  ASSERT_TRUE(h.coalescer.accept(b, h.now));
+  EXPECT_FALSE(h.coalescer.accept(c, h.now));
+  h.drain();
+  EXPECT_TRUE(h.coalescer.accept(c, h.now));
+  h.drain();
+  EXPECT_EQ(h.satisfied.size(), 3u);
+}
+
+TEST(MshrDmc, FenceIsNoOp) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  MemRequest f = h.make(0, MemOp::kFence);
+  EXPECT_TRUE(h.coalescer.accept(f, h.now));
+  EXPECT_EQ(h.coalescer.stats().fences, 1u);
+  EXPECT_TRUE(h.coalescer.idle());
+}
+
+TEST(MshrDmc, AtomicsGetOwnEntries) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  h.feed(0x1000, MemOp::kAtomic);
+  h.feed(0x1000, MemOp::kAtomic);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 2u);
+  EXPECT_EQ(h.coalescer.stats().atomics, 2u);
+}
+
+TEST(MshrDmc, ComparisonsCountOccupiedEntries) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  h.feed(0x0000);
+  h.feed(0x1000);
+  h.feed(0x2000);
+  EXPECT_EQ(h.coalescer.stats().comparisons, 0u + 1u + 2u);
+  h.drain();
+}
+
+TEST(MshrDmc, ConservationUnderRandomTraffic) {
+  Harness<MshrDmc> h{MshrDmcConfig{}};
+  Rng rng(5);
+  std::set<std::uint64_t> expected;
+  for (int i = 0; i < 1500; ++i) {
+    const Addr a = rng.below(256) * 64;
+    expected.insert(
+        h.feed(a, rng.below(4) == 0 ? MemOp::kStore : MemOp::kLoad));
+    if (rng.below(4) == 0) h.tick();
+  }
+  h.drain();
+  std::set<std::uint64_t> got;
+  for (auto id : h.satisfied) EXPECT_TRUE(got.insert(id).second);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(DirectController, OneRequestPerRaw) {
+  Harness<DirectController> h{DirectControllerConfig{}};
+  for (Addr b = 0; b < 8; ++b) h.feed(0x8000 + b * 64);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 8u);
+  EXPECT_EQ(h.coalescer.stats().coalesced_away, 0u);
+  EXPECT_DOUBLE_EQ(h.coalescer.stats().coalescing_efficiency(), 0.0);
+  EXPECT_EQ(h.satisfied.size(), 8u);
+}
+
+TEST(DirectController, DuplicatesAreDuplicated) {
+  // The no-coalescing controller sends redundant same-line requests twice -
+  // the redundant transactions coalescing eliminates (section 5.3.2).
+  Harness<DirectController> h{DirectControllerConfig{}};
+  h.feed(0x1000);
+  h.feed(0x1000);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().issued_requests, 2u);
+}
+
+TEST(DirectController, RespectsOutstandingLimit) {
+  DirectControllerConfig cfg;
+  cfg.max_outstanding = 1;
+  Harness<DirectController> h{cfg};
+  MemRequest a = h.make(0x0000);
+  MemRequest b = h.make(0x1000);
+  ASSERT_TRUE(h.coalescer.accept(a, h.now));
+  EXPECT_FALSE(h.coalescer.accept(b, h.now));
+  h.drain();
+  EXPECT_TRUE(h.coalescer.accept(b, h.now));
+  h.drain();
+}
+
+TEST(DirectController, NoComparatorWork) {
+  Harness<DirectController> h{DirectControllerConfig{}};
+  for (Addr b = 0; b < 4; ++b) h.feed(b * 64);
+  h.drain();
+  EXPECT_EQ(h.coalescer.stats().comparisons, 0u);
+}
+
+}  // namespace
+}  // namespace pacsim

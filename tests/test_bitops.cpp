@@ -1,0 +1,129 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(BitRuns, Empty) { EXPECT_TRUE(bit_runs(0).empty()); }
+
+TEST(BitRuns, SingleBit) {
+  for (unsigned i = 0; i < 64; ++i) {
+    const auto runs = bit_runs(std::uint64_t{1} << i);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0], (BitRun{i, 1}));
+  }
+}
+
+TEST(BitRuns, FullWord) {
+  const auto runs = bit_runs(~std::uint64_t{0});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (BitRun{0, 64}));
+}
+
+TEST(BitRuns, TwoRuns) {
+  const auto runs = bit_runs(0b1100'0110);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (BitRun{1, 2}));
+  EXPECT_EQ(runs[1], (BitRun{6, 2}));
+}
+
+TEST(BitRuns, WidthMasksHighBits) {
+  const auto runs = bit_runs(0b1111'0001, 4);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (BitRun{0, 1}));
+}
+
+TEST(BitRuns, PaperExample0110) {
+  // Fig 5(b): sequence 0110 -> one 2-block run at offset 1 (128 B request).
+  const auto runs = bit_runs(0b0110, 4);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (BitRun{1, 2}));
+}
+
+/// Reference implementation: linear scan.
+std::vector<BitRun> naive_runs(std::uint64_t bits, unsigned width) {
+  std::vector<BitRun> runs;
+  unsigned start = 0;
+  bool in_run = false;
+  for (unsigned i = 0; i < width; ++i) {
+    const bool set = (bits >> i) & 1;
+    if (set && !in_run) {
+      start = i;
+      in_run = true;
+    } else if (!set && in_run) {
+      runs.push_back({start, i - start});
+      in_run = false;
+    }
+  }
+  if (in_run) runs.push_back({start, width - start});
+  return runs;
+}
+
+TEST(BitRuns, ExhaustiveEightBit) {
+  for (std::uint32_t bits = 0; bits < 256; ++bits) {
+    EXPECT_EQ(bit_runs(bits, 8), naive_runs(bits, 8)) << "bits=" << bits;
+  }
+}
+
+TEST(BitRuns, RandomSixtyFourBitAgainstReference) {
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t bits = rng.next();
+    EXPECT_EQ(bit_runs(bits), naive_runs(bits, 64));
+  }
+}
+
+TEST(BitRuns, RunsCoverExactlySetBits) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t bits = rng.next() & rng.next();  // sparser
+    std::uint64_t rebuilt = 0;
+    unsigned last_end = 0;
+    bool first = true;
+    for (const BitRun& r : bit_runs(bits)) {
+      ASSERT_GT(r.length, 0u);
+      if (!first) EXPECT_GT(r.offset, last_end) << "runs must not touch";
+      last_end = r.offset + r.length;
+      first = false;
+      for (unsigned b = r.offset; b < r.offset + r.length; ++b) {
+        rebuilt |= std::uint64_t{1} << b;
+      }
+    }
+    EXPECT_EQ(rebuilt, bits);
+  }
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 16), 0u);
+  EXPECT_EQ(ceil_div(1, 16), 1u);
+  EXPECT_EQ(ceil_div(16, 16), 1u);
+  EXPECT_EQ(ceil_div(17, 16), 2u);
+  EXPECT_EQ(ceil_div(256, 16), 16u);
+}
+
+TEST(Log2Exact, Basics) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(64), 6u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Popcount, Basics) {
+  EXPECT_EQ(popcount64(0), 0u);
+  EXPECT_EQ(popcount64(0xFF), 8u);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64u);
+}
+
+}  // namespace
+}  // namespace pacsim

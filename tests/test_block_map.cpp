@@ -1,0 +1,103 @@
+#include "pac/block_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(BlockMap, StartsClear) {
+  BlockMap m;
+  EXPECT_FALSE(m.any());
+  EXPECT_EQ(m.count(), 0u);
+  for (unsigned i = 0; i < 256; ++i) EXPECT_FALSE(m.test(i));
+}
+
+TEST(BlockMap, SetAndTestAcrossWords) {
+  BlockMap m;
+  for (unsigned b : {0u, 63u, 64u, 127u, 128u, 255u}) {
+    m.set(b);
+    EXPECT_TRUE(m.test(b));
+  }
+  EXPECT_EQ(m.count(), 6u);
+  EXPECT_FALSE(m.test(1));
+  EXPECT_FALSE(m.test(65));
+}
+
+TEST(BlockMap, SetIsIdempotent) {
+  BlockMap m;
+  m.set(10);
+  m.set(10);
+  EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(BlockMap, PaperFig5BlockIdExample) {
+  // Fig 5(a): block id = physical-address bits 5..11 at 64 B granularity;
+  // request at block 1 of its page sets bit 1.
+  BlockMap m;
+  const Addr paddr = (0x9ULL << kPageShift) | (1 << 6);
+  m.set(block_in_page(paddr));
+  EXPECT_TRUE(m.test(1));
+  EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(BlockMap, ChunkExtraction4Bit) {
+  BlockMap m;
+  m.set(1);
+  m.set(2);   // chunk 0 = 0110
+  m.set(9);   // chunk 2 bit 1
+  EXPECT_EQ(m.chunk(0, 4), 0b0110);
+  EXPECT_EQ(m.chunk(1, 4), 0b0000);
+  EXPECT_EQ(m.chunk(2, 4), 0b0010);
+}
+
+TEST(BlockMap, ChunkExtraction16Bit) {
+  BlockMap m;
+  for (unsigned b = 16; b < 32; ++b) m.set(b);
+  EXPECT_EQ(m.chunk(0, 16), 0u);
+  EXPECT_EQ(m.chunk(1, 16), 0xFFFFu);
+}
+
+TEST(BlockMap, ChunksTileTheMap) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    BlockMap m;
+    std::vector<bool> ref(64, false);
+    for (int i = 0; i < 20; ++i) {
+      const unsigned b = static_cast<unsigned>(rng.below(64));
+      m.set(b);
+      ref[b] = true;
+    }
+    unsigned rebuilt_count = 0;
+    for (unsigned c = 0; c < 16; ++c) {
+      const std::uint16_t bits = m.chunk(c, 4);
+      for (unsigned i = 0; i < 4; ++i) {
+        const bool set = (bits >> i) & 1;
+        EXPECT_EQ(set, ref[c * 4 + i]);
+        rebuilt_count += set;
+      }
+    }
+    EXPECT_EQ(rebuilt_count, m.count());
+  }
+}
+
+TEST(BlockMap, ClearResets) {
+  BlockMap m;
+  m.set(200);
+  m.clear();
+  EXPECT_FALSE(m.any());
+  EXPECT_FALSE(m.test(200));
+}
+
+TEST(BlockMap, Equality) {
+  BlockMap a, b;
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,120 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+CacheConfig tiny() {
+  CacheConfig cfg;
+  cfg.size_bytes = 1024;  // 4 sets x 4 ways x 64 B
+  cfg.ways = 4;
+  cfg.line_bytes = 64;
+  return cfg;
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1020, false).hit);  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, ProbeHasNoSideEffects) {
+  Cache c(tiny());
+  EXPECT_FALSE(c.probe(0x1000));
+  c.access(0x1000, false);
+  EXPECT_TRUE(c.probe(0x1000));
+  EXPECT_EQ(c.hits(), 0u);  // probes don't count
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(tiny());  // 4 ways: set stride = 4 lines * 64 = 256 B
+  // Fill one set with 4 distinct tags.
+  for (Addr i = 0; i < 4; ++i) c.access(i * 256, false);
+  // Touch the first to make it MRU; line 0 must survive the next fill.
+  c.access(0, false);
+  c.access(4 * 256, false);  // evicts tag 1 (LRU)
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(256));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback) {
+  Cache c(tiny());
+  c.access(0, true);  // dirty line in set 0
+  for (Addr i = 1; i < 4; ++i) c.access(i * 256, false);
+  const CacheAccess acc = c.access(4 * 256, false);
+  EXPECT_FALSE(acc.hit);
+  EXPECT_TRUE(acc.writeback);
+  EXPECT_EQ(acc.victim_addr, 0u);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback) {
+  Cache c(tiny());
+  for (Addr i = 0; i < 5; ++i) {
+    EXPECT_FALSE(c.access(i * 256, false).writeback);
+  }
+}
+
+TEST(Cache, StoreMarksDirtyOnHitToo) {
+  Cache c(tiny());
+  c.access(0, false);  // clean
+  c.access(0, true);   // hit, now dirty
+  for (Addr i = 1; i < 5; ++i) c.access(i * 256, false);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, VictimAddressReconstruction) {
+  Cache c(tiny());
+  const Addr victim = 7 * 256 + 64;  // set 1, some tag
+  c.access(victim, true);
+  for (Addr i = 0; i < 4; ++i) c.access(i * 256 + 64, false);
+  // The dirty victim must have been reported with its block base.
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, PrefetchedBitReportedOnceOnDemandHit) {
+  Cache c(tiny());
+  c.fill(0x2000);
+  const CacheAccess first = c.access(0x2000, false);
+  EXPECT_TRUE(first.hit);
+  EXPECT_TRUE(first.prefetched_hit);
+  const CacheAccess second = c.access(0x2000, false);
+  EXPECT_TRUE(second.hit);
+  EXPECT_FALSE(second.prefetched_hit);
+}
+
+TEST(Cache, DemandAllocationIsNotPrefetched) {
+  Cache c(tiny());
+  c.access(0x3000, false);
+  EXPECT_FALSE(c.access(0x3000, false).prefetched_hit);
+}
+
+TEST(Cache, FillCountsAsMissNotHit) {
+  Cache c(tiny());
+  c.fill(0x1000);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, SetIndexingSeparatesSets) {
+  Cache c(tiny());
+  // 8 lines in different sets: no evictions with 4 ways x 4 sets.
+  for (Addr i = 0; i < 8; ++i) c.access(i * 64, false);
+  for (Addr i = 0; i < 8; ++i) EXPECT_TRUE(c.probe(i * 64));
+}
+
+TEST(Cache, LargeConfigSetCount) {
+  CacheConfig cfg;
+  cfg.size_bytes = 8ULL << 20;
+  cfg.ways = 8;
+  Cache c(cfg);
+  EXPECT_EQ(c.num_sets(), (8ULL << 20) / (8 * 64));
+}
+
+}  // namespace
+}  // namespace pacsim

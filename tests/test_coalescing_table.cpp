@@ -1,0 +1,137 @@
+#include "pac/coalescing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(CoalescingTable, PaperExample0110Gives128B) {
+  // Fig 5(b) stage 3: sequence 0110 -> one 128 B request (2 blocks at
+  // offset 1).
+  const CoalescingTable table(CoalescingProtocol::hmc2());
+  const auto segs = table.segments(0b0110);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{1, 2}));
+}
+
+TEST(CoalescingTable, AllSixteenNibblePatterns) {
+  const CoalescingTable table(CoalescingProtocol::hmc2());
+  for (std::uint16_t bits = 0; bits < 16; ++bits) {
+    EXPECT_EQ(table.segments(bits), bit_runs(bits, 4)) << "bits=" << bits;
+  }
+}
+
+TEST(CoalescingTable, FullChunkIs256B) {
+  const CoalescingTable table(CoalescingProtocol::hmc2());
+  const auto segs = table.segments(0b1111);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{0, 4}));
+}
+
+TEST(CoalescingTable, GapsSplitRequests) {
+  const CoalescingTable table(CoalescingProtocol::hmc2());
+  const auto segs = table.segments(0b1010);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{1, 1}));
+  EXPECT_EQ(segs[1], (Segment{3, 1}));
+}
+
+TEST(CoalescingTable, LookupsPerSequence) {
+  EXPECT_EQ(CoalescingTable(CoalescingProtocol::hmc2()).lookups_per_sequence(),
+            1u);
+  // Section 4.1: a 16-bit sequence appends four 16-entry tables.
+  EXPECT_EQ(CoalescingTable(CoalescingProtocol::hbm()).lookups_per_sequence(),
+            4u);
+  EXPECT_EQ(
+      CoalescingTable(CoalescingProtocol::hmc_fine()).lookups_per_sequence(),
+      4u);
+}
+
+class WideTableMatchesRuns
+    : public ::testing::TestWithParam<CoalescingProtocol> {};
+
+TEST_P(WideTableMatchesRuns, NibbleCompositionEqualsDirectRunScan) {
+  // Property: composing nibble LUT results (the hardware realization) must
+  // equal a direct run decomposition of the whole sequence.
+  const CoalescingTable table(GetParam());
+  const unsigned width = GetParam().chunk_blocks();
+  Rng rng(31);
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint16_t bits =
+        static_cast<std::uint16_t>(rng.next() & ((1u << width) - 1));
+    EXPECT_EQ(table.segments(bits), bit_runs(bits, width)) << "bits=" << bits;
+  }
+}
+
+TEST_P(WideTableMatchesRuns, SegmentsCoverExactlySetBits) {
+  const CoalescingTable table(GetParam());
+  const unsigned width = GetParam().chunk_blocks();
+  Rng rng(32);
+  for (int i = 0; i < 2048; ++i) {
+    const std::uint16_t bits =
+        static_cast<std::uint16_t>(rng.next() & ((1u << width) - 1));
+    std::uint32_t rebuilt = 0;
+    for (const Segment& s : table.segments(bits)) {
+      ASSERT_GT(s.length, 0u);
+      ASSERT_LE(s.offset + s.length, width);
+      for (unsigned b = s.offset; b < s.offset + s.length; ++b) {
+        ASSERT_EQ((rebuilt >> b) & 1u, 0u) << "overlapping segments";
+        rebuilt |= 1u << b;
+      }
+    }
+    EXPECT_EQ(rebuilt, bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, WideTableMatchesRuns,
+                         ::testing::Values(CoalescingProtocol::hmc2(),
+                                           CoalescingProtocol::hmc1(),
+                                           CoalescingProtocol::hbm(),
+                                           CoalescingProtocol::hmc_fine()),
+                         [](const auto& info) {
+                           std::string n(info.param.name);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(CoalescingTable, Pow2ModeSplitsOddRuns) {
+  CoalescingProtocol p = CoalescingProtocol::hmc2();
+  p.pow2_sizes_only = true;
+  const CoalescingTable table(p);
+  const auto segs = table.segments(0b0111);  // run of 3 -> 2 + 1
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{0, 2}));
+  EXPECT_EQ(segs[1], (Segment{2, 1}));
+}
+
+TEST(CoalescingTable, Pow2ModeKeepsPow2Runs) {
+  CoalescingProtocol p = CoalescingProtocol::hmc2();
+  p.pow2_sizes_only = true;
+  const CoalescingTable table(p);
+  EXPECT_EQ(table.segments(0b1111).size(), 1u);
+  EXPECT_EQ(table.segments(0b0011).size(), 1u);
+}
+
+TEST(CoalescingProtocol, DerivedQuantities) {
+  const auto hmc2 = CoalescingProtocol::hmc2();
+  EXPECT_EQ(hmc2.chunk_blocks(), 4u);
+  EXPECT_EQ(hmc2.blocks_per_page(), 64u);
+  EXPECT_EQ(hmc2.chunks_per_page(), 16u);
+  EXPECT_EQ(hmc2.granule_shift(), 6u);
+
+  const auto fine = CoalescingProtocol::hmc_fine();
+  EXPECT_EQ(fine.chunk_blocks(), 16u);
+  EXPECT_EQ(fine.blocks_per_page(), 256u);
+  EXPECT_EQ(fine.chunks_per_page(), 16u);
+
+  const auto hbm = CoalescingProtocol::hbm();
+  EXPECT_EQ(hbm.chunk_blocks(), 16u);
+  EXPECT_EQ(hbm.max_request, 1024u);
+}
+
+}  // namespace
+}  // namespace pacsim

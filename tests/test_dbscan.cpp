@@ -1,0 +1,163 @@
+#include "analysis/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(Dbscan, EmptyInput) {
+  const DbscanResult r = dbscan_addresses({}, DbscanConfig{});
+  EXPECT_EQ(r.num_clusters(), 0u);
+  EXPECT_EQ(r.noise_count, 0u);
+  EXPECT_DOUBLE_EQ(r.clustered_fraction(), 0.0);
+}
+
+TEST(Dbscan, SingleDenseCluster) {
+  std::vector<Addr> pts;
+  for (Addr i = 0; i < 100; ++i) pts.push_back(0x10000 + i * 8);
+  const DbscanResult r = dbscan_addresses(pts, DbscanConfig{});
+  EXPECT_EQ(r.num_clusters(), 1u);
+  EXPECT_EQ(r.noise_count, 0u);
+  EXPECT_EQ(r.clusters[0].size, 100u);
+  EXPECT_EQ(r.clusters[0].min_addr, 0x10000u);
+  EXPECT_EQ(r.clusters[0].max_addr, 0x10000u + 99 * 8);
+}
+
+TEST(Dbscan, TwoSeparatedClustersAndNoise) {
+  std::vector<Addr> pts;
+  for (Addr i = 0; i < 20; ++i) pts.push_back(0x1000 + i * 64);
+  for (Addr i = 0; i < 20; ++i) pts.push_back(0x900000 + i * 64);
+  pts.push_back(0x40000000);  // isolated noise point
+  DbscanConfig cfg;
+  cfg.epsilon = 4096;
+  cfg.min_points = 4;
+  const DbscanResult r = dbscan_addresses(pts, cfg);
+  EXPECT_EQ(r.num_clusters(), 2u);
+  EXPECT_EQ(r.noise_count, 1u);
+  EXPECT_EQ(r.labels.back(), -1);
+}
+
+TEST(Dbscan, MinPointsGovernsCorePoints) {
+  // 3 points within epsilon: below min_points=4, all noise.
+  std::vector<Addr> pts = {100, 200, 300};
+  DbscanConfig cfg;
+  cfg.epsilon = 1000;
+  cfg.min_points = 4;
+  EXPECT_EQ(dbscan_addresses(pts, cfg).noise_count, 3u);
+  cfg.min_points = 3;
+  EXPECT_EQ(dbscan_addresses(pts, cfg).noise_count, 0u);
+}
+
+TEST(Dbscan, ChainExpansion) {
+  // A chain of points each within epsilon of the next must form ONE
+  // cluster through density reachability.
+  std::vector<Addr> pts;
+  for (Addr i = 0; i < 50; ++i) pts.push_back(i * 3000);  // eps=4096
+  DbscanConfig cfg;
+  cfg.epsilon = 4096;
+  cfg.min_points = 2;
+  const DbscanResult r = dbscan_addresses(pts, cfg);
+  EXPECT_EQ(r.num_clusters(), 1u);
+  EXPECT_EQ(r.clusters[0].size, 50u);
+}
+
+TEST(Dbscan, LabelsMatchInputOrder) {
+  std::vector<Addr> pts = {0x900000, 0x1000, 0x900040, 0x1040, 0x1080,
+                           0x900080, 0x10C0, 0x9000C0};
+  DbscanConfig cfg;
+  cfg.epsilon = 4096;
+  cfg.min_points = 3;
+  const DbscanResult r = dbscan_addresses(pts, cfg);
+  ASSERT_EQ(r.labels.size(), pts.size());
+  // Points interleaved from two clusters: labels must agree per region.
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[1], r.labels[3]);
+  EXPECT_NE(r.labels[0], r.labels[1]);
+}
+
+TEST(Dbscan, CentroidWithinClusterBounds) {
+  Rng rng(8);
+  std::vector<Addr> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back(0x5000 + rng.below(2048));
+  const DbscanResult r = dbscan_addresses(pts, DbscanConfig{});
+  ASSERT_EQ(r.num_clusters(), 1u);
+  EXPECT_GE(r.clusters[0].centroid, static_cast<double>(r.clusters[0].min_addr));
+  EXPECT_LE(r.clusters[0].centroid, static_cast<double>(r.clusters[0].max_addr));
+}
+
+/// Reference O(n^2) DBSCAN for cross-checking cluster structure.
+std::size_t reference_cluster_count(const std::vector<Addr>& pts,
+                                    const DbscanConfig& cfg) {
+  const std::size_t n = pts.size();
+  auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = std::abs(static_cast<double>(pts[i]) -
+                                static_cast<double>(pts[j]));
+      if (d <= cfg.epsilon) out.push_back(j);
+    }
+    return out;
+  };
+  std::vector<int> label(n, -2);
+  int clusters = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] != -2) continue;
+    auto nb = neighbors(i);
+    if (nb.size() < cfg.min_points) {
+      label[i] = -1;
+      continue;
+    }
+    const int cid = clusters++;
+    label[i] = cid;
+    std::vector<std::size_t> stack = nb;
+    while (!stack.empty()) {
+      const std::size_t q = stack.back();
+      stack.pop_back();
+      if (label[q] == -1) label[q] = cid;
+      if (label[q] != -2) continue;
+      label[q] = cid;
+      auto qn = neighbors(q);
+      if (qn.size() >= cfg.min_points) {
+        stack.insert(stack.end(), qn.begin(), qn.end());
+      }
+    }
+  }
+  return static_cast<std::size_t>(clusters);
+}
+
+TEST(Dbscan, MatchesReferenceOnRandomInputs) {
+  Rng rng(99);
+  DbscanConfig cfg;
+  cfg.epsilon = 4096;
+  cfg.min_points = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Addr> pts;
+    const int groups = 1 + static_cast<int>(rng.below(6));
+    for (int g = 0; g < groups; ++g) {
+      const Addr base = rng.below(1ULL << 28);
+      const int count = 1 + static_cast<int>(rng.below(30));
+      for (int i = 0; i < count; ++i) pts.push_back(base + rng.below(8192));
+    }
+    const DbscanResult fast = dbscan_addresses(pts, cfg);
+    EXPECT_EQ(fast.num_clusters(), reference_cluster_count(pts, cfg))
+        << "trial " << trial;
+  }
+}
+
+TEST(Dbscan, ClusterSizesSumWithNoise) {
+  Rng rng(3);
+  std::vector<Addr> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back(rng.below(1ULL << 24));
+  const DbscanResult r = dbscan_addresses(pts, DbscanConfig{});
+  std::size_t total = r.noise_count;
+  for (const auto& c : r.clusters) total += c.size;
+  EXPECT_EQ(total, pts.size());
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "pac/blockmap_decoder.hpp"
+#include "pac/request_assembler.hpp"
+
+namespace pacsim {
+namespace {
+
+CoalescingStream make_stream(Addr ppn, std::initializer_list<unsigned> blocks,
+                             bool store = false) {
+  CoalescingStream s;
+  s.valid = true;
+  s.ppn = ppn;
+  s.store = store;
+  std::uint64_t id = 1;
+  for (unsigned b : blocks) {
+    s.map.set(b);
+    s.raws.push_back(RawRef{static_cast<std::uint16_t>(b),
+                            static_cast<std::uint16_t>(b), id++});
+    ++s.count;
+  }
+  return s;
+}
+
+struct DecoderTest : ::testing::Test {
+  PacConfig cfg;
+  PacStats stats;
+  BlockMapDecoder decoder{cfg, &stats};
+  FixedQueue<BlockSequence> buffer{32};
+
+  void run_until_idle(Cycle* now, Cycle limit = 1000) {
+    while (!decoder.idle() && *now < limit) {
+      decoder.tick(*now, buffer);
+      ++*now;
+    }
+  }
+};
+
+TEST_F(DecoderTest, EmitsOnlyNonEmptyChunks) {
+  decoder.accept(make_stream(9, {1, 2, 9}), 0);
+  Cycle now = 0;
+  run_until_idle(&now);
+  ASSERT_EQ(buffer.size(), 2u);
+  const BlockSequence a = buffer.pop();
+  EXPECT_EQ(a.chunk_index, 0u);
+  EXPECT_EQ(a.bits, 0b0110);
+  const BlockSequence b = buffer.pop();
+  EXPECT_EQ(b.chunk_index, 2u);
+  EXPECT_EQ(b.bits, 0b0010);
+}
+
+TEST_F(DecoderTest, TwoCycleDecodePlusOneWritePerChunk) {
+  decoder.accept(make_stream(9, {0, 4, 8}), 0);
+  // decode_cycles = 2, then one buffer write per cycle for 3 chunks.
+  decoder.tick(0, buffer);
+  decoder.tick(1, buffer);
+  EXPECT_TRUE(buffer.empty());  // still decoding
+  decoder.tick(2, buffer);
+  EXPECT_EQ(buffer.size(), 1u);
+  decoder.tick(3, buffer);
+  EXPECT_EQ(buffer.size(), 2u);
+  decoder.tick(4, buffer);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST_F(DecoderTest, RawsOwnedByFirstBlockChunk) {
+  CoalescingStream s = make_stream(9, {3});
+  // A raw spanning blocks 3-4 crosses the chunk boundary; it must appear
+  // only in chunk 0 (owner of its first block).
+  s.map.set(4);
+  s.raws[0].last_block = 4;
+  decoder.accept(std::move(s), 0);
+  Cycle now = 0;
+  run_until_idle(&now);
+  ASSERT_EQ(buffer.size(), 2u);
+  const BlockSequence a = buffer.pop();
+  const BlockSequence b = buffer.pop();
+  EXPECT_EQ(a.raws.size(), 1u);
+  EXPECT_TRUE(b.raws.empty());
+}
+
+TEST_F(DecoderTest, StallsWhenBufferFull) {
+  FixedQueue<BlockSequence> small(1);
+  decoder.accept(make_stream(9, {0, 4}), 0);
+  Cycle now = 0;
+  for (; now < 10; ++now) decoder.tick(now, small);
+  EXPECT_FALSE(decoder.idle());  // second chunk still pending
+  small.pop();
+  for (; now < 20; ++now) decoder.tick(now, small);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST_F(DecoderTest, RecordsStage2Latency) {
+  CoalescingStream s = make_stream(9, {1, 2});
+  s.flushed_at = 0;
+  decoder.accept(std::move(s), 0);
+  Cycle now = 0;
+  run_until_idle(&now);
+  EXPECT_EQ(stats.stage2_latency.count(), 1u);
+  EXPECT_GE(stats.stage2_latency.mean(), cfg.decode_cycles);
+}
+
+struct AssemblerTest : ::testing::Test {
+  PacConfig cfg;
+  PacStats stats;
+  CoalescingTable table{cfg.protocol};
+  std::uint64_t next_id = 1;
+  RequestAssembler assembler{cfg, &stats, &table, &next_id};
+  FixedQueue<BlockSequence> in{8};
+
+  struct Sink : MaqSink {
+    FixedQueue<DeviceRequest> q{16};
+    bool emit(DeviceRequest&& r) override { return q.push(std::move(r)); }
+    bool maq_full() const override { return q.full(); }
+  } sink;
+
+  BlockSequence seq(Addr ppn, std::uint16_t chunk, std::uint16_t bits,
+                    std::initializer_list<RawRef> raws, bool store = false) {
+    BlockSequence s;
+    s.ppn = ppn;
+    s.chunk_index = chunk;
+    s.bits = bits;
+    s.store = store;
+    s.raws = raws;
+    return s;
+  }
+
+  void run(Cycle* now, Cycle limit = 1000) {
+    while ((!assembler.idle() || !in.empty()) && *now < limit) {
+      assembler.tick(*now, in, sink);
+      ++*now;
+    }
+  }
+};
+
+TEST_F(AssemblerTest, BuildsPaperExampleRequest) {
+  // Fig 5(b): stream 1 with sequence 0110 in chunk 0 of page 0x9 produces
+  // one 128 B request covering blocks 1-2.
+  ASSERT_TRUE(in.push(seq(0x9, 0, 0b0110,
+                          {RawRef{1, 1, 11}, RawRef{2, 2, 22}})));
+  Cycle now = 0;
+  run(&now);
+  ASSERT_EQ(sink.q.size(), 1u);
+  const DeviceRequest r = sink.q.pop();
+  EXPECT_EQ(r.base, (0x9ULL << kPageShift) + 64);
+  EXPECT_EQ(r.bytes, 128u);
+  EXPECT_FALSE(r.store);
+  EXPECT_EQ(r.raw_ids, (std::vector<std::uint64_t>{11, 22}));
+}
+
+TEST_F(AssemblerTest, ChunkOffsetAppliedToBase) {
+  ASSERT_TRUE(in.push(seq(0x9, 3, 0b0001, {RawRef{12, 12, 5}})));
+  Cycle now = 0;
+  run(&now);
+  const DeviceRequest r = sink.q.pop();
+  EXPECT_EQ(r.base, (0x9ULL << kPageShift) + 12 * 64);
+  EXPECT_EQ(r.bytes, 64u);
+}
+
+TEST_F(AssemblerTest, GappedChunkMakesTwoRequests) {
+  ASSERT_TRUE(in.push(
+      seq(0x2, 0, 0b1001, {RawRef{0, 0, 1}, RawRef{3, 3, 2}})));
+  Cycle now = 0;
+  run(&now);
+  ASSERT_EQ(sink.q.size(), 2u);
+  const DeviceRequest a = sink.q.pop();
+  const DeviceRequest b = sink.q.pop();
+  EXPECT_EQ(a.bytes, 64u);
+  EXPECT_EQ(b.bytes, 64u);
+  EXPECT_EQ(a.raw_ids, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(b.raw_ids, (std::vector<std::uint64_t>{2}));
+}
+
+TEST_F(AssemblerTest, StoreBitPropagates) {
+  ASSERT_TRUE(in.push(seq(0x4, 0, 0b0011, {RawRef{0, 0, 1}, RawRef{1, 1, 2}},
+                          /*store=*/true)));
+  Cycle now = 0;
+  run(&now);
+  EXPECT_TRUE(sink.q.pop().store);
+}
+
+TEST_F(AssemblerTest, TwoCyclesPerRequestPacing) {
+  // One sequence with one request: 1 cycle pop + 1 lookup + 1 assemble.
+  ASSERT_TRUE(in.push(seq(0x9, 0, 0b0001, {RawRef{0, 0, 1}})));
+  Cycle now = 0;
+  assembler.tick(now++, in, sink);  // pop + lookup start
+  EXPECT_TRUE(sink.q.empty());
+  assembler.tick(now++, in, sink);  // lookup done, assemble
+  EXPECT_EQ(sink.q.size(), 1u);
+}
+
+TEST_F(AssemblerTest, StallsWhenMaqFull) {
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(sink.q.push(DeviceRequest{}));
+  }
+  ASSERT_TRUE(in.push(seq(0x9, 0, 0b0001, {RawRef{0, 0, 1}})));
+  Cycle now = 0;
+  for (; now < 50; ++now) assembler.tick(now, in, sink);
+  EXPECT_FALSE(assembler.idle());
+  sink.q.pop();
+  for (; now < 100; ++now) assembler.tick(now, in, sink);
+  EXPECT_TRUE(assembler.idle());
+  EXPECT_EQ(sink.q.size(), 16u);
+}
+
+TEST_F(AssemblerTest, CoalescedAwayCountsReducedRequests) {
+  ASSERT_TRUE(in.push(seq(0x9, 0, 0b1111,
+                          {RawRef{0, 0, 1}, RawRef{1, 1, 2}, RawRef{2, 2, 3},
+                           RawRef{3, 3, 4}})));
+  Cycle now = 0;
+  run(&now);
+  ASSERT_EQ(sink.q.size(), 1u);
+  EXPECT_EQ(sink.q.pop().bytes, 256u);
+  EXPECT_EQ(stats.base.coalesced_away, 3u);  // 4 raws -> 1 request
+}
+
+TEST_F(AssemblerTest, AssignsFreshDeviceIds) {
+  ASSERT_TRUE(in.push(seq(0x1, 0, 0b0001, {RawRef{0, 0, 1}})));
+  ASSERT_TRUE(in.push(seq(0x2, 0, 0b0001, {RawRef{0, 0, 2}})));
+  Cycle now = 0;
+  run(&now);
+  ASSERT_EQ(sink.q.size(), 2u);
+  const auto a = sink.q.pop();
+  const auto b = sink.q.pop();
+  EXPECT_NE(a.id, b.id);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,99 @@
+#include "common/fixed_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+TEST(FixedQueue, StartsEmpty) {
+  FixedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.free_slots(), 4u);
+}
+
+TEST(FixedQueue, PushPopFifoOrder) {
+  FixedQueue<int> q(3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, PushFailsWhenFull) {
+  FixedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(FixedQueue, FrontPeeksWithoutRemoving) {
+  FixedQueue<int> q(2);
+  ASSERT_TRUE(q.push(7));
+  EXPECT_EQ(q.front(), 7);
+  EXPECT_EQ(q.size(), 1u);
+  q.front() = 9;
+  EXPECT_EQ(q.pop(), 9);
+}
+
+TEST(FixedQueue, ReusableAfterDrain) {
+  FixedQueue<int> q(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(q.push(i));
+    EXPECT_FALSE(q.push(i));
+    EXPECT_EQ(q.pop(), i);
+  }
+}
+
+TEST(FixedQueue, Clear) {
+  FixedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.free_slots(), 4u);
+}
+
+TEST(FixedQueue, EraseIfRemovesMatching) {
+  FixedQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(i));
+  const std::size_t removed = q.erase_if([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(FixedQueue, EraseIfPreservesOrder) {
+  FixedQueue<int> q(6);
+  for (int v : {5, 2, 9, 4, 7}) ASSERT_TRUE(q.push(v));
+  q.erase_if([](int v) { return v > 6; });
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, IterationVisitsFifoOrder) {
+  FixedQueue<int> q(4);
+  for (int v : {3, 1, 2}) ASSERT_TRUE(q.push(v));
+  std::vector<int> seen(q.begin(), q.end());
+  EXPECT_EQ(seen, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(FixedQueue, MoveOnlyTypes) {
+  FixedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.push(std::make_unique<int>(42)));
+  auto p = q.pop();
+  EXPECT_EQ(*p, 42);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,77 @@
+#include "analysis/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+Addr blk(std::uint64_t page, std::uint64_t block) {
+  return (page << kPageShift) | (block << kCacheBlockShift);
+}
+
+TEST(Footprint, EmptyStream) {
+  const FootprintStats s = analyze_footprint({});
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_DOUBLE_EQ(s.in_page_fraction(), 0.0);
+}
+
+TEST(Footprint, SequentialStreamIsFullyInPageAdjacent) {
+  std::vector<Addr> stream;
+  for (std::uint64_t b = 0; b < 32; ++b) stream.push_back(blk(5, b));
+  const FootprintStats s = analyze_footprint(stream);
+  EXPECT_EQ(s.requests, 32u);
+  EXPECT_EQ(s.distinct_pages, 1u);
+  EXPECT_EQ(s.distinct_blocks, 32u);
+  // Every request after the first neighbours the previous block.
+  EXPECT_EQ(s.in_page_adjacent, 31u);
+  EXPECT_EQ(s.cross_page_adjacent, 0u);
+  EXPECT_GE(s.same_chunk, 24u);
+}
+
+TEST(Footprint, ScatteredStreamHasNoAdjacency) {
+  std::vector<Addr> stream;
+  for (std::uint64_t p = 0; p < 64; ++p) stream.push_back(blk(p * 7 + 1, 3));
+  const FootprintStats s = analyze_footprint(stream);
+  EXPECT_EQ(s.in_page_adjacent, 0u);
+  EXPECT_EQ(s.cross_page_adjacent, 0u);
+  EXPECT_EQ(s.distinct_pages, 64u);
+}
+
+TEST(Footprint, CrossPageBoundaryDetected) {
+  // Block 63 of page 9 then block 0 of page 10: physically adjacent blocks
+  // in different pages.
+  const FootprintStats s =
+      analyze_footprint({blk(9, 63), blk(10, 0)});
+  EXPECT_EQ(s.in_page_adjacent, 0u);
+  EXPECT_EQ(s.cross_page_adjacent, 1u);
+}
+
+TEST(Footprint, WindowLimitsVisibility) {
+  // Adjacent blocks separated by more than `window` other requests are not
+  // coalescable by a windowed design.
+  std::vector<Addr> stream;
+  stream.push_back(blk(1, 0));
+  for (std::uint64_t p = 100; p < 120; ++p) stream.push_back(blk(p, 9));
+  stream.push_back(blk(1, 1));
+  const FootprintStats near = analyze_footprint(stream, /*window=*/4);
+  EXPECT_EQ(near.in_page_adjacent, 0u);
+  const FootprintStats wide = analyze_footprint(stream, /*window=*/64);
+  EXPECT_EQ(wide.in_page_adjacent, 1u);
+}
+
+TEST(Footprint, RequestsPerPageHistogram) {
+  std::vector<Addr> stream = {blk(1, 0), blk(1, 5), blk(1, 9), blk(2, 0)};
+  const FootprintStats s = analyze_footprint(stream);
+  EXPECT_EQ(s.requests_per_page.at(3), 1u);  // page 1: 3 requests
+  EXPECT_EQ(s.requests_per_page.at(1), 1u);  // page 2: 1 request
+}
+
+TEST(Footprint, DuplicateBlocksCountOncePerSet) {
+  const FootprintStats s =
+      analyze_footprint({blk(4, 2), blk(4, 2), blk(4, 2)});
+  EXPECT_EQ(s.distinct_blocks, 1u);
+  EXPECT_EQ(s.in_page_adjacent, 0u);  // same block is not "adjacent"
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,264 @@
+#include "hmc/hmc_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/packet.hpp"
+
+namespace pacsim {
+namespace {
+
+struct DeviceHarness {
+  HmcConfig cfg;
+  PowerModel power;
+  HmcDevice device{cfg, &power};
+
+  /// Run until all outstanding requests complete; returns responses.
+  std::vector<DeviceResponse> drain(Cycle* now, Cycle limit = 1'000'000) {
+    std::vector<DeviceResponse> out;
+    while (!device.idle() && *now < limit) {
+      device.tick(*now);
+      for (auto& r : device.drain_completed()) out.push_back(std::move(r));
+      ++*now;
+    }
+    return out;
+  }
+};
+
+DeviceRequest make_req(std::uint64_t id, Addr base, std::uint32_t bytes,
+                       bool store = false) {
+  DeviceRequest r;
+  r.id = id;
+  r.base = base;
+  r.bytes = bytes;
+  r.store = store;
+  r.raw_ids = {id * 100};
+  return r;
+}
+
+TEST(HmcDevice, SingleReadCompletesWithPlausibleLatency) {
+  DeviceHarness h;
+  Cycle now = 0;
+  h.device.submit(make_req(1, 0, 64), now);
+  const auto responses = h.drain(&now);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].request_id, 1u);
+  EXPECT_EQ(responses[0].raw_ids, (std::vector<std::uint64_t>{100}));
+  // Unloaded latency: tens of cycles, below the loaded 93 ns (186 cycles).
+  const double lat = h.device.stats().access_latency.mean();
+  EXPECT_GT(lat, 40.0);
+  EXPECT_LT(lat, 220.0);
+}
+
+TEST(HmcDevice, WritesCompleteToo) {
+  DeviceHarness h;
+  Cycle now = 0;
+  h.device.submit(make_req(1, 4096, 256, true), now);
+  EXPECT_EQ(h.drain(&now).size(), 1u);
+  EXPECT_EQ(h.device.stats().payload_bytes, 256u);
+}
+
+TEST(HmcDevice, EveryRequestGetsExactlyOneResponse) {
+  DeviceHarness h;
+  Cycle now = 0;
+  std::set<std::uint64_t> expected;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    while (!h.device.can_accept()) {
+      h.device.tick(now);
+      ++now;
+    }
+    h.device.submit(make_req(i + 1, i * 256, 64, i % 3 == 0), now);
+    expected.insert(i + 1);
+  }
+  for (const auto& rsp : h.drain(&now)) {
+    EXPECT_TRUE(expected.erase(rsp.request_id) == 1)
+        << "duplicate or unknown response " << rsp.request_id;
+  }
+  EXPECT_TRUE(expected.empty());
+}
+
+TEST(HmcDevice, SameRowBackToBackConflicts) {
+  DeviceHarness h;
+  Cycle now = 0;
+  // Four 64 B reads of one 256 B row: the paper's motivating example - the
+  // row must be opened and closed four times (section 2.1.1).
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    h.device.submit(make_req(i + 1, i * 64, 64), now);
+  }
+  h.drain(&now);
+  EXPECT_GE(h.device.stats().bank_conflicts, 3u);
+  EXPECT_EQ(h.device.stats().row_accesses, 4u);
+}
+
+TEST(HmcDevice, CoalescedRowAccessAvoidsConflicts) {
+  DeviceHarness h;
+  Cycle now = 0;
+  h.device.submit(make_req(1, 0, 256), now);  // one 256 B request
+  h.drain(&now);
+  EXPECT_EQ(h.device.stats().bank_conflicts, 0u);
+  EXPECT_EQ(h.device.stats().row_accesses, 1u);
+}
+
+TEST(HmcDevice, DistinctRowsNoConflict) {
+  DeviceHarness h;
+  Cycle now = 0;
+  // Consecutive rows interleave across vaults: no bank contention.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    h.device.submit(make_req(i + 1, i * 256, 64), now);
+  }
+  h.drain(&now);
+  EXPECT_EQ(h.device.stats().bank_conflicts, 0u);
+}
+
+TEST(HmcDevice, RoundRobinSpreadsLinkRoutes) {
+  DeviceHarness h;
+  Cycle now = 0;
+  // 64 requests to rotating vaults: both local and remote routes appear.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    while (!h.device.can_accept()) {
+      h.device.tick(now);
+      ++now;
+    }
+    h.device.submit(make_req(i + 1, i * 256, 64), now);
+  }
+  h.drain(&now);
+  EXPECT_GT(h.device.stats().local_routes, 0u);
+  EXPECT_GT(h.device.stats().remote_routes, 0u);
+  EXPECT_EQ(h.device.stats().local_routes + h.device.stats().remote_routes,
+            64u);
+}
+
+TEST(HmcDevice, WideRequestSpansRows) {
+  HmcConfig cfg;
+  PowerModel power;
+  HmcDevice device(cfg, &power);
+  Cycle now = 0;
+  // 1 KB request decomposes into four 256 B row accesses in four vaults.
+  device.submit(make_req(1, 0, 1024), now);
+  while (!device.idle()) {
+    device.tick(now);
+    device.drain_completed();
+    ++now;
+  }
+  EXPECT_EQ(device.stats().row_accesses, 4u);
+  EXPECT_EQ(device.stats().requests, 1u);
+}
+
+TEST(HmcDevice, FlitAccounting) {
+  DeviceHarness h;
+  Cycle now = 0;
+  h.device.submit(make_req(1, 0, 128), now);           // read
+  h.device.submit(make_req(2, 4096, 128, true), now);  // write
+  h.drain(&now);
+  // Read: 1 request FLIT + 9 response FLITs; write: 9 + 1.
+  EXPECT_EQ(h.device.stats().request_flits, 1u + 9u);
+  EXPECT_EQ(h.device.stats().response_flits, 9u + 1u);
+}
+
+TEST(HmcDevice, EnergyAccumulatesAcrossClasses) {
+  DeviceHarness h;
+  Cycle now = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    h.device.submit(make_req(i + 1, i * 64, 64), now);
+  }
+  h.drain(&now);
+  EXPECT_GT(h.power.energy(HmcOp::kDramAccess), 0.0);
+  EXPECT_GT(h.power.energy(HmcOp::kDramData), 0.0);
+  EXPECT_GT(h.power.energy(HmcOp::kVaultCtrl), 0.0);
+  EXPECT_GT(h.power.energy(HmcOp::kVaultRqstSlot), 0.0);
+  EXPECT_GT(h.power.energy(HmcOp::kVaultRspSlot), 0.0);
+  EXPECT_GT(h.power.total(), 0.0);
+}
+
+TEST(HmcDevice, AdmissionControl) {
+  HmcConfig cfg;
+  cfg.max_outstanding = 4;
+  PowerModel power;
+  HmcDevice device(cfg, &power);
+  Cycle now = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(device.can_accept());
+    device.submit(make_req(i + 1, i * 4096, 64), now);
+  }
+  EXPECT_FALSE(device.can_accept());
+  while (!device.idle()) {
+    device.tick(now);
+    device.drain_completed();
+    ++now;
+  }
+  EXPECT_TRUE(device.can_accept());
+}
+
+TEST(HmcDevice, LargerPayloadTakesLonger) {
+  DeviceHarness small, large;
+  Cycle now_s = 0, now_l = 0;
+  small.device.submit(make_req(1, 0, 64), now_s);
+  large.device.submit(make_req(1, 0, 256), now_l);
+  small.drain(&now_s);
+  large.drain(&now_l);
+  EXPECT_LT(small.device.stats().access_latency.mean(),
+            large.device.stats().access_latency.mean());
+}
+
+
+TEST(HmcDevice, RefreshRotatesAcrossVaults) {
+  HmcConfig cfg;
+  cfg.t_refi = 50;
+  PowerModel power;
+  HmcDevice device(cfg, &power);
+  for (Cycle now = 0; now < 50 * 40; ++now) device.tick(now);
+  // ~40 refresh slots elapsed; more than a full vault rotation.
+  EXPECT_GE(device.stats().refreshes, 32u);
+  EXPECT_GT(power.energy(HmcOp::kDramRefresh), 0.0);
+}
+
+TEST(HmcDevice, RefreshCanBeDisabled) {
+  HmcConfig cfg;
+  cfg.enable_refresh = false;
+  PowerModel power;
+  HmcDevice device(cfg, &power);
+  for (Cycle now = 0; now < 10'000; ++now) device.tick(now);
+  EXPECT_EQ(device.stats().refreshes, 0u);
+  EXPECT_DOUBLE_EQ(power.energy(HmcOp::kDramRefresh), 0.0);
+}
+
+TEST(HmcDevice, RefreshDelaysColocatedAccess) {
+  HmcConfig cfg;
+  cfg.t_refi = 1000;  // first refresh (vault 0) at cycle 1000
+  cfg.t_rfc = 400;
+  PowerModel power;
+  HmcDevice device(cfg, &power);
+  Cycle now = 0;
+  for (; now < 1001; ++now) device.tick(now);  // vault 0 now refreshing
+  DeviceRequest req;
+  req.id = 1;
+  req.base = 0;  // row 0 -> vault 0
+  req.bytes = 64;
+  device.submit(req, now);
+  std::vector<DeviceResponse> responses;
+  while (device.outstanding() > 0 && now < 100'000) {
+    device.tick(now);
+    for (auto& r : device.drain_completed()) responses.push_back(r);
+    ++now;
+  }
+  ASSERT_EQ(responses.size(), 1u);
+  // Completion must land after the refresh window ends (cycle 1400).
+  EXPECT_GT(responses[0].completed_at, 1400u);
+}
+
+TEST(PowerModel, UnitEnergiesApplied) {
+  PowerConfig cfg;
+  cfg.dram_access = 100.0;
+  PowerModel pm(cfg);
+  pm.add(HmcOp::kDramAccess, 3.0);
+  EXPECT_DOUBLE_EQ(pm.energy(HmcOp::kDramAccess), 300.0);
+  pm.add_ctrl_wait(10.0);
+  EXPECT_DOUBLE_EQ(pm.energy(HmcOp::kVaultCtrl),
+                   cfg.vault_ctrl_wait_cycle * 10.0);
+  pm.reset();
+  EXPECT_DOUBLE_EQ(pm.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,67 @@
+#include "sim/metrics.hpp"
+
+#include "sim/system_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+TEST(RunResult, TransactionEfficiencyFromIssuedStats) {
+  RunResult r;
+  r.coal.issued_requests = 10;
+  r.coal.issued_payload_bytes = 10 * 64;
+  EXPECT_NEAR(r.transaction_eff(), 64.0 / 96.0, 1e-9);
+  r.coal.issued_payload_bytes = 10 * 256;
+  EXPECT_NEAR(r.transaction_eff(), 256.0 / 288.0, 1e-9);
+}
+
+TEST(RunResult, LinkBytesAddControlOverhead) {
+  RunResult r;
+  r.coal.issued_requests = 5;
+  r.coal.issued_payload_bytes = 5 * 128;
+  EXPECT_EQ(r.link_bytes(), 5u * 128 + 5u * 32);
+}
+
+TEST(RunResult, RuntimeUsesClock) {
+  RunResult r;
+  r.cycles = 2000;
+  r.ns_per_cycle = 0.5;
+  EXPECT_DOUBLE_EQ(r.runtime_ns(), 1000.0);
+}
+
+TEST(RunResult, CoalescingEfficiencyDelegates) {
+  RunResult r;
+  r.coal.raw_requests = 100;
+  r.coal.coalesced_away = 56;
+  EXPECT_DOUBLE_EQ(r.coalescing_efficiency(), 0.56);
+}
+
+TEST(RunResult, HmcLatencyInNanoseconds) {
+  RunResult r;
+  r.ns_per_cycle = 0.5;
+  r.hmc.access_latency.add(186.0);  // 93 ns at 2 GHz
+  EXPECT_DOUBLE_EQ(r.avg_hmc_latency_ns(), 93.0);
+}
+
+TEST(CoalescerStats, EfficiencyGuardsZeroDivision) {
+  CoalescerStats s;
+  EXPECT_DOUBLE_EQ(s.coalescing_efficiency(), 0.0);
+}
+
+TEST(SystemConfigNames, CoalescerKindStrings) {
+  EXPECT_EQ(to_string(CoalescerKind::kDirect), "direct");
+  EXPECT_EQ(to_string(CoalescerKind::kMshrDmc), "mshr-dmc");
+  EXPECT_EQ(to_string(CoalescerKind::kPac), "pac");
+  EXPECT_EQ(to_string(CoalescerKind::kSortingDmc), "sorting-dmc");
+}
+
+TEST(SystemConfigNames, ClockConversion) {
+  SystemConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.ns_per_cycle(), 0.5);
+  cfg.cpu_ghz = 1.0;
+  EXPECT_DOUBLE_EQ(cfg.ns_per_cycle(), 1.0);
+}
+
+}  // namespace
+}  // namespace pacsim

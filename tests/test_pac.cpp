@@ -1,0 +1,358 @@
+// End-to-end tests of the PAC coalescer attached to the HMC device model,
+// including the coalescing invariants from DESIGN.md section 5.
+#include "pac/pac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+struct PacHarness {
+  PacConfig cfg;
+  HmcConfig hmc_cfg;
+  PowerModel power;
+  std::unique_ptr<HmcDevice> device;
+  std::unique_ptr<Pac> pac;
+  Cycle now = 0;
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> satisfied;
+
+  explicit PacHarness(PacConfig c = {}) : cfg(c) {
+    device = std::make_unique<HmcDevice>(hmc_cfg, &power);
+    pac = std::make_unique<Pac>(cfg, device.get());
+  }
+
+  MemRequest make(Addr paddr, MemOp op = MemOp::kLoad,
+                  std::uint32_t bytes = 64) {
+    MemRequest r;
+    r.id = next_id++;
+    r.paddr = paddr;
+    r.bytes = bytes;
+    r.op = op;
+    r.created_at = now;
+    return r;
+  }
+
+  void tick() {
+    device->tick(now);
+    for (const DeviceResponse& rsp : device->drain_completed()) {
+      pac->complete(rsp, now);
+    }
+    pac->tick(now);
+    for (std::uint64_t id : pac->drain_satisfied()) satisfied.push_back(id);
+    ++now;
+  }
+
+  /// Offer a request, ticking until accepted.
+  std::uint64_t feed(Addr paddr, MemOp op = MemOp::kLoad,
+                     std::uint32_t bytes = 64) {
+    MemRequest r = make(paddr, op, bytes);
+    while (!pac->accept(r, now)) tick();
+    return r.id;
+  }
+
+  void drain(Cycle limit = 200'000) {
+    const Cycle start = now;
+    while (!(pac->idle() && device->idle()) && now - start < limit) tick();
+    ASSERT_TRUE(pac->idle()) << "PAC failed to drain";
+    ASSERT_TRUE(device->idle());
+  }
+};
+
+Addr addr(Addr ppn, unsigned block) {
+  return (ppn << kPageShift) | (static_cast<Addr>(block) << 6);
+}
+
+TEST(Pac, SingleRequestIsServiced) {
+  PacHarness h;
+  const std::uint64_t id = h.feed(addr(5, 3));
+  h.drain();
+  EXPECT_EQ(h.satisfied, (std::vector<std::uint64_t>{id}));
+  EXPECT_EQ(h.pac->stats().raw_requests, 1u);
+  EXPECT_EQ(h.pac->stats().issued_requests, 1u);
+}
+
+TEST(Pac, AdjacentBlocksCoalesceInto256B) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;  // force the coalescing path
+  PacHarness h(cfg);
+  for (unsigned b = 0; b < 4; ++b) h.feed(addr(7, b));
+  h.drain();
+  EXPECT_EQ(h.pac->stats().raw_requests, 4u);
+  EXPECT_EQ(h.pac->stats().issued_requests, 1u);
+  EXPECT_EQ(h.pac->stats().issued_payload_bytes, 256u);
+  EXPECT_DOUBLE_EQ(h.pac->stats().coalescing_efficiency(), 0.75);
+  EXPECT_EQ(h.satisfied.size(), 4u);
+}
+
+TEST(Pac, NonAdjacentSamePageSplitIntoRuns) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  h.feed(addr(7, 0));
+  h.feed(addr(7, 1));
+  h.feed(addr(7, 3));  // gap at block 2
+  h.drain();
+  EXPECT_EQ(h.pac->stats().issued_requests, 2u);
+  EXPECT_EQ(h.pac->stats().issued_payload_bytes, 128u + 64u);
+}
+
+TEST(Pac, ChunkBoundaryLimitsRequestSize) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  // Blocks 2..5 are contiguous but straddle the 4-block chunk boundary:
+  // HMC's 256 B limit forces two requests (blocks 2-3 and 4-5).
+  for (unsigned b = 2; b <= 5; ++b) h.feed(addr(9, b));
+  h.drain();
+  EXPECT_EQ(h.pac->stats().issued_requests, 2u);
+  EXPECT_EQ(h.pac->stats().issued_payload_bytes, 256u);
+}
+
+TEST(Pac, LoadsAndStoresNeverShareARequest) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  h.feed(addr(7, 0), MemOp::kLoad);
+  h.feed(addr(7, 1), MemOp::kStore);
+  h.drain();
+  EXPECT_EQ(h.pac->stats().issued_requests, 2u);
+}
+
+TEST(Pac, ConservationUnderRandomTraffic) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  Rng rng(2024);
+  std::set<std::uint64_t> expected;
+  for (int i = 0; i < 3000; ++i) {
+    const Addr a = addr(rng.below(64), static_cast<unsigned>(rng.below(64)));
+    const MemOp op = rng.below(4) == 0 ? MemOp::kStore : MemOp::kLoad;
+    expected.insert(h.feed(a, op));
+    if (rng.below(8) == 0) h.tick();
+  }
+  h.drain();
+  // Every raw request satisfied exactly once.
+  std::set<std::uint64_t> got;
+  for (std::uint64_t id : h.satisfied) {
+    EXPECT_TRUE(got.insert(id).second) << "raw id satisfied twice: " << id;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Pac, IssuedRequestsRespectInvariants) {
+  // Invariants: never cross a page, size <= max_request, size multiple of
+  // the granule, contained in a naturally aligned chunk.
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    h.feed(addr(rng.below(16), static_cast<unsigned>(rng.below(64))));
+    if (rng.below(4) == 0) h.tick();
+  }
+  h.drain();
+  const Histogram& sizes = h.pac->stats().request_size_bytes;
+  for (const auto& [bytes, count] : sizes.buckets()) {
+    EXPECT_GT(bytes, 0);
+    EXPECT_LE(bytes, 256);
+    EXPECT_EQ(bytes % 64, 0) << "size must be a granule multiple";
+  }
+}
+
+TEST(Pac, TimeoutBoundsAggregationLatency) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  h.feed(addr(3, 0));
+  // Without further requests the stream must flush at the timeout and the
+  // request must complete shortly after the device round trip.
+  h.drain();
+  EXPECT_EQ(h.satisfied.size(), 1u);
+  EXPECT_LT(h.now, 600u);
+}
+
+TEST(Pac, FenceFlushesAndDrains) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  h.feed(addr(1, 0));
+  h.feed(addr(1, 1));
+  MemRequest fence = h.make(0, MemOp::kFence, 0);
+  ASSERT_TRUE(h.pac->accept(fence, h.now));
+  EXPECT_TRUE(h.pac->fence_draining());
+  // While draining, new requests are refused.
+  MemRequest blocked = h.make(addr(2, 0));
+  EXPECT_FALSE(h.pac->accept(blocked, h.now));
+  h.drain();
+  EXPECT_FALSE(h.pac->fence_draining());
+  EXPECT_EQ(h.pac->stats().fences, 1u);
+  // After the drain, traffic flows again.
+  h.feed(addr(2, 0));
+  h.drain();
+  EXPECT_EQ(h.satisfied.size(), 3u);
+}
+
+TEST(Pac, AtomicsBypassCoalescing) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  const std::uint64_t a = h.feed(addr(1, 0), MemOp::kAtomic, 8);
+  const std::uint64_t b = h.feed(addr(1, 0), MemOp::kAtomic, 8);
+  h.drain();
+  // Two atomics to the same block must become two device requests.
+  EXPECT_EQ(h.pac->stats().atomics, 2u);
+  EXPECT_EQ(h.pac->stats().issued_requests, 2u);
+  EXPECT_EQ(h.satisfied.size(), 2u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Pac, BypassControllerShortCircuitsIdleNetwork) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = true;
+  PacHarness h(cfg);
+  // Warm the controller state: first tick establishes bypass (MAQ empty,
+  // MSHRs free, network empty).
+  h.tick();
+  EXPECT_TRUE(h.pac->bypass_active());
+  h.feed(addr(1, 0));
+  EXPECT_GE(h.pac->pac_stats().controller_bypass_requests, 1u);
+  h.drain();
+  EXPECT_EQ(h.satisfied.size(), 1u);
+}
+
+TEST(Pac, BypassDisabledConfigNeverBypasses) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  for (int i = 0; i < 50; ++i) {
+    h.feed(addr(static_cast<Addr>(i), 0));
+    h.tick();
+  }
+  h.drain();
+  EXPECT_EQ(h.pac->pac_stats().controller_bypass_requests, 0u);
+  EXPECT_FALSE(h.pac->bypass_active());
+}
+
+TEST(Pac, C0StreamsBypassStages23) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  // Isolated single requests in distinct pages: all C=0.
+  for (int i = 0; i < 8; ++i) h.feed(addr(static_cast<Addr>(100 + i), 7));
+  h.drain();
+  EXPECT_EQ(h.pac->pac_stats().c0_bypass_requests, 8u);
+  EXPECT_EQ(h.pac->stats().issued_requests, 8u);
+}
+
+TEST(Pac, KroftCheckAbsorbsDuplicateBlocks) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  const std::uint64_t first = h.feed(addr(4, 2));
+  // Let the request reach the MSHRs/device but not complete.
+  for (int i = 0; i < cfg.timeout + 8; ++i) h.tick();
+  const std::uint64_t dup = h.feed(addr(4, 2));
+  h.drain();
+  // Both raw ids satisfied; only one device request was needed.
+  EXPECT_EQ(h.satisfied.size(), 2u);
+  EXPECT_EQ(h.pac->stats().issued_requests, 1u);
+  EXPECT_GE(h.pac->pac_stats().mshr_merges, 1u);
+  EXPECT_NE(first, dup);
+}
+
+
+TEST(Pac, SecondaryCoalescingCanBeDisabled) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  cfg.enable_secondary_coalescing = false;
+  PacHarness h(cfg);
+  const std::uint64_t first = h.feed(addr(4, 2));
+  for (int i = 0; i < cfg.timeout + 8; ++i) h.tick();
+  const std::uint64_t dup = h.feed(addr(4, 2));
+  h.drain();
+  // Without the Kroft checks, the duplicate becomes its own device request.
+  EXPECT_EQ(h.satisfied.size(), 2u);
+  EXPECT_EQ(h.pac->stats().issued_requests, 2u);
+  EXPECT_EQ(h.pac->pac_stats().mshr_merges, 0u);
+  EXPECT_NE(first, dup);
+}
+
+TEST(Pac, MultiprocessPagesStaySeparate) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  // Same page number cannot happen across processes post-translation; but
+  // identical PPNs with different ops coexist - sanity check stream reuse.
+  h.feed(addr(11, 0), MemOp::kLoad);
+  h.feed(addr(11, 1), MemOp::kStore);
+  h.feed(addr(11, 2), MemOp::kLoad);
+  h.drain();
+  // Loads 0 and 2 are non-adjacent: 2 load requests + 1 store request.
+  EXPECT_EQ(h.pac->stats().issued_requests, 3u);
+}
+
+TEST(Pac, HbmProtocolCoalescesUpTo1KB) {
+  PacConfig cfg;
+  cfg.protocol = CoalescingProtocol::hbm();
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  for (unsigned b = 0; b < 16; ++b) h.feed(addr(6, b));
+  h.drain();
+  EXPECT_EQ(h.pac->stats().issued_requests, 1u);
+  EXPECT_EQ(h.pac->stats().issued_payload_bytes, 1024u);
+  EXPECT_EQ(h.satisfied.size(), 16u);
+}
+
+TEST(Pac, FineProtocolCoalescesSmallAccesses) {
+  PacConfig cfg;
+  cfg.protocol = CoalescingProtocol::hmc_fine();
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  // Four 8 B accesses packing two 16 B FLITs plus a distant one.
+  const Addr page = 13ULL << kPageShift;
+  h.feed(page + 0, MemOp::kLoad, 8);
+  h.feed(page + 8, MemOp::kLoad, 8);
+  h.feed(page + 16, MemOp::kLoad, 8);
+  h.feed(page + 512, MemOp::kLoad, 8);
+  h.drain();
+  EXPECT_EQ(h.satisfied.size(), 4u);
+  // First three accesses fuse into one 32 B request; the distant one is 16 B.
+  EXPECT_EQ(h.pac->stats().issued_requests, 2u);
+  EXPECT_EQ(h.pac->stats().issued_payload_bytes, 32u + 16u);
+}
+
+TEST(Pac, BackpressureWhenStreamsExhausted) {
+  PacConfig cfg;
+  cfg.num_streams = 2;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  MemRequest a = h.make(addr(1, 0));
+  MemRequest b = h.make(addr(2, 0));
+  MemRequest c = h.make(addr(3, 0));
+  ASSERT_TRUE(h.pac->accept(a, h.now));
+  ASSERT_TRUE(h.pac->accept(b, h.now));
+  EXPECT_FALSE(h.pac->accept(c, h.now));  // both streams busy
+  h.drain();
+  ASSERT_TRUE(h.pac->accept(c, h.now));
+  h.drain();
+  EXPECT_EQ(h.satisfied.size(), 3u);
+}
+
+TEST(Pac, StreamOccupancySampled) {
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  PacHarness h(cfg);
+  for (int i = 0; i < 6; ++i) h.feed(addr(static_cast<Addr>(i), 0));
+  for (int i = 0; i < 40; ++i) h.tick();
+  h.drain();
+  EXPECT_GT(h.pac->pac_stats().stream_occupancy.total(), 0u);
+}
+
+}  // namespace
+}  // namespace pacsim

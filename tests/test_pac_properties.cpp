@@ -1,0 +1,160 @@
+// Property-style stress tests: conservation and structural invariants of
+// PAC's issued request stream under randomized traffic, swept across
+// protocols and deliberately starved resource configurations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "mem/packet.hpp"
+#include "pac/pac.hpp"
+
+namespace pacsim {
+namespace {
+
+struct Scenario {
+  const char* name;
+  PacConfig pac;
+  std::uint32_t device_outstanding = 256;
+  std::uint64_t hmc_row_bytes = 256;
+};
+
+Scenario base_scenario(const char* name) {
+  Scenario s{name, {}, 256, 256};
+  s.pac.enable_bypass_controller = false;
+  return s;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back(base_scenario("hmc2_default"));
+
+  Scenario hmc1 = base_scenario("hmc1");
+  hmc1.pac.protocol = CoalescingProtocol::hmc1();
+  out.push_back(hmc1);
+
+  Scenario hbm = base_scenario("hbm");
+  hbm.pac.protocol = CoalescingProtocol::hbm();
+  hbm.hmc_row_bytes = 1024;
+  out.push_back(hbm);
+
+  Scenario fine = base_scenario("fine");
+  fine.pac.protocol = CoalescingProtocol::hmc_fine();
+  out.push_back(fine);
+
+  Scenario pow2 = base_scenario("pow2_only");
+  pow2.pac.protocol.pow2_sizes_only = true;
+  out.push_back(pow2);
+
+  Scenario tiny = base_scenario("tiny_queues");
+  tiny.pac.num_streams = 2;
+  tiny.pac.maq_entries = 2;
+  tiny.pac.num_mshrs = 2;
+  tiny.pac.seq_buffer_entries = 2;
+  out.push_back(tiny);
+
+  Scenario starved = base_scenario("starved_device");
+  starved.device_outstanding = 1;
+  out.push_back(starved);
+
+  Scenario bypass = base_scenario("with_bypass");
+  bypass.pac.enable_bypass_controller = true;
+  out.push_back(bypass);
+
+  Scenario flush_full = base_scenario("flush_on_full_chunk");
+  flush_full.pac.flush_on_full_chunk = true;
+  out.push_back(flush_full);
+
+  Scenario long_timeout = base_scenario("timeout64");
+  long_timeout.pac.timeout = 64;
+  out.push_back(long_timeout);
+
+  return out;
+}
+
+class PacProperty : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(PacProperty, ConservationAndInvariantsUnderRandomTraffic) {
+  const Scenario& sc = GetParam();
+  HmcConfig hmc_cfg;
+  hmc_cfg.max_outstanding = sc.device_outstanding;
+  hmc_cfg.map.row_bytes = static_cast<std::uint32_t>(sc.hmc_row_bytes);
+  PowerModel power;
+  HmcDevice device(hmc_cfg, &power);
+  Pac pac(sc.pac, &device);
+
+  const CoalescingProtocol& protocol = sc.pac.protocol;
+  Rng rng(0xC0FFEE ^ sc.pac.num_streams ^ protocol.max_request);
+
+  Cycle now = 0;
+  std::uint64_t next_id = 1;
+  std::set<std::uint64_t> expected;
+  std::set<std::uint64_t> satisfied;
+
+  auto tick = [&] {
+    device.tick(now);
+    for (const DeviceResponse& rsp : device.drain_completed()) {
+      pac.complete(rsp, now);
+    }
+    pac.tick(now);
+    for (std::uint64_t id : pac.drain_satisfied()) {
+      EXPECT_TRUE(satisfied.insert(id).second)
+          << "raw id satisfied twice: " << id;
+    }
+    ++now;
+  };
+
+  for (int i = 0; i < 2500; ++i) {
+    MemRequest r;
+    r.id = next_id++;
+    const Addr page = rng.below(24);
+    const std::uint64_t block = rng.below(protocol.blocks_per_page());
+    r.paddr = (page << kPageShift) + block * protocol.granule;
+    r.bytes = protocol.granule;
+    const std::uint64_t dice = rng.below(20);
+    r.op = dice == 0   ? MemOp::kAtomic
+           : dice <= 4 ? MemOp::kStore
+                       : MemOp::kLoad;
+    while (!pac.accept(r, now)) tick();
+    expected.insert(r.id);
+    if (rng.below(4) == 0) tick();
+  }
+
+  const Cycle start = now;
+  while (!(pac.idle() && device.idle())) {
+    tick();
+    ASSERT_LT(now - start, 2'000'000u) << "drain did not converge";
+  }
+
+  EXPECT_EQ(satisfied, expected);
+
+  // Structural invariants of the issued stream.
+  const CoalescerStats& s = pac.stats();
+  EXPECT_EQ(s.raw_requests, expected.size());
+  EXPECT_GE(s.raw_requests, s.issued_requests);
+  for (const auto& [bytes, count] : s.request_size_bytes.buckets()) {
+    EXPECT_GT(bytes, 0);
+    EXPECT_LE(bytes, protocol.max_request);
+    if (bytes != kFlitBytes) {  // atomics are 16 B packets
+      EXPECT_EQ(bytes % protocol.granule, 0)
+          << "issued size " << bytes << " not a granule multiple";
+    }
+    if (protocol.pow2_sizes_only && bytes != kFlitBytes) {
+      EXPECT_TRUE(is_pow2(static_cast<std::uint64_t>(bytes) /
+                          protocol.granule))
+          << "pow2-only protocol issued " << bytes << " bytes";
+    }
+  }
+  // Efficiency within [0, 1).
+  EXPECT_GE(s.coalescing_efficiency(), 0.0);
+  EXPECT_LT(s.coalescing_efficiency(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, PacProperty,
+                         ::testing::ValuesIn(scenarios()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,58 @@
+#include "mem/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+TEST(Packet, ReadRequestIsSingleControlFlit) {
+  EXPECT_EQ(request_flits(64, /*store=*/false), 1u);
+  EXPECT_EQ(request_flits(256, false), 1u);
+}
+
+TEST(Packet, WriteRequestCarriesPayload) {
+  EXPECT_EQ(request_flits(64, true), 1u + 4u);
+  EXPECT_EQ(request_flits(256, true), 1u + 16u);
+  EXPECT_EQ(request_flits(16, true), 2u);
+}
+
+TEST(Packet, ReadResponseCarriesPayload) {
+  EXPECT_EQ(response_flits(64, false), 1u + 4u);
+  EXPECT_EQ(response_flits(128, false), 1u + 8u);
+}
+
+TEST(Packet, WriteResponseIsSingleFlit) {
+  EXPECT_EQ(response_flits(256, true), 1u);
+}
+
+TEST(Packet, PartialFlitRoundsUp) {
+  EXPECT_EQ(request_flits(17, true), 1u + 2u);
+  EXPECT_EQ(response_flits(1, false), 1u + 1u);
+}
+
+TEST(Packet, TransactionBytesSymmetricInDirection) {
+  // A 64 B read and a 64 B write move the same total bytes on the links:
+  // one direction carries the payload, the other a bare control FLIT.
+  EXPECT_EQ(transaction_bytes(64, false), transaction_bytes(64, true));
+  EXPECT_EQ(transaction_bytes(64, false), (1u + 4u + 1u) * 16u);
+}
+
+TEST(Packet, TransactionEfficiencyMatchesPaperBaseline) {
+  // Paper section 5.3.2: a raw 64 B request has 32 B of control overhead,
+  // i.e. 64 / 96 = 66.66% transaction efficiency.
+  EXPECT_NEAR(transaction_efficiency(64, 1), 0.6666, 1e-3);
+  // And a fully coalesced 256 B request reaches 256 / 288 = 88.9%.
+  EXPECT_NEAR(transaction_efficiency(256, 1), 0.8888, 1e-3);
+}
+
+TEST(Packet, TransactionEfficiencyZeroWhenNoTraffic) {
+  EXPECT_DOUBLE_EQ(transaction_efficiency(0, 0), 0.0);
+}
+
+TEST(Packet, ControlOverheadConstant) {
+  EXPECT_EQ(kControlBytesPerTransaction, 32u);
+  EXPECT_EQ(kFlitBytes, 16u);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,80 @@
+#include "mem/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pacsim {
+namespace {
+
+TEST(PageTable, PreservesPageOffset) {
+  PageTable pt(1024, 1);
+  const Addr v = 0x12345'678;
+  const Addr p = pt.translate(0, v);
+  EXPECT_EQ(page_offset(p), page_offset(v));
+}
+
+TEST(PageTable, StableMapping) {
+  PageTable pt(1024, 1);
+  const Addr first = pt.translate(0, 0x4000);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pt.translate(0, 0x4000 + i), first + i);
+  }
+}
+
+TEST(PageTable, DeterministicAcrossInstances) {
+  PageTable a(4096, 42), b(4096, 42);
+  for (Addr v = 0; v < 64 * kPageSize; v += kPageSize) {
+    EXPECT_EQ(a.translate(0, v), b.translate(0, v));
+  }
+}
+
+TEST(PageTable, SeedChangesLayout) {
+  PageTable a(4096, 1), b(4096, 2);
+  int same = 0;
+  for (Addr v = 0; v < 64 * kPageSize; v += kPageSize) {
+    same += a.translate(0, v) == b.translate(0, v);
+  }
+  EXPECT_LT(same, 8);
+}
+
+TEST(PageTable, FramesAreDisjoint) {
+  PageTable pt(4096, 7);
+  std::set<Addr> frames;
+  for (Addr v = 0; v < 512 * kPageSize; v += kPageSize) {
+    EXPECT_TRUE(frames.insert(page_number(pt.translate(0, v))).second);
+  }
+}
+
+TEST(PageTable, ProcessesGetDistinctFrames) {
+  PageTable pt(4096, 7);
+  const Addr p0 = pt.translate(0, 0x8000);
+  const Addr p1 = pt.translate(1, 0x8000);
+  EXPECT_NE(page_number(p0), page_number(p1));
+}
+
+TEST(PageTable, ContiguousVirtualPagesScatterPhysically) {
+  // The property PAC's paged design rests on: virtually adjacent pages are
+  // (almost) never physically adjacent on a fragmented free list.
+  PageTable pt(1 << 16, 3);
+  int adjacent = 0;
+  Addr prev = pt.translate(0, 0);
+  for (Addr v = kPageSize; v < 256 * kPageSize; v += kPageSize) {
+    const Addr cur = pt.translate(0, v);
+    adjacent += page_number(cur) == page_number(prev) + 1;
+    prev = cur;
+  }
+  EXPECT_LT(adjacent, 4);
+}
+
+TEST(PageTable, ThrowsWhenOutOfFrames) {
+  PageTable pt(4, 1);
+  for (int i = 0; i < 4; ++i) {
+    pt.translate(0, static_cast<Addr>(i) * kPageSize);
+  }
+  EXPECT_EQ(pt.allocated(), 4u);
+  EXPECT_THROW(pt.translate(0, 100 * kPageSize), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacsim

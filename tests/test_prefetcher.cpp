@@ -1,0 +1,114 @@
+#include "cache/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+PrefetcherConfig cfg() {
+  PrefetcherConfig c;
+  c.streams_per_core = 4;
+  c.degree = 8;
+  c.refill_threshold = 4;
+  c.train_threshold = 2;
+  return c;
+}
+
+Addr blk(std::uint64_t i) { return i << kCacheBlockShift; }
+
+TEST(Prefetcher, NoPrefetchUntilTrained) {
+  StreamPrefetcher pf(1, cfg());
+  EXPECT_TRUE(pf.on_miss(0, blk(10)).empty());  // allocation
+  EXPECT_TRUE(pf.on_miss(0, blk(11)).empty());  // confidence 1
+  EXPECT_TRUE(pf.on_miss(0, blk(12)).empty());  // confidence 2 (=threshold)
+  EXPECT_FALSE(pf.on_miss(0, blk(13)).empty());
+}
+
+TEST(Prefetcher, FirstBurstCoversDegree) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 10; i <= 12; ++i) pf.on_miss(0, blk(i));
+  const auto out = pf.on_miss(0, blk(13));
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_EQ(out[k], blk(14 + k));
+  }
+}
+
+TEST(Prefetcher, BatchRefillAfterConsumption) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 10; i <= 12; ++i) pf.on_miss(0, blk(i));
+  ASSERT_EQ(pf.on_miss(0, blk(13)).size(), 8u);  // issued up to 21
+  // Advancing one block: still 7 ahead (>= refill threshold 4): no refill.
+  EXPECT_TRUE(pf.on_miss(0, blk(14)).empty());
+  EXPECT_TRUE(pf.on_miss(0, blk(15)).empty());
+  EXPECT_TRUE(pf.on_miss(0, blk(16)).empty());
+  EXPECT_TRUE(pf.on_miss(0, blk(17)).empty());
+  // Now only 3 remain ahead: top back up to 8 in one batch of 4-5 blocks.
+  const auto refill = pf.on_miss(0, blk(18));
+  ASSERT_FALSE(refill.empty());
+  EXPECT_EQ(refill.front(), blk(22));
+  EXPECT_EQ(refill.back(), blk(26));
+}
+
+TEST(Prefetcher, BackwardStrideSupported) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 100; i >= 98; --i) pf.on_miss(0, blk(i));
+  const auto out = pf.on_miss(0, blk(97));
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), blk(96));
+}
+
+TEST(Prefetcher, StrideTwoSupported) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 0; i < 3; ++i) pf.on_miss(0, blk(10 + 2 * i));
+  const auto out = pf.on_miss(0, blk(16));
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), blk(18));
+}
+
+TEST(Prefetcher, LargeJumpBreaksStream) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 10; i <= 13; ++i) pf.on_miss(0, blk(i));
+  EXPECT_TRUE(pf.on_miss(0, blk(500)).empty());  // new stream allocated
+}
+
+TEST(Prefetcher, IndependentStreamsPerCore) {
+  StreamPrefetcher pf(2, cfg());
+  for (std::uint64_t i = 10; i <= 13; ++i) pf.on_miss(0, blk(i));
+  // Core 1's table is untouched; its identical pattern needs training.
+  EXPECT_TRUE(pf.on_miss(1, blk(20)).empty());
+  EXPECT_TRUE(pf.on_miss(1, blk(21)).empty());
+}
+
+TEST(Prefetcher, MultipleConcurrentStreamsOneCore) {
+  StreamPrefetcher pf(1, cfg());
+  // Interleave two unit-stride streams far apart: both must train and emit
+  // their first burst on the 4th access despite the interleaving.
+  std::vector<Addr> a, b;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto ea = pf.on_miss(0, blk(100 + i));
+    const auto eb = pf.on_miss(0, blk(9000 + i));
+    a.insert(a.end(), ea.begin(), ea.end());
+    b.insert(b.end(), eb.begin(), eb.end());
+  }
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(a.front(), blk(104));
+  EXPECT_EQ(b.front(), blk(9004));
+}
+
+TEST(Prefetcher, IssuedCounterAccumulates) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 10; i <= 13; ++i) pf.on_miss(0, blk(i));
+  EXPECT_EQ(pf.issued(), 8u);
+}
+
+TEST(Prefetcher, NeverPrefetchesNegativeBlocks) {
+  StreamPrefetcher pf(1, cfg());
+  for (std::uint64_t i = 5; i >= 3; --i) pf.on_miss(0, blk(i));
+  const auto out = pf.on_miss(0, blk(2));
+  for (Addr a : out) EXPECT_LT(a >> kCacheBlockShift, 5u);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,97 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace pacsim {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.cycles = 1000;
+  r.coal.raw_requests = 100;
+  r.coal.coalesced_away = 40;
+  r.coal.issued_requests = 60;
+  r.coal.issued_payload_bytes = 60 * 64;
+  r.coal.request_size_bytes.add(64, 50);
+  r.coal.request_size_bytes.add(256, 10);
+  r.hmc.bank_conflicts = 7;
+  r.has_pac = true;
+  r.pac.mshr_merges = 3;
+  r.pac.stream_occupancy.add(4, 10);
+  return r;
+}
+
+TEST(RunReport, ContainsHeadlineMetrics) {
+  const std::string json =
+      run_report_json("stream/pac", CoalescerKind::kPac, sample_result());
+  EXPECT_NE(json.find("\"label\": \"stream/pac\""), std::string::npos);
+  EXPECT_NE(json.find("\"coalescer\": \"pac\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"coalescing_efficiency\": 0.4"), std::string::npos);
+  EXPECT_NE(json.find("\"bank_conflicts\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"64\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"256\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"mshr_merges\": 3"), std::string::npos);
+  EXPECT_NE(json.find("VAULT-RQST-SLOT"), std::string::npos);
+}
+
+TEST(RunReport, OmitsPacSectionForBaselines) {
+  RunResult r = sample_result();
+  r.has_pac = false;
+  const std::string json =
+      run_report_json("x", CoalescerKind::kDirect, r);
+  EXPECT_EQ(json.find("\"pac\""), std::string::npos);
+}
+
+TEST(RunReport, EscapesLabel) {
+  const std::string json = run_report_json("we\"ird\\label",
+                                           CoalescerKind::kMshrDmc,
+                                           sample_result());
+  EXPECT_NE(json.find("we\\\"ird\\\\label"), std::string::npos);
+}
+
+TEST(RunReport, BalancedBracesAndQuotes) {
+  const std::string json =
+      run_report_json("b", CoalescerKind::kPac, sample_result());
+  int depth = 0;
+  int quotes = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) continue;
+    depth += c == '{';
+    depth -= c == '}';
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(RunReport, WritesToFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pacsim_report.json").string();
+  write_run_report(path, "file-test", CoalescerKind::kPac, sample_result());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"label\": \"file-test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, RejectsUnwritablePath) {
+  EXPECT_THROW(write_run_report("/nonexistent-dir/x.json", "a",
+                                CoalescerKind::kPac, sample_result()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacsim

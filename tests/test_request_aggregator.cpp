@@ -1,0 +1,181 @@
+#include "pac/request_aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+MemRequest req(std::uint64_t id, Addr paddr, MemOp op = MemOp::kLoad,
+               std::uint32_t bytes = 64) {
+  MemRequest r;
+  r.id = id;
+  r.paddr = paddr;
+  r.bytes = bytes;
+  r.op = op;
+  return r;
+}
+
+Addr addr(Addr ppn, unsigned block) {
+  return (ppn << kPageShift) | (static_cast<Addr>(block) << 6);
+}
+
+struct AggregatorTest : ::testing::Test {
+  PacConfig cfg;
+  PacStats stats;
+  RequestAggregator agg{cfg, &stats};
+};
+
+TEST_F(AggregatorTest, AllocatesOnFirstRequest) {
+  EXPECT_EQ(agg.insert(req(1, addr(9, 1)), 0),
+            RequestAggregator::InsertResult::kAllocated);
+  EXPECT_EQ(agg.active_streams(), 1u);
+  const CoalescingStream& s = agg.streams()[0];
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.ppn, 9u);
+  EXPECT_TRUE(s.map.test(1));
+  EXPECT_FALSE(s.coalescing());  // C bit stays 0 with one request
+}
+
+TEST_F(AggregatorTest, MergesSamePageSameType) {
+  agg.insert(req(1, addr(9, 1)), 0);
+  EXPECT_EQ(agg.insert(req(2, addr(9, 2)), 1),
+            RequestAggregator::InsertResult::kMerged);
+  EXPECT_EQ(agg.active_streams(), 1u);
+  const CoalescingStream& s = agg.streams()[0];
+  EXPECT_TRUE(s.coalescing());  // C bit set (paper: >= 2 requests)
+  EXPECT_TRUE(s.map.test(1));
+  EXPECT_TRUE(s.map.test(2));
+  EXPECT_EQ(s.raws.size(), 2u);
+}
+
+TEST_F(AggregatorTest, LoadsAndStoresNeverShareAStream) {
+  // Paper Fig 5(b): request 2 (write) is not merged into the read stream.
+  agg.insert(req(1, addr(9, 1), MemOp::kLoad), 0);
+  EXPECT_EQ(agg.insert(req(2, addr(9, 3), MemOp::kStore), 0),
+            RequestAggregator::InsertResult::kAllocated);
+  EXPECT_EQ(agg.active_streams(), 2u);
+}
+
+TEST_F(AggregatorTest, DistinctPagesAllocateSeparateStreams) {
+  agg.insert(req(1, addr(9, 1)), 0);
+  agg.insert(req(2, addr(10, 1)), 0);
+  EXPECT_EQ(agg.active_streams(), 2u);
+}
+
+TEST_F(AggregatorTest, NoStreamWhenAllBusy) {
+  for (std::uint32_t i = 0; i < cfg.num_streams; ++i) {
+    ASSERT_EQ(agg.insert(req(i + 1, addr(100 + i, 0)), 0),
+              RequestAggregator::InsertResult::kAllocated);
+  }
+  EXPECT_EQ(agg.insert(req(99, addr(999, 0)), 0),
+            RequestAggregator::InsertResult::kNoStream);
+}
+
+TEST_F(AggregatorTest, TimeoutFlush) {
+  agg.insert(req(1, addr(9, 1)), 0);
+  EXPECT_FALSE(agg.has_flushable(cfg.timeout - 1));
+  EXPECT_TRUE(agg.has_flushable(cfg.timeout));
+  auto s = agg.take_flushable(cfg.timeout);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ppn, 9u);
+  EXPECT_EQ(agg.active_streams(), 0u);
+  EXPECT_EQ(stats.timeout_flushes, 1u);
+}
+
+TEST_F(AggregatorTest, OldestStreamFlushedFirst) {
+  agg.insert(req(1, addr(1, 0)), 0);
+  agg.insert(req(2, addr(2, 0)), 5);
+  auto s = agg.take_flushable(100);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ppn, 1u);
+}
+
+TEST_F(AggregatorTest, FlushClassFiltering) {
+  agg.insert(req(1, addr(1, 0)), 0);  // single (C=0)
+  agg.insert(req(2, addr(2, 0)), 0);
+  agg.insert(req(3, addr(2, 1)), 0);  // coalescing (C=1)
+  EXPECT_TRUE(
+      agg.has_flushable(100, RequestAggregator::FlushClass::kSingle));
+  EXPECT_TRUE(
+      agg.has_flushable(100, RequestAggregator::FlushClass::kCoalescing));
+  auto c = agg.take_flushable(100, RequestAggregator::FlushClass::kCoalescing);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->ppn, 2u);
+  auto s = agg.take_flushable(100, RequestAggregator::FlushClass::kSingle);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->ppn, 1u);
+  EXPECT_FALSE(agg.take_flushable(100).has_value());
+}
+
+TEST_F(AggregatorTest, FenceForcesImmediateFlush) {
+  agg.insert(req(1, addr(1, 0)), 0);
+  agg.insert(req(2, addr(2, 0)), 0);
+  agg.force_flush_all();
+  EXPECT_TRUE(agg.has_flushable(1));  // well before the timeout
+  EXPECT_TRUE(agg.take_flushable(1).has_value());
+  EXPECT_TRUE(agg.take_flushable(1).has_value());
+  EXPECT_EQ(stats.fence_flushes, 2u);
+}
+
+TEST_F(AggregatorTest, ForceFlushedStreamRefusesMerges) {
+  agg.insert(req(1, addr(9, 1)), 0);
+  agg.force_flush_all();
+  // A new request to the same page must not join the fenced stream.
+  EXPECT_EQ(agg.insert(req(2, addr(9, 2)), 1),
+            RequestAggregator::InsertResult::kAllocated);
+  EXPECT_EQ(agg.active_streams(), 2u);
+}
+
+TEST_F(AggregatorTest, AggregatorDoesNotBillComparisonsItself) {
+  // Comparison accounting lives in Pac::accept (one pass per accepted
+  // request); the aggregator's match/allocate primitives stay free so that
+  // stall retries are not double-billed.
+  agg.insert(req(1, addr(1, 0)), 0);
+  agg.insert(req(2, addr(2, 0)), 0);
+  agg.insert(req(3, addr(3, 0)), 0);
+  EXPECT_EQ(stats.base.comparisons, 0u);
+  EXPECT_EQ(agg.active_streams(), 3u);
+}
+
+TEST_F(AggregatorTest, CrossPageProbeDetectsBoundaryAdjacency) {
+  // Last block of page 5, then block 0 of page 6: physically adjacent but
+  // in different pages - the Fig 2 opportunity counter must tick.
+  agg.insert(req(1, addr(5, 63)), 0);
+  agg.insert(req(2, addr(6, 0)), 1);
+  EXPECT_EQ(stats.cross_page_adjacent, 1u);
+  // And the reverse direction.
+  agg.insert(req(3, addr(8, 0)), 2);
+  agg.insert(req(4, addr(7, 63)), 3);
+  EXPECT_EQ(stats.cross_page_adjacent, 2u);
+}
+
+TEST_F(AggregatorTest, CrossPageProbeIgnoresNonAdjacent) {
+  agg.insert(req(1, addr(5, 10)), 0);
+  agg.insert(req(2, addr(6, 0)), 1);
+  EXPECT_EQ(stats.cross_page_adjacent, 0u);
+}
+
+TEST_F(AggregatorTest, FullChunkFlushExtension) {
+  cfg.flush_on_full_chunk = true;
+  RequestAggregator ext(cfg, &stats);
+  for (unsigned b = 0; b < 4; ++b) {
+    ext.insert(req(b + 1, addr(9, b)), 0);
+  }
+  // Chunk 0 (blocks 0-3) is complete: flush due well before the timeout.
+  EXPECT_TRUE(ext.has_flushable(1));
+}
+
+TEST_F(AggregatorTest, FineGranularityMultiBlockRaw) {
+  cfg.protocol = CoalescingProtocol::hmc_fine();
+  RequestAggregator fine(cfg, &stats);
+  // An 8 B access straddling a 16 B boundary covers two fine blocks.
+  MemRequest r = req(1, (42ULL << kPageShift) + 12, MemOp::kLoad, 8);
+  fine.insert(r, 0);
+  const CoalescingStream& s = fine.streams()[0];
+  EXPECT_TRUE(s.map.test(0));
+  EXPECT_TRUE(s.map.test(1));
+  EXPECT_EQ(s.map.count(), 2u);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,179 @@
+// Encoding-level tests of the assembler (golden encodings cross-checked
+// against the RISC-V spec) plus error handling and the workload adapter.
+#include <gtest/gtest.h>
+
+#include "riscv/assembler.hpp"
+#include "riscv/riscv_workload.hpp"
+
+namespace pacsim::rv {
+namespace {
+
+std::uint32_t word_at(const Program& p, std::size_t index) {
+  std::uint32_t w = 0;
+  for (int i = 0; i < 4; ++i) {
+    w |= static_cast<std::uint32_t>(p.bytes.at(index * 4 + i)) << (8 * i);
+  }
+  return w;
+}
+
+TEST(RvAssembler, GoldenEncodings) {
+  // Reference encodings produced with a known-good toolchain.
+  const Program p = assemble(R"(
+    addi a0, a1, -1
+    add a0, a1, a2
+    sub t0, t1, t2
+    ld a3, 16(sp)
+    sd a4, 24(sp)
+    beq a0, a1, next
+  next:
+    jal ra, next
+    lui a5, 0x12345
+    slli a0, a0, 63
+    srai a1, a1, 1
+    mul a2, a3, a4
+    ecall
+  )");
+  EXPECT_EQ(word_at(p, 0), 0xFFF58513u);   // addi a0, a1, -1
+  EXPECT_EQ(word_at(p, 1), 0x00C58533u);   // add a0, a1, a2
+  EXPECT_EQ(word_at(p, 2), 0x407302B3u);   // sub t0, t1, t2
+  EXPECT_EQ(word_at(p, 3), 0x01013683u);   // ld a3, 16(sp)
+  EXPECT_EQ(word_at(p, 4), 0x00E13C23u);   // sd a4, 24(sp)
+  EXPECT_EQ(word_at(p, 5), 0x00B50263u);   // beq a0, a1, +4
+  EXPECT_EQ(word_at(p, 6), 0x000000EFu);   // jal ra, +0
+  EXPECT_EQ(word_at(p, 7), 0x123457B7u);   // lui a5, 0x12345
+  EXPECT_EQ(word_at(p, 8), 0x03F51513u);   // slli a0, a0, 63
+  EXPECT_EQ(word_at(p, 9), 0x4015D593u);   // srai a1, a1, 1
+  EXPECT_EQ(word_at(p, 10), 0x02E68633u);  // mul a2, a3, a4
+  EXPECT_EQ(word_at(p, 11), 0x00000073u);  // ecall
+}
+
+TEST(RvAssembler, BackwardBranchEncoding) {
+  const Program p = assemble("loop: bne a0, zero, loop\n");
+  EXPECT_EQ(word_at(p, 0), 0x00051063u & 0xFFFFF07Fu ? word_at(p, 0)
+                                                     : word_at(p, 0));
+  // Offset 0: imm fields all zero.
+  EXPECT_EQ(word_at(p, 0), 0x00051063u);
+}
+
+TEST(RvAssembler, LabelsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+    j fwd
+    nop
+  fwd:
+    j fwd
+  )");
+  EXPECT_EQ(p.label("fwd"), 0x1000u + 8);
+  // First jump: +8; second: 0.
+  EXPECT_EQ(word_at(p, 0) >> 7 & 0x1F, 0u);  // rd = zero (pseudo j)
+}
+
+TEST(RvAssembler, DataDirectives) {
+  const Program p = assemble(R"(
+    .dword 0x1122334455667788
+    .word 0xAABBCCDD
+    .space 8
+  data_end:
+  )");
+  EXPECT_EQ(p.bytes.size(), 8u + 4u + 8u);
+  EXPECT_EQ(p.bytes[0], 0x88u);
+  EXPECT_EQ(p.bytes[7], 0x11u);
+  EXPECT_EQ(p.bytes[8], 0xDDu);
+  EXPECT_EQ(p.label("data_end"), 0x1000u + 20);
+}
+
+TEST(RvAssembler, LiExpandsToTwoInstructions) {
+  const Program p = assemble("li a0, 0x12345678\n");
+  EXPECT_EQ(p.bytes.size(), 8u);
+}
+
+TEST(RvAssembler, CommentsAndBlankLinesIgnored) {
+  const Program p = assemble(R"(
+    # full line comment
+
+    nop  # trailing comment
+  )");
+  EXPECT_EQ(p.bytes.size(), 4u);
+}
+
+TEST(RvAssembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\n nop\n bogus a0, a1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(RvAssembler, RejectsBadRegister) {
+  EXPECT_THROW(assemble("addi q0, zero, 1\n"), AsmError);
+}
+
+TEST(RvAssembler, RejectsOutOfRangeImmediate) {
+  EXPECT_THROW(assemble("addi a0, zero, 5000\n"), AsmError);
+  EXPECT_THROW(assemble("slli a0, a0, 64\n"), AsmError);
+}
+
+TEST(RvAssembler, RejectsUnknownLabel) {
+  EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(RvWorkload, GeneratesPartitionedTraces) {
+  // Each core strides over its own slice of a shared array - the canonical
+  // kernel convention (a0 = core id, a1 = cores).
+  const char* kKernel = R"(
+    # a0 = core, a1 = cores. Sum 256 doubles of this core's slice.
+    li t0, 0x100000      # array base
+    li t1, 256           # elements per core
+    mul t2, a0, t1       # first element index
+    slli t2, t2, 3
+    add t0, t0, t2       # slice base
+    li t3, 0
+  loop:
+    ld t4, 0(t0)
+    addi t0, t0, 8
+    addi t3, t3, 1
+    blt t3, t1, loop
+    ecall
+  )";
+  RiscvProgramWorkload workload("rv-sum", "slice sum", kKernel);
+  WorkloadConfig cfg;
+  cfg.num_cores = 4;
+  cfg.max_ops_per_core = 10'000;
+  const auto traces = workload.generate(cfg);
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(workload.last_halt(), Halt::kEcall);
+
+  for (std::uint32_t core = 0; core < 4; ++core) {
+    std::uint64_t loads = 0;
+    Addr lo = ~Addr{0}, hi = 0;
+    for (const TraceOp& op : traces[core]) {
+      if (op.kind != OpKind::kLoad) continue;
+      ++loads;
+      lo = std::min(lo, op.vaddr);
+      hi = std::max(hi, op.vaddr);
+    }
+    EXPECT_EQ(loads, 256u);
+    EXPECT_EQ(lo, 0x100000u + core * 256 * 8);
+    EXPECT_EQ(hi, 0x100000u + (core + 1) * 256 * 8 - 8);
+  }
+}
+
+TEST(RvWorkload, DeterministicAcrossCalls) {
+  const char* kKernel = R"(
+    li t0, 0x200000
+    sd zero, 0(t0)
+    ecall
+  )";
+  RiscvProgramWorkload w("rv-det", "determinism", kKernel);
+  WorkloadConfig cfg;
+  cfg.num_cores = 2;
+  const auto a = w.generate(cfg);
+  const auto b = w.generate(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].size(), b[c].size());
+  }
+}
+
+}  // namespace
+}  // namespace pacsim::rv

@@ -1,0 +1,320 @@
+// Instruction-semantics tests for the RV64IMA interpreter, driven through
+// the assembler (so encodings and semantics are verified together).
+#include <gtest/gtest.h>
+
+#include "riscv/assembler.hpp"
+#include "riscv/interpreter.hpp"
+#include "riscv/memory.hpp"
+
+namespace pacsim::rv {
+namespace {
+
+struct Machine {
+  Memory memory;
+  Interpreter cpu{&memory};
+
+  /// Assemble + load + run until ecall/ebreak; asserts a clean halt.
+  Halt run(const std::string& source, std::uint64_t max_steps = 100'000) {
+    const Program program = assemble(source, 0x1000);
+    memory.write_block(program.base, program.bytes.data(),
+                       program.bytes.size());
+    cpu.set_pc(program.base);
+    return cpu.run(max_steps);
+  }
+
+  std::uint64_t reg(const std::string& name) const {
+    return cpu.reg(static_cast<unsigned>(reg_index(name)));
+  }
+};
+
+TEST(RvInterpreter, AddiAndEcall) {
+  Machine m;
+  EXPECT_EQ(m.run("addi a0, zero, 42\n ecall\n"), Halt::kEcall);
+  EXPECT_EQ(m.reg("a0"), 42u);
+  EXPECT_EQ(m.cpu.stats().instructions, 2u);
+}
+
+TEST(RvInterpreter, X0IsHardwiredZero) {
+  Machine m;
+  m.run("addi zero, zero, 5\n mv a0, zero\n ecall\n");
+  EXPECT_EQ(m.reg("a0"), 0u);
+}
+
+TEST(RvInterpreter, ArithmeticAndLogic) {
+  Machine m;
+  m.run(R"(
+    li t0, 100
+    li t1, 7
+    add a0, t0, t1
+    sub a1, t0, t1
+    and a2, t0, t1
+    or  a3, t0, t1
+    xor a4, t0, t1
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 107u);
+  EXPECT_EQ(m.reg("a1"), 93u);
+  EXPECT_EQ(m.reg("a2"), 100u & 7u);
+  EXPECT_EQ(m.reg("a3"), 100u | 7u);
+  EXPECT_EQ(m.reg("a4"), 100u ^ 7u);
+}
+
+TEST(RvInterpreter, SetLessThan) {
+  Machine m;
+  m.run(R"(
+    li t0, -5
+    li t1, 3
+    slt a0, t0, t1
+    sltu a1, t0, t1
+    slti a2, t0, 0
+    sltiu a3, t1, 10
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 1u);  // -5 < 3 signed
+  EXPECT_EQ(m.reg("a1"), 0u);  // huge unsigned not < 3
+  EXPECT_EQ(m.reg("a2"), 1u);
+  EXPECT_EQ(m.reg("a3"), 1u);
+}
+
+TEST(RvInterpreter, ShiftsSixtyFourBit) {
+  Machine m;
+  m.run(R"(
+    li t0, 1
+    slli a0, t0, 40
+    li t1, -8
+    srai a1, t1, 1
+    srli a2, t1, 60
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 1ULL << 40);
+  EXPECT_EQ(m.reg("a1"), static_cast<std::uint64_t>(-4));
+  EXPECT_EQ(m.reg("a2"), 15u);
+}
+
+TEST(RvInterpreter, WordFormsSignExtend) {
+  Machine m;
+  m.run(R"(
+    li t0, 0x7FFFFFFF
+    addiw a0, t0, 1
+    li t1, 1
+    addw a1, t0, t1
+    slliw a2, t1, 31
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 0xFFFFFFFF80000000ULL);
+  EXPECT_EQ(m.reg("a1"), 0xFFFFFFFF80000000ULL);
+  EXPECT_EQ(m.reg("a2"), 0xFFFFFFFF80000000ULL);
+}
+
+TEST(RvInterpreter, MulDivRem) {
+  Machine m;
+  m.run(R"(
+    li t0, -6
+    li t1, 4
+    mul a0, t0, t1
+    div a1, t0, t1
+    rem a2, t0, t1
+    divu a3, t1, t1
+    li t2, 0
+    div a4, t0, t2
+    rem a5, t0, t2
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), static_cast<std::uint64_t>(-24));
+  EXPECT_EQ(m.reg("a1"), static_cast<std::uint64_t>(-1));
+  EXPECT_EQ(m.reg("a2"), static_cast<std::uint64_t>(-2));
+  EXPECT_EQ(m.reg("a3"), 1u);
+  EXPECT_EQ(m.reg("a4"), ~std::uint64_t{0});  // div by zero -> -1
+  EXPECT_EQ(m.reg("a5"), static_cast<std::uint64_t>(-6));
+}
+
+TEST(RvInterpreter, MulHighVariants) {
+  Machine m;
+  m.run(R"(
+    li t0, -1
+    li t1, 2
+    mulh a0, t0, t1
+    mulhu a1, t0, t1
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), ~std::uint64_t{0});  // (-1*2) >> 64 = -1
+  EXPECT_EQ(m.reg("a1"), 1u);                 // (2^64-1)*2 >> 64 = 1
+}
+
+TEST(RvInterpreter, LoadsStoreWidthsAndSigns) {
+  Machine m;
+  m.run(R"(
+    li t0, 0x10000
+    li t1, -1
+    sd t1, 0(t0)
+    lb a0, 0(t0)
+    lbu a1, 0(t0)
+    lh a2, 0(t0)
+    lhu a3, 0(t0)
+    lw a4, 0(t0)
+    lwu a5, 0(t0)
+    ld a6, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), ~std::uint64_t{0});
+  EXPECT_EQ(m.reg("a1"), 0xFFu);
+  EXPECT_EQ(m.reg("a2"), ~std::uint64_t{0});
+  EXPECT_EQ(m.reg("a3"), 0xFFFFu);
+  EXPECT_EQ(m.reg("a4"), ~std::uint64_t{0});
+  EXPECT_EQ(m.reg("a5"), 0xFFFFFFFFu);
+  EXPECT_EQ(m.reg("a6"), ~std::uint64_t{0});
+}
+
+TEST(RvInterpreter, PartialStores) {
+  Machine m;
+  m.run(R"(
+    li t0, 0x20000
+    li t1, 0x11223344
+    sw t1, 0(t0)
+    li t2, 0xAB
+    sb t2, 1(t0)
+    lwu a0, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 0x1122AB44u);
+}
+
+TEST(RvInterpreter, BranchesAndLoop) {
+  Machine m;
+  // Sum 1..10 with a loop.
+  m.run(R"(
+    li a0, 0
+    li t0, 1
+    li t1, 11
+  loop:
+    add a0, a0, t0
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 55u);
+  EXPECT_GE(m.cpu.stats().branches_taken, 9u);
+}
+
+TEST(RvInterpreter, JalAndRet) {
+  Machine m;
+  m.run(R"(
+    li a0, 5
+    call double_it
+    ecall
+  double_it:
+    add a0, a0, a0
+    ret
+  )");
+  EXPECT_EQ(m.reg("a0"), 10u);
+}
+
+TEST(RvInterpreter, AuipcIsPcRelative) {
+  Machine m;
+  m.run("auipc a0, 1\n ecall\n");
+  EXPECT_EQ(m.reg("a0"), 0x1000u + 0x1000u);
+}
+
+TEST(RvInterpreter, AmoAddAndSwap) {
+  Machine m;
+  m.run(R"(
+    li t0, 0x30000
+    li t1, 10
+    sd t1, 0(t0)
+    li t2, 5
+    amoadd.d a0, t2, (t0)
+    ld a1, 0(t0)
+    li t3, 99
+    amoswap.d a2, t3, (t0)
+    ld a3, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(m.reg("a0"), 10u);  // old value
+  EXPECT_EQ(m.reg("a1"), 15u);
+  EXPECT_EQ(m.reg("a2"), 15u);
+  EXPECT_EQ(m.reg("a3"), 99u);
+  EXPECT_EQ(m.cpu.stats().amos, 2u);
+}
+
+TEST(RvInterpreter, IllegalInstructionHalts) {
+  Machine m;
+  Memory& memory = m.memory;
+  memory.store(0x1000, 0xFFFFFFFFu, 4);
+  m.cpu.set_pc(0x1000);
+  EXPECT_EQ(m.cpu.run(10), Halt::kIllegal);
+}
+
+TEST(RvInterpreter, MaxStepsHalts) {
+  Machine m;
+  EXPECT_EQ(m.run("loop: j loop\n", 100), Halt::kMaxSteps);
+}
+
+TEST(RvInterpreter, TraceRecorderCapturesMemoryOps) {
+  Machine m;
+  Trace trace;
+  TraceRecorder rec(&trace, 1000);
+  m.cpu.attach_recorder(&rec);
+  m.run(R"(
+    li t0, 0x40000
+    ld a0, 0(t0)
+    sd a0, 64(t0)
+    fence
+    ecall
+  )");
+  // Expect: compute ops (li etc), a load, a store, a fence.
+  int loads = 0, stores = 0, fences = 0;
+  for (const TraceOp& op : trace) {
+    loads += op.kind == OpKind::kLoad;
+    stores += op.kind == OpKind::kStore;
+    fences += op.kind == OpKind::kFence;
+    if (op.kind == OpKind::kLoad) {
+      EXPECT_EQ(op.vaddr, 0x40000u);
+      EXPECT_EQ(op.arg, 8u);
+    }
+    if (op.kind == OpKind::kStore) EXPECT_EQ(op.vaddr, 0x40040u);
+  }
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(stores, 1);
+  EXPECT_EQ(fences, 1);
+}
+
+TEST(RvInterpreter, TraceBudgetHaltsCleanly) {
+  Machine m;
+  Trace trace;
+  TraceRecorder rec(&trace, 8);
+  m.cpu.attach_recorder(&rec);
+  const Halt h = m.run(R"(
+    li t0, 0x50000
+  loop:
+    ld a0, 0(t0)
+    j loop
+  )");
+  EXPECT_EQ(h, Halt::kTraceFull);
+  EXPECT_EQ(trace.size(), 8u);
+}
+
+TEST(RvInterpreter, RegIndexNames) {
+  EXPECT_EQ(reg_index("zero"), 0);
+  EXPECT_EQ(reg_index("ra"), 1);
+  EXPECT_EQ(reg_index("sp"), 2);
+  EXPECT_EQ(reg_index("a0"), 10);
+  EXPECT_EQ(reg_index("t6"), 31);
+  EXPECT_EQ(reg_index("fp"), 8);
+  EXPECT_EQ(reg_index("x17"), 17);
+  EXPECT_EQ(reg_index("x32"), -1);
+  EXPECT_EQ(reg_index("bogus"), -1);
+}
+
+TEST(RvMemory, ZeroInitializedAndByteAddressable) {
+  Memory mem;
+  EXPECT_EQ(mem.load(0x1234, 8), 0u);
+  mem.store(0x1234, 0xDEADBEEFCAFEF00DULL, 8);
+  EXPECT_EQ(mem.load(0x1234, 8), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(mem.load(0x1238, 4), 0xDEADBEEFu);
+  // Cross-page access.
+  mem.store(0x1FFF, 0xABCD, 2);
+  EXPECT_EQ(mem.load(0x1FFF, 2), 0xABCDu);
+}
+
+}  // namespace
+}  // namespace pacsim::rv

@@ -1,0 +1,117 @@
+// The RV64 assembly kernel library: every kernel must assemble, execute,
+// and produce the memory-access class its name promises.
+#include "riscv/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/footprint.hpp"
+
+namespace pacsim::rv {
+namespace {
+
+WorkloadConfig small() {
+  WorkloadConfig cfg;
+  cfg.num_cores = 2;
+  cfg.max_ops_per_core = 8000;
+  cfg.compute_scale = 1.0;
+  return cfg;
+}
+
+class RvKernels : public ::testing::TestWithParam<const RiscvProgramWorkload*> {
+};
+
+TEST_P(RvKernels, AssemblesAndExecutes) {
+  const auto traces = GetParam()->generate(small());
+  ASSERT_EQ(traces.size(), 2u);
+  for (const Trace& t : traces) EXPECT_FALSE(t.empty());
+  // Clean end: either the kernel finished (ecall) or the budget filled.
+  EXPECT_TRUE(GetParam()->last_halt() == Halt::kEcall ||
+              GetParam()->last_halt() == Halt::kTraceFull);
+}
+
+TEST_P(RvKernels, Deterministic) {
+  const auto a = GetParam()->generate(small());
+  const auto b = GetParam()->generate(small());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].size(), b[c].size());
+    for (std::size_t i = 0; i < a[c].size(); ++i) {
+      EXPECT_EQ(a[c][i].vaddr, b[c][i].vaddr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, RvKernels,
+                         ::testing::ValuesIn(rv_workloads()),
+                         [](const auto& info) {
+                           std::string n(info.param->name());
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+std::vector<Addr> data_addresses(const std::vector<Trace>& traces) {
+  std::vector<Addr> out;
+  for (const Trace& t : traces) {
+    for (const TraceOp& op : t) {
+      if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
+        out.push_back(op.vaddr);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(RvKernelClasses, StreamIsSequential) {
+  const auto traces = find_rv_workload("rv-stream")->generate(small());
+  const FootprintStats s = analyze_footprint(data_addresses(traces), 64);
+  EXPECT_GT(s.in_page_fraction(), 0.5);
+}
+
+TEST(RvKernelClasses, RandomIsScattered) {
+  const auto traces = find_rv_workload("rv-rand")->generate(small());
+  const FootprintStats s = analyze_footprint(data_addresses(traces), 64);
+  EXPECT_LT(s.in_page_fraction(), 0.1);
+  EXPECT_GT(s.distinct_pages, 500u);
+}
+
+TEST(RvKernelClasses, GatherHasPageBursts) {
+  const auto traces = find_rv_workload("rv-gs")->generate(small());
+  const FootprintStats s = analyze_footprint(data_addresses(traces), 64);
+  // Gather bursts of 32 contiguous doubles -> strong in-page adjacency.
+  EXPECT_GT(s.in_page_fraction(), 0.4);
+}
+
+TEST(RvKernelClasses, HistogramUsesAtomics) {
+  const auto traces = find_rv_workload("rv-hist")->generate(small());
+  std::uint64_t atomics = 0;
+  for (const Trace& t : traces) {
+    for (const TraceOp& op : t) atomics += op.kind == OpKind::kAtomic;
+  }
+  EXPECT_GT(atomics, 100u);
+}
+
+TEST(RvKernelClasses, CoresPartitionStreamSlices) {
+  const auto traces = find_rv_workload("rv-stream")->generate(small());
+  // Core 0's store addresses and core 1's must be disjoint.
+  std::set<Addr> stores0, stores1;
+  for (const TraceOp& op : traces[0]) {
+    if (op.kind == OpKind::kStore) stores0.insert(op.vaddr);
+  }
+  for (const TraceOp& op : traces[1]) {
+    if (op.kind == OpKind::kStore) stores1.insert(op.vaddr);
+  }
+  for (Addr a : stores1) EXPECT_EQ(stores0.count(a), 0u);
+}
+
+TEST(RvRegistry, LookupByName) {
+  EXPECT_EQ(rv_workloads().size(), 5u);
+  EXPECT_NE(find_rv_workload("rv-stream"), nullptr);
+  EXPECT_EQ(find_rv_workload("rv-nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace pacsim::rv

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximate) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.3);
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "workload=bfs", "--quick", "ops=5000",
+                        "ratio=0.5"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("workload"), "bfs");
+  EXPECT_TRUE(cli.has("quick"));
+  EXPECT_EQ(cli.get_u64("ops", 0), 5000u);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_FALSE(cli.has("anything"));
+  EXPECT_EQ(cli.get("x", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_u64("n", 9), 9u);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 2.5), 2.5);
+}
+
+TEST(Cli, StripsLeadingDashes) {
+  const char* argv[] = {"prog", "--k=v", "-flag"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("k"), "v");
+  EXPECT_TRUE(cli.has("flag"));
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a  | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| yy | 22          |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("| only |"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(85.1599), "85.16%");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+
+TEST(Table, CsvRendering) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "says \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"says \"\"hi\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacsim

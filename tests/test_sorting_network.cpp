@@ -1,0 +1,108 @@
+#include "baseline/sorting_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(SortingNetwork, PaperComparatorCountsAt64) {
+  // Paper Fig 11a: 672 comparators for the bitonic sorter, 543 for the
+  // odd-even merge sorter at N = 64.
+  EXPECT_EQ(SortingNetwork::bitonic(64).comparator_count(), 672u);
+  EXPECT_EQ(SortingNetwork::odd_even_merge(64).comparator_count(), 543u);
+}
+
+TEST(SortingNetwork, BitonicClosedFormCount) {
+  // n/2 * k(k+1)/2 comparators for n = 2^k.
+  for (std::uint32_t k = 2; k <= 7; ++k) {
+    const std::uint32_t n = 1u << k;
+    EXPECT_EQ(SortingNetwork::bitonic(n).comparator_count(),
+              static_cast<std::size_t>(n / 2) * k * (k + 1) / 2);
+  }
+}
+
+TEST(SortingNetwork, KnownSmallCounts) {
+  EXPECT_EQ(SortingNetwork::odd_even_merge(4).comparator_count(), 5u);
+  EXPECT_EQ(SortingNetwork::odd_even_merge(8).comparator_count(), 19u);
+  EXPECT_EQ(SortingNetwork::odd_even_merge(16).comparator_count(), 63u);
+  EXPECT_EQ(SortingNetwork::bitonic(4).comparator_count(), 6u);
+  EXPECT_EQ(SortingNetwork::bitonic(8).comparator_count(), 24u);
+}
+
+TEST(SortingNetwork, DepthIsLogSquaredOrder)
+{
+  // Both Batcher networks have depth k(k+1)/2 for n = 2^k.
+  for (std::uint32_t k = 2; k <= 6; ++k) {
+    const std::uint32_t n = 1u << k;
+    EXPECT_EQ(SortingNetwork::bitonic(n).depth(), k * (k + 1) / 2);
+    EXPECT_EQ(SortingNetwork::odd_even_merge(n).depth(), k * (k + 1) / 2);
+  }
+}
+
+class NetworkSorts
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>> {};
+
+TEST_P(NetworkSorts, SortsRandomInputs) {
+  const auto [n, use_bitonic] = GetParam();
+  const SortingNetwork net = use_bitonic ? SortingNetwork::bitonic(n)
+                                         : SortingNetwork::odd_even_merge(n);
+  Rng rng(n * 31 + use_bitonic);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) v = rng.below(1000);
+    std::vector<std::uint64_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    net.apply(std::span<std::uint64_t>(values));
+    EXPECT_EQ(values, expected);
+  }
+}
+
+TEST_P(NetworkSorts, SortsAdversarialPatterns) {
+  const auto [n, use_bitonic] = GetParam();
+  const SortingNetwork net = use_bitonic ? SortingNetwork::bitonic(n)
+                                         : SortingNetwork::odd_even_merge(n);
+  std::vector<std::vector<std::uint64_t>> patterns;
+  std::vector<std::uint64_t> descending(n), equal(n, 7), alternating(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    descending[i] = n - i;
+    alternating[i] = i % 2;
+  }
+  patterns = {descending, equal, alternating};
+  for (auto values : patterns) {
+    std::vector<std::uint64_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    net.apply(std::span<std::uint64_t>(values));
+    EXPECT_EQ(values, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NetworkSorts,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u, 32u, 64u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<1>(info.param) ? "bitonic" : "oddEven") +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(PacSpaceModel, PaperBufferNumbers) {
+  // Section 5.3.3: 16 streams -> 384 B total (128 B block-maps + 256 B
+  // request buffers) and one comparator per stream.
+  const PacSpaceModel pac{16};
+  EXPECT_EQ(pac.comparator_count(), 16u);
+  EXPECT_EQ(pac.blockmap_bytes(), 128u);
+  EXPECT_EQ(pac.request_buffer_bytes(), 256u);
+  EXPECT_EQ(pac.buffer_bytes(), 384u);
+}
+
+TEST(PacSpaceModel, ScalesLinearly) {
+  EXPECT_EQ(PacSpaceModel{64}.comparator_count(), 64u);
+  EXPECT_EQ(PacSpaceModel{64}.buffer_bytes(), 4u * 384u);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,97 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacsim {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMeanMinMax) {
+  RunningStat s;
+  for (double v : {4.0, 2.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStat, SingleNegativeValue) {
+  RunningStat s;
+  s.add(-5.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), -5.0);
+}
+
+TEST(RunningStat, Reset) {
+  RunningStat s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, EmptyFractions) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_between(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h;
+  h.add(64, 3);
+  h.add(128, 1);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.at(64), 3u);
+  EXPECT_EQ(h.at(256), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(64), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(128), 0.25);
+}
+
+TEST(Histogram, FractionBetweenInclusive) {
+  Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.fraction_between(2, 3), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_between(1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_between(5, 9), 0.0);
+}
+
+TEST(Histogram, WeightedMean) {
+  Histogram h;
+  h.add(10, 1);
+  h.add(20, 3);
+  EXPECT_DOUBLE_EQ(h.mean(), 17.5);
+}
+
+TEST(Histogram, NegativeBuckets) {
+  Histogram h;
+  h.add(-5, 2);
+  h.add(5, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_between(-5, 0), 0.5);
+}
+
+TEST(PercentHelpers, Reduction) {
+  EXPECT_DOUBLE_EQ(percent_reduction(100.0, 40.0), 60.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(0.0, 10.0), 0.0);  // guarded
+}
+
+TEST(PercentHelpers, Improvement) {
+  EXPECT_DOUBLE_EQ(percent_improvement(200.0, 170.0), 15.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,206 @@
+// Full-system integration tests: cores -> caches -> coalescer -> HMC.
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+namespace pacsim {
+namespace {
+
+SystemConfig small_system(CoalescerKind kind) {
+  SystemConfig cfg;
+  cfg.coalescer = kind;
+  cfg.num_cores = 4;
+  cfg.max_cycles = 50'000'000;
+  return cfg;
+}
+
+Trace sequential_trace(Addr base, std::size_t lines) {
+  Trace t;
+  for (std::size_t i = 0; i < lines; ++i) {
+    t.push_back({base + i * 64, 8, OpKind::kLoad});
+    t.push_back({0, 2, OpKind::kCompute});
+  }
+  return t;
+}
+
+class EveryCoalescer : public ::testing::TestWithParam<CoalescerKind> {};
+
+TEST_P(EveryCoalescer, SequentialScanCompletes) {
+  SystemConfig cfg = small_system(GetParam());
+  System sys(cfg);
+  for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+    sys.load_trace(c, sequential_trace(0x10000000 + c * 0x100000, 2000));
+  }
+  const RunResult r = sys.run();
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.llc_misses, 0u);
+  EXPECT_GT(r.coal.raw_requests, 0u);
+  EXPECT_EQ(r.coal.issued_requests, r.hmc.requests);
+  EXPECT_GT(r.total_energy, 0.0);
+}
+
+TEST_P(EveryCoalescer, EmptyTracesFinishImmediately) {
+  SystemConfig cfg = small_system(GetParam());
+  System sys(cfg);
+  const RunResult r = sys.run();
+  EXPECT_EQ(r.coal.raw_requests, 0u);
+  EXPECT_LE(r.cycles, 2u);
+}
+
+TEST_P(EveryCoalescer, StoresAndFencesComplete) {
+  SystemConfig cfg = small_system(GetParam());
+  System sys(cfg);
+  Trace t;
+  for (int i = 0; i < 500; ++i) {
+    t.push_back({0x20000000 + static_cast<Addr>(i) * 64, 8, OpKind::kStore});
+    if (i % 100 == 99) t.push_back({0, 0, OpKind::kFence});
+  }
+  sys.load_trace(0, t);
+  const RunResult r = sys.run();
+  EXPECT_GT(r.coal.raw_requests, 0u);
+  if (GetParam() == CoalescerKind::kPac) {
+    EXPECT_EQ(r.pac.base.fences, 5u);
+  }
+}
+
+TEST_P(EveryCoalescer, AtomicsComplete) {
+  SystemConfig cfg = small_system(GetParam());
+  System sys(cfg);
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back({0x30000000 + static_cast<Addr>(i) * 4096, 8, OpKind::kAtomic});
+    t.push_back({0, 4, OpKind::kCompute});
+  }
+  sys.load_trace(0, t);
+  const RunResult r = sys.run();
+  EXPECT_EQ(r.coal.atomics, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EveryCoalescer,
+                         ::testing::Values(CoalescerKind::kDirect,
+                                           CoalescerKind::kMshrDmc,
+                                           CoalescerKind::kSortingDmc,
+                                           CoalescerKind::kPac),
+                         [](const auto& info) {
+                           std::string n(to_string(info.param));
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(System, CacheFiltersRepeatedAccesses) {
+  SystemConfig cfg = small_system(CoalescerKind::kDirect);
+  System sys(cfg);
+  Trace t;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 64; ++i) {  // 4 KB working set: L1-resident
+      t.push_back({0x40000000 + static_cast<Addr>(i) * 64, 8, OpKind::kLoad});
+    }
+  }
+  sys.load_trace(0, t);
+  const RunResult r = sys.run();
+  EXPECT_GT(r.l1_hits, 500u);
+  EXPECT_LE(r.llc_misses, 80u);  // only the cold pass misses
+}
+
+TEST(System, PacCoalescesSequentialMissStream) {
+  SystemConfig pac_cfg = small_system(CoalescerKind::kPac);
+  SystemConfig dir_cfg = small_system(CoalescerKind::kDirect);
+  const Trace t = sequential_trace(0x50000000, 4000);
+  System a(pac_cfg), b(dir_cfg);
+  a.load_trace(0, t);
+  b.load_trace(0, t);
+  const RunResult rp = a.run();
+  const RunResult rd = b.run();
+  EXPECT_GT(rp.coalescing_efficiency(), 0.3);
+  EXPECT_DOUBLE_EQ(rd.coalescing_efficiency(), 0.0);
+  // PAC must also finish no slower and issue fewer device requests.
+  EXPECT_LT(rp.coal.issued_requests, rd.coal.issued_requests);
+  EXPECT_LE(rp.cycles, rd.cycles);
+  EXPECT_GT(rp.transaction_eff(), rd.transaction_eff());
+}
+
+TEST(System, MultiprocessingKeepsAddressSpacesApart) {
+  SystemConfig cfg = small_system(CoalescerKind::kPac);
+  System sys(cfg);
+  // Two processes touch the same virtual addresses; page tables must keep
+  // them apart (no accidental sharing, all requests serviced).
+  const Trace t = sequential_trace(0x60000000, 1000);
+  sys.load_trace(0, t, 0);
+  sys.load_trace(1, t, 1);
+  const RunResult r = sys.run();
+  // Both processes missed independently: roughly twice the lines.
+  EXPECT_GE(r.llc_misses, 1900u);
+}
+
+TEST(System, SharedProcessSharesCache) {
+  SystemConfig cfg = small_system(CoalescerKind::kPac);
+  System sys(cfg);
+  const Trace t = sequential_trace(0x60000000, 1000);
+  sys.load_trace(0, t, 0);
+  sys.load_trace(1, t, 0);  // same process: same physical pages
+  const RunResult r = sys.run();
+  // The second core largely hits lines (or merges misses) of the first.
+  EXPECT_LT(r.llc_misses, 1600u);
+}
+
+TEST(System, RawTraceCaptureRespectsWindowAndLimit) {
+  SystemConfig cfg = small_system(CoalescerKind::kPac);
+  cfg.record_raw_trace = true;
+  cfg.raw_trace_start = 100;
+  cfg.raw_trace_limit = 50;
+  System sys(cfg);
+  sys.load_trace(0, sequential_trace(0x70000000, 2000));
+  const RunResult r = sys.run();
+  EXPECT_EQ(r.raw_trace.size(), 50u);
+}
+
+TEST(System, WatchdogThrowsOnImpossibleBudget) {
+  SystemConfig cfg = small_system(CoalescerKind::kPac);
+  cfg.max_cycles = 10;  // absurdly small
+  System sys(cfg);
+  sys.load_trace(0, sequential_trace(0x80000000, 1000));
+  EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+TEST(Runner, RunSuiteProducesConsistentMetrics) {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 4;
+  wcfg.max_ops_per_core = 4000;
+  wcfg.scale = 0.25;
+  const Workload* suite = find_workload("stream");
+  const RunResult r = run_suite(*suite, CoalescerKind::kPac, wcfg,
+                                SystemConfig{});
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GE(r.coalescing_efficiency(), 0.0);
+  EXPECT_LE(r.coalescing_efficiency(), 1.0);
+  EXPECT_GT(r.transaction_eff(), 0.0);
+  EXPECT_LE(r.transaction_eff(), 1.0);
+  EXPECT_TRUE(r.has_pac);
+}
+
+TEST(Runner, MultiprocessSplitsCores) {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 4;
+  wcfg.max_ops_per_core = 3000;
+  wcfg.scale = 0.25;
+  const RunResult r =
+      run_multiprocess(*find_workload("stream"), *find_workload("gs"),
+                       CoalescerKind::kMshrDmc, wcfg, SystemConfig{});
+  EXPECT_GT(r.coal.raw_requests, 0u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Runner, SimulateHandlesFewerTracesThanCores) {
+  SystemConfig cfg;
+  cfg.num_cores = 8;
+  const std::vector<Trace> traces = {sequential_trace(0x10000000, 100)};
+  const RunResult r = simulate(cfg, traces);
+  EXPECT_GT(r.coal.raw_requests, 0u);
+}
+
+}  // namespace
+}  // namespace pacsim

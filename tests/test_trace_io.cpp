@@ -1,0 +1,104 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path(temp_path(name)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(TraceIo, RoundTripsExactly) {
+  TempFile file("pacsim_roundtrip.trc");
+  Rng rng(11);
+  std::vector<Trace> traces(3);
+  for (Trace& t : traces) {
+    const std::size_t n = 100 + rng.below(400);
+    for (std::size_t i = 0; i < n; ++i) {
+      TraceOp op;
+      op.kind = static_cast<OpKind>(rng.below(5));
+      op.vaddr = rng.next();
+      op.arg = static_cast<std::uint32_t>(rng.below(64) + 1);
+      t.push_back(op);
+    }
+  }
+  save_traces(file.path, traces);
+  const auto loaded = load_traces(file.path);
+  ASSERT_EQ(loaded.size(), traces.size());
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    ASSERT_EQ(loaded[c].size(), traces[c].size());
+    for (std::size_t i = 0; i < traces[c].size(); ++i) {
+      EXPECT_EQ(loaded[c][i].vaddr, traces[c][i].vaddr);
+      EXPECT_EQ(loaded[c][i].arg, traces[c][i].arg);
+      EXPECT_EQ(loaded[c][i].kind, traces[c][i].kind);
+    }
+  }
+}
+
+TEST(TraceIo, EmptyTraceSetRoundTrips) {
+  TempFile file("pacsim_empty.trc");
+  save_traces(file.path, {});
+  EXPECT_TRUE(load_traces(file.path).empty());
+}
+
+TEST(TraceIo, EmptyPerCoreTraces) {
+  TempFile file("pacsim_empty_cores.trc");
+  save_traces(file.path, std::vector<Trace>(4));
+  const auto loaded = load_traces(file.path);
+  ASSERT_EQ(loaded.size(), 4u);
+  for (const Trace& t : loaded) EXPECT_TRUE(t.empty());
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  EXPECT_THROW(load_traces(temp_path("pacsim_does_not_exist.trc")),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  TempFile file("pacsim_badmagic.trc");
+  std::ofstream out(file.path, std::ios::binary);
+  out << "NOTATRACEFILE....";
+  out.close();
+  EXPECT_THROW(load_traces(file.path), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  TempFile file("pacsim_trunc.trc");
+  Trace t;
+  t.push_back({0x1000, 8, OpKind::kLoad});
+  save_traces(file.path, {t});
+  // Chop off the last few bytes.
+  const auto size = std::filesystem::file_size(file.path);
+  std::filesystem::resize_file(file.path, size - 5);
+  EXPECT_THROW(load_traces(file.path), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsCorruptOpKind) {
+  TempFile file("pacsim_badkind.trc");
+  Trace t;
+  t.push_back({0x1000, 8, OpKind::kLoad});
+  save_traces(file.path, {t});
+  // The kind byte is the last byte of the file; overwrite with garbage.
+  std::fstream io(file.path,
+                  std::ios::binary | std::ios::in | std::ios::out);
+  io.seekp(-1, std::ios::end);
+  io.put(static_cast<char>(0x7F));
+  io.close();
+  EXPECT_THROW(load_traces(file.path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,170 @@
+// Parameterized checks over all 14 workload suites.
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/trace_recorder.hpp"
+
+namespace pacsim {
+namespace {
+
+WorkloadConfig small_cfg() {
+  WorkloadConfig cfg;
+  cfg.num_cores = 4;
+  cfg.max_ops_per_core = 5000;
+  cfg.scale = 0.25;
+  cfg.seed = 123;
+  return cfg;
+}
+
+class AllSuites : public ::testing::TestWithParam<const Workload*> {};
+
+TEST_P(AllSuites, ProducesOneTracePerCore) {
+  const auto traces = GetParam()->generate(small_cfg());
+  ASSERT_EQ(traces.size(), 4u);
+  for (const Trace& t : traces) {
+    EXPECT_FALSE(t.empty());
+    EXPECT_LE(t.size(), 5000u);
+  }
+}
+
+TEST_P(AllSuites, DeterministicForSameSeed) {
+  const auto a = GetParam()->generate(small_cfg());
+  const auto b = GetParam()->generate(small_cfg());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].size(), b[c].size());
+    for (std::size_t i = 0; i < a[c].size(); ++i) {
+      EXPECT_EQ(a[c][i].vaddr, b[c][i].vaddr);
+      EXPECT_EQ(a[c][i].arg, b[c][i].arg);
+      EXPECT_EQ(a[c][i].kind, b[c][i].kind);
+    }
+  }
+}
+
+TEST_P(AllSuites, ContainsMemoryTraffic) {
+  const auto traces = GetParam()->generate(small_cfg());
+  std::uint64_t loads = 0, stores = 0, computes = 0;
+  for (const Trace& t : traces) {
+    for (const TraceOp& op : t) {
+      loads += op.kind == OpKind::kLoad;
+      stores += op.kind == OpKind::kStore;
+      computes += op.kind == OpKind::kCompute;
+    }
+  }
+  EXPECT_GT(loads + stores, 0u);
+  EXPECT_GT(computes, 0u) << "kernels must model non-memory work";
+}
+
+TEST_P(AllSuites, AccessSizesAreReasonable) {
+  const auto traces = GetParam()->generate(small_cfg());
+  for (const Trace& t : traces) {
+    for (const TraceOp& op : t) {
+      if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore ||
+          op.kind == OpKind::kAtomic) {
+        EXPECT_GE(op.arg, 1u);
+        EXPECT_LE(op.arg, 64u);
+      }
+    }
+  }
+}
+
+TEST_P(AllSuites, AddressesAboveArenaBase) {
+  const auto traces = GetParam()->generate(small_cfg());
+  for (const Trace& t : traces) {
+    for (const TraceOp& op : t) {
+      if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
+        EXPECT_GE(op.vaddr, 0x1000'0000u);
+        EXPECT_LT(op.vaddr, 1ULL << 40);
+      }
+    }
+  }
+}
+
+TEST_P(AllSuites, ComputeScaleStretchesGaps) {
+  WorkloadConfig base = small_cfg();
+  base.compute_scale = 1.0;
+  WorkloadConfig wide = small_cfg();
+  wide.compute_scale = 8.0;
+  auto total_compute = [](const std::vector<Trace>& traces) {
+    std::uint64_t sum = 0;
+    for (const Trace& t : traces) {
+      for (const TraceOp& op : t) {
+        if (op.kind == OpKind::kCompute) sum += op.arg;
+      }
+    }
+    return sum;
+  };
+  const auto a = total_compute(GetParam()->generate(base));
+  const auto b = total_compute(GetParam()->generate(wide));
+  EXPECT_GT(b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suites, AllSuites,
+                         ::testing::ValuesIn(all_workloads()),
+                         [](const auto& info) {
+                           return std::string(info.param->name());
+                         });
+
+TEST(WorkloadRegistry, FourteenSuites) {
+  EXPECT_EQ(all_workloads().size(), 14u);
+}
+
+TEST(WorkloadRegistry, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const Workload* w : all_workloads()) {
+    EXPECT_TRUE(names.insert(w->name()).second) << w->name();
+    EXPECT_FALSE(w->description().empty());
+  }
+}
+
+TEST(WorkloadRegistry, FindByName) {
+  EXPECT_NE(find_workload("bfs"), nullptr);
+  EXPECT_EQ(find_workload("bfs")->name(), "bfs");
+  EXPECT_EQ(find_workload("nonexistent"), nullptr);
+  EXPECT_EQ(workload_names().size(), 14u);
+}
+
+TEST(TraceRecorder, StopsAtBudget) {
+  Trace out;
+  TraceRecorder rec(&out, 3);
+  rec.load(0x100);
+  rec.store(0x200);
+  rec.load(0x300);
+  EXPECT_TRUE(rec.full());
+  EXPECT_THROW(rec.load(0x400), TraceRecorder::TraceFull);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(TraceRecorder, MergesAdjacentCompute) {
+  Trace out;
+  TraceRecorder rec(&out, 10);
+  rec.compute(2);
+  rec.compute(3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].arg, 5u);
+  rec.load(0x100);
+  rec.compute(1);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(TraceRecorder, ComputeScaleRounds) {
+  Trace out;
+  TraceRecorder rec(&out, 10);
+  rec.set_compute_scale(2.5);
+  rec.compute(2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].arg, 5u);
+}
+
+TEST(TraceRecorder, ZeroComputeElided) {
+  Trace out;
+  TraceRecorder rec(&out, 10);
+  rec.compute(0);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace pacsim
