@@ -5,6 +5,8 @@
 //   - the flush-on-full-chunk extension (ours, not in the paper),
 //   - device protocols: HMC 1.0 (128 B), HMC 2.1 (256 B), HBM (1 KB row),
 //   - power-of-two-only request sizes vs exact runs.
+#include <iterator>
+
 #include "bench_common.hpp"
 
 using namespace pacsim;
@@ -18,53 +20,78 @@ struct Variant {
 };
 
 void run_variants(const EvalContext& ctx, const std::vector<Variant>& variants,
-                  const std::string& title) {
+                  const std::string& title, SweepReport* report) {
   const Workload* suites[] = {find_workload("gs"), find_workload("hpcg"),
                               find_workload("sort")};
-  Table t({"variant", "suite", "coal.eff", "txn.eff", "cycles",
-           "energy (uJ)"});
+  std::vector<exp::SweepJob> sweep;
   for (const Variant& v : variants) {
     for (const Workload* suite : suites) {
       std::fprintf(stderr, "[ablation] %s / %s ...\n", v.name.c_str(),
                    std::string(suite->name()).c_str());
-      const RunResult r =
-          run_suite(*suite, CoalescerKind::kPac, ctx.wcfg, v.cfg);
-      t.add_row({v.name, std::string(suite->name()),
-                 Table::pct(r.coalescing_efficiency() * 100.0),
-                 Table::pct(r.transaction_eff() * 100.0),
-                 std::to_string(r.cycles), Table::num(r.total_energy / 1e6)});
+      exp::SweepJob job;
+      job.suite = suite;
+      job.cfg = v.cfg;
+      job.cfg.coalescer = CoalescerKind::kPac;
+      job.label = v.name + "/" + std::string(suite->name());
+      sweep.push_back(std::move(job));
+    }
+  }
+  const exp::SweepRunner runner(ctx.jobs);
+  const std::vector<RunResult> results = runner.run(sweep, ctx.wcfg);
+
+  Table t({"variant", "suite", "coal.eff", "txn.eff", "cycles",
+           "energy (uJ)"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
+    const Variant& v = variants[i / std::size(suites)];
+    t.add_row({v.name, std::string(sweep[i].suite->name()),
+               Table::pct(r.coalescing_efficiency() * 100.0),
+               Table::pct(r.transaction_eff() * 100.0),
+               std::to_string(r.cycles), Table::num(r.total_energy / 1e6)});
+    if (report != nullptr) {
+      report->add(sweep[i].label, CoalescerKind::kPac, r);
     }
   }
   t.print(title);
 }
 
-}  // namespace
-
-namespace {
-
 /// Head-to-head of all four coalescer organizations on three suites.
-void coalescer_shootout(const EvalContext& ctx) {
+void coalescer_shootout(const EvalContext& ctx, SweepReport* report) {
   const Workload* suites[] = {find_workload("gs"), find_workload("hpcg"),
                               find_workload("bfs")};
-  Table t({"suite", "coalescer", "coal.eff", "txn.eff", "cycles",
-           "comparisons"});
+  constexpr CoalescerKind kinds[] = {
+      CoalescerKind::kDirect, CoalescerKind::kMshrDmc,
+      CoalescerKind::kSortingDmc, CoalescerKind::kPac};
+  std::vector<exp::SweepJob> sweep;
   for (const Workload* suite : suites) {
-    const std::vector<Trace> traces = suite->generate(ctx.wcfg);
-    for (CoalescerKind kind :
-         {CoalescerKind::kDirect, CoalescerKind::kMshrDmc,
-          CoalescerKind::kSortingDmc, CoalescerKind::kPac}) {
+    for (CoalescerKind kind : kinds) {
       std::fprintf(stderr, "[shootout] %s / %s ...\n",
                    std::string(suite->name()).c_str(),
                    std::string(to_string(kind)).c_str());
-      SystemConfig cfg = ctx.scfg;
-      cfg.coalescer = kind;
-      const RunResult r = simulate(cfg, traces);
-      t.add_row({std::string(suite->name()), std::string(to_string(kind)),
-                 Table::pct(r.coalescing_efficiency() * 100.0),
-                 Table::pct(r.transaction_eff() * 100.0),
-                 std::to_string(r.cycles),
-                 std::to_string(r.coal.comparisons)});
+      exp::SweepJob job;
+      job.suite = suite;
+      job.cfg = ctx.scfg;
+      job.cfg.coalescer = kind;
+      job.label = std::string(suite->name()) + "/" +
+                  std::string(to_string(kind));
+      sweep.push_back(std::move(job));
     }
+  }
+  const exp::SweepRunner runner(ctx.jobs);
+  const std::vector<RunResult> results = runner.run(sweep, ctx.wcfg);
+
+  Table t({"suite", "coalescer", "coal.eff", "txn.eff", "cycles",
+           "comparisons"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
+    const CoalescerKind kind = sweep[i].cfg.coalescer;
+    t.add_row({std::string(sweep[i].suite->name()),
+               std::string(to_string(kind)),
+               Table::pct(r.coalescing_efficiency() * 100.0),
+               Table::pct(r.transaction_eff() * 100.0),
+               std::to_string(r.cycles),
+               std::to_string(r.coal.comparisons)});
+    if (report != nullptr) report->add(sweep[i].label, kind, r);
   }
   t.print("Ablation - coalescer organizations head-to-head");
 }
@@ -74,8 +101,9 @@ void coalescer_shootout(const EvalContext& ctx) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const EvalContext ctx(cli);
+  SweepReport report("bench_ablation");
 
-  coalescer_shootout(ctx);
+  coalescer_shootout(ctx, &report);
   {
     std::vector<Variant> v;
     for (std::uint32_t timeout : {4u, 8u, 16u, 32u, 64u}) {
@@ -83,7 +111,8 @@ int main(int argc, char** argv) {
       var.cfg.pac.timeout = timeout;
       v.push_back(var);
     }
-    run_variants(ctx, v, "Ablation - stage-1 timeout (paper default: 16)");
+    run_variants(ctx, v, "Ablation - stage-1 timeout (paper default: 16)",
+                 &report);
   }
   {
     std::vector<Variant> v;
@@ -92,7 +121,8 @@ int main(int argc, char** argv) {
       var.cfg.pac.num_streams = streams;
       v.push_back(var);
     }
-    run_variants(ctx, v, "Ablation - coalescing streams (paper default: 16)");
+    run_variants(ctx, v, "Ablation - coalescing streams (paper default: 16)",
+                 &report);
   }
   {
     std::vector<Variant> v;
@@ -106,7 +136,8 @@ int main(int argc, char** argv) {
     v = {on, off, full, nosec};
     run_variants(ctx, v,
                  "Ablation - controller bypass, flush-on-full-chunk, "
-                 "secondary coalescing");
+                 "secondary coalescing",
+                 &report);
   }
   {
     std::vector<Variant> v;
@@ -120,7 +151,11 @@ int main(int argc, char** argv) {
     pow2.cfg.pac.protocol.pow2_sizes_only = true;
     v = {hmc1, hmc2, hbm, pow2};
     run_variants(ctx, v,
-                 "Ablation - device protocols (paper section 4.1)");
+                 "Ablation - device protocols (paper section 4.1)", &report);
+  }
+  if (!ctx.report_dir.empty()) {
+    std::fprintf(stderr, "[bench] wrote %s\n",
+                 report.write(ctx.report_dir).c_str());
   }
   return 0;
 }

@@ -10,6 +10,9 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exp/sweep_runner.hpp"
+#include "exp/thread_pool.hpp"
+#include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "workloads/workload.hpp"
 
@@ -46,32 +49,75 @@ class EvalContext {
         cli.get_u64("streams", scfg.pac.num_streams));
     if (cli.has("nobypass")) scfg.pac.enable_bypass_controller = false;
     if (cli.has("noprefetch")) scfg.enable_prefetch = false;
+    // jobs=<n>: simulation threads (default: hardware concurrency;
+    // jobs=1 runs serially in the calling thread).
+    jobs = static_cast<unsigned>(cli.get_u64("jobs", exp::default_jobs()));
     // csvdir=<dir>: mirror every printed table as a CSV artifact.
     Table::set_csv_dir(cli.get("csvdir", ""));
+    // jsondir=<dir>: where the per-bench JSON report lands ("" disables).
+    report_dir = cli.get("jsondir", "results");
   }
 
   WorkloadConfig wcfg;
   SystemConfig scfg;
-  std::string only;  ///< restrict to one suite (suite=name)
+  std::string only;        ///< restrict to one suite (suite=name)
+  unsigned jobs = 1;       ///< simulation threads (jobs=<n>)
+  std::string report_dir;  ///< JSON report directory (jsondir=<dir>)
 
-  /// Run all 14 suites (or the selected one) under each kind.
+  /// Run all 14 suites (or the selected one) under each kind. Independent
+  /// (suite, kind) runs fan out across `jobs` threads; results come back
+  /// in deterministic job order, so the tables match a serial run exactly.
   std::vector<SuiteResults> run_all(std::vector<CoalescerKind> kinds) const {
-    std::vector<SuiteResults> out;
+    std::vector<const Workload*> suites;
     for (const Workload* suite : all_workloads()) {
       if (!only.empty() && only != suite->name()) continue;
-      SuiteResults results;
-      results.name = std::string(suite->name());
-      std::fprintf(stderr, "[bench] %s ...\n", results.name.c_str());
-      const std::vector<Trace> traces = suite->generate(wcfg);
+      suites.push_back(suite);
+    }
+
+    std::vector<exp::SweepJob> sweep;
+    sweep.reserve(suites.size() * kinds.size());
+    for (const Workload* suite : suites) {
+      std::fprintf(stderr, "[bench] %s ...\n",
+                   std::string(suite->name()).c_str());
       for (CoalescerKind kind : kinds) {
-        SystemConfig cfg = scfg;
-        cfg.coalescer = kind;
-        cfg.num_cores = wcfg.num_cores;
-        results.runs.emplace(kind, simulate(cfg, traces));
+        exp::SweepJob job;
+        job.suite = suite;
+        job.cfg = scfg;
+        job.cfg.coalescer = kind;
+        job.label =
+            std::string(suite->name()) + "/" + std::string(to_string(kind));
+        sweep.push_back(std::move(job));
       }
-      out.push_back(std::move(results));
+    }
+
+    const exp::SweepRunner runner(jobs);
+    const std::vector<RunResult> results = runner.run(sweep, wcfg);
+
+    std::vector<SuiteResults> out;
+    out.reserve(suites.size());
+    std::size_t next = 0;
+    for (const Workload* suite : suites) {
+      SuiteResults sr;
+      sr.name = std::string(suite->name());
+      for (CoalescerKind kind : kinds) sr.runs.emplace(kind, results[next++]);
+      out.push_back(std::move(sr));
     }
     return out;
+  }
+
+  /// Serialize every (suite, kind) run to `<jsondir>/<bench>.json`
+  /// (jsondir="" disables the artifact).
+  void write_report(const std::string& bench,
+                    const std::vector<SuiteResults>& all) const {
+    if (report_dir.empty()) return;
+    SweepReport report(bench);
+    for (const auto& s : all) {
+      for (const auto& [kind, r] : s.runs) {
+        report.add(s.name + "/" + std::string(to_string(kind)), kind, r);
+      }
+    }
+    const std::string path = report.write(report_dir);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
 };
 

@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
   t.print(
       "Fig 7 - comparator-operation reduction vs the sorting-network DMC "
       "(paper: 29.84% avg, BFS highest at 62.41%)");
+  ctx.write_report("bench_fig07_comparisons", all);
   return 0;
 }

@@ -17,6 +17,7 @@ namespace {
 void fig10a_and_10c(const EvalContext& ctx) {
   const auto all =
       ctx.run_all({CoalescerKind::kDirect, CoalescerKind::kPac});
+  ctx.write_report("bench_fig10_bandwidth", all);
 
   Table t({"suite", "raw txn eff", "PAC txn eff", "link bytes saved (MB)",
            "saving"});

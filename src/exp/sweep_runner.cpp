@@ -1,0 +1,59 @@
+#include "exp/sweep_runner.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "exp/thread_pool.hpp"
+#include "sim/runner.hpp"
+
+namespace pacsim::exp {
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
+                                        const WorkloadConfig& wcfg) const {
+  // Per-suite shared trace state. The map is fully built before any worker
+  // starts, so workers only ever read the map structure; the mapped values
+  // are synchronized via call_once and the release/acquire counter.
+  struct SuiteState {
+    std::once_flag once;
+    std::shared_ptr<const std::vector<Trace>> traces;
+    std::atomic<std::size_t> remaining{0};
+  };
+  std::map<const Workload*, SuiteState> suites;
+  for (const SweepJob& job : sweep) {
+    assert(job.suite != nullptr && "SweepJob without a suite");
+    suites[job.suite].remaining.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<RunResult> results(sweep.size());
+  parallel_for(jobs_, sweep.size(), [&](std::size_t i) {
+    const SweepJob& job = sweep[i];
+    SuiteState& state = suites.at(job.suite);
+    std::call_once(state.once, [&] {
+      state.traces = std::make_shared<const std::vector<Trace>>(
+          job.suite->generate(wcfg));
+    });
+    // Pin the traces for the duration of this simulation: the last job of
+    // the suite drops the shared copy below, and this local reference keeps
+    // the storage alive through our own simulate().
+    const std::shared_ptr<const std::vector<Trace>> traces = state.traces;
+
+    SystemConfig cfg = job.cfg;
+    cfg.num_cores = wcfg.num_cores;
+    results[i] = simulate(cfg, *traces);
+
+    // Free the suite's traces as soon as its last simulation retires, so a
+    // wide sweep never holds more trace sets than it has suites in flight.
+    if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      state.traces.reset();
+    }
+  });
+  return results;
+}
+
+}  // namespace pacsim::exp

@@ -1,0 +1,50 @@
+// Sweep execution: run many independent (suite, SystemConfig) simulations
+// across a fixed thread pool.
+//
+// Every figure-reproduction bench is a grid of independent `simulate()`
+// calls — each builds its own System, so the only shared inputs are the
+// immutable per-suite traces. The runner generates each distinct suite's
+// traces exactly once (first job to need them wins, the rest reuse them),
+// fans the simulations out over `jobs` threads, and returns the RunResults
+// in job order, so every table printed from them is bit-identical to a
+// serial run. `jobs = 1` executes inline on the calling thread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/system_config.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim::exp {
+
+/// One cell of a sweep grid: a suite simulated under a full SystemConfig.
+/// The runner overrides `cfg.num_cores` with the workload's core count
+/// (exactly as `run_suite` does); everything else is taken verbatim.
+struct SweepJob {
+  const Workload* suite = nullptr;
+  SystemConfig cfg;
+  std::string label;  ///< free-form name for tables / JSON reports
+};
+
+class SweepRunner {
+ public:
+  /// `jobs = 0` selects the hardware concurrency.
+  explicit SweepRunner(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Execute every job; `results[i]` corresponds to `sweep[i]` regardless
+  /// of the completion order. Traces for each distinct Workload* are
+  /// generated once from `wcfg` and freed as soon as the last job using
+  /// them finishes. Exceptions from any simulation propagate after the
+  /// sweep drains.
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<SweepJob>& sweep,
+                                           const WorkloadConfig& wcfg) const;
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace pacsim::exp

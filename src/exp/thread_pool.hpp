@@ -1,0 +1,62 @@
+// Fixed-size thread pool for the sweep-execution subsystem.
+//
+// Deliberately minimal: a mutex/condvar-protected FIFO job queue drained by
+// a fixed set of std::threads — no work stealing, no dynamic sizing, no
+// external dependencies. Simulations are seconds-long, so queue contention
+// is irrelevant next to determinism and auditability.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pacsim::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job; any worker may pick it up.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes workers on submit/stop
+  std::condition_variable idle_cv_;  ///< wakes wait_idle when all quiesce
+  unsigned running_ = 0;             ///< jobs currently executing
+  bool stop_ = false;
+};
+
+/// Number of parallel jobs to run by default: the hardware concurrency,
+/// never less than 1 (hardware_concurrency may legally return 0).
+unsigned default_jobs();
+
+/// Run `fn(0) .. fn(n-1)` across up to `jobs` pool threads and wait for all
+/// of them. `jobs <= 1` runs serially on the calling thread (no threads are
+/// spawned), preserving single-threaded behavior exactly. The first
+/// exception thrown by any job is rethrown here after the pool drains.
+void parallel_for(unsigned jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace pacsim::exp

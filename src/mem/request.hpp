@@ -35,9 +35,25 @@ struct DeviceRequest {
   bool store = false;
   bool atomic = false;
   std::vector<std::uint64_t> raw_ids;
+  /// Granule-block offset of each raw within this request, parallel to
+  /// `raw_ids`: raw i starts at `base + raw_blocks[i] * granule`. Secondary
+  /// coalescing uses these to stamp MSHR subentries with the data slice the
+  /// raw actually waits on. May be shorter than `raw_ids` (baselines issue
+  /// single-block packets where every offset is 0) — read via raw_block().
+  std::vector<std::uint16_t> raw_blocks;
   Cycle created_at = 0;     ///< cycle the device request was assembled
 
   [[nodiscard]] Addr ppn() const { return page_number(base); }
+
+  /// Append one raw with its granule-block offset from `base`.
+  void add_raw(std::uint64_t raw_id, std::uint16_t block_offset = 0) {
+    raw_ids.push_back(raw_id);
+    raw_blocks.push_back(block_offset);
+  }
+  /// Block offset of raw i (0 when the packet carries no offset vector).
+  [[nodiscard]] std::uint16_t raw_block(std::size_t i) const {
+    return i < raw_blocks.size() ? raw_blocks[i] : 0;
+  }
 };
 
 /// Completion record returned by the memory device.

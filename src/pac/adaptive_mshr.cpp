@@ -16,9 +16,16 @@ bool AdaptiveMshrFile::try_merge_into(AdaptiveMshrEntry& entry,
       req.base + req.bytes > entry.base + entry.bytes) {
     return false;
   }
-  for (std::uint64_t raw : req.raw_ids) {
+  // Each raw of the merged request may sit at a different granule of the
+  // entry: derive the subentry index from the raw's own block, not from the
+  // request base, so every subentry points at the data slice its raw waits
+  // on.
+  for (std::size_t i = 0; i < req.raw_ids.size(); ++i) {
+    const Addr raw_addr =
+        req.base + Addr{req.raw_block(i)} * cfg_.protocol.granule;
     entry.subentries.push_back(MshrSubentry{
-        raw, subentry_index(entry.base, req.base, cfg_.protocol.granule)});
+        req.raw_ids[i],
+        subentry_index(entry.base, raw_addr, cfg_.protocol.granule)});
   }
   return true;
 }
@@ -46,9 +53,11 @@ AdaptiveMshrEntry& AdaptiveMshrFile::allocate(const DeviceRequest& req) {
     entry.atomic = req.atomic;
     entry.dispatched = false;
     entry.device_request_id = req.id;
+    entry.created_at = req.created_at;
     entry.subentries.clear();
-    for (std::uint64_t raw : req.raw_ids) {
-      entry.subentries.push_back(MshrSubentry{raw, 0});
+    for (std::size_t i = 0; i < req.raw_ids.size(); ++i) {
+      entry.subentries.push_back(MshrSubentry{
+          req.raw_ids[i], static_cast<std::uint8_t>(req.raw_block(i))});
     }
     ++occupied_;
     return entry;
@@ -58,9 +67,10 @@ AdaptiveMshrEntry& AdaptiveMshrFile::allocate(const DeviceRequest& req) {
 }
 
 std::vector<std::uint64_t> AdaptiveMshrFile::on_response(
-    std::uint64_t device_request_id) {
+    std::uint64_t device_request_id, Cycle* created_at) {
   for (auto& entry : entries_) {
     if (!entry.valid || entry.device_request_id != device_request_id) continue;
+    if (created_at != nullptr) *created_at = entry.created_at;
     std::vector<std::uint64_t> raws;
     raws.reserve(entry.subentries.size());
     for (const MshrSubentry& sub : entry.subentries) raws.push_back(sub.raw_id);

@@ -29,6 +29,10 @@ struct AdaptiveMshrEntry {
   bool atomic = false;
   bool dispatched = false;  ///< request already sent to the device
   std::uint64_t device_request_id = 0;
+  /// Cycle the device request was assembled. Retries after device
+  /// back-pressure re-submit with this original cycle so request-latency
+  /// accounting (Fig. 12) includes the refused time.
+  Cycle created_at = 0;
   std::vector<MshrSubentry> subentries;
 };
 
@@ -65,8 +69,11 @@ class AdaptiveMshrFile {
 
   /// Release the entry owning `device_request_id`; returns the raw ids its
   /// subentries were waiting on. Entry may be absent (e.g. zero-subentry
-  /// overfetch pieces): returns empty in that case.
-  std::vector<std::uint64_t> on_response(std::uint64_t device_request_id);
+  /// overfetch pieces): returns empty in that case. When the entry is found
+  /// and `created_at` is non-null, it receives the cycle the request was
+  /// assembled (for end-to-end request-latency accounting).
+  std::vector<std::uint64_t> on_response(std::uint64_t device_request_id,
+                                         Cycle* created_at = nullptr);
 
   [[nodiscard]] bool has_free() const { return occupied_ < entries_.size(); }
   [[nodiscard]] bool all_occupied() const {

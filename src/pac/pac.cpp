@@ -1,11 +1,16 @@
 #include "pac/pac.hpp"
 
 #include <cassert>
+#include <limits>
 #include <utility>
 
 #include "mem/packet.hpp"
 
 namespace pacsim {
+namespace {
+/// Sentinel for "no MSHR entry owned this response" in Pac::complete.
+constexpr Cycle kNoEntry = std::numeric_limits<Cycle>::max();
+}  // namespace
 
 Pac::Pac(const PacConfig& cfg, HmcDevice* device)
     : cfg_(cfg),
@@ -41,7 +46,7 @@ DeviceRequest Pac::make_single_request(const CoalescingStream& stream,
   req.bytes = (raw.last_block - raw.first_block + 1) * cfg_.protocol.granule;
   req.store = stream.store;
   req.created_at = now;
-  req.raw_ids.push_back(raw.id);
+  req.add_raw(raw.id);
   return req;
 }
 
@@ -129,7 +134,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
     req.atomic = true;
     req.store = request.is_store();
     req.created_at = now;
-    req.raw_ids.push_back(request.id);
+    req.add_raw(request.id);
     allocate_and_dispatch(std::move(req), now);
     return true;
   }
@@ -152,7 +157,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
           cfg_.protocol.granule);
       req.store = request.is_store();
       req.created_at = now;
-      req.raw_ids.push_back(request.id);
+      req.add_raw(request.id);
       std::uint64_t unbilled = 0;
       if (!mshrs_.try_merge(req, &unbilled)) {
         allocate_and_dispatch(std::move(req), now);
@@ -175,7 +180,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
     probe.bytes = static_cast<std::uint32_t>(
         (((end - 1) >> shift) + 1 - (probe.base >> shift)) *
         cfg_.protocol.granule);
-    probe.raw_ids.push_back(request.id);
+    probe.add_raw(request.id);
     if (mshrs_.try_attach(probe)) {
       stats_.base.comparisons += aggregator_.active_streams();
       ++stats_.base.raw_requests;
@@ -185,17 +190,31 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
     }
     // The covering request may still be waiting in the MAQ; attach there
     // (the MAQ slots are compared associatively, like the MSHRs).
+    const auto covers = [&probe](const DeviceRequest& waiting) {
+      return !waiting.store && !waiting.atomic &&
+             probe.base >= waiting.base &&
+             probe.base + probe.bytes <= waiting.base + waiting.bytes;
+    };
+    const auto attach_to = [&](DeviceRequest& waiting) {
+      waiting.add_raw(request.id,
+                      static_cast<std::uint16_t>(
+                          (probe.base - waiting.base) / cfg_.protocol.granule));
+      stats_.base.comparisons += aggregator_.active_streams();
+      ++stats_.base.raw_requests;
+      ++stats_.base.coalesced_away;
+      ++stats_.mshr_merges;
+    };
     for (DeviceRequest& waiting : maq_) {
-      if (waiting.store || waiting.atomic) continue;
-      if (probe.base >= waiting.base &&
-          probe.base + probe.bytes <= waiting.base + waiting.bytes) {
-        waiting.raw_ids.push_back(request.id);
-        stats_.base.comparisons += aggregator_.active_streams();
-        ++stats_.base.raw_requests;
-        ++stats_.base.coalesced_away;
-        ++stats_.mshr_merges;
-        return true;
-      }
+      if (!covers(waiting)) continue;
+      attach_to(waiting);
+      return true;
+    }
+    // ... or parked as the C=0 single request awaiting MAQ space: it sits
+    // in front of the MAQ, so skipping it would re-aggregate and fetch the
+    // covered block twice - exactly the double fetch this scan prevents.
+    if (pending_c0_.has_value() && covers(*pending_c0_)) {
+      attach_to(*pending_c0_);
+      return true;
     }
     // ... or still inside stage 2 / the block sequence buffer.
     const unsigned shift2 = cfg_.protocol.granule_shift();
@@ -266,9 +285,12 @@ void Pac::tick(Cycle now) {
     req.bytes = entry->bytes;
     req.store = entry->store;
     req.atomic = entry->atomic;
-    req.created_at = now;
+    // Keep the original assembly cycle: the cycles the request spent
+    // refused by a saturated device are back-pressure the Fig. 12 latency
+    // statistics must include, not a new request.
+    req.created_at = entry->created_at;
     for (const MshrSubentry& sub : entry->subentries) {
-      req.raw_ids.push_back(sub.raw_id);
+      req.add_raw(sub.raw_id, sub.block_index);
     }
     submit_to_device(*entry, req, now);
   }
@@ -334,8 +356,12 @@ void Pac::tick(Cycle now) {
 }
 
 void Pac::complete(const DeviceResponse& response, Cycle now) {
-  (void)now;
-  std::vector<std::uint64_t> raws = mshrs_.on_response(response.request_id);
+  Cycle created_at = kNoEntry;
+  std::vector<std::uint64_t> raws =
+      mshrs_.on_response(response.request_id, &created_at);
+  if (created_at != kNoEntry) {
+    stats_.request_latency.add(static_cast<double>(now - created_at));
+  }
   satisfied_.insert(satisfied_.end(), raws.begin(), raws.end());
 }
 

@@ -44,6 +44,10 @@ class Pac final : public Coalescer, private MaqSink {
   }
   [[nodiscard]] bool bypass_active() const { return bypass_active_; }
   [[nodiscard]] bool fence_draining() const { return fence_draining_; }
+  /// A C=0 single request parked waiting for MAQ space (tests/diagnostics).
+  [[nodiscard]] bool has_pending_c0() const {
+    return pending_c0_.has_value();
+  }
 
  private:
   // MaqSink: merge-on-insertion against the adaptive MSHRs (section 3.2:

@@ -39,6 +39,12 @@ struct PacStats {
   /// Cycles for the MAQ to go from empty to full (Fig. 12b reports ns).
   RunningStat maq_fill_latency;
 
+  /// Device-request latency in cycles, assembly -> response. Measured from
+  /// the cycle the request was first built, so it includes time spent
+  /// refused by a saturated device (back-pressure), unlike the device's own
+  /// submit -> completion statistic.
+  RunningStat request_latency;
+
   /// Secondary coalescing: device requests absorbed by an in-flight
   /// adaptive-MSHR entry covering the same blocks.
   std::uint64_t mshr_merges = 0;

@@ -25,7 +25,7 @@ DeviceRequest RequestAssembler::build_request(const Segment& segment,
   req.created_at = now;
   for (const RawRef& raw : seq.raws) {
     if (raw.first_block >= seg_lo && raw.first_block <= seg_hi) {
-      req.raw_ids.push_back(raw.id);
+      req.add_raw(raw.id, static_cast<std::uint16_t>(raw.first_block - seg_lo));
     }
   }
   return req;

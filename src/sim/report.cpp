@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -26,6 +27,44 @@ std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+/// Inline {"count", "mean", "min", "max"} object for a RunningStat.
+std::string stat_json(const RunningStat& s) {
+  std::ostringstream out;
+  out << "{\"count\": " << s.count() << ", \"mean\": " << num(s.mean())
+      << ", \"min\": " << num(s.min()) << ", \"max\": " << num(s.max())
+      << "}";
+  return out.str();
+}
+
+/// Inline {"<bucket>": count, ...} object for a Histogram.
+std::string hist_json(const Histogram& h) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [bucket, count] : h.buckets()) {
+    if (!first) out << ", ";
+    out << "\"" << bucket << "\": " << count;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+/// Prefix every line of a rendered JSON object with `prefix` (for nesting
+/// pre-rendered run objects inside the sweep report's "runs" array).
+std::string indent_lines(const std::string& json, const std::string& prefix) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < json.size()) {
+    std::size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    if (end > start) out += prefix + json.substr(start, end - start);
+    if (end < json.size()) out += '\n';
+    start = end + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -56,6 +95,8 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
   out << "  \"local_routes\": " << r.hmc.local_routes << ",\n";
   out << "  \"remote_routes\": " << r.hmc.remote_routes << ",\n";
   out << "  \"avg_hmc_latency_ns\": " << num(r.avg_hmc_latency_ns()) << ",\n";
+  out << "  \"hmc_latency_cycles\": " << stat_json(r.hmc.access_latency)
+      << ",\n";
   out << "  \"l1_hits\": " << r.l1_hits << ",\n";
   out << "  \"l1_misses\": " << r.l1_misses << ",\n";
   out << "  \"llc_hits\": " << r.llc_hits << ",\n";
@@ -90,12 +131,16 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
         << ",\n";
     out << "    \"avg_stream_occupancy\": "
         << num(r.pac.stream_occupancy.mean()) << ",\n";
+    out << "    \"stream_occupancy_histogram\": "
+        << hist_json(r.pac.stream_occupancy) << ",\n";
     out << "    \"stage2_latency_cycles\": "
         << num(r.pac.stage2_latency.mean()) << ",\n";
     out << "    \"stage3_latency_cycles\": "
         << num(r.pac.stage3_latency.mean()) << ",\n";
     out << "    \"maq_fill_latency_cycles\": "
-        << num(r.pac.maq_fill_latency.mean()) << "\n";
+        << num(r.pac.maq_fill_latency.mean()) << ",\n";
+    out << "    \"request_latency_cycles\": "
+        << stat_json(r.pac.request_latency) << "\n";
     out << "  }";
   }
   out << "\n}\n";
@@ -108,6 +153,44 @@ void write_run_report(const std::string& path, const std::string& label,
   if (!out) throw std::runtime_error("cannot write report: " + path);
   out << run_report_json(label, kind, result);
   if (!out) throw std::runtime_error("report write failed: " + path);
+}
+
+SweepReport::SweepReport(std::string bench) : bench_(std::move(bench)) {}
+
+void SweepReport::add(const std::string& label, CoalescerKind kind,
+                      const RunResult& result) {
+  std::string rendered = run_report_json(label, kind, result);
+  while (!rendered.empty() && rendered.back() == '\n') rendered.pop_back();
+  entries_.push_back(indent_lines(rendered, "    "));
+}
+
+std::string SweepReport::json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"" << escape(bench_) << "\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"runs\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << entries_[i];
+  }
+  out << (entries_.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+std::string SweepReport::write(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create report dir " + dir + ": " +
+                             ec.message());
+  }
+  const std::string path =
+      (std::filesystem::path(dir) / (bench_ + ".json")).string();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write report: " + path);
+  out << json();
+  if (!out) throw std::runtime_error("report write failed: " + path);
+  return path;
 }
 
 }  // namespace pacsim

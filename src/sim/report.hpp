@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
@@ -10,12 +11,41 @@
 namespace pacsim {
 
 /// JSON object describing one run. `label` names the run (suite +
-/// coalescer); pretty-printed with two-space indentation.
+/// coalescer); pretty-printed with two-space indentation. Serializes the
+/// headline RunResult metrics plus the PacStats / HmcStats detail,
+/// including histogram buckets and latency summaries.
 std::string run_report_json(const std::string& label, CoalescerKind kind,
                             const RunResult& result);
 
 /// Write a report to a file; throws std::runtime_error on I/O failure.
 void write_run_report(const std::string& path, const std::string& label,
                       CoalescerKind kind, const RunResult& result);
+
+/// Accumulates the labelled runs of one bench into a single JSON artifact:
+///
+///   { "bench": "<name>", "schema_version": 1, "runs": [ <run>, ... ] }
+///
+/// where each element of "runs" is a run_report_json object. The benches
+/// write one such file per binary to `results/<bench>.json`, making the
+/// whole evaluation pipeline machine-readable alongside the printed tables.
+class SweepReport {
+ public:
+  explicit SweepReport(std::string bench);
+
+  /// Append one run (kept in insertion order).
+  void add(const std::string& label, CoalescerKind kind,
+           const RunResult& result);
+
+  [[nodiscard]] std::size_t runs() const { return entries_.size(); }
+  [[nodiscard]] std::string json() const;
+
+  /// Write `<dir>/<bench>.json`, creating `dir` if needed; returns the
+  /// path. Throws std::runtime_error on I/O failure.
+  std::string write(const std::string& dir) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::string> entries_;  ///< pre-rendered run objects
+};
 
 }  // namespace pacsim

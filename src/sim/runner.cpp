@@ -1,5 +1,7 @@
 #include "sim/runner.hpp"
 
+#include <cassert>
+
 namespace pacsim {
 
 RunResult simulate(const SystemConfig& cfg, const std::vector<Trace>& traces,
@@ -23,33 +25,43 @@ RunResult run_suite(const Workload& suite, CoalescerKind kind,
   return simulate(cfg, traces);
 }
 
+MultiprocessSetup build_multiprocess_traces(const Workload& first,
+                                            const Workload& second,
+                                            const WorkloadConfig& wcfg) {
+  // An odd core count gives the remainder core to the first workload:
+  // integer halving both ways would silently leave one core traceless.
+  WorkloadConfig half = wcfg;
+  half.num_cores = wcfg.num_cores - wcfg.num_cores / 2;
+
+  WorkloadConfig other = wcfg;
+  other.num_cores = wcfg.num_cores / 2;
+  other.seed = wcfg.seed ^ 0x0DD5EEDULL;
+
+  const std::vector<Trace> t1 = first.generate(half);
+  const std::vector<Trace> t2 = second.generate(other);
+
+  MultiprocessSetup setup;
+  setup.traces.reserve(wcfg.num_cores);
+  for (const Trace& t : t1) {
+    setup.traces.push_back(t);
+    setup.processes.push_back(0);
+  }
+  for (const Trace& t : t2) {
+    setup.traces.push_back(t);
+    setup.processes.push_back(1);
+  }
+  return setup;
+}
+
 RunResult run_multiprocess(const Workload& first, const Workload& second,
                            CoalescerKind kind, const WorkloadConfig& wcfg,
                            SystemConfig cfg) {
   cfg.coalescer = kind;
   cfg.num_cores = wcfg.num_cores;
 
-  WorkloadConfig half = wcfg;
-  half.num_cores = wcfg.num_cores / 2;
-
-  WorkloadConfig other = half;
-  other.seed = wcfg.seed ^ 0x0DD5EEDULL;
-
-  const std::vector<Trace> t1 = first.generate(half);
-  const std::vector<Trace> t2 = second.generate(other);
-
-  std::vector<Trace> traces;
-  std::vector<std::uint8_t> processes;
-  traces.reserve(wcfg.num_cores);
-  for (const Trace& t : t1) {
-    traces.push_back(t);
-    processes.push_back(0);
-  }
-  for (const Trace& t : t2) {
-    traces.push_back(t);
-    processes.push_back(1);
-  }
-  return simulate(cfg, traces, processes);
+  MultiprocessSetup setup = build_multiprocess_traces(first, second, wcfg);
+  assert(setup.traces.size() == cfg.num_cores);
+  return simulate(cfg, setup.traces, setup.processes);
 }
 
 }  // namespace pacsim

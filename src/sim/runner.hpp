@@ -26,4 +26,16 @@ RunResult run_multiprocess(const Workload& first, const Workload& second,
                            CoalescerKind kind, const WorkloadConfig& wcfg,
                            SystemConfig cfg);
 
+/// The trace/process layout behind run_multiprocess: `first` owns cores
+/// [0, ceil(n/2)) as process 0, `second` the rest as process 1. An odd
+/// core count gives the remainder core to `first` so no core is left with
+/// an empty trace; traces.size() == wcfg.num_cores always holds.
+struct MultiprocessSetup {
+  std::vector<Trace> traces;            ///< one per core
+  std::vector<std::uint8_t> processes;  ///< owning process per core
+};
+MultiprocessSetup build_multiprocess_traces(const Workload& first,
+                                            const Workload& second,
+                                            const WorkloadConfig& wcfg);
+
 }  // namespace pacsim

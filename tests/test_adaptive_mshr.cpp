@@ -100,6 +100,45 @@ TEST_F(MshrTest, MergeRecordsSubentryIndex) {
   EXPECT_EQ(entry->subentries[0].block_index, 3);
 }
 
+TEST_F(MshrTest, MergeStampsPerRawSubentryIndices) {
+  // A multi-raw MAQ request absorbed into a wide entry must stamp every
+  // subentry with its own block index, not the request base's index.
+  file.allocate(dev(1, 0x1000, 256));
+  DeviceRequest multi = dev(2, 0x1040, 128);
+  multi.add_raw(10, 0);  // 0x1040: block 1 of the entry
+  multi.add_raw(11, 1);  // 0x1080: block 2 of the entry
+  ASSERT_TRUE(file.try_merge(multi, &comparisons));
+  const AdaptiveMshrEntry* entry = nullptr;
+  for (const auto& e : file.entries()) {
+    if (e.valid) entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->subentries.size(), 2u);
+  EXPECT_EQ(entry->subentries[0].raw_id, 10u);
+  EXPECT_EQ(entry->subentries[0].block_index, 1);
+  EXPECT_EQ(entry->subentries[1].raw_id, 11u);
+  EXPECT_EQ(entry->subentries[1].block_index, 2);
+}
+
+TEST_F(MshrTest, AllocateStampsPerRawBlockOffsets) {
+  DeviceRequest wide = dev(1, 0x2000, 256);
+  wide.add_raw(21, 0);
+  wide.add_raw(22, 3);
+  const AdaptiveMshrEntry& e = file.allocate(wide);
+  ASSERT_EQ(e.subentries.size(), 2u);
+  EXPECT_EQ(e.subentries[0].block_index, 0);
+  EXPECT_EQ(e.subentries[1].block_index, 3);
+}
+
+TEST_F(MshrTest, OnResponseReportsCreationCycle) {
+  DeviceRequest r = dev(1, 0x1000, 64, false, {5});
+  r.created_at = 123;
+  file.allocate(r);
+  Cycle created = 0;
+  (void)file.on_response(1, &created);
+  EXPECT_EQ(created, 123u);
+}
+
 TEST_F(MshrTest, TryAttachSkipsComparisonAccounting) {
   file.allocate(dev(1, 0x1000, 256));
   EXPECT_TRUE(file.try_attach(dev(2, 0x1000, 64, false, {5})));

@@ -22,7 +22,8 @@ struct PacHarness {
   std::uint64_t next_id = 1;
   std::vector<std::uint64_t> satisfied;
 
-  explicit PacHarness(PacConfig c = {}) : cfg(c) {
+  explicit PacHarness(PacConfig c = {}, HmcConfig hc = {})
+      : cfg(c), hmc_cfg(hc) {
     device = std::make_unique<HmcDevice>(hmc_cfg, &power);
     pac = std::make_unique<Pac>(cfg, device.get());
   }
@@ -342,6 +343,62 @@ TEST(Pac, BackpressureWhenStreamsExhausted) {
   ASSERT_TRUE(h.pac->accept(c, h.now));
   h.drain();
   EXPECT_EQ(h.satisfied.size(), 3u);
+}
+
+TEST(Pac, RetryAfterBackpressurePreservesRequestLatency) {
+  // With the device admitting one request at a time, later MSHR entries are
+  // refused and retried for many cycles. The request-latency statistic must
+  // include that refused time (the retry keeps the original assembly
+  // cycle), so queueing behind 5 other requests must show up as a max
+  // latency well above the min (an uncontended round trip).
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  HmcConfig hmc;
+  hmc.max_outstanding = 1;
+  PacHarness h(cfg, hmc);
+  for (int i = 0; i < 6; ++i) h.feed(addr(static_cast<Addr>(i + 1), 0));
+  h.drain();
+  const RunningStat& lat = h.pac->pac_stats().request_latency;
+  EXPECT_EQ(lat.count(), h.pac->stats().issued_requests);
+  EXPECT_GE(lat.max(), 2.0 * lat.min())
+      << "back-pressure wait is missing from the latency accounting";
+}
+
+TEST(Pac, KroftCheckCoversPendingC0Request) {
+  // A C=0 single request that found the MAQ full parks in front of it
+  // (pending_c0_). A later load to the same block must attach to that
+  // parked request; re-aggregating it would fetch the block twice.
+  PacConfig cfg;
+  cfg.enable_bypass_controller = false;
+  cfg.num_mshrs = 1;
+  cfg.maq_entries = 1;
+  HmcConfig hmc;
+  hmc.max_outstanding = 1;
+  PacHarness h(cfg, hmc);
+  // Three isolated single-block loads: one reaches the MSHR/device, one
+  // waits in the single MAQ slot, the third parks as pending_c0_.
+  h.feed(addr(1, 0));
+  h.feed(addr(2, 0));
+  const std::uint64_t parked = h.feed(addr(3, 0));
+  for (int i = 0; i < 500 && !h.pac->has_pending_c0(); ++i) h.tick();
+  ASSERT_TRUE(h.pac->has_pending_c0());
+
+  const std::uint64_t before = h.pac->pac_stats().mshr_merges;
+  MemRequest dup = h.make(addr(3, 0));
+  ASSERT_TRUE(h.pac->accept(dup, h.now));
+  EXPECT_EQ(h.pac->pac_stats().mshr_merges, before + 1)
+      << "the duplicate should attach to the parked C=0 request";
+
+  h.drain();
+  // All four raw ids satisfied exactly once, from three device requests.
+  std::set<std::uint64_t> got;
+  for (std::uint64_t id : h.satisfied) {
+    EXPECT_TRUE(got.insert(id).second) << "raw id satisfied twice: " << id;
+  }
+  EXPECT_EQ(h.satisfied.size(), 4u);
+  EXPECT_TRUE(got.count(parked));
+  EXPECT_TRUE(got.count(dup.id));
+  EXPECT_EQ(h.pac->stats().issued_requests, 3u);
 }
 
 TEST(Pac, StreamOccupancySampled) {

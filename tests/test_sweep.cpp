@@ -1,0 +1,196 @@
+// Tests for the sweep-execution subsystem: the fixed thread pool, the
+// parallel SweepRunner (results must be bit-identical to a serial run),
+// and the per-bench JSON sweep report.
+#include "exp/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/thread_pool.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace pacsim {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  exp::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleCanBeReused) {
+  exp::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    exp::ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(97);
+  exp::parallel_for(4, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForWithOneJobRunsInline) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  exp::parallel_for(1, seen.size(), [&seen](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  EXPECT_THROW(exp::parallel_for(4, 16,
+                                 [](std::size_t i) {
+                                   if (i == 5) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+std::vector<exp::SweepJob> small_sweep() {
+  std::vector<exp::SweepJob> sweep;
+  for (const char* name : {"stream", "gs", "bfs"}) {
+    for (CoalescerKind kind : {CoalescerKind::kDirect, CoalescerKind::kPac}) {
+      exp::SweepJob job;
+      job.suite = find_workload(name);
+      job.cfg.coalescer = kind;
+      job.label = std::string(name) + "/" + std::string(to_string(kind));
+      sweep.push_back(std::move(job));
+    }
+  }
+  return sweep;
+}
+
+WorkloadConfig small_wcfg() {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 2;
+  wcfg.max_ops_per_core = 1500;
+  wcfg.scale = 0.25;
+  return wcfg;
+}
+
+TEST(SweepRunner, ParallelResultsMatchSerialBitExactly) {
+  const std::vector<exp::SweepJob> sweep = small_sweep();
+  const WorkloadConfig wcfg = small_wcfg();
+  const std::vector<RunResult> serial = exp::SweepRunner(1).run(sweep, wcfg);
+  const std::vector<RunResult> parallel =
+      exp::SweepRunner(4).run(sweep, wcfg);
+  ASSERT_EQ(serial.size(), sweep.size());
+  ASSERT_EQ(parallel.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    // The serialized report covers every metric a table could print, so
+    // byte-equality here means byte-identical tables.
+    EXPECT_EQ(run_report_json(sweep[i].label, sweep[i].cfg.coalescer,
+                              serial[i]),
+              run_report_json(sweep[i].label, sweep[i].cfg.coalescer,
+                              parallel[i]))
+        << "job " << i << " (" << sweep[i].label << ") diverged";
+  }
+}
+
+TEST(SweepRunner, MatchesRunSuite) {
+  const WorkloadConfig wcfg = small_wcfg();
+  exp::SweepJob job;
+  job.suite = find_workload("stream");
+  job.cfg.coalescer = CoalescerKind::kPac;
+  job.label = "stream/pac";
+  const std::vector<RunResult> got = exp::SweepRunner(2).run({job}, wcfg);
+  const RunResult want =
+      run_suite(*job.suite, CoalescerKind::kPac, wcfg, SystemConfig{});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(run_report_json(job.label, CoalescerKind::kPac, got[0]),
+            run_report_json(job.label, CoalescerKind::kPac, want));
+}
+
+RunResult tiny_result() {
+  RunResult r;
+  r.cycles = 10;
+  r.coal.raw_requests = 4;
+  r.coal.issued_requests = 2;
+  return r;
+}
+
+TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
+  SweepReport report("bench_test");
+  report.add("a/direct", CoalescerKind::kDirect, tiny_result());
+  report.add("b/pac", CoalescerKind::kPac, tiny_result());
+  EXPECT_EQ(report.runs(), 2u);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"a/direct\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"b/pac\""), std::string::npos);
+}
+
+TEST(SweepReport, JsonIsBalancedEvenWhenEmpty) {
+  for (int runs = 0; runs <= 2; ++runs) {
+    SweepReport report("bench_balance");
+    for (int i = 0; i < runs; ++i) {
+      report.add("r" + std::to_string(i), CoalescerKind::kPac, tiny_result());
+    }
+    const std::string json = report.json();
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+      const char c = json[i];
+      if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+      if (in_string) continue;
+      depth += c == '{';
+      depth -= c == '}';
+      ASSERT_GE(depth, 0) << "runs=" << runs;
+    }
+    EXPECT_EQ(depth, 0) << "runs=" << runs;
+    EXPECT_FALSE(in_string) << "runs=" << runs;
+  }
+}
+
+TEST(SweepReport, WriteCreatesDirectoryAndFile) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pacsim_sweep_report_test";
+  std::filesystem::remove_all(dir);
+  SweepReport report("bench_write");
+  report.add("x", CoalescerKind::kDirect, tiny_result());
+  const std::string path = report.write(dir.string());
+  EXPECT_EQ(path, (dir / "bench_write.json").string());
+  std::ifstream in(path);
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, report.json());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepReport, WriteRejectsUnwritableDirectory) {
+  SweepReport report("bench_bad");
+  EXPECT_THROW((void)report.write("/proc/pacsim-definitely-unwritable"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacsim

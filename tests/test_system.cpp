@@ -194,6 +194,26 @@ TEST(Runner, MultiprocessSplitsCores) {
   EXPECT_GT(r.cycles, 0u);
 }
 
+TEST(Runner, MultiprocessOddCoreCountLeavesNoCoreTraceless) {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 5;
+  wcfg.max_ops_per_core = 2000;
+  wcfg.scale = 0.25;
+  const MultiprocessSetup setup = build_multiprocess_traces(
+      *find_workload("stream"), *find_workload("gs"), wcfg);
+  // The remainder core goes to the first workload: 3 + 2, never 2 + 2.
+  ASSERT_EQ(setup.traces.size(), 5u);
+  EXPECT_EQ(setup.processes,
+            (std::vector<std::uint8_t>{0, 0, 0, 1, 1}));
+  for (const Trace& t : setup.traces) {
+    EXPECT_FALSE(t.empty()) << "a core was left without a trace";
+  }
+  const RunResult r =
+      run_multiprocess(*find_workload("stream"), *find_workload("gs"),
+                       CoalescerKind::kPac, wcfg, SystemConfig{});
+  EXPECT_GT(r.coal.raw_requests, 0u);
+}
+
 TEST(Runner, SimulateHandlesFewerTracesThanCores) {
   SystemConfig cfg;
   cfg.num_cores = 8;
