@@ -1,0 +1,106 @@
+// Simulator self-time: how fast the simulator itself runs, with and
+// without event-horizon fast-forwarding (SystemConfig::enable_fast_forward).
+//
+// Runs a latency-bound suite mix (the Fig. 12 latency-analysis workloads)
+// under the no-coalescing controller and PAC, timing each run twice -
+// naive per-cycle loop vs. fast-forward - and reporting the wall-clock
+// speedup. Both runs must report identical simulated cycle counts; any
+// divergence is flagged loudly since it would mean the event-horizon
+// bounds are unsound (tests/test_fastforward.cpp proves full bit-identity
+// per field).
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  WorkloadConfig wcfg;
+  wcfg.max_ops_per_core = cli.get_u64("ops", cli.has("quick") ? 15'000
+                                                              : 40'000);
+  wcfg.scale = cli.get_double("scale", 0.5);
+  wcfg.seed = cli.get_u64("seed", 42);
+  wcfg.num_cores =
+      static_cast<std::uint32_t>(cli.get_u64("cores", 1));
+
+  SystemConfig scfg;
+  // Latency-bound profile (the regime fast-forwarding targets): few cores,
+  // one outstanding load each and no prefetcher, so the machine spends most
+  // cycles waiting out a handful of staggered memory round-trips. Override
+  // with cores=<n> / mlp=<n> / prefetch to measure a bandwidth-bound mix.
+  scfg.max_outstanding_loads =
+      static_cast<std::uint32_t>(cli.get_u64("mlp", 1));
+  scfg.enable_prefetch = cli.has("prefetch");
+  const std::string only = cli.get("suite", "");
+
+  std::vector<const Workload*> suites;
+  for (const char* name : {"stream", "gs", "bfs"}) {
+    if (!only.empty() && only != name) continue;
+    suites.push_back(find_workload(name));
+  }
+
+  SweepReport report("bench_selftime");
+  Table t({"suite", "sim cycles", "naive Mcyc/s", "FF Mcyc/s", "speedup",
+           "jumps", "skipped"});
+  double total_naive = 0.0, total_ff = 0.0;
+  bool identical = true;
+  for (const Workload* suite : suites) {
+    for (CoalescerKind kind :
+         {CoalescerKind::kDirect, CoalescerKind::kPac}) {
+      const std::string label =
+          std::string(suite->name()) + "/" + std::string(to_string(kind));
+      std::fprintf(stderr, "[bench] %s ...\n", label.c_str());
+
+      SystemConfig naive_cfg = scfg;
+      naive_cfg.enable_fast_forward = false;
+      const RunResult naive = run_suite(*suite, kind, wcfg, naive_cfg);
+
+      SystemConfig ff_cfg = scfg;
+      ff_cfg.enable_fast_forward = true;
+      const RunResult ff = run_suite(*suite, kind, wcfg, ff_cfg);
+
+      if (ff.cycles != naive.cycles) {
+        identical = false;
+        std::fprintf(stderr,
+                     "[bench] DIVERGENCE in %s: FF %llu cycles vs naive "
+                     "%llu cycles\n",
+                     label.c_str(),
+                     static_cast<unsigned long long>(ff.cycles),
+                     static_cast<unsigned long long>(naive.cycles));
+      }
+
+      const double speedup =
+          ff.throughput.wall_seconds > 0.0
+              ? naive.throughput.wall_seconds / ff.throughput.wall_seconds
+              : 0.0;
+      const double skipped_frac =
+          ff.cycles == 0 ? 0.0
+                         : static_cast<double>(ff.throughput.skipped_cycles) /
+                               static_cast<double>(ff.cycles);
+      total_naive += naive.throughput.wall_seconds;
+      total_ff += ff.throughput.wall_seconds;
+      t.add_row({label, std::to_string(ff.cycles),
+                 Table::num(naive.throughput.mcycles_per_sec()),
+                 Table::num(ff.throughput.mcycles_per_sec()),
+                 Table::num(speedup) + "x",
+                 std::to_string(ff.throughput.fast_forward_jumps),
+                 Table::pct(skipped_frac * 100.0)});
+      report.add(label, kind, ff);
+    }
+  }
+  const double overall = total_ff > 0.0 ? total_naive / total_ff : 0.0;
+  t.add_row({"OVERALL", "", Table::num(0.0), Table::num(0.0),
+             Table::num(overall) + "x", "", ""});
+  t.print(
+      "Simulator self-time - event-horizon fast-forward vs naive loop "
+      "(identical simulated results, wall-clock only)");
+  std::fprintf(stderr, "[bench] overall speedup: %.2fx, results %s\n",
+               overall, identical ? "identical" : "DIVERGED");
+
+  const std::string report_dir = cli.get("jsondir", "results");
+  if (!report_dir.empty()) {
+    const std::string path = report.write(report_dir);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  }
+  return identical ? 0 : 1;
+}

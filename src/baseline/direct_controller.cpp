@@ -50,8 +50,9 @@ void DirectController::complete(const DeviceResponse& response, Cycle now) {
   outstanding_.erase(it);
 }
 
-std::vector<std::uint64_t> DirectController::drain_satisfied() {
-  return std::exchange(satisfied_, {});
+void DirectController::drain_satisfied_into(std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::swap(out, satisfied_);
 }
 
 }  // namespace pacsim

@@ -24,7 +24,13 @@ class DirectController final : public Coalescer {
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
   void complete(const DeviceResponse& response, Cycle now) override;
-  std::vector<std::uint64_t> drain_satisfied() override;
+  void drain_satisfied_into(std::vector<std::uint64_t>& out) override;
+  /// tick() is a no-op: dispatch happens at accept() and completions arrive
+  /// through complete(), so there is never a scheduled wake-up.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override {
+    (void)now;
+    return kNeverCycle;
+  }
   [[nodiscard]] bool idle() const override { return outstanding_.empty(); }
   [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
 

@@ -111,8 +111,21 @@ void MshrDmc::complete(const DeviceResponse& response, Cycle now) {
   }
 }
 
-std::vector<std::uint64_t> MshrDmc::drain_satisfied() {
-  return std::exchange(satisfied_, {});
+void MshrDmc::drain_satisfied_into(std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::swap(out, satisfied_);
+}
+
+Cycle MshrDmc::next_event_cycle(Cycle now) const {
+  for (const auto& entry : entries_) {
+    if (entry.valid && !entry.dispatched) {
+      // Retries fire every tick, but they only take effect while the device
+      // accepts; a saturated device unblocks at its next completion, which
+      // the device's own event bound covers.
+      return device_->can_accept() ? now : kNeverCycle;
+    }
+  }
+  return kNeverCycle;
 }
 
 bool MshrDmc::idle() const { return occupied_ == 0; }

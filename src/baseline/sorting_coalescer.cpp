@@ -137,8 +137,31 @@ void SortingCoalescer::complete(const DeviceResponse& response, Cycle now) {
   if (outstanding_ > 0) --outstanding_;
 }
 
-std::vector<std::uint64_t> SortingCoalescer::drain_satisfied() {
-  return std::exchange(satisfied_, {});
+void SortingCoalescer::drain_satisfied_into(std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::swap(out, satisfied_);
+}
+
+Cycle SortingCoalescer::next_event_cycle(Cycle now) const {
+  Cycle bound = kNeverCycle;
+  if (!window_.empty()) {
+    // The window sorts at the first cycle it is past the network's busy
+    // time and either full or timed out.
+    const Cycle due = window_.size() >= cfg_.window
+                          ? now
+                          : window_.front().arrived + cfg_.timeout;
+    bound = std::min(bound, std::max(due, sort_busy_until_));
+  }
+  if (!ready_.empty()) {
+    if (now < sort_busy_until_) {
+      bound = std::min(bound, sort_busy_until_);
+    } else if (outstanding_ < cfg_.max_outstanding && device_->can_accept()) {
+      bound = std::min(bound, now);
+    }
+    // else: dispatch stays blocked until a completion frees a slot, which
+    // the device's own event bound covers.
+  }
+  return std::max(bound, now);
 }
 
 bool SortingCoalescer::idle() const {

@@ -35,7 +35,8 @@ class SortingCoalescer final : public Coalescer {
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
   void complete(const DeviceResponse& response, Cycle now) override;
-  std::vector<std::uint64_t> drain_satisfied() override;
+  void drain_satisfied_into(std::vector<std::uint64_t>& out) override;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
   [[nodiscard]] bool idle() const override;
   [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
 

@@ -15,6 +15,10 @@ using Cycle = std::uint64_t;
 /// Picojoules, the unit of the HMC power model.
 using PicoJoule = double;
 
+/// Sentinel cycle for "no scheduled event": components with nothing pending
+/// report this from next_event_cycle() so min-folds ignore them.
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
 inline constexpr unsigned kPageShift = 12;            ///< 4 KB OS pages
 inline constexpr Addr kPageSize = Addr{1} << kPageShift;
 inline constexpr unsigned kCacheBlockShift = 6;       ///< 64 B cache lines

@@ -23,16 +23,43 @@ void HmcDevice::schedule(Cycle cycle, EventKind kind, RowTxn* txn,
   events_.push(Event{cycle, next_seq_++, kind, txn, request});
 }
 
+HmcDevice::Request* HmcDevice::acquire_request() {
+  if (free_requests_.empty()) {
+    request_pool_.push_back(std::make_unique<Request>());
+    return request_pool_.back().get();
+  }
+  Request* request = free_requests_.back();
+  free_requests_.pop_back();
+  return request;
+}
+
+HmcDevice::RowTxn* HmcDevice::acquire_row() {
+  if (free_rows_.empty()) {
+    row_pool_.push_back(std::make_unique<RowTxn>());
+    return row_pool_.back().get();
+  }
+  RowTxn* txn = free_rows_.back();
+  free_rows_.pop_back();
+  return txn;
+}
+
+void HmcDevice::release_request(Request* request) {
+  for (RowTxn* row : request->rows) free_rows_.push_back(row);
+  request->rows.clear();
+  free_requests_.push_back(request);
+}
+
 void HmcDevice::submit(DeviceRequest req, Cycle now) {
   assert(can_accept());
   ++outstanding_;
   ++stats_.requests;
   stats_.payload_bytes += req.bytes;
 
-  auto request = std::make_unique<Request>();
+  Request* request = acquire_request();
   request->req = std::move(req);
   request->link = rr_link_++ % cfg_.num_links;  // round-robin link dispatch
   request->submit_cycle = now;
+  request->pending_rows = 0;
 
   const DeviceRequest& r = request->req;
   const std::uint32_t req_flits = request_flits(r.bytes, r.store);
@@ -53,11 +80,14 @@ void HmcDevice::submit(DeviceRequest req, Cycle now) {
     const std::uint32_t payload =
         static_cast<std::uint32_t>(std::min<Addr>(row_end, end) - cursor);
 
-    auto txn = std::make_unique<RowTxn>();
-    txn->parent = request.get();
+    RowTxn* txn = acquire_row();
+    txn->parent = request;
     txn->loc = map_.decode(cursor);
     txn->payload = payload;
     txn->local = cfg_.is_local(request->link, txn->loc.vault);
+    txn->vault_enqueue = 0;
+    txn->data_ready = 0;
+    txn->conflict_counted = false;
 
     // Request-direction routing cost and energy for this row's share.
     const std::uint32_t route_flits =
@@ -73,14 +103,14 @@ void HmcDevice::submit(DeviceRequest req, Cycle now) {
 
     const Cycle xbar =
         txn->local ? cfg_.xbar_local_cycles : cfg_.xbar_remote_cycles;
-    schedule(ser_end + xbar, EventKind::kVaultArrive, txn.get(), request.get());
+    schedule(ser_end + xbar, EventKind::kVaultArrive, txn, request);
 
     ++request->pending_rows;
-    request->rows.push_back(std::move(txn));
+    request->rows.push_back(txn);
     cursor = row_end;
   }
 
-  auto [it, inserted] = inflight_.try_emplace(r.id, std::move(request));
+  auto [it, inserted] = inflight_.try_emplace(r.id, request);
   assert(inserted && "duplicate DeviceRequest id");
   (void)it;
 }
@@ -114,11 +144,12 @@ void HmcDevice::tick(Cycle now) {
       case EventKind::kComplete: {
         Request& request = *ev.request;
         completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
-                                            request.req.raw_ids});
+                                            std::move(request.req.raw_ids)});
         stats_.access_latency.add(
             static_cast<double>(ev.cycle - request.submit_cycle));
         --outstanding_;
         inflight_.erase(request.req.id);
+        release_request(&request);
         break;
       }
     }
@@ -183,7 +214,7 @@ void HmcDevice::finish_request(Request& request, Cycle now) {
 
   // Response-direction routing energy, charged per row share.
   Cycle xbar_back = cfg_.xbar_local_cycles;
-  for (const auto& row : request.rows) {
+  for (const RowTxn* row : request.rows) {
     const std::uint32_t route_flits =
         1 + (r.store ? 0
                      : static_cast<std::uint32_t>(
@@ -199,7 +230,7 @@ void HmcDevice::finish_request(Request& request, Cycle now) {
 
   // Response-slot occupancy: each row's data waits in the vault response
   // slots until the response packet starts serializing.
-  for (const auto& row : request.rows) {
+  for (const RowTxn* row : request.rows) {
     const Cycle held = ser_start > row->data_ready
                            ? ser_start - row->data_ready
                            : Cycle{1};
@@ -209,8 +240,23 @@ void HmcDevice::finish_request(Request& request, Cycle now) {
   schedule(ser_end, EventKind::kComplete, nullptr, &request);
 }
 
-std::vector<DeviceResponse> HmcDevice::drain_completed() {
-  return std::exchange(completed_, {});
+void HmcDevice::drain_completed_into(std::vector<DeviceResponse>& out) {
+  // Swap instead of copy: the drained buffer's capacity ping-pongs back on
+  // the next drain, so the steady state allocates nothing.
+  out.clear();
+  std::swap(out, completed_);
+}
+
+Cycle HmcDevice::next_event_cycle(Cycle now) const {
+  // A non-empty vault queue dispatches (or retries and counts conflict-wait
+  // cycles) every cycle: no skipping while any vault holds work.
+  if (active_vaults_ != 0) return now;
+  Cycle bound = kNeverCycle;
+  if (!events_.empty()) bound = std::min(bound, events_.top().cycle);
+  // Refresh mutates stats/energy/bank state at exactly next_refresh_, so it
+  // must stay inside the bound to keep the t_refi grid identical.
+  if (cfg_.enable_refresh) bound = std::min(bound, next_refresh_);
+  return std::max(bound, now);
 }
 
 }  // namespace pacsim

@@ -44,8 +44,24 @@ class HmcDevice {
   /// Advance device state to cycle `now` (monotonically increasing).
   void tick(Cycle now);
 
-  /// Completed responses since the last drain.
-  std::vector<DeviceResponse> drain_completed();
+  /// Earliest cycle >= `now` at which tick() can change any state or
+  /// statistic: the top of the event queue, the next refresh slot, or `now`
+  /// itself while any vault queue holds work (per-cycle dispatch retries and
+  /// their conflict-wait accounting). kNeverCycle when fully drained with
+  /// refresh disabled. System::run() fast-forwards to the minimum of these
+  /// bounds across components.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+  /// Move the responses completed since the last drain into `out` (cleared
+  /// first). Buffer-based so the per-cycle loop reuses one allocation.
+  void drain_completed_into(std::vector<DeviceResponse>& out);
+
+  /// Convenience wrapper for tests and examples (allocates per call).
+  std::vector<DeviceResponse> drain_completed() {
+    std::vector<DeviceResponse> out;
+    drain_completed_into(out);
+    return out;
+  }
 
   [[nodiscard]] bool idle() const { return outstanding_ == 0; }
   [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
@@ -72,7 +88,7 @@ class HmcDevice {
     std::uint32_t link = 0;
     Cycle submit_cycle = 0;
     std::uint32_t pending_rows = 0;
-    std::vector<std::unique_ptr<RowTxn>> rows;
+    std::vector<RowTxn*> rows;  ///< pool-owned, returned on completion
   };
 
   enum class EventKind : std::uint8_t { kVaultArrive, kDataReady, kComplete };
@@ -95,6 +111,14 @@ class HmcDevice {
   void on_data_ready(RowTxn& txn, Cycle now);
   void finish_request(Request& request, Cycle now);
 
+  // Request/RowTxn objects live in stable pool storage and recycle through
+  // free lists, so steady-state submits allocate nothing. Events and vault
+  // queues hold raw pointers into the pools; a request's storage is only
+  // reused after its kComplete event retires it.
+  Request* acquire_request();
+  RowTxn* acquire_row();
+  void release_request(Request* request);
+
   HmcConfig cfg_;
   AddressMap map_;
   PowerModel* power_;
@@ -113,8 +137,13 @@ class HmcDevice {
   std::uint64_t active_vaults_ = 0;                ///< bitmask of non-empty queues
 
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Request>> inflight_;
+  std::unordered_map<std::uint64_t, Request*> inflight_;
   std::vector<DeviceResponse> completed_;
+
+  std::vector<std::unique_ptr<Request>> request_pool_;
+  std::vector<Request*> free_requests_;
+  std::vector<std::unique_ptr<RowTxn>> row_pool_;
+  std::vector<RowTxn*> free_rows_;
 };
 
 }  // namespace pacsim

@@ -29,4 +29,12 @@ Addr PageTable::translate(std::uint8_t process, Addr vaddr) {
   return (it->second << kPageShift) | page_offset(vaddr);
 }
 
+std::optional<Addr> PageTable::lookup(std::uint8_t process, Addr vaddr) const {
+  const std::uint64_t vpn = page_number(vaddr);
+  const std::uint64_t key = (static_cast<std::uint64_t>(process) << 48) | vpn;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return (it->second << kPageShift) | page_offset(vaddr);
+}
+
 }  // namespace pacsim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,12 @@ class PageTable {
   /// Translate a virtual address of `process`; allocates the frame on first
   /// touch (demand paging).
   Addr translate(std::uint8_t process, Addr vaddr);
+
+  /// Side-effect-free probe: the physical address iff the page is already
+  /// mapped. The fast-forward stall re-check uses this because it must not
+  /// demand-page.
+  [[nodiscard]] std::optional<Addr> lookup(std::uint8_t process,
+                                           Addr vaddr) const;
 
   /// Number of frames currently allocated.
   [[nodiscard]] std::uint64_t allocated() const { return next_free_; }

@@ -90,4 +90,19 @@ std::vector<AdaptiveMshrEntry*> AdaptiveMshrFile::undispatched() {
   return out;
 }
 
+bool AdaptiveMshrFile::has_undispatched() const {
+  for (const auto& entry : entries_) {
+    if (entry.valid && !entry.dispatched) return true;
+  }
+  return false;
+}
+
+AdaptiveMshrEntry* AdaptiveMshrFile::next_undispatched(std::size_t* cursor) {
+  while (*cursor < entries_.size()) {
+    AdaptiveMshrEntry& entry = entries_[(*cursor)++];
+    if (entry.valid && !entry.dispatched) return &entry;
+  }
+  return nullptr;
+}
+
 }  // namespace pacsim

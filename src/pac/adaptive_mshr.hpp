@@ -6,6 +6,7 @@
 // comparison rides along with the address comparison.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +87,15 @@ class AdaptiveMshrFile {
   }
   /// Entries allocated but not yet dispatched to the device.
   std::vector<AdaptiveMshrEntry*> undispatched();
+
+  /// True when some entry still awaits device admission: the allocation-free
+  /// check the per-tick retry path and next_event_cycle() use.
+  [[nodiscard]] bool has_undispatched() const;
+
+  /// Cursor-style iteration over undispatched entries (allocation-free
+  /// variant of undispatched() for the per-tick retry loop). Start with
+  /// `cursor = 0`; returns nullptr when exhausted.
+  AdaptiveMshrEntry* next_undispatched(std::size_t* cursor);
 
  private:
   PacConfig cfg_;

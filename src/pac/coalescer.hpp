@@ -50,8 +50,31 @@ class Coalescer {
   /// Deliver a completed device response.
   virtual void complete(const DeviceResponse& response, Cycle now) = 0;
 
-  /// Raw request ids satisfied since the last drain.
-  virtual std::vector<std::uint64_t> drain_satisfied() = 0;
+  /// Move the raw request ids satisfied since the last drain into `out`
+  /// (cleared first). Buffer-based so the per-cycle loop reuses one
+  /// allocation.
+  virtual void drain_satisfied_into(std::vector<std::uint64_t>& out) = 0;
+
+  /// Convenience wrapper for tests and examples (allocates per call).
+  std::vector<std::uint64_t> drain_satisfied() {
+    std::vector<std::uint64_t> out;
+    drain_satisfied_into(out);
+    return out;
+  }
+
+  /// Lower bound on the first cycle >= `now` at which tick() can change any
+  /// state or statistic, assuming no accept()/complete() happens in between.
+  /// `now` means "must tick every cycle"; kNeverCycle means "purely
+  /// demand-driven: only a device completion wakes this coalescer" (the
+  /// device's own bound covers that, since complete() runs before tick()
+  /// within a step). System::run() fast-forwards to the minimum bound.
+  [[nodiscard]] virtual Cycle next_event_cycle(Cycle now) const = 0;
+
+  /// Called when the system fast-forwards to `target` (exclusive of the
+  /// tick that runs at `target` itself): replay any internal timers whose
+  /// skipped firings were provable no-ops, so their re-arm grid matches the
+  /// naive per-cycle loop exactly. Default: nothing to replay.
+  virtual void fast_forward_to(Cycle target) { (void)target; }
 
   /// True when no raw request is buffered anywhere inside the coalescer.
   [[nodiscard]] virtual bool idle() const = 0;

@@ -1,5 +1,6 @@
 #include "pac/pac.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <utility>
@@ -277,7 +278,8 @@ void Pac::tick(Cycle now) {
   }
 
   // --- Retry MSHR entries the device previously refused. ---
-  for (AdaptiveMshrEntry* entry : mshrs_.undispatched()) {
+  std::size_t retry_cursor = 0;
+  while (AdaptiveMshrEntry* entry = mshrs_.next_undispatched(&retry_cursor)) {
     if (!device_->can_accept()) break;
     DeviceRequest req;
     req.id = entry->device_request_id;
@@ -365,8 +367,55 @@ void Pac::complete(const DeviceResponse& response, Cycle now) {
   satisfied_.insert(satisfied_.end(), raws.begin(), raws.end());
 }
 
-std::vector<std::uint64_t> Pac::drain_satisfied() {
-  return std::exchange(satisfied_, {});
+void Pac::drain_satisfied_into(std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::swap(out, satisfied_);
+}
+
+Cycle Pac::next_event_cycle(Cycle now) const {
+  // Anything buffered past stage 1 moves through short per-cycle pipeline
+  // stages: a conservative "tick every cycle" bound keeps the analysis
+  // simple, and the latency-bound stretches this optimizes have an empty
+  // network with only in-flight MSHR entries.
+  if (!maq_.empty() || fence_draining_ || pending_c0_.has_value() ||
+      !decoder_.idle() || !assembler_.idle() || !seq_buffer_.empty()) {
+    return now;
+  }
+  // Undispatched MSHR entries retry every tick while the device accepts;
+  // against a saturated device the retry only lands after a completion,
+  // which the device's own event bound covers.
+  if (mshrs_.has_undispatched() && device_->can_accept()) return now;
+  // A non-zero push count resets on the tick after the MAQ drains (the
+  // Fig. 12b fill-window restart) - observable state, so no skipping.
+  if (maq_pushes_ != 0) return now;
+  // Pending bypass-controller transitions happen on the very next tick.
+  if (cfg_.enable_bypass_controller) {
+    if (bypass_active_) {
+      if (mshrs_.all_occupied()) return now;
+    } else if (mshrs_.empty()) {
+      // Everything before the MSHRs is empty here, so bypass activates.
+      return now;
+    }
+  }
+  Cycle bound = aggregator_.next_flush_deadline(now);
+  // The occupancy-sample timer only records when streams are active; with
+  // none active each firing is a pure re-arm, which fast_forward_to()
+  // replays across a skip. With active streams the sample is observable,
+  // so its deadline joins the bound.
+  if (!aggregator_.empty()) bound = std::min(bound, next_occupancy_sample_);
+  return std::max(bound, now);
+}
+
+void Pac::fast_forward_to(Cycle target) {
+  // Replay the occupancy-sample firings the skipped ticks would have run.
+  // next_event_cycle() only ignored the sample deadline while no stream
+  // was active, and nothing can activate one during a skip, so every
+  // skipped firing sampled nothing and just re-armed `now + period` - the
+  // same grid this loop reproduces. The tick at `target` itself then sees
+  // the exact timer state the naive loop would have.
+  while (next_occupancy_sample_ < target) {
+    next_occupancy_sample_ += cfg_.occupancy_sample_period;
+  }
 }
 
 }  // namespace pacsim

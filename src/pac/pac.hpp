@@ -30,7 +30,9 @@ class Pac final : public Coalescer, private MaqSink {
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
   void complete(const DeviceResponse& response, Cycle now) override;
-  std::vector<std::uint64_t> drain_satisfied() override;
+  void drain_satisfied_into(std::vector<std::uint64_t>& out) override;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  void fast_forward_to(Cycle target) override;
   [[nodiscard]] bool idle() const override;
   [[nodiscard]] const CoalescerStats& stats() const override {
     return stats_.base;

@@ -1,5 +1,6 @@
 #include "pac/request_aggregator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pacsim {
@@ -156,6 +157,20 @@ std::optional<CoalescingStream> RequestAggregator::take_flushable(
   out.flushed_at = now;
   oldest->reset();
   return out;
+}
+
+Cycle RequestAggregator::next_flush_deadline(Cycle now) const {
+  Cycle bound = kNeverCycle;
+  for (const auto& s : streams_) {
+    if (!s.valid) continue;
+    // flush_due() is monotone in `now`: once due, a stream stays due until
+    // taken. Already-due streams (force flush, expired timeout, full chunk)
+    // pin the bound to `now`; the rest become due exactly at timeout expiry.
+    bound = std::min(bound, flush_due(s, now)
+                                ? now
+                                : s.allocated_at + cfg_.timeout);
+  }
+  return std::max(bound, now);
 }
 
 void RequestAggregator::force_flush_all() {

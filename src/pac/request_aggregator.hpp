@@ -56,6 +56,12 @@ class RequestAggregator {
   /// Memory fence: force every active stream to flush (section 3.3.1).
   void force_flush_all();
 
+  /// Earliest cycle >= `now` at which some stream becomes flush-due: `now`
+  /// for force-flushed or full-chunk streams, the timeout expiry of the
+  /// oldest stream otherwise, kNeverCycle with no active streams. Feeds
+  /// Pac::next_event_cycle().
+  [[nodiscard]] Cycle next_flush_deadline(Cycle now) const;
+
   [[nodiscard]] unsigned active_streams() const;
   [[nodiscard]] bool empty() const { return active_streams() == 0; }
   [[nodiscard]] const std::vector<CoalescingStream>& streams() const {

@@ -13,9 +13,26 @@
 
 namespace pacsim {
 
+/// Host-side performance of one run: how fast the simulator itself executed.
+/// Wall-clock derived, so excluded from bit-identity comparisons between
+/// fast-forward and naive runs.
+struct SimThroughput {
+  Cycle sim_cycles = 0;       ///< simulated cycles covered by the run
+  double wall_seconds = 0.0;  ///< host wall-clock time inside System::run()
+  std::uint64_t fast_forward_jumps = 0;  ///< event-horizon jumps taken
+  std::uint64_t skipped_cycles = 0;      ///< cycles covered by those jumps
+  [[nodiscard]] double mcycles_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(sim_cycles) / 1e6 / wall_seconds
+               : 0.0;
+  }
+};
+
 struct RunResult {
   Cycle cycles = 0;  ///< total runtime in CPU cycles
   double ns_per_cycle = 0.5;
+
+  SimThroughput throughput;  ///< host-side speed (not a simulated metric)
 
   CoalescerStats coal;
   PacStats pac;        ///< valid only when has_pac

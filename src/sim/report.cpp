@@ -70,13 +70,21 @@ std::string indent_lines(const std::string& json, const std::string& prefix) {
 }  // namespace
 
 std::string run_report_json(const std::string& label, CoalescerKind kind,
-                            const RunResult& r) {
+                            const RunResult& r, bool include_throughput) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"label\": \"" << escape(label) << "\",\n";
   out << "  \"coalescer\": \"" << to_string(kind) << "\",\n";
   out << "  \"cycles\": " << r.cycles << ",\n";
   out << "  \"runtime_ns\": " << num(r.runtime_ns()) << ",\n";
+  if (include_throughput) {
+    out << "  \"sim_throughput\": {\"sim_cycles\": "
+        << r.throughput.sim_cycles
+        << ", \"wall_seconds\": " << num(r.throughput.wall_seconds)
+        << ", \"mcycles_per_sec\": " << num(r.throughput.mcycles_per_sec())
+        << ", \"fast_forward_jumps\": " << r.throughput.fast_forward_jumps
+        << ", \"skipped_cycles\": " << r.throughput.skipped_cycles << "},\n";
+  }
   out << "  \"raw_requests\": " << r.coal.raw_requests << ",\n";
   out << "  \"issued_requests\": " << r.coal.issued_requests << ",\n";
   out << "  \"issued_payload_bytes\": " << r.coal.issued_payload_bytes
@@ -168,7 +176,7 @@ std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 1,\n";
+  out << "  \"schema_version\": 2,\n";
   out << "  \"runs\": [";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n") << entries_[i];

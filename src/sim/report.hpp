@@ -13,9 +13,13 @@ namespace pacsim {
 /// JSON object describing one run. `label` names the run (suite +
 /// coalescer); pretty-printed with two-space indentation. Serializes the
 /// headline RunResult metrics plus the PacStats / HmcStats detail,
-/// including histogram buckets and latency summaries.
+/// including histogram buckets and latency summaries. Pass
+/// `include_throughput = false` to omit the host-side sim_throughput block
+/// (wall-clock derived, so it differs between otherwise bit-identical runs
+/// - identity comparisons in tests must exclude it).
 std::string run_report_json(const std::string& label, CoalescerKind kind,
-                            const RunResult& result);
+                            const RunResult& result,
+                            bool include_throughput = true);
 
 /// Write a report to a file; throws std::runtime_error on I/O failure.
 void write_run_report(const std::string& path, const std::string& label,
@@ -23,7 +27,10 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 1, "runs": [ <run>, ... ] }
+///   { "bench": "<name>", "schema_version": 2, "runs": [ <run>, ... ] }
+///
+/// Schema history: v2 added the per-run "sim_throughput" block (host-side
+/// simulation speed); v1 was the initial envelope.
 ///
 /// where each element of "runs" is a run_report_json object. The benches
 /// write one such file per binary to `results/<bench>.json`, making the

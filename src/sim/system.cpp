@@ -1,6 +1,10 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -21,6 +25,9 @@ System::System(const SystemConfig& cfg)
   cores_.resize(cfg.num_cores);
   l1_.reserve(cfg.num_cores);
   for (std::uint32_t i = 0; i < cfg.num_cores; ++i) l1_.emplace_back(cfg.l1);
+
+  raw_trace_active_ = cfg.record_raw_trace && cfg.raw_trace_limit > 0;
+  if (raw_trace_active_) raw_trace_.reserve(cfg.raw_trace_limit);
 
   switch (cfg.coalescer) {
     case CoalescerKind::kPac: {
@@ -107,6 +114,7 @@ void System::step_core(std::uint32_t i) {
   if (now_ < c.ready_at) return;
   if (c.pc >= c.trace.size()) {
     c.done = true;
+    ++done_cores_;
     return;
   }
 
@@ -281,16 +289,20 @@ void System::feed_coalescer() {
       }
     }
     if (coalescer_->accept(q->front(), now_)) {
-      const MemRequest& req = q->front();
-      if (cfg_.record_raw_trace && now_ >= cfg_.raw_trace_start &&
-          raw_trace_.size() < cfg_.raw_trace_limit &&
-          (req.op == MemOp::kLoad || req.op == MemOp::kStore)) {
-        raw_trace_.push_back(req.paddr);
-      }
+      if (raw_trace_active_) record_raw_trace(q->front());
       q->pop();
     }
     return;  // at most one attempt per cycle
   }
+}
+
+void System::record_raw_trace(const MemRequest& req) {
+  // raw_trace_active_ pre-gates this call: the common no-capture run pays a
+  // single branch per accepted request instead of the full condition chain.
+  if (now_ < cfg_.raw_trace_start) return;
+  if (req.op != MemOp::kLoad && req.op != MemOp::kStore) return;
+  raw_trace_.push_back(req.paddr);
+  if (raw_trace_.size() >= cfg_.raw_trace_limit) raw_trace_active_ = false;
 }
 
 void System::on_satisfied(std::uint64_t raw_id) {
@@ -306,26 +318,101 @@ void System::on_satisfied(std::uint64_t raw_id) {
 }
 
 bool System::finished() const {
-  for (const CoreState& c : cores_) {
-    if (!c.done) return false;
+  return done_cores_ == cores_.size() && miss_queue_.empty() &&
+         wb_queue_.empty() && coalescer_->idle() && hmc_->idle();
+}
+
+bool System::core_stalled_steady(std::uint32_t i) const {
+  const CoreState& c = cores_[i];
+  if (c.pc >= c.trace.size()) return false;  // would transition to done
+  const TraceOp& op = c.trace[c.pc];
+  switch (op.kind) {
+    case OpKind::kCompute:
+      return false;
+
+    case OpKind::kFence:
+      return miss_queue_.full();
+
+    case OpKind::kAtomic:
+      return c.outstanding_loads >= cfg_.max_outstanding_loads ||
+             miss_queue_.full();
+
+    case OpKind::kLoad:
+    case OpKind::kStore: {
+      const bool is_store = op.kind == OpKind::kStore;
+      // The executed attempt that first stalled this op already
+      // demand-paged it, so the mapping exists; a missing mapping means no
+      // attempt ran yet - report progress so the cycle executes for real.
+      const std::optional<Addr> paddr =
+          page_table_.lookup(c.process, op.vaddr);
+      if (!paddr.has_value()) return false;
+      const Addr block = block_base(*paddr);
+      // Mirror of step_core's stall conditions, all side-effect-free.
+      if (l1_[i].probe(block)) return false;  // would hit and retire
+      if (llc_inflight_.contains(block)) {
+        if (miss_queue_.full() || wb_queue_.full()) return true;
+        return !is_store &&
+               c.outstanding_loads >= cfg_.max_outstanding_loads;
+      }
+      if (!l2_.probe(block)) {
+        if (miss_queue_.full() || wb_queue_.free_slots() < 2) return true;
+        return !is_store &&
+               c.outstanding_loads >= cfg_.max_outstanding_loads;
+      }
+      return wb_queue_.full();
+    }
   }
-  return miss_queue_.empty() && wb_queue_.empty() && coalescer_->idle() &&
-         hmc_->idle();
+  return false;
+}
+
+Cycle System::next_event_cycle() const {
+  // Feed attempts happen every cycle while anything is queued - and even a
+  // refused accept() has observable effects (e.g. PAC's cross-page
+  // adjacency probe) - so queued work pins the simulation to per-cycle
+  // stepping.
+  if (!miss_queue_.empty() || !wb_queue_.empty()) return now_;
+  // Cheapest bounds first: a busy device or coalescer pins per-cycle
+  // stepping, and bailing out before the per-core stall scan keeps failed
+  // jump attempts nearly free during bandwidth-bound phases.
+  Cycle bound = hmc_->next_event_cycle(now_);
+  if (bound == now_) return now_;
+  bound = std::min(bound, coalescer_->next_event_cycle(now_));
+  if (bound == now_) return now_;
+  for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+    const CoreState& c = cores_[i];
+    if (c.done) continue;
+    if (c.ready_at > now_) {
+      bound = std::min(bound, c.ready_at);
+      continue;
+    }
+    if (!core_stalled_steady(i)) return now_;
+    // A steadily stalled core imposes no bound: its per-cycle stall count
+    // is credited analytically when run() jumps.
+  }
+  return std::max(bound, now_);
 }
 
 void System::step() {
   hmc_->tick(now_);
-  for (const DeviceResponse& rsp : hmc_->drain_completed()) {
+  hmc_->drain_completed_into(completed_buf_);
+  for (const DeviceResponse& rsp : completed_buf_) {
     coalescer_->complete(rsp, now_);
   }
   coalescer_->tick(now_);
-  for (std::uint64_t raw : coalescer_->drain_satisfied()) on_satisfied(raw);
+  coalescer_->drain_satisfied_into(satisfied_buf_);
+  for (std::uint64_t raw : satisfied_buf_) on_satisfied(raw);
   feed_coalescer();
   for (std::uint32_t i = 0; i < cores_.size(); ++i) step_core(i);
   ++now_;
 }
 
 RunResult System::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const bool fast_forward = cfg_.enable_fast_forward &&
+                            std::getenv("PACSIM_NO_FASTFORWARD") == nullptr;
+  done_cores_ = 0;
+  for (const CoreState& c : cores_) done_cores_ += c.done ? 1 : 0;
+
   while (!finished()) {
     step();
     if (now_ > cfg_.max_cycles) {
@@ -334,10 +421,37 @@ RunResult System::run() {
           std::to_string(hmc_->outstanding()) +
           ", inflight=" + std::to_string(inflight_misses_.size()) + ")");
     }
+    if (!fast_forward || finished()) continue;
+
+    // Event horizon: jump straight to the next cycle where step() can do
+    // real work. Clamped to max_cycles so the watchdog fires on exactly the
+    // same cycle as the naive loop.
+    const Cycle target = std::min(next_event_cycle(), cfg_.max_cycles);
+    if (target <= now_) continue;
+    const Cycle skipped = target - now_;
+    // Every skipped cycle is a proven no-op except for two per-cycle
+    // artifacts the jump replays analytically: steadily stalled cores count
+    // one stall cycle each, and feed_coalescer flips its arbitration
+    // toggle.
+    for (CoreState& c : cores_) {
+      if (!c.done && c.ready_at <= now_) c.stall_cycles += skipped;
+    }
+    if ((skipped & 1) != 0) feed_from_wb_first_ = !feed_from_wb_first_;
+    coalescer_->fast_forward_to(target);
+    now_ = target;
+    ++ff_jumps_;
+    ff_skipped_cycles_ += skipped;
   }
 
   RunResult r;
   r.cycles = now_;
+  r.throughput.sim_cycles = now_;
+  r.throughput.fast_forward_jumps = ff_jumps_;
+  r.throughput.skipped_cycles = ff_skipped_cycles_;
+  r.throughput.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   r.ns_per_cycle = cfg_.ns_per_cycle();
   r.coal = coalescer_->stats();
   if (pac_ != nullptr) {

@@ -65,6 +65,17 @@ class System {
   [[nodiscard]] bool finished() const;
   MemRequest make_raw(Addr paddr, MemOp op, std::uint8_t core,
                       std::uint32_t bytes);
+  void record_raw_trace(const MemRequest& req);
+
+  /// Event horizon: the earliest cycle >= now_ at which step() can do
+  /// anything beyond the per-cycle no-op (see core_stalled_steady). now_
+  /// when some component must run every cycle; run() jumps to the minimum.
+  [[nodiscard]] Cycle next_event_cycle() const;
+  /// True when step_core(i) at now_ would provably do nothing but
+  /// ++stall_cycles (a pure re-check of the stall paths; only meaningful
+  /// while both feed queues are empty). Such cores are credited their stall
+  /// cycles analytically across a fast-forward jump.
+  [[nodiscard]] bool core_stalled_steady(std::uint32_t i) const;
 
   SystemConfig cfg_;
   PowerModel power_;
@@ -90,10 +101,19 @@ class System {
 
   std::vector<Addr> raw_trace_;
 
+  /// Reusable drain buffers: step() swaps these with the component-internal
+  /// vectors each cycle, so the steady-state hot loop allocates nothing.
+  std::vector<DeviceResponse> completed_buf_;
+  std::vector<std::uint64_t> satisfied_buf_;
+
   Cycle now_ = 0;
   std::uint64_t next_raw_id_ = 1;
   std::uint64_t prefetch_count_ = 0;
+  std::uint32_t done_cores_ = 0;  ///< running count of CoreState::done
   bool feed_from_wb_first_ = false;
+  bool raw_trace_active_ = false;  ///< capture enabled and limit not reached
+  std::uint64_t ff_jumps_ = 0;
+  std::uint64_t ff_skipped_cycles_ = 0;
 };
 
 }  // namespace pacsim

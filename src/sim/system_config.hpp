@@ -59,6 +59,13 @@ struct SystemConfig {
 
   Cycle max_cycles = 500'000'000;  ///< deadlock watchdog
 
+  /// Event-horizon fast-forwarding: System::run() jumps over cycle
+  /// stretches where every component proves it has nothing to do. Results
+  /// are bit-identical to the naive per-cycle loop; disable here (or via
+  /// the PACSIM_NO_FASTFORWARD environment variable) to force the naive
+  /// loop for differential testing.
+  bool enable_fast_forward = true;
+
   /// Optional raw-request address capture (Figs. 8-9 clustering input):
   /// physical addresses of load/store requests entering the coalescer.
   bool record_raw_trace = false;

@@ -106,11 +106,12 @@ TEST(SweepRunner, ParallelResultsMatchSerialBitExactly) {
   ASSERT_EQ(parallel.size(), sweep.size());
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     // The serialized report covers every metric a table could print, so
-    // byte-equality here means byte-identical tables.
+    // byte-equality here means byte-identical tables. The sim_throughput
+    // block is host wall-clock and legitimately differs between runs.
     EXPECT_EQ(run_report_json(sweep[i].label, sweep[i].cfg.coalescer,
-                              serial[i]),
+                              serial[i], /*include_throughput=*/false),
               run_report_json(sweep[i].label, sweep[i].cfg.coalescer,
-                              parallel[i]))
+                              parallel[i], /*include_throughput=*/false))
         << "job " << i << " (" << sweep[i].label << ") diverged";
   }
 }
@@ -125,8 +126,10 @@ TEST(SweepRunner, MatchesRunSuite) {
   const RunResult want =
       run_suite(*job.suite, CoalescerKind::kPac, wcfg, SystemConfig{});
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(run_report_json(job.label, CoalescerKind::kPac, got[0]),
-            run_report_json(job.label, CoalescerKind::kPac, want));
+  EXPECT_EQ(run_report_json(job.label, CoalescerKind::kPac, got[0],
+                            /*include_throughput=*/false),
+            run_report_json(job.label, CoalescerKind::kPac, want,
+                            /*include_throughput=*/false));
 }
 
 RunResult tiny_result() {
@@ -144,7 +147,8 @@ TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
   EXPECT_EQ(report.runs(), 2u);
   const std::string json = report.json();
   EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_throughput\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"a/direct\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"b/pac\""), std::string::npos);
 }
