@@ -37,7 +37,8 @@ void run_variants(const EvalContext& ctx, const std::vector<Variant>& variants,
     }
   }
   const exp::SweepRunner runner(ctx.jobs);
-  const std::vector<RunResult> results = runner.run(sweep, ctx.wcfg);
+  const std::vector<RunResult> results =
+      runner.run(sweep, ctx.wcfg, ctx.trace_store());
 
   Table t({"variant", "suite", "coal.eff", "txn.eff", "cycles",
            "energy (uJ)"});
@@ -78,7 +79,8 @@ void coalescer_shootout(const EvalContext& ctx, SweepReport* report) {
     }
   }
   const exp::SweepRunner runner(ctx.jobs);
-  const std::vector<RunResult> results = runner.run(sweep, ctx.wcfg);
+  const std::vector<RunResult> results =
+      runner.run(sweep, ctx.wcfg, ctx.trace_store());
 
   Table t({"suite", "coalescer", "coal.eff", "txn.eff", "cycles",
            "comparisons"});
@@ -154,6 +156,7 @@ int main(int argc, char** argv) {
                  "Ablation - device protocols (paper section 4.1)", &report);
   }
   if (!ctx.report_dir.empty()) {
+    report.set_trace_store(ctx.trace_store()->stats());
     std::fprintf(stderr, "[bench] wrote %s\n",
                  report.write(ctx.report_dir).c_str());
   }

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,13 @@ class EvalContext {
     Table::set_csv_dir(cli.get("csvdir", ""));
     // jsondir=<dir>: where the per-bench JSON report lands ("" disables).
     report_dir = cli.get("jsondir", "results");
+    // tracecache=<dir>: on-disk warm tier for generated traces; repeated
+    // bench invocations with the same workload knobs skip generation.
+    // tracemem=<MB>: LRU cap on traces held in memory (0 = unlimited).
+    TraceStore::Options store_opts;
+    store_opts.warm_dir = cli.get("tracecache", "");
+    store_opts.max_resident_bytes = cli.get_u64("tracemem", 0) << 20;
+    store = std::make_unique<TraceStore>(store_opts);
   }
 
   WorkloadConfig wcfg;
@@ -63,6 +71,13 @@ class EvalContext {
   std::string only;        ///< restrict to one suite (suite=name)
   unsigned jobs = 1;       ///< simulation threads (jobs=<n>)
   std::string report_dir;  ///< JSON report directory (jsondir=<dir>)
+  /// Shared by every sweep and direct run_suite/run_multiprocess call of
+  /// the bench: each distinct (suite, WorkloadConfig) trace set is
+  /// generated at most once per process, and at most once per machine when
+  /// tracecache=<dir> enables the warm tier.
+  std::unique_ptr<TraceStore> store;
+
+  [[nodiscard]] TraceStore* trace_store() const { return store.get(); }
 
   /// Run all 14 suites (or the selected one) under each kind. Independent
   /// (suite, kind) runs fan out across `jobs` threads; results come back
@@ -91,7 +106,8 @@ class EvalContext {
     }
 
     const exp::SweepRunner runner(jobs);
-    const std::vector<RunResult> results = runner.run(sweep, wcfg);
+    const std::vector<RunResult> results =
+        runner.run(sweep, wcfg, trace_store());
 
     std::vector<SuiteResults> out;
     out.reserve(suites.size());
@@ -116,6 +132,7 @@ class EvalContext {
         report.add(s.name + "/" + std::string(to_string(kind)), kind, r);
       }
     }
+    report.set_trace_store(store->stats());
     const std::string path = report.write(report_dir);
     std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }

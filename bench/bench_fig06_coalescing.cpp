@@ -68,12 +68,14 @@ void fig6b(const EvalContext& ctx) {
     if (suite->name() == partner->name()) continue;
     std::fprintf(stderr, "[bench] multi %s+sscav2 ...\n",
                  std::string(suite->name()).c_str());
+    // The shared store generates each half-trace set once: the DMC and PAC
+    // runs (and sscav2's half across every pairing) reuse the same traces.
     const RunResult dmc = run_multiprocess(*suite, *partner,
                                            CoalescerKind::kMshrDmc, ctx.wcfg,
-                                           ctx.scfg);
+                                           ctx.scfg, ctx.trace_store());
     const RunResult pac = run_multiprocess(*suite, *partner,
                                            CoalescerKind::kPac, ctx.wcfg,
-                                           ctx.scfg);
+                                           ctx.scfg, ctx.trace_store());
     t.add_row({std::string(suite->name()) + "+sscav2",
                Table::pct(dmc.coalescing_efficiency() * 100.0),
                Table::pct(pac.coalescing_efficiency() * 100.0)});

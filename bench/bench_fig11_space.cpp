@@ -37,8 +37,10 @@ void fig11a() {
 
 void fig11b(const EvalContext& ctx) {
   const Workload* suite = find_workload("hpcg");
+  // Through the shared store, fig11c's PAC sweep below reuses this HPCG
+  // trace set instead of regenerating it.
   const RunResult r = run_suite(*suite, CoalescerKind::kPac, ctx.wcfg,
-                                ctx.scfg);
+                                ctx.scfg, ctx.trace_store());
   const Histogram& occ = r.pac.stream_occupancy;
   Table t({"occupied streams", "samples", "share"});
   for (const auto& [streams, count] : occ.buckets()) {

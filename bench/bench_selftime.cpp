@@ -1,5 +1,6 @@
 // Simulator self-time: how fast the simulator itself runs, with and
-// without event-horizon fast-forwarding (SystemConfig::enable_fast_forward).
+// without event-horizon fast-forwarding (SystemConfig::enable_fast_forward),
+// plus the generation time the shared TraceStore saves per suite.
 //
 // Runs a latency-bound suite mix (the Fig. 12 latency-analysis workloads)
 // under the no-coalescing controller and PAC, timing each run twice -
@@ -7,11 +8,72 @@
 // speedup. Both runs must report identical simulated cycle counts; any
 // divergence is flagged loudly since it would mean the event-horizon
 // bounds are unsound (tests/test_fastforward.cpp proves full bit-identity
-// per field).
+// per field). The TraceStore section acquires each suite cold (miss:
+// generates) and warm (hit: shared handle) and byte-compares the store's
+// traces against a fresh generate(); any divergence also exits non-zero.
+#include <chrono>
+
 #include "bench_common.hpp"
 
 using namespace pacsim;
 using namespace pacsim::bench;
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Cold-vs-warm TraceStore acquisition per suite. Returns false on any
+/// trace-content divergence between the store and fresh generation.
+bool report_trace_store(const std::vector<const Workload*>& suites,
+                        const WorkloadConfig& wcfg) {
+  TraceStore store;
+  Table t({"suite", "cold gen (ms)", "warm hit (ms)", "saved (ms)",
+           "content"});
+  bool identical = true;
+  double total_saved = 0.0;
+  for (const Workload* suite : suites) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TraceStore::Acquired cold = acquire_traces(&store, *suite, wcfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const TraceStore::Acquired warm = acquire_traces(&store, *suite, wcfg);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    const bool shared = cold.traces.get() == warm.traces.get() &&
+                        warm.source == TraceStore::Source::kMemory;
+    const bool content_ok = *cold.traces == suite->generate(wcfg);
+    identical = identical && shared && content_ok;
+
+    const double cold_ms = ms_between(t0, t1);
+    const double warm_ms = ms_between(t1, t2);
+    total_saved += cold_ms - warm_ms;
+    t.add_row({std::string(suite->name()), Table::num(cold_ms),
+               Table::num(warm_ms), Table::num(cold_ms - warm_ms),
+               shared && content_ok ? "identical" : "DIVERGED"});
+  }
+  const TraceStoreStats stats = store.stats();
+  if (stats.misses != suites.size() || stats.hits != suites.size()) {
+    std::fprintf(stderr,
+                 "[bench] trace store mis-memoized: %llu misses / %llu hits "
+                 "for %zu suites\n",
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.hits), suites.size());
+    identical = false;
+  }
+  t.print(
+      "TraceStore cold vs warm - generation time saved per suite "
+      "(warm acquisitions share one immutable trace set)");
+  std::fprintf(stderr,
+               "[bench] trace store saved %.1f ms generation across %zu "
+               "suites, %s\n",
+               total_saved, suites.size(),
+               identical ? "contents identical" : "contents DIVERGED");
+  return identical;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -40,6 +102,9 @@ int main(int argc, char** argv) {
   }
 
   SweepReport report("bench_selftime");
+  // One store for the whole mix: each suite's traces are generated once
+  // and shared by the naive and fast-forward runs of both coalescers.
+  TraceStore store;
   Table t({"suite", "sim cycles", "naive Mcyc/s", "FF Mcyc/s", "speedup",
            "jumps", "skipped"});
   double total_naive = 0.0, total_ff = 0.0;
@@ -53,11 +118,12 @@ int main(int argc, char** argv) {
 
       SystemConfig naive_cfg = scfg;
       naive_cfg.enable_fast_forward = false;
-      const RunResult naive = run_suite(*suite, kind, wcfg, naive_cfg);
+      const RunResult naive =
+          run_suite(*suite, kind, wcfg, naive_cfg, &store);
 
       SystemConfig ff_cfg = scfg;
       ff_cfg.enable_fast_forward = true;
-      const RunResult ff = run_suite(*suite, kind, wcfg, ff_cfg);
+      const RunResult ff = run_suite(*suite, kind, wcfg, ff_cfg, &store);
 
       if (ff.cycles != naive.cycles) {
         identical = false;
@@ -97,10 +163,13 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[bench] overall speedup: %.2fx, results %s\n",
                overall, identical ? "identical" : "DIVERGED");
 
+  const bool store_identical = report_trace_store(suites, wcfg);
+
   const std::string report_dir = cli.get("jsondir", "results");
   if (!report_dir.empty()) {
+    report.set_trace_store(store.stats());
     const std::string path = report.write(report_dir);
     std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
-  return identical ? 0 : 1;
+  return identical && store_identical ? 0 : 1;
 }

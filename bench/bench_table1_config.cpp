@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   WorkloadConfig wcfg = ctx.wcfg;
   wcfg.max_ops_per_core = std::min<std::size_t>(wcfg.max_ops_per_core, 60'000);
   const RunResult r =
-      run_suite(*suite, CoalescerKind::kDirect, wcfg, ctx.scfg);
+      run_suite(*suite, CoalescerKind::kDirect, wcfg, ctx.scfg,
+                ctx.trace_store());
   std::printf("Measured avg HMC access latency (hpcg, no coalescing): "
               "%.1f ns (paper: 93 ns)\n",
               r.avg_hmc_latency_ns());

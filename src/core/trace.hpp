@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -21,8 +22,26 @@ struct TraceOp {
   Addr vaddr = 0;       ///< virtual address (unused for kCompute)
   std::uint32_t arg = 0;  ///< access bytes, or busy cycles for kCompute
   OpKind kind = OpKind::kCompute;
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
 };
 
 using Trace = std::vector<TraceOp>;
+/// One trace per core: the unit Workload::generate() produces and the
+/// TraceStore memoizes.
+using TraceSet = std::vector<Trace>;
+
+/// Immutable shared handles: multi-megabyte traces flow through the stack
+/// (store -> runner -> System cores) by reference count, never by copy.
+using SharedTrace = std::shared_ptr<const Trace>;
+using SharedTraceSet = std::shared_ptr<const TraceSet>;
+
+/// Payload bytes a trace set keeps resident (ops only, excluding vector
+/// bookkeeping); the TraceStore accounts residency with this.
+[[nodiscard]] inline std::uint64_t trace_set_bytes(const TraceSet& traces) {
+  std::uint64_t bytes = 0;
+  for (const Trace& t : traces) bytes += t.size() * sizeof(TraceOp);
+  return bytes;
+}
 
 }  // namespace pacsim

@@ -1,0 +1,162 @@
+#include "core/trace_store.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "core/trace_io.hpp"
+
+namespace pacsim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string TraceKey::filename() const {
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(config_hash));
+  return suite + "-" + hash_hex + ".pactrace";
+}
+
+std::size_t TraceKeyHash::operator()(const TraceKey& key) const {
+  // FNV-1a over the suite name, then mix in the config hash.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : key.suite) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= key.config_hash;
+  h *= 1099511628211ULL;
+  return static_cast<std::size_t>(h);
+}
+
+TraceStore::Acquired TraceStore::get(
+    const TraceKey& key, const std::function<TraceSet()>& generate) {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    slot->last_use = ++use_clock_;
+    entry = slot;
+  }
+
+  bool filled_here = false;
+  double seconds = 0.0;
+  std::call_once(entry->once, [&] {
+    filled_here = true;
+    const Clock::time_point start = Clock::now();
+    TraceSet traces;
+    bool from_warm = false;
+    const std::string warm_path =
+        opts_.warm_dir.empty()
+            ? std::string{}
+            : (std::filesystem::path(opts_.warm_dir) / key.filename())
+                  .string();
+    if (!warm_path.empty() && std::filesystem::exists(warm_path)) {
+      try {
+        traces = load_traces(warm_path);
+        from_warm = true;
+      } catch (const std::exception& e) {
+        // A corrupt or stale warm file must never poison results: fall
+        // back to fresh generation and overwrite it below.
+        std::fprintf(stderr,
+                     "[trace_store] warm-tier file %s unusable (%s); "
+                     "regenerating\n",
+                     warm_path.c_str(), e.what());
+      }
+    }
+    if (!from_warm) {
+      traces = generate();
+      if (!warm_path.empty()) {
+        try {
+          std::filesystem::create_directories(opts_.warm_dir);
+          const std::string tmp = warm_path + ".tmp";
+          save_traces(tmp, traces);
+          std::filesystem::rename(tmp, warm_path);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "[trace_store] cannot persist warm-tier file %s: %s\n",
+                       warm_path.c_str(), e.what());
+        }
+      }
+    }
+    seconds = seconds_since(start);
+    // Publish under mu_: release()/enforce_cap_locked() read these fields
+    // from other threads while holding the lock.
+    const std::lock_guard<std::mutex> lock(mu_);
+    entry->bytes = trace_set_bytes(traces);
+    entry->origin = from_warm ? Source::kWarmTier : Source::kGenerated;
+    entry->traces = std::make_shared<const TraceSet>(std::move(traces));
+  });
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (filled_here) {
+      if (entry->origin == Source::kWarmTier) {
+        ++stats_.warm_hits;
+        stats_.warm_load_seconds += seconds;
+      } else {
+        ++stats_.misses;
+        stats_.generation_seconds += seconds;
+      }
+      // The entry may have been release()d while we generated; only count
+      // residency (and trigger the cap) when the map still points at it.
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) {
+        stats_.bytes_resident += entry->bytes;
+        enforce_cap_locked(key);
+      }
+    } else {
+      ++stats_.hits;
+    }
+  }
+  return Acquired{entry->traces, filled_here ? seconds : 0.0,
+                  filled_here ? entry->origin : Source::kMemory};
+}
+
+void TraceStore::enforce_cap_locked(const TraceKey& keep) {
+  if (opts_.max_resident_bytes == 0) return;
+  while (stats_.bytes_resident > opts_.max_resident_bytes) {
+    auto victim = entries_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep || !it->second->traces) continue;
+      if (it->second->last_use < oldest) {
+        oldest = it->second->last_use;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // nothing evictable but `keep`
+    stats_.bytes_resident -= victim->second->bytes;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+void TraceStore::release(const TraceKey& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second->traces) {
+    stats_.bytes_resident -= it->second->bytes;
+    ++stats_.evictions;
+  }
+  entries_.erase(it);
+}
+
+TraceStoreStats TraceStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,122 @@
+// Shared immutable trace store: content-addressed memoization of workload
+// trace generation. The paper's evaluation simulates the same (suite,
+// WorkloadConfig) trace set under several coalescer configurations; the
+// store guarantees each distinct key is generated exactly once per process
+// (and, with a warm directory, once per machine) while every consumer holds
+// a zero-copy std::shared_ptr<const TraceSet> handle.
+//
+// Thread safety: get()/release()/stats() may be called concurrently from
+// any thread. Concurrent get()s of the same key block on a per-entry
+// once_flag, so exactly one caller runs the generator; the rest reuse the
+// freshly published set and are counted as hits.
+//
+// Tiers:
+//   memory  - resident entries, optionally LRU-capped by max_resident_bytes
+//             (evicted entries stay alive for any outstanding handles);
+//   warm    - optional on-disk tier in Options::warm_dir using the trace_io
+//             binary format, keyed by TraceKey::filename(). A miss checks
+//             the warm file before generating and persists fresh results
+//             (atomic tmp+rename), so repeated process invocations skip
+//             generation entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/trace.hpp"
+
+namespace pacsim {
+
+/// Content address of one generated trace set: the suite's name plus a
+/// canonical hash over every generation-relevant WorkloadConfig field
+/// (see workload_config_hash in workloads/workload.hpp).
+struct TraceKey {
+  std::string suite;
+  std::uint64_t config_hash = 0;
+
+  friend bool operator==(const TraceKey&, const TraceKey&) = default;
+
+  /// Warm-tier file name: "<suite>-<16 hex digits>.pactrace".
+  [[nodiscard]] std::string filename() const;
+};
+
+struct TraceKeyHash {
+  [[nodiscard]] std::size_t operator()(const TraceKey& key) const;
+};
+
+/// Effectiveness counters, all monotonically increasing except
+/// bytes_resident (current residency).
+struct TraceStoreStats {
+  std::uint64_t hits = 0;       ///< served from resident memory
+  std::uint64_t warm_hits = 0;  ///< loaded from the on-disk warm tier
+  std::uint64_t misses = 0;     ///< ran the generator
+  std::uint64_t evictions = 0;  ///< entries dropped (LRU cap or release())
+  std::uint64_t bytes_resident = 0;  ///< trace payload bytes held right now
+  double generation_seconds = 0.0;   ///< wall time inside generators
+  double warm_load_seconds = 0.0;    ///< wall time loading warm-tier files
+};
+
+class TraceStore {
+ public:
+  struct Options {
+    std::string warm_dir;  ///< on-disk warm tier directory ("" disables)
+    /// LRU residency cap in bytes (0 = unlimited). A single entry larger
+    /// than the cap stays resident until a later insertion displaces it.
+    std::uint64_t max_resident_bytes = 0;
+  };
+
+  /// Where an acquired trace set came from, in increasing cost order.
+  enum class Source { kMemory, kWarmTier, kGenerated };
+
+  struct Acquired {
+    SharedTraceSet traces;
+    /// Wall seconds spent generating or warm-loading; 0.0 on a memory hit.
+    double seconds = 0.0;
+    Source source = Source::kMemory;
+  };
+
+  TraceStore() = default;
+  explicit TraceStore(Options opts) : opts_(std::move(opts)) {}
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Return the trace set for `key`, running `generate` (or loading the
+  /// warm-tier file) only if no resident entry exists. `generate` must be
+  /// a pure function of the key - the differential tests enforce that
+  /// cached results are byte-identical to fresh generation.
+  [[nodiscard]] Acquired get(const TraceKey& key,
+                             const std::function<TraceSet()>& generate);
+
+  /// Drop the resident entry for `key` (no-op when absent). Outstanding
+  /// handles keep the storage alive; a later get() regenerates.
+  void release(const TraceKey& key);
+
+  [[nodiscard]] TraceStoreStats stats() const;
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    SharedTraceSet traces;  ///< published exactly once under `once`
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;
+    Source origin = Source::kGenerated;
+  };
+
+  /// Evict least-recently-used entries until the cap holds, never touching
+  /// `keep` (the entry just inserted). Caller holds mu_.
+  void enforce_cap_locked(const TraceKey& keep);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<TraceKey, std::shared_ptr<Entry>, TraceKeyHash> entries_;
+  TraceStoreStats stats_;
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace pacsim

@@ -4,7 +4,6 @@
 #include <cassert>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "exp/thread_pool.hpp"
 #include "sim/runner.hpp"
@@ -15,13 +14,21 @@ SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs == 0 ? default_jobs() : jobs) {}
 
 std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
-                                        const WorkloadConfig& wcfg) const {
-  // Per-suite shared trace state. The map is fully built before any worker
-  // starts, so workers only ever read the map structure; the mapped values
-  // are synchronized via call_once and the release/acquire counter.
+                                        const WorkloadConfig& wcfg,
+                                        TraceStore* store) const {
+  // The store deduplicates generation (its per-entry once_flag makes the
+  // first job of each suite generate while the rest block and share). The
+  // ephemeral fallback preserves the historical memory profile: entries
+  // are released as soon as their last job retires.
+  std::unique_ptr<TraceStore> ephemeral;
+  if (store == nullptr) {
+    ephemeral = std::make_unique<TraceStore>();
+    store = ephemeral.get();
+  }
+
+  // Per-suite job counts, fully built before any worker starts, so workers
+  // only ever read the map structure; the counters are atomic.
   struct SuiteState {
-    std::once_flag once;
-    std::shared_ptr<const std::vector<Trace>> traces;
     std::atomic<std::size_t> remaining{0};
   };
   std::map<const Workload*, SuiteState> suites;
@@ -33,24 +40,20 @@ std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
   std::vector<RunResult> results(sweep.size());
   parallel_for(jobs_, sweep.size(), [&](std::size_t i) {
     const SweepJob& job = sweep[i];
-    SuiteState& state = suites.at(job.suite);
-    std::call_once(state.once, [&] {
-      state.traces = std::make_shared<const std::vector<Trace>>(
-          job.suite->generate(wcfg));
-    });
-    // Pin the traces for the duration of this simulation: the last job of
-    // the suite drops the shared copy below, and this local reference keeps
-    // the storage alive through our own simulate().
-    const std::shared_ptr<const std::vector<Trace>> traces = state.traces;
+    // The returned handle pins the traces for the duration of this
+    // simulation even if the entry is released or evicted mid-run.
+    const TraceStore::Acquired acquired =
+        acquire_traces(store, *job.suite, wcfg);
 
     SystemConfig cfg = job.cfg;
     cfg.num_cores = wcfg.num_cores;
-    results[i] = simulate(cfg, *traces);
+    results[i] = simulate(cfg, acquired.traces);
+    results[i].throughput.gen_seconds = acquired.seconds;
 
-    // Free the suite's traces as soon as its last simulation retires, so a
-    // wide sweep never holds more trace sets than it has suites in flight.
-    if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      state.traces.reset();
+    if (ephemeral &&
+        suites.at(job.suite).remaining.fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      store->release(trace_key(*job.suite, wcfg));
     }
   });
   return results;

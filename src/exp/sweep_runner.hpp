@@ -3,16 +3,18 @@
 //
 // Every figure-reproduction bench is a grid of independent `simulate()`
 // calls — each builds its own System, so the only shared inputs are the
-// immutable per-suite traces. The runner generates each distinct suite's
-// traces exactly once (first job to need them wins, the rest reuse them),
-// fans the simulations out over `jobs` threads, and returns the RunResults
-// in job order, so every table printed from them is bit-identical to a
-// serial run. `jobs = 1` executes inline on the calling thread.
+// immutable per-suite traces. The runner routes trace acquisition through
+// one TraceStore shared by every worker, so each distinct suite's traces
+// are generated exactly once per sweep regardless of how many coalescer
+// kinds consume them, and returns the RunResults in job order, so every
+// table printed from them is bit-identical to a serial run. `jobs = 1`
+// executes inline on the calling thread.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/trace_store.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
 #include "workloads/workload.hpp"
@@ -36,12 +38,16 @@ class SweepRunner {
   [[nodiscard]] unsigned jobs() const { return jobs_; }
 
   /// Execute every job; `results[i]` corresponds to `sweep[i]` regardless
-  /// of the completion order. Traces for each distinct Workload* are
-  /// generated once from `wcfg` and freed as soon as the last job using
-  /// them finishes. Exceptions from any simulation propagate after the
+  /// of the completion order. Trace acquisition goes through `store` when
+  /// one is given (entries persist there for reuse by later sweeps or the
+  /// warm tier); with `store == nullptr` an ephemeral store is used and
+  /// each suite's traces are freed as soon as the last job using them
+  /// finishes, so a wide sweep never holds more trace sets than it has
+  /// suites in flight. Exceptions from any simulation propagate after the
   /// sweep drains.
   [[nodiscard]] std::vector<RunResult> run(const std::vector<SweepJob>& sweep,
-                                           const WorkloadConfig& wcfg) const;
+                                           const WorkloadConfig& wcfg,
+                                           TraceStore* store = nullptr) const;
 
  private:
   unsigned jobs_;

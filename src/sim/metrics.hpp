@@ -19,6 +19,12 @@ namespace pacsim {
 struct SimThroughput {
   Cycle sim_cycles = 0;       ///< simulated cycles covered by the run
   double wall_seconds = 0.0;  ///< host wall-clock time inside System::run()
+  /// Host wall-clock spent acquiring this run's traces: full generation on
+  /// a TraceStore miss (or store-less run), the file load on a warm-tier
+  /// hit, and 0.0 when the traces were already resident in memory. The
+  /// generation-vs-simulation split of a sweep is sum(gen_seconds) vs
+  /// sum(wall_seconds).
+  double gen_seconds = 0.0;
   std::uint64_t fast_forward_jumps = 0;  ///< event-horizon jumps taken
   std::uint64_t skipped_cycles = 0;      ///< cycles covered by those jumps
   [[nodiscard]] double mcycles_per_sec() const {

@@ -81,6 +81,7 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
     out << "  \"sim_throughput\": {\"sim_cycles\": "
         << r.throughput.sim_cycles
         << ", \"wall_seconds\": " << num(r.throughput.wall_seconds)
+        << ", \"gen_seconds\": " << num(r.throughput.gen_seconds)
         << ", \"mcycles_per_sec\": " << num(r.throughput.mcycles_per_sec())
         << ", \"fast_forward_jumps\": " << r.throughput.fast_forward_jumps
         << ", \"skipped_cycles\": " << r.throughput.skipped_cycles << "},\n";
@@ -170,13 +171,33 @@ void SweepReport::add(const std::string& label, CoalescerKind kind,
   std::string rendered = run_report_json(label, kind, result);
   while (!rendered.empty() && rendered.back() == '\n') rendered.pop_back();
   entries_.push_back(indent_lines(rendered, "    "));
+  generation_seconds_ += result.throughput.gen_seconds;
+  simulation_seconds_ += result.throughput.wall_seconds;
+}
+
+void SweepReport::set_trace_store(const TraceStoreStats& stats) {
+  store_stats_ = stats;
+  has_store_stats_ = true;
 }
 
 std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 2,\n";
+  out << "  \"schema_version\": 3,\n";
+  out << "  \"wall_time\": {\"generation_seconds\": "
+      << num(generation_seconds_)
+      << ", \"simulation_seconds\": " << num(simulation_seconds_) << "},\n";
+  if (has_store_stats_) {
+    out << "  \"trace_store\": {\"hits\": " << store_stats_.hits
+        << ", \"warm_hits\": " << store_stats_.warm_hits
+        << ", \"misses\": " << store_stats_.misses
+        << ", \"evictions\": " << store_stats_.evictions
+        << ", \"bytes_resident\": " << store_stats_.bytes_resident
+        << ", \"generation_seconds\": " << num(store_stats_.generation_seconds)
+        << ", \"warm_load_seconds\": " << num(store_stats_.warm_load_seconds)
+        << "},\n";
+  }
   out << "  \"runs\": [";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n") << entries_[i];

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace_store.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
 
@@ -27,10 +28,18 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 2, "runs": [ <run>, ... ] }
+///   { "bench": "<name>", "schema_version": 3,
+///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
+///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
+///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v2 added the per-run "sim_throughput" block (host-side
-/// simulation speed); v1 was the initial envelope.
+/// Schema history: v3 added the envelope's "wall_time" split
+/// (generation vs simulation host seconds, summed over the runs), the
+/// optional "trace_store" effectiveness block (hits / warm_hits / misses /
+/// evictions / bytes_resident / generation_seconds / warm_load_seconds)
+/// and the per-run "gen_seconds" inside "sim_throughput"; v2 added the
+/// per-run "sim_throughput" block (host-side simulation speed); v1 was the
+/// initial envelope.
 ///
 /// where each element of "runs" is a run_report_json object. The benches
 /// write one such file per binary to `results/<bench>.json`, making the
@@ -43,6 +52,11 @@ class SweepReport {
   void add(const std::string& label, CoalescerKind kind,
            const RunResult& result);
 
+  /// Attach the effectiveness counters of the TraceStore that fed these
+  /// runs; emitted as the envelope's "trace_store" object. Call after the
+  /// last run, right before json()/write().
+  void set_trace_store(const TraceStoreStats& stats);
+
   [[nodiscard]] std::size_t runs() const { return entries_.size(); }
   [[nodiscard]] std::string json() const;
 
@@ -53,6 +67,10 @@ class SweepReport {
  private:
   std::string bench_;
   std::vector<std::string> entries_;  ///< pre-rendered run objects
+  double generation_seconds_ = 0.0;   ///< summed run gen_seconds
+  double simulation_seconds_ = 0.0;   ///< summed run wall_seconds
+  TraceStoreStats store_stats_;
+  bool has_store_stats_ = false;
 };
 
 }  // namespace pacsim

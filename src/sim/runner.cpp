@@ -1,33 +1,71 @@
 #include "sim/runner.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 namespace pacsim {
 
-RunResult simulate(const SystemConfig& cfg, const std::vector<Trace>& traces,
+RunResult simulate(const SystemConfig& cfg,
+                   const std::vector<SharedTrace>& traces,
                    const std::vector<std::uint8_t>& processes) {
+  if (traces.size() < cfg.num_cores) {
+    // Legal (the extra cores idle on empty traces) but almost always a
+    // core-count mismatch between WorkloadConfig and SystemConfig; the
+    // multiprocess builder always supplies exactly num_cores traces.
+    std::fprintf(stderr,
+                 "[pacsim] simulate: %zu trace(s) for %u cores; cores "
+                 "%zu..%u will run empty traces\n",
+                 traces.size(), cfg.num_cores, traces.size(),
+                 cfg.num_cores - 1);
+  }
   System system(cfg);
   for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
-    const Trace& trace =
-        core < traces.size() ? traces[core] : Trace{};
     const std::uint8_t process =
         core < processes.size() ? processes[core] : std::uint8_t{0};
-    system.load_trace(core, trace, process);
+    system.load_trace(core,
+                      core < traces.size() ? traces[core] : SharedTrace{},
+                      process);
   }
   return system.run();
 }
 
+RunResult simulate(const SystemConfig& cfg, const SharedTraceSet& traces,
+                   const std::vector<std::uint8_t>& processes) {
+  std::vector<SharedTrace> shared;
+  if (traces) {
+    shared.reserve(traces->size());
+    // Aliasing handles: each core's pointer shares ownership of the whole
+    // set, so the set lives for as long as any core (or caller) needs it.
+    for (const Trace& t : *traces) shared.emplace_back(traces, &t);
+  }
+  return simulate(cfg, shared, processes);
+}
+
+RunResult simulate(const SystemConfig& cfg, const std::vector<Trace>& traces,
+                   const std::vector<std::uint8_t>& processes) {
+  std::vector<SharedTrace> shared;
+  shared.reserve(traces.size());
+  // Non-owning aliases: the caller's vector outlives this call, so the
+  // cores can execute directly out of it without any copy.
+  for (const Trace& t : traces) shared.emplace_back(SharedTrace{}, &t);
+  return simulate(cfg, shared, processes);
+}
+
 RunResult run_suite(const Workload& suite, CoalescerKind kind,
-                    const WorkloadConfig& wcfg, SystemConfig cfg) {
+                    const WorkloadConfig& wcfg, SystemConfig cfg,
+                    TraceStore* store) {
   cfg.coalescer = kind;
   cfg.num_cores = wcfg.num_cores;
-  const std::vector<Trace> traces = suite.generate(wcfg);
-  return simulate(cfg, traces);
+  const TraceStore::Acquired acquired = acquire_traces(store, suite, wcfg);
+  RunResult result = simulate(cfg, acquired.traces);
+  result.throughput.gen_seconds = acquired.seconds;
+  return result;
 }
 
 MultiprocessSetup build_multiprocess_traces(const Workload& first,
                                             const Workload& second,
-                                            const WorkloadConfig& wcfg) {
+                                            const WorkloadConfig& wcfg,
+                                            TraceStore* store) {
   // An odd core count gives the remainder core to the first workload:
   // integer halving both ways would silently leave one core traceless.
   WorkloadConfig half = wcfg;
@@ -37,17 +75,19 @@ MultiprocessSetup build_multiprocess_traces(const Workload& first,
   other.num_cores = wcfg.num_cores / 2;
   other.seed = wcfg.seed ^ 0x0DD5EEDULL;
 
-  const std::vector<Trace> t1 = first.generate(half);
-  const std::vector<Trace> t2 = second.generate(other);
+  const TraceStore::Acquired t1 = acquire_traces(store, first, half);
+  const TraceStore::Acquired t2 = acquire_traces(store, second, other);
 
   MultiprocessSetup setup;
+  setup.gen_seconds = t1.seconds + t2.seconds;
   setup.traces.reserve(wcfg.num_cores);
-  for (const Trace& t : t1) {
-    setup.traces.push_back(t);
+  setup.processes.reserve(wcfg.num_cores);
+  for (const Trace& t : *t1.traces) {
+    setup.traces.emplace_back(t1.traces, &t);
     setup.processes.push_back(0);
   }
-  for (const Trace& t : t2) {
-    setup.traces.push_back(t);
+  for (const Trace& t : *t2.traces) {
+    setup.traces.emplace_back(t2.traces, &t);
     setup.processes.push_back(1);
   }
   return setup;
@@ -55,13 +95,16 @@ MultiprocessSetup build_multiprocess_traces(const Workload& first,
 
 RunResult run_multiprocess(const Workload& first, const Workload& second,
                            CoalescerKind kind, const WorkloadConfig& wcfg,
-                           SystemConfig cfg) {
+                           SystemConfig cfg, TraceStore* store) {
   cfg.coalescer = kind;
   cfg.num_cores = wcfg.num_cores;
 
-  MultiprocessSetup setup = build_multiprocess_traces(first, second, wcfg);
+  const MultiprocessSetup setup =
+      build_multiprocess_traces(first, second, wcfg, store);
   assert(setup.traces.size() == cfg.num_cores);
-  return simulate(cfg, setup.traces, setup.processes);
+  RunResult result = simulate(cfg, setup.traces, setup.processes);
+  result.throughput.gen_seconds = setup.gen_seconds;
+  return result;
 }
 
 }  // namespace pacsim

@@ -1,41 +1,68 @@
 // Convenience drivers used by the benches, examples and integration tests:
-// generate a suite's traces once and simulate them under any coalescer.
+// acquire a suite's traces (optionally memoized through a TraceStore) and
+// simulate them under any coalescer. All entry points hand shared immutable
+// traces to the System - a trace set is never copied per core or per run.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/trace_store.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system.hpp"
 #include "workloads/workload.hpp"
 
 namespace pacsim {
 
-/// Simulate pre-generated traces. `processes[i]` is the address space of
-/// core i (defaults to a single shared process).
+/// Simulate pre-generated traces given as per-core shared handles.
+/// `processes[i]` is the address space of core i (defaults to a single
+/// shared process). Fewer traces than cfg.num_cores pads the remaining
+/// cores with empty traces and logs a warning - only the multiprocess
+/// builder below is expected to assemble partial-core trace layouts, and
+/// it always produces exactly num_cores entries.
+RunResult simulate(const SystemConfig& cfg,
+                   const std::vector<SharedTrace>& traces,
+                   const std::vector<std::uint8_t>& processes = {});
+
+/// Simulate a whole shared trace set (e.g. a TraceStore handle): each core
+/// aliases its trace inside the set, copying nothing.
+RunResult simulate(const SystemConfig& cfg, const SharedTraceSet& traces,
+                   const std::vector<std::uint8_t>& processes = {});
+
+/// Back-compat convenience for caller-owned trace vectors. The traces are
+/// lent to the System via non-owning aliases (zero-copy); the vector only
+/// needs to outlive this call, which it trivially does.
 RunResult simulate(const SystemConfig& cfg, const std::vector<Trace>& traces,
                    const std::vector<std::uint8_t>& processes = {});
 
-/// Generate + simulate one suite under `kind`.
+/// Acquire + simulate one suite under `kind`. With a TraceStore the suite's
+/// traces are memoized across calls (and across processes when the store
+/// has a warm directory); without one they are generated fresh. The
+/// result's throughput.gen_seconds reports the acquisition cost.
 RunResult run_suite(const Workload& suite, CoalescerKind kind,
-                    const WorkloadConfig& wcfg, SystemConfig cfg);
+                    const WorkloadConfig& wcfg, SystemConfig cfg,
+                    TraceStore* store = nullptr);
 
 /// Paper Fig. 6b multiprocessing mode: two suites pinned to disjoint core
 /// halves with distinct processes (distinct page tables).
 RunResult run_multiprocess(const Workload& first, const Workload& second,
                            CoalescerKind kind, const WorkloadConfig& wcfg,
-                           SystemConfig cfg);
+                           SystemConfig cfg, TraceStore* store = nullptr);
 
 /// The trace/process layout behind run_multiprocess: `first` owns cores
 /// [0, ceil(n/2)) as process 0, `second` the rest as process 1. An odd
 /// core count gives the remainder core to `first` so no core is left with
-/// an empty trace; traces.size() == wcfg.num_cores always holds.
+/// an empty trace; traces.size() == wcfg.num_cores always holds. Each
+/// per-core handle aliases into the generating suite's shared set - the
+/// assembly copies no trace data.
 struct MultiprocessSetup {
-  std::vector<Trace> traces;            ///< one per core
+  std::vector<SharedTrace> traces;      ///< one per core
   std::vector<std::uint8_t> processes;  ///< owning process per core
+  double gen_seconds = 0.0;             ///< trace acquisition wall time
 };
 MultiprocessSetup build_multiprocess_traces(const Workload& first,
                                             const Workload& second,
-                                            const WorkloadConfig& wcfg);
+                                            const WorkloadConfig& wcfg,
+                                            TraceStore* store = nullptr);
 
 }  // namespace pacsim

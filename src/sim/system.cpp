@@ -12,6 +12,16 @@
 #include "baseline/mshr_dmc.hpp"
 
 namespace pacsim {
+namespace {
+
+/// Shared placeholder for cores without an installed trace: keeps
+/// CoreState::trace dereferenceable without per-System allocations.
+const SharedTrace& empty_trace() {
+  static const SharedTrace kEmpty = std::make_shared<const Trace>();
+  return kEmpty;
+}
+
+}  // namespace
 
 System::System(const SystemConfig& cfg)
     : cfg_(cfg),
@@ -23,6 +33,7 @@ System::System(const SystemConfig& cfg)
       miss_queue_(cfg.miss_queue_entries),
       wb_queue_(cfg.wb_queue_entries) {
   cores_.resize(cfg.num_cores);
+  for (CoreState& core : cores_) core.trace = empty_trace();
   l1_.reserve(cfg.num_cores);
   for (std::uint32_t i = 0; i < cfg.num_cores; ++i) l1_.emplace_back(cfg.l1);
 
@@ -50,10 +61,15 @@ System::System(const SystemConfig& cfg)
 }
 
 void System::load_trace(std::uint32_t core, Trace trace, std::uint8_t process) {
+  load_trace(core, std::make_shared<const Trace>(std::move(trace)), process);
+}
+
+void System::load_trace(std::uint32_t core, SharedTrace trace,
+                        std::uint8_t process) {
   assert(core < cores_.size());
-  cores_[core].trace = std::move(trace);
+  cores_[core].trace = trace ? std::move(trace) : empty_trace();
   cores_[core].process = process;
-  cores_[core].done = cores_[core].trace.empty();
+  cores_[core].done = cores_[core].trace->empty();
 }
 
 MemRequest System::make_raw(Addr paddr, MemOp op, std::uint8_t core,
@@ -112,13 +128,13 @@ void System::step_core(std::uint32_t i) {
   CoreState& c = cores_[i];
   if (c.done) return;
   if (now_ < c.ready_at) return;
-  if (c.pc >= c.trace.size()) {
+  if (c.pc >= c.trace->size()) {
     c.done = true;
     ++done_cores_;
     return;
   }
 
-  const TraceOp& op = c.trace[c.pc];
+  const TraceOp& op = (*c.trace)[c.pc];
   switch (op.kind) {
     case OpKind::kCompute:
       c.ready_at = now_ + op.arg;
@@ -324,8 +340,8 @@ bool System::finished() const {
 
 bool System::core_stalled_steady(std::uint32_t i) const {
   const CoreState& c = cores_[i];
-  if (c.pc >= c.trace.size()) return false;  // would transition to done
-  const TraceOp& op = c.trace[c.pc];
+  if (c.pc >= c.trace->size()) return false;  // would transition to done
+  const TraceOp& op = (*c.trace)[c.pc];
   switch (op.kind) {
     case OpKind::kCompute:
       return false;

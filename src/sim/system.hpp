@@ -28,7 +28,15 @@ class System {
 
   /// Install the trace `core` executes; `process` selects the address space
   /// (multiprocessing experiments give core groups distinct processes).
+  /// This overload takes ownership of the given trace (no further copies).
   void load_trace(std::uint32_t core, Trace trace, std::uint8_t process = 0);
+
+  /// Zero-copy variant: the core executes directly out of the shared
+  /// immutable trace (TraceStore handles, aliases into a SharedTraceSet, or
+  /// non-owning aliases of caller-kept storage that must outlive run()).
+  /// A null handle loads an empty trace.
+  void load_trace(std::uint32_t core, SharedTrace trace,
+                  std::uint8_t process = 0);
 
   /// Run to completion (all traces executed, all misses drained).
   RunResult run();
@@ -39,7 +47,7 @@ class System {
 
  private:
   struct CoreState {
-    Trace trace;
+    SharedTrace trace;  ///< never null once System's constructor ran
     std::size_t pc = 0;
     std::uint8_t process = 0;
     Cycle ready_at = 0;

@@ -1,8 +1,70 @@
 #include "workloads/workload.hpp"
 
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "workloads/suites.hpp"
 
 namespace pacsim {
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (byte * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix(double value) {
+    // Normalize -0.0 so bit-identical generators share a hash; any NaN
+    // would be a configuration bug, but canonicalize it anyway.
+    if (value == 0.0) value = 0.0;
+    if (std::isnan(value)) value = std::numeric_limits<double>::quiet_NaN();
+    mix(std::bit_cast<std::uint64_t>(value));
+  }
+  void mix(const char* tag) {
+    for (const char* c = tag; *c != '\0'; ++c) {
+      h ^= static_cast<std::uint8_t>(*c);
+      h *= 1099511628211ULL;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t workload_config_hash(const WorkloadConfig& cfg) {
+  Fnv1a fnv;
+  fnv.mix("pacsim-wcfg-v1");  // format tag: bump when fields change
+  fnv.mix(static_cast<std::uint64_t>(cfg.num_cores));
+  fnv.mix(cfg.seed);
+  fnv.mix(static_cast<std::uint64_t>(cfg.max_ops_per_core));
+  fnv.mix(cfg.scale);
+  fnv.mix(cfg.compute_scale);
+  return fnv.h;
+}
+
+TraceKey trace_key(const Workload& suite, const WorkloadConfig& cfg) {
+  return TraceKey{std::string(suite.name()), workload_config_hash(cfg)};
+}
+
+TraceStore::Acquired acquire_traces(TraceStore* store, const Workload& suite,
+                                    const WorkloadConfig& cfg) {
+  if (store != nullptr) {
+    return store->get(trace_key(suite, cfg),
+                      [&suite, &cfg] { return suite.generate(cfg); });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto traces = std::make_shared<const TraceSet>(suite.generate(cfg));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return TraceStore::Acquired{std::move(traces), seconds,
+                              TraceStore::Source::kGenerated};
+}
 
 const std::vector<const Workload*>& all_workloads() {
   static const std::vector<const Workload*> all = {

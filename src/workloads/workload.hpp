@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/trace.hpp"
+#include "core/trace_store.hpp"
 
 namespace pacsim {
 
@@ -33,6 +34,25 @@ class Workload {
   [[nodiscard]] virtual std::vector<Trace> generate(
       const WorkloadConfig& cfg) const = 0;
 };
+
+/// Canonical 64-bit hash over every generation-relevant WorkloadConfig
+/// field. Floating-point fields hash by bit pattern with -0.0 normalized to
+/// +0.0, so configs that generate identical traces share a hash. Seeded
+/// with a format tag: adding a WorkloadConfig field must bump the tag or
+/// stale warm-tier files would be served for the wrong configuration.
+[[nodiscard]] std::uint64_t workload_config_hash(const WorkloadConfig& cfg);
+
+/// Content address of `suite.generate(cfg)` for TraceStore lookups.
+[[nodiscard]] TraceKey trace_key(const Workload& suite,
+                                 const WorkloadConfig& cfg);
+
+/// Produce the suite's traces through `store` when one is given (memoized,
+/// warm-tier aware) or freshly when `store` is null. Either way the result
+/// reports where the traces came from and the wall seconds spent producing
+/// them, and the returned set is byte-identical to suite.generate(cfg).
+[[nodiscard]] TraceStore::Acquired acquire_traces(TraceStore* store,
+                                                  const Workload& suite,
+                                                  const WorkloadConfig& cfg);
 
 /// All 14 suites in the paper's evaluation order.
 const std::vector<const Workload*>& all_workloads();

@@ -147,10 +147,47 @@ TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
   EXPECT_EQ(report.runs(), 2u);
   const std::string json = report.json();
   EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_time\""), std::string::npos);
+  EXPECT_NE(json.find("\"generation_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulation_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"sim_throughput\""), std::string::npos);
+  EXPECT_NE(json.find("\"gen_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"a/direct\""), std::string::npos);
   EXPECT_NE(json.find("\"label\": \"b/pac\""), std::string::npos);
+  // The trace_store block only appears once stats are attached.
+  EXPECT_EQ(json.find("\"trace_store\""), std::string::npos);
+}
+
+TEST(SweepReport, JsonCarriesTraceStoreStatsWhenSet) {
+  SweepReport report("bench_store");
+  report.add("a/pac", CoalescerKind::kPac, tiny_result());
+  TraceStoreStats stats;
+  stats.hits = 6;
+  stats.warm_hits = 1;
+  stats.misses = 2;
+  stats.evictions = 3;
+  stats.bytes_resident = 4096;
+  stats.generation_seconds = 1.5;
+  report.set_trace_store(stats);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"trace_store\": {\"hits\": 6, \"warm_hits\": 1, "
+                      "\"misses\": 2, \"evictions\": 3, "
+                      "\"bytes_resident\": 4096"),
+            std::string::npos);
+}
+
+TEST(SweepReport, WallTimeSumsRunThroughput) {
+  SweepReport report("bench_walltime");
+  RunResult r = tiny_result();
+  r.throughput.wall_seconds = 2.0;
+  r.throughput.gen_seconds = 0.5;
+  report.add("a", CoalescerKind::kPac, r);
+  report.add("b", CoalescerKind::kPac, r);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"wall_time\": {\"generation_seconds\": 1, "
+                      "\"simulation_seconds\": 4}"),
+            std::string::npos);
 }
 
 TEST(SweepReport, JsonIsBalancedEvenWhenEmpty) {

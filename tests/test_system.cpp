@@ -205,8 +205,9 @@ TEST(Runner, MultiprocessOddCoreCountLeavesNoCoreTraceless) {
   ASSERT_EQ(setup.traces.size(), 5u);
   EXPECT_EQ(setup.processes,
             (std::vector<std::uint8_t>{0, 0, 0, 1, 1}));
-  for (const Trace& t : setup.traces) {
-    EXPECT_FALSE(t.empty()) << "a core was left without a trace";
+  for (const SharedTrace& t : setup.traces) {
+    ASSERT_NE(t, nullptr);
+    EXPECT_FALSE(t->empty()) << "a core was left without a trace";
   }
   const RunResult r =
       run_multiprocess(*find_workload("stream"), *find_workload("gs"),

@@ -48,6 +48,29 @@ TEST(TraceIo, RoundTripsExactly) {
   }
 }
 
+// Property test: any trace set - every OpKind, empty per-core traces,
+// varying core counts - must survive save/load byte-identically. Several
+// seeds keep the sampled space honest without noticeable runtime.
+TEST(TraceIo, RandomTraceSetsRoundTripAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 7ull, 23ull, 1234ull}) {
+    TempFile file("pacsim_roundtrip_prop.trc");
+    Rng rng(seed);
+    std::vector<Trace> traces(1 + rng.below(6));
+    for (Trace& t : traces) {
+      const std::size_t n = rng.below(300);  // 0 is a valid (empty) trace
+      for (std::size_t i = 0; i < n; ++i) {
+        TraceOp op;
+        op.kind = static_cast<OpKind>(rng.below(5));  // all five OpKinds
+        op.vaddr = rng.next();
+        op.arg = static_cast<std::uint32_t>(rng.next());
+        t.push_back(op);
+      }
+    }
+    save_traces(file.path, traces);
+    EXPECT_EQ(load_traces(file.path), traces) << "seed " << seed;
+  }
+}
+
 TEST(TraceIo, EmptyTraceSetRoundTrips) {
   TempFile file("pacsim_empty.trc");
   save_traces(file.path, {});
@@ -83,6 +106,29 @@ TEST(TraceIo, RejectsTruncatedFile) {
   // Chop off the last few bytes.
   const auto size = std::filesystem::file_size(file.path);
   std::filesystem::resize_file(file.path, size - 5);
+  EXPECT_THROW(load_traces(file.path), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedHeader) {
+  TempFile file("pacsim_trunc_header.trc");
+  Trace t;
+  t.push_back({0x1000, 8, OpKind::kLoad});
+  save_traces(file.path, {t});
+  // Keep the magic but cut into the core-count field.
+  std::filesystem::resize_file(file.path, 10);
+  EXPECT_THROW(load_traces(file.path), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedOpArray) {
+  TempFile file("pacsim_trunc_ops.trc");
+  Trace t;
+  for (int i = 0; i < 8; ++i) {
+    t.push_back({0x1000 + static_cast<Addr>(i) * 64, 8, OpKind::kStore});
+  }
+  save_traces(file.path, {t});
+  // Announce 8 ops but deliver roughly half of them.
+  const auto size = std::filesystem::file_size(file.path);
+  std::filesystem::resize_file(file.path, size - 4 * 13);
   EXPECT_THROW(load_traces(file.path), std::runtime_error);
 }
 

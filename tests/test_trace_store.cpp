@@ -1,0 +1,390 @@
+// TraceStore: memoization, warm tier, eviction, concurrency, and the
+// differential proof that store-fed runs are byte-identical to fresh
+// generation for every coalescer kind, the multiprocess path, and sweeps.
+#include "core/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "exp/sweep_runner.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim {
+namespace {
+
+WorkloadConfig small_wcfg() {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 2;
+  wcfg.max_ops_per_core = 1500;
+  wcfg.scale = 0.25;
+  return wcfg;
+}
+
+TraceSet tiny_set(std::uint64_t salt, std::size_t ops = 4) {
+  TraceSet traces(2);
+  for (std::size_t core = 0; core < traces.size(); ++core) {
+    for (std::size_t i = 0; i < ops; ++i) {
+      traces[core].push_back(
+          {salt * 0x1000 + core * 0x100 + i * 64, 8, OpKind::kLoad});
+    }
+  }
+  return traces;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(TraceKeyTest, HashCoversEveryGenerationField) {
+  const WorkloadConfig base = small_wcfg();
+  const std::uint64_t h0 = workload_config_hash(base);
+  EXPECT_EQ(h0, workload_config_hash(base)) << "hash must be deterministic";
+
+  WorkloadConfig w = base;
+  w.num_cores = 4;
+  EXPECT_NE(workload_config_hash(w), h0);
+  w = base;
+  w.seed = 43;
+  EXPECT_NE(workload_config_hash(w), h0);
+  w = base;
+  w.max_ops_per_core = 1501;
+  EXPECT_NE(workload_config_hash(w), h0);
+  w = base;
+  w.scale = 0.5;
+  EXPECT_NE(workload_config_hash(w), h0);
+  w = base;
+  w.compute_scale = 2.0;
+  EXPECT_NE(workload_config_hash(w), h0);
+}
+
+TEST(TraceKeyTest, DistinguishesSuitesAndNamesFiles) {
+  const WorkloadConfig wcfg = small_wcfg();
+  const TraceKey a = trace_key(*find_workload("stream"), wcfg);
+  const TraceKey b = trace_key(*find_workload("gs"), wcfg);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.suite, "stream");
+  EXPECT_NE(a.filename().find("stream-"), std::string::npos);
+  EXPECT_NE(a.filename().find(".pactrace"), std::string::npos);
+}
+
+TEST(TraceStoreTest, MemoizesGenerationPerKey) {
+  TraceStore store;
+  std::atomic<int> calls{0};
+  const TraceKey key{"synthetic", 1};
+  const auto gen = [&calls] {
+    ++calls;
+    return tiny_set(1);
+  };
+
+  const TraceStore::Acquired first = store.get(key, gen);
+  EXPECT_EQ(first.source, TraceStore::Source::kGenerated);
+  EXPECT_GT(first.traces->size(), 0u);
+
+  const TraceStore::Acquired second = store.get(key, gen);
+  EXPECT_EQ(second.source, TraceStore::Source::kMemory);
+  EXPECT_EQ(second.seconds, 0.0);
+  EXPECT_EQ(first.traces.get(), second.traces.get())
+      << "hits must share the same immutable storage";
+  EXPECT_EQ(calls.load(), 1);
+
+  const TraceStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.bytes_resident, trace_set_bytes(*first.traces));
+}
+
+TEST(TraceStoreTest, DistinctKeysGenerateIndependently) {
+  TraceStore store;
+  std::atomic<int> calls{0};
+  const auto gen = [&calls] {
+    ++calls;
+    return tiny_set(2);
+  };
+  (void)store.get(TraceKey{"a", 1}, gen);
+  (void)store.get(TraceKey{"a", 2}, gen);  // same suite, other config
+  (void)store.get(TraceKey{"b", 1}, gen);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(store.stats().misses, 3u);
+}
+
+TEST(TraceStoreTest, ReleaseDropsResidencyButKeepsHandlesAlive) {
+  TraceStore store;
+  const TraceKey key{"released", 7};
+  const TraceStore::Acquired held =
+      store.get(key, [] { return tiny_set(7); });
+  store.release(key);
+
+  TraceStoreStats stats = store.stats();
+  EXPECT_EQ(stats.bytes_resident, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The outstanding handle still reads valid data.
+  EXPECT_EQ(*held.traces, tiny_set(7));
+
+  // The next get regenerates.
+  const TraceStore::Acquired again =
+      store.get(key, [] { return tiny_set(7); });
+  EXPECT_EQ(again.source, TraceStore::Source::kGenerated);
+  EXPECT_EQ(store.stats().misses, 2u);
+  EXPECT_EQ(*again.traces, *held.traces);
+}
+
+TEST(TraceStoreTest, CapacityEvictsLeastRecentlyUsed) {
+  TraceStore::Options opts;
+  opts.max_resident_bytes = trace_set_bytes(tiny_set(0)) + 8;
+  TraceStore store(opts);
+
+  const TraceStore::Acquired a =
+      store.get(TraceKey{"lru-a", 1}, [] { return tiny_set(1); });
+  const TraceStore::Acquired b =
+      store.get(TraceKey{"lru-b", 2}, [] { return tiny_set(2); });
+  const TraceStoreStats stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes_resident, opts.max_resident_bytes);
+  // Evicted entries stay alive through outstanding handles.
+  EXPECT_EQ(*a.traces, tiny_set(1));
+  EXPECT_EQ(*b.traces, tiny_set(2));
+  // "lru-a" was evicted, so re-acquiring it is a fresh miss.
+  const TraceStore::Acquired a2 =
+      store.get(TraceKey{"lru-a", 1}, [] { return tiny_set(1); });
+  EXPECT_EQ(a2.source, TraceStore::Source::kGenerated);
+}
+
+TEST(TraceStoreTest, WarmTierPersistsAcrossStores) {
+  TempDir dir("pacsim_warm_tier");
+  TraceStore::Options opts;
+  opts.warm_dir = dir.path.string();
+
+  const TraceKey key{"warm", 0xBEEF};
+  std::atomic<int> calls{0};
+  const auto gen = [&calls] {
+    ++calls;
+    return tiny_set(3, 64);
+  };
+
+  TraceStore cold(opts);
+  const TraceStore::Acquired generated = cold.get(key, gen);
+  EXPECT_EQ(generated.source, TraceStore::Source::kGenerated);
+  EXPECT_TRUE(std::filesystem::exists(dir.path / key.filename()));
+
+  // A brand-new store (fresh process, conceptually) loads from disk.
+  TraceStore warm(opts);
+  const TraceStore::Acquired loaded = warm.get(key, gen);
+  EXPECT_EQ(loaded.source, TraceStore::Source::kWarmTier);
+  EXPECT_EQ(calls.load(), 1) << "warm hit must not regenerate";
+  EXPECT_EQ(*loaded.traces, *generated.traces)
+      << "warm tier must round-trip traces byte-identically";
+  EXPECT_EQ(warm.stats().warm_hits, 1u);
+  EXPECT_EQ(warm.stats().misses, 0u);
+}
+
+TEST(TraceStoreTest, CorruptWarmFileFallsBackToGeneration) {
+  TempDir dir("pacsim_warm_corrupt");
+  TraceStore::Options opts;
+  opts.warm_dir = dir.path.string();
+  const TraceKey key{"corrupt", 5};
+
+  std::filesystem::create_directories(dir.path);
+  {
+    std::ofstream out(dir.path / key.filename(), std::ios::binary);
+    out << "THIS IS NOT A TRACE FILE";
+  }
+
+  TraceStore store(opts);
+  const TraceStore::Acquired got =
+      store.get(key, [] { return tiny_set(5); });
+  EXPECT_EQ(got.source, TraceStore::Source::kGenerated);
+  EXPECT_EQ(*got.traces, tiny_set(5));
+
+  // The corrupt file was replaced by a valid one.
+  TraceStore reread(opts);
+  const TraceStore::Acquired fixed =
+      store.get(key, [] { return tiny_set(5); });  // memory hit
+  const TraceStore::Acquired from_disk =
+      reread.get(key, [] { return tiny_set(5); });
+  EXPECT_EQ(from_disk.source, TraceStore::Source::kWarmTier);
+  EXPECT_EQ(*from_disk.traces, *fixed.traces);
+}
+
+TEST(TraceStoreTest, ConcurrentGetsGenerateExactlyOnce) {
+  TraceStore store;
+  std::atomic<int> calls{0};
+  const TraceKey key{"concurrent", 9};
+
+  constexpr int kThreads = 8;
+  std::vector<SharedTraceSet> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      seen[i] = store
+                    .get(key,
+                         [&calls] {
+                           ++calls;
+                           return tiny_set(9, 256);
+                         })
+                    .traces;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(calls.load(), 1);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[i].get(), seen[0].get());
+  }
+  const TraceStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Differential proofs: store-fed runs vs fresh generation.
+
+constexpr CoalescerKind kAllKinds[] = {
+    CoalescerKind::kDirect, CoalescerKind::kMshrDmc,
+    CoalescerKind::kSortingDmc, CoalescerKind::kPac};
+
+std::string report_of(const std::string& label, CoalescerKind kind,
+                      const RunResult& r) {
+  // The serialized report covers every metric a table could print; the
+  // sim_throughput block is wall-clock derived and legitimately differs.
+  return run_report_json(label, kind, r, /*include_throughput=*/false);
+}
+
+TEST(TraceStoreDifferential, StoreTracesMatchFreshGeneration) {
+  const WorkloadConfig wcfg = small_wcfg();
+  TraceStore store;
+  for (const char* name : {"stream", "gs", "bfs"}) {
+    const Workload* suite = find_workload(name);
+    const TraceStore::Acquired acquired =
+        acquire_traces(&store, *suite, wcfg);
+    EXPECT_EQ(*acquired.traces, suite->generate(wcfg))
+        << name << ": memoized traces must be byte-identical";
+  }
+}
+
+TEST(TraceStoreDifferential, RunSuiteMatchesFreshForEveryKind) {
+  const WorkloadConfig wcfg = small_wcfg();
+  const Workload* suite = find_workload("stream");
+
+  TempDir dir("pacsim_diff_warm");
+  TraceStore::Options opts;
+  opts.warm_dir = dir.path.string();
+  TraceStore store(opts);
+
+  for (CoalescerKind kind : kAllKinds) {
+    const std::string label =
+        "stream/" + std::string(to_string(kind));
+    const RunResult fresh =
+        run_suite(*suite, kind, wcfg, SystemConfig{}, nullptr);
+    const RunResult cached =
+        run_suite(*suite, kind, wcfg, SystemConfig{}, &store);
+    EXPECT_EQ(report_of(label, kind, fresh), report_of(label, kind, cached))
+        << label << ": store-fed run diverged from fresh generation";
+  }
+  // All four kinds consumed one trace set: exactly one generation.
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().hits, 3u);
+
+  // Warm tier: a fresh store in the same directory loads from disk and
+  // still produces identical results.
+  TraceStore warm(opts);
+  const RunResult from_disk = run_suite(*suite, CoalescerKind::kPac, wcfg,
+                                        SystemConfig{}, &warm);
+  const RunResult fresh = run_suite(*suite, CoalescerKind::kPac, wcfg,
+                                    SystemConfig{}, nullptr);
+  EXPECT_EQ(warm.stats().warm_hits, 1u);
+  EXPECT_EQ(report_of("warm", CoalescerKind::kPac, from_disk),
+            report_of("warm", CoalescerKind::kPac, fresh));
+}
+
+TEST(TraceStoreDifferential, MultiprocessMatchesFresh) {
+  WorkloadConfig wcfg = small_wcfg();
+  wcfg.num_cores = 3;  // odd split exercises the remainder-core path
+  const Workload* first = find_workload("stream");
+  const Workload* second = find_workload("gs");
+
+  TraceStore store;
+  for (CoalescerKind kind : {CoalescerKind::kPac, CoalescerKind::kMshrDmc}) {
+    const RunResult fresh = run_multiprocess(*first, *second, kind, wcfg,
+                                             SystemConfig{}, nullptr);
+    const RunResult cached = run_multiprocess(*first, *second, kind, wcfg,
+                                              SystemConfig{}, &store);
+    EXPECT_EQ(report_of("mp", kind, fresh), report_of("mp", kind, cached))
+        << to_string(kind) << ": multiprocess store run diverged";
+  }
+  // Two half-configs, each generated once across both kinds.
+  EXPECT_EQ(store.stats().misses, 2u);
+  EXPECT_EQ(store.stats().hits, 2u);
+}
+
+TEST(TraceStoreDifferential, SweepGeneratesEachTraceSetExactlyOnce) {
+  const WorkloadConfig wcfg = small_wcfg();
+  std::vector<exp::SweepJob> sweep;
+  std::size_t unique_suites = 0;
+  for (const char* name : {"stream", "bfs"}) {
+    ++unique_suites;
+    for (CoalescerKind kind : kAllKinds) {
+      exp::SweepJob job;
+      job.suite = find_workload(name);
+      job.cfg.coalescer = kind;
+      job.label = std::string(name) + "/" + std::string(to_string(kind));
+      sweep.push_back(std::move(job));
+    }
+  }
+
+  TraceStore store;
+  const std::vector<RunResult> shared =
+      exp::SweepRunner(4).run(sweep, wcfg, &store);
+  const std::vector<RunResult> ephemeral =
+      exp::SweepRunner(4).run(sweep, wcfg, nullptr);
+  const std::vector<RunResult> serial =
+      exp::SweepRunner(1).run(sweep, wcfg, nullptr);
+
+  const TraceStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, unique_suites)
+      << "each sweep point must generate its trace set exactly once";
+  EXPECT_EQ(stats.hits, sweep.size() - unique_suites);
+  EXPECT_EQ(stats.evictions, 0u) << "external stores keep entries resident";
+
+  ASSERT_EQ(shared.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const std::string want =
+        report_of(sweep[i].label, sweep[i].cfg.coalescer, serial[i]);
+    EXPECT_EQ(report_of(sweep[i].label, sweep[i].cfg.coalescer, shared[i]),
+              want)
+        << sweep[i].label << ": shared-store sweep diverged from serial";
+    EXPECT_EQ(report_of(sweep[i].label, sweep[i].cfg.coalescer, ephemeral[i]),
+              want)
+        << sweep[i].label << ": ephemeral-store sweep diverged from serial";
+  }
+}
+
+TEST(TraceStoreDifferential, SharedTraceSetSimulateMatchesVectorPath) {
+  const WorkloadConfig wcfg = small_wcfg();
+  const Workload* suite = find_workload("gs");
+  const TraceSet traces = suite->generate(wcfg);
+  SystemConfig cfg;
+  cfg.num_cores = wcfg.num_cores;
+
+  const RunResult by_vector = simulate(cfg, traces);
+  const RunResult by_set = simulate(
+      cfg, std::make_shared<const TraceSet>(suite->generate(wcfg)));
+  EXPECT_EQ(report_of("gs", cfg.coalescer, by_vector),
+            report_of("gs", cfg.coalescer, by_set));
+}
+
+}  // namespace
+}  // namespace pacsim
