@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,23 @@ class EvalContext {
         cli.get_u64("streams", scfg.pac.num_streams));
     if (cli.has("nobypass")) scfg.pac.enable_bypass_controller = false;
     if (cli.has("noprefetch")) scfg.enable_prefetch = false;
+    // Fault injection (all rates default 0 = injection fully disabled):
+    //   faultrate=<p>   per-packet link CRC error probability
+    //   faultdrop=<p>   response drop probability (recovered via timeout)
+    //   faultstall=<p>  transient vault stall probability
+    //   faultseed=<n>   fault RNG seed (independent of workload seed)
+    scfg.fault.link_error_rate = cli.get_double("faultrate", 0.0);
+    scfg.fault.response_drop_rate = cli.get_double("faultdrop", 0.0);
+    scfg.fault.vault_stall_rate = cli.get_double("faultstall", 0.0);
+    scfg.fault.seed = cli.get_u64("faultseed", scfg.fault.seed);
+    // Requester-side retry: retrytimeout=<cycles>, retrymax=<n>.
+    scfg.retry.response_timeout = cli.get_u64("retrytimeout",
+                                              scfg.retry.response_timeout);
+    scfg.retry.max_retries = static_cast<std::uint32_t>(
+        cli.get_u64("retrymax", scfg.retry.max_retries));
+    // jobtimeout=<seconds>: per-job wall-clock watchdog (0 disables). An
+    // over-budget job is cancelled and reported, not aborted on.
+    job_timeout_seconds = cli.get_double("jobtimeout", 0.0);
     // jobs=<n>: simulation threads (default: hardware concurrency;
     // jobs=1 runs serially in the calling thread).
     jobs = static_cast<unsigned>(cli.get_u64("jobs", exp::default_jobs()));
@@ -66,11 +84,24 @@ class EvalContext {
     store = std::make_unique<TraceStore>(store_opts);
   }
 
+  /// One non-ok job from run_all (isolated, not fatal to the bench).
+  struct Failure {
+    std::string label;
+    std::string status;  ///< "failed" or "timeout"
+    std::string error;
+    double wall_seconds = 0.0;
+  };
+
   WorkloadConfig wcfg;
   SystemConfig scfg;
   std::string only;        ///< restrict to one suite (suite=name)
   unsigned jobs = 1;       ///< simulation threads (jobs=<n>)
   std::string report_dir;  ///< JSON report directory (jsondir=<dir>)
+  double job_timeout_seconds = 0.0;  ///< watchdog budget (jobtimeout=<s>)
+  /// Failures accumulated by run_all; mutable because collecting them is a
+  /// side channel of the logically-const sweep. write_report serializes
+  /// them as structured "failed"/"timeout" entries instead of runs.
+  mutable std::vector<Failure> failures;
   /// Shared by every sweep and direct run_suite/run_multiprocess call of
   /// the bench: each distinct (suite, WorkloadConfig) trace set is
   /// generated at most once per process, and at most once per machine when
@@ -106,8 +137,23 @@ class EvalContext {
     }
 
     const exp::SweepRunner runner(jobs);
-    const std::vector<RunResult> results =
-        runner.run(sweep, wcfg, trace_store());
+    exp::SweepOptions opts;
+    opts.job_timeout_seconds = job_timeout_seconds;
+    std::vector<exp::JobOutcome> outcomes =
+        runner.run_isolated(sweep, wcfg, opts, trace_store());
+
+    // A failed or timed-out cell keeps its (zeroed) RunResult slot so the
+    // tables stay rectangular; the failure is logged, recorded for the
+    // JSON report, and never takes the rest of the sweep down.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].ok()) continue;
+      std::fprintf(stderr, "[bench] %s: %s: %s\n", sweep[i].label.c_str(),
+                   exp::to_string(outcomes[i].status),
+                   outcomes[i].error.c_str());
+      failures.push_back({sweep[i].label,
+                          std::string(exp::to_string(outcomes[i].status)),
+                          outcomes[i].error, outcomes[i].wall_seconds});
+    }
 
     std::vector<SuiteResults> out;
     out.reserve(suites.size());
@@ -115,7 +161,9 @@ class EvalContext {
     for (const Workload* suite : suites) {
       SuiteResults sr;
       sr.name = std::string(suite->name());
-      for (CoalescerKind kind : kinds) sr.runs.emplace(kind, results[next++]);
+      for (CoalescerKind kind : kinds) {
+        sr.runs.emplace(kind, std::move(outcomes[next++].result));
+      }
       out.push_back(std::move(sr));
     }
     return out;
@@ -126,11 +174,19 @@ class EvalContext {
   void write_report(const std::string& bench,
                     const std::vector<SuiteResults>& all) const {
     if (report_dir.empty()) return;
+    std::set<std::string> failed;
+    for (const Failure& f : failures) failed.insert(f.label);
     SweepReport report(bench);
     for (const auto& s : all) {
       for (const auto& [kind, r] : s.runs) {
-        report.add(s.name + "/" + std::string(to_string(kind)), kind, r);
+        const std::string label =
+            s.name + "/" + std::string(to_string(kind));
+        if (failed.count(label) != 0) continue;  // serialized below
+        report.add(label, kind, r);
       }
+    }
+    for (const Failure& f : failures) {
+      report.add_failure(f.label, f.status, f.error, f.wall_seconds);
     }
     report.set_trace_store(store->stats());
     const std::string path = report.write(report_dir);

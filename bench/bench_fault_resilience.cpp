@@ -1,0 +1,139 @@
+// Resilience sweep: every suite simulated under injected HMC link faults at
+// increasing error rates, for both PAC and the MSHR-DMC baseline. Reports
+// the injected-fault counts, the retry traffic they caused, the effective
+// payload fraction (goodput after retransmission overhead) and the cycle
+// slowdown relative to the fault-free run of the same (suite, coalescer).
+//
+// Knobs (on top of the common set):
+//   faultrate=<p>   top of the swept error-rate ladder (default 1e-3);
+//                   the sweep runs {0, p/100, p/10, p}
+//   faultdrop=<p>   response drop rate at the top rung (scales down the
+//                   ladder with the link rate; default faultrate/10)
+//   jobtimeout=<s>  per-job watchdog - a hung cell becomes a structured
+//                   "timeout" entry instead of wedging the bench
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+namespace {
+
+std::string rate_label(double rate) {
+  if (rate <= 0.0) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0e", rate);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  EvalContext ctx(cli);
+
+  const double top_rate =
+      ctx.scfg.fault.link_error_rate > 0.0 ? ctx.scfg.fault.link_error_rate
+                                           : 1e-3;
+  const double top_drop = ctx.scfg.fault.response_drop_rate > 0.0
+                              ? ctx.scfg.fault.response_drop_rate
+                              : top_rate / 10.0;
+  const double rates[] = {0.0, top_rate / 100.0, top_rate / 10.0, top_rate};
+  const CoalescerKind kinds[] = {CoalescerKind::kMshrDmc,
+                                 CoalescerKind::kPac};
+
+  std::vector<const Workload*> suites;
+  for (const Workload* suite : all_workloads()) {
+    if (!ctx.only.empty() && ctx.only != suite->name()) continue;
+    suites.push_back(suite);
+  }
+
+  std::vector<exp::SweepJob> sweep;
+  for (const Workload* suite : suites) {
+    for (CoalescerKind kind : kinds) {
+      for (double rate : rates) {
+        exp::SweepJob job;
+        job.suite = suite;
+        job.cfg = ctx.scfg;
+        job.cfg.coalescer = kind;
+        job.cfg.fault.link_error_rate = rate;
+        // Scale the drop/stall rates with the link rate so one ladder
+        // exercises every recovery path (NACK, timeout, stall).
+        job.cfg.fault.response_drop_rate = top_drop * (rate / top_rate);
+        job.cfg.fault.vault_stall_rate = rate;
+        job.label = std::string(suite->name()) + "/" +
+                    std::string(to_string(kind)) + "@" + rate_label(rate);
+        sweep.push_back(std::move(job));
+      }
+    }
+  }
+
+  const exp::SweepRunner runner(ctx.jobs);
+  exp::SweepOptions opts;
+  opts.job_timeout_seconds = ctx.job_timeout_seconds;
+  const std::vector<exp::JobOutcome> outcomes =
+      runner.run_isolated(sweep, ctx.wcfg, opts, ctx.trace_store());
+
+  Table t({"suite", "coalescer", "rate", "link errs", "drops", "stalls",
+           "retx", "timeouts", "eff payload", "slowdown"});
+  std::size_t next = 0;
+  for (const Workload* suite : suites) {
+    for (CoalescerKind kind : kinds) {
+      const std::size_t base_idx = next;  // rate 0 comes first per (s, k)
+      for (double rate : rates) {
+        (void)rate;
+        const exp::JobOutcome& oc = outcomes[next];
+        const exp::SweepJob& job = sweep[next];
+        ++next;
+        if (!oc.ok()) {
+          t.add_row({std::string(suite->name()),
+                     std::string(to_string(kind)),
+                     rate_label(job.cfg.fault.link_error_rate),
+                     std::string(exp::to_string(oc.status)), "-", "-", "-",
+                     "-", "-", "-"});
+          continue;
+        }
+        const RunResult& r = oc.result;
+        const ResilienceStats& res = r.resilience;
+        const exp::JobOutcome& base = outcomes[base_idx];
+        const double slowdown =
+            base.ok() && base.result.cycles > 0
+                ? static_cast<double>(r.cycles) /
+                      static_cast<double>(base.result.cycles)
+                : 0.0;
+        t.add_row(
+            {std::string(suite->name()), std::string(to_string(kind)),
+             rate_label(job.cfg.fault.link_error_rate),
+             std::to_string(res.fault.link_errors),
+             std::to_string(res.fault.response_drops),
+             std::to_string(res.fault.vault_stalls),
+             std::to_string(res.retry.retransmissions),
+             std::to_string(res.retry.timeout_fires),
+             Table::pct(res.effective_payload_fraction(
+                            r.coal.issued_payload_bytes) *
+                        100.0),
+             Table::num(slowdown)});
+      }
+    }
+  }
+  t.print(
+      "fault resilience: injected link errors, retry traffic and slowdown "
+      "(rate 0 = fault-free reference; all runs complete losslessly)");
+
+  if (!ctx.report_dir.empty()) {
+    SweepReport report("bench_fault_resilience");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      if (outcomes[i].ok()) {
+        report.add(sweep[i].label, sweep[i].cfg.coalescer,
+                   outcomes[i].result);
+      } else {
+        report.add_failure(sweep[i].label,
+                           exp::to_string(outcomes[i].status),
+                           outcomes[i].error, outcomes[i].wall_seconds);
+      }
+    }
+    report.set_trace_store(ctx.trace_store()->stats());
+    const std::string path = report.write(ctx.report_dir);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -62,7 +62,8 @@ void fig10b(const EvalContext& ctx) {
 
   PowerModel power;
   HmcDevice device(ctx.scfg.hmc, &power);
-  Pac pac(pac_cfg, &device);
+  DevicePort port(&device, RetryConfig{}, /*tracking=*/false);
+  Pac pac(pac_cfg, &port);
 
   // Feed the raw CPU accesses (not cache lines) directly, one per cycle.
   Cycle now = 0;

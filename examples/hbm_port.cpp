@@ -19,13 +19,16 @@ namespace {
 struct Standalone {
   PowerModel power;
   HmcDevice device;
+  DevicePort port;
   Pac pac;
   Cycle now = 0;
   std::uint64_t next_id = 1;
   std::uint64_t satisfied = 0;
 
   Standalone(const PacConfig& cfg, const HmcConfig& hmc)
-      : device(hmc, &power), pac(cfg, &device) {}
+      : device(hmc, &power),
+        port(&device, RetryConfig{}, /*tracking=*/false),
+        pac(cfg, &port) {}
 
   void tick() {
     device.tick(now);

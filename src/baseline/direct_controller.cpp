@@ -7,7 +7,7 @@
 namespace pacsim {
 
 DirectController::DirectController(const DirectControllerConfig& cfg,
-                                   HmcDevice* device)
+                                   DevicePort* device)
     : cfg_(cfg), device_(device) {}
 
 bool DirectController::accept(const MemRequest& request, Cycle now) {

@@ -7,7 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "hmc/hmc_device.hpp"
+#include "hmc/device_port.hpp"
 #include "pac/coalescer.hpp"
 
 namespace pacsim {
@@ -19,7 +19,7 @@ struct DirectControllerConfig {
 
 class DirectController final : public Coalescer {
  public:
-  DirectController(const DirectControllerConfig& cfg, HmcDevice* device);
+  DirectController(const DirectControllerConfig& cfg, DevicePort* device);
 
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
@@ -36,7 +36,7 @@ class DirectController final : public Coalescer {
 
  private:
   DirectControllerConfig cfg_;
-  HmcDevice* device_;
+  DevicePort* device_;
   CoalescerStats stats_;
   std::unordered_map<std::uint64_t, std::uint64_t> outstanding_;  ///< dev -> raw
   std::uint64_t next_device_id_ = 1;

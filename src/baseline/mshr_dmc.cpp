@@ -7,7 +7,7 @@
 
 namespace pacsim {
 
-MshrDmc::MshrDmc(const MshrDmcConfig& cfg, HmcDevice* device)
+MshrDmc::MshrDmc(const MshrDmcConfig& cfg, DevicePort* device)
     : cfg_(cfg), device_(device) {
   entries_.resize(cfg_.num_mshrs);
 }

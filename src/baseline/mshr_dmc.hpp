@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "hmc/hmc_device.hpp"
+#include "hmc/device_port.hpp"
 #include "pac/coalescer.hpp"
 
 namespace pacsim {
@@ -23,7 +23,7 @@ struct MshrDmcConfig {
 
 class MshrDmc final : public Coalescer {
  public:
-  MshrDmc(const MshrDmcConfig& cfg, HmcDevice* device);
+  MshrDmc(const MshrDmcConfig& cfg, DevicePort* device);
 
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
@@ -49,7 +49,7 @@ class MshrDmc final : public Coalescer {
   bool dispatch_entry(Entry& entry, Cycle now);
 
   MshrDmcConfig cfg_;
-  HmcDevice* device_;
+  DevicePort* device_;
   CoalescerStats stats_;
   std::vector<Entry> entries_;
   unsigned occupied_ = 0;

@@ -8,7 +8,7 @@
 namespace pacsim {
 
 SortingCoalescer::SortingCoalescer(const SortingCoalescerConfig& cfg,
-                                   HmcDevice* device)
+                                   DevicePort* device)
     : cfg_(cfg),
       device_(device),
       network_(SortingNetwork::bitonic(cfg.window)) {

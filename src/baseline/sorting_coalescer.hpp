@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "baseline/sorting_network.hpp"
-#include "hmc/hmc_device.hpp"
+#include "hmc/device_port.hpp"
 #include "pac/coalescer.hpp"
 
 namespace pacsim {
@@ -30,7 +30,7 @@ struct SortingCoalescerConfig {
 
 class SortingCoalescer final : public Coalescer {
  public:
-  SortingCoalescer(const SortingCoalescerConfig& cfg, HmcDevice* device);
+  SortingCoalescer(const SortingCoalescerConfig& cfg, DevicePort* device);
 
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
@@ -55,7 +55,7 @@ class SortingCoalescer final : public Coalescer {
   void dispatch(Cycle now);
 
   SortingCoalescerConfig cfg_;
-  HmcDevice* device_;
+  DevicePort* device_;
   SortingNetwork network_;
   CoalescerStats stats_;
 

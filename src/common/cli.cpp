@@ -1,8 +1,21 @@
 #include "common/cli.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace pacsim {
+namespace {
+
+[[noreturn]] void bad_value(const char* want, const std::string& key,
+                            const std::string& value) {
+  throw std::invalid_argument("Cli: expected " + std::string(want) +
+                              " for argument '" + key + "=" + value + "'");
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -19,21 +32,62 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+Cli::~Cli() {
+  for (const auto& [key, value] : kv_) {
+    if (queried_.count(key) == 0) {
+      std::fprintf(stderr,
+                   "[pacsim] warning: unknown command-line knob '%s=%s' "
+                   "(never queried; possible typo)\n",
+                   key.c_str(), value.c_str());
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  queried_.insert(key);
+  return kv_.count(key) != 0;
+}
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
   return it == kv_.end() ? fallback : it->second;
 }
 
 std::uint64_t Cli::get_u64(const std::string& key, std::uint64_t fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
+  if (it == kv_.end()) return fallback;
+  const std::string& value = it->second;
+  // strtoull accepts a leading '-' (wrapping modulo 2^64); reject it -
+  // no knob in this codebase means anything by a negative count.
+  if (value.empty() || value.front() == '-' || std::isspace(
+          static_cast<unsigned char>(value.front()))) {
+    bad_value("an unsigned integer", key, value);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 0);
+  if (errno == ERANGE) bad_value("an in-range unsigned integer", key, value);
+  if (end == value.c_str() || *end != '\0') {
+    bad_value("an unsigned integer", key, value);
+  }
+  return parsed;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
+  queried_.insert(key);
   auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return fallback;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno == ERANGE) bad_value("an in-range number", key, value);
+  if (end == value.c_str() || *end != '\0') {
+    bad_value("a number", key, value);
+  }
+  return parsed;
 }
 
 }  // namespace pacsim

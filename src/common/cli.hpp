@@ -3,14 +3,22 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 namespace pacsim {
 
 /// Parses `key=value` arguments plus bare flags (`--quick` -> quick=1).
+///
+/// Numeric accessors are strict: a value that does not parse completely
+/// (e.g. `ops=12x`, `faultrate=0.1.2`) throws std::invalid_argument naming
+/// the offending `key=value` - a typoed knob must never silently become 0
+/// or a truncated prefix. The destructor warns on stderr about keys that
+/// were given but never queried, which catches misspelled knob names.
 class Cli {
  public:
   Cli(int argc, char** argv);
+  ~Cli();
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
@@ -22,6 +30,9 @@ class Cli {
 
  private:
   std::map<std::string, std::string> kv_;
+  /// Keys some accessor has looked up; `mutable` because querying is
+  /// logically const but still registers the key as known.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace pacsim

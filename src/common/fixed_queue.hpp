@@ -1,8 +1,9 @@
 // Bounded FIFO used for hardware queues (MAQ, vault slots, link buffers).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <utility>
 
@@ -21,20 +22,23 @@ class FixedQueue {
     return true;
   }
 
-  /// Pop the head; undefined when empty (assert in debug builds).
+  /// Pop the head; aborts when empty. The check stays on in release
+  /// builds: an empty-pop here means a protocol bug upstream (a coalescer
+  /// double-draining, a vault retiring a phantom slot), and returning a
+  /// moved-from T would corrupt the simulation silently.
   T pop() {
-    assert(!items_.empty());
+    check_nonempty("pop");
     T v = std::move(items_.front());
     items_.pop_front();
     return v;
   }
 
   [[nodiscard]] const T& front() const {
-    assert(!items_.empty());
+    check_nonempty("front");
     return items_.front();
   }
   [[nodiscard]] T& front() {
-    assert(!items_.empty());
+    check_nonempty("front");
     return items_.front();
   }
 
@@ -70,6 +74,14 @@ class FixedQueue {
   auto end() { return items_.end(); }
 
  private:
+  void check_nonempty(const char* op) const {
+    if (items_.empty()) [[unlikely]] {
+      std::fprintf(stderr, "FixedQueue::%s on empty queue (capacity %zu)\n",
+                   op, capacity_);
+      std::abort();
+    }
+  }
+
   std::size_t capacity_;
   std::deque<T> items_;
 };

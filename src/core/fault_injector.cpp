@@ -1,0 +1,38 @@
+#include "core/fault_injector.hpp"
+
+namespace pacsim {
+
+FaultInjector::FaultInjector(const FaultConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+bool FaultInjector::decide(double rate, std::uint32_t& burst_left,
+                           std::uint64_t& counter) {
+  if (burst_left > 0) {
+    --burst_left;
+    ++counter;
+    return true;
+  }
+  // A zero-rate category never draws, so enabling one fault kind does not
+  // perturb the stream positions of the others' disabled categories.
+  if (rate <= 0.0) return false;
+  if (rng_.uniform() >= rate) return false;
+  if (cfg_.burst_length > 1) burst_left = cfg_.burst_length - 1;
+  ++counter;
+  return true;
+}
+
+bool FaultInjector::corrupt_request() {
+  return decide(cfg_.link_error_rate, link_burst_left_, stats_.link_errors);
+}
+
+bool FaultInjector::drop_response() {
+  return decide(cfg_.response_drop_rate, drop_burst_left_,
+                stats_.response_drops);
+}
+
+bool FaultInjector::stall_vault() {
+  return decide(cfg_.vault_stall_rate, stall_burst_left_,
+                stats_.vault_stalls);
+}
+
+}  // namespace pacsim

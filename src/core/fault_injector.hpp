@@ -1,0 +1,86 @@
+// Deterministic fault injection for the coalescer <-> HMC boundary.
+//
+// The injector owns a single xoshiro256** stream seeded from
+// FaultConfig::seed, and every fault decision is one draw made at a
+// deterministic point in the simulation's event order (request link
+// traversal, response completion, vault dispatch). Two runs with the same
+// workload seed and the same fault seed therefore inject the identical
+// fault pattern - the property the resilience acceptance tests rely on.
+//
+// A default-constructed FaultConfig has every rate at zero; components hold
+// a `FaultInjector*` that is simply null in that case, so the fault-free
+// configuration pays no RNG draws and stays bit-identical to a build
+// without the subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+
+/// Error model for the SerDes links and vault controllers. Rates are
+/// per-decision probabilities in [0, 1].
+struct FaultConfig {
+  /// P(request packet fails its link CRC) per submitted packet. The device
+  /// NACKs the packet after its link traversal; the requester retransmits.
+  double link_error_rate = 0.0;
+  /// P(response packet is lost) per completed request. The requester only
+  /// notices via its response timeout ("poisoned response" drop).
+  double response_drop_rate = 0.0;
+  /// P(transient vault stall) per vault dispatch attempt: the vault
+  /// controller goes dark for `vault_stall_cycles` (models ECC scrubs and
+  /// vault-local retry storms; adds latency but loses nothing).
+  double vault_stall_rate = 0.0;
+  /// Consecutive faults injected once a fault fires (burst errors): a CRC
+  /// hit of burst_length 3 also corrupts the next two packets on the path.
+  std::uint32_t burst_length = 1;
+  Cycle vault_stall_cycles = 64;
+  std::uint64_t seed = 0xFA017ULL;
+
+  [[nodiscard]] bool enabled() const {
+    return link_error_rate > 0.0 || response_drop_rate > 0.0 ||
+           vault_stall_rate > 0.0;
+  }
+};
+
+struct FaultStats {
+  std::uint64_t link_errors = 0;     ///< request packets NACKed
+  std::uint64_t response_drops = 0;  ///< response packets lost
+  std::uint64_t vault_stalls = 0;    ///< transient vault stalls injected
+  [[nodiscard]] std::uint64_t total() const {
+    return link_errors + response_drops + vault_stalls;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg);
+
+  /// Roll the link-CRC model for one submitted request packet.
+  [[nodiscard]] bool corrupt_request();
+  /// Roll the response-loss model for one completed request.
+  [[nodiscard]] bool drop_response();
+  /// Roll the transient-stall model for one vault dispatch attempt.
+  [[nodiscard]] bool stall_vault();
+
+  [[nodiscard]] Cycle stall_cycles() const { return cfg_.vault_stall_cycles; }
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  /// One decision: either continue an active burst or roll `rate`. A fresh
+  /// fault arms `burst_left` so the next `burst_length - 1` decisions of
+  /// the same kind fault without rolling.
+  bool decide(double rate, std::uint32_t& burst_left, std::uint64_t& counter);
+
+  FaultConfig cfg_;
+  FaultStats stats_;
+  Rng rng_;
+  std::uint32_t link_burst_left_ = 0;
+  std::uint32_t drop_burst_left_ = 0;
+  std::uint32_t stall_burst_left_ = 0;
+};
+
+}  // namespace pacsim

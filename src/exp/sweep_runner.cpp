@@ -1,25 +1,50 @@
 #include "exp/sweep_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "exp/thread_pool.hpp"
 #include "sim/runner.hpp"
 
 namespace pacsim::exp {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-job watchdog state. `deadline_ns` < 0 means "not running" (the
+/// watchdog skips the slot); the worker publishes its deadline when the job
+/// starts and retracts it when the job ends.
+struct JobCtl {
+  std::atomic<bool> cancel{false};
+  std::atomic<std::int64_t> deadline_ns{-1};
+};
+
+}  // namespace
 
 SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs == 0 ? default_jobs() : jobs) {}
 
-std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
-                                        const WorkloadConfig& wcfg,
-                                        TraceStore* store) const {
+std::vector<JobOutcome> SweepRunner::run_isolated(
+    const std::vector<SweepJob>& sweep, const WorkloadConfig& wcfg,
+    const SweepOptions& opts, TraceStore* store) const {
   // The store deduplicates generation (its per-entry once_flag makes the
   // first job of each suite generate while the rest block and share). The
   // ephemeral fallback preserves the historical memory profile: entries
-  // are released as soon as their last job retires.
+  // are released as soon as their last job retires - including failed ones.
   std::unique_ptr<TraceStore> ephemeral;
   if (store == nullptr) {
     ephemeral = std::make_unique<TraceStore>();
@@ -37,18 +62,74 @@ std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
     suites[job.suite].remaining.fetch_add(1, std::memory_order_relaxed);
   }
 
-  std::vector<RunResult> results(sweep.size());
+  std::vector<JobOutcome> outcomes(sweep.size());
+  std::vector<JobCtl> ctl(sweep.size());
+
+  // The watchdog polls coarse deadlines instead of arming per-job timers:
+  // simulations run seconds-to-minutes, so a (timeout/8, capped) poll
+  // period costs nothing and keeps the design free of signal handling.
+  const bool timed = opts.job_timeout_seconds > 0.0;
+  const auto timeout_ns = static_cast<std::int64_t>(
+      opts.job_timeout_seconds * 1e9);
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (timed) {
+    watchdog = std::thread([&] {
+      const auto poll = std::chrono::nanoseconds(
+          std::clamp<std::int64_t>(timeout_ns / 8, 1'000'000, 50'000'000));
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const std::int64_t t = now_ns();
+        for (JobCtl& c : ctl) {
+          const std::int64_t deadline =
+              c.deadline_ns.load(std::memory_order_acquire);
+          if (deadline >= 0 && t > deadline) {
+            c.cancel.store(true, std::memory_order_release);
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
   parallel_for(jobs_, sweep.size(), [&](std::size_t i) {
     const SweepJob& job = sweep[i];
-    // The returned handle pins the traces for the duration of this
-    // simulation even if the entry is released or evicted mid-run.
-    const TraceStore::Acquired acquired =
-        acquire_traces(store, *job.suite, wcfg);
+    JobOutcome& outcome = outcomes[i];
+    const auto start = SteadyClock::now();
+    if (timed) {
+      ctl[i].deadline_ns.store(now_ns() + timeout_ns,
+                               std::memory_order_release);
+    }
+    try {
+      // The returned handle pins the traces for the duration of this
+      // simulation even if the entry is released or evicted mid-run.
+      const TraceStore::Acquired acquired =
+          acquire_traces(store, *job.suite, wcfg);
 
-    SystemConfig cfg = job.cfg;
-    cfg.num_cores = wcfg.num_cores;
-    results[i] = simulate(cfg, acquired.traces);
-    results[i].throughput.gen_seconds = acquired.seconds;
+      SystemConfig cfg = job.cfg;
+      cfg.num_cores = wcfg.num_cores;
+      if (timed) cfg.cancel = &ctl[i].cancel;
+      outcome.result = simulate(cfg, acquired.traces);
+      outcome.result.throughput.gen_seconds = acquired.seconds;
+      outcome.status = JobOutcome::Status::kOk;
+    } catch (const std::exception& e) {
+      outcome.exception = std::current_exception();
+      if (ctl[i].cancel.load(std::memory_order_acquire)) {
+        outcome.status = JobOutcome::Status::kTimeout;
+        outcome.error = "exceeded job timeout of " +
+                        std::to_string(opts.job_timeout_seconds) +
+                        "s: " + e.what();
+      } else {
+        outcome.status = JobOutcome::Status::kFailed;
+        outcome.error = e.what();
+      }
+    } catch (...) {
+      outcome.exception = std::current_exception();
+      outcome.status = JobOutcome::Status::kFailed;
+      outcome.error = "unknown exception";
+    }
+    ctl[i].deadline_ns.store(-1, std::memory_order_release);
+    outcome.wall_seconds =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
 
     if (ephemeral &&
         suites.at(job.suite).remaining.fetch_sub(
@@ -56,6 +137,30 @@ std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
       store->release(trace_key(*job.suite, wcfg));
     }
   });
+
+  if (timed) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+  return outcomes;
+}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<SweepJob>& sweep,
+                                        const WorkloadConfig& wcfg,
+                                        TraceStore* store) const {
+  std::vector<JobOutcome> outcomes =
+      run_isolated(sweep, wcfg, SweepOptions{}, store);
+  std::vector<RunResult> results;
+  results.reserve(outcomes.size());
+  for (JobOutcome& outcome : outcomes) {
+    if (!outcome.ok()) {
+      // Propagate the first failure in job order (run() keeps the historic
+      // all-or-nothing contract; run_isolated() is the tolerant variant).
+      if (outcome.exception) std::rethrow_exception(outcome.exception);
+      throw std::runtime_error(outcome.error);
+    }
+    results.push_back(std::move(outcome.result));
+  }
   return results;
 }
 

@@ -11,6 +11,7 @@
 // executes inline on the calling thread.
 #pragma once
 
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,35 @@ struct SweepJob {
   std::string label;  ///< free-form name for tables / JSON reports
 };
 
+/// Hardened-execution options for run_isolated().
+struct SweepOptions {
+  /// Wall-clock budget per job, covering trace acquisition + simulation;
+  /// 0 disables the watchdog. An over-budget job is cancelled cooperatively
+  /// (SystemConfig::cancel) and reported as JobOutcome::Status::kTimeout.
+  double job_timeout_seconds = 0.0;
+};
+
+/// What happened to one SweepJob under run_isolated().
+struct JobOutcome {
+  enum class Status { kOk, kFailed, kTimeout };
+  Status status = Status::kOk;
+  RunResult result;       ///< valid only when status == kOk
+  std::string error;      ///< diagnostic for kFailed / kTimeout
+  double wall_seconds = 0.0;
+  /// Original exception (kFailed / kTimeout), for callers that rethrow.
+  std::exception_ptr exception;
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+[[nodiscard]] constexpr const char* to_string(JobOutcome::Status s) {
+  switch (s) {
+    case JobOutcome::Status::kOk: return "ok";
+    case JobOutcome::Status::kFailed: return "failed";
+    case JobOutcome::Status::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 class SweepRunner {
  public:
   /// `jobs = 0` selects the hardware concurrency.
@@ -48,6 +78,17 @@ class SweepRunner {
   [[nodiscard]] std::vector<RunResult> run(const std::vector<SweepJob>& sweep,
                                            const WorkloadConfig& wcfg,
                                            TraceStore* store = nullptr) const;
+
+  /// Fault-isolated variant: a throwing or hung job never takes the sweep
+  /// down. Each job's exception is captured into its JobOutcome (status
+  /// kFailed), and with `opts.job_timeout_seconds > 0` a watchdog thread
+  /// cancels over-budget jobs cooperatively via SystemConfig::cancel
+  /// (status kTimeout; a job hung inside trace generation is only reaped
+  /// once the simulation starts checking the flag). Outcomes are in job
+  /// order; completed jobs are bit-identical to run().
+  [[nodiscard]] std::vector<JobOutcome> run_isolated(
+      const std::vector<SweepJob>& sweep, const WorkloadConfig& wcfg,
+      const SweepOptions& opts = {}, TraceStore* store = nullptr) const;
 
  private:
   unsigned jobs_;

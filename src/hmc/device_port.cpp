@@ -1,0 +1,140 @@
+#include "hmc/device_port.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pacsim {
+
+DevicePort::DevicePort(HmcDevice* device, const RetryConfig& cfg,
+                       bool tracking)
+    : device_(device), cfg_(cfg), tracking_(tracking) {}
+
+Cycle DevicePort::expo(Cycle base, std::uint32_t attempts) const {
+  if (base == 0) base = 1;
+  const unsigned shift = std::min<std::uint32_t>(attempts, 20);
+  const Cycle cap = std::max(cfg_.backoff_cap, base);
+  return std::min(base << shift, cap);
+}
+
+void DevicePort::arm(std::uint64_t id, Pending& p, Cycle cycle) {
+  ++p.timer_gen;
+  timers_.push(Timer{cycle, id, p.timer_gen});
+}
+
+void DevicePort::bump_attempts(std::uint64_t id, Pending& p) {
+  ++p.attempts;
+  stats_.max_retry_depth = std::max(stats_.max_retry_depth, p.attempts);
+  if (p.attempts > cfg_.max_retries) {
+    throw std::runtime_error("DevicePort: request " + std::to_string(id) +
+                             " exceeded retrymax=" +
+                             std::to_string(cfg_.max_retries) +
+                             " retransmissions; link unrecoverable");
+  }
+}
+
+void DevicePort::submit(DeviceRequest req, Cycle now) {
+  if (!tracking_) {
+    device_->submit(std::move(req), now);
+    return;
+  }
+  auto [it, inserted] = pending_.try_emplace(req.id);
+  assert(inserted && "duplicate DeviceRequest id at the port");
+  (void)inserted;
+  Pending& p = it->second;
+  p.req = req;  // retransmittable copy (the device consumes the original)
+  p.attempts = 0;
+  p.awaiting_resend = false;
+  arm(req.id, p, now + expo(cfg_.response_timeout, 0));
+  device_->submit(std::move(req), now);
+}
+
+void DevicePort::retransmit(std::uint64_t id, Pending& p, Cycle now) {
+  ++stats_.retransmissions;
+  stats_.retransmitted_bytes += p.req.bytes;
+  p.awaiting_resend = false;
+  device_->submit(p.req, now);  // copy: the entry may retransmit again
+  arm(id, p, now + expo(cfg_.response_timeout, p.attempts));
+}
+
+void DevicePort::tick(Cycle now) {
+  if (!tracking_) return;
+
+  // 1. Link NACKs: count the attempt and schedule the retransmit after the
+  //    per-attempt exponential backoff.
+  device_->drain_nacks_into(nack_buf_);
+  for (const DeviceNack& nack : nack_buf_) {
+    auto it = pending_.find(nack.request_id);
+    assert(it != pending_.end() && "NACK for an unknown request");
+    Pending& p = it->second;
+    ++stats_.nacks;
+    bump_attempts(nack.request_id, p);
+    p.awaiting_resend = true;
+    arm(nack.request_id, p, now + expo(cfg_.backoff_base, p.attempts - 1));
+  }
+
+  // 2. Completions: retire the pending entries, buffer the responses for
+  //    the system-side drain.
+  device_->drain_completed_into(device_buf_);
+  for (DeviceResponse& rsp : device_buf_) {
+    const std::size_t erased = pending_.erase(rsp.request_id);
+    assert(erased == 1 && "response for an unknown request");
+    (void)erased;
+    responses_.push_back(std::move(rsp));
+  }
+  device_buf_.clear();
+
+  // 3. Due timers. A timeout that retransmits re-arms at `now`, so the
+  //    retransmit itself happens later in this same loop (subject to
+  //    device_->can_accept()).
+  while (!timers_.empty() && timers_.top().cycle <= now) {
+    const Timer t = timers_.top();
+    timers_.pop();
+    auto it = pending_.find(t.id);
+    if (it == pending_.end() || it->second.timer_gen != t.gen) {
+      continue;  // stale: superseded by a newer arm() or already completed
+    }
+    Pending& p = it->second;
+    if (p.awaiting_resend) {
+      if (!device_->can_accept()) {
+        arm(t.id, p, now + 1);  // device full: retry next cycle
+        continue;
+      }
+      retransmit(t.id, p, now);
+      continue;
+    }
+    // Response deadline fired.
+    if (device_->in_flight(t.id)) {
+      // Device is just slow (vault stalls, refresh storms): no retransmit,
+      // push the deadline out by the next backoff step.
+      ++stats_.spurious_timeouts;
+      arm(t.id, p, now + expo(cfg_.response_timeout, p.attempts));
+      continue;
+    }
+    // Not in flight and never answered: the response was dropped.
+    ++stats_.timeout_fires;
+    bump_attempts(t.id, p);
+    p.awaiting_resend = true;
+    arm(t.id, p, now);
+  }
+}
+
+void DevicePort::drain_completed_into(std::vector<DeviceResponse>& out) {
+  if (!tracking_) {
+    device_->drain_completed_into(out);
+    return;
+  }
+  out.clear();
+  std::swap(out, responses_);
+}
+
+Cycle DevicePort::next_event_cycle(Cycle now) const {
+  if (!tracking_) return kNeverCycle;
+  if (!responses_.empty()) return now;
+  if (!timers_.empty()) return std::max(timers_.top().cycle, now);
+  return kNeverCycle;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,124 @@
+// Requester-side resilience layer between a coalescer and the HMC device.
+//
+// Real HMC links run CRC-protected packet retry; the coalescers should not
+// each reimplement it. The port wraps HmcDevice with one shared retry
+// buffer: every submitted request is remembered (with a retransmittable
+// copy) until its response arrives, a NACKed packet is retransmitted after
+// an exponential backoff, and a response that never arrives (injected
+// "poisoned response" drop) is recovered by a response timeout that also
+// backs off exponentially per attempt. A request that exhausts
+// RetryConfig::max_retries throws - an unrecoverable link.
+//
+// In passthrough mode (fault injection disabled) every call forwards
+// straight to the device: no copies, no timers, no draws - the fault-free
+// configuration stays bit-identical to pre-resilience builds.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "hmc/hmc_device.hpp"
+
+namespace pacsim {
+
+struct RetryConfig {
+  /// Cycles after a submit (or retransmit) before a missing response is
+  /// declared lost. Doubles per attempt, capped by `backoff_cap` below the
+  /// growth (never below the base value).
+  Cycle response_timeout = 8192;
+  /// Retransmissions allowed per request before the run aborts.
+  std::uint32_t max_retries = 8;
+  /// First NACK-retransmit delay; doubles per attempt up to `backoff_cap`.
+  Cycle backoff_base = 64;
+  Cycle backoff_cap = 1 << 20;
+};
+
+struct RetryStats {
+  std::uint64_t retransmissions = 0;  ///< packets re-submitted to the device
+  std::uint64_t nacks = 0;            ///< link NACKs received
+  std::uint64_t timeout_fires = 0;    ///< timeouts that found a lost response
+  /// Timeouts that fired while the request was genuinely still in flight
+  /// (device slower than the timeout); the deadline re-arms, no retransmit.
+  std::uint64_t spurious_timeouts = 0;
+  std::uint64_t retransmitted_bytes = 0;  ///< payload re-sent on the link
+  std::uint32_t max_retry_depth = 0;      ///< worst attempts for one request
+};
+
+class DevicePort {
+ public:
+  /// `tracking = false` selects passthrough mode. The port never owns the
+  /// device.
+  DevicePort(HmcDevice* device, const RetryConfig& cfg, bool tracking);
+
+  [[nodiscard]] bool can_accept() const { return device_->can_accept(); }
+
+  /// Admit a request at `now`. Pre: can_accept(). Tracking mode keeps a
+  /// retransmittable copy and arms the response deadline.
+  void submit(DeviceRequest req, Cycle now);
+
+  /// Process NACKs, completions, and due retry timers. Call once per cycle
+  /// after the device's own tick. Throws std::runtime_error when a request
+  /// exhausts max_retries.
+  void tick(Cycle now);
+
+  /// Move responses received since the last drain into `out` (cleared
+  /// first). Passthrough forwards the device buffer directly.
+  void drain_completed_into(std::vector<DeviceResponse>& out);
+
+  /// Earliest cycle >= `now` at which tick() can act: buffered responses
+  /// pin `now`; otherwise the earliest armed retry/deadline timer. Stale
+  /// heap entries may report an early bound - harmless, since tick() pops
+  /// them - but never a late one, so fast-forward jumps stay correct under
+  /// pending retry timers.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+
+  /// True when no request is awaiting a response or a retransmit slot.
+  [[nodiscard]] bool idle() const {
+    return !tracking_ || (pending_.empty() && responses_.empty());
+  }
+
+  [[nodiscard]] const RetryStats& stats() const { return stats_; }
+  [[nodiscard]] const RetryConfig& config() const { return cfg_; }
+  [[nodiscard]] HmcDevice* device() const { return device_; }
+
+ private:
+  struct Pending {
+    DeviceRequest req;            ///< retransmittable copy
+    std::uint32_t attempts = 0;   ///< retransmissions so far
+    std::uint64_t timer_gen = 0;  ///< invalidates stale heap entries
+    bool awaiting_resend = false; ///< armed timer is a retransmit slot
+  };
+
+  struct Timer {
+    Cycle cycle;
+    std::uint64_t id;
+    std::uint64_t gen;
+    bool operator>(const Timer& other) const {
+      return cycle != other.cycle ? cycle > other.cycle : id > other.id;
+    }
+  };
+
+  /// Re-arm `p`'s single live timer for `cycle` (lazy invalidation: the
+  /// generation bump strands any previous heap entry).
+  void arm(std::uint64_t id, Pending& p, Cycle cycle);
+  /// Exponential backoff: base << attempts, saturated at backoff_cap (but
+  /// never below base).
+  [[nodiscard]] Cycle expo(Cycle base, std::uint32_t attempts) const;
+  void bump_attempts(std::uint64_t id, Pending& p);
+  void retransmit(std::uint64_t id, Pending& p, Cycle now);
+
+  HmcDevice* device_;
+  RetryConfig cfg_;
+  bool tracking_;
+  RetryStats stats_;
+
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::vector<DeviceResponse> responses_;  ///< tracking-mode drain buffer
+  std::vector<DeviceResponse> device_buf_;
+  std::vector<DeviceNack> nack_buf_;
+};
+
+}  // namespace pacsim

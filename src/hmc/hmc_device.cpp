@@ -9,8 +9,13 @@
 
 namespace pacsim {
 
-HmcDevice::HmcDevice(const HmcConfig& cfg, PowerModel* power)
-    : cfg_(cfg), map_(cfg.map), power_(power), next_refresh_(cfg.t_refi) {
+HmcDevice::HmcDevice(const HmcConfig& cfg, PowerModel* power,
+                     FaultInjector* fault)
+    : cfg_(cfg),
+      map_(cfg.map),
+      power_(power),
+      fault_(fault),
+      next_refresh_(cfg.t_refi) {
   link_req_busy_.assign(cfg_.num_links, 0);
   link_rsp_busy_.assign(cfg_.num_links, 0);
   banks_.resize(cfg_.map.num_vaults);
@@ -52,8 +57,6 @@ void HmcDevice::release_request(Request* request) {
 void HmcDevice::submit(DeviceRequest req, Cycle now) {
   assert(can_accept());
   ++outstanding_;
-  ++stats_.requests;
-  stats_.payload_bytes += req.bytes;
 
   Request* request = acquire_request();
   request->req = std::move(req);
@@ -69,6 +72,22 @@ void HmcDevice::submit(DeviceRequest req, Cycle now) {
   const Cycle ser_start = std::max(now, link_req_busy_[request->link]);
   const Cycle ser_end = ser_start + Cycle{req_flits} * cfg_.cycles_per_flit;
   link_req_busy_[request->link] = ser_end;
+
+  auto [slot, inserted] = inflight_.try_emplace(r.id, request);
+  assert(inserted && "duplicate DeviceRequest id");
+  (void)slot;
+  (void)inserted;
+
+  // Link CRC check at the end of serialization: a corrupted packet occupied
+  // the link for its full traversal but never reaches a vault. The NACK
+  // retires it; the requester-side retry port retransmits.
+  if (fault_ != nullptr && fault_->corrupt_request()) {
+    schedule(ser_end, EventKind::kNack, nullptr, request);
+    return;
+  }
+
+  ++stats_.requests;
+  stats_.payload_bytes += r.bytes;
 
   // Decompose into per-row accesses (one row for every HMC-sized request;
   // several for HBM-style wide requests).
@@ -109,10 +128,6 @@ void HmcDevice::submit(DeviceRequest req, Cycle now) {
     request->rows.push_back(txn);
     cursor = row_end;
   }
-
-  auto [it, inserted] = inflight_.try_emplace(r.id, request);
-  assert(inserted && "duplicate DeviceRequest id");
-  (void)it;
 }
 
 void HmcDevice::tick(Cycle now) {
@@ -143,10 +158,23 @@ void HmcDevice::tick(Cycle now) {
         break;
       case EventKind::kComplete: {
         Request& request = *ev.request;
-        completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
-                                            std::move(request.req.raw_ids)});
+        // An injected response drop loses the packet on the return link:
+        // the device-side bookkeeping retires normally, but the requester
+        // never hears back and must recover via its response timeout.
+        if (fault_ == nullptr || !fault_->drop_response()) {
+          completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
+                                              std::move(request.req.raw_ids)});
+        }
         stats_.access_latency.add(
             static_cast<double>(ev.cycle - request.submit_cycle));
+        --outstanding_;
+        inflight_.erase(request.req.id);
+        release_request(&request);
+        break;
+      }
+      case EventKind::kNack: {
+        Request& request = *ev.request;
+        nacks_.push_back(DeviceNack{request.req.id, ev.cycle});
         --outstanding_;
         inflight_.erase(request.req.id);
         release_request(&request);
@@ -174,6 +202,12 @@ void HmcDevice::vault_dispatch(std::uint32_t vault, Cycle now) {
   }
   RowTxn* txn = queue.front();
   Bank& bank = banks_[vault][txn->loc.bank];
+  // Transient vault stall: the controller goes dark for a window (modelled
+  // as the head txn's bank being held busy), then dispatch resumes. The
+  // head-of-line wait is charged through the normal conflict accounting.
+  if (fault_ != nullptr && !bank.busy(now) && fault_->stall_vault()) {
+    bank.occupy_until(now + fault_->stall_cycles());
+  }
   if (bank.busy(now)) {
     if (!txn->conflict_counted) {
       ++stats_.bank_conflicts;
@@ -245,6 +279,11 @@ void HmcDevice::drain_completed_into(std::vector<DeviceResponse>& out) {
   // the next drain, so the steady state allocates nothing.
   out.clear();
   std::swap(out, completed_);
+}
+
+void HmcDevice::drain_nacks_into(std::vector<DeviceNack>& out) {
+  out.clear();
+  std::swap(out, nacks_);
 }
 
 Cycle HmcDevice::next_event_cycle(Cycle now) const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/fault_injector.hpp"
 #include "hmc/bank.hpp"
 #include "hmc/hmc_config.hpp"
 #include "hmc/hmc_stats.hpp"
@@ -31,7 +32,10 @@ namespace pacsim {
 
 class HmcDevice {
  public:
-  HmcDevice(const HmcConfig& cfg, PowerModel* power);
+  /// `fault` (optional, unowned) injects link/vault errors; null keeps the
+  /// device on its fault-free paths with zero overhead.
+  HmcDevice(const HmcConfig& cfg, PowerModel* power,
+            FaultInjector* fault = nullptr);
 
   /// True when the device can admit another request this cycle.
   [[nodiscard]] bool can_accept() const {
@@ -63,6 +67,17 @@ class HmcDevice {
     return out;
   }
 
+  /// Move the NACKs raised since the last drain into `out` (cleared first).
+  /// Only fault-injected runs ever produce NACKs.
+  void drain_nacks_into(std::vector<DeviceNack>& out);
+
+  /// True while `id` is still being serviced (or serialized) inside the
+  /// device. The retry port uses this to tell a slow response apart from a
+  /// dropped one when a response timeout fires.
+  [[nodiscard]] bool in_flight(std::uint64_t id) const {
+    return inflight_.count(id) != 0;
+  }
+
   [[nodiscard]] bool idle() const { return outstanding_ == 0; }
   [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
   [[nodiscard]] const HmcStats& stats() const { return stats_; }
@@ -91,7 +106,12 @@ class HmcDevice {
     std::vector<RowTxn*> rows;  ///< pool-owned, returned on completion
   };
 
-  enum class EventKind : std::uint8_t { kVaultArrive, kDataReady, kComplete };
+  enum class EventKind : std::uint8_t {
+    kVaultArrive,
+    kDataReady,
+    kComplete,
+    kNack,  ///< CRC failure detected at the end of request serialization
+  };
 
   struct Event {
     Cycle cycle;
@@ -122,6 +142,7 @@ class HmcDevice {
   HmcConfig cfg_;
   AddressMap map_;
   PowerModel* power_;
+  FaultInjector* fault_;  ///< unowned; null disables fault injection
   HmcStats stats_;
 
   std::uint32_t outstanding_ = 0;
@@ -139,6 +160,7 @@ class HmcDevice {
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::unordered_map<std::uint64_t, Request*> inflight_;
   std::vector<DeviceResponse> completed_;
+  std::vector<DeviceNack> nacks_;
 
   std::vector<std::unique_ptr<Request>> request_pool_;
   std::vector<Request*> free_requests_;

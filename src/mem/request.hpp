@@ -63,4 +63,12 @@ struct DeviceResponse {
   std::vector<std::uint64_t> raw_ids;
 };
 
+/// Link-level negative acknowledgement: the device detected a CRC error on
+/// the request packet after its link traversal. The packet never reached a
+/// vault; the requester-side retry port must retransmit it.
+struct DeviceNack {
+  std::uint64_t request_id = 0;
+  Cycle nacked_at = 0;
+};
+
 }  // namespace pacsim

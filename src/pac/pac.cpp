@@ -13,7 +13,7 @@ namespace {
 constexpr Cycle kNoEntry = std::numeric_limits<Cycle>::max();
 }  // namespace
 
-Pac::Pac(const PacConfig& cfg, HmcDevice* device)
+Pac::Pac(const PacConfig& cfg, DevicePort* device)
     : cfg_(cfg),
       device_(device),
       table_(cfg.protocol),

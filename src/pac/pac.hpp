@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/fixed_queue.hpp"
-#include "hmc/hmc_device.hpp"
+#include "hmc/device_port.hpp"
 #include "pac/adaptive_mshr.hpp"
 #include "pac/blockmap_decoder.hpp"
 #include "pac/coalescer.hpp"
@@ -25,7 +25,7 @@ namespace pacsim {
 
 class Pac final : public Coalescer, private MaqSink {
  public:
-  Pac(const PacConfig& cfg, HmcDevice* device);
+  Pac(const PacConfig& cfg, DevicePort* device);
 
   bool accept(const MemRequest& request, Cycle now) override;
   void tick(Cycle now) override;
@@ -72,7 +72,7 @@ class Pac final : public Coalescer, private MaqSink {
   void track_maq_push(Cycle now);
 
   PacConfig cfg_;
-  HmcDevice* device_;
+  DevicePort* device_;
   PacStats stats_;
   CoalescingTable table_;
   RequestAggregator aggregator_;

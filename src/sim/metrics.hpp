@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fault_injector.hpp"
+#include "hmc/device_port.hpp"
 #include "hmc/hmc_stats.hpp"
 #include "hmc/power_model.hpp"
 #include "mem/packet.hpp"
@@ -12,6 +14,24 @@
 #include "pac/pac_stats.hpp"
 
 namespace pacsim {
+
+/// Fault-injection outcome of one run: what was injected (device side) and
+/// what it cost to recover (requester-side retry port).
+struct ResilienceStats {
+  bool enabled = false;  ///< false = fault-free run, block omitted in JSON
+  FaultStats fault;
+  RetryStats retry;
+
+  /// Degraded-bandwidth estimate: fraction of issued link payload that was
+  /// useful (first-transmission) traffic. 1.0 when nothing was retransmitted.
+  [[nodiscard]] double effective_payload_fraction(
+      std::uint64_t issued_payload_bytes) const {
+    const double total = static_cast<double>(issued_payload_bytes +
+                                             retry.retransmitted_bytes);
+    return total > 0.0 ? static_cast<double>(issued_payload_bytes) / total
+                       : 1.0;
+  }
+};
 
 /// Host-side performance of one run: how fast the simulator itself executed.
 /// Wall-clock derived, so excluded from bit-identity comparisons between
@@ -45,6 +65,7 @@ struct RunResult {
   bool has_pac = false;
 
   HmcStats hmc;
+  ResilienceStats resilience;
   std::array<PicoJoule, static_cast<std::size_t>(HmcOp::kCount)> energy{};
   PicoJoule total_energy = 0.0;
 

@@ -75,6 +75,7 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
   out << "{\n";
   out << "  \"label\": \"" << escape(label) << "\",\n";
   out << "  \"coalescer\": \"" << to_string(kind) << "\",\n";
+  out << "  \"status\": \"ok\",\n";
   out << "  \"cycles\": " << r.cycles << ",\n";
   out << "  \"runtime_ns\": " << num(r.runtime_ns()) << ",\n";
   if (include_throughput) {
@@ -152,6 +153,25 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
         << stat_json(r.pac.request_latency) << "\n";
     out << "  }";
   }
+  if (r.resilience.enabled) {
+    const FaultStats& f = r.resilience.fault;
+    const RetryStats& rt = r.resilience.retry;
+    out << ",\n  \"resilience\": {\n";
+    out << "    \"injected_link_errors\": " << f.link_errors << ",\n";
+    out << "    \"injected_response_drops\": " << f.response_drops << ",\n";
+    out << "    \"injected_vault_stalls\": " << f.vault_stalls << ",\n";
+    out << "    \"nacks\": " << rt.nacks << ",\n";
+    out << "    \"retransmissions\": " << rt.retransmissions << ",\n";
+    out << "    \"timeout_fires\": " << rt.timeout_fires << ",\n";
+    out << "    \"spurious_timeouts\": " << rt.spurious_timeouts << ",\n";
+    out << "    \"max_retry_depth\": " << rt.max_retry_depth << ",\n";
+    out << "    \"retransmitted_bytes\": " << rt.retransmitted_bytes << ",\n";
+    out << "    \"effective_payload_fraction\": "
+        << num(r.resilience.effective_payload_fraction(
+               r.coal.issued_payload_bytes))
+        << "\n";
+    out << "  }";
+  }
   out << "\n}\n";
   return out.str();
 }
@@ -175,6 +195,20 @@ void SweepReport::add(const std::string& label, CoalescerKind kind,
   simulation_seconds_ += result.throughput.wall_seconds;
 }
 
+void SweepReport::add_failure(const std::string& label,
+                              const std::string& status,
+                              const std::string& error, double wall_seconds) {
+  std::ostringstream entry;
+  entry << "{\n";
+  entry << "  \"label\": \"" << escape(label) << "\",\n";
+  entry << "  \"status\": \"" << escape(status) << "\",\n";
+  entry << "  \"error\": \"" << escape(error) << "\",\n";
+  entry << "  \"wall_seconds\": " << num(wall_seconds) << "\n";
+  entry << "}";
+  entries_.push_back(indent_lines(entry.str(), "    "));
+  simulation_seconds_ += wall_seconds;
+}
+
 void SweepReport::set_trace_store(const TraceStoreStats& stats) {
   store_stats_ = stats;
   has_store_stats_ = true;
@@ -184,7 +218,7 @@ std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 3,\n";
+  out << "  \"schema_version\": 4,\n";
   out << "  \"wall_time\": {\"generation_seconds\": "
       << num(generation_seconds_)
       << ", \"simulation_seconds\": " << num(simulation_seconds_) << "},\n";

@@ -28,18 +28,23 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 3,
+///   { "bench": "<name>", "schema_version": 4,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v3 added the envelope's "wall_time" split
-/// (generation vs simulation host seconds, summed over the runs), the
-/// optional "trace_store" effectiveness block (hits / warm_hits / misses /
-/// evictions / bytes_resident / generation_seconds / warm_load_seconds)
-/// and the per-run "gen_seconds" inside "sim_throughput"; v2 added the
-/// per-run "sim_throughput" block (host-side simulation speed); v1 was the
-/// initial envelope.
+/// Schema history: v4 added per-run "status" ("ok" for completed runs),
+/// structured failure entries from add_failure() ({"label", "status":
+/// "failed"|"timeout", "error", "wall_seconds"}), and the optional per-run
+/// "resilience" block (fault-injection counters, retransmissions, timeout
+/// fires, max retry depth and the effective_payload_fraction degraded-
+/// bandwidth estimate; present only in fault-injected runs); v3 added the
+/// envelope's "wall_time" split (generation vs simulation host seconds,
+/// summed over the runs), the optional "trace_store" effectiveness block
+/// (hits / warm_hits / misses / evictions / bytes_resident /
+/// generation_seconds / warm_load_seconds) and the per-run "gen_seconds"
+/// inside "sim_throughput"; v2 added the per-run "sim_throughput" block
+/// (host-side simulation speed); v1 was the initial envelope.
 ///
 /// where each element of "runs" is a run_report_json object. The benches
 /// write one such file per binary to `results/<bench>.json`, making the
@@ -51,6 +56,12 @@ class SweepReport {
   /// Append one run (kept in insertion order).
   void add(const std::string& label, CoalescerKind kind,
            const RunResult& result);
+
+  /// Append a structured failure entry for a job that threw or timed out
+  /// (`status` is "failed" or "timeout"): hardened sweeps report partial
+  /// results instead of losing the artifact to one bad job.
+  void add_failure(const std::string& label, const std::string& status,
+                   const std::string& error, double wall_seconds);
 
   /// Attach the effectiveness counters of the TraceStore that fed these
   /// runs; emitted as the envelope's "trace_store" object. Call after the

@@ -1,7 +1,8 @@
 #include "sim/runner.hpp"
 
-#include <cassert>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 namespace pacsim {
 
@@ -78,6 +79,22 @@ MultiprocessSetup build_multiprocess_traces(const Workload& first,
   const TraceStore::Acquired t1 = acquire_traces(store, first, half);
   const TraceStore::Acquired t2 = acquire_traces(store, second, other);
 
+  // A generator that returns the wrong trace count would leave cores with
+  // empty traces (or mis-assign processes) and the run would quietly
+  // produce garbage - or never finish. Fail loudly here instead.
+  const auto check = [](const Workload& suite, const WorkloadConfig& want,
+                        const SharedTraceSet& got) {
+    const std::size_t n = got ? got->size() : 0;
+    if (n != want.num_cores) {
+      throw std::runtime_error(
+          "build_multiprocess_traces: suite '" + std::string(suite.name()) +
+          "' generated " + std::to_string(n) + " trace(s) for " +
+          std::to_string(want.num_cores) + " core(s)");
+    }
+  };
+  check(first, half, t1.traces);
+  check(second, other, t2.traces);
+
   MultiprocessSetup setup;
   setup.gen_seconds = t1.seconds + t2.seconds;
   setup.traces.reserve(wcfg.num_cores);
@@ -101,7 +118,13 @@ RunResult run_multiprocess(const Workload& first, const Workload& second,
 
   const MultiprocessSetup setup =
       build_multiprocess_traces(first, second, wcfg, store);
-  assert(setup.traces.size() == cfg.num_cores);
+  if (setup.traces.size() != cfg.num_cores) {
+    throw std::runtime_error(
+        "run_multiprocess: assembled " + std::to_string(setup.traces.size()) +
+        " trace(s) for " + std::to_string(cfg.num_cores) + " core(s) (" +
+        std::string(first.name()) + " + " + std::string(second.name()) +
+        ")");
+  }
   RunResult result = simulate(cfg, setup.traces, setup.processes);
   result.throughput.gen_seconds = setup.gen_seconds;
   return result;

@@ -26,7 +26,11 @@ const SharedTrace& empty_trace() {
 System::System(const SystemConfig& cfg)
     : cfg_(cfg),
       power_(cfg.power),
-      hmc_(std::make_unique<HmcDevice>(cfg.hmc, &power_)),
+      fault_(cfg.fault.enabled() ? std::make_unique<FaultInjector>(cfg.fault)
+                                 : nullptr),
+      hmc_(std::make_unique<HmcDevice>(cfg.hmc, &power_, fault_.get())),
+      port_(std::make_unique<DevicePort>(hmc_.get(), cfg.retry,
+                                         /*tracking=*/fault_ != nullptr)),
       l2_(cfg.l2),
       prefetcher_(cfg.num_cores, cfg.prefetch),
       page_table_(cfg.phys_pages, cfg.page_table_seed),
@@ -42,20 +46,20 @@ System::System(const SystemConfig& cfg)
 
   switch (cfg.coalescer) {
     case CoalescerKind::kPac: {
-      auto pac = std::make_unique<Pac>(cfg.pac, hmc_.get());
+      auto pac = std::make_unique<Pac>(cfg.pac, port_.get());
       pac_ = pac.get();
       coalescer_ = std::move(pac);
       break;
     }
     case CoalescerKind::kMshrDmc:
-      coalescer_ = std::make_unique<MshrDmc>(cfg.mshr_dmc, hmc_.get());
+      coalescer_ = std::make_unique<MshrDmc>(cfg.mshr_dmc, port_.get());
       break;
     case CoalescerKind::kDirect:
-      coalescer_ = std::make_unique<DirectController>(cfg.direct, hmc_.get());
+      coalescer_ = std::make_unique<DirectController>(cfg.direct, port_.get());
       break;
     case CoalescerKind::kSortingDmc:
       coalescer_ =
-          std::make_unique<SortingCoalescer>(cfg.sorting_dmc, hmc_.get());
+          std::make_unique<SortingCoalescer>(cfg.sorting_dmc, port_.get());
       break;
   }
 }
@@ -335,7 +339,8 @@ void System::on_satisfied(std::uint64_t raw_id) {
 
 bool System::finished() const {
   return done_cores_ == cores_.size() && miss_queue_.empty() &&
-         wb_queue_.empty() && coalescer_->idle() && hmc_->idle();
+         wb_queue_.empty() && coalescer_->idle() && hmc_->idle() &&
+         port_->idle();
 }
 
 bool System::core_stalled_steady(std::uint32_t i) const {
@@ -392,6 +397,10 @@ Cycle System::next_event_cycle() const {
   // jump attempts nearly free during bandwidth-bound phases.
   Cycle bound = hmc_->next_event_cycle(now_);
   if (bound == now_) return now_;
+  // Pending retry timers (NACK backoff, response deadlines) bound the jump
+  // in fault-injected runs; passthrough reports kNeverCycle.
+  bound = std::min(bound, port_->next_event_cycle(now_));
+  if (bound == now_) return now_;
   bound = std::min(bound, coalescer_->next_event_cycle(now_));
   if (bound == now_) return now_;
   for (std::uint32_t i = 0; i < cores_.size(); ++i) {
@@ -410,7 +419,8 @@ Cycle System::next_event_cycle() const {
 
 void System::step() {
   hmc_->tick(now_);
-  hmc_->drain_completed_into(completed_buf_);
+  port_->tick(now_);  // retries/timeouts; passthrough no-op without faults
+  port_->drain_completed_into(completed_buf_);
   for (const DeviceResponse& rsp : completed_buf_) {
     coalescer_->complete(rsp, now_);
   }
@@ -430,6 +440,12 @@ RunResult System::run() {
   for (const CoreState& c : cores_) done_cores_ += c.done ? 1 : 0;
 
   while (!finished()) {
+    if (cfg_.cancel != nullptr &&
+        cfg_.cancel->load(std::memory_order_relaxed)) {
+      throw std::runtime_error("System::run cancelled at cycle " +
+                               std::to_string(now_) +
+                               " (sweep watchdog timeout)");
+    }
     step();
     if (now_ > cfg_.max_cycles) {
       throw std::runtime_error(
@@ -475,6 +491,11 @@ RunResult System::run() {
     r.has_pac = true;
   }
   r.hmc = hmc_->stats();
+  if (fault_ != nullptr) {
+    r.resilience.enabled = true;
+    r.resilience.fault = fault_->stats();
+    r.resilience.retry = port_->stats();
+  }
   for (std::size_t i = 0; i < r.energy.size(); ++i) {
     r.energy[i] = power_.energy(static_cast<HmcOp>(i));
   }

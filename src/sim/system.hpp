@@ -12,7 +12,9 @@
 #include "cache/cache.hpp"
 #include "cache/prefetcher.hpp"
 #include "common/fixed_queue.hpp"
+#include "core/fault_injector.hpp"
 #include "core/trace.hpp"
+#include "hmc/device_port.hpp"
 #include "hmc/hmc_device.hpp"
 #include "mem/page_table.hpp"
 #include "pac/coalescer.hpp"
@@ -43,6 +45,7 @@ class System {
 
   [[nodiscard]] const Coalescer& coalescer() const { return *coalescer_; }
   [[nodiscard]] const HmcDevice& hmc() const { return *hmc_; }
+  [[nodiscard]] const DevicePort& port() const { return *port_; }
   [[nodiscard]] Cycle now() const { return now_; }
 
  private:
@@ -87,7 +90,9 @@ class System {
 
   SystemConfig cfg_;
   PowerModel power_;
+  std::unique_ptr<FaultInjector> fault_;  ///< null when faults disabled
   std::unique_ptr<HmcDevice> hmc_;
+  std::unique_ptr<DevicePort> port_;  ///< retry buffer in front of hmc_
   std::unique_ptr<Coalescer> coalescer_;
   Pac* pac_ = nullptr;  ///< non-null when coalescer_ is a Pac
 

@@ -1,6 +1,7 @@
 // Full-system configuration (paper Table 1 defaults).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "baseline/direct_controller.hpp"
@@ -8,6 +9,8 @@
 #include "baseline/sorting_coalescer.hpp"
 #include "cache/cache.hpp"
 #include "cache/prefetcher.hpp"
+#include "core/fault_injector.hpp"
+#include "hmc/device_port.hpp"
 #include "hmc/hmc_config.hpp"
 #include "hmc/power_model.hpp"
 #include "pac/pac_config.hpp"
@@ -51,6 +54,13 @@ struct SystemConfig {
   HmcConfig hmc{};
   PowerConfig power{};
 
+  /// Deterministic link/vault fault injection; all-zero rates (default)
+  /// disable the subsystem entirely and keep runs bit-identical to a build
+  /// without it.
+  FaultConfig fault{};
+  /// Requester-side retry buffer (active only when `fault.enabled()`).
+  RetryConfig retry{};
+
   CoalescerKind coalescer = CoalescerKind::kPac;
   PacConfig pac{};
   MshrDmcConfig mshr_dmc{};
@@ -58,6 +68,11 @@ struct SystemConfig {
   SortingCoalescerConfig sorting_dmc{};
 
   Cycle max_cycles = 500'000'000;  ///< deadlock watchdog
+
+  /// Cooperative cancellation (unowned, may be null): System::run() throws
+  /// once the pointee becomes true. The sweep harness's wall-clock watchdog
+  /// uses this to reap hung jobs without killing the process.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Event-horizon fast-forwarding: System::run() jumps over cycle
   /// stretches where every component proves it has nothing to do. Results

@@ -16,13 +16,14 @@ struct Harness {
   HmcConfig hmc_cfg;
   PowerModel power;
   HmcDevice device{hmc_cfg, &power};
+  DevicePort port{&device, RetryConfig{}, /*tracking=*/false};
   C coalescer;
   Cycle now = 0;
   std::uint64_t next_id = 1;
   std::vector<std::uint64_t> satisfied;
 
   template <typename Cfg>
-  explicit Harness(Cfg cfg) : coalescer(cfg, &device) {}
+  explicit Harness(Cfg cfg) : coalescer(cfg, &port) {}
 
   MemRequest make(Addr paddr, MemOp op = MemOp::kLoad) {
     MemRequest r;

@@ -263,7 +263,8 @@ TEST(NextEventCycle, DirectControllerIsPurelyDemandDriven) {
   PowerModel power;
   HmcConfig hcfg;
   HmcDevice device(hcfg, &power);
-  DirectController direct(DirectControllerConfig{}, &device);
+  DevicePort port(&device, RetryConfig{}, /*tracking=*/false);
+  DirectController direct(DirectControllerConfig{}, &port);
   EXPECT_EQ(direct.next_event_cycle(0), kNeverCycle);
   MemRequest req;
   req.id = 1;
@@ -277,7 +278,8 @@ TEST(NextEventCycle, MshrDmcWakesOnlyForUndispatchedEntries) {
   PowerModel power;
   HmcConfig hcfg;
   HmcDevice device(hcfg, &power);
-  MshrDmc mshr(MshrDmcConfig{}, &device);
+  DevicePort port(&device, RetryConfig{}, /*tracking=*/false);
+  MshrDmc mshr(MshrDmcConfig{}, &port);
   EXPECT_EQ(mshr.next_event_cycle(0), kNeverCycle);
   MemRequest req;
   req.id = 1;
@@ -295,8 +297,9 @@ TEST(NextEventCycle, SortingCoalescerReportsWindowTimeout) {
   PowerModel power;
   HmcConfig hcfg;
   HmcDevice device(hcfg, &power);
+  DevicePort port(&device, RetryConfig{}, /*tracking=*/false);
   SortingCoalescerConfig cfg;
-  SortingCoalescer sorting(cfg, &device);
+  SortingCoalescer sorting(cfg, &port);
   EXPECT_EQ(sorting.next_event_cycle(0), kNeverCycle);
   MemRequest req;
   req.id = 1;
@@ -319,9 +322,10 @@ TEST(NextEventCycle, PacIdleIsDemandDrivenWithSampleTimerReplay) {
   PowerModel power;
   HmcConfig hcfg;
   HmcDevice device(hcfg, &power);
+  DevicePort port(&device, RetryConfig{}, /*tracking=*/false);
   PacConfig cfg;
   cfg.enable_bypass_controller = false;  // isolate the aggregator deadline
-  Pac pac(cfg, &device);
+  Pac pac(cfg, &port);
   pac.tick(0);
   // No active streams: every occupancy-sample firing is a pure re-arm
   // (replayed by fast_forward_to), so idle PAC imposes no bound.

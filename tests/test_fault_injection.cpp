@@ -1,0 +1,472 @@
+// Resilience-layer tests: the deterministic FaultInjector, the HMC NACK /
+// response-drop paths, the DevicePort retry buffer (backoff, timeout,
+// spurious-timeout re-arm, max-retries abort), and full-system properties -
+// fault-free bit-identity, per-seed reproducibility, fast-forward
+// equivalence under faults, and lossless completion (no request lost or
+// duplicated) for every coalescer including fence/atomic flush paths.
+#include "core/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "hmc/device_port.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+
+namespace pacsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests
+
+TEST(FaultInjector, DefaultConfigIsDisabled) {
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  FaultConfig cfg;
+  cfg.link_error_rate = 1e-6;
+  EXPECT_TRUE(cfg.enabled());
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire) {
+  FaultInjector inj{FaultConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.corrupt_request());
+    EXPECT_FALSE(inj.drop_response());
+    EXPECT_FALSE(inj.stall_vault());
+  }
+  EXPECT_EQ(inj.stats().total(), 0u);
+}
+
+TEST(FaultInjector, DecisionSequenceIsDeterministicPerSeed) {
+  FaultConfig cfg;
+  cfg.link_error_rate = 0.5;
+  cfg.response_drop_rate = 0.25;
+  FaultInjector a(cfg), b(cfg);
+  bool diverged_from_c = false;
+  cfg.seed ^= 0xDEADBEEFULL;
+  FaultInjector c(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const bool fa = a.corrupt_request();
+    EXPECT_EQ(fa, b.corrupt_request()) << "draw " << i;
+    if (fa != c.corrupt_request()) diverged_from_c = true;
+    EXPECT_EQ(a.drop_response(), b.drop_response()) << "draw " << i;
+  }
+  EXPECT_EQ(a.stats().link_errors, b.stats().link_errors);
+  EXPECT_EQ(a.stats().response_drops, b.stats().response_drops);
+  EXPECT_GT(a.stats().link_errors, 0u);
+  EXPECT_TRUE(diverged_from_c) << "different seeds produced the same stream";
+}
+
+TEST(FaultInjector, DisabledCategoryDoesNotPerturbOthers) {
+  // drop_response at rate 0 must not consume RNG draws, so interleaving it
+  // leaves the link-error decision stream untouched.
+  FaultConfig cfg;
+  cfg.link_error_rate = 0.5;
+  FaultInjector plain(cfg), interleaved(cfg);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_FALSE(interleaved.drop_response());
+    EXPECT_EQ(plain.corrupt_request(), interleaved.corrupt_request())
+        << "draw " << i;
+  }
+}
+
+TEST(FaultInjector, BurstExtendsEachFault) {
+  FaultConfig cfg;
+  cfg.link_error_rate = 0.05;
+  cfg.burst_length = 4;
+  FaultInjector inj(cfg);
+  int checked_bursts = 0;
+  for (int i = 0; i < 2000 && checked_bursts < 3; ++i) {
+    if (inj.corrupt_request()) {
+      // A fresh fault arms the next burst_length - 1 decisions.
+      EXPECT_TRUE(inj.corrupt_request());
+      EXPECT_TRUE(inj.corrupt_request());
+      EXPECT_TRUE(inj.corrupt_request());
+      ++checked_bursts;
+    }
+  }
+  EXPECT_EQ(checked_bursts, 3) << "rate 0.05 never fired in 2000 draws";
+  EXPECT_EQ(inj.stats().link_errors % 4, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HmcDevice fault paths
+
+DeviceRequest make_req(std::uint64_t id, Addr base = 0,
+                       std::uint32_t bytes = 64) {
+  DeviceRequest r;
+  r.id = id;
+  r.base = base;
+  r.bytes = bytes;
+  r.raw_ids = {id * 100};
+  return r;
+}
+
+TEST(HmcDeviceFaults, CertainCorruptionNacksInsteadOfCompleting) {
+  FaultConfig fcfg;
+  fcfg.link_error_rate = 1.0;
+  FaultInjector fault(fcfg);
+  HmcConfig cfg;
+  PowerModel power;
+  HmcDevice device(cfg, &power, &fault);
+
+  Cycle now = 0;
+  device.submit(make_req(7), now);
+  std::vector<DeviceNack> nacks;
+  for (; !device.idle() && now < 100'000; ++now) {
+    device.tick(now);
+    EXPECT_TRUE(device.drain_completed().empty());
+  }
+  device.drain_nacks_into(nacks);
+  ASSERT_EQ(nacks.size(), 1u);
+  EXPECT_EQ(nacks[0].request_id, 7u);
+  EXPECT_TRUE(device.idle());
+  // A NACKed packet never reaches a vault: it is not an accepted request.
+  EXPECT_EQ(device.stats().requests, 0u);
+  EXPECT_EQ(fault.stats().link_errors, 1u);
+}
+
+TEST(HmcDeviceFaults, CertainDropLosesTheResponseButRetires) {
+  FaultConfig fcfg;
+  fcfg.response_drop_rate = 1.0;
+  FaultInjector fault(fcfg);
+  HmcConfig cfg;
+  PowerModel power;
+  HmcDevice device(cfg, &power, &fault);
+
+  Cycle now = 0;
+  device.submit(make_req(3), now);
+  std::size_t responses = 0;
+  for (; !device.idle() && now < 100'000; ++now) {
+    device.tick(now);
+    responses += device.drain_completed().size();
+  }
+  EXPECT_TRUE(device.idle()) << "drop must retire the request internally";
+  EXPECT_EQ(responses, 0u);
+  EXPECT_EQ(fault.stats().response_drops, 1u);
+}
+
+TEST(HmcDeviceFaults, VaultStallsOnlyAddLatency) {
+  // Rate < 1: a stalled dispatch retries and the re-roll eventually lets
+  // it through (rate 1.0 would legitimately starve the vault forever).
+  FaultConfig fcfg;
+  fcfg.vault_stall_rate = 0.5;
+  fcfg.vault_stall_cycles = 32;
+  FaultInjector fault(fcfg);
+  HmcConfig cfg;
+  PowerModel power;
+  HmcDevice stalled(cfg, &power, &fault);
+  HmcDevice clean(cfg, &power);
+
+  const auto run_one = [](HmcDevice& d) {
+    Cycle now = 0;
+    std::size_t responses = 0;
+    for (std::uint64_t id = 1; id <= 20; ++id) {
+      while (!d.can_accept()) {
+        d.tick(now);
+        ++now;
+      }
+      d.submit(make_req(id, id * 4096), now);
+    }
+    for (; !d.idle() && now < 1'000'000; ++now) {
+      d.tick(now);
+      responses += d.drain_completed().size();
+    }
+    EXPECT_EQ(responses, 20u);
+    return now;
+  };
+  const Cycle slow = run_one(stalled);
+  const Cycle fast = run_one(clean);
+  EXPECT_GT(fault.stats().vault_stalls, 0u);
+  EXPECT_GT(slow, fast);
+}
+
+// ---------------------------------------------------------------------------
+// DevicePort retry buffer
+
+struct PortHarness {
+  FaultConfig fcfg;
+  RetryConfig rcfg;
+  PowerModel power;
+  std::unique_ptr<FaultInjector> fault;
+  std::unique_ptr<HmcDevice> device;
+  std::unique_ptr<DevicePort> port;
+
+  void build(bool tracking = true) {
+    fault = fcfg.enabled() ? std::make_unique<FaultInjector>(fcfg) : nullptr;
+    device = std::make_unique<HmcDevice>(HmcConfig{}, &power, fault.get());
+    port = std::make_unique<DevicePort>(device.get(), rcfg, tracking);
+  }
+
+  /// Submit `n` requests (respecting back-pressure) and run to idle;
+  /// returns the completed request ids.
+  std::vector<std::uint64_t> run(std::size_t n, Cycle limit = 4'000'000) {
+    std::vector<std::uint64_t> done;
+    std::vector<DeviceResponse> buf;
+    Cycle now = 0;
+    std::uint64_t next = 1;
+    while (now < limit && !(next > n && device->idle() && port->idle())) {
+      device->tick(now);
+      port->tick(now);
+      port->drain_completed_into(buf);
+      for (const DeviceResponse& r : buf) done.push_back(r.request_id);
+      if (next <= n && port->can_accept()) {
+        port->submit(make_req(next, next * 4096), now);
+        ++next;
+      }
+      ++now;
+    }
+    EXPECT_LT(now, limit) << "port never drained";
+    return done;
+  }
+};
+
+TEST(DevicePort, PassthroughIsInvisible) {
+  PortHarness h;
+  h.build(/*tracking=*/false);
+  const auto done = h.run(20);
+  EXPECT_EQ(done.size(), 20u);
+  EXPECT_EQ(h.port->stats().retransmissions, 0u);
+  EXPECT_EQ(h.port->next_event_cycle(0), kNeverCycle);
+  EXPECT_TRUE(h.port->idle());
+}
+
+TEST(DevicePort, RecoversEveryNackedRequest) {
+  PortHarness h;
+  h.fcfg.link_error_rate = 0.5;
+  h.build();
+  const auto done = h.run(50);
+  std::set<std::uint64_t> unique(done.begin(), done.end());
+  EXPECT_EQ(done.size(), 50u) << "a response was lost or duplicated";
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_GT(h.port->stats().nacks, 0u);
+  EXPECT_GE(h.port->stats().retransmissions, h.port->stats().nacks);
+  EXPECT_GT(h.port->stats().max_retry_depth, 0u);
+}
+
+TEST(DevicePort, RecoversEveryDroppedResponseViaTimeout) {
+  PortHarness h;
+  h.fcfg.response_drop_rate = 0.5;
+  h.rcfg.response_timeout = 512;  // well above the unloaded device latency
+  h.rcfg.max_retries = 32;  // at drop rate 0.5 a request can lose several
+                            // responses in a row; recovery, not abort
+  h.build();
+  const auto done = h.run(30);
+  std::set<std::uint64_t> unique(done.begin(), done.end());
+  EXPECT_EQ(done.size(), 30u);
+  EXPECT_EQ(unique.size(), 30u);
+  EXPECT_GT(h.port->stats().timeout_fires, 0u);
+  EXPECT_GE(h.port->stats().retransmissions, h.port->stats().timeout_fires);
+}
+
+TEST(DevicePort, SpuriousTimeoutRearmsWithoutRetransmit) {
+  PortHarness h;
+  h.rcfg.response_timeout = 4;  // far below the device's ~50-cycle latency
+  h.build(/*tracking=*/true);   // tracking without faults: timers only
+  const auto done = h.run(5);
+  EXPECT_EQ(done.size(), 5u);
+  EXPECT_GT(h.port->stats().spurious_timeouts, 0u);
+  EXPECT_EQ(h.port->stats().retransmissions, 0u);
+  EXPECT_EQ(h.port->stats().timeout_fires, 0u);
+}
+
+TEST(DevicePort, ExhaustedRetriesThrow) {
+  PortHarness h;
+  h.fcfg.link_error_rate = 1.0;  // the link never recovers
+  h.rcfg.max_retries = 3;
+  h.rcfg.backoff_base = 2;
+  h.build();
+  EXPECT_THROW(h.run(1), std::runtime_error);
+  EXPECT_GT(h.port->stats().max_retry_depth, h.rcfg.max_retries);
+}
+
+TEST(DevicePort, NextEventCycleTracksPendingTimers) {
+  PortHarness h;
+  h.fcfg.response_drop_rate = 1.0;
+  h.rcfg.response_timeout = 1000;
+  h.rcfg.max_retries = 1;
+  h.build();
+  Cycle now = 0;
+  h.port->submit(make_req(1), now);
+  // With a request pending, the port must never report kNeverCycle: the
+  // response deadline is a real future event the fast-forwarder has to
+  // respect (jumping past it would freeze the retry protocol).
+  const Cycle bound = h.port->next_event_cycle(now);
+  EXPECT_NE(bound, kNeverCycle);
+  EXPECT_GE(bound, now);
+  EXPECT_LE(bound, now + 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Full-system resilience properties
+
+WorkloadConfig tiny_wcfg() {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 2;
+  wcfg.max_ops_per_core = 2000;
+  wcfg.scale = 0.25;
+  return wcfg;
+}
+
+FaultConfig lively_faults() {
+  FaultConfig f;
+  f.link_error_rate = 2e-2;
+  f.response_drop_rate = 5e-3;
+  f.vault_stall_rate = 1e-2;
+  return f;
+}
+
+std::string run_json(const SystemConfig& cfg) {
+  const RunResult r =
+      run_suite(*find_workload("stream"), cfg.coalescer, tiny_wcfg(), cfg);
+  return run_report_json("run", cfg.coalescer, r,
+                         /*include_throughput=*/false);
+}
+
+TEST(SystemResilience, FaultFreeRunIgnoresRetryConfig) {
+  // With injection disabled the port is a passthrough: retry knobs must
+  // not influence a single bit of the result.
+  SystemConfig base;
+  base.coalescer = CoalescerKind::kPac;
+  SystemConfig tweaked = base;
+  tweaked.retry.response_timeout = 1;
+  tweaked.retry.max_retries = 1;
+  tweaked.retry.backoff_base = 1;
+  EXPECT_EQ(run_json(base), run_json(tweaked));
+}
+
+TEST(SystemResilience, FaultPatternIsReproduciblePerSeed) {
+  SystemConfig cfg;
+  cfg.coalescer = CoalescerKind::kPac;
+  cfg.fault = lively_faults();
+  const std::string a = run_json(cfg);
+  const std::string b = run_json(cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"resilience\""), std::string::npos);
+
+  cfg.fault.seed ^= 0x5EEDULL;
+  EXPECT_NE(run_json(cfg), a) << "fault seed had no effect";
+}
+
+TEST(SystemResilience, FastForwardIsExactUnderFaults) {
+  // The event-horizon jumps must respect pending retry timers: both modes
+  // inject the identical fault pattern and agree on every metric.
+  SystemConfig ff;
+  ff.coalescer = CoalescerKind::kPac;
+  ff.fault = lively_faults();
+  SystemConfig naive = ff;
+  naive.enable_fast_forward = false;
+  EXPECT_EQ(run_json(ff), run_json(naive));
+}
+
+class ResilientCoalescer : public ::testing::TestWithParam<CoalescerKind> {};
+
+TEST_P(ResilientCoalescer, CompletesLosslesslyUnderFaults) {
+  SystemConfig cfg;
+  cfg.coalescer = GetParam();
+  cfg.num_cores = 2;
+  cfg.max_cycles = 50'000'000;
+  // Prefetch volume adapts to timing, which faults perturb by design; turn
+  // it off so the raw request count is a timing-independent invariant.
+  cfg.enable_prefetch = false;
+  SystemConfig faulty = cfg;
+  faulty.fault = lively_faults();
+
+  const auto run_one = [](const SystemConfig& c) {
+    System sys(c);
+    // Disjoint per-core ranges of once-touched lines: every access is a
+    // cold miss, so the raw stream cannot depend on cross-core timing.
+    for (std::uint32_t core = 0; core < 2; ++core) {
+      Trace t;
+      const Addr base = 0x10000000 + core * 0x10000000ULL;
+      for (int i = 0; i < 1500; ++i) {
+        t.push_back({base + static_cast<Addr>(i) * 64, 8,
+                     i % 5 == 0 ? OpKind::kStore : OpKind::kLoad});
+      }
+      sys.load_trace(core, t);
+    }
+    return sys.run();
+  };
+  const RunResult clean = run_one(cfg);
+  const RunResult faulted = run_one(faulty);
+
+  // Retransmission changes timing, never semantics: the same raw request
+  // stream reaches the device and every request is answered exactly once
+  // (the run draining at all proves nothing was lost; equality of the
+  // raw counters proves nothing was dropped or double-counted).
+  EXPECT_EQ(faulted.coal.raw_requests, clean.coal.raw_requests);
+  // A dropped response makes the device accept the retransmit as a second
+  // request, so the device-side count can only exceed the issued count.
+  EXPECT_GE(faulted.hmc.requests, faulted.coal.issued_requests);
+  EXPECT_TRUE(faulted.resilience.enabled);
+  EXPECT_GT(faulted.resilience.fault.total(), 0u);
+  EXPECT_EQ(faulted.resilience.retry.retransmissions,
+            faulted.resilience.retry.nacks +
+                faulted.resilience.retry.timeout_fires);
+  EXPECT_GE(faulted.cycles, clean.cycles);
+}
+
+TEST_P(ResilientCoalescer, FencesAndAtomicsFlushUnderFaults) {
+  SystemConfig cfg;
+  cfg.coalescer = GetParam();
+  cfg.num_cores = 1;
+  cfg.max_cycles = 50'000'000;
+  cfg.fault = lively_faults();
+
+  System sys(cfg);
+  Trace t;
+  for (int i = 0; i < 400; ++i) {
+    t.push_back({0x20000000 + static_cast<Addr>(i) * 64, 8, OpKind::kStore});
+    if (i % 50 == 49) t.push_back({0, 0, OpKind::kFence});
+    if (i % 100 == 99) {
+      t.push_back({0x30000000 + static_cast<Addr>(i) * 4096, 8,
+                   OpKind::kAtomic});
+    }
+  }
+  sys.load_trace(0, t);
+  const RunResult r = sys.run();
+  // The fence flush path must tolerate NACK/timeout recovery of the very
+  // stores it is waiting on, and atomics (always bypass/uncoalesced) must
+  // survive their own retransmissions.
+  EXPECT_EQ(r.coal.atomics, 4u);
+  EXPECT_GT(r.coal.raw_requests, 0u);
+  EXPECT_TRUE(r.resilience.enabled);
+  if (GetParam() == CoalescerKind::kPac) {
+    EXPECT_EQ(r.pac.base.fences, 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ResilientCoalescer,
+                         ::testing::Values(CoalescerKind::kDirect,
+                                           CoalescerKind::kMshrDmc,
+                                           CoalescerKind::kSortingDmc,
+                                           CoalescerKind::kPac),
+                         [](const auto& info) {
+                           std::string n(to_string(info.param));
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SystemResilience, CancelFlagAbortsTheRun) {
+  SystemConfig cfg;
+  cfg.coalescer = CoalescerKind::kPac;
+  cfg.num_cores = 1;
+  std::atomic<bool> cancel{true};
+  cfg.cancel = &cancel;
+  System sys(cfg);
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back({0x1000 + static_cast<Addr>(i) * 64, 8, OpKind::kLoad});
+  }
+  sys.load_trace(0, t);
+  EXPECT_THROW(sys.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -95,5 +95,28 @@ TEST(FixedQueue, MoveOnlyTypes) {
   EXPECT_EQ(*p, 42);
 }
 
+// The empty-access check must stay on in release builds: a silent
+// moved-from return here would corrupt simulation state far downstream.
+using FixedQueueDeathTest = ::testing::Test;
+
+TEST(FixedQueueDeathTest, PopOnEmptyAborts) {
+  FixedQueue<int> q(2);
+  EXPECT_DEATH((void)q.pop(), "FixedQueue::pop on empty queue");
+}
+
+TEST(FixedQueueDeathTest, FrontOnEmptyAborts) {
+  FixedQueue<int> q(2);
+  EXPECT_DEATH((void)q.front(), "FixedQueue::front on empty queue");
+  const FixedQueue<int>& cq = q;
+  EXPECT_DEATH((void)cq.front(), "FixedQueue::front on empty queue");
+}
+
+TEST(FixedQueueDeathTest, DrainedQueueAborts) {
+  FixedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  (void)q.pop();
+  EXPECT_DEATH((void)q.pop(), "FixedQueue::pop on empty queue");
+}
+
 }  // namespace
 }  // namespace pacsim

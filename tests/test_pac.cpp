@@ -17,6 +17,7 @@ struct PacHarness {
   HmcConfig hmc_cfg;
   PowerModel power;
   std::unique_ptr<HmcDevice> device;
+  std::unique_ptr<DevicePort> port;
   std::unique_ptr<Pac> pac;
   Cycle now = 0;
   std::uint64_t next_id = 1;
@@ -25,7 +26,9 @@ struct PacHarness {
   explicit PacHarness(PacConfig c = {}, HmcConfig hc = {})
       : cfg(c), hmc_cfg(hc) {
     device = std::make_unique<HmcDevice>(hmc_cfg, &power);
-    pac = std::make_unique<Pac>(cfg, device.get());
+    port = std::make_unique<DevicePort>(device.get(), RetryConfig{},
+                                        /*tracking=*/false);
+    pac = std::make_unique<Pac>(cfg, port.get());
   }
 
   MemRequest make(Addr paddr, MemOp op = MemOp::kLoad,

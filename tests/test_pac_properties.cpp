@@ -81,7 +81,8 @@ TEST_P(PacProperty, ConservationAndInvariantsUnderRandomTraffic) {
   hmc_cfg.map.row_bytes = static_cast<std::uint32_t>(sc.hmc_row_bytes);
   PowerModel power;
   HmcDevice device(hmc_cfg, &power);
-  Pac pac(sc.pac, &device);
+  DevicePort port(&device, RetryConfig{}, /*tracking=*/false);
+  Pac pac(sc.pac, &port);
 
   const CoalescingProtocol& protocol = sc.pac.protocol;
   Rng rng(0xC0FFEE ^ sc.pac.num_streams ^ protocol.max_request);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -72,6 +75,53 @@ TEST(Cli, StripsLeadingDashes) {
   Cli cli(3, const_cast<char**>(argv));
   EXPECT_EQ(cli.get("k"), "v");
   EXPECT_TRUE(cli.has("flag"));
+}
+
+TEST(Cli, U64AcceptsTheFullPrefixFamily) {
+  const char* argv[] = {"prog", "dec=1500", "hex=0x40", "oct=0755", "z=0"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_u64("dec", 0), 1500u);
+  EXPECT_EQ(cli.get_u64("hex", 0), 0x40u);
+  EXPECT_EQ(cli.get_u64("oct", 0), 0755u);
+  EXPECT_EQ(cli.get_u64("z", 7), 0u);
+}
+
+TEST(Cli, U64RejectsGarbageLoudly) {
+  // A typo like ops=12x silently truncating to 12 (or worse, to 0) sends
+  // an entire sweep off with the wrong workload size; the parser throws
+  // and names the offending key=value instead.
+  const char* argv[] = {"prog", "ops=12x", "neg=-5", "empty=", "word=ten"};
+  Cli cli(5, const_cast<char**>(argv));
+  for (const char* key : {"ops", "neg", "empty", "word"}) {
+    try {
+      (void)cli.get_u64(key, 0);
+      FAIL() << "no throw for key " << key;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "diagnostic does not name the key: " << e.what();
+    }
+  }
+}
+
+TEST(Cli, DoubleRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "rate=0.1.2", "ok=1e-3", "huge=1e999"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("ok", 0.0), 1e-3);
+  EXPECT_THROW((void)cli.get_double("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("huge", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, WarnsAboutKnobsNobodyQueried) {
+  ::testing::internal::CaptureStderr();
+  {
+    const char* argv[] = {"prog", "used=1", "opz=5000"};
+    Cli cli(3, const_cast<char**>(argv));
+    (void)cli.get_u64("used", 0);
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("opz=5000"), std::string::npos) << err;
+  EXPECT_EQ(err.find("used"), std::string::npos)
+      << "queried knob wrongly reported: " << err;
 }
 
 TEST(Table, RendersAlignedCells) {

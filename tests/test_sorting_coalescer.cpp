@@ -13,13 +13,14 @@ struct Harness {
   HmcConfig hmc_cfg;
   PowerModel power;
   HmcDevice device{hmc_cfg, &power};
+  DevicePort port{&device, RetryConfig{}, /*tracking=*/false};
   SortingCoalescer coalescer;
   Cycle now = 0;
   std::uint64_t next_id = 1;
   std::vector<std::uint64_t> satisfied;
 
   explicit Harness(SortingCoalescerConfig cfg = {})
-      : coalescer(cfg, &device) {}
+      : coalescer(cfg, &port) {}
 
   MemRequest make(Addr paddr, MemOp op = MemOp::kLoad) {
     MemRequest r;

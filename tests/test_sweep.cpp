@@ -147,7 +147,8 @@ TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
   EXPECT_EQ(report.runs(), 2u);
   const std::string json = report.json();
   EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_time\""), std::string::npos);
   EXPECT_NE(json.find("\"generation_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"simulation_seconds\""), std::string::npos);

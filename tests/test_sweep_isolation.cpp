@@ -1,0 +1,138 @@
+// Hardened-harness tests: run_isolated() must contain a throwing job, the
+// watchdog must reap an over-budget job as a structured timeout, and run()
+// must keep its historic all-or-nothing contract on top of it.
+#include "exp/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace pacsim {
+namespace {
+
+WorkloadConfig tiny_wcfg() {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 2;
+  wcfg.max_ops_per_core = 1500;
+  wcfg.scale = 0.25;
+  return wcfg;
+}
+
+exp::SweepJob job_for(const char* suite, CoalescerKind kind) {
+  exp::SweepJob job;
+  job.suite = find_workload(suite);
+  job.cfg.coalescer = kind;
+  job.label = std::string(suite) + "/" + std::string(to_string(kind));
+  return job;
+}
+
+/// A job guaranteed to throw: an always-corrupting link with a retry budget
+/// of one exhausts DevicePort::max_retries on the first request.
+exp::SweepJob poisoned_job() {
+  exp::SweepJob job = job_for("stream", CoalescerKind::kPac);
+  job.cfg.fault.link_error_rate = 1.0;
+  job.cfg.retry.max_retries = 1;
+  job.cfg.retry.backoff_base = 2;
+  job.label = "stream/poisoned";
+  return job;
+}
+
+TEST(RunIsolated, ContainsAThrowingJob) {
+  std::vector<exp::SweepJob> sweep = {job_for("stream", CoalescerKind::kPac),
+                                      poisoned_job(),
+                                      job_for("gs", CoalescerKind::kPac)};
+  const auto outcomes =
+      exp::SweepRunner(2).run_isolated(sweep, tiny_wcfg());
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[2].ok());
+  EXPECT_EQ(outcomes[1].status, exp::JobOutcome::Status::kFailed);
+  EXPECT_NE(outcomes[1].error.find("retrymax"), std::string::npos)
+      << "error lost: " << outcomes[1].error;
+  EXPECT_NE(outcomes[1].exception, nullptr);
+  EXPECT_GT(outcomes[0].wall_seconds, 0.0);
+  // The healthy neighbours are untouched by the failure.
+  EXPECT_GT(outcomes[0].result.coal.raw_requests, 0u);
+  EXPECT_GT(outcomes[2].result.coal.raw_requests, 0u);
+}
+
+TEST(RunIsolated, HealthyJobsMatchRun) {
+  const std::vector<exp::SweepJob> sweep = {
+      job_for("stream", CoalescerKind::kPac)};
+  const WorkloadConfig wcfg = tiny_wcfg();
+  const auto isolated =
+      exp::SweepRunner(1).run_isolated(sweep, wcfg);
+  const auto plain = exp::SweepRunner(1).run(sweep, wcfg);
+  ASSERT_EQ(isolated.size(), 1u);
+  ASSERT_TRUE(isolated[0].ok());
+  EXPECT_EQ(run_report_json("x", CoalescerKind::kPac, isolated[0].result,
+                            /*include_throughput=*/false),
+            run_report_json("x", CoalescerKind::kPac, plain[0],
+                            /*include_throughput=*/false));
+}
+
+TEST(RunIsolated, WatchdogReapsOverBudgetJob) {
+  // A job that would run for a long while against a 20 ms budget. The
+  // margins are deliberately loose: the test only requires that the
+  // cancellation fires and is classified as a timeout, not any particular
+  // latency.
+  WorkloadConfig wcfg = tiny_wcfg();
+  wcfg.max_ops_per_core = 400'000;
+  wcfg.num_cores = 4;
+  wcfg.scale = 1.0;
+  exp::SweepOptions opts;
+  opts.job_timeout_seconds = 0.02;
+  const auto outcomes = exp::SweepRunner(1).run_isolated(
+      {job_for("bfs", CoalescerKind::kDirect)}, wcfg, opts);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_EQ(outcomes[0].status, exp::JobOutcome::Status::kTimeout)
+      << outcomes[0].error;
+  EXPECT_NE(outcomes[0].error.find("timeout"), std::string::npos);
+  EXPECT_LT(outcomes[0].wall_seconds, 60.0);
+}
+
+TEST(RunIsolated, ZeroTimeoutDisablesWatchdog) {
+  exp::SweepOptions opts;
+  opts.job_timeout_seconds = 0.0;
+  const auto outcomes = exp::SweepRunner(1).run_isolated(
+      {job_for("stream", CoalescerKind::kDirect)}, tiny_wcfg(), opts);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok());
+}
+
+TEST(SweepRunner, RunRethrowsTheFirstFailure) {
+  const std::vector<exp::SweepJob> sweep = {
+      job_for("stream", CoalescerKind::kPac), poisoned_job()};
+  EXPECT_THROW((void)exp::SweepRunner(2).run(sweep, tiny_wcfg()),
+               std::runtime_error);
+}
+
+TEST(SweepReport, FailureEntriesAreStructured) {
+  SweepReport report("bench_failures");
+  RunResult ok;
+  ok.cycles = 5;
+  report.add("good/pac", CoalescerKind::kPac, ok);
+  report.add_failure("bad/pac", "timeout", "exceeded job timeout of 0.02s",
+                     1.25);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"label\": \"bad/pac\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"exceeded job timeout of 0.02s\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 1.25"), std::string::npos);
+  // Failure wall time still counts toward the sweep's simulation seconds.
+  EXPECT_NE(json.find("\"simulation_seconds\": 1.25"), std::string::npos);
+}
+
+TEST(JobOutcome, StatusNames) {
+  EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kOk), "ok");
+  EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kFailed), "failed");
+  EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kTimeout), "timeout");
+}
+
+}  // namespace
+}  // namespace pacsim
