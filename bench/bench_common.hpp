@@ -12,6 +12,8 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/verifier.hpp"
+#include "exp/interrupt.hpp"
 #include "exp/sweep_runner.hpp"
 #include "exp/thread_pool.hpp"
 #include "sim/report.hpp"
@@ -68,6 +70,23 @@ class EvalContext {
     // jobtimeout=<seconds>: per-job wall-clock watchdog (0 disables). An
     // over-budget job is cancelled and reported, not aborted on.
     job_timeout_seconds = cli.get_double("jobtimeout", 0.0);
+    // Runtime verification (see README "Runtime verification"):
+    //   verify=off|counters|full   lifecycle checking level (default off)
+    //   watchdog=<cycles>          no-progress watchdog period
+    //   verifyage=<cycles>         per-request latency budget (full only)
+    //   verifydir=<dir>            where forensics dumps land
+    //   diagnose                   re-run failed cells once at verify=full
+    scfg.verify.level = parse_verify_level(cli.get("verify", "off"));
+    scfg.verify.watchdog_cycles =
+        cli.get_u64("watchdog", scfg.verify.watchdog_cycles);
+    scfg.verify.max_request_age =
+        cli.get_u64("verifyage", scfg.verify.max_request_age);
+    scfg.verify.forensics_dir =
+        cli.get("verifydir", scfg.verify.forensics_dir);
+    diagnose_failures = cli.has("diagnose");
+    // Ctrl-C / SIGTERM flushes a partial JSON report instead of losing the
+    // sweep: unfinished cells are reported with status "interrupted".
+    install_interrupt_handler();
     // jobs=<n>: simulation threads (default: hardware concurrency;
     // jobs=1 runs serially in the calling thread).
     jobs = static_cast<unsigned>(cli.get_u64("jobs", exp::default_jobs()));
@@ -87,9 +106,11 @@ class EvalContext {
   /// One non-ok job from run_all (isolated, not fatal to the bench).
   struct Failure {
     std::string label;
-    std::string status;  ///< "failed" or "timeout"
+    std::string status;  ///< "failed", "timeout" or "interrupted"
     std::string error;
     double wall_seconds = 0.0;
+    std::string forensics;  ///< verifier dump path, when one was written
+    std::string diagnosis;  ///< verdict of the diagnose= re-run, if any
   };
 
   WorkloadConfig wcfg;
@@ -98,6 +119,7 @@ class EvalContext {
   unsigned jobs = 1;       ///< simulation threads (jobs=<n>)
   std::string report_dir;  ///< JSON report directory (jsondir=<dir>)
   double job_timeout_seconds = 0.0;  ///< watchdog budget (jobtimeout=<s>)
+  bool diagnose_failures = false;    ///< diagnose: verify=full re-runs
   /// Failures accumulated by run_all; mutable because collecting them is a
   /// side channel of the logically-const sweep. write_report serializes
   /// them as structured "failed"/"timeout" entries instead of runs.
@@ -139,20 +161,30 @@ class EvalContext {
     const exp::SweepRunner runner(jobs);
     exp::SweepOptions opts;
     opts.job_timeout_seconds = job_timeout_seconds;
+    opts.diagnose_failures = diagnose_failures;
     std::vector<exp::JobOutcome> outcomes =
         runner.run_isolated(sweep, wcfg, opts, trace_store());
 
-    // A failed or timed-out cell keeps its (zeroed) RunResult slot so the
-    // tables stay rectangular; the failure is logged, recorded for the
-    // JSON report, and never takes the rest of the sweep down.
+    // A failed, timed-out or interrupted cell keeps its (zeroed) RunResult
+    // slot so the tables stay rectangular; the failure is logged, recorded
+    // for the JSON report, and never takes the rest of the sweep down.
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       if (outcomes[i].ok()) continue;
       std::fprintf(stderr, "[bench] %s: %s: %s\n", sweep[i].label.c_str(),
                    exp::to_string(outcomes[i].status),
                    outcomes[i].error.c_str());
+      if (!outcomes[i].forensics.empty()) {
+        std::fprintf(stderr, "[bench]   forensics: %s\n",
+                     outcomes[i].forensics.c_str());
+      }
+      if (outcomes[i].diagnosed) {
+        std::fprintf(stderr, "[bench]   diagnosis: %s\n",
+                     outcomes[i].diagnosis.c_str());
+      }
       failures.push_back({sweep[i].label,
                           std::string(exp::to_string(outcomes[i].status)),
-                          outcomes[i].error, outcomes[i].wall_seconds});
+                          outcomes[i].error, outcomes[i].wall_seconds,
+                          outcomes[i].forensics, outcomes[i].diagnosis});
     }
 
     std::vector<SuiteResults> out;
@@ -186,7 +218,8 @@ class EvalContext {
       }
     }
     for (const Failure& f : failures) {
-      report.add_failure(f.label, f.status, f.error, f.wall_seconds);
+      report.add_failure(f.label, f.status, f.error, f.wall_seconds,
+                         f.forensics, f.diagnosis);
     }
     report.set_trace_store(store->stats());
     const std::string path = report.write(report_dir);

@@ -73,6 +73,66 @@ bool report_trace_store(const std::vector<const Workload*>& suites,
   return identical;
 }
 
+/// Runtime-verifier overhead: the same fast-forwarded run at verify=off /
+/// counters / full. All three must report identical simulated cycles (the
+/// verifier is observational); returns false on divergence. The counters
+/// level is the always-on candidate, so its overhead is the headline.
+bool report_verify_overhead(const std::vector<const Workload*>& suites,
+                            const WorkloadConfig& wcfg,
+                            const SystemConfig& base, TraceStore* store) {
+  Table t({"suite", "off Mcyc/s", "counters Mcyc/s", "full Mcyc/s",
+           "counters ovh", "full ovh", "results"});
+  bool identical = true;
+  double off_total = 0.0, counters_total = 0.0, full_total = 0.0;
+  for (const Workload* suite : suites) {
+    for (CoalescerKind kind :
+         {CoalescerKind::kDirect, CoalescerKind::kPac}) {
+      const std::string label =
+          std::string(suite->name()) + "/" + std::string(to_string(kind));
+      std::fprintf(stderr, "[bench] verify overhead: %s ...\n",
+                   label.c_str());
+      RunResult runs[3];
+      const VerifyLevel levels[3] = {VerifyLevel::kOff,
+                                     VerifyLevel::kCounters,
+                                     VerifyLevel::kFull};
+      for (int i = 0; i < 3; ++i) {
+        SystemConfig cfg = base;
+        cfg.enable_fast_forward = true;
+        cfg.verify.level = levels[i];
+        runs[i] = run_suite(*suite, kind, wcfg, cfg, store);
+      }
+      const bool same = runs[1].cycles == runs[0].cycles &&
+                        runs[2].cycles == runs[0].cycles;
+      identical = identical && same;
+      off_total += runs[0].throughput.wall_seconds;
+      counters_total += runs[1].throughput.wall_seconds;
+      full_total += runs[2].throughput.wall_seconds;
+      const auto overhead = [&](const RunResult& r) {
+        return runs[0].throughput.wall_seconds > 0.0
+                   ? (r.throughput.wall_seconds /
+                          runs[0].throughput.wall_seconds -
+                      1.0) * 100.0
+                   : 0.0;
+      };
+      t.add_row({label, Table::num(runs[0].throughput.mcycles_per_sec()),
+                 Table::num(runs[1].throughput.mcycles_per_sec()),
+                 Table::num(runs[2].throughput.mcycles_per_sec()),
+                 Table::pct(overhead(runs[1])), Table::pct(overhead(runs[2])),
+                 same ? "identical" : "DIVERGED"});
+    }
+  }
+  t.print(
+      "Runtime verification overhead - verify=off vs counters vs full "
+      "(identical simulated results, wall-clock only)");
+  std::fprintf(
+      stderr,
+      "[bench] verify overhead: counters %+.1f%%, full %+.1f%%, results %s\n",
+      off_total > 0.0 ? (counters_total / off_total - 1.0) * 100.0 : 0.0,
+      off_total > 0.0 ? (full_total / off_total - 1.0) * 100.0 : 0.0,
+      identical ? "identical" : "DIVERGED");
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +223,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[bench] overall speedup: %.2fx, results %s\n",
                overall, identical ? "identical" : "DIVERGED");
 
+  const bool verify_identical =
+      report_verify_overhead(suites, wcfg, scfg, &store);
   const bool store_identical = report_trace_store(suites, wcfg);
 
   const std::string report_dir = cli.get("jsondir", "results");
@@ -171,5 +233,5 @@ int main(int argc, char** argv) {
     const std::string path = report.write(report_dir);
     std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
-  return identical && store_identical ? 0 : 1;
+  return identical && verify_identical && store_identical ? 0 : 1;
 }

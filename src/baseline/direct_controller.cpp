@@ -1,7 +1,9 @@
 #include "baseline/direct_controller.hpp"
 
+#include <sstream>
 #include <utility>
 
+#include "core/verifier.hpp"
 #include "mem/packet.hpp"
 
 namespace pacsim {
@@ -13,6 +15,7 @@ DirectController::DirectController(const DirectControllerConfig& cfg,
 bool DirectController::accept(const MemRequest& request, Cycle now) {
   if (request.op == MemOp::kFence) {
     ++stats_.fences;
+    if (verifier_ != nullptr) verifier_->on_fence_passthrough(request.id, now);
     return true;  // in-order dispatch: nothing to drain
   }
   if (outstanding_.size() >= cfg_.max_outstanding) return false;
@@ -53,6 +56,12 @@ void DirectController::complete(const DeviceResponse& response, Cycle now) {
 void DirectController::drain_satisfied_into(std::vector<std::uint64_t>& out) {
   out.clear();
   std::swap(out, satisfied_);
+}
+
+std::string DirectController::debug_json() const {
+  std::ostringstream out;
+  out << "{\"outstanding\": " << outstanding_.size() << "}";
+  return out.str();
 }
 
 }  // namespace pacsim

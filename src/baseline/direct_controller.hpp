@@ -33,6 +33,7 @@ class DirectController final : public Coalescer {
   }
   [[nodiscard]] bool idle() const override { return outstanding_.empty(); }
   [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string debug_json() const override;
 
  private:
   DirectControllerConfig cfg_;

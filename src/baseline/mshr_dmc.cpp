@@ -1,8 +1,10 @@
 #include "baseline/mshr_dmc.hpp"
 
 #include <cassert>
+#include <sstream>
 #include <utility>
 
+#include "core/verifier.hpp"
 #include "mem/packet.hpp"
 
 namespace pacsim {
@@ -36,6 +38,7 @@ bool MshrDmc::accept(const MemRequest& request, Cycle now) {
     // Requests dispatch as soon as they are buffered, so ordering at this
     // level is already preserved; the fence is a no-op for this baseline.
     ++stats_.fences;
+    if (verifier_ != nullptr) verifier_->on_fence_passthrough(request.id, now);
     return true;
   }
 
@@ -58,6 +61,7 @@ bool MshrDmc::accept(const MemRequest& request, Cycle now) {
         stats_.comparisons += scan_comparisons;
         ++stats_.raw_requests;
         ++stats_.coalesced_away;
+        if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
         return true;
       }
     }
@@ -129,5 +133,16 @@ Cycle MshrDmc::next_event_cycle(Cycle now) const {
 }
 
 bool MshrDmc::idle() const { return occupied_ == 0; }
+
+std::string MshrDmc::debug_json() const {
+  std::size_t undispatched = 0;
+  for (const auto& entry : entries_) {
+    if (entry.valid && !entry.dispatched) ++undispatched;
+  }
+  std::ostringstream out;
+  out << "{\"mshrs_occupied\": " << occupied_
+      << ", \"undispatched\": " << undispatched << "}";
+  return out.str();
+}
 
 }  // namespace pacsim

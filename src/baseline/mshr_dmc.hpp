@@ -32,6 +32,7 @@ class MshrDmc final : public Coalescer {
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
   [[nodiscard]] bool idle() const override;
   [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string debug_json() const override;
 
   [[nodiscard]] unsigned occupied() const { return occupied_; }
 

@@ -1,8 +1,10 @@
 #include "baseline/sorting_coalescer.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "core/verifier.hpp"
 #include "mem/packet.hpp"
 
 namespace pacsim {
@@ -18,6 +20,7 @@ SortingCoalescer::SortingCoalescer(const SortingCoalescerConfig& cfg,
 bool SortingCoalescer::accept(const MemRequest& request, Cycle now) {
   if (request.op == MemOp::kFence) {
     ++stats_.fences;
+    if (verifier_ != nullptr) verifier_->on_fence_passthrough(request.id, now);
     // Force the partial window through the sorter immediately.
     if (!window_.empty()) sort_and_merge(now);
     return true;
@@ -86,11 +89,13 @@ void SortingCoalescer::sort_and_merge(Cycle now) {
       if (e.line == end - cfg_.line_bytes) {
         // Duplicate line: fold into the open request.
         open->raw_ids.push_back(e.raw_id);
+        if (verifier_ != nullptr) verifier_->on_merged(e.raw_id, now);
         continue;
       }
       if (e.line == end && open->bytes + cfg_.line_bytes <= cfg_.max_request) {
         open->bytes += cfg_.line_bytes;
         open->raw_ids.push_back(e.raw_id);
+        if (verifier_ != nullptr) verifier_->on_merged(e.raw_id, now);
         continue;
       }
     }
@@ -166,6 +171,14 @@ Cycle SortingCoalescer::next_event_cycle(Cycle now) const {
 
 bool SortingCoalescer::idle() const {
   return window_.empty() && ready_.empty() && outstanding_ == 0;
+}
+
+std::string SortingCoalescer::debug_json() const {
+  std::ostringstream out;
+  out << "{\"window\": " << window_.size() << ", \"ready\": " << ready_.size()
+      << ", \"outstanding\": " << outstanding_
+      << ", \"sort_busy_until\": " << sort_busy_until_ << "}";
+  return out.str();
 }
 
 }  // namespace pacsim

@@ -39,6 +39,7 @@ class SortingCoalescer final : public Coalescer {
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
   [[nodiscard]] bool idle() const override;
   [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string debug_json() const override;
 
   [[nodiscard]] std::size_t window_occupancy() const { return window_.size(); }
   [[nodiscard]] const SortingNetwork& network() const { return network_; }

@@ -1,0 +1,40 @@
+#include "common/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace pacsim {
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // Unique per process and per call: concurrent writers to the same target
+  // (e.g. parallel sweep jobs dumping forensics) must not share a temp file.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+    out << content;
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path + ": " +
+                             ec.message());
+  }
+}
+
+}  // namespace pacsim

@@ -1,0 +1,67 @@
+#include "core/request_ledger.hpp"
+
+#include <algorithm>
+
+namespace pacsim {
+
+const char* to_string(ReqStage stage) {
+  switch (stage) {
+    case ReqStage::kIssued: return "issued";
+    case ReqStage::kAccepted: return "accepted";
+    case ReqStage::kMerged: return "merged";
+    case ReqStage::kFenceMark: return "fence-mark";
+    case ReqStage::kDispatched: return "dispatched";
+    case ReqStage::kNacked: return "nacked";
+    case ReqStage::kRetransmitted: return "retransmitted";
+    case ReqStage::kResponseDropped: return "response-dropped";
+    case ReqStage::kResponded: return "responded";
+    case ReqStage::kRetired: return "retired";
+  }
+  return "?";
+}
+
+bool RequestLedger::open(const MemRequest& req, Cycle now) {
+  auto [it, inserted] = open_.try_emplace(req.id);
+  if (!inserted) return false;
+  ReqRecord& rec = it->second;
+  rec.paddr = req.paddr;
+  rec.bytes = req.bytes;
+  rec.op = req.op;
+  rec.core = req.core;
+  rec.issued_at = now;
+  rec.events.push_back(ReqEvent{now, ReqStage::kIssued, 0});
+  return true;
+}
+
+ReqRecord* RequestLedger::note(std::uint64_t id, ReqStage stage, Cycle now,
+                               std::uint64_t aux) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return nullptr;
+  it->second.events.push_back(ReqEvent{now, stage, aux});
+  return &it->second;
+}
+
+bool RequestLedger::close(std::uint64_t id) { return open_.erase(id) != 0; }
+
+const ReqRecord* RequestLedger::find(std::uint64_t id) const {
+  auto it = open_.find(id);
+  return it == open_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::uint64_t, const ReqRecord*>> RequestLedger::oldest(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, const ReqRecord*>> all;
+  all.reserve(open_.size());
+  for (const auto& [id, rec] : open_) all.emplace_back(id, &rec);
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), [](const auto& a, const auto& b) {
+                      return a.second->issued_at != b.second->issued_at
+                                 ? a.second->issued_at < b.second->issued_at
+                                 : a.first < b.first;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace pacsim

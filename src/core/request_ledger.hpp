@@ -1,0 +1,85 @@
+// Per-request lifetime accounting for the runtime verification layer.
+//
+// The ledger is a dumb store: it records every open raw request's identity
+// and event timeline (issued -> accepted -> merged -> dispatched -> ... ->
+// retired) keyed by raw id, and answers queries about what is still
+// outstanding. All policy - which transitions are legal, what a violation
+// means, when to dump forensics - lives in the Verifier.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+/// Lifecycle stages of one raw request, in nominal order. The names are
+/// stable: they appear verbatim in forensics dumps.
+enum class ReqStage : std::uint8_t {
+  kIssued = 0,     ///< left the LLC (System::make_raw)
+  kAccepted,       ///< admitted by the coalescer
+  kMerged,         ///< coalesced into a stream / MSHR entry / open packet
+  kFenceMark,      ///< fence observed by the controller (fence raws only)
+  kDispatched,     ///< part of a device request submitted to the port
+  kNacked,         ///< its device request was NACKed on the link
+  kRetransmitted,  ///< its device request was retransmitted after a fault
+  kResponseDropped,///< the device produced a response the link then lost
+  kResponded,      ///< covered by a completed device response
+  kRetired,        ///< satisfied back to the system scoreboard
+};
+
+[[nodiscard]] const char* to_string(ReqStage stage);
+
+struct ReqEvent {
+  Cycle cycle = 0;
+  ReqStage stage = ReqStage::kIssued;
+  /// Stage-dependent detail: device request id for kDispatched/kNacked/
+  /// kResponseDropped, retry attempt count for kRetransmitted, 0 otherwise.
+  std::uint64_t aux = 0;
+};
+
+/// Everything remembered about one open (not yet retired) raw request.
+struct ReqRecord {
+  Addr paddr = 0;
+  std::uint32_t bytes = 0;
+  MemOp op = MemOp::kLoad;
+  std::uint8_t core = 0;
+  Cycle issued_at = 0;
+  bool accepted = false;
+  std::vector<ReqEvent> events;  ///< full timeline, in arrival order
+};
+
+class RequestLedger {
+ public:
+  using Map = std::unordered_map<std::uint64_t, ReqRecord>;
+
+  /// Open a record for `req` (stage kIssued). Returns false when the id is
+  /// already open - a duplicate issue the caller must flag.
+  bool open(const MemRequest& req, Cycle now);
+
+  /// Append an event to an open record. Returns the record, or nullptr when
+  /// the id is unknown (never opened, or already retired).
+  ReqRecord* note(std::uint64_t id, ReqStage stage, Cycle now,
+                  std::uint64_t aux = 0);
+
+  /// Close (retire) a record. Returns false when the id is not open.
+  bool close(std::uint64_t id);
+
+  [[nodiscard]] const ReqRecord* find(std::uint64_t id) const;
+  [[nodiscard]] std::size_t outstanding() const { return open_.size(); }
+  [[nodiscard]] const Map& open_requests() const { return open_; }
+
+  /// The `k` oldest open records by issue cycle (ties by id), for forensics
+  /// dumps: the stuck requests are almost always the oldest ones.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, const ReqRecord*>>
+  oldest(std::size_t k) const;
+
+ private:
+  Map open_;
+};
+
+}  // namespace pacsim

@@ -2,7 +2,10 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/atomic_file.hpp"
 
 namespace pacsim {
 namespace {
@@ -10,7 +13,7 @@ namespace {
 constexpr char kMagic[8] = {'P', 'A', 'C', 'T', 'R', 'C', 'E', '1'};
 
 template <typename T>
-void put(std::ofstream& out, T value) {
+void put(std::ostream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
@@ -25,8 +28,10 @@ T get(std::ifstream& in) {
 }  // namespace
 
 void save_traces(const std::string& path, const std::vector<Trace>& traces) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  // Render to memory, then temp-file + rename: a warm-tier trace file is
+  // read concurrently by parallel sweep workers, so a partially written
+  // file must never be visible under the final name.
+  std::ostringstream out(std::ios::binary);
   out.write(kMagic, sizeof(kMagic));
   put<std::uint32_t>(out, static_cast<std::uint32_t>(traces.size()));
   for (const Trace& trace : traces) {
@@ -37,7 +42,7 @@ void save_traces(const std::string& path, const std::vector<Trace>& traces) {
       put<std::uint8_t>(out, static_cast<std::uint8_t>(op.kind));
     }
   }
-  if (!out) throw std::runtime_error("write failed: " + path);
+  write_file_atomic(path, out.str());
 }
 
 std::vector<Trace> load_traces(const std::string& path) {

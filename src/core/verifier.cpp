@@ -1,0 +1,390 @@
+#include "core/verifier.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/atomic_file.hpp"
+
+namespace pacsim {
+namespace {
+
+std::string hex_addr(Addr a) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, static_cast<std::uint64_t>(a));
+  return buf;
+}
+
+const char* op_name(MemOp op) {
+  switch (op) {
+    case MemOp::kLoad: return "load";
+    case MemOp::kStore: return "store";
+    case MemOp::kAtomic: return "atomic";
+    case MemOp::kFence: return "fence";
+  }
+  return "?";
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(VerifyLevel level) {
+  switch (level) {
+    case VerifyLevel::kOff: return "off";
+    case VerifyLevel::kCounters: return "counters";
+    case VerifyLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+VerifyLevel parse_verify_level(const std::string& name) {
+  if (name == "off") return VerifyLevel::kOff;
+  if (name == "counters") return VerifyLevel::kCounters;
+  if (name == "full") return VerifyLevel::kFull;
+  throw std::invalid_argument("unknown verify level '" + name +
+                              "' (expected off, counters or full)");
+}
+
+Verifier::Verifier(const VerifyConfig& cfg)
+    : cfg_(cfg), full_(cfg.level == VerifyLevel::kFull) {
+  stats_.enabled = cfg_.level != VerifyLevel::kOff;
+  stats_.level = cfg_.level;
+  if (full_ && cfg_.max_request_age != 0) {
+    next_age_check_ = cfg_.age_check_period;
+  }
+}
+
+void Verifier::on_issued(const MemRequest& req, Cycle now) {
+  ++stats_.issued;
+  last_progress_ = now;
+  if (!full_) return;
+  if (!ledger_.open(req, now)) {
+    fail("conservation", "duplicate issue of raw id " + std::to_string(req.id),
+         now);
+  }
+}
+
+void Verifier::on_accepted(const MemRequest& req, Cycle now) {
+  ++stats_.accepted;
+  last_progress_ = now;
+  const bool is_fence = req.op == MemOp::kFence;
+  if (is_fence) ++stats_.fences;
+  if (fence_active_ && !is_fence) {
+    fail("fence_ordering",
+         "raw id " + std::to_string(req.id) +
+             " accepted while fence raw id " + std::to_string(fence_raw_) +
+             " is still draining",
+         now);
+  }
+  if (!full_) return;
+  ReqRecord* rec = ledger_.note(req.id, ReqStage::kAccepted, now);
+  if (rec == nullptr) {
+    fail("conservation",
+         "accept of unknown raw id " + std::to_string(req.id), now);
+  }
+  if (rec->accepted) {
+    fail("conservation",
+         "raw id " + std::to_string(req.id) + " accepted twice", now);
+  }
+  rec->accepted = true;
+  // A fence's lifecycle ends at accept: it produces no device traffic and
+  // the system never satisfies it, so its record closes here.
+  if (is_fence) {
+    ledger_.close(req.id);
+    retired_ids_.insert(req.id);
+  }
+}
+
+void Verifier::on_merged(std::uint64_t raw_id, Cycle now) {
+  ++stats_.merged;
+  last_progress_ = now;
+  if (full_) ledger_.note(raw_id, ReqStage::kMerged, now);
+}
+
+void Verifier::on_fence_begin(std::uint64_t fence_raw_id, Cycle now) {
+  last_progress_ = now;
+  fence_active_ = true;
+  fence_raw_ = fence_raw_id;
+  if (full_) ledger_.note(fence_raw_id, ReqStage::kFenceMark, now);
+}
+
+void Verifier::on_fence_end(Cycle now) {
+  last_progress_ = now;
+  fence_active_ = false;
+}
+
+void Verifier::on_fence_passthrough(std::uint64_t fence_raw_id, Cycle now) {
+  last_progress_ = now;
+  if (full_) ledger_.note(fence_raw_id, ReqStage::kFenceMark, now);
+}
+
+void Verifier::on_dispatched(const DeviceRequest& req, Cycle now) {
+  ++stats_.device_requests;
+  stats_.dispatched_raws += req.raw_ids.size();
+  last_progress_ = now;
+  if (req.atomic && req.raw_ids.size() != 1) {
+    fail("atomic_ordering",
+         "atomic device request " + std::to_string(req.id) + " carries " +
+             std::to_string(req.raw_ids.size()) + " raws (must be exactly 1)",
+         now);
+  }
+  if (!full_) return;
+  for (std::size_t i = 0; i < req.raw_ids.size(); ++i) {
+    const std::uint64_t raw = req.raw_ids[i];
+    ReqRecord* rec = ledger_.note(raw, ReqStage::kDispatched, now, req.id);
+    if (rec == nullptr) {
+      fail("conservation",
+           "device request " + std::to_string(req.id) +
+               " dispatches unknown/retired raw id " + std::to_string(raw),
+           now);
+    }
+    // Byte coverage: the packet must carry the raw's address range (the
+    // block-map bits that produced the packet are a subset of the
+    // dispatched bytes). Atomics are sub-granule, so only the start
+    // address is checked for them.
+    const Addr end = req.base + req.bytes;
+    const bool start_ok = rec->paddr >= req.base && rec->paddr < end;
+    const bool range_ok =
+        rec->op == MemOp::kAtomic ||
+        (start_ok && rec->paddr + rec->bytes <= end);
+    if (!start_ok || !range_ok) {
+      fail("conservation",
+           "device request " + std::to_string(req.id) + " [" +
+               hex_addr(req.base) + ", " + hex_addr(end) +
+               ") does not cover raw id " + std::to_string(raw) + " at " +
+               hex_addr(rec->paddr) + "+" + std::to_string(rec->bytes),
+           now);
+    }
+    // The declared block-map offset must be consistent with an integral
+    // granule: offset bytes = raw_block * granule for some granule.
+    const std::uint16_t block = req.raw_block(i);
+    const Addr offset = rec->paddr - req.base;
+    if (block != 0 && offset % block != 0) {
+      fail("conservation",
+           "device request " + std::to_string(req.id) + " stamps raw id " +
+               std::to_string(raw) + " with block offset " +
+               std::to_string(block) + " inconsistent with byte offset " +
+               std::to_string(offset),
+           now);
+    }
+  }
+}
+
+void Verifier::on_nack(const DeviceRequest& req, Cycle now) {
+  ++stats_.nacks;
+  last_progress_ = now;
+  if (!full_) return;
+  for (std::uint64_t raw : req.raw_ids) {
+    ledger_.note(raw, ReqStage::kNacked, now, req.id);
+  }
+}
+
+void Verifier::on_retransmit(const DeviceRequest& req, std::uint32_t attempts,
+                             Cycle now) {
+  ++stats_.retransmissions;
+  last_progress_ = now;
+  if (!full_) return;
+  for (std::uint64_t raw : req.raw_ids) {
+    ledger_.note(raw, ReqStage::kRetransmitted, now, attempts);
+  }
+}
+
+void Verifier::on_response_dropped(const DeviceRequest& req, Cycle now) {
+  last_progress_ = now;
+  if (!full_) return;
+  for (std::uint64_t raw : req.raw_ids) {
+    ledger_.note(raw, ReqStage::kResponseDropped, now, req.id);
+  }
+}
+
+void Verifier::on_response(const DeviceResponse& rsp, Cycle now) {
+  ++stats_.responses;
+  stats_.responded_raws += rsp.raw_ids.size();
+  last_progress_ = now;
+  if (!full_) return;
+  for (std::uint64_t raw : rsp.raw_ids) {
+    if (ledger_.note(raw, ReqStage::kResponded, now, rsp.request_id) ==
+        nullptr) {
+      fail("conservation",
+           "response for device request " + std::to_string(rsp.request_id) +
+               " covers unknown/retired raw id " + std::to_string(raw),
+           now);
+    }
+  }
+}
+
+void Verifier::on_retired(std::uint64_t raw_id, Cycle now) {
+  ++stats_.retired;
+  last_progress_ = now;
+  if (!full_) return;
+  ReqRecord* rec = ledger_.note(raw_id, ReqStage::kRetired, now);
+  if (rec == nullptr) {
+    const bool dup = retired_ids_.count(raw_id) != 0;
+    fail("conservation",
+         std::string(dup ? "duplicate retirement of raw id "
+                         : "retirement of never-issued raw id ") +
+             std::to_string(raw_id),
+         now);
+  }
+  ledger_.close(raw_id);
+  retired_ids_.insert(raw_id);
+}
+
+void Verifier::on_retry_exhausted(const DeviceRequest& req,
+                                  std::uint32_t attempts,
+                                  std::uint32_t max_retries, Cycle now) {
+  fail("retry_exhausted",
+       "device request " + std::to_string(req.id) + " (" +
+           std::to_string(req.raw_ids.size()) + " raws, base " +
+           hex_addr(req.base) + ") exceeded retrymax=" +
+           std::to_string(max_retries) + " after " +
+           std::to_string(attempts) + " attempts; link unrecoverable",
+       now);
+}
+
+void Verifier::watchdog_fire(Cycle now, const std::string& reason) {
+  fail("no_progress", reason, now);
+}
+
+void Verifier::check_ages(Cycle now) {
+  next_age_check_ = now + cfg_.age_check_period;
+  if (cfg_.max_request_age == 0) return;
+  for (const auto& [id, rec] : ledger_.open_requests()) {
+    if (now - rec.issued_at > cfg_.max_request_age) {
+      fail("bounded_latency",
+           "raw id " + std::to_string(id) + " (" + op_name(rec.op) + " at " +
+               hex_addr(rec.paddr) + ") issued at cycle " +
+               std::to_string(rec.issued_at) + " is " +
+               std::to_string(now - rec.issued_at) +
+               " cycles old (budget " +
+               std::to_string(cfg_.max_request_age) + ")",
+           now);
+    }
+  }
+}
+
+Cycle Verifier::next_deadline(Cycle now) const {
+  Cycle bound = kNeverCycle;
+  if (cfg_.watchdog_cycles != 0) {
+    bound = last_progress_ + cfg_.watchdog_cycles;
+  }
+  if (next_age_check_ != kNeverCycle) {
+    bound = std::min(bound, next_age_check_);
+  }
+  return std::max(bound, now);
+}
+
+void Verifier::final_check(Cycle now) {
+  if (fence_active_) {
+    fail("fence_ordering",
+         "run finished with fence raw id " + std::to_string(fence_raw_) +
+             " still draining",
+         now);
+  }
+  if (stats_.retired + stats_.fences != stats_.issued) {
+    fail("conservation",
+         "conservation equation failed: issued=" +
+             std::to_string(stats_.issued) +
+             " != retired=" + std::to_string(stats_.retired) + " + fences=" +
+             std::to_string(stats_.fences) + " (" +
+             std::to_string(stats_.issued - stats_.retired - stats_.fences) +
+             " raw requests lost)",
+         now);
+  }
+  if (full_ && ledger_.outstanding() != 0) {
+    fail("conservation",
+         std::to_string(ledger_.outstanding()) +
+             " raw requests never retired (oldest timelines in dump)",
+         now);
+  }
+}
+
+std::string Verifier::render_forensics(const std::string& kind,
+                                       const std::string& message,
+                                       Cycle now) const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"kind\": \"" << escape(kind) << "\",\n";
+  out << "  \"message\": \"" << escape(message) << "\",\n";
+  out << "  \"cycle\": " << now << ",\n";
+  out << "  \"level\": \"" << to_string(cfg_.level) << "\",\n";
+  out << "  \"counters\": {\"issued\": " << stats_.issued
+      << ", \"accepted\": " << stats_.accepted
+      << ", \"merged\": " << stats_.merged
+      << ", \"device_requests\": " << stats_.device_requests
+      << ", \"dispatched_raws\": " << stats_.dispatched_raws
+      << ", \"responses\": " << stats_.responses
+      << ", \"responded_raws\": " << stats_.responded_raws
+      << ", \"retired\": " << stats_.retired
+      << ", \"fences\": " << stats_.fences
+      << ", \"nacks\": " << stats_.nacks
+      << ", \"retransmissions\": " << stats_.retransmissions << "},\n";
+  out << "  \"fence_active\": " << (fence_active_ ? "true" : "false") << ",\n";
+  out << "  \"last_progress_cycle\": " << last_progress_ << ",\n";
+  out << "  \"components\": "
+      << (state_provider_ ? state_provider_() : std::string("{}")) << ",\n";
+  out << "  \"outstanding_requests\": " << ledger_.outstanding() << ",\n";
+  out << "  \"stuck_requests\": [";
+  const auto oldest = ledger_.oldest(cfg_.forensics_timeline_limit);
+  for (std::size_t i = 0; i < oldest.size(); ++i) {
+    const auto& [id, rec] = oldest[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"id\": " << id << ", \"op\": \"" << op_name(rec->op)
+        << "\", \"paddr\": \"" << hex_addr(rec->paddr)
+        << "\", \"bytes\": " << rec->bytes
+        << ", \"core\": " << static_cast<unsigned>(rec->core)
+        << ", \"issued_at\": " << rec->issued_at
+        << ", \"age\": " << (now - rec->issued_at) << ", \"timeline\": [";
+    for (std::size_t e = 0; e < rec->events.size(); ++e) {
+      const ReqEvent& ev = rec->events[e];
+      out << (e == 0 ? "" : ", ") << "{\"cycle\": " << ev.cycle
+          << ", \"stage\": \"" << to_string(ev.stage) << "\", \"aux\": "
+          << ev.aux << "}";
+    }
+    out << "]}";
+  }
+  out << (oldest.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+void Verifier::fail(const std::string& kind, const std::string& message,
+                    Cycle now) {
+  ++stats_.violations;
+  std::string path;
+  try {
+    static std::atomic<std::uint64_t> dump_counter{0};
+    std::filesystem::create_directories(cfg_.forensics_dir);
+    path = (std::filesystem::path(cfg_.forensics_dir) /
+            ("forensics_" + std::to_string(static_cast<long>(::getpid())) +
+             "_" + std::to_string(dump_counter.fetch_add(1)) + ".json"))
+               .string();
+    write_file_atomic(path, render_forensics(kind, message, now));
+  } catch (const std::exception&) {
+    path.clear();  // the violation still throws, just without a dump
+  }
+  throw VerificationError(
+      "verification failed [" + kind + "] at cycle " + std::to_string(now) +
+          ": " + message +
+          (path.empty() ? std::string("") : "; forensics: " + path),
+      path);
+}
+
+}  // namespace pacsim

@@ -1,0 +1,190 @@
+// Runtime verification layer: online protocol invariant checking over the
+// raw-request lifecycle.
+//
+// The paper's correctness claim is that coalescing is lossless - every LLC
+// miss/write-back is answered exactly once, with fences and atomics ordered
+// correctly (section 3). The Verifier makes that claim checkable on every
+// run: lightweight hooks in the System, the four controllers, the retry
+// port and the device feed it lifecycle events, and it enforces
+//
+//   - conservation:     every issued raw retires exactly once (fences
+//                       retire at accept); no duplicate or unknown
+//                       retirements; dispatched packets cover the raw
+//                       addresses they claim to carry,
+//   - bounded latency:  no open request older than a configurable budget,
+//   - fence ordering:   nothing is accepted while a PAC fence drains,
+//   - atomic sanity:    an atomic packet carries exactly one raw,
+//   - retry sanity:     a request past retrymax is a structured failure,
+//
+// plus a no-progress watchdog driven from System::run (no lifecycle event
+// for N cycles while work is outstanding = livelock/deadlock).
+//
+// Levels: kOff compiles in but costs nothing (the System never constructs a
+// Verifier, so every hook site is a single null check); kCounters keeps
+// aggregate counters and the watchdog (<5% throughput); kFull adds the
+// per-request ledger, timelines and the byte-coverage/age scans.
+//
+// On any violation the Verifier writes a forensics dump - stuck request
+// timelines, per-component queue occupancies, active stream/block-map state
+// - crash-safely (temp file + rename) and throws VerificationError carrying
+// the dump path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "core/request_ledger.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+enum class VerifyLevel : std::uint8_t { kOff = 0, kCounters, kFull };
+
+[[nodiscard]] const char* to_string(VerifyLevel level);
+/// Parse "off" / "counters" / "full"; throws std::invalid_argument on
+/// anything else (a typoed verify= knob must never silently disable).
+[[nodiscard]] VerifyLevel parse_verify_level(const std::string& name);
+
+struct VerifyConfig {
+  VerifyLevel level = VerifyLevel::kOff;
+  /// No-progress watchdog: fail when no lifecycle event happens for this
+  /// many cycles while requests are outstanding. 0 disables. The default
+  /// clears the worst legitimate quiet stretch (a retry ladder's capped
+  /// backoff, 2^20 cycles) with margin.
+  Cycle watchdog_cycles = 4'000'000;
+  /// Bounded-latency budget (kFull): fail when an open request is older
+  /// than this. 0 disables. The default covers a full retry ladder
+  /// (8 doubling response timeouts from 8192) with margin.
+  Cycle max_request_age = 16'000'000;
+  /// How often the kFull age scan runs (it is O(outstanding)).
+  Cycle age_check_period = 1'000'000;
+  /// Where forensics dumps land (created on demand).
+  std::string forensics_dir = "results/forensics";
+  /// How many stuck-request timelines a dump includes (oldest first).
+  std::size_t forensics_timeline_limit = 8;
+};
+
+/// Aggregate lifecycle counters of one run; RunResult carries a snapshot
+/// and the report writes it as the "verification" JSON block.
+struct VerifyStats {
+  bool enabled = false;
+  VerifyLevel level = VerifyLevel::kOff;
+  std::uint64_t issued = 0;           ///< raw requests created
+  std::uint64_t accepted = 0;         ///< admitted by the coalescer
+  std::uint64_t merged = 0;           ///< merge events (a raw may merge once)
+  std::uint64_t device_requests = 0;  ///< packets submitted to the port
+  std::uint64_t dispatched_raws = 0;  ///< raw ids carried by those packets
+  std::uint64_t responses = 0;        ///< device responses delivered
+  std::uint64_t responded_raws = 0;   ///< raw ids covered by responses
+  std::uint64_t retired = 0;          ///< raws satisfied back to the system
+  std::uint64_t fences = 0;           ///< fence raws (retire at accept)
+  std::uint64_t nacks = 0;            ///< link NACKs observed
+  std::uint64_t retransmissions = 0;  ///< packet retransmits observed
+  std::uint64_t violations = 0;       ///< 0 on any run that returned
+};
+
+/// Thrown on any invariant violation; `forensics_path()` names the dump
+/// written just before the throw ("" when the dump itself failed).
+class VerificationError : public std::runtime_error {
+ public:
+  VerificationError(const std::string& what, std::string forensics_path)
+      : std::runtime_error(what),
+        forensics_path_(std::move(forensics_path)) {}
+  [[nodiscard]] const std::string& forensics_path() const {
+    return forensics_path_;
+  }
+
+ private:
+  std::string forensics_path_;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const VerifyConfig& cfg);
+
+  // --- Lifecycle hooks (every hook counts as watchdog progress). ---
+  void on_issued(const MemRequest& req, Cycle now);
+  void on_accepted(const MemRequest& req, Cycle now);
+  void on_merged(std::uint64_t raw_id, Cycle now);
+  void on_dispatched(const DeviceRequest& req, Cycle now);
+  void on_nack(const DeviceRequest& req, Cycle now);
+  void on_retransmit(const DeviceRequest& req, std::uint32_t attempts,
+                     Cycle now);
+  void on_response_dropped(const DeviceRequest& req, Cycle now);
+  void on_response(const DeviceResponse& rsp, Cycle now);
+  void on_retired(std::uint64_t raw_id, Cycle now);
+
+  // --- Fence ordering. ---
+  /// PAC's drain window: begin at fence accept, end when the drain clears.
+  /// Any non-fence accept inside the window is a violation.
+  void on_fence_begin(std::uint64_t fence_raw_id, Cycle now);
+  void on_fence_end(Cycle now);
+  /// Controllers whose dispatch is immediate/in-order (the baselines) mark
+  /// the fence without opening a window.
+  void on_fence_passthrough(std::uint64_t fence_raw_id, Cycle now);
+
+  // --- Retry-buffer sanity: always a structured failure. ---
+  [[noreturn]] void on_retry_exhausted(const DeviceRequest& req,
+                                       std::uint32_t attempts,
+                                       std::uint32_t max_retries, Cycle now);
+
+  // --- Watchdog / periodic scans, driven from System::run. ---
+  [[nodiscard]] bool watchdog_due(Cycle now) const {
+    return cfg_.watchdog_cycles != 0 &&
+           now >= last_progress_ + cfg_.watchdog_cycles;
+  }
+  /// Called when the watchdog was due but no work is outstanding: an idle
+  /// system is progress by definition (keeps fast-forward jumps bounded
+  /// without ever looping on a stale deadline).
+  void note_progress(Cycle now) { last_progress_ = now; }
+  [[noreturn]] void watchdog_fire(Cycle now, const std::string& reason);
+  [[nodiscard]] bool age_check_due(Cycle now) const {
+    return next_age_check_ != kNeverCycle && now >= next_age_check_;
+  }
+  void check_ages(Cycle now);
+  /// Clamp for event-horizon jumps: the earliest cycle a watchdog or age
+  /// check must observe. Always > `now` right after the due checks ran.
+  [[nodiscard]] Cycle next_deadline(Cycle now) const;
+
+  /// End-of-run invariants: conservation equation, empty ledger, closed
+  /// fence window. Throws VerificationError on any failure.
+  void final_check(Cycle now);
+
+  /// The System installs a provider that renders per-component occupancy
+  /// state as a JSON object for forensics dumps.
+  void set_state_provider(std::function<std::string()> provider) {
+    state_provider_ = std::move(provider);
+  }
+
+  [[nodiscard]] VerifyStats stats_snapshot() const { return stats_; }
+  [[nodiscard]] const VerifyConfig& config() const { return cfg_; }
+  [[nodiscard]] const RequestLedger& ledger() const { return ledger_; }
+  [[nodiscard]] bool fence_active() const { return fence_active_; }
+
+ private:
+  /// Record the violation, write the forensics dump, throw.
+  [[noreturn]] void fail(const std::string& kind, const std::string& message,
+                         Cycle now);
+  [[nodiscard]] std::string render_forensics(const std::string& kind,
+                                             const std::string& message,
+                                             Cycle now) const;
+
+  VerifyConfig cfg_;
+  bool full_;  ///< cfg_.level == kFull (ledger active)
+  VerifyStats stats_;
+  RequestLedger ledger_;
+  /// kFull only: retired ids, to tell a duplicate retirement apart from a
+  /// retirement of a never-issued id.
+  std::unordered_set<std::uint64_t> retired_ids_;
+  bool fence_active_ = false;
+  std::uint64_t fence_raw_ = 0;
+  Cycle last_progress_ = 0;
+  Cycle next_age_check_ = kNeverCycle;
+  std::function<std::string()> state_provider_;
+};
+
+}  // namespace pacsim

@@ -1,0 +1,44 @@
+#include "exp/interrupt.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace pacsim {
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+std::atomic<bool> g_installed{false};
+
+extern "C" void pacsim_on_interrupt(int signum) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  // One chance at a graceful flush; the next signal kills the process.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_interrupt_handler() {
+  if (g_installed.exchange(true)) return;
+  std::signal(SIGINT, &pacsim_on_interrupt);
+  std::signal(SIGTERM, &pacsim_on_interrupt);
+}
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+bool interrupt_handler_installed() {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+void reset_interrupt_for_testing() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+  if (g_installed.load(std::memory_order_relaxed)) {
+    // raise() in a test resets the disposition to SIG_DFL; re-arm it.
+    std::signal(SIGINT, &pacsim_on_interrupt);
+    std::signal(SIGTERM, &pacsim_on_interrupt);
+  }
+}
+
+}  // namespace pacsim

@@ -1,0 +1,28 @@
+// Cooperative SIGINT/SIGTERM handling for the bench harnesses.
+//
+// A sweep interrupted at the terminal should not lose its artifact: the
+// handler only sets an atomic flag, the sweep runner polls it, cancels the
+// in-flight jobs cooperatively, and the harness flushes a partial report
+// whose unfinished cells carry status "interrupted". The handler resets
+// the disposition to SIG_DFL after the first signal, so a second Ctrl-C
+// kills the process the ordinary way if the cooperative path wedges.
+#pragma once
+
+namespace pacsim {
+
+/// Install the SIGINT/SIGTERM flag-setting handler (idempotent). Call once
+/// from the harness before starting work.
+void install_interrupt_handler();
+
+/// True once SIGINT or SIGTERM has been received.
+[[nodiscard]] bool interrupt_requested();
+
+/// True once install_interrupt_handler() has run. The sweep runner uses
+/// this to decide whether it must poll the flag.
+[[nodiscard]] bool interrupt_handler_installed();
+
+/// Clear the received-signal flag (the installed disposition is not
+/// restored). Tests raise() a signal and must reset for later tests.
+void reset_interrupt_for_testing();
+
+}  // namespace pacsim

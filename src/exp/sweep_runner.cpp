@@ -11,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "core/verifier.hpp"
+#include "exp/interrupt.hpp"
 #include "exp/thread_pool.hpp"
 #include "sim/runner.hpp"
 
@@ -67,23 +69,34 @@ std::vector<JobOutcome> SweepRunner::run_isolated(
 
   // The watchdog polls coarse deadlines instead of arming per-job timers:
   // simulations run seconds-to-minutes, so a (timeout/8, capped) poll
-  // period costs nothing and keeps the design free of signal handling.
+  // period costs nothing and keeps the design free of signal handling. The
+  // same thread doubles as the interrupt broadcaster: once the harness's
+  // SIGINT/SIGTERM flag is up, every in-flight job is cancelled so the
+  // partial report can flush promptly.
   const bool timed = opts.job_timeout_seconds > 0.0;
+  const bool watch_interrupt = interrupt_handler_installed();
   const auto timeout_ns = static_cast<std::int64_t>(
       opts.job_timeout_seconds * 1e9);
   std::atomic<bool> watchdog_stop{false};
   std::thread watchdog;
-  if (timed) {
+  if (timed || watch_interrupt) {
     watchdog = std::thread([&] {
       const auto poll = std::chrono::nanoseconds(
-          std::clamp<std::int64_t>(timeout_ns / 8, 1'000'000, 50'000'000));
+          timed ? std::clamp<std::int64_t>(timeout_ns / 8, 1'000'000,
+                                           50'000'000)
+                : 10'000'000);
       while (!watchdog_stop.load(std::memory_order_acquire)) {
-        const std::int64_t t = now_ns();
-        for (JobCtl& c : ctl) {
-          const std::int64_t deadline =
-              c.deadline_ns.load(std::memory_order_acquire);
-          if (deadline >= 0 && t > deadline) {
-            c.cancel.store(true, std::memory_order_release);
+        if (watch_interrupt && interrupt_requested()) {
+          for (JobCtl& c : ctl) c.cancel.store(true, std::memory_order_release);
+        }
+        if (timed) {
+          const std::int64_t t = now_ns();
+          for (JobCtl& c : ctl) {
+            const std::int64_t deadline =
+                c.deadline_ns.load(std::memory_order_acquire);
+            if (deadline >= 0 && t > deadline) {
+              c.cancel.store(true, std::memory_order_release);
+            }
           }
         }
         std::this_thread::sleep_for(poll);
@@ -91,14 +104,33 @@ std::vector<JobOutcome> SweepRunner::run_isolated(
     });
   }
 
-  parallel_for(jobs_, sweep.size(), [&](std::size_t i) {
+  // Run one job into `outcome`. Shared between the sweep proper and the
+  // diagnostic verify=full re-runs; the trace-release bookkeeping stays in
+  // the parallel_for wrapper so a re-run never double-releases an entry.
+  auto execute = [&](std::size_t i, JobOutcome& outcome, bool verify_full) {
     const SweepJob& job = sweep[i];
-    JobOutcome& outcome = outcomes[i];
     const auto start = SteadyClock::now();
+    ctl[i].cancel.store(false, std::memory_order_release);
     if (timed) {
       ctl[i].deadline_ns.store(now_ns() + timeout_ns,
                                std::memory_order_release);
     }
+    const auto classify = [&](const char* what) {
+      if (ctl[i].cancel.load(std::memory_order_acquire)) {
+        if (watch_interrupt && interrupt_requested()) {
+          outcome.status = JobOutcome::Status::kInterrupted;
+          outcome.error = std::string("interrupted: ") + what;
+        } else {
+          outcome.status = JobOutcome::Status::kTimeout;
+          outcome.error = "exceeded job timeout of " +
+                          std::to_string(opts.job_timeout_seconds) +
+                          "s: " + what;
+        }
+      } else {
+        outcome.status = JobOutcome::Status::kFailed;
+        outcome.error = what;
+      }
+    };
     try {
       // The returned handle pins the traces for the duration of this
       // simulation even if the entry is released or evicted mid-run.
@@ -107,21 +139,18 @@ std::vector<JobOutcome> SweepRunner::run_isolated(
 
       SystemConfig cfg = job.cfg;
       cfg.num_cores = wcfg.num_cores;
-      if (timed) cfg.cancel = &ctl[i].cancel;
+      if (verify_full) cfg.verify.level = VerifyLevel::kFull;
+      if (timed || watch_interrupt) cfg.cancel = &ctl[i].cancel;
       outcome.result = simulate(cfg, acquired.traces);
       outcome.result.throughput.gen_seconds = acquired.seconds;
       outcome.status = JobOutcome::Status::kOk;
+    } catch (const VerificationError& e) {
+      outcome.exception = std::current_exception();
+      outcome.forensics = e.forensics_path();
+      classify(e.what());
     } catch (const std::exception& e) {
       outcome.exception = std::current_exception();
-      if (ctl[i].cancel.load(std::memory_order_acquire)) {
-        outcome.status = JobOutcome::Status::kTimeout;
-        outcome.error = "exceeded job timeout of " +
-                        std::to_string(opts.job_timeout_seconds) +
-                        "s: " + e.what();
-      } else {
-        outcome.status = JobOutcome::Status::kFailed;
-        outcome.error = e.what();
-      }
+      classify(e.what());
     } catch (...) {
       outcome.exception = std::current_exception();
       outcome.status = JobOutcome::Status::kFailed;
@@ -130,6 +159,19 @@ std::vector<JobOutcome> SweepRunner::run_isolated(
     ctl[i].deadline_ns.store(-1, std::memory_order_release);
     outcome.wall_seconds =
         std::chrono::duration<double>(SteadyClock::now() - start).count();
+  };
+
+  parallel_for(jobs_, sweep.size(), [&](std::size_t i) {
+    const SweepJob& job = sweep[i];
+    JobOutcome& outcome = outcomes[i];
+    if (watch_interrupt && interrupt_requested()) {
+      // Jobs that have not started yet are skipped outright so a Ctrl-C
+      // drains the pool in one poll period instead of one sweep row.
+      outcome.status = JobOutcome::Status::kInterrupted;
+      outcome.error = "interrupted before start";
+    } else {
+      execute(i, outcome, /*verify_full=*/false);
+    }
 
     if (ephemeral &&
         suites.at(job.suite).remaining.fetch_sub(
@@ -138,7 +180,31 @@ std::vector<JobOutcome> SweepRunner::run_isolated(
     }
   });
 
-  if (timed) {
+  // Diagnostic pass: re-run each failed / timed-out cell once with the
+  // full runtime verifier so the report can say *why* it went wrong (or
+  // that it did not reproduce). Serial on the calling thread - failures
+  // are rare and the re-run is the expensive verify=full configuration.
+  if (opts.diagnose_failures) {
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      JobOutcome& outcome = outcomes[i];
+      if (outcome.ok()) continue;
+      if (outcome.status == JobOutcome::Status::kInterrupted) continue;
+      if (watch_interrupt && interrupt_requested()) break;
+      JobOutcome second;
+      execute(i, second, /*verify_full=*/true);
+      outcome.diagnosed = true;
+      if (second.ok()) {
+        outcome.diagnosis =
+            "re-run at verify=full completed cleanly "
+            "(transient or timing-dependent failure)";
+      } else {
+        outcome.diagnosis = second.error;
+        if (!second.forensics.empty()) outcome.forensics = second.forensics;
+      }
+    }
+  }
+
+  if (watchdog.joinable()) {
     watchdog_stop.store(true, std::memory_order_release);
     watchdog.join();
   }

@@ -37,17 +37,27 @@ struct SweepOptions {
   /// 0 disables the watchdog. An over-budget job is cancelled cooperatively
   /// (SystemConfig::cancel) and reported as JobOutcome::Status::kTimeout.
   double job_timeout_seconds = 0.0;
+  /// Re-run each failed / timed-out cell once at verify=full and record the
+  /// verdict in JobOutcome::diagnosis. The re-run shares the same timeout
+  /// budget; interrupted cells are never re-run.
+  bool diagnose_failures = false;
 };
 
 /// What happened to one SweepJob under run_isolated().
 struct JobOutcome {
-  enum class Status { kOk, kFailed, kTimeout };
+  enum class Status { kOk, kFailed, kTimeout, kInterrupted };
   Status status = Status::kOk;
   RunResult result;       ///< valid only when status == kOk
   std::string error;      ///< diagnostic for kFailed / kTimeout
   double wall_seconds = 0.0;
   /// Original exception (kFailed / kTimeout), for callers that rethrow.
   std::exception_ptr exception;
+  /// Verifier crash-dump path, when the failure was a VerificationError.
+  std::string forensics;
+  /// True when SweepOptions::diagnose_failures re-ran this cell.
+  bool diagnosed = false;
+  /// Outcome of the verify=full diagnostic re-run (empty if not diagnosed).
+  std::string diagnosis;
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
 };
 
@@ -56,6 +66,7 @@ struct JobOutcome {
     case JobOutcome::Status::kOk: return "ok";
     case JobOutcome::Status::kFailed: return "failed";
     case JobOutcome::Status::kTimeout: return "timeout";
+    case JobOutcome::Status::kInterrupted: return "interrupted";
   }
   return "?";
 }
@@ -84,8 +95,13 @@ class SweepRunner {
   /// kFailed), and with `opts.job_timeout_seconds > 0` a watchdog thread
   /// cancels over-budget jobs cooperatively via SystemConfig::cancel
   /// (status kTimeout; a job hung inside trace generation is only reaped
-  /// once the simulation starts checking the flag). Outcomes are in job
-  /// order; completed jobs are bit-identical to run().
+  /// once the simulation starts checking the flag). When the harness has
+  /// installed the interrupt handler (exp/interrupt.hpp), a SIGINT/SIGTERM
+  /// cancels every in-flight job and marks unfinished cells kInterrupted so
+  /// the caller can still flush a partial report. With
+  /// `opts.diagnose_failures`, each failed / timed-out cell is re-run once
+  /// at verify=full and the verdict lands in JobOutcome::diagnosis.
+  /// Outcomes are in job order; completed jobs are bit-identical to run().
   [[nodiscard]] std::vector<JobOutcome> run_isolated(
       const std::vector<SweepJob>& sweep, const WorkloadConfig& wcfg,
       const SweepOptions& opts = {}, TraceStore* store = nullptr) const;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "core/verifier.hpp"
 
 namespace pacsim {
 
@@ -12,11 +15,15 @@ DevicePort::DevicePort(HmcDevice* device, const RetryConfig& cfg,
                        bool tracking)
     : device_(device), cfg_(cfg), tracking_(tracking) {}
 
-Cycle DevicePort::expo(Cycle base, std::uint32_t attempts) const {
+Cycle backoff_cycles(Cycle base, std::uint32_t attempts, Cycle cap) {
   if (base == 0) base = 1;
-  const unsigned shift = std::min<std::uint32_t>(attempts, 20);
-  const Cycle cap = std::max(cfg_.backoff_cap, base);
-  return std::min(base << shift, cap);
+  if (cap < base) cap = base;
+  // `base << shift` would silently wrap for shift >= 64 - attempts is
+  // unbounded under long fault storms. Saturate at the cap whenever the
+  // exact product would exceed it, without ever evaluating the overflow.
+  const unsigned shift = std::min<std::uint32_t>(attempts, 63);
+  if (base > (cap >> shift)) return cap;
+  return base << shift;
 }
 
 void DevicePort::arm(std::uint64_t id, Pending& p, Cycle cycle) {
@@ -24,10 +31,13 @@ void DevicePort::arm(std::uint64_t id, Pending& p, Cycle cycle) {
   timers_.push(Timer{cycle, id, p.timer_gen});
 }
 
-void DevicePort::bump_attempts(std::uint64_t id, Pending& p) {
+void DevicePort::bump_attempts(std::uint64_t id, Pending& p, Cycle now) {
   ++p.attempts;
   stats_.max_retry_depth = std::max(stats_.max_retry_depth, p.attempts);
   if (p.attempts > cfg_.max_retries) {
+    if (verifier_ != nullptr) {
+      verifier_->on_retry_exhausted(p.req, p.attempts, cfg_.max_retries, now);
+    }
     throw std::runtime_error("DevicePort: request " + std::to_string(id) +
                              " exceeded retrymax=" +
                              std::to_string(cfg_.max_retries) +
@@ -36,6 +46,7 @@ void DevicePort::bump_attempts(std::uint64_t id, Pending& p) {
 }
 
 void DevicePort::submit(DeviceRequest req, Cycle now) {
+  if (verifier_ != nullptr) verifier_->on_dispatched(req, now);
   if (!tracking_) {
     device_->submit(std::move(req), now);
     return;
@@ -54,6 +65,7 @@ void DevicePort::submit(DeviceRequest req, Cycle now) {
 void DevicePort::retransmit(std::uint64_t id, Pending& p, Cycle now) {
   ++stats_.retransmissions;
   stats_.retransmitted_bytes += p.req.bytes;
+  if (verifier_ != nullptr) verifier_->on_retransmit(p.req, p.attempts, now);
   p.awaiting_resend = false;
   device_->submit(p.req, now);  // copy: the entry may retransmit again
   arm(id, p, now + expo(cfg_.response_timeout, p.attempts));
@@ -70,7 +82,8 @@ void DevicePort::tick(Cycle now) {
     assert(it != pending_.end() && "NACK for an unknown request");
     Pending& p = it->second;
     ++stats_.nacks;
-    bump_attempts(nack.request_id, p);
+    if (verifier_ != nullptr) verifier_->on_nack(p.req, now);
+    bump_attempts(nack.request_id, p, now);
     p.awaiting_resend = true;
     arm(nack.request_id, p, now + expo(cfg_.backoff_base, p.attempts - 1));
   }
@@ -115,7 +128,7 @@ void DevicePort::tick(Cycle now) {
     }
     // Not in flight and never answered: the response was dropped.
     ++stats_.timeout_fires;
-    bump_attempts(t.id, p);
+    bump_attempts(t.id, p, now);
     p.awaiting_resend = true;
     arm(t.id, p, now);
   }
@@ -135,6 +148,23 @@ Cycle DevicePort::next_event_cycle(Cycle now) const {
   if (!responses_.empty()) return now;
   if (!timers_.empty()) return std::max(timers_.top().cycle, now);
   return kNeverCycle;
+}
+
+std::string DevicePort::debug_json() const {
+  std::size_t awaiting_resend = 0;
+  std::uint32_t worst_attempts = 0;
+  for (const auto& [id, p] : pending_) {
+    if (p.awaiting_resend) ++awaiting_resend;
+    worst_attempts = std::max(worst_attempts, p.attempts);
+  }
+  std::ostringstream out;
+  out << "{\"tracking\": " << (tracking_ ? "true" : "false")
+      << ", \"pending\": " << pending_.size()
+      << ", \"awaiting_resend\": " << awaiting_resend
+      << ", \"worst_attempts\": " << worst_attempts
+      << ", \"buffered_responses\": " << responses_.size()
+      << ", \"armed_timers\": " << timers_.size() << "}";
+  return out.str();
 }
 
 }  // namespace pacsim

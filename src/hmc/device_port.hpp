@@ -16,12 +16,15 @@
 
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "hmc/hmc_device.hpp"
 
 namespace pacsim {
+
+class Verifier;
 
 struct RetryConfig {
   /// Cycles after a submit (or retransmit) before a missing response is
@@ -34,6 +37,13 @@ struct RetryConfig {
   Cycle backoff_base = 64;
   Cycle backoff_cap = 1 << 20;
 };
+
+/// Exponential backoff `base << attempts`, saturated at `cap` (but never
+/// below `base`). Overflow-safe: a base large enough that the shift would
+/// wrap 64 bits saturates at the cap instead of wrapping to a short (or
+/// zero) delay.
+[[nodiscard]] Cycle backoff_cycles(Cycle base, std::uint32_t attempts,
+                                   Cycle cap);
 
 struct RetryStats {
   std::uint64_t retransmissions = 0;  ///< packets re-submitted to the device
@@ -83,6 +93,13 @@ class DevicePort {
   [[nodiscard]] const RetryConfig& config() const { return cfg_; }
   [[nodiscard]] HmcDevice* device() const { return device_; }
 
+  /// Install the runtime verifier (nullptr = off). The port reports
+  /// dispatches, NACKs, retransmissions, and retry exhaustion through it.
+  void set_verifier(Verifier* verifier) { verifier_ = verifier; }
+
+  /// One-line JSON object describing retry-buffer occupancy, for forensics.
+  [[nodiscard]] std::string debug_json() const;
+
  private:
   struct Pending {
     DeviceRequest req;            ///< retransmittable copy
@@ -103,16 +120,18 @@ class DevicePort {
   /// Re-arm `p`'s single live timer for `cycle` (lazy invalidation: the
   /// generation bump strands any previous heap entry).
   void arm(std::uint64_t id, Pending& p, Cycle cycle);
-  /// Exponential backoff: base << attempts, saturated at backoff_cap (but
-  /// never below base).
-  [[nodiscard]] Cycle expo(Cycle base, std::uint32_t attempts) const;
-  void bump_attempts(std::uint64_t id, Pending& p);
+  /// backoff_cycles() against this port's cap.
+  [[nodiscard]] Cycle expo(Cycle base, std::uint32_t attempts) const {
+    return backoff_cycles(base, attempts, cfg_.backoff_cap);
+  }
+  void bump_attempts(std::uint64_t id, Pending& p, Cycle now);
   void retransmit(std::uint64_t id, Pending& p, Cycle now);
 
   HmcDevice* device_;
   RetryConfig cfg_;
   bool tracking_;
   RetryStats stats_;
+  Verifier* verifier_ = nullptr;
 
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;

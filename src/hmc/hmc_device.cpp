@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <sstream>
 #include <utility>
 
+#include "core/verifier.hpp"
 #include "mem/packet.hpp"
 
 namespace pacsim {
@@ -164,6 +166,8 @@ void HmcDevice::tick(Cycle now) {
         if (fault_ == nullptr || !fault_->drop_response()) {
           completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
                                               std::move(request.req.raw_ids)});
+        } else if (verifier_ != nullptr) {
+          verifier_->on_response_dropped(request.req, ev.cycle);
         }
         stats_.access_latency.add(
             static_cast<double>(ev.cycle - request.submit_cycle));
@@ -296,6 +300,19 @@ Cycle HmcDevice::next_event_cycle(Cycle now) const {
   // must stay inside the bound to keep the t_refi grid identical.
   if (cfg_.enable_refresh) bound = std::min(bound, next_refresh_);
   return std::max(bound, now);
+}
+
+std::string HmcDevice::debug_json() const {
+  std::size_t queued_rows = 0;
+  for (const auto& queue : vault_queue_) queued_rows += queue.size();
+  std::ostringstream out;
+  out << "{\"outstanding\": " << outstanding_
+      << ", \"scheduled_events\": " << events_.size()
+      << ", \"queued_row_txns\": " << queued_rows
+      << ", \"active_vaults\": " << std::popcount(active_vaults_)
+      << ", \"buffered_responses\": " << completed_.size()
+      << ", \"buffered_nacks\": " << nacks_.size() << "}";
+  return out.str();
 }
 
 }  // namespace pacsim

@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "mem/request.hpp"
 
 namespace pacsim {
+
+class Verifier;
 
 class HmcDevice {
  public:
@@ -83,6 +86,14 @@ class HmcDevice {
   [[nodiscard]] const HmcStats& stats() const { return stats_; }
   [[nodiscard]] const HmcConfig& config() const { return cfg_; }
   [[nodiscard]] const AddressMap& address_map() const { return map_; }
+
+  /// Install the runtime verifier (nullptr = off). The device reports
+  /// injected response drops through it, so a kFull ledger can tell a lost
+  /// response apart from a request that never completed.
+  void set_verifier(Verifier* verifier) { verifier_ = verifier; }
+
+  /// One-line JSON object describing device occupancy, for forensics.
+  [[nodiscard]] std::string debug_json() const;
 
  private:
   struct Request;  // a device request in flight
@@ -143,6 +154,7 @@ class HmcDevice {
   AddressMap map_;
   PowerModel* power_;
   FaultInjector* fault_;  ///< unowned; null disables fault injection
+  Verifier* verifier_ = nullptr;  ///< unowned; null disables verification
   HmcStats stats_;
 
   std::uint32_t outstanding_ = 0;

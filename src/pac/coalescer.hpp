@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -10,6 +11,8 @@
 #include "mem/request.hpp"
 
 namespace pacsim {
+
+class Verifier;
 
 /// Counters every coalescer reports; the evaluation metrics of sections
 /// 5.3.1-5.3.2 are all derived from these.
@@ -80,6 +83,17 @@ class Coalescer {
   [[nodiscard]] virtual bool idle() const = 0;
 
   [[nodiscard]] virtual const CoalescerStats& stats() const = 0;
+
+  /// Install the runtime verifier (nullptr = verification off, the default).
+  /// Implementations report merge and fence events through it.
+  void set_verifier(Verifier* verifier) { verifier_ = verifier; }
+
+  /// One-line JSON object describing internal occupancy, for forensics
+  /// dumps. Default: no interesting state.
+  [[nodiscard]] virtual std::string debug_json() const { return "{}"; }
+
+ protected:
+  Verifier* verifier_ = nullptr;
 };
 
 }  // namespace pacsim

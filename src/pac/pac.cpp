@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <limits>
+#include <sstream>
 #include <utility>
 
+#include "core/verifier.hpp"
 #include "mem/packet.hpp"
 
 namespace pacsim {
@@ -79,6 +82,11 @@ bool Pac::emit(DeviceRequest&& request) {
       mshrs_.try_merge(request, &unbilled)) {
     ++stats_.mshr_merges;
     stats_.base.coalesced_away += request.raw_ids.size();
+    if (verifier_ != nullptr) {
+      for (std::uint64_t raw : request.raw_ids) {
+        verifier_->on_merged(raw, last_tick_);
+      }
+    }
     return true;
   }
   if (maq_.full()) return false;  // leaves `request` intact for the caller
@@ -108,6 +116,11 @@ void Pac::sweep_maq_merges(AdaptiveMshrEntry& target) {
     if (!mshrs_.try_merge_into(target, req)) return false;
     ++stats_.mshr_merges;
     stats_.base.coalesced_away += req.raw_ids.size();
+    if (verifier_ != nullptr) {
+      for (std::uint64_t raw : req.raw_ids) {
+        verifier_->on_merged(raw, last_tick_);
+      }
+    }
     return true;
   });
 }
@@ -119,6 +132,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
     ++stats_.base.fences;
     aggregator_.force_flush_all();
     fence_draining_ = true;
+    if (verifier_ != nullptr) verifier_->on_fence_begin(request.id, now);
     return true;
   }
 
@@ -165,6 +179,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
       } else {
         ++stats_.mshr_merges;
         stats_.base.coalesced_away += 1;
+        if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
       }
       return true;
     }
@@ -187,6 +202,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
       ++stats_.base.raw_requests;
       ++stats_.base.coalesced_away;
       ++stats_.mshr_merges;
+      if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
       return true;
     }
     // The covering request may still be waiting in the MAQ; attach there
@@ -204,6 +220,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
       ++stats_.base.raw_requests;
       ++stats_.base.coalesced_away;
       ++stats_.mshr_merges;
+      if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
     };
     for (DeviceRequest& waiting : maq_) {
       if (!covers(waiting)) continue;
@@ -229,6 +246,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
       ++stats_.base.raw_requests;
       ++stats_.base.coalesced_away;
       ++stats_.mshr_merges;
+      if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
       return true;
     }
     const unsigned width = cfg_.protocol.chunk_blocks();
@@ -248,6 +266,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
       ++stats_.base.raw_requests;
       ++stats_.base.coalesced_away;
       ++stats_.mshr_merges;
+      if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
       return true;
     }
   }
@@ -259,6 +278,7 @@ bool Pac::accept(const MemRequest& request, Cycle now) {
     stats_.base.comparisons += aggregator_.active_streams();
     aggregator_.merge(*match, request);
     ++stats_.base.raw_requests;
+    if (verifier_ != nullptr) verifier_->on_merged(request.id, now);
     return true;
   }
 
@@ -341,6 +361,7 @@ void Pac::tick(Cycle now) {
   // --- Fence drain completes once nothing is buffered before the MSHRs. ---
   if (fence_draining_ && network_empty() && maq_.empty()) {
     fence_draining_ = false;
+    if (verifier_ != nullptr) verifier_->on_fence_end(now);
   }
 
   // --- Network-controller bypass (section 3.2). ---
@@ -404,6 +425,37 @@ Cycle Pac::next_event_cycle(Cycle now) const {
   // so its deadline joins the bound.
   if (!aggregator_.empty()) bound = std::min(bound, next_occupancy_sample_);
   return std::max(bound, now);
+}
+
+std::string Pac::debug_json() const {
+  std::ostringstream out;
+  out << "{\"maq\": " << maq_.size()
+      << ", \"mshrs_occupied\": " << mshrs_.occupied()
+      << ", \"seq_buffer\": " << seq_buffer_.size()
+      << ", \"pending_c0\": " << (pending_c0_.has_value() ? "true" : "false")
+      << ", \"fence_draining\": " << (fence_draining_ ? "true" : "false")
+      << ", \"bypass_active\": " << (bypass_active_ ? "true" : "false")
+      << ", \"active_streams\": " << aggregator_.active_streams()
+      << ", \"streams\": [";
+  bool first = true;
+  for (const CoalescingStream& s : aggregator_.streams()) {
+    if (!s.valid) continue;
+    out << (first ? "" : ", ") << "{\"ppn\": " << s.ppn
+        << ", \"store\": " << (s.store ? "true" : "false")
+        << ", \"count\": " << s.count
+        << ", \"allocated_at\": " << s.allocated_at
+        << ", \"blockmap_bits\": " << s.map.count() << ", \"blockmap\": \"";
+    char buf[20];
+    for (unsigned w = 0; w < 4; ++w) {
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(s.map.word(3 - w)));
+      out << buf;
+    }
+    out << "\"}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
 }
 
 void Pac::fast_forward_to(Cycle target) {

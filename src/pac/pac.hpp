@@ -37,6 +37,7 @@ class Pac final : public Coalescer, private MaqSink {
   [[nodiscard]] const CoalescerStats& stats() const override {
     return stats_.base;
   }
+  [[nodiscard]] std::string debug_json() const override;
 
   [[nodiscard]] const PacStats& pac_stats() const { return stats_; }
   [[nodiscard]] const PacConfig& config() const { return cfg_; }

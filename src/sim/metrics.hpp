@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/fault_injector.hpp"
+#include "core/verifier.hpp"
 #include "hmc/device_port.hpp"
 #include "hmc/hmc_stats.hpp"
 #include "hmc/power_model.hpp"
@@ -66,6 +67,10 @@ struct RunResult {
 
   HmcStats hmc;
   ResilienceStats resilience;
+  /// Verifier counters (enabled=false on verify=off runs, block omitted in
+  /// JSON). violations is always 0 here: a violating run throws instead of
+  /// returning a RunResult.
+  VerifyStats verification;
   std::array<PicoJoule, static_cast<std::size_t>(HmcOp::kCount)> energy{};
   PicoJoule total_energy = 0.0;
 

@@ -3,8 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
+
+#include "common/atomic_file.hpp"
 
 namespace pacsim {
 namespace {
@@ -153,6 +154,24 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
         << stat_json(r.pac.request_latency) << "\n";
     out << "  }";
   }
+  if (r.verification.enabled) {
+    const VerifyStats& v = r.verification;
+    out << ",\n  \"verification\": {\n";
+    out << "    \"level\": \"" << to_string(v.level) << "\",\n";
+    out << "    \"issued\": " << v.issued << ",\n";
+    out << "    \"accepted\": " << v.accepted << ",\n";
+    out << "    \"merged\": " << v.merged << ",\n";
+    out << "    \"device_requests\": " << v.device_requests << ",\n";
+    out << "    \"dispatched_raws\": " << v.dispatched_raws << ",\n";
+    out << "    \"responses\": " << v.responses << ",\n";
+    out << "    \"responded_raws\": " << v.responded_raws << ",\n";
+    out << "    \"retired\": " << v.retired << ",\n";
+    out << "    \"fences\": " << v.fences << ",\n";
+    out << "    \"nacks\": " << v.nacks << ",\n";
+    out << "    \"retransmissions\": " << v.retransmissions << ",\n";
+    out << "    \"violations\": " << v.violations << "\n";
+    out << "  }";
+  }
   if (r.resilience.enabled) {
     const FaultStats& f = r.resilience.fault;
     const RetryStats& rt = r.resilience.retry;
@@ -178,10 +197,7 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
 
 void write_run_report(const std::string& path, const std::string& label,
                       CoalescerKind kind, const RunResult& result) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write report: " + path);
-  out << run_report_json(label, kind, result);
-  if (!out) throw std::runtime_error("report write failed: " + path);
+  write_file_atomic(path, run_report_json(label, kind, result));
 }
 
 SweepReport::SweepReport(std::string bench) : bench_(std::move(bench)) {}
@@ -197,12 +213,20 @@ void SweepReport::add(const std::string& label, CoalescerKind kind,
 
 void SweepReport::add_failure(const std::string& label,
                               const std::string& status,
-                              const std::string& error, double wall_seconds) {
+                              const std::string& error, double wall_seconds,
+                              const std::string& forensics,
+                              const std::string& diagnosis) {
   std::ostringstream entry;
   entry << "{\n";
   entry << "  \"label\": \"" << escape(label) << "\",\n";
   entry << "  \"status\": \"" << escape(status) << "\",\n";
   entry << "  \"error\": \"" << escape(error) << "\",\n";
+  if (!forensics.empty()) {
+    entry << "  \"forensics\": \"" << escape(forensics) << "\",\n";
+  }
+  if (!diagnosis.empty()) {
+    entry << "  \"diagnosis\": \"" << escape(diagnosis) << "\",\n";
+  }
   entry << "  \"wall_seconds\": " << num(wall_seconds) << "\n";
   entry << "}";
   entries_.push_back(indent_lines(entry.str(), "    "));
@@ -218,7 +242,7 @@ std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 4,\n";
+  out << "  \"schema_version\": 5,\n";
   out << "  \"wall_time\": {\"generation_seconds\": "
       << num(generation_seconds_)
       << ", \"simulation_seconds\": " << num(simulation_seconds_) << "},\n";
@@ -249,10 +273,9 @@ std::string SweepReport::write(const std::string& dir) const {
   }
   const std::string path =
       (std::filesystem::path(dir) / (bench_ + ".json")).string();
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write report: " + path);
-  out << json();
-  if (!out) throw std::runtime_error("report write failed: " + path);
+  // Temp-file + rename: a crash, interrupt, or concurrent reader mid-write
+  // never observes a truncated artifact.
+  write_file_atomic(path, json());
   return path;
 }
 

@@ -28,12 +28,19 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 4,
+///   { "bench": "<name>", "schema_version": 5,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v4 added per-run "status" ("ok" for completed runs),
+/// Schema history: v5 added the optional per-run "verification" block
+/// (runtime-verifier lifecycle counters and violation count; present only
+/// when the run executed with verify=counters or verify=full), the
+/// "interrupted" failure status (SIGINT/SIGTERM flushed a partial report),
+/// and the optional "forensics" / "diagnosis" fields on failure entries
+/// (path of the verifier's crash dump; outcome of the automatic
+/// verify=full re-run of a failed cell); v4 added per-run "status" ("ok"
+/// for completed runs),
 /// structured failure entries from add_failure() ({"label", "status":
 /// "failed"|"timeout", "error", "wall_seconds"}), and the optional per-run
 /// "resilience" block (fault-injection counters, retransmissions, timeout
@@ -57,11 +64,15 @@ class SweepReport {
   void add(const std::string& label, CoalescerKind kind,
            const RunResult& result);
 
-  /// Append a structured failure entry for a job that threw or timed out
-  /// (`status` is "failed" or "timeout"): hardened sweeps report partial
-  /// results instead of losing the artifact to one bad job.
+  /// Append a structured failure entry for a job that threw, timed out, or
+  /// was interrupted (`status` is "failed", "timeout" or "interrupted"):
+  /// hardened sweeps report partial results instead of losing the artifact
+  /// to one bad job. `forensics` (optional) is the verifier dump path;
+  /// `diagnosis` (optional) summarises the automatic verify=full re-run.
   void add_failure(const std::string& label, const std::string& status,
-                   const std::string& error, double wall_seconds);
+                   const std::string& error, double wall_seconds,
+                   const std::string& forensics = "",
+                   const std::string& diagnosis = "");
 
   /// Attach the effectiveness counters of the TraceStore that fed these
   /// runs; emitted as the envelope's "trace_store" object. Call after the

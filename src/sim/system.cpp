@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -28,6 +29,9 @@ System::System(const SystemConfig& cfg)
       power_(cfg.power),
       fault_(cfg.fault.enabled() ? std::make_unique<FaultInjector>(cfg.fault)
                                  : nullptr),
+      verifier_(cfg.verify.level != VerifyLevel::kOff
+                    ? std::make_unique<Verifier>(cfg.verify)
+                    : nullptr),
       hmc_(std::make_unique<HmcDevice>(cfg.hmc, &power_, fault_.get())),
       port_(std::make_unique<DevicePort>(hmc_.get(), cfg.retry,
                                          /*tracking=*/fault_ != nullptr)),
@@ -44,23 +48,36 @@ System::System(const SystemConfig& cfg)
   raw_trace_active_ = cfg.record_raw_trace && cfg.raw_trace_limit > 0;
   if (raw_trace_active_) raw_trace_.reserve(cfg.raw_trace_limit);
 
-  switch (cfg.coalescer) {
-    case CoalescerKind::kPac: {
-      auto pac = std::make_unique<Pac>(cfg.pac, port_.get());
-      pac_ = pac.get();
-      coalescer_ = std::move(pac);
-      break;
+  if (cfg.coalescer_factory) {
+    coalescer_ = cfg.coalescer_factory(port_.get());
+  } else {
+    switch (cfg.coalescer) {
+      case CoalescerKind::kPac: {
+        auto pac = std::make_unique<Pac>(cfg.pac, port_.get());
+        pac_ = pac.get();
+        coalescer_ = std::move(pac);
+        break;
+      }
+      case CoalescerKind::kMshrDmc:
+        coalescer_ = std::make_unique<MshrDmc>(cfg.mshr_dmc, port_.get());
+        break;
+      case CoalescerKind::kDirect:
+        coalescer_ =
+            std::make_unique<DirectController>(cfg.direct, port_.get());
+        break;
+      case CoalescerKind::kSortingDmc:
+        coalescer_ =
+            std::make_unique<SortingCoalescer>(cfg.sorting_dmc, port_.get());
+        break;
     }
-    case CoalescerKind::kMshrDmc:
-      coalescer_ = std::make_unique<MshrDmc>(cfg.mshr_dmc, port_.get());
-      break;
-    case CoalescerKind::kDirect:
-      coalescer_ = std::make_unique<DirectController>(cfg.direct, port_.get());
-      break;
-    case CoalescerKind::kSortingDmc:
-      coalescer_ =
-          std::make_unique<SortingCoalescer>(cfg.sorting_dmc, port_.get());
-      break;
+  }
+
+  if (verifier_ != nullptr) {
+    coalescer_->set_verifier(verifier_.get());
+    port_->set_verifier(verifier_.get());
+    hmc_->set_verifier(verifier_.get());
+    verifier_->set_state_provider(
+        [this] { return verifier_components_json(); });
   }
 }
 
@@ -86,6 +103,7 @@ MemRequest System::make_raw(Addr paddr, MemOp op, std::uint8_t core,
   req.core = core;
   req.process = cores_[core].process;
   req.created_at = now_;
+  if (verifier_ != nullptr) verifier_->on_issued(req, now_);
   return req;
 }
 
@@ -309,6 +327,7 @@ void System::feed_coalescer() {
       }
     }
     if (coalescer_->accept(q->front(), now_)) {
+      if (verifier_ != nullptr) verifier_->on_accepted(q->front(), now_);
       if (raw_trace_active_) record_raw_trace(q->front());
       q->pop();
     }
@@ -326,6 +345,7 @@ void System::record_raw_trace(const MemRequest& req) {
 }
 
 void System::on_satisfied(std::uint64_t raw_id) {
+  if (verifier_ != nullptr) verifier_->on_retired(raw_id, now_);
   auto it = inflight_misses_.find(raw_id);
   if (it == inflight_misses_.end()) return;  // write-backs are untracked
   if (it->second.demand_load) {
@@ -341,6 +361,32 @@ bool System::finished() const {
   return done_cores_ == cores_.size() && miss_queue_.empty() &&
          wb_queue_.empty() && coalescer_->idle() && hmc_->idle() &&
          port_->idle();
+}
+
+bool System::has_outstanding_work() const {
+  return !miss_queue_.empty() || !wb_queue_.empty() ||
+         !inflight_misses_.empty() || !coalescer_->idle() || !port_->idle() ||
+         !hmc_->idle();
+}
+
+std::string System::verifier_components_json() const {
+  std::ostringstream out;
+  std::uint32_t stalled_loads = 0;
+  std::uint32_t waiting_cores = 0;
+  for (const CoreState& c : cores_) {
+    stalled_loads += c.outstanding_loads;
+    if (!c.done) ++waiting_cores;
+  }
+  out << "{\"cycle\": " << now_ << ", \"miss_queue\": " << miss_queue_.size()
+      << ", \"wb_queue\": " << wb_queue_.size()
+      << ", \"inflight_misses\": " << inflight_misses_.size()
+      << ", \"llc_inflight_lines\": " << llc_inflight_.size()
+      << ", \"cores_not_done\": " << waiting_cores
+      << ", \"outstanding_loads\": " << stalled_loads
+      << ", \"coalescer\": " << coalescer_->debug_json()
+      << ", \"port\": " << port_->debug_json()
+      << ", \"hmc\": " << hmc_->debug_json() << "}";
+  return out.str();
 }
 
 bool System::core_stalled_steady(std::uint32_t i) const {
@@ -422,6 +468,7 @@ void System::step() {
   port_->tick(now_);  // retries/timeouts; passthrough no-op without faults
   port_->drain_completed_into(completed_buf_);
   for (const DeviceResponse& rsp : completed_buf_) {
+    if (verifier_ != nullptr) verifier_->on_response(rsp, now_);
     coalescer_->complete(rsp, now_);
   }
   coalescer_->tick(now_);
@@ -447,7 +494,29 @@ RunResult System::run() {
                                " (sweep watchdog timeout)");
     }
     step();
+    if (verifier_ != nullptr) {
+      if (verifier_->watchdog_due(now_)) {
+        if (has_outstanding_work()) {
+          verifier_->watchdog_fire(
+              now_, "no lifecycle event for " +
+                        std::to_string(verifier_->config().watchdog_cycles) +
+                        " cycles with requests outstanding");
+        } else {
+          // Idle is progress: cores computing (or all done but the final
+          // finished() check pending) must not trip the watchdog.
+          verifier_->note_progress(now_);
+        }
+      }
+      if (verifier_->age_check_due(now_)) verifier_->check_ages(now_);
+    }
     if (now_ > cfg_.max_cycles) {
+      if (verifier_ != nullptr) {
+        verifier_->watchdog_fire(
+            now_, "exceeded max_cycles=" + std::to_string(cfg_.max_cycles) +
+                      " (outstanding=" + std::to_string(hmc_->outstanding()) +
+                      ", inflight=" +
+                      std::to_string(inflight_misses_.size()) + ")");
+      }
       throw std::runtime_error(
           "System::run exceeded max_cycles watchdog (outstanding=" +
           std::to_string(hmc_->outstanding()) +
@@ -457,8 +526,12 @@ RunResult System::run() {
 
     // Event horizon: jump straight to the next cycle where step() can do
     // real work. Clamped to max_cycles so the watchdog fires on exactly the
-    // same cycle as the naive loop.
-    const Cycle target = std::min(next_event_cycle(), cfg_.max_cycles);
+    // same cycle as the naive loop, and to the verifier's next deadline so
+    // no jump can leap over a due watchdog or age scan.
+    Cycle target = std::min(next_event_cycle(), cfg_.max_cycles);
+    if (verifier_ != nullptr) {
+      target = std::min(target, verifier_->next_deadline(now_));
+    }
     if (target <= now_) continue;
     const Cycle skipped = target - now_;
     // Every skipped cycle is a proven no-op except for two per-cycle
@@ -474,6 +547,8 @@ RunResult System::run() {
     ++ff_jumps_;
     ff_skipped_cycles_ += skipped;
   }
+
+  if (verifier_ != nullptr) verifier_->final_check(now_);
 
   RunResult r;
   r.cycles = now_;
@@ -496,6 +571,7 @@ RunResult System::run() {
     r.resilience.fault = fault_->stats();
     r.resilience.retry = port_->stats();
   }
+  if (verifier_ != nullptr) r.verification = verifier_->stats_snapshot();
   for (std::size_t i = 0; i < r.energy.size(); ++i) {
     r.energy[i] = power_.energy(static_cast<HmcOp>(i));
   }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "common/fixed_queue.hpp"
 #include "core/fault_injector.hpp"
 #include "core/trace.hpp"
+#include "core/verifier.hpp"
 #include "hmc/device_port.hpp"
 #include "hmc/hmc_device.hpp"
 #include "mem/page_table.hpp"
@@ -77,6 +79,14 @@ class System {
   MemRequest make_raw(Addr paddr, MemOp op, std::uint8_t core,
                       std::uint32_t bytes);
   void record_raw_trace(const MemRequest& req);
+  /// True while any raw request is buffered or in flight anywhere on the
+  /// memory path. Unlike finished(), this includes the scoreboard
+  /// (inflight_misses_): a dropped retirement leaves the system "finished"
+  /// from the queues' view while a core waits forever - exactly what the
+  /// no-progress watchdog must see as outstanding work.
+  [[nodiscard]] bool has_outstanding_work() const;
+  /// Per-component occupancy snapshot as a JSON object (forensics dumps).
+  [[nodiscard]] std::string verifier_components_json() const;
 
   /// Event horizon: the earliest cycle >= now_ at which step() can do
   /// anything beyond the per-cycle no-op (see core_stalled_steady). now_
@@ -91,6 +101,7 @@ class System {
   SystemConfig cfg_;
   PowerModel power_;
   std::unique_ptr<FaultInjector> fault_;  ///< null when faults disabled
+  std::unique_ptr<Verifier> verifier_;    ///< null when verify.level == kOff
   std::unique_ptr<HmcDevice> hmc_;
   std::unique_ptr<DevicePort> port_;  ///< retry buffer in front of hmc_
   std::unique_ptr<Coalescer> coalescer_;

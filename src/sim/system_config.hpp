@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "baseline/direct_controller.hpp"
 #include "baseline/mshr_dmc.hpp"
@@ -10,6 +12,7 @@
 #include "cache/cache.hpp"
 #include "cache/prefetcher.hpp"
 #include "core/fault_injector.hpp"
+#include "core/verifier.hpp"
 #include "hmc/device_port.hpp"
 #include "hmc/hmc_config.hpp"
 #include "hmc/power_model.hpp"
@@ -66,6 +69,16 @@ struct SystemConfig {
   MshrDmcConfig mshr_dmc{};
   DirectControllerConfig direct{};
   SortingCoalescerConfig sorting_dmc{};
+
+  /// Test hook: when set, System builds its coalescer from this factory
+  /// instead of `coalescer`. Lets the verifier tests inject deliberately
+  /// broken controllers without widening CoalescerKind.
+  std::function<std::unique_ptr<Coalescer>(DevicePort*)> coalescer_factory;
+
+  /// Runtime verification (request-lifetime ledger, invariant checks,
+  /// no-progress watchdog). level = kOff constructs no Verifier: every hook
+  /// site is one untaken null check, runs stay bit-identical.
+  VerifyConfig verify{};
 
   Cycle max_cycles = 500'000'000;  ///< deadlock watchdog
 

@@ -225,6 +225,31 @@ struct PortHarness {
   }
 };
 
+TEST(DevicePort, BackoffDoublesUntilTheCap) {
+  EXPECT_EQ(backoff_cycles(64, 0, 1 << 20), 64u);
+  EXPECT_EQ(backoff_cycles(64, 1, 1 << 20), 128u);
+  EXPECT_EQ(backoff_cycles(64, 4, 1 << 20), 1024u);
+  EXPECT_EQ(backoff_cycles(64, 14, 1 << 20), Cycle{1} << 20);  // exact cap
+  EXPECT_EQ(backoff_cycles(64, 15, 1 << 20), Cycle{1} << 20);  // saturated
+  EXPECT_EQ(backoff_cycles(0, 3, 1 << 20), 8u);  // zero base acts as one
+  EXPECT_EQ(backoff_cycles(100, 2, 50), 100u);   // cap never below base
+}
+
+TEST(DevicePort, BackoffSaturatesPastTheShiftWidth) {
+  // attempts is unbounded under a long fault storm; a naive `base << n`
+  // is undefined at n >= 64 and wraps to garbage before that. Every point
+  // past the cap must return exactly the cap, never 0 or a wrapped value.
+  for (const std::uint32_t attempts : {20u, 63u, 64u, 65u, 1000u}) {
+    EXPECT_EQ(backoff_cycles(64, attempts, 1 << 20), Cycle{1} << 20)
+        << "attempts=" << attempts;
+  }
+  // Adversarially large base: one doubling would overflow 64 bits.
+  const Cycle huge = Cycle{1} << 63;
+  EXPECT_EQ(backoff_cycles(huge, 0, 1 << 20), huge);
+  EXPECT_EQ(backoff_cycles(huge, 1, 1 << 20), huge);   // saturates, no wrap
+  EXPECT_EQ(backoff_cycles(huge, 200, 1 << 20), huge);
+}
+
 TEST(DevicePort, PassthroughIsInvisible) {
   PortHarness h;
   h.build(/*tracking=*/false);

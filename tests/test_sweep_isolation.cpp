@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "exp/interrupt.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 
@@ -132,6 +137,80 @@ TEST(JobOutcome, StatusNames) {
   EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kOk), "ok");
   EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kFailed), "failed");
   EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kTimeout), "timeout");
+  EXPECT_STREQ(exp::to_string(exp::JobOutcome::Status::kInterrupted),
+               "interrupted");
+}
+
+TEST(RunIsolated, DiagnoseRerunsFailedCellAtVerifyFull) {
+  // The poisoned job fails with verification off (plain retrymax throw from
+  // the DevicePort); the diagnostic re-run upgrades it to verify=full, so
+  // the reproduced failure is a VerificationError carrying a forensics dump.
+  exp::SweepJob job = poisoned_job();
+  job.cfg.verify.forensics_dir =
+      (std::filesystem::path(::testing::TempDir()) / "pacsim_diag_forensics")
+          .string();
+  exp::SweepOptions opts;
+  opts.diagnose_failures = true;
+  const auto outcomes =
+      exp::SweepRunner(1).run_isolated({job}, tiny_wcfg(), opts);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, exp::JobOutcome::Status::kFailed);
+  EXPECT_TRUE(outcomes[0].diagnosed);
+  EXPECT_NE(outcomes[0].diagnosis.find("retrymax"), std::string::npos)
+      << "diagnosis lost: " << outcomes[0].diagnosis;
+  ASSERT_FALSE(outcomes[0].forensics.empty())
+      << "verify=full re-run produced no forensics dump";
+  EXPECT_TRUE(std::filesystem::exists(outcomes[0].forensics));
+}
+
+TEST(RunIsolated, DiagnoseSkipsHealthyCells) {
+  exp::SweepOptions opts;
+  opts.diagnose_failures = true;
+  const auto outcomes = exp::SweepRunner(1).run_isolated(
+      {job_for("stream", CoalescerKind::kDirect)}, tiny_wcfg(), opts);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[0].diagnosed);
+  EXPECT_TRUE(outcomes[0].diagnosis.empty());
+}
+
+TEST(RunIsolated, InterruptSkipsUnstartedJobs) {
+  install_interrupt_handler();
+  std::raise(SIGINT);
+  ASSERT_TRUE(interrupt_requested());
+  const auto outcomes = exp::SweepRunner(2).run_isolated(
+      {job_for("stream", CoalescerKind::kDirect),
+       job_for("gs", CoalescerKind::kDirect)},
+      tiny_wcfg());
+  reset_interrupt_for_testing();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const exp::JobOutcome& o : outcomes) {
+    EXPECT_EQ(o.status, exp::JobOutcome::Status::kInterrupted);
+    EXPECT_NE(o.error.find("interrupted"), std::string::npos) << o.error;
+  }
+}
+
+TEST(RunIsolated, InterruptCancelsInFlightJobs) {
+  install_interrupt_handler();
+  reset_interrupt_for_testing();
+  // Same long-running cell as the watchdog test; the signal lands while it
+  // simulates, the broadcaster cancels it, and the outcome is classified
+  // as interrupted rather than failed.
+  WorkloadConfig wcfg = tiny_wcfg();
+  wcfg.max_ops_per_core = 400'000;
+  wcfg.num_cores = 4;
+  wcfg.scale = 1.0;
+  std::thread signaller([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::raise(SIGINT);
+  });
+  const auto outcomes = exp::SweepRunner(1).run_isolated(
+      {job_for("bfs", CoalescerKind::kDirect)}, wcfg);
+  signaller.join();
+  reset_interrupt_for_testing();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, exp::JobOutcome::Status::kInterrupted)
+      << outcomes[0].error;
 }
 
 }  // namespace

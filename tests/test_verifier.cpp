@@ -1,0 +1,570 @@
+// Runtime-verification tests: the RequestLedger store, each Verifier
+// invariant in isolation (fence window, atomic arity, byte coverage,
+// duplicate/unknown retirement, bounded latency, watchdog, conservation),
+// the system-level property that verify=full passes cleanly - and is purely
+// observational - for every coalescer with and without fault injection, and
+// the seeded-bug fixture: a controller that silently drops retirements must
+// be caught by the no-progress watchdog with a forensics dump naming the
+// stuck request timelines.
+#include "core/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "pac/coalescer.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/system_config.hpp"
+#include "workloads/workload.hpp"
+
+namespace pacsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+VerifyConfig full_config(const char* dir_name) {
+  VerifyConfig cfg;
+  cfg.level = VerifyLevel::kFull;
+  cfg.forensics_dir = temp_dir(dir_name);
+  return cfg;
+}
+
+MemRequest raw(std::uint64_t id, Addr paddr, MemOp op = MemOp::kLoad) {
+  MemRequest r;
+  r.id = id;
+  r.paddr = paddr;
+  r.op = op;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------------------
+// Atomic report writes
+
+TEST(AtomicFile, WritesAndReplacesWithoutLeftovers) {
+  const std::string dir = temp_dir("atomic_file");
+  fs::create_directories(dir);
+  const std::string path = (fs::path(dir) / "report.json").string();
+  write_file_atomic(path, "first");
+  write_file_atomic(path, "second");
+  EXPECT_EQ(slurp(path), "second");
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "temp file leaked beside the report";
+}
+
+TEST(AtomicFile, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(
+      write_file_atomic("/nonexistent-dir-pacsim/report.json", "x"),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// RequestLedger
+
+TEST(RequestLedger, TracksOpenNoteAndClose) {
+  RequestLedger ledger;
+  EXPECT_TRUE(ledger.open(raw(1, 0x1000), 5));
+  EXPECT_FALSE(ledger.open(raw(1, 0x1000), 6)) << "duplicate open allowed";
+  EXPECT_EQ(ledger.outstanding(), 1u);
+
+  ReqRecord* rec = ledger.note(1, ReqStage::kAccepted, 7);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->events.size(), 2u);  // kIssued from open() + kAccepted
+  EXPECT_EQ(rec->events[0].stage, ReqStage::kIssued);
+  EXPECT_EQ(rec->events[1].stage, ReqStage::kAccepted);
+  EXPECT_EQ(rec->events[1].cycle, 7u);
+  EXPECT_EQ(ledger.note(99, ReqStage::kAccepted, 7), nullptr);
+
+  EXPECT_TRUE(ledger.close(1));
+  EXPECT_FALSE(ledger.close(1));
+  EXPECT_EQ(ledger.outstanding(), 0u);
+  EXPECT_EQ(ledger.find(1), nullptr);
+  EXPECT_EQ(ledger.note(1, ReqStage::kRetired, 8), nullptr) << "closed";
+}
+
+TEST(RequestLedger, OldestOrdersByIssueCycleThenId) {
+  RequestLedger ledger;
+  ledger.open(raw(3, 0x3000), 30);
+  ledger.open(raw(1, 0x1000), 10);
+  ledger.open(raw(5, 0x5000), 10);
+  ledger.open(raw(2, 0x2000), 20);
+  const auto top = ledger.oldest(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 1u);
+  EXPECT_EQ(top[1].first, 5u);
+  EXPECT_EQ(top[2].first, 2u);
+  EXPECT_EQ(ledger.oldest(100).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Verify levels
+
+TEST(VerifyLevel, ParsesAndRejects) {
+  EXPECT_EQ(parse_verify_level("off"), VerifyLevel::kOff);
+  EXPECT_EQ(parse_verify_level("counters"), VerifyLevel::kCounters);
+  EXPECT_EQ(parse_verify_level("full"), VerifyLevel::kFull);
+  EXPECT_THROW((void)parse_verify_level("fulll"), std::invalid_argument);
+  EXPECT_THROW((void)parse_verify_level(""), std::invalid_argument);
+  EXPECT_STREQ(to_string(VerifyLevel::kOff), "off");
+  EXPECT_STREQ(to_string(VerifyLevel::kCounters), "counters");
+  EXPECT_STREQ(to_string(VerifyLevel::kFull), "full");
+}
+
+// ---------------------------------------------------------------------------
+// Individual invariants
+
+TEST(Verifier, FenceWindowRejectsAcceptDuringDrain) {
+  Verifier v(full_config("forensics_fence"));
+  const MemRequest fence = raw(1, 0, MemOp::kFence);
+  v.on_issued(fence, 10);
+  v.on_fence_begin(1, 10);
+  v.on_accepted(fence, 10);  // the fence itself is legal inside its window
+  EXPECT_TRUE(v.fence_active());
+
+  const MemRequest load = raw(2, 0x1000);
+  v.on_issued(load, 11);
+  try {
+    v.on_accepted(load, 11);
+    FAIL() << "fence window not enforced";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("fence"), std::string::npos)
+        << e.what();
+    ASSERT_FALSE(e.forensics_path().empty());
+    EXPECT_TRUE(fs::exists(e.forensics_path()));
+    EXPECT_NE(slurp(e.forensics_path()).find("\"kind\": \"fence_ordering\""),
+              std::string::npos);
+  }
+}
+
+TEST(Verifier, FenceEndReopensAcceptance) {
+  Verifier v(full_config("forensics_fence_end"));
+  const MemRequest fence = raw(1, 0, MemOp::kFence);
+  v.on_issued(fence, 10);
+  v.on_fence_begin(1, 10);
+  v.on_accepted(fence, 10);
+  v.on_fence_end(20);
+  EXPECT_FALSE(v.fence_active());
+  const MemRequest load = raw(2, 0x1000);
+  v.on_issued(load, 21);
+  EXPECT_NO_THROW(v.on_accepted(load, 21));
+}
+
+TEST(Verifier, AtomicPacketMustCarryExactlyOneRaw) {
+  Verifier v(full_config("forensics_atomic"));
+  v.on_issued(raw(1, 0x1000, MemOp::kAtomic), 0);
+  v.on_issued(raw(2, 0x1010, MemOp::kAtomic), 0);
+  v.on_accepted(raw(1, 0x1000, MemOp::kAtomic), 1);
+  v.on_accepted(raw(2, 0x1010, MemOp::kAtomic), 1);
+  DeviceRequest req;
+  req.id = 7;
+  req.base = 0x1000;
+  req.bytes = 64;
+  req.atomic = true;
+  req.add_raw(1);
+  req.add_raw(2);
+  EXPECT_THROW(v.on_dispatched(req, 2), VerificationError);
+}
+
+TEST(Verifier, DispatchMustCoverRawAddresses) {
+  Verifier v(full_config("forensics_coverage"));
+  v.on_issued(raw(1, 0x1040), 0);
+  v.on_accepted(raw(1, 0x1040), 1);
+  DeviceRequest req;
+  req.id = 3;
+  req.base = 0x2000;  // does not contain 0x1040
+  req.bytes = 256;
+  req.add_raw(1);
+  try {
+    v.on_dispatched(req, 2);
+    FAIL() << "byte coverage not enforced";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("does not cover"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verifier, CoveringDispatchAndResponseRetireCleanly) {
+  Verifier v(full_config("forensics_clean"));
+  v.on_issued(raw(1, 0x1040), 0);
+  v.on_accepted(raw(1, 0x1040), 1);
+  DeviceRequest req;
+  req.id = 3;
+  req.base = 0x1000;
+  req.bytes = 256;
+  req.add_raw(1, 1);  // 64 B granule: block 1 = byte offset 64
+  EXPECT_NO_THROW(v.on_dispatched(req, 2));
+  DeviceResponse rsp;
+  rsp.request_id = 3;
+  rsp.raw_ids.push_back(1);
+  EXPECT_NO_THROW(v.on_response(rsp, 10));
+  EXPECT_NO_THROW(v.on_retired(1, 11));
+  EXPECT_NO_THROW(v.final_check(12));
+  const VerifyStats s = v.stats_snapshot();
+  EXPECT_EQ(s.issued, 1u);
+  EXPECT_EQ(s.retired, 1u);
+  EXPECT_EQ(s.dispatched_raws, 1u);
+  EXPECT_EQ(s.responded_raws, 1u);
+  EXPECT_EQ(s.violations, 0u);
+}
+
+TEST(Verifier, DuplicateRetirementIsAViolation) {
+  Verifier v(full_config("forensics_dup_retire"));
+  v.on_issued(raw(1, 0x1000), 0);
+  v.on_accepted(raw(1, 0x1000), 1);
+  v.on_retired(1, 5);
+  try {
+    v.on_retired(1, 6);
+    FAIL() << "duplicate retirement not detected";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate retirement"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verifier, RetirementOfNeverIssuedIdIsAViolation) {
+  Verifier v(full_config("forensics_unknown_retire"));
+  try {
+    v.on_retired(42, 1);
+    FAIL() << "unknown retirement not detected";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("never-issued"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verifier, AgeScanEnforcesLatencyBudget) {
+  VerifyConfig cfg = full_config("forensics_age");
+  cfg.max_request_age = 1000;
+  cfg.age_check_period = 500;
+  Verifier v(cfg);
+  v.on_issued(raw(1, 0x1000), 0);
+  v.on_accepted(raw(1, 0x1000), 1);
+  EXPECT_TRUE(v.age_check_due(500));
+  EXPECT_NO_THROW(v.check_ages(900));  // age 900, inside the budget
+  EXPECT_FALSE(v.age_check_due(901)) << "scan did not re-arm";
+  try {
+    v.check_ages(5000);
+    FAIL() << "latency budget not enforced";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("cycles old"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verifier, WatchdogTracksProgressAndClampsFastForward) {
+  VerifyConfig cfg = full_config("forensics_watchdog");
+  cfg.watchdog_cycles = 100;
+  cfg.age_check_period = 1000;
+  Verifier v(cfg);
+  EXPECT_FALSE(v.watchdog_due(99));
+  EXPECT_TRUE(v.watchdog_due(100));
+  v.note_progress(50);
+  EXPECT_FALSE(v.watchdog_due(100));
+  EXPECT_TRUE(v.watchdog_due(150));
+  // Deadline = min(progress deadline, age scan); never behind `now`, so a
+  // fast-forward jump can always move forward.
+  EXPECT_EQ(v.next_deadline(60), 150u);
+  EXPECT_EQ(v.next_deadline(400), 400u);
+  try {
+    v.watchdog_fire(150, "test reason");
+    FAIL() << "watchdog_fire returned";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("test reason"), std::string::npos);
+  }
+}
+
+TEST(Verifier, FinalCheckCatchesLostRequestAtCountersLevel) {
+  VerifyConfig cfg;
+  cfg.level = VerifyLevel::kCounters;
+  cfg.forensics_dir = temp_dir("forensics_counters");
+  Verifier v(cfg);
+  v.on_issued(raw(1, 0x1000), 0);
+  v.on_accepted(raw(1, 0x1000), 1);
+  try {
+    v.final_check(100);
+    FAIL() << "conservation equation not enforced";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("conservation equation"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verifier, FinalCheckPassesBalancedCounters) {
+  VerifyConfig cfg;
+  cfg.level = VerifyLevel::kCounters;
+  cfg.forensics_dir = temp_dir("forensics_counters_ok");
+  Verifier v(cfg);
+  v.on_issued(raw(1, 0x1000), 0);
+  v.on_accepted(raw(1, 0x1000), 1);
+  v.on_retired(1, 5);
+  v.on_issued(raw(2, 0, MemOp::kFence), 6);
+  v.on_accepted(raw(2, 0, MemOp::kFence), 7);  // fences retire at accept
+  EXPECT_NO_THROW(v.final_check(10));
+  const VerifyStats s = v.stats_snapshot();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.level, VerifyLevel::kCounters);
+  EXPECT_EQ(s.issued, 2u);
+  EXPECT_EQ(s.retired + s.fences, s.issued);
+}
+
+// ---------------------------------------------------------------------------
+// System-level: verify=full over the controller x fault ladder
+
+WorkloadConfig tiny_wcfg() {
+  WorkloadConfig wcfg;
+  wcfg.num_cores = 2;
+  wcfg.max_ops_per_core = 1500;
+  wcfg.scale = 0.25;
+  return wcfg;
+}
+
+TEST(VerifierSystem, ConservationHoldsAcrossControllersAndFaults) {
+  const Workload* suite = find_workload("stream");
+  ASSERT_NE(suite, nullptr);
+  for (const CoalescerKind kind :
+       {CoalescerKind::kDirect, CoalescerKind::kMshrDmc, CoalescerKind::kPac,
+        CoalescerKind::kSortingDmc}) {
+    for (const double rate : {0.0, 1e-3}) {
+      SCOPED_TRACE(std::string(to_string(kind)) + " fault_rate=" +
+                   std::to_string(rate));
+      SystemConfig cfg;
+      cfg.fault.link_error_rate = rate;
+      cfg.verify.level = VerifyLevel::kFull;
+      cfg.verify.forensics_dir = temp_dir("forensics_ladder");
+      const RunResult r = run_suite(*suite, kind, tiny_wcfg(), cfg);
+      EXPECT_TRUE(r.verification.enabled);
+      EXPECT_EQ(r.verification.level, VerifyLevel::kFull);
+      EXPECT_EQ(r.verification.violations, 0u);
+      EXPECT_GT(r.verification.issued, 0u);
+      EXPECT_EQ(r.verification.issued,
+                r.verification.retired + r.verification.fences);
+    }
+  }
+}
+
+TEST(VerifierSystem, FullVerificationIsObservational) {
+  const Workload* suite = find_workload("stream");
+  SystemConfig off_cfg;
+  SystemConfig full_cfg_;
+  full_cfg_.verify.level = VerifyLevel::kFull;
+  full_cfg_.verify.forensics_dir = temp_dir("forensics_observational");
+  const RunResult off =
+      run_suite(*suite, CoalescerKind::kPac, tiny_wcfg(), off_cfg);
+  RunResult full =
+      run_suite(*suite, CoalescerKind::kPac, tiny_wcfg(), full_cfg_);
+  EXPECT_FALSE(off.verification.enabled);
+  EXPECT_EQ(full.verification.violations, 0u);
+  // The verification counters are the one intentional delta; everything the
+  // paper reports must be bit-identical to the unverified run.
+  full.verification = VerifyStats{};
+  EXPECT_EQ(run_report_json("x", CoalescerKind::kPac, off,
+                            /*include_throughput=*/false),
+            run_report_json("x", CoalescerKind::kPac, full,
+                            /*include_throughput=*/false));
+}
+
+TEST(VerifierSystem, CountersLevelBalancesLifecycleTotals) {
+  const Workload* suite = find_workload("gs");
+  SystemConfig cfg;
+  cfg.verify.level = VerifyLevel::kCounters;
+  cfg.verify.forensics_dir = temp_dir("forensics_counters_run");
+  const RunResult r =
+      run_suite(*suite, CoalescerKind::kMshrDmc, tiny_wcfg(), cfg);
+  EXPECT_TRUE(r.verification.enabled);
+  EXPECT_EQ(r.verification.level, VerifyLevel::kCounters);
+  EXPECT_EQ(r.verification.violations, 0u);
+  EXPECT_GT(r.verification.issued, 0u);
+  EXPECT_EQ(r.verification.issued,
+            r.verification.retired + r.verification.fences);
+  EXPECT_GE(r.verification.dispatched_raws, r.verification.device_requests);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug: a controller that drops retirements must be caught
+
+/// Deliberately broken no-coalescing controller: the first `drops` device
+/// completions are swallowed instead of reported satisfied, so their raw
+/// requests pin the core scoreboard forever - exactly the class of silent
+/// lost-request bug the watchdog + ledger exist to catch.
+class DroppingController final : public Coalescer {
+ public:
+  DroppingController(DevicePort* device, std::size_t drops)
+      : device_(device), drops_remaining_(drops) {}
+
+  bool accept(const MemRequest& request, Cycle now) override {
+    if (request.op == MemOp::kFence) {
+      ++stats_.fences;
+      if (verifier_ != nullptr) {
+        verifier_->on_fence_passthrough(request.id, now);
+      }
+      return true;
+    }
+    if (!device_->can_accept()) return false;
+    DeviceRequest req;
+    req.id = next_id_++;
+    req.base = request.paddr & ~Addr{63};
+    req.bytes = 64;
+    req.store = request.is_store();
+    req.atomic = request.op == MemOp::kAtomic;
+    req.created_at = now;
+    req.add_raw(request.id);
+    ++stats_.raw_requests;
+    ++stats_.issued_requests;
+    stats_.issued_payload_bytes += req.bytes;
+    stats_.request_size_bytes.add(req.bytes);
+    outstanding_.emplace(req.id, request.id);
+    device_->submit(std::move(req), now);
+    return true;
+  }
+
+  void tick(Cycle now) override { (void)now; }
+
+  void complete(const DeviceResponse& response, Cycle now) override {
+    (void)now;
+    auto it = outstanding_.find(response.request_id);
+    if (it == outstanding_.end()) return;
+    if (drops_remaining_ > 0) {
+      --drops_remaining_;  // the seeded bug: satisfied_ never hears of it
+    } else {
+      satisfied_.push_back(it->second);
+    }
+    outstanding_.erase(it);
+  }
+
+  void drain_satisfied_into(std::vector<std::uint64_t>& out) override {
+    out.clear();
+    std::swap(out, satisfied_);
+  }
+
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override {
+    (void)now;
+    return kNeverCycle;
+  }
+  [[nodiscard]] bool idle() const override { return outstanding_.empty(); }
+  [[nodiscard]] const CoalescerStats& stats() const override {
+    return stats_;
+  }
+
+ private:
+  DevicePort* device_;
+  std::size_t drops_remaining_;
+  CoalescerStats stats_;
+  std::unordered_map<std::uint64_t, std::uint64_t> outstanding_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint64_t> satisfied_;
+};
+
+TEST(VerifierSystem, WatchdogCatchesDroppedRetirementWithForensics) {
+  SystemConfig cfg;
+  cfg.num_cores = 1;
+  cfg.enable_prefetch = false;
+  // Scoreboard depth 2 and two dropped retirements: the core wedges with
+  // both slots pinned, the system stays "busy" forever, and only the
+  // no-progress watchdog can tell.
+  cfg.max_outstanding_loads = 2;
+  cfg.verify.level = VerifyLevel::kFull;
+  cfg.verify.watchdog_cycles = 200'000;
+  cfg.verify.forensics_dir = temp_dir("forensics_dropped");
+  cfg.coalescer_factory = [](DevicePort* port) {
+    return std::make_unique<DroppingController>(port, 2);
+  };
+
+  Trace trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back(TraceOp{static_cast<Addr>(0x10000 + i * 64), 8,
+                            OpKind::kLoad});
+  }
+  try {
+    (void)simulate(cfg, std::vector<Trace>{trace});
+    FAIL() << "watchdog never fired on the dropped retirements";
+  } catch (const VerificationError& e) {
+    EXPECT_NE(std::string(e.what()).find("no lifecycle event"),
+              std::string::npos)
+        << e.what();
+    ASSERT_FALSE(e.forensics_path().empty());
+    ASSERT_TRUE(fs::exists(e.forensics_path()));
+    const std::string dump = slurp(e.forensics_path());
+    EXPECT_NE(dump.find("\"kind\": \"no_progress\""), std::string::npos);
+    // The stuck timelines prove the responses arrived and retirement is
+    // what went missing: issued -> accepted -> dispatched -> responded.
+    EXPECT_NE(dump.find("\"stuck_requests\""), std::string::npos);
+    EXPECT_NE(dump.find("\"stage\": \"responded\""), std::string::npos);
+    EXPECT_EQ(dump.find("\"stage\": \"retired\""), std::string::npos);
+    EXPECT_NE(dump.find("\"components\""), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing
+
+TEST(SweepReport, VerificationBlockIsEmitted) {
+  SweepReport report("bench_verify");
+  RunResult r;
+  r.cycles = 10;
+  r.verification.enabled = true;
+  r.verification.level = VerifyLevel::kCounters;
+  r.verification.issued = 42;
+  r.verification.retired = 40;
+  r.verification.fences = 2;
+  report.add("stream/pac", CoalescerKind::kPac, r);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"verification\""), std::string::npos);
+  EXPECT_NE(json.find("\"level\": \"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"issued\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\": 0"), std::string::npos);
+}
+
+TEST(SweepReport, VerificationBlockAbsentWhenDisabled) {
+  SweepReport report("bench_noverify");
+  RunResult r;
+  r.cycles = 10;
+  report.add("stream/pac", CoalescerKind::kPac, r);
+  EXPECT_EQ(report.json().find("\"verification\""), std::string::npos);
+}
+
+TEST(SweepReport, FailureForensicsAndDiagnosisFields) {
+  SweepReport report("bench_forensics");
+  report.add_failure("bad/pac", "failed", "boom", 0.5,
+                     "/tmp/forensics_1.json", "reproduced at verify=full");
+  report.add_failure("sad/pac", "interrupted", "signal", 0.1);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"forensics\": \"/tmp/forensics_1.json\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"diagnosis\": \"reproduced at verify=full\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"interrupted\""), std::string::npos);
+  // Optional fields stay absent when empty.
+  const std::size_t sad = json.find("\"label\": \"sad/pac\"");
+  ASSERT_NE(sad, std::string::npos);
+  EXPECT_EQ(json.find("\"forensics\"", sad), std::string::npos);
+  EXPECT_EQ(json.find("\"diagnosis\"", sad), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacsim

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over the simulator
+# sources, using the compile_commands.json that CMake exports.
+#
+# Usage:
+#   tools/clang-tidy-delta.sh [build-dir] [file...]
+#
+# With no files, checks every .cpp under src/ (the default CI sweep). Pass
+# explicit files to check just a delta, e.g. the files touched by a branch:
+#   tools/clang-tidy-delta.sh build $(git diff --name-only main -- '*.cpp')
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments that lack the tool.
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy-delta: clang-tidy not installed, skipping" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "clang-tidy-delta: $BUILD_DIR/compile_commands.json missing;" \
+       "configure with 'cmake -B $BUILD_DIR -S .' first" >&2
+  exit 1
+fi
+
+if [ "$#" -gt 0 ]; then
+  FILES="$*"
+else
+  FILES=$(find src -name '*.cpp' | sort)
+fi
+
+STATUS=0
+for f in $FILES; do
+  case "$f" in
+    *.cpp) ;;
+    *) continue ;;
+  esac
+  [ -f "$f" ] || continue
+  echo "clang-tidy-delta: $f" >&2
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS
