@@ -1,0 +1,147 @@
+// Backend matrix: every coalescer organization on every memory substrate.
+// Demonstrates that the coalescers are substrate-agnostic (they speak only
+// DevicePort / MemoryBackend) and quantifies how much of PAC's win survives
+// the move from the closed-page HMC cube to an open-page HBM stack
+// (paper section 4.1: 16-bit block sequence, 32 B granularity, 1 KB rows)
+// and to a conservative single-rank DDR-lite part.
+//
+// Grid: {hmc, hbm, ddr} x {direct, mshr-dmc, sorting-dmc, pac} x suites.
+// Knobs: the usual EvalContext set; `suite=<name>` restricts the suite
+// axis, the backend= knob is ignored here (this bench owns that axis).
+#include <iterator>
+
+#include "bench_common.hpp"
+
+using namespace pacsim;
+using namespace pacsim::bench;
+
+namespace {
+
+constexpr BackendKind kBackends[] = {BackendKind::kHmc, BackendKind::kHbm,
+                                     BackendKind::kDdr};
+constexpr CoalescerKind kKinds[] = {
+    CoalescerKind::kDirect, CoalescerKind::kMshrDmc,
+    CoalescerKind::kSortingDmc, CoalescerKind::kPac};
+
+/// The matrix cell's SystemConfig: the backend axis also retunes PAC's
+/// coalescing protocol to the substrate it targets (HBM coalesces toward
+/// the 1 KB row with 32 B granules; HMC/DDR keep the HMC 2.1 default).
+SystemConfig cell_config(const EvalContext& ctx, BackendKind backend,
+                         CoalescerKind kind) {
+  SystemConfig cfg = ctx.scfg;
+  cfg.backend = backend;
+  cfg.coalescer = kind;
+  if (backend == BackendKind::kHbm) {
+    cfg.pac.protocol = CoalescingProtocol::hbm();
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const EvalContext ctx(cli);
+
+  std::vector<const Workload*> suites;
+  for (const Workload* suite : all_workloads()) {
+    if (!ctx.only.empty() && ctx.only != suite->name()) continue;
+    // Default to the three reference suites so the full 36-cell matrix
+    // stays cheap; suite=<name> swaps in any other workload.
+    if (ctx.only.empty() && suite->name() != "gs" &&
+        suite->name() != "hpcg" && suite->name() != "sort") {
+      continue;
+    }
+    suites.push_back(suite);
+  }
+
+  std::vector<exp::SweepJob> sweep;
+  sweep.reserve(suites.size() * std::size(kBackends) * std::size(kKinds));
+  for (BackendKind backend : kBackends) {
+    for (const Workload* suite : suites) {
+      std::fprintf(stderr, "[matrix] %s / %s ...\n",
+                   std::string(to_string(backend)).c_str(),
+                   std::string(suite->name()).c_str());
+      for (CoalescerKind kind : kKinds) {
+        exp::SweepJob job;
+        job.suite = suite;
+        job.cfg = cell_config(ctx, backend, kind);
+        job.label = std::string(suite->name()) + "/" +
+                    std::string(to_string(kind)) + "@" +
+                    std::string(to_string(backend));
+        sweep.push_back(std::move(job));
+      }
+    }
+  }
+
+  const exp::SweepRunner runner(ctx.jobs);
+  exp::SweepOptions opts;
+  opts.job_timeout_seconds = ctx.job_timeout_seconds;
+  opts.diagnose_failures = ctx.diagnose_failures;
+  const std::vector<exp::JobOutcome> outcomes =
+      runner.run_isolated(sweep, ctx.wcfg, opts, ctx.trace_store());
+
+  SweepReport report("bench_backend_matrix");
+  Table t({"backend", "suite", "coalescer", "coal.eff", "txn.eff", "cycles",
+           "row hit%", "conflicts"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const exp::JobOutcome& o = outcomes[i];
+    if (!o.ok()) {
+      std::fprintf(stderr, "[matrix] %s: %s: %s\n", sweep[i].label.c_str(),
+                   exp::to_string(o.status), o.error.c_str());
+      report.add_failure(sweep[i].label,
+                         std::string(exp::to_string(o.status)), o.error,
+                         o.wall_seconds, o.forensics, o.diagnosis);
+      continue;
+    }
+    const RunResult& r = o.result;
+    const std::uint64_t opened = r.hmc.row_hits + r.hmc.row_misses;
+    t.add_row({std::string(to_string(sweep[i].cfg.backend)),
+               std::string(sweep[i].suite->name()),
+               std::string(to_string(sweep[i].cfg.coalescer)),
+               Table::pct(r.coalescing_efficiency() * 100.0),
+               Table::pct(r.transaction_eff() * 100.0),
+               std::to_string(r.cycles),
+               opened > 0 ? Table::pct(100.0 *
+                                       static_cast<double>(r.hmc.row_hits) /
+                                       static_cast<double>(opened))
+                          : std::string("-"),
+               std::to_string(r.hmc.bank_conflicts)});
+    report.add(sweep[i].label, sweep[i].cfg.coalescer, r);
+  }
+  t.print("Backend matrix - coalescers x substrates");
+
+  // Headline per-backend summary: geometric-mean-free average of PAC's
+  // runtime win over the direct controller, plus the coalescing lift.
+  Table s({"backend", "avg PAC speedup vs direct", "avg PAC coal.eff",
+           "avg direct coal.eff"});
+  const std::size_t per_suite = std::size(kKinds);
+  const std::size_t per_backend = suites.size() * per_suite;
+  for (std::size_t b = 0; b < std::size(kBackends); ++b) {
+    double speedup = 0.0, pac_eff = 0.0, direct_eff = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t su = 0; su < suites.size(); ++su) {
+      const std::size_t base = b * per_backend + su * per_suite;
+      const exp::JobOutcome& direct = outcomes[base + 0];  // kDirect
+      const exp::JobOutcome& pac = outcomes[base + 3];     // kPac
+      if (!direct.ok() || !pac.ok() || pac.result.cycles == 0) continue;
+      speedup += static_cast<double>(direct.result.cycles) /
+                 static_cast<double>(pac.result.cycles);
+      pac_eff += pac.result.coalescing_efficiency();
+      direct_eff += direct.result.coalescing_efficiency();
+      ++cells;
+    }
+    const double n = cells > 0 ? static_cast<double>(cells) : 1.0;
+    s.add_row({std::string(to_string(kBackends[b])),
+               Table::num(speedup / n) + "x", Table::pct(pac_eff / n * 100.0),
+               Table::pct(direct_eff / n * 100.0)});
+  }
+  s.print("Backend matrix - PAC win per substrate");
+
+  if (!ctx.report_dir.empty()) {
+    report.set_trace_store(ctx.trace_store()->stats());
+    std::fprintf(stderr, "[bench] wrote %s\n",
+                 report.write(ctx.report_dir).c_str());
+  }
+  return 0;
+}

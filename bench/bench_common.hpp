@@ -41,6 +41,9 @@ class EvalContext {
     wcfg.compute_scale = cli.get_double("cscale", wcfg.compute_scale);
     only = cli.get("suite", "");
 
+    // backend=hmc|hbm|ddr: which memory substrate the system drives (the
+    // coalescers are substrate-agnostic; see DESIGN.md "MemoryBackend").
+    scfg.backend = parse_backend_kind(cli.get("backend", "hmc"));
     scfg.max_outstanding_loads = static_cast<std::uint32_t>(
         cli.get_u64("mlp", scfg.max_outstanding_loads));
     scfg.prefetch.degree = static_cast<std::uint32_t>(

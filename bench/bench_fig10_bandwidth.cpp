@@ -7,6 +7,7 @@
 // largest at 139.47 GB (absolute GB scale with trace length - we report
 // both our absolute bytes and the relative saving).
 #include "bench_common.hpp"
+#include "hmc/hmc_device.hpp"
 #include "mem/packet.hpp"
 
 using namespace pacsim;

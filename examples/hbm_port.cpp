@@ -1,14 +1,21 @@
-// Protocol portability demo (paper section 4.1): the same PAC pipeline
-// retargeted from HMC 1.0 (128 B) to HMC 2.1 (256 B) to HBM (1 KB rows) by
-// swapping only the CoalescingProtocol descriptor - no coalescing-logic
-// changes. Drives a PAC instance directly through its public API.
+// Protocol + substrate portability demo (paper section 4.1): the same PAC
+// pipeline retargeted from HMC 1.0 (128 B) to HMC 2.1 (256 B) to a real
+// HBM backend (1 KB rows, 32 B granules) by swapping the CoalescingProtocol
+// descriptor and the MemoryBackend underneath it - no coalescing-logic
+// changes. The HBM row runs on the actual open-page HbmDevice model, not an
+// HMC cube relabelled with 1 KB rows. Drives a PAC instance directly
+// through its public API, using the non-allocating drain_*_into calls the
+// full System uses (the steady-state loop allocates nothing).
 //
 //   ./hbm_port [pages=64] [burst=16]
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "hmc/backend_factory.hpp"
+#include "hmc/power_model.hpp"
 #include "mem/packet.hpp"
 #include "pac/pac.hpp"
 
@@ -18,25 +25,29 @@ namespace {
 
 struct Standalone {
   PowerModel power;
-  HmcDevice device;
+  std::unique_ptr<MemoryBackend> device;
   DevicePort port;
   Pac pac;
   Cycle now = 0;
   std::uint64_t next_id = 1;
   std::uint64_t satisfied = 0;
+  // Reused drain buffers: cleared and refilled in place each cycle.
+  std::vector<DeviceResponse> completed;
+  std::vector<std::uint64_t> satisfied_ids;
 
-  Standalone(const PacConfig& cfg, const HmcConfig& hmc)
-      : device(hmc, &power),
-        port(&device, RetryConfig{}, /*tracking=*/false),
+  Standalone(const PacConfig& cfg, BackendKind backend, const HmcConfig& hmc,
+             const HbmConfig& hbm)
+      : device(make_backend(backend, hmc, hbm, DdrConfig{}, &power)),
+        port(device.get(), RetryConfig{}, /*tracking=*/false),
         pac(cfg, &port) {}
 
   void tick() {
-    device.tick(now);
-    for (const DeviceResponse& rsp : device.drain_completed()) {
-      pac.complete(rsp, now);
-    }
+    device->tick(now);
+    device->drain_completed_into(completed);
+    for (const DeviceResponse& rsp : completed) pac.complete(rsp, now);
     pac.tick(now);
-    satisfied += pac.drain_satisfied().size();
+    pac.drain_satisfied_into(satisfied_ids);
+    satisfied += satisfied_ids.size();
     ++now;
   }
 
@@ -50,8 +61,13 @@ struct Standalone {
   }
 
   void drain() {
-    while (!(pac.idle() && device.idle())) tick();
+    while (!(pac.idle() && device->idle())) tick();
   }
+};
+
+struct Target {
+  CoalescingProtocol protocol;
+  BackendKind backend;
 };
 
 }  // namespace
@@ -61,19 +77,20 @@ int main(int argc, char** argv) {
   const std::uint64_t pages = cli.get_u64("pages", 64);
   const std::uint64_t burst = cli.get_u64("burst", 16);
 
-  Table t({"protocol", "max request", "issued", "avg request (B)",
+  Table t({"protocol", "backend", "max request", "issued", "avg request (B)",
            "txn efficiency", "satisfied raws"});
 
-  for (const CoalescingProtocol& protocol :
-       {CoalescingProtocol::hmc1(), CoalescingProtocol::hmc2(),
-        CoalescingProtocol::hbm()}) {
+  const Target targets[] = {
+      {CoalescingProtocol::hmc1(), BackendKind::kHmc},
+      {CoalescingProtocol::hmc2(), BackendKind::kHmc},
+      {CoalescingProtocol::hbm(), BackendKind::kHbm},
+  };
+  for (const Target& target : targets) {
     PacConfig cfg;
-    cfg.protocol = protocol;
+    cfg.protocol = target.protocol;
     cfg.enable_bypass_controller = false;
-    HmcConfig hmc;
-    if (protocol.max_request > 256) hmc.map.row_bytes = 1024;  // HBM rows
 
-    Standalone sys(cfg, hmc);
+    Standalone sys(cfg, target.backend, HmcConfig{}, HbmConfig{});
     // Identical input stream for every protocol: bursts of `burst`
     // consecutive cache lines at random page bases.
     Rng rng(1);
@@ -88,8 +105,9 @@ int main(int argc, char** argv) {
     sys.drain();
 
     const CoalescerStats& s = sys.pac.stats();
-    t.add_row({std::string(protocol.name),
-               std::to_string(protocol.max_request) + "B",
+    t.add_row({std::string(target.protocol.name),
+               std::string(to_string(target.backend)),
+               std::to_string(target.protocol.max_request) + "B",
                std::to_string(s.issued_requests),
                Table::num(s.issued_requests == 0
                               ? 0.0

@@ -1,0 +1,26 @@
+#include "hmc/backend_factory.hpp"
+
+#include "hmc/ddr_device.hpp"
+#include "hmc/hbm_device.hpp"
+#include "hmc/hmc_device.hpp"
+
+namespace pacsim {
+
+std::unique_ptr<MemoryBackend> make_backend(BackendKind kind,
+                                            const HmcConfig& hmc,
+                                            const HbmConfig& hbm,
+                                            const DdrConfig& ddr,
+                                            PowerModel* power,
+                                            FaultInjector* fault) {
+  switch (kind) {
+    case BackendKind::kHmc:
+      return std::make_unique<HmcDevice>(hmc, power, fault);
+    case BackendKind::kHbm:
+      return std::make_unique<HbmDevice>(hbm, power, fault);
+    case BackendKind::kDdr:
+      return std::make_unique<DdrDevice>(ddr, power, fault);
+  }
+  return nullptr;  // unreachable: the enum is exhaustive
+}
+
+}  // namespace pacsim

@@ -1,0 +1,25 @@
+// Config-driven construction of the memory substrate (backend=hmc|hbm|ddr).
+#pragma once
+
+#include <memory>
+
+#include "hmc/ddr_config.hpp"
+#include "hmc/hbm_config.hpp"
+#include "hmc/hmc_config.hpp"
+#include "mem/memory_backend.hpp"
+
+namespace pacsim {
+
+class PowerModel;
+class FaultInjector;
+
+/// Build the backend selected by `kind` from its config block. `power` is
+/// required; `fault` (optional, unowned) enables fault injection.
+std::unique_ptr<MemoryBackend> make_backend(BackendKind kind,
+                                            const HmcConfig& hmc,
+                                            const HbmConfig& hbm,
+                                            const DdrConfig& ddr,
+                                            PowerModel* power,
+                                            FaultInjector* fault = nullptr);
+
+}  // namespace pacsim

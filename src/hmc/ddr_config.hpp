@@ -1,0 +1,38 @@
+// Structural and timing configuration of the simulated DDR channel pair
+// (ramulator-lite: FR-FCFS scheduling, open-page banks, tREFI/tRFC refresh,
+// tCAS/tRCD/tRP/tRAS state machines - no command-bus modeling).
+//
+// Timing values are CPU cycles at the 2 GHz reference clock of Table 1
+// (0.5 ns / cycle); defaults approximate DDR4-2400.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/address_map.hpp"
+
+namespace pacsim {
+
+struct DdrConfig {
+  /// 2 channels x 16 banks, 2 KB rows, 8 GB. The AddressMap's "vault" axis
+  /// is the channel index.
+  AddressMapConfig map{2, 16, 2048, 8ULL << 30};
+
+  std::uint32_t interface_cycles = 20;  ///< off-chip path, each direction
+  /// Shared per-channel data bus (64-bit DDR4-2400 ~ 19 GB/s = 8 B per
+  /// 2 GHz CPU cycle); bursts from different banks serialize on it.
+  std::uint32_t channel_bytes_per_cycle = 8;
+
+  std::uint32_t t_rcd = 28;  ///< activate to column command (14 ns)
+  std::uint32_t t_cas = 28;  ///< column access latency (14 ns)
+  std::uint32_t t_rp = 28;   ///< precharge (14 ns)
+  std::uint32_t t_ras = 64;  ///< activate to precharge minimum (32 ns)
+
+  std::uint32_t max_outstanding = 64;  ///< controller queue depth
+
+  // All-bank refresh per channel on the tREFI grid; closes open rows.
+  bool enable_refresh = true;
+  std::uint32_t t_refi = 15600;  ///< refresh interval (7.8 us)
+  std::uint32_t t_rfc = 700;     ///< refresh cycle time (350 ns)
+};
+
+}  // namespace pacsim

@@ -1,0 +1,305 @@
+#include "hmc/ddr_device.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "common/bitops.hpp"
+#include "core/verifier.hpp"
+
+namespace pacsim {
+
+DdrDevice::DdrDevice(const DdrConfig& cfg, PowerModel* power,
+                     FaultInjector* fault)
+    : cfg_(cfg),
+      map_(cfg.map),
+      power_(power),
+      fault_(fault),
+      next_refresh_(cfg.t_refi) {
+  assert(cfg_.map.num_vaults <= 64 && "active_channels_ is a 64-bit mask");
+  banks_.resize(cfg_.map.num_vaults);
+  for (auto& channel : banks_) channel.resize(cfg_.map.banks_per_vault);
+  channel_queue_.resize(cfg_.map.num_vaults);
+  bus_busy_.assign(cfg_.map.num_vaults, 0);
+}
+
+void DdrDevice::schedule(Cycle cycle, EventKind kind, RowTxn* txn,
+                         Request* request) {
+  events_.push(Event{cycle, next_seq_++, kind, txn, request});
+}
+
+DdrDevice::Request* DdrDevice::acquire_request() {
+  if (free_requests_.empty()) {
+    request_pool_.push_back(std::make_unique<Request>());
+    return request_pool_.back().get();
+  }
+  Request* request = free_requests_.back();
+  free_requests_.pop_back();
+  return request;
+}
+
+DdrDevice::RowTxn* DdrDevice::acquire_row() {
+  if (free_rows_.empty()) {
+    row_pool_.push_back(std::make_unique<RowTxn>());
+    return row_pool_.back().get();
+  }
+  RowTxn* txn = free_rows_.back();
+  free_rows_.pop_back();
+  return txn;
+}
+
+void DdrDevice::release_request(Request* request) {
+  for (RowTxn* row : request->rows) free_rows_.push_back(row);
+  request->rows.clear();
+  free_requests_.push_back(request);
+}
+
+void DdrDevice::submit(DeviceRequest req, Cycle now) {
+  assert(can_accept());
+  ++outstanding_;
+
+  Request* request = acquire_request();
+  request->req = std::move(req);
+  request->submit_cycle = now;
+  request->last_data_ready = 0;
+  request->pending_rows = 0;
+
+  const DeviceRequest& r = request->req;
+  auto [slot, inserted] = inflight_.try_emplace(r.id, request);
+  assert(inserted && "duplicate DeviceRequest id");
+  (void)slot;
+  (void)inserted;
+
+  // Injected bus CRC failure: the packet occupied the command path but
+  // never reaches a channel queue.
+  if (fault_ != nullptr && fault_->corrupt_request()) {
+    schedule(now + cfg_.interface_cycles, EventKind::kNack, nullptr, request);
+    return;
+  }
+
+  ++stats_.requests;
+  stats_.payload_bytes += r.bytes;
+
+  const std::uint32_t row_bytes = cfg_.map.row_bytes;
+  Addr cursor = r.base;
+  const Addr end = r.base + r.bytes;
+  while (cursor < end) {
+    const Addr row_end = (cursor | (row_bytes - 1)) + 1;
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(std::min<Addr>(row_end, end) - cursor);
+
+    RowTxn* txn = acquire_row();
+    txn->parent = request;
+    txn->loc = map_.decode(cursor);
+    txn->payload = payload;
+    txn->channel_enqueue = 0;
+    txn->data_ready = 0;
+    txn->conflict_counted = false;
+
+    schedule(now + cfg_.interface_cycles, EventKind::kChannelArrive, txn,
+             request);
+
+    ++request->pending_rows;
+    request->rows.push_back(txn);
+    cursor = row_end;
+  }
+}
+
+void DdrDevice::tick(Cycle now) {
+  // tREFI grid: all banks of the selected channel refresh for t_rfc and
+  // lose their open rows.
+  if (cfg_.enable_refresh && now >= next_refresh_) {
+    const std::uint32_t channel = refresh_channel_++ % cfg_.map.num_vaults;
+    for (DdrBank& bank : banks_[channel]) {
+      bank.busy_until = std::max(bank.busy_until, now + cfg_.t_rfc);
+      bank.row_open = false;
+      power_->add(HmcOp::kDramRefresh, 1.0);
+    }
+    ++stats_.refreshes;
+    next_refresh_ = now + cfg_.t_refi;
+  }
+
+  while (!events_.empty() && events_.top().cycle <= now) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.kind) {
+      case EventKind::kChannelArrive: {
+        ev.txn->channel_enqueue = ev.cycle;
+        channel_queue_[ev.txn->loc.vault].push_back(ev.txn);
+        active_channels_ |= (std::uint64_t{1} << ev.txn->loc.vault);
+        break;
+      }
+      case EventKind::kDataReady:
+        on_data_ready(*ev.txn, ev.cycle);
+        break;
+      case EventKind::kComplete: {
+        Request& request = *ev.request;
+        if (fault_ == nullptr || !fault_->drop_response()) {
+          completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
+                                              std::move(request.req.raw_ids)});
+        } else if (verifier_ != nullptr) {
+          verifier_->on_response_dropped(request.req, ev.cycle);
+        }
+        stats_.access_latency.add(
+            static_cast<double>(ev.cycle - request.submit_cycle));
+        --outstanding_;
+        inflight_.erase(request.req.id);
+        release_request(&request);
+        break;
+      }
+      case EventKind::kNack: {
+        Request& request = *ev.request;
+        nacks_.push_back(DeviceNack{request.req.id, ev.cycle});
+        --outstanding_;
+        inflight_.erase(request.req.id);
+        release_request(&request);
+        break;
+      }
+    }
+  }
+
+  // One FR-FCFS issue attempt per channel per cycle.
+  std::uint64_t mask = active_channels_;
+  while (mask != 0) {
+    const std::uint32_t channel =
+        static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    channel_dispatch(channel, now);
+  }
+}
+
+void DdrDevice::channel_dispatch(std::uint32_t channel, Cycle now) {
+  auto& queue = channel_queue_[channel];
+  if (queue.empty()) {
+    active_channels_ &= ~(std::uint64_t{1} << channel);
+    return;
+  }
+  // Transient channel stall (reuses the vault-stall fault class): the
+  // oldest txn's bank is held busy for the stall window.
+  if (fault_ != nullptr) {
+    DdrBank& head_bank = banks_[channel][queue.front()->loc.bank];
+    if (!head_bank.busy(now) && fault_->stall_vault()) {
+      head_bank.busy_until =
+          std::max(head_bank.busy_until, now + fault_->stall_cycles());
+    }
+  }
+
+  // FR-FCFS: the oldest ready row hit wins; otherwise the oldest request
+  // whose bank is free (which activates its row). Arrival order in the
+  // deque is age order.
+  auto hit_it = queue.end();
+  auto ready_it = queue.end();
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    const RowTxn& txn = **it;
+    const DdrBank& bank = banks_[channel][txn.loc.bank];
+    if (bank.busy(now)) continue;
+    if (bank.row_open && bank.open_row == txn.loc.row) {
+      hit_it = it;
+      break;  // oldest ready hit: nothing older can beat it
+    }
+    if (ready_it == queue.end()) ready_it = it;
+  }
+  const auto chosen = hit_it != queue.end() ? hit_it : ready_it;
+  if (chosen == queue.end()) {
+    // Every queued txn's bank is busy: charge the head-of-line wait, same
+    // accounting as the FIFO controllers.
+    RowTxn* head = queue.front();
+    if (!head->conflict_counted) {
+      ++stats_.bank_conflicts;
+      head->conflict_counted = true;
+    }
+    ++stats_.conflict_wait_cycles;
+    return;
+  }
+
+  RowTxn* txn = *chosen;
+  const bool row_hit = chosen == hit_it;
+  queue.erase(chosen);
+  if (queue.empty()) active_channels_ &= ~(std::uint64_t{1} << channel);
+  issue(txn, channel, now, row_hit);
+}
+
+void DdrDevice::issue(RowTxn* txn, std::uint32_t channel, Cycle now,
+                      bool row_hit) {
+  DdrBank& bank = banks_[channel][txn->loc.bank];
+  const Cycle burst = std::max<Cycle>(
+      1, ceil_div(txn->payload, cfg_.channel_bytes_per_cycle));
+
+  // Column data cannot start before CAS resolves, nor before the channel's
+  // shared data bus frees up; the burst then occupies both.
+  Cycle col_start;  // cycle the column command's data window opens
+  if (row_hit) {
+    ++stats_.row_hits;
+    col_start = now + cfg_.t_cas;
+  } else if (!bank.row_open) {
+    ++stats_.row_misses;
+    col_start = now + cfg_.t_rcd + cfg_.t_cas;
+    bank.ras_until = now + cfg_.t_ras;
+    power_->add(HmcOp::kDramAccess, 1.0);
+  } else {
+    ++stats_.row_misses;
+    const Cycle pre_start = std::max(now, bank.ras_until);
+    const Cycle act_start = pre_start + cfg_.t_rp;
+    col_start = act_start + cfg_.t_rcd + cfg_.t_cas;
+    bank.ras_until = act_start + cfg_.t_ras;
+    power_->add(HmcOp::kDramAccess, 1.0);
+  }
+  const Cycle data_start = std::max(col_start, bus_busy_[channel]);
+  const Cycle data_ready = data_start + burst;
+  bus_busy_[channel] = data_ready;
+  bank.row_open = true;
+  bank.open_row = txn->loc.row;
+  bank.busy_until = data_ready;
+
+  ++stats_.row_accesses;
+  power_->add(HmcOp::kDramData, static_cast<double>(txn->payload));
+  schedule(data_ready, EventKind::kDataReady, txn, txn->parent);
+}
+
+void DdrDevice::on_data_ready(RowTxn& txn, Cycle now) {
+  txn.data_ready = now;
+  Request& request = *txn.parent;
+  request.last_data_ready = std::max(request.last_data_ready, now);
+  assert(request.pending_rows > 0);
+  if (--request.pending_rows == 0) {
+    schedule(request.last_data_ready + cfg_.interface_cycles,
+             EventKind::kComplete, nullptr, &request);
+  }
+}
+
+void DdrDevice::drain_completed_into(std::vector<DeviceResponse>& out) {
+  out.clear();
+  std::swap(out, completed_);
+}
+
+void DdrDevice::drain_nacks_into(std::vector<DeviceNack>& out) {
+  out.clear();
+  std::swap(out, nacks_);
+}
+
+Cycle DdrDevice::next_event_cycle(Cycle now) const {
+  // A non-empty scheduler queue attempts an issue (or counts conflict-wait
+  // cycles) every cycle.
+  if (active_channels_ != 0) return now;
+  Cycle bound = kNeverCycle;
+  if (!events_.empty()) bound = std::min(bound, events_.top().cycle);
+  if (cfg_.enable_refresh) bound = std::min(bound, next_refresh_);
+  return std::max(bound, now);
+}
+
+std::string DdrDevice::debug_json() const {
+  std::size_t queued_rows = 0;
+  for (const auto& queue : channel_queue_) queued_rows += queue.size();
+  std::ostringstream out;
+  out << "{\"outstanding\": " << outstanding_
+      << ", \"scheduled_events\": " << events_.size()
+      << ", \"queued_row_txns\": " << queued_rows
+      << ", \"active_channels\": " << std::popcount(active_channels_)
+      << ", \"buffered_responses\": " << completed_.size()
+      << ", \"buffered_nacks\": " << nacks_.size() << "}";
+  return out.str();
+}
+
+}  // namespace pacsim

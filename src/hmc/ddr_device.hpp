@@ -1,0 +1,156 @@
+// Cycle-approximate conventional-DRAM model (backend=ddr, ramulator-lite).
+//
+// The substrate the die-stacked devices are compared against: few channels,
+// narrow shared buses, large rows, and a scheduler that works for its
+// locality instead of getting it from the topology:
+//   - FR-FCFS per-channel scheduling: the oldest ready row HIT is issued
+//     first, then the oldest request whose bank is free (first-ready,
+//     first-come-first-served),
+//   - open-page banks with tCAS/tRCD/tRP/tRAS timing state machines,
+//   - one shared data bus per channel - bursts serialize on it,
+//   - tREFI/tRFC all-bank refresh that closes the channel's open rows.
+//
+// Energy accounting only touches the DRAM classes; the HMC link/vault
+// classes stay zero (the JSON report nulls them out explicitly).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/fault_injector.hpp"
+#include "hmc/ddr_config.hpp"
+#include "hmc/power_model.hpp"
+#include "mem/address_map.hpp"
+#include "mem/backend_stats.hpp"
+#include "mem/memory_backend.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+class Verifier;
+
+class DdrDevice final : public MemoryBackend {
+ public:
+  DdrDevice(const DdrConfig& cfg, PowerModel* power,
+            FaultInjector* fault = nullptr);
+
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kDdr;
+  }
+  [[nodiscard]] bool can_accept() const override {
+    return outstanding_ < cfg_.max_outstanding;
+  }
+  void submit(DeviceRequest req, Cycle now) override;
+  void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  void drain_completed_into(std::vector<DeviceResponse>& out) override;
+  void drain_nacks_into(std::vector<DeviceNack>& out) override;
+  [[nodiscard]] bool in_flight(std::uint64_t id) const override {
+    return inflight_.count(id) != 0;
+  }
+  [[nodiscard]] bool idle() const override { return outstanding_ == 0; }
+  [[nodiscard]] std::uint32_t outstanding() const override {
+    return outstanding_;
+  }
+  [[nodiscard]] const BackendStats& stats() const override { return stats_; }
+  [[nodiscard]] const DdrConfig& config() const { return cfg_; }
+  [[nodiscard]] const AddressMap& address_map() const override {
+    return map_;
+  }
+  void set_verifier(Verifier* verifier) override { verifier_ = verifier; }
+  [[nodiscard]] std::string debug_json() const override;
+
+ private:
+  struct Request;
+
+  struct RowTxn {
+    Request* parent = nullptr;
+    DramLocation loc;  ///< loc.vault is the channel index
+    std::uint32_t payload = 0;
+    Cycle channel_enqueue = 0;
+    Cycle data_ready = 0;
+    bool conflict_counted = false;
+  };
+
+  struct Request {
+    DeviceRequest req;
+    Cycle submit_cycle = 0;
+    Cycle last_data_ready = 0;
+    std::uint32_t pending_rows = 0;
+    std::vector<RowTxn*> rows;
+  };
+
+  struct DdrBank {
+    Cycle busy_until = 0;
+    Cycle ras_until = 0;
+    std::uint64_t open_row = 0;
+    bool row_open = false;
+    [[nodiscard]] bool busy(Cycle now) const { return now < busy_until; }
+  };
+
+  enum class EventKind : std::uint8_t {
+    kChannelArrive,
+    kDataReady,
+    kComplete,
+    kNack,
+  };
+
+  struct Event {
+    Cycle cycle;
+    std::uint64_t seq;
+    EventKind kind;
+    RowTxn* txn;
+    Request* request;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.cycle != b.cycle ? a.cycle > b.cycle : a.seq > b.seq;
+    }
+  };
+
+  void schedule(Cycle cycle, EventKind kind, RowTxn* txn, Request* request);
+  void channel_dispatch(std::uint32_t channel, Cycle now);
+  void issue(RowTxn* txn, std::uint32_t channel, Cycle now, bool row_hit);
+  void on_data_ready(RowTxn& txn, Cycle now);
+
+  Request* acquire_request();
+  RowTxn* acquire_row();
+  void release_request(Request* request);
+
+  DdrConfig cfg_;
+  AddressMap map_;
+  PowerModel* power_;
+  FaultInjector* fault_;
+  Verifier* verifier_ = nullptr;
+  BackendStats stats_;
+
+  std::uint32_t outstanding_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Cycle next_refresh_ = 0;
+  std::uint32_t refresh_channel_ = 0;
+
+  std::vector<std::vector<DdrBank>> banks_;        ///< [channel][bank]
+  /// FR-FCFS scheduler queue (arrival order = age order; the scheduler
+  /// scans it for the first ready row hit).
+  std::vector<std::deque<RowTxn*>> channel_queue_;
+  std::vector<Cycle> bus_busy_;  ///< per-channel shared data bus
+  std::uint64_t active_channels_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_map<std::uint64_t, Request*> inflight_;
+  std::vector<DeviceResponse> completed_;
+  std::vector<DeviceNack> nacks_;
+
+  std::vector<std::unique_ptr<Request>> request_pool_;
+  std::vector<Request*> free_requests_;
+  std::vector<std::unique_ptr<RowTxn>> row_pool_;
+  std::vector<RowTxn*> free_rows_;
+};
+
+}  // namespace pacsim

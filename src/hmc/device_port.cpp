@@ -11,7 +11,7 @@
 
 namespace pacsim {
 
-DevicePort::DevicePort(HmcDevice* device, const RetryConfig& cfg,
+DevicePort::DevicePort(MemoryBackend* device, const RetryConfig& cfg,
                        bool tracking)
     : device_(device), cfg_(cfg), tracking_(tracking) {}
 

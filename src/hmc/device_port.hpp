@@ -1,7 +1,8 @@
-// Requester-side resilience layer between a coalescer and the HMC device.
+// Requester-side resilience layer between a coalescer and the memory
+// backend.
 //
 // Real HMC links run CRC-protected packet retry; the coalescers should not
-// each reimplement it. The port wraps HmcDevice with one shared retry
+// each reimplement it. The port wraps a MemoryBackend with one shared retry
 // buffer: every submitted request is remembered (with a retransmittable
 // copy) until its response arrives, a NACKed packet is retransmitted after
 // an exponential backoff, and a response that never arrives (injected
@@ -20,7 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "hmc/hmc_device.hpp"
+#include "mem/memory_backend.hpp"
 
 namespace pacsim {
 
@@ -60,7 +61,7 @@ class DevicePort {
  public:
   /// `tracking = false` selects passthrough mode. The port never owns the
   /// device.
-  DevicePort(HmcDevice* device, const RetryConfig& cfg, bool tracking);
+  DevicePort(MemoryBackend* device, const RetryConfig& cfg, bool tracking);
 
   [[nodiscard]] bool can_accept() const { return device_->can_accept(); }
 
@@ -91,7 +92,7 @@ class DevicePort {
 
   [[nodiscard]] const RetryStats& stats() const { return stats_; }
   [[nodiscard]] const RetryConfig& config() const { return cfg_; }
-  [[nodiscard]] HmcDevice* device() const { return device_; }
+  [[nodiscard]] MemoryBackend* device() const { return device_; }
 
   /// Install the runtime verifier (nullptr = off). The port reports
   /// dispatches, NACKs, retransmissions, and retry exhaustion through it.
@@ -127,7 +128,7 @@ class DevicePort {
   void bump_attempts(std::uint64_t id, Pending& p, Cycle now);
   void retransmit(std::uint64_t id, Pending& p, Cycle now);
 
-  HmcDevice* device_;
+  MemoryBackend* device_;
   RetryConfig cfg_;
   bool tracking_;
   RetryStats stats_;

@@ -1,0 +1,44 @@
+// Structural and timing configuration of the simulated HBM stack.
+//
+// Timing values are CPU cycles at the 2 GHz reference clock of Table 1
+// (0.5 ns / cycle). The stack sits on an interposer next to the CPU: no
+// SERDES links, no crossbar - a fixed PHY/controller latency each way and
+// wide per-channel DRAM buses. Rows are 1 KB (paper section 4.1: the HBM
+// protocol descriptor coalesces up to a 16-block sequence at 64 B per
+// block), accessed open-page at a 32 B granule.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/address_map.hpp"
+
+namespace pacsim {
+
+struct HbmConfig {
+  /// 8 independent channels x 16 banks, 1 KB rows, 8 GB stack. The
+  /// AddressMap's "vault" axis is the channel index.
+  AddressMapConfig map{8, 16, 1024, 8ULL << 30};
+
+  std::uint32_t interface_cycles = 16;  ///< PHY + controller, each direction
+  std::uint32_t access_granule = 32;    ///< minimum column access, bytes
+  /// Per-channel burst bandwidth (128-bit DDR channel ~ 32 GB/s = 16 B per
+  /// 2 GHz CPU cycle).
+  std::uint32_t channel_bytes_per_cycle = 16;
+
+  // Open-page DRAM timing: a row hit pays t_cas only; a miss adds t_rcd;
+  // a row conflict precharges first (t_rp, honoring t_ras since activate).
+  std::uint32_t t_rcd = 28;  ///< activate to column command (14 ns)
+  std::uint32_t t_cas = 28;  ///< column access latency (14 ns)
+  std::uint32_t t_rp = 28;   ///< precharge (14 ns)
+  std::uint32_t t_ras = 66;  ///< activate to precharge minimum (33 ns)
+
+  std::uint32_t max_outstanding = 256;  ///< device-side admission limit
+
+  // All-bank refresh, channels refreshed in rotation; a refresh closes the
+  // channel's open rows.
+  bool enable_refresh = true;
+  std::uint32_t t_refi = 7800;  ///< cycles between per-channel slots (3.9 us)
+  std::uint32_t t_rfc = 520;    ///< refresh cycle time (260 ns)
+};
+
+}  // namespace pacsim

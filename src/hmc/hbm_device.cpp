@@ -1,0 +1,282 @@
+#include "hmc/hbm_device.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "common/bitops.hpp"
+#include "core/verifier.hpp"
+
+namespace pacsim {
+
+HbmDevice::HbmDevice(const HbmConfig& cfg, PowerModel* power,
+                     FaultInjector* fault)
+    : cfg_(cfg),
+      map_(cfg.map),
+      power_(power),
+      fault_(fault),
+      next_refresh_(cfg.t_refi) {
+  assert(cfg_.map.num_vaults <= 64 && "active_channels_ is a 64-bit mask");
+  banks_.resize(cfg_.map.num_vaults);
+  for (auto& channel : banks_) channel.resize(cfg_.map.banks_per_vault);
+  channel_queue_.resize(cfg_.map.num_vaults);
+}
+
+void HbmDevice::schedule(Cycle cycle, EventKind kind, RowTxn* txn,
+                         Request* request) {
+  events_.push(Event{cycle, next_seq_++, kind, txn, request});
+}
+
+HbmDevice::Request* HbmDevice::acquire_request() {
+  if (free_requests_.empty()) {
+    request_pool_.push_back(std::make_unique<Request>());
+    return request_pool_.back().get();
+  }
+  Request* request = free_requests_.back();
+  free_requests_.pop_back();
+  return request;
+}
+
+HbmDevice::RowTxn* HbmDevice::acquire_row() {
+  if (free_rows_.empty()) {
+    row_pool_.push_back(std::make_unique<RowTxn>());
+    return row_pool_.back().get();
+  }
+  RowTxn* txn = free_rows_.back();
+  free_rows_.pop_back();
+  return txn;
+}
+
+void HbmDevice::release_request(Request* request) {
+  for (RowTxn* row : request->rows) free_rows_.push_back(row);
+  request->rows.clear();
+  free_requests_.push_back(request);
+}
+
+void HbmDevice::submit(DeviceRequest req, Cycle now) {
+  assert(can_accept());
+  ++outstanding_;
+
+  Request* request = acquire_request();
+  request->req = std::move(req);
+  request->submit_cycle = now;
+  request->last_data_ready = 0;
+  request->pending_rows = 0;
+
+  const DeviceRequest& r = request->req;
+  auto [slot, inserted] = inflight_.try_emplace(r.id, request);
+  assert(inserted && "duplicate DeviceRequest id");
+  (void)slot;
+  (void)inserted;
+
+  // Injected interface CRC failure: the packet occupied the ingress path
+  // for its latency but never reaches a channel. The NACK retires it; the
+  // requester-side retry port retransmits.
+  if (fault_ != nullptr && fault_->corrupt_request()) {
+    schedule(now + cfg_.interface_cycles, EventKind::kNack, nullptr, request);
+    return;
+  }
+
+  ++stats_.requests;
+  stats_.payload_bytes += r.bytes;
+
+  // Decompose into per-row column accesses; rows interleave across the
+  // channels (the AddressMap's vault axis).
+  const std::uint32_t row_bytes = cfg_.map.row_bytes;
+  Addr cursor = r.base;
+  const Addr end = r.base + r.bytes;
+  while (cursor < end) {
+    const Addr row_end = (cursor | (row_bytes - 1)) + 1;
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(std::min<Addr>(row_end, end) - cursor);
+
+    RowTxn* txn = acquire_row();
+    txn->parent = request;
+    txn->loc = map_.decode(cursor);
+    txn->payload = payload;
+    txn->channel_enqueue = 0;
+    txn->data_ready = 0;
+    txn->conflict_counted = false;
+
+    schedule(now + cfg_.interface_cycles, EventKind::kChannelArrive, txn,
+             request);
+
+    ++request->pending_rows;
+    request->rows.push_back(txn);
+    cursor = row_end;
+  }
+}
+
+void HbmDevice::tick(Cycle now) {
+  // Rotating all-bank refresh per channel; closes the channel's open rows.
+  if (cfg_.enable_refresh && now >= next_refresh_) {
+    const std::uint32_t channel = refresh_channel_++ % cfg_.map.num_vaults;
+    for (HbmBank& bank : banks_[channel]) {
+      bank.busy_until = std::max(bank.busy_until, now + cfg_.t_rfc);
+      bank.row_open = false;
+      power_->add(HmcOp::kDramRefresh, 1.0);
+    }
+    ++stats_.refreshes;
+    next_refresh_ = now + cfg_.t_refi;
+  }
+
+  while (!events_.empty() && events_.top().cycle <= now) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.kind) {
+      case EventKind::kChannelArrive: {
+        ev.txn->channel_enqueue = ev.cycle;
+        channel_queue_[ev.txn->loc.vault].push_back(ev.txn);
+        active_channels_ |= (std::uint64_t{1} << ev.txn->loc.vault);
+        break;
+      }
+      case EventKind::kDataReady:
+        on_data_ready(*ev.txn, ev.cycle);
+        break;
+      case EventKind::kComplete: {
+        Request& request = *ev.request;
+        if (fault_ == nullptr || !fault_->drop_response()) {
+          completed_.push_back(DeviceResponse{request.req.id, ev.cycle,
+                                              std::move(request.req.raw_ids)});
+        } else if (verifier_ != nullptr) {
+          verifier_->on_response_dropped(request.req, ev.cycle);
+        }
+        stats_.access_latency.add(
+            static_cast<double>(ev.cycle - request.submit_cycle));
+        --outstanding_;
+        inflight_.erase(request.req.id);
+        release_request(&request);
+        break;
+      }
+      case EventKind::kNack: {
+        Request& request = *ev.request;
+        nacks_.push_back(DeviceNack{request.req.id, ev.cycle});
+        --outstanding_;
+        inflight_.erase(request.req.id);
+        release_request(&request);
+        break;
+      }
+    }
+  }
+
+  // One dispatch attempt per channel per cycle (FIFO order).
+  std::uint64_t mask = active_channels_;
+  while (mask != 0) {
+    const std::uint32_t channel =
+        static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    channel_dispatch(channel, now);
+  }
+}
+
+void HbmDevice::channel_dispatch(std::uint32_t channel, Cycle now) {
+  auto& queue = channel_queue_[channel];
+  if (queue.empty()) {
+    active_channels_ &= ~(std::uint64_t{1} << channel);
+    return;
+  }
+  RowTxn* txn = queue.front();
+  HbmBank& bank = banks_[channel][txn->loc.bank];
+  // Transient channel stall (reuses the vault-stall fault class): the head
+  // txn's bank is held busy for the stall window.
+  if (fault_ != nullptr && !bank.busy(now) && fault_->stall_vault()) {
+    bank.busy_until = std::max(bank.busy_until, now + fault_->stall_cycles());
+  }
+  if (bank.busy(now)) {
+    if (!txn->conflict_counted) {
+      ++stats_.bank_conflicts;
+      txn->conflict_counted = true;
+    }
+    ++stats_.conflict_wait_cycles;
+    return;  // head-of-line: retry next cycle
+  }
+
+  queue.pop_front();
+  if (queue.empty()) active_channels_ &= ~(std::uint64_t{1} << channel);
+
+  // Open-page timing. The burst moves granule-quantized payload over the
+  // channel bus; the bank stays busy through its own burst.
+  const std::uint32_t granules = static_cast<std::uint32_t>(
+      ceil_div(txn->payload, cfg_.access_granule));
+  const Cycle burst = std::max<Cycle>(
+      1, ceil_div(granules * cfg_.access_granule,
+                  cfg_.channel_bytes_per_cycle));
+
+  Cycle data_ready;
+  if (bank.row_open && bank.open_row == txn->loc.row) {
+    ++stats_.row_hits;
+    data_ready = now + cfg_.t_cas + burst;
+  } else if (!bank.row_open) {
+    ++stats_.row_misses;
+    data_ready = now + cfg_.t_rcd + cfg_.t_cas + burst;
+    bank.ras_until = now + cfg_.t_ras;
+    power_->add(HmcOp::kDramAccess, 1.0);
+  } else {
+    // Row conflict: precharge (not before t_ras expires), then activate.
+    ++stats_.row_misses;
+    const Cycle pre_start = std::max(now, bank.ras_until);
+    const Cycle act_start = pre_start + cfg_.t_rp;
+    data_ready = act_start + cfg_.t_rcd + cfg_.t_cas + burst;
+    bank.ras_until = act_start + cfg_.t_ras;
+    power_->add(HmcOp::kDramAccess, 1.0);
+  }
+  bank.row_open = true;
+  bank.open_row = txn->loc.row;
+  bank.busy_until = data_ready;
+
+  ++stats_.row_accesses;
+  power_->add(HmcOp::kDramData,
+              static_cast<double>(granules * cfg_.access_granule));
+  schedule(data_ready, EventKind::kDataReady, txn, txn->parent);
+}
+
+void HbmDevice::on_data_ready(RowTxn& txn, Cycle now) {
+  txn.data_ready = now;
+  Request& request = *txn.parent;
+  request.last_data_ready = std::max(request.last_data_ready, now);
+  assert(request.pending_rows > 0);
+  if (--request.pending_rows == 0) {
+    // All row shares arrived at the controller: the response crosses the
+    // interface once.
+    schedule(request.last_data_ready + cfg_.interface_cycles,
+             EventKind::kComplete, nullptr, &request);
+  }
+}
+
+void HbmDevice::drain_completed_into(std::vector<DeviceResponse>& out) {
+  out.clear();
+  std::swap(out, completed_);
+}
+
+void HbmDevice::drain_nacks_into(std::vector<DeviceNack>& out) {
+  out.clear();
+  std::swap(out, nacks_);
+}
+
+Cycle HbmDevice::next_event_cycle(Cycle now) const {
+  // A non-empty channel queue dispatches (or retries and counts
+  // conflict-wait cycles) every cycle: no skipping while any channel holds
+  // work.
+  if (active_channels_ != 0) return now;
+  Cycle bound = kNeverCycle;
+  if (!events_.empty()) bound = std::min(bound, events_.top().cycle);
+  if (cfg_.enable_refresh) bound = std::min(bound, next_refresh_);
+  return std::max(bound, now);
+}
+
+std::string HbmDevice::debug_json() const {
+  std::size_t queued_rows = 0;
+  for (const auto& queue : channel_queue_) queued_rows += queue.size();
+  std::ostringstream out;
+  out << "{\"outstanding\": " << outstanding_
+      << ", \"scheduled_events\": " << events_.size()
+      << ", \"queued_row_txns\": " << queued_rows
+      << ", \"active_channels\": " << std::popcount(active_channels_)
+      << ", \"buffered_responses\": " << completed_.size()
+      << ", \"buffered_nacks\": " << nacks_.size() << "}";
+  return out.str();
+}
+
+}  // namespace pacsim

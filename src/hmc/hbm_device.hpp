@@ -1,0 +1,155 @@
+// Cycle-approximate HBM stack model (backend=hbm).
+//
+// Shares the event-driven skeleton of HmcDevice but models the substrate
+// the paper's HBM protocol descriptor targets:
+//   - on-interposer interface: fixed PHY/controller latency each way
+//     instead of SERDES serialization and crossbar routing,
+//   - 8 independent channels with per-channel FIFO dispatch,
+//   - open-page banks with 1 KB rows: hits pay t_cas, misses add t_rcd,
+//     conflicts precharge first (honoring t_ras),
+//   - 32 B access granule on wide channel buses,
+//   - all-bank refresh per channel that closes the open rows.
+//
+// Energy accounting only touches the DRAM classes (DRAM-ACCESS, DRAM-DATA,
+// DRAM-REFRESH): the HMC link/vault classes do not exist on this substrate
+// and stay zero (the JSON report nulls them out explicitly).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/fault_injector.hpp"
+#include "hmc/hbm_config.hpp"
+#include "hmc/power_model.hpp"
+#include "mem/address_map.hpp"
+#include "mem/backend_stats.hpp"
+#include "mem/memory_backend.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+class Verifier;
+
+class HbmDevice final : public MemoryBackend {
+ public:
+  HbmDevice(const HbmConfig& cfg, PowerModel* power,
+            FaultInjector* fault = nullptr);
+
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kHbm;
+  }
+  [[nodiscard]] bool can_accept() const override {
+    return outstanding_ < cfg_.max_outstanding;
+  }
+  void submit(DeviceRequest req, Cycle now) override;
+  void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  void drain_completed_into(std::vector<DeviceResponse>& out) override;
+  void drain_nacks_into(std::vector<DeviceNack>& out) override;
+  [[nodiscard]] bool in_flight(std::uint64_t id) const override {
+    return inflight_.count(id) != 0;
+  }
+  [[nodiscard]] bool idle() const override { return outstanding_ == 0; }
+  [[nodiscard]] std::uint32_t outstanding() const override {
+    return outstanding_;
+  }
+  [[nodiscard]] const BackendStats& stats() const override { return stats_; }
+  [[nodiscard]] const HbmConfig& config() const { return cfg_; }
+  [[nodiscard]] const AddressMap& address_map() const override {
+    return map_;
+  }
+  void set_verifier(Verifier* verifier) override { verifier_ = verifier; }
+  [[nodiscard]] std::string debug_json() const override;
+
+ private:
+  struct Request;
+
+  /// One per-row column access belonging to a Request.
+  struct RowTxn {
+    Request* parent = nullptr;
+    DramLocation loc;  ///< loc.vault is the channel index
+    std::uint32_t payload = 0;
+    Cycle channel_enqueue = 0;
+    Cycle data_ready = 0;
+    bool conflict_counted = false;
+  };
+
+  struct Request {
+    DeviceRequest req;
+    Cycle submit_cycle = 0;
+    Cycle last_data_ready = 0;
+    std::uint32_t pending_rows = 0;
+    std::vector<RowTxn*> rows;
+  };
+
+  /// Open-page bank: tracks the open row and the earliest legal precharge.
+  struct HbmBank {
+    Cycle busy_until = 0;
+    Cycle ras_until = 0;  ///< activate + t_ras (precharge not before this)
+    std::uint64_t open_row = 0;
+    bool row_open = false;
+    [[nodiscard]] bool busy(Cycle now) const { return now < busy_until; }
+  };
+
+  enum class EventKind : std::uint8_t {
+    kChannelArrive,
+    kDataReady,
+    kComplete,
+    kNack,  ///< injected interface CRC failure
+  };
+
+  struct Event {
+    Cycle cycle;
+    std::uint64_t seq;
+    EventKind kind;
+    RowTxn* txn;
+    Request* request;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.cycle != b.cycle ? a.cycle > b.cycle : a.seq > b.seq;
+    }
+  };
+
+  void schedule(Cycle cycle, EventKind kind, RowTxn* txn, Request* request);
+  void channel_dispatch(std::uint32_t channel, Cycle now);
+  void on_data_ready(RowTxn& txn, Cycle now);
+
+  Request* acquire_request();
+  RowTxn* acquire_row();
+  void release_request(Request* request);
+
+  HbmConfig cfg_;
+  AddressMap map_;
+  PowerModel* power_;
+  FaultInjector* fault_;
+  Verifier* verifier_ = nullptr;
+  BackendStats stats_;
+
+  std::uint32_t outstanding_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Cycle next_refresh_ = 0;
+  std::uint32_t refresh_channel_ = 0;
+
+  std::vector<std::vector<HbmBank>> banks_;        ///< [channel][bank]
+  std::vector<std::deque<RowTxn*>> channel_queue_;
+  std::uint64_t active_channels_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_map<std::uint64_t, Request*> inflight_;
+  std::vector<DeviceResponse> completed_;
+  std::vector<DeviceNack> nacks_;
+
+  std::vector<std::unique_ptr<Request>> request_pool_;
+  std::vector<Request*> free_requests_;
+  std::vector<std::unique_ptr<RowTxn>> row_pool_;
+  std::vector<RowTxn*> free_rows_;
+};
+
+}  // namespace pacsim

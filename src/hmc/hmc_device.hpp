@@ -27,29 +27,34 @@
 #include "hmc/hmc_stats.hpp"
 #include "hmc/power_model.hpp"
 #include "mem/address_map.hpp"
+#include "mem/memory_backend.hpp"
 #include "mem/request.hpp"
 
 namespace pacsim {
 
 class Verifier;
 
-class HmcDevice {
+class HmcDevice final : public MemoryBackend {
  public:
   /// `fault` (optional, unowned) injects link/vault errors; null keeps the
   /// device on its fault-free paths with zero overhead.
   HmcDevice(const HmcConfig& cfg, PowerModel* power,
             FaultInjector* fault = nullptr);
 
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::kHmc;
+  }
+
   /// True when the device can admit another request this cycle.
-  [[nodiscard]] bool can_accept() const {
+  [[nodiscard]] bool can_accept() const override {
     return outstanding_ < cfg_.max_outstanding;
   }
 
   /// Admit a request at `now`. Pre: can_accept().
-  void submit(DeviceRequest req, Cycle now);
+  void submit(DeviceRequest req, Cycle now) override;
 
   /// Advance device state to cycle `now` (monotonically increasing).
-  void tick(Cycle now);
+  void tick(Cycle now) override;
 
   /// Earliest cycle >= `now` at which tick() can change any state or
   /// statistic: the top of the event queue, the next refresh slot, or `now`
@@ -57,43 +62,40 @@ class HmcDevice {
   /// their conflict-wait accounting). kNeverCycle when fully drained with
   /// refresh disabled. System::run() fast-forwards to the minimum of these
   /// bounds across components.
-  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
 
   /// Move the responses completed since the last drain into `out` (cleared
   /// first). Buffer-based so the per-cycle loop reuses one allocation.
-  void drain_completed_into(std::vector<DeviceResponse>& out);
-
-  /// Convenience wrapper for tests and examples (allocates per call).
-  std::vector<DeviceResponse> drain_completed() {
-    std::vector<DeviceResponse> out;
-    drain_completed_into(out);
-    return out;
-  }
+  void drain_completed_into(std::vector<DeviceResponse>& out) override;
 
   /// Move the NACKs raised since the last drain into `out` (cleared first).
   /// Only fault-injected runs ever produce NACKs.
-  void drain_nacks_into(std::vector<DeviceNack>& out);
+  void drain_nacks_into(std::vector<DeviceNack>& out) override;
 
   /// True while `id` is still being serviced (or serialized) inside the
   /// device. The retry port uses this to tell a slow response apart from a
   /// dropped one when a response timeout fires.
-  [[nodiscard]] bool in_flight(std::uint64_t id) const {
+  [[nodiscard]] bool in_flight(std::uint64_t id) const override {
     return inflight_.count(id) != 0;
   }
 
-  [[nodiscard]] bool idle() const { return outstanding_ == 0; }
-  [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
-  [[nodiscard]] const HmcStats& stats() const { return stats_; }
+  [[nodiscard]] bool idle() const override { return outstanding_ == 0; }
+  [[nodiscard]] std::uint32_t outstanding() const override {
+    return outstanding_;
+  }
+  [[nodiscard]] const HmcStats& stats() const override { return stats_; }
   [[nodiscard]] const HmcConfig& config() const { return cfg_; }
-  [[nodiscard]] const AddressMap& address_map() const { return map_; }
+  [[nodiscard]] const AddressMap& address_map() const override {
+    return map_;
+  }
 
   /// Install the runtime verifier (nullptr = off). The device reports
   /// injected response drops through it, so a kFull ledger can tell a lost
   /// response apart from a request that never completed.
-  void set_verifier(Verifier* verifier) { verifier_ = verifier; }
+  void set_verifier(Verifier* verifier) override { verifier_ = verifier; }
 
   /// One-line JSON object describing device occupancy, for forensics.
-  [[nodiscard]] std::string debug_json() const;
+  [[nodiscard]] std::string debug_json() const override;
 
  private:
   struct Request;  // a device request in flight

@@ -1,24 +1,12 @@
-// Aggregate statistics reported by the HMC device model.
+// Historical name for the backend statistics block. The HMC device was the
+// only substrate when this header was introduced; the struct now lives in
+// mem/backend_stats.hpp and is shared by every MemoryBackend.
 #pragma once
 
-#include <cstdint>
-
-#include "common/stats.hpp"
+#include "mem/backend_stats.hpp"
 
 namespace pacsim {
 
-struct HmcStats {
-  std::uint64_t requests = 0;         ///< device requests accepted
-  std::uint64_t row_accesses = 0;     ///< per-row DRAM accesses performed
-  std::uint64_t bank_conflicts = 0;   ///< accesses that found their bank busy
-  std::uint64_t conflict_wait_cycles = 0;
-  std::uint64_t refreshes = 0;        ///< per-vault refresh events performed
-  std::uint64_t local_routes = 0;     ///< packets routed to quadrant-local vaults
-  std::uint64_t remote_routes = 0;
-  std::uint64_t request_flits = 0;
-  std::uint64_t response_flits = 0;
-  std::uint64_t payload_bytes = 0;
-  RunningStat access_latency;         ///< submit -> completion, cycles
-};
+using HmcStats = BackendStats;
 
 }  // namespace pacsim

@@ -1,6 +1,8 @@
 #include "mem/address_map.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pacsim {
 
@@ -12,6 +14,17 @@ AddressMap::AddressMap(const AddressMapConfig& cfg) : cfg_(cfg) {
   row_shift_ = log2_exact(cfg_.row_bytes);
   vault_shift_ = log2_exact(cfg_.num_vaults);
   bank_shift_ = log2_exact(cfg_.banks_per_vault);
+  // A capacity smaller than one row per bank would leave rows_per_bank_ at
+  // zero and make every encode/decode alias onto row 0 of bank 0; fail the
+  // construction loudly instead of silently producing a degenerate map.
+  const std::uint64_t min_capacity = static_cast<std::uint64_t>(cfg_.row_bytes) *
+                                     cfg_.num_vaults * cfg_.banks_per_vault;
+  if (cfg_.capacity_bytes < min_capacity) {
+    throw std::invalid_argument(
+        "AddressMap: capacity_bytes=" + std::to_string(cfg_.capacity_bytes) +
+        " < row_bytes*num_vaults*banks_per_vault=" +
+        std::to_string(min_capacity) + " (zero rows per bank)");
+  }
   rows_per_bank_ = cfg_.capacity_bytes >> (row_shift_ + vault_shift_ + bank_shift_);
 }
 
@@ -27,8 +40,13 @@ DramLocation AddressMap::decode(Addr a) const {
 }
 
 Addr AddressMap::encode(const DramLocation& loc) const {
+  // Wrap the row into the bank (mirror of decode's capacity wrap): an
+  // out-of-range row must alias onto another row of the SAME (vault, bank),
+  // never shift bits into the bank/vault fields and silently land the
+  // access in a different bank.
+  const std::uint64_t row = loc.row & (rows_per_bank_ - 1);
   const std::uint64_t row_index =
-      (loc.row << (vault_shift_ + bank_shift_)) |
+      (row << (vault_shift_ + bank_shift_)) |
       (static_cast<std::uint64_t>(loc.bank) << vault_shift_) | loc.vault;
   return row_index << row_shift_;
 }

@@ -31,10 +31,14 @@ struct DramLocation {
 
 class AddressMap {
  public:
+  /// Throws std::invalid_argument when `capacity_bytes` is smaller than one
+  /// row per bank (rows_per_bank() would be zero).
   explicit AddressMap(const AddressMapConfig& cfg);
 
   [[nodiscard]] DramLocation decode(Addr a) const;
-  /// Inverse of decode for the row base address (offset zero).
+  /// Inverse of decode for the row base address (offset zero). An
+  /// out-of-range `loc.row` wraps modulo rows_per_bank(), staying inside
+  /// the same (vault, bank) — mirroring decode's capacity wrap.
   [[nodiscard]] Addr encode(const DramLocation& loc) const;
 
   [[nodiscard]] std::uint32_t num_vaults() const { return cfg_.num_vaults; }

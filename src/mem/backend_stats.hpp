@@ -1,0 +1,34 @@
+// Aggregate statistics reported by every memory-backend model.
+//
+// One shared struct keeps RunResult and the JSON reports backend-agnostic:
+// fields that a given substrate does not model simply stay zero (e.g. the
+// HMC closed-page device never counts row hits, a DDR channel never routes
+// packets across an HMC crossbar).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace pacsim {
+
+struct BackendStats {
+  std::uint64_t requests = 0;         ///< device requests accepted
+  std::uint64_t row_accesses = 0;     ///< per-row DRAM accesses performed
+  std::uint64_t bank_conflicts = 0;   ///< accesses that found their bank busy
+  std::uint64_t conflict_wait_cycles = 0;
+  std::uint64_t refreshes = 0;        ///< refresh events performed
+  std::uint64_t local_routes = 0;     ///< HMC: packets to quadrant-local vaults
+  std::uint64_t remote_routes = 0;    ///< HMC: packets to remote vaults
+  std::uint64_t request_flits = 0;
+  std::uint64_t response_flits = 0;
+  std::uint64_t payload_bytes = 0;
+  /// Open-page policies only (HBM/DDR): column accesses that found their
+  /// row already open vs. ones that needed an activate. Both zero for the
+  /// closed-page HMC device.
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  RunningStat access_latency;         ///< submit -> completion, cycles
+};
+
+}  // namespace pacsim

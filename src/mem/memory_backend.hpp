@@ -1,0 +1,118 @@
+// Abstract interface over the simulated memory substrate.
+//
+// The coalescers, the retry port and the full system drive the device
+// exclusively through this interface, so the same PAC pipeline can be
+// evaluated on an HMC cube, an HBM stack or a conventional DDR channel by
+// swapping only the backend (paper section 4.1's portability claim).
+//
+// Contract every implementation must honor (DESIGN.md "MemoryBackend"):
+//   - tick(now) is called with monotonically non-decreasing cycles and may
+//     be skipped across cycle ranges where next_event_cycle() proves the
+//     device has nothing to do.
+//   - next_event_cycle(now) returns the EARLIEST cycle >= now at which
+//     tick() could change any state or statistic (including per-cycle
+//     conflict-wait accounting), or kNeverCycle when fully drained. It must
+//     never be late: System::run()'s event-horizon fast-forward jumps to
+//     the minimum of these bounds and results must stay bit-identical to
+//     the naive per-cycle loop.
+//   - Fault hooks: when constructed with a FaultInjector, a corrupted
+//     request surfaces as a DeviceNack (drain_nacks_into) after occupying
+//     the ingress path, and a dropped response retires device-side
+//     bookkeeping but never surfaces a DeviceResponse.
+//   - Verifier hooks: an injected response drop is reported through
+//     Verifier::on_response_dropped so a full ledger can tell a lost
+//     response apart from a request that never completed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+#include "mem/backend_stats.hpp"
+#include "mem/request.hpp"
+
+namespace pacsim {
+
+class Verifier;
+
+/// Which memory substrate a System simulates (backend=hmc|hbm|ddr).
+enum class BackendKind : std::uint8_t {
+  kHmc = 0,  ///< packetized HMC cube: SERDES links, crossbar, closed-page
+  kHbm,      ///< on-interposer HBM stack: wide channels, open-page, 1 KB rows
+  kDdr,      ///< conventional DDR channel: FR-FCFS, open-page, 2 KB rows
+};
+
+constexpr std::string_view to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kHmc: return "hmc";
+    case BackendKind::kHbm: return "hbm";
+    case BackendKind::kDdr: return "ddr";
+  }
+  return "?";
+}
+
+/// Parse a backend= CLI value; throws std::invalid_argument on anything
+/// other than "hmc", "hbm" or "ddr".
+inline BackendKind parse_backend_kind(const std::string& name) {
+  if (name == "hmc") return BackendKind::kHmc;
+  if (name == "hbm") return BackendKind::kHbm;
+  if (name == "ddr") return BackendKind::kDdr;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (expected hmc, hbm or ddr)");
+}
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+
+  /// True when the device can admit another request this cycle.
+  [[nodiscard]] virtual bool can_accept() const = 0;
+
+  /// Admit a request at `now`. Pre: can_accept().
+  virtual void submit(DeviceRequest req, Cycle now) = 0;
+
+  /// Advance device state to cycle `now` (monotonically increasing).
+  virtual void tick(Cycle now) = 0;
+
+  /// Earliest cycle >= `now` at which tick() can change any state or
+  /// statistic; kNeverCycle when fully drained. See the contract above.
+  [[nodiscard]] virtual Cycle next_event_cycle(Cycle now) const = 0;
+
+  /// Move the responses completed since the last drain into `out` (cleared
+  /// first). Buffer-based so the per-cycle loop reuses one allocation.
+  virtual void drain_completed_into(std::vector<DeviceResponse>& out) = 0;
+
+  /// Move the NACKs raised since the last drain into `out` (cleared first).
+  /// Only fault-injected runs ever produce NACKs.
+  virtual void drain_nacks_into(std::vector<DeviceNack>& out) = 0;
+
+  /// True while `id` is still being serviced inside the device. The retry
+  /// port uses this to tell a slow response apart from a dropped one.
+  [[nodiscard]] virtual bool in_flight(std::uint64_t id) const = 0;
+
+  [[nodiscard]] virtual bool idle() const = 0;
+  [[nodiscard]] virtual std::uint32_t outstanding() const = 0;
+  [[nodiscard]] virtual const BackendStats& stats() const = 0;
+  [[nodiscard]] virtual const AddressMap& address_map() const = 0;
+
+  /// Install the runtime verifier (nullptr = off).
+  virtual void set_verifier(Verifier* verifier) = 0;
+
+  /// One-line JSON object describing device occupancy, for forensics.
+  [[nodiscard]] virtual std::string debug_json() const = 0;
+
+  /// Convenience wrapper for tests and examples (allocates per call).
+  std::vector<DeviceResponse> drain_completed() {
+    std::vector<DeviceResponse> out;
+    drain_completed_into(out);
+    return out;
+  }
+};
+
+}  // namespace pacsim

@@ -10,6 +10,7 @@
 #include "hmc/device_port.hpp"
 #include "hmc/hmc_stats.hpp"
 #include "hmc/power_model.hpp"
+#include "mem/memory_backend.hpp"
 #include "mem/packet.hpp"
 #include "pac/coalescer.hpp"
 #include "pac/pac_stats.hpp"
@@ -65,6 +66,9 @@ struct RunResult {
   PacStats pac;        ///< valid only when has_pac
   bool has_pac = false;
 
+  /// Which substrate produced `hmc` (the field name predates the pluggable
+  /// backends; it now holds whichever backend's BackendStats).
+  BackendKind backend = BackendKind::kHmc;
   HmcStats hmc;
   ResilienceStats resilience;
   /// Verifier counters (enabled=false on verify=off runs, block omitted in

@@ -100,6 +100,11 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
   out << "  \"comparisons\": " << r.coal.comparisons << ",\n";
   out << "  \"atomics\": " << r.coal.atomics << ",\n";
   out << "  \"fences\": " << r.coal.fences << ",\n";
+  out << "  \"backend\": {\"kind\": \"" << to_string(r.backend)
+      << "\", \"row_hits\": " << r.hmc.row_hits
+      << ", \"row_misses\": " << r.hmc.row_misses
+      << ", \"conflict_wait_cycles\": " << r.hmc.conflict_wait_cycles
+      << ", \"device_requests\": " << r.hmc.requests << "},\n";
   out << "  \"bank_conflicts\": " << r.hmc.bank_conflicts << ",\n";
   out << "  \"row_accesses\": " << r.hmc.row_accesses << ",\n";
   out << "  \"refreshes\": " << r.hmc.refreshes << ",\n";
@@ -115,8 +120,14 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
   out << "  \"prefetches\": " << r.prefetches_issued << ",\n";
   out << "  \"energy_pj\": {\n";
   for (std::size_t op = 0; op < r.energy.size(); ++op) {
+    // HMC-only energy classes (vault SRAM slots, vault controller, link
+    // routing) have no physical meaning on the HBM/DDR substrates: emit
+    // null rather than a misleading 0.0, while keeping every key present
+    // so downstream consumers see a stable schema.
+    const bool hmc_only = op <= static_cast<std::size_t>(HmcOp::kLinkRemoteRoute);
+    const bool nulled = hmc_only && r.backend != BackendKind::kHmc;
     out << "    \"" << to_string(static_cast<HmcOp>(op))
-        << "\": " << num(r.energy[op]);
+        << "\": " << (nulled ? "null" : num(r.energy[op]));
     out << (op + 1 < r.energy.size() ? ",\n" : "\n");
   }
   out << "  },\n";
@@ -242,7 +253,7 @@ std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 5,\n";
+  out << "  \"schema_version\": 6,\n";
   out << "  \"wall_time\": {\"generation_seconds\": "
       << num(generation_seconds_)
       << ", \"simulation_seconds\": " << num(simulation_seconds_) << "},\n";

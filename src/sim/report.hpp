@@ -28,12 +28,19 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 5,
+///   { "bench": "<name>", "schema_version": 6,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v5 added the optional per-run "verification" block
+/// Schema history: v6 added the per-run "backend" block ({"kind":
+/// "hmc"|"hbm"|"ddr", "row_hits", "row_misses", "conflict_wait_cycles",
+/// "device_requests"} - open-page hit/miss counters are zero on the
+/// closed-page HMC substrate) and made the HMC-only "energy_pj" classes
+/// (VAULT-RQST-SLOT, VAULT-RSP-SLOT, VAULT-CTRL, LINK-LOCAL-ROUTE,
+/// LINK-REMOTE-ROUTE) serialize as null on non-HMC backends (keys stay
+/// present; DRAM-* classes remain numeric on every backend); v5 added the
+/// optional per-run "verification" block
 /// (runtime-verifier lifecycle counters and violation count; present only
 /// when the run executed with verify=counters or verify=full), the
 /// "interrupted" failure status (SIGINT/SIGTERM flushed a partial report),

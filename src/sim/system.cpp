@@ -11,6 +11,7 @@
 
 #include "baseline/direct_controller.hpp"
 #include "baseline/mshr_dmc.hpp"
+#include "hmc/backend_factory.hpp"
 
 namespace pacsim {
 namespace {
@@ -32,8 +33,9 @@ System::System(const SystemConfig& cfg)
       verifier_(cfg.verify.level != VerifyLevel::kOff
                     ? std::make_unique<Verifier>(cfg.verify)
                     : nullptr),
-      hmc_(std::make_unique<HmcDevice>(cfg.hmc, &power_, fault_.get())),
-      port_(std::make_unique<DevicePort>(hmc_.get(), cfg.retry,
+      device_(make_backend(cfg.backend, cfg.hmc, cfg.hbm, cfg.ddr, &power_,
+                           fault_.get())),
+      port_(std::make_unique<DevicePort>(device_.get(), cfg.retry,
                                          /*tracking=*/fault_ != nullptr)),
       l2_(cfg.l2),
       prefetcher_(cfg.num_cores, cfg.prefetch),
@@ -75,7 +77,7 @@ System::System(const SystemConfig& cfg)
   if (verifier_ != nullptr) {
     coalescer_->set_verifier(verifier_.get());
     port_->set_verifier(verifier_.get());
-    hmc_->set_verifier(verifier_.get());
+    device_->set_verifier(verifier_.get());
     verifier_->set_state_provider(
         [this] { return verifier_components_json(); });
   }
@@ -359,14 +361,14 @@ void System::on_satisfied(std::uint64_t raw_id) {
 
 bool System::finished() const {
   return done_cores_ == cores_.size() && miss_queue_.empty() &&
-         wb_queue_.empty() && coalescer_->idle() && hmc_->idle() &&
+         wb_queue_.empty() && coalescer_->idle() && device_->idle() &&
          port_->idle();
 }
 
 bool System::has_outstanding_work() const {
   return !miss_queue_.empty() || !wb_queue_.empty() ||
          !inflight_misses_.empty() || !coalescer_->idle() || !port_->idle() ||
-         !hmc_->idle();
+         !device_->idle();
 }
 
 std::string System::verifier_components_json() const {
@@ -385,7 +387,7 @@ std::string System::verifier_components_json() const {
       << ", \"outstanding_loads\": " << stalled_loads
       << ", \"coalescer\": " << coalescer_->debug_json()
       << ", \"port\": " << port_->debug_json()
-      << ", \"hmc\": " << hmc_->debug_json() << "}";
+      << ", \"device\": " << device_->debug_json() << "}";
   return out.str();
 }
 
@@ -441,7 +443,7 @@ Cycle System::next_event_cycle() const {
   // Cheapest bounds first: a busy device or coalescer pins per-cycle
   // stepping, and bailing out before the per-core stall scan keeps failed
   // jump attempts nearly free during bandwidth-bound phases.
-  Cycle bound = hmc_->next_event_cycle(now_);
+  Cycle bound = device_->next_event_cycle(now_);
   if (bound == now_) return now_;
   // Pending retry timers (NACK backoff, response deadlines) bound the jump
   // in fault-injected runs; passthrough reports kNeverCycle.
@@ -464,7 +466,7 @@ Cycle System::next_event_cycle() const {
 }
 
 void System::step() {
-  hmc_->tick(now_);
+  device_->tick(now_);
   port_->tick(now_);  // retries/timeouts; passthrough no-op without faults
   port_->drain_completed_into(completed_buf_);
   for (const DeviceResponse& rsp : completed_buf_) {
@@ -513,13 +515,13 @@ RunResult System::run() {
       if (verifier_ != nullptr) {
         verifier_->watchdog_fire(
             now_, "exceeded max_cycles=" + std::to_string(cfg_.max_cycles) +
-                      " (outstanding=" + std::to_string(hmc_->outstanding()) +
+                      " (outstanding=" + std::to_string(device_->outstanding()) +
                       ", inflight=" +
                       std::to_string(inflight_misses_.size()) + ")");
       }
       throw std::runtime_error(
           "System::run exceeded max_cycles watchdog (outstanding=" +
-          std::to_string(hmc_->outstanding()) +
+          std::to_string(device_->outstanding()) +
           ", inflight=" + std::to_string(inflight_misses_.size()) + ")");
     }
     if (!fast_forward || finished()) continue;
@@ -565,7 +567,8 @@ RunResult System::run() {
     r.pac = pac_->pac_stats();
     r.has_pac = true;
   }
-  r.hmc = hmc_->stats();
+  r.backend = cfg_.backend;
+  r.hmc = device_->stats();
   if (fault_ != nullptr) {
     r.resilience.enabled = true;
     r.resilience.fault = fault_->stats();

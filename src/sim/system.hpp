@@ -1,6 +1,7 @@
 // The full simulated system: trace-driven cores -> private L1s -> shared
 // LLC (+ stream prefetcher) -> miss/write-back queues -> coalescer (PAC,
-// MSHR-DMC or direct controller) -> HMC device. Paper Fig. 3.
+// MSHR-DMC or direct controller) -> memory backend (HMC cube by default;
+// backend=hbm|ddr swap the substrate). Paper Fig. 3.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +18,7 @@
 #include "core/trace.hpp"
 #include "core/verifier.hpp"
 #include "hmc/device_port.hpp"
-#include "hmc/hmc_device.hpp"
+#include "mem/memory_backend.hpp"
 #include "mem/page_table.hpp"
 #include "pac/coalescer.hpp"
 #include "pac/pac.hpp"
@@ -46,7 +47,7 @@ class System {
   RunResult run();
 
   [[nodiscard]] const Coalescer& coalescer() const { return *coalescer_; }
-  [[nodiscard]] const HmcDevice& hmc() const { return *hmc_; }
+  [[nodiscard]] const MemoryBackend& device() const { return *device_; }
   [[nodiscard]] const DevicePort& port() const { return *port_; }
   [[nodiscard]] Cycle now() const { return now_; }
 
@@ -102,8 +103,8 @@ class System {
   PowerModel power_;
   std::unique_ptr<FaultInjector> fault_;  ///< null when faults disabled
   std::unique_ptr<Verifier> verifier_;    ///< null when verify.level == kOff
-  std::unique_ptr<HmcDevice> hmc_;
-  std::unique_ptr<DevicePort> port_;  ///< retry buffer in front of hmc_
+  std::unique_ptr<MemoryBackend> device_;  ///< backend-factory built
+  std::unique_ptr<DevicePort> port_;  ///< retry buffer in front of device_
   std::unique_ptr<Coalescer> coalescer_;
   Pac* pac_ = nullptr;  ///< non-null when coalescer_ is a Pac
 

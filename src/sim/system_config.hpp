@@ -13,9 +13,12 @@
 #include "cache/prefetcher.hpp"
 #include "core/fault_injector.hpp"
 #include "core/verifier.hpp"
+#include "hmc/ddr_config.hpp"
 #include "hmc/device_port.hpp"
+#include "hmc/hbm_config.hpp"
 #include "hmc/hmc_config.hpp"
 #include "hmc/power_model.hpp"
+#include "mem/memory_backend.hpp"
 #include "pac/pac_config.hpp"
 
 namespace pacsim {
@@ -54,7 +57,12 @@ struct SystemConfig {
   std::uint64_t page_table_seed = 0xA11CEULL;
   std::uint64_t phys_pages = 2ULL << 20;  ///< 8 GB of 4 KB frames
 
+  /// Which memory substrate the system drives (backend=hmc|hbm|ddr); only
+  /// the matching config block below is consulted.
+  BackendKind backend = BackendKind::kHmc;
   HmcConfig hmc{};
+  HbmConfig hbm{};
+  DdrConfig ddr{};
   PowerConfig power{};
 
   /// Deterministic link/vault fault injection; all-zero rates (default)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -43,6 +44,39 @@ TEST(AddressMap, CapacityWrap) {
   EXPECT_EQ(map.decode(cfg.capacity_bytes + 512), map.decode(512));
 }
 
+TEST(AddressMap, EncodeWrapsOutOfRangeRowInPlace) {
+  // Regression test for the row-aliasing bug: encode() used to shift an
+  // out-of-range row straight into the index, so row + rows_per_bank bled
+  // into high address bits that decode() discards - the round trip landed
+  // in a DIFFERENT (vault, bank) than the one encoded. The fix wraps the
+  // row modulo rows_per_bank() first, mirroring decode's capacity wrap.
+  AddressMap map(AddressMapConfig{});
+  const DramLocation in_range{7, 3, 11};
+  DramLocation aliased = in_range;
+  aliased.row = in_range.row + map.rows_per_bank();
+  EXPECT_EQ(map.encode(aliased), map.encode(in_range));
+  EXPECT_EQ(map.decode(map.encode(aliased)), in_range);
+
+  // Even a wildly out-of-range row stays inside the same vault and bank.
+  aliased.row = in_range.row + 5 * map.rows_per_bank();
+  const DramLocation rt = map.decode(map.encode(aliased));
+  EXPECT_EQ(rt.vault, in_range.vault);
+  EXPECT_EQ(rt.bank, in_range.bank);
+  EXPECT_EQ(rt.row, in_range.row);
+}
+
+TEST(AddressMap, ConstructorRejectsSubRowCapacity) {
+  // 32 vaults x 16 banks x 256 B rows needs at least 128 KB; anything less
+  // would leave rows_per_bank() == 0 and every shift/mask meaningless.
+  AddressMapConfig cfg;
+  cfg.capacity_bytes = 64ULL * 1024;
+  EXPECT_THROW(AddressMap{cfg}, std::invalid_argument);
+
+  cfg.capacity_bytes = 128ULL * 1024;  // exactly one row per bank: legal
+  const AddressMap minimal{cfg};
+  EXPECT_EQ(minimal.rows_per_bank(), 1u);
+}
+
 struct MapParam {
   std::uint32_t vaults;
   std::uint32_t banks;
@@ -68,6 +102,31 @@ TEST_P(AddressMapRoundTrip, EncodeDecodeRoundTrip) {
     EXPECT_LT(loc.bank, p.banks);
     EXPECT_LT(loc.row, map.rows_per_bank());
     EXPECT_EQ(map.encode(loc), a) << "address " << a;
+  }
+}
+
+TEST_P(AddressMapRoundTrip, DecodeOfEncodeIsIdentity) {
+  const MapParam p = GetParam();
+  AddressMapConfig cfg;
+  cfg.num_vaults = p.vaults;
+  cfg.banks_per_vault = p.banks;
+  cfg.row_bytes = p.row_bytes;
+  cfg.capacity_bytes = 1ULL << 30;
+  AddressMap map(cfg);
+
+  // Location-first property (the dual of EncodeDecodeRoundTrip): for any
+  // in-range (vault, bank, row), decode(encode(loc)) == loc. This is the
+  // direction the row-aliasing bug broke when the row was near the top of
+  // the bank on a remapped shape.
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    DramLocation loc;
+    loc.vault = static_cast<std::uint32_t>(rng.below(p.vaults));
+    loc.bank = static_cast<std::uint32_t>(rng.below(p.banks));
+    loc.row = rng.below(map.rows_per_bank());
+    EXPECT_EQ(map.decode(map.encode(loc)), loc)
+        << "vault " << loc.vault << " bank " << loc.bank << " row "
+        << loc.row;
   }
 }
 

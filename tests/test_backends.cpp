@@ -1,0 +1,296 @@
+// Unit tests for the pluggable memory backends: the factory, the HBM
+// open-page stack and the DDR-lite FR-FCFS channel model, including their
+// next_event_cycle() lower bounds and fault-injection surfaces.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "hmc/backend_factory.hpp"
+#include "hmc/ddr_device.hpp"
+#include "hmc/hbm_device.hpp"
+#include "hmc/hmc_device.hpp"
+
+namespace pacsim {
+namespace {
+
+DeviceRequest make_req(std::uint64_t id, Addr base,
+                       std::uint32_t bytes = 64) {
+  DeviceRequest r;
+  r.id = id;
+  r.base = base;
+  r.bytes = bytes;
+  r.add_raw(1000 + id);
+  return r;
+}
+
+/// Event-driven run to idle: tick only at the device's own lower bounds.
+/// Returns the responses in completion order.
+std::vector<DeviceResponse> run_to_idle(MemoryBackend& device, Cycle start,
+                                        Cycle limit = 1'000'000) {
+  std::vector<DeviceResponse> all;
+  std::vector<DeviceResponse> buf;
+  Cycle now = start;
+  while (!device.idle() && now < limit) {
+    now = device.next_event_cycle(now);
+    if (now == kNeverCycle) break;
+    device.tick(now);
+    device.drain_completed_into(buf);
+    all.insert(all.end(), buf.begin(), buf.end());
+    ++now;
+  }
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Factory + kind parsing
+// ---------------------------------------------------------------------------
+
+TEST(BackendFactory, BuildsEveryKind) {
+  PowerModel power;
+  const HmcConfig hmc;
+  const HbmConfig hbm;
+  const DdrConfig ddr;
+  const auto h = make_backend(BackendKind::kHmc, hmc, hbm, ddr, &power);
+  const auto b = make_backend(BackendKind::kHbm, hmc, hbm, ddr, &power);
+  const auto d = make_backend(BackendKind::kDdr, hmc, hbm, ddr, &power);
+  EXPECT_EQ(h->kind(), BackendKind::kHmc);
+  EXPECT_EQ(b->kind(), BackendKind::kHbm);
+  EXPECT_EQ(d->kind(), BackendKind::kDdr);
+  // Each backend decodes through its own geometry.
+  EXPECT_EQ(h->address_map().row_bytes(), hmc.map.row_bytes);
+  EXPECT_EQ(b->address_map().row_bytes(), 1024u);
+  EXPECT_EQ(d->address_map().row_bytes(), 2048u);
+  EXPECT_TRUE(h->idle());
+  EXPECT_TRUE(b->idle());
+  EXPECT_TRUE(d->idle());
+}
+
+TEST(BackendFactory, ParseBackendKind) {
+  EXPECT_EQ(parse_backend_kind("hmc"), BackendKind::kHmc);
+  EXPECT_EQ(parse_backend_kind("hbm"), BackendKind::kHbm);
+  EXPECT_EQ(parse_backend_kind("ddr"), BackendKind::kDdr);
+  EXPECT_THROW(parse_backend_kind("hbm3"), std::invalid_argument);
+  EXPECT_THROW(parse_backend_kind(""), std::invalid_argument);
+  for (BackendKind k :
+       {BackendKind::kHmc, BackendKind::kHbm, BackendKind::kDdr}) {
+    EXPECT_EQ(parse_backend_kind(std::string(to_string(k))), k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HBM backend
+// ---------------------------------------------------------------------------
+
+TEST(HbmDevice, CompletesARequestAndCountsTheColdMiss) {
+  PowerModel power;
+  HbmConfig cfg;
+  cfg.enable_refresh = false;
+  HbmDevice device(cfg, &power);
+  ASSERT_TRUE(device.can_accept());
+  device.submit(make_req(1, 0x4000), 0);
+  EXPECT_TRUE(device.in_flight(1));
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].request_id, 1u);
+  EXPECT_EQ(responses[0].raw_ids, std::vector<std::uint64_t>{1001});
+  EXPECT_FALSE(device.in_flight(1));
+  EXPECT_EQ(device.stats().requests, 1u);
+  EXPECT_EQ(device.stats().row_misses, 1u);  // cold bank: activate
+  EXPECT_EQ(device.stats().row_hits, 0u);
+  // Latency floor: interface in + t_rcd + t_cas + burst + interface out.
+  const Cycle burst = 64 / cfg.channel_bytes_per_cycle;
+  EXPECT_GE(device.stats().access_latency.min(),
+            static_cast<double>(2 * cfg.interface_cycles + cfg.t_rcd +
+                                cfg.t_cas + burst));
+}
+
+TEST(HbmDevice, SecondAccessToOpenRowIsAHit) {
+  PowerModel power;
+  HbmConfig cfg;
+  cfg.enable_refresh = false;
+  HbmDevice device(cfg, &power);
+  const AddressMap& map = device.address_map();
+  const Addr row_base = map.encode(DramLocation{0, 0, 5});
+  device.submit(make_req(1, row_base), 0);
+  device.submit(make_req(2, row_base + 64), 0);
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(device.stats().row_misses, 1u);  // first access activates
+  EXPECT_EQ(device.stats().row_hits, 1u);    // second reuses the open row
+}
+
+TEST(HbmDevice, RowConflictPaysPrechargeAndIsCounted) {
+  PowerModel power;
+  HbmConfig cfg;
+  cfg.enable_refresh = false;
+  HbmDevice device(cfg, &power);
+  const AddressMap& map = device.address_map();
+  // Same channel, same bank, different rows: head-of-line txn #2 waits for
+  // the busy bank (bank_conflicts) and then closes row 5 (row_misses).
+  device.submit(make_req(1, map.encode(DramLocation{0, 0, 5})), 0);
+  device.submit(make_req(2, map.encode(DramLocation{0, 0, 9})), 0);
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(device.stats().row_hits, 0u);
+  EXPECT_EQ(device.stats().row_misses, 2u);
+  EXPECT_GE(device.stats().bank_conflicts, 1u);
+  EXPECT_GT(device.stats().conflict_wait_cycles, 0u);
+}
+
+TEST(HbmDevice, LargeRequestSpansRowsAcrossChannels) {
+  PowerModel power;
+  HbmConfig cfg;
+  cfg.enable_refresh = false;
+  HbmDevice device(cfg, &power);
+  // 1 KB-aligned 2 KB request: two row shares on consecutive channels, one
+  // response once the last share lands.
+  device.submit(make_req(1, 0, 2048), 0);
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(device.stats().row_accesses, 2u);
+  EXPECT_EQ(device.stats().requests, 1u);
+}
+
+TEST(HbmDevice, IdleBoundIsRefreshTimerAndRefreshCloses) {
+  PowerModel power;
+  HbmConfig cfg;
+  HbmDevice device(cfg, &power);
+  EXPECT_EQ(device.next_event_cycle(0), Cycle{cfg.t_refi});
+  EXPECT_EQ(device.next_event_cycle(cfg.t_refi + 3), Cycle{cfg.t_refi + 3});
+  device.tick(device.next_event_cycle(0));
+  EXPECT_EQ(device.stats().refreshes, 1u);
+
+  HbmConfig norefresh;
+  norefresh.enable_refresh = false;
+  HbmDevice quiet(norefresh, &power);
+  EXPECT_EQ(quiet.next_event_cycle(0), kNeverCycle);
+}
+
+// ---------------------------------------------------------------------------
+// DDR backend
+// ---------------------------------------------------------------------------
+
+TEST(DdrDevice, CompletesARequest) {
+  PowerModel power;
+  DdrConfig cfg;
+  cfg.enable_refresh = false;
+  DdrDevice device(cfg, &power);
+  device.submit(make_req(1, 0x10000), 0);
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].request_id, 1u);
+  EXPECT_EQ(device.stats().requests, 1u);
+  EXPECT_EQ(device.stats().row_misses, 1u);
+  EXPECT_TRUE(device.idle());
+}
+
+TEST(DdrDevice, FrFcfsPrefersTheRowHitOverTheOlderConflict) {
+  PowerModel power;
+  DdrConfig cfg;
+  cfg.enable_refresh = false;
+  DdrDevice device(cfg, &power);
+  const AddressMap& map = device.address_map();
+  // All three land in channel 0, bank 0. Age order: #1 (row 2), #2 (row 7),
+  // #3 (row 2). A FIFO scheduler would issue 1, 2, 3 and pay two
+  // conflicts; FR-FCFS issues the younger row hit #3 ahead of #2.
+  device.submit(make_req(1, map.encode(DramLocation{0, 0, 2})), 0);
+  device.submit(make_req(2, map.encode(DramLocation{0, 0, 7})), 0);
+  device.submit(make_req(3, map.encode(DramLocation{0, 0, 2})), 0);
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].request_id, 1u);
+  EXPECT_EQ(responses[1].request_id, 3u);  // hit bypasses the older miss
+  EXPECT_EQ(responses[2].request_id, 2u);
+  EXPECT_EQ(device.stats().row_hits, 1u);
+  EXPECT_EQ(device.stats().row_misses, 2u);
+}
+
+TEST(DdrDevice, SharedBusSerializesBanksOfAChannel) {
+  PowerModel power;
+  DdrConfig cfg;
+  cfg.enable_refresh = false;
+  DdrDevice device(cfg, &power);
+  const AddressMap& map = device.address_map();
+  // Two independent banks of channel 0 issue in parallel, but their bursts
+  // share one data bus: the second completion trails the first by at least
+  // a burst, never by less.
+  device.submit(make_req(1, map.encode(DramLocation{0, 0, 1})), 0);
+  device.submit(make_req(2, map.encode(DramLocation{0, 1, 1})), 0);
+  const auto responses = run_to_idle(device, 0);
+  ASSERT_EQ(responses.size(), 2u);
+  const Cycle burst = 64 / cfg.channel_bytes_per_cycle;
+  EXPECT_GE(responses[1].completed_at, responses[0].completed_at + burst);
+}
+
+TEST(DdrDevice, IdleBoundIsRefreshTimer) {
+  PowerModel power;
+  DdrConfig cfg;
+  DdrDevice device(cfg, &power);
+  EXPECT_EQ(device.next_event_cycle(0), Cycle{cfg.t_refi});
+  device.tick(device.next_event_cycle(0));
+  EXPECT_EQ(device.stats().refreshes, 1u);
+
+  DdrConfig norefresh;
+  norefresh.enable_refresh = false;
+  DdrDevice quiet(norefresh, &power);
+  EXPECT_EQ(quiet.next_event_cycle(0), kNeverCycle);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection surfaces (certain rates make the paths deterministic)
+// ---------------------------------------------------------------------------
+
+template <typename Device, typename Config>
+void expect_nacks_corrupted_request(Config cfg) {
+  cfg.enable_refresh = false;
+  PowerModel power;
+  FaultConfig fcfg;
+  fcfg.link_error_rate = 1.0;
+  FaultInjector fault(fcfg);
+  Device device(cfg, &power, &fault);
+  device.submit(make_req(1, 0x8000), 0);
+  const auto responses = run_to_idle(device, 0);
+  EXPECT_TRUE(responses.empty());
+  std::vector<DeviceNack> nacks;
+  device.drain_nacks_into(nacks);
+  ASSERT_EQ(nacks.size(), 1u);
+  EXPECT_EQ(nacks[0].request_id, 1u);
+  EXPECT_FALSE(device.in_flight(1));
+  EXPECT_TRUE(device.idle());
+  EXPECT_EQ(fault.stats().link_errors, 1u);
+}
+
+template <typename Device, typename Config>
+void expect_swallows_dropped_response(Config cfg) {
+  cfg.enable_refresh = false;
+  PowerModel power;
+  FaultConfig fcfg;
+  fcfg.response_drop_rate = 1.0;
+  FaultInjector fault(fcfg);
+  Device device(cfg, &power, &fault);
+  device.submit(make_req(1, 0x8000), 0);
+  const auto responses = run_to_idle(device, 0);
+  // The device retires its bookkeeping but the response never surfaces -
+  // only the requester-side timeout can recover it.
+  EXPECT_TRUE(responses.empty());
+  EXPECT_TRUE(device.idle());
+  EXPECT_FALSE(device.in_flight(1));
+  EXPECT_EQ(fault.stats().response_drops, 1u);
+}
+
+TEST(BackendFaults, HbmNacksCorruptedRequests) {
+  expect_nacks_corrupted_request<HbmDevice>(HbmConfig{});
+}
+TEST(BackendFaults, DdrNacksCorruptedRequests) {
+  expect_nacks_corrupted_request<DdrDevice>(DdrConfig{});
+}
+TEST(BackendFaults, HbmSwallowsDroppedResponses) {
+  expect_swallows_dropped_response<HbmDevice>(HbmConfig{});
+}
+TEST(BackendFaults, DdrSwallowsDroppedResponses) {
+  expect_swallows_dropped_response<DdrDevice>(DdrConfig{});
+}
+
+}  // namespace
+}  // namespace pacsim

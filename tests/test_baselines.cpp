@@ -7,6 +7,7 @@
 #include "baseline/direct_controller.hpp"
 #include "baseline/mshr_dmc.hpp"
 #include "common/rng.hpp"
+#include "hmc/hmc_device.hpp"
 
 namespace pacsim {
 namespace {

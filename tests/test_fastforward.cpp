@@ -54,9 +54,11 @@ Trace random_trace(Rng& rng, std::size_t ops) {
 }
 
 RunResult run_once(CoalescerKind kind, bool prefetch, bool fast_forward,
-                   std::uint64_t seed) {
+                   std::uint64_t seed,
+                   BackendKind backend = BackendKind::kHmc) {
   SystemConfig cfg;
   cfg.coalescer = kind;
+  cfg.backend = backend;
   cfg.num_cores = 3;
   cfg.enable_prefetch = prefetch;
   cfg.enable_fast_forward = fast_forward;
@@ -104,6 +106,8 @@ void expect_identical(const RunResult& ff, const RunResult& naive) {
   EXPECT_EQ(ff.hmc.bank_conflicts, naive.hmc.bank_conflicts);
   EXPECT_EQ(ff.hmc.conflict_wait_cycles, naive.hmc.conflict_wait_cycles);
   EXPECT_EQ(ff.hmc.refreshes, naive.hmc.refreshes);
+  EXPECT_EQ(ff.hmc.row_hits, naive.hmc.row_hits);
+  EXPECT_EQ(ff.hmc.row_misses, naive.hmc.row_misses);
   EXPECT_EQ(ff.hmc.local_routes, naive.hmc.local_routes);
   EXPECT_EQ(ff.hmc.remote_routes, naive.hmc.remote_routes);
   EXPECT_EQ(ff.hmc.request_flits, naive.hmc.request_flits);
@@ -146,6 +150,7 @@ void expect_identical(const RunResult& ff, const RunResult& naive) {
 struct FfCase {
   CoalescerKind kind;
   bool prefetch;
+  BackendKind backend = BackendKind::kHmc;
 };
 
 class FastForwardDifferential : public ::testing::TestWithParam<FfCase> {};
@@ -154,9 +159,9 @@ TEST_P(FastForwardDifferential, BitIdenticalToNaiveLoop) {
   const FfCase c = GetParam();
   for (std::uint64_t seed : {0xD1FFull, 0xBEEFull, 0x5EEDull}) {
     const RunResult ff = run_once(c.kind, c.prefetch, /*fast_forward=*/true,
-                                  seed);
+                                  seed, c.backend);
     const RunResult naive = run_once(c.kind, c.prefetch,
-                                     /*fast_forward=*/false, seed);
+                                     /*fast_forward=*/false, seed, c.backend);
     SCOPED_TRACE("seed " + std::to_string(seed));
     expect_identical(ff, naive);
     // The serialized report is the union of everything the benches print;
@@ -175,16 +180,31 @@ TEST_P(FastForwardDifferential, BitIdenticalToNaiveLoop) {
 
 INSTANTIATE_TEST_SUITE_P(
     KindsAndPrefetch, FastForwardDifferential,
-    ::testing::Values(FfCase{CoalescerKind::kDirect, true},
-                      FfCase{CoalescerKind::kDirect, false},
-                      FfCase{CoalescerKind::kMshrDmc, true},
-                      FfCase{CoalescerKind::kMshrDmc, false},
-                      FfCase{CoalescerKind::kSortingDmc, true},
-                      FfCase{CoalescerKind::kSortingDmc, false},
-                      FfCase{CoalescerKind::kPac, true},
-                      FfCase{CoalescerKind::kPac, false}),
+    ::testing::Values(
+        FfCase{CoalescerKind::kDirect, true},
+        FfCase{CoalescerKind::kDirect, false},
+        FfCase{CoalescerKind::kMshrDmc, true},
+        FfCase{CoalescerKind::kMshrDmc, false},
+        FfCase{CoalescerKind::kSortingDmc, true},
+        FfCase{CoalescerKind::kSortingDmc, false},
+        FfCase{CoalescerKind::kPac, true},
+        FfCase{CoalescerKind::kPac, false},
+        // Every coalescer on both alternative substrates: the event-horizon
+        // contract (next_event_cycle is an exact lower bound) must hold for
+        // the open-page HBM and DDR state machines too.
+        FfCase{CoalescerKind::kDirect, true, BackendKind::kHbm},
+        FfCase{CoalescerKind::kMshrDmc, true, BackendKind::kHbm},
+        FfCase{CoalescerKind::kSortingDmc, true, BackendKind::kHbm},
+        FfCase{CoalescerKind::kPac, true, BackendKind::kHbm},
+        FfCase{CoalescerKind::kDirect, true, BackendKind::kDdr},
+        FfCase{CoalescerKind::kMshrDmc, true, BackendKind::kDdr},
+        FfCase{CoalescerKind::kSortingDmc, true, BackendKind::kDdr},
+        FfCase{CoalescerKind::kPac, true, BackendKind::kDdr}),
     [](const auto& info) {
       std::string n(to_string(info.param.kind));
+      if (info.param.backend != BackendKind::kHmc) {
+        n += "_" + std::string(to_string(info.param.backend));
+      }
       for (char& c : n) {
         if (c == '-') c = '_';
       }

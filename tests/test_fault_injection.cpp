@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hmc/device_port.hpp"
+#include "hmc/hmc_device.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sim/system.hpp"

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "hmc/hmc_device.hpp"
 #include "mem/packet.hpp"
 #include "pac/pac.hpp"
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "hmc/hmc_device.hpp"
 
 namespace pacsim {
 namespace {

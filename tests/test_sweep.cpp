@@ -147,7 +147,7 @@ TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
   EXPECT_EQ(report.runs(), 2u);
   const std::string json = report.json();
   EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_time\""), std::string::npos);
   EXPECT_NE(json.find("\"generation_seconds\""), std::string::npos);
