@@ -73,6 +73,21 @@ class EvalContext {
     // jobtimeout=<seconds>: per-job wall-clock watchdog (0 disables). An
     // over-budget job is cancelled and reported, not aborted on.
     job_timeout_seconds = cli.get_double("jobtimeout", 0.0);
+    // Sharded execution + checkpoint/restore (EXPERIMENTS.md):
+    //   threads=<m>        intra-run worker threads (epoch scheduler)
+    //   shards=<s>         execution domains (0 = derive from threads)
+    //   epochlen=<cycles>  epoch-barrier grid
+    //   checkpoint=<dir>   write snapshots at quiescent epoch boundaries
+    //   checkpointevery=<cycles>  snapshot cadence (0 = every epoch)
+    //   restore=<path>     resume from a snapshot
+    scfg.exec.threads = static_cast<unsigned>(
+        cli.get_u64("threads", scfg.exec.threads));
+    scfg.exec.shards = static_cast<unsigned>(
+        cli.get_u64("shards", scfg.exec.shards));
+    scfg.exec.epoch_cycles = cli.get_u64("epochlen", scfg.exec.epoch_cycles);
+    scfg.exec.checkpoint_dir = cli.get("checkpoint", "");
+    scfg.exec.checkpoint_every = cli.get_u64("checkpointevery", 0);
+    scfg.exec.restore_path = cli.get("restore", "");
     // Runtime verification (see README "Runtime verification"):
     //   verify=off|counters|full   lifecycle checking level (default off)
     //   watchdog=<cycles>          no-progress watchdog period

@@ -1,5 +1,7 @@
 // Simulator self-time: how fast the simulator itself runs, with and
 // without event-horizon fast-forwarding (SystemConfig::enable_fast_forward),
+// the sharded-execution scaling of the threads= epoch scheduler (serial vs
+// 2 and 4 worker threads over the same 4-shard run, bit-identical results),
 // plus the generation time the shared TraceStore saves per suite.
 //
 // Runs a latency-bound suite mix (the Fig. 12 latency-analysis workloads)
@@ -133,6 +135,80 @@ bool report_verify_overhead(const std::vector<const Workload*>& suites,
   return identical;
 }
 
+/// Sharded-execution scaling: the same 4-shard run advanced by 1, 2 and 4
+/// worker threads (threads= epoch scheduler). All thread counts simulate
+/// the identical sharded topology, so every simulated metric must be
+/// bit-identical - only wall-clock may differ. Returns false on divergence.
+bool report_thread_scaling(const WorkloadConfig& base_wcfg,
+                           const SystemConfig& base, TraceStore* store,
+                           SweepReport& report) {
+  // Bandwidth-bound multi-core profile so each shard carries real work.
+  WorkloadConfig wcfg = base_wcfg;
+  wcfg.num_cores = 8;
+  SystemConfig cfg = base;
+  cfg.max_outstanding_loads = 8;
+  cfg.exec.shards = 4;
+
+  Table t({"suite", "threads", "sim cycles", "Mcyc/s", "speedup",
+           "results"});
+  bool identical = true;
+  for (const char* name : {"stream", "gs"}) {
+    const Workload* suite = find_workload(name);
+    RunResult serial;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      const std::string label = std::string(name) + "/pac/shards=4/threads=" +
+                                std::to_string(threads);
+      std::fprintf(stderr, "[bench] scaling: %s ...\n", label.c_str());
+      cfg.exec.threads = threads;
+      const RunResult r =
+          run_suite(*suite, CoalescerKind::kPac, wcfg, cfg, store);
+
+      bool same = true;
+      if (threads == 1) {
+        serial = r;
+      } else {
+        // Full simulated-metric identity against the serial run; wall-clock
+        // (and the host-side exec/throughput blocks) are the only allowed
+        // difference.
+        same = r.cycles == serial.cycles &&
+               r.coal.raw_requests == serial.coal.raw_requests &&
+               r.coal.issued_requests == serial.coal.issued_requests &&
+               r.coal.issued_payload_bytes ==
+                   serial.coal.issued_payload_bytes &&
+               r.l1_hits == serial.l1_hits &&
+               r.l1_misses == serial.l1_misses &&
+               r.llc_hits == serial.llc_hits &&
+               r.llc_misses == serial.llc_misses &&
+               r.core_stall_cycles == serial.core_stall_cycles &&
+               r.total_energy == serial.total_energy &&
+               r.hmc.requests == serial.hmc.requests;
+        if (!same) {
+          std::fprintf(stderr,
+                       "[bench] DIVERGENCE in %s vs threads=1 (e.g. %llu vs "
+                       "%llu cycles)\n",
+                       label.c_str(),
+                       static_cast<unsigned long long>(r.cycles),
+                       static_cast<unsigned long long>(serial.cycles));
+          identical = false;
+        }
+      }
+      const double speedup =
+          r.throughput.wall_seconds > 0.0
+              ? serial.throughput.wall_seconds / r.throughput.wall_seconds
+              : 0.0;
+      t.add_row({name, std::to_string(r.exec.threads),
+                 std::to_string(r.cycles),
+                 Table::num(r.throughput.mcycles_per_sec()),
+                 Table::num(speedup) + "x", same ? "identical" : "DIVERGED"});
+      report.add(label, CoalescerKind::kPac, r);
+    }
+  }
+  t.print(
+      "Sharded-execution scaling - 4 shards on 1/2/4 worker threads "
+      "(bit-identical simulated results, wall-clock only)");
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,6 +299,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[bench] overall speedup: %.2fx, results %s\n",
                overall, identical ? "identical" : "DIVERGED");
 
+  const bool scaling_identical =
+      report_thread_scaling(wcfg, scfg, &store, report);
   const bool verify_identical =
       report_verify_overhead(suites, wcfg, scfg, &store);
   const bool store_identical = report_trace_store(suites, wcfg);
@@ -233,5 +311,8 @@ int main(int argc, char** argv) {
     const std::string path = report.write(report_dir);
     std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
-  return identical && verify_identical && store_identical ? 0 : 1;
+  return identical && scaling_identical && verify_identical &&
+                 store_identical
+             ? 0
+             : 1;
 }

@@ -35,6 +35,17 @@ class DirectController final : public Coalescer {
   [[nodiscard]] const CoalescerStats& stats() const override { return stats_; }
   [[nodiscard]] std::string debug_json() const override;
 
+  void checkpoint_save(BinWriter& w) const override {
+    w.tag("DRCT");
+    stats_.checkpoint_save(w);
+    w.u64(next_device_id_);
+  }
+  void checkpoint_load(BinReader& r) override {
+    r.tag("DRCT");
+    stats_.checkpoint_load(r);
+    next_device_id_ = r.u64();
+  }
+
  private:
   DirectControllerConfig cfg_;
   DevicePort* device_;

@@ -36,6 +36,17 @@ class MshrDmc final : public Coalescer {
 
   [[nodiscard]] unsigned occupied() const { return occupied_; }
 
+  void checkpoint_save(BinWriter& w) const override {
+    w.tag("MSHR");
+    stats_.checkpoint_save(w);
+    w.u64(next_device_id_);
+  }
+  void checkpoint_load(BinReader& r) override {
+    r.tag("MSHR");
+    stats_.checkpoint_load(r);
+    next_device_id_ = r.u64();
+  }
+
  private:
   struct Entry {
     bool valid = false;

@@ -44,6 +44,19 @@ class SortingCoalescer final : public Coalescer {
   [[nodiscard]] std::size_t window_occupancy() const { return window_.size(); }
   [[nodiscard]] const SortingNetwork& network() const { return network_; }
 
+  void checkpoint_save(BinWriter& w) const override {
+    w.tag("SORT");
+    stats_.checkpoint_save(w);
+    w.u64(next_device_id_);
+    w.u64(sort_busy_until_);
+  }
+  void checkpoint_load(BinReader& r) override {
+    r.tag("SORT");
+    stats_.checkpoint_load(r);
+    next_device_id_ = r.u64();
+    sort_busy_until_ = r.u64();
+  }
+
  private:
   struct Entry {
     Addr line = 0;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace pacsim {
@@ -49,6 +50,39 @@ class Cache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
   [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("CACH");
+    w.u64(lines_.size());
+    for (const Line& l : lines_) {
+      w.u64(l.tag);
+      w.b(l.valid);
+      w.b(l.dirty);
+      w.b(l.prefetched);
+      w.u64(l.lru);
+    }
+    w.u64(stamp_);
+    w.u64(hits_);
+    w.u64(misses_);
+    w.u64(writebacks_);
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("CACH");
+    if (r.u64() != lines_.size()) {
+      throw SnapshotError("cache geometry mismatch");
+    }
+    for (Line& l : lines_) {
+      l.tag = r.u64();
+      l.valid = r.b();
+      l.dirty = r.b();
+      l.prefetched = r.b();
+      l.lru = r.u64();
+    }
+    stamp_ = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
+    writebacks_ = r.u64();
+  }
 
  private:
   struct Line {

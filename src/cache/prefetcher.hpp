@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace pacsim {
@@ -34,6 +35,45 @@ class StreamPrefetcher {
   std::vector<Addr> on_miss(std::uint32_t core, Addr block_addr);
 
   [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("PREF");
+    w.u64(tables_.size());
+    for (const auto& core_table : tables_) {
+      w.u64(core_table.size());
+      for (const Stream& s : core_table) {
+        w.u64(s.last_block);
+        w.i64(s.stride);
+        w.i64(s.issued_ahead);
+        w.u32(s.confidence);
+        w.b(s.valid);
+        w.u64(s.lru);
+      }
+    }
+    w.u64(stamp_);
+    w.u64(issued_);
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("PREF");
+    if (r.u64() != tables_.size()) {
+      throw SnapshotError("prefetcher geometry mismatch");
+    }
+    for (auto& core_table : tables_) {
+      if (r.u64() != core_table.size()) {
+        throw SnapshotError("prefetcher geometry mismatch");
+      }
+      for (Stream& s : core_table) {
+        s.last_block = r.u64();
+        s.stride = r.i64();
+        s.issued_ahead = r.i64();
+        s.confidence = r.u32();
+        s.valid = r.b();
+        s.lru = r.u64();
+      }
+    }
+    stamp_ = r.u64();
+    issued_ = r.u64();
+  }
 
  private:
   struct Stream {

@@ -1,5 +1,6 @@
 #include "common/atomic_file.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -9,6 +10,19 @@
 #include <stdexcept>
 
 namespace pacsim {
+
+namespace {
+
+// fsync an already-open descriptor, retrying on EINTR.
+bool fsync_fd(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0;
+}
+
+}  // namespace
 
 void write_file_atomic(const std::string& path, const std::string& content) {
   // Unique per process and per call: concurrent writers to the same target
@@ -28,12 +42,42 @@ void write_file_atomic(const std::string& path, const std::string& content) {
       throw std::runtime_error("write failed: " + tmp);
     }
   }
+  // Flush file data to stable storage before the rename makes it visible:
+  // otherwise a power loss can leave the *renamed* file empty or truncated,
+  // which for checkpoint snapshots is worse than having no file at all.
+  {
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0 || !fsync_fd(fd)) {
+      if (fd >= 0) ::close(fd);
+      std::remove(tmp.c_str());
+      throw std::runtime_error("cannot fsync " + tmp);
+    }
+    ::close(fd);
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot rename " + tmp + " -> " + path + ": " +
                              ec.message());
+  }
+  // Persist the rename itself: the directory entry lives in the directory's
+  // data blocks, so the containing directory must be fsynced too. A failure
+  // here is reported (the caller may rely on durability) but the rename has
+  // already happened, so there is no temp file left to clean up.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dfd = ::open(dir.empty() ? "." : dir.c_str(),
+                         O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    throw std::runtime_error("cannot open directory for fsync: " +
+                             (dir.empty() ? std::string(".") : dir));
+  }
+  const bool dir_ok = fsync_fd(dfd);
+  ::close(dfd);
+  if (!dir_ok) {
+    throw std::runtime_error("cannot fsync directory: " +
+                             (dir.empty() ? std::string(".") : dir));
   }
 }
 

@@ -1,16 +1,17 @@
 // Crash-safe file writes: write to a temp file in the target directory,
-// then rename over the destination. A reader never observes a truncated or
-// half-written file, and a killed writer leaves at most a stray *.tmp.
+// fsync it, rename over the destination, then fsync the directory. A reader
+// never observes a truncated or half-written file, a killed writer leaves at
+// most a stray *.tmp, and a completed write survives power loss.
 #pragma once
 
 #include <string>
 
 namespace pacsim {
 
-/// Write `content` to `path` atomically (temp file + rename, same
-/// directory so the rename cannot cross filesystems). Throws
-/// std::runtime_error on any I/O failure; the temp file is removed on the
-/// error paths that can still reach it.
+/// Write `content` to `path` atomically and durably (temp file + fsync +
+/// rename + directory fsync, same directory so the rename cannot cross
+/// filesystems). Throws std::runtime_error on any I/O failure; the temp
+/// file is removed on the error paths that can still reach it.
 void write_file_atomic(const std::string& path, const std::string& content);
 
 }  // namespace pacsim

@@ -1,0 +1,58 @@
+#include "common/concurrency.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace pacsim {
+
+namespace {
+std::atomic<unsigned> g_active_jobs{0};
+std::atomic<bool> g_warned{false};
+}  // namespace
+
+unsigned hardware_threads() {
+  if (const char* env = std::getenv("PACSIM_HW_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v < 1u << 16) {
+      return static_cast<unsigned>(v);
+    }
+    std::fprintf(stderr,
+                 "[pacsim] ignoring invalid PACSIM_HW_THREADS='%s'\n", env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ActiveJobsGuard::ActiveJobsGuard(unsigned jobs) : jobs_(jobs) {
+  g_active_jobs.fetch_add(jobs_, std::memory_order_relaxed);
+}
+
+ActiveJobsGuard::~ActiveJobsGuard() {
+  g_active_jobs.fetch_sub(jobs_, std::memory_order_relaxed);
+}
+
+unsigned active_sweep_jobs() {
+  return g_active_jobs.load(std::memory_order_relaxed);
+}
+
+unsigned clamp_intra_run_threads(unsigned requested) {
+  if (requested <= 1) return requested == 0 ? 1 : requested;
+  const unsigned jobs = std::max(1u, active_sweep_jobs());
+  const unsigned hw = hardware_threads();
+  const unsigned budget = std::max(1u, hw / jobs);
+  const unsigned effective = std::min(requested, budget);
+  if (effective < requested && !g_warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "[pacsim] threads=%u with %u sweep job(s) would "
+                 "oversubscribe %u hardware threads; clamping to "
+                 "threads=%u\n",
+                 requested, jobs, hw, effective);
+  }
+  return effective;
+}
+
+}  // namespace pacsim

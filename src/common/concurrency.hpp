@@ -1,0 +1,47 @@
+// Process-wide parallelism accounting.
+//
+// Two layers can each spawn threads: the sweep harness (`jobs=N` parallel
+// simulate() calls) and the sharded run loop inside one simulation
+// (`threads=M` workers). Composed naively that is N*M runnable threads;
+// on a machine with fewer hardware threads the result is silent context-
+// switch thrash that can easily be slower than serial. This header gives
+// both layers one place to coordinate: the sweep layer registers how many
+// jobs are in flight, and the intra-run layer clamps its worker count so
+// the product stays within hardware concurrency (with a one-line warning
+// the first time a clamp actually bites).
+#pragma once
+
+namespace pacsim {
+
+/// Hardware concurrency, never less than 1 (hardware_concurrency may
+/// legally return 0). The PACSIM_HW_THREADS environment variable, when set
+/// to a positive integer, overrides the detected value — for containers
+/// whose visible CPU count misrepresents the actual budget, and for tests
+/// that must drive the threaded epoch-scheduler path on single-CPU hosts
+/// (thread-sanitizer coverage is only meaningful when threads really run).
+unsigned hardware_threads();
+
+/// RAII registration of `jobs` concurrently-running sweep jobs. The sweep
+/// runner holds one of these for the duration of a sweep; nesting adds.
+class ActiveJobsGuard {
+ public:
+  explicit ActiveJobsGuard(unsigned jobs);
+  ~ActiveJobsGuard();
+  ActiveJobsGuard(const ActiveJobsGuard&) = delete;
+  ActiveJobsGuard& operator=(const ActiveJobsGuard&) = delete;
+
+ private:
+  unsigned jobs_;
+};
+
+/// Sweep jobs currently registered as running (0 when no sweep is active).
+unsigned active_sweep_jobs();
+
+/// Clamp an intra-run `threads=` request so that
+/// `active_sweep_jobs() * threads <= hardware_threads()`. Returns the
+/// effective worker count (at least 1). The first time a request is
+/// actually reduced, a one-line warning goes to stderr; after that the
+/// clamp is silent (a wide sweep would otherwise print it per job).
+unsigned clamp_intra_run_threads(unsigned requested);
+
+}  // namespace pacsim

@@ -52,6 +52,15 @@ class Rng {
     return n;
   }
 
+  /// Raw generator state, for checkpoint/restore of mid-stream position.
+  struct State {
+    std::uint64_t s[4];
+  };
+  [[nodiscard]] State state() const { return {{s_[0], s_[1], s_[2], s_[3]}}; }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

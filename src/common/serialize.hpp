@@ -1,0 +1,133 @@
+// Binary snapshot serialization for simulation-state checkpoints.
+//
+// A deliberately small, deterministic format: little-endian fixed-width
+// integers, doubles as their IEEE-754 bit pattern, length-prefixed strings
+// and vectors. Every checkpoint_save()/checkpoint_load() pair in the
+// simulator speaks this dialect, so a snapshot taken by one build restores
+// bit-identically in another build of the same snapshot version.
+//
+// Readers are strict: running off the end of the buffer, or a section tag
+// mismatch, throws SnapshotError rather than silently misaligning the
+// stream - a truncated or mismatched snapshot must never half-restore.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pacsim {
+
+/// Thrown on any malformed, truncated, or incompatible snapshot.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) { raw_le(v); }
+  void u64(std::uint64_t v) { raw_le(v); }
+  void i64(std::int64_t v) { raw_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  /// Section tag: a 4-char marker the reader must match exactly. Cheap
+  /// self-description that catches any save/load ordering drift.
+  void tag(const char (&name)[5]) { buf_.append(name, 4); }
+
+  [[nodiscard]] const std::string& buffer() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void raw_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  std::string buf_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string data) : data_(std::move(data)) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  bool b() { return u8() != 0; }
+  std::uint32_t u32() { return raw_le<std::uint32_t>(); }
+  std::uint64_t u64() { return raw_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void tag(const char (&name)[5]) {
+    need(4);
+    if (data_.compare(pos_, 4, name, 4) != 0) {
+      throw SnapshotError("expected section '" + std::string(name, 4) +
+                          "', found '" + data_.substr(pos_, 4) + "'");
+    }
+    pos_ += 4;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T raw_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::uint64_t n) const {
+    if (pos_ + n > data_.size()) throw SnapshotError("truncated stream");
+  }
+
+  std::string data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a over arbitrary bytes; the snapshot header fingerprints the loaded
+/// traces with this so a restore against different workload data fails fast
+/// instead of silently diverging.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t seed = 0xCBF29CE484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace pacsim

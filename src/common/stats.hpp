@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace pacsim {
 
 /// Running mean / min / max / count accumulator.
@@ -30,6 +32,36 @@ class RunningStat {
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
 
   void reset() { *this = RunningStat{}; }
+
+  /// Fold another accumulator in, as if its samples had been added here.
+  /// Note sum-order differs from interleaved adds, so merged means are only
+  /// bit-exact when the merge order is itself deterministic (it is: shards
+  /// merge in shard-index order).
+  void merge(const RunningStat& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      min_ = o.min_;
+      max_ = o.max_;
+    } else {
+      min_ = std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.u64(count_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void checkpoint_load(BinReader& r) {
+    count_ = r.u64();
+    sum_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::uint64_t count_ = 0;
@@ -64,6 +96,32 @@ class Histogram {
   void reset() {
     buckets_.clear();
     total_ = 0;
+  }
+
+  /// Fold another histogram in (bucket-wise sum).
+  void merge(const Histogram& o) {
+    for (const auto& [bucket, weight] : o.buckets_) {
+      buckets_[bucket] += weight;
+    }
+    total_ += o.total_;
+  }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.u64(buckets_.size());
+    for (const auto& [bucket, weight] : buckets_) {
+      w.i64(bucket);
+      w.u64(weight);
+    }
+    w.u64(total_);
+  }
+  void checkpoint_load(BinReader& r) {
+    buckets_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t bucket = r.i64();
+      buckets_[bucket] = r.u64();
+    }
+    total_ = r.u64();
   }
 
  private:

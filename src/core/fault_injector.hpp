@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace pacsim {
@@ -68,6 +69,33 @@ class FaultInjector {
   [[nodiscard]] Cycle stall_cycles() const { return cfg_.vault_stall_cycles; }
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Mid-stream RNG position, counters, and burst state all persist, so a
+  /// restored run draws the identical fault pattern the uninterrupted run
+  /// would have from this point on.
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("FLTI");
+    w.u64(stats_.link_errors);
+    w.u64(stats_.response_drops);
+    w.u64(stats_.vault_stalls);
+    const Rng::State st = rng_.state();
+    for (const std::uint64_t word : st.s) w.u64(word);
+    w.u32(link_burst_left_);
+    w.u32(drop_burst_left_);
+    w.u32(stall_burst_left_);
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("FLTI");
+    stats_.link_errors = r.u64();
+    stats_.response_drops = r.u64();
+    stats_.vault_stalls = r.u64();
+    Rng::State st{};
+    for (std::uint64_t& word : st.s) word = r.u64();
+    rng_.set_state(st);
+    link_burst_left_ = r.u32();
+    drop_burst_left_ = r.u32();
+    stall_burst_left_ = r.u32();
+  }
 
  private:
   /// One decision: either continue an active burst or roll `rate`. A fresh

@@ -30,12 +30,15 @@
 // the dump path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 #include "core/request_ledger.hpp"
 #include "mem/request.hpp"
@@ -164,6 +167,52 @@ class Verifier {
   [[nodiscard]] const VerifyConfig& config() const { return cfg_; }
   [[nodiscard]] const RequestLedger& ledger() const { return ledger_; }
   [[nodiscard]] bool fence_active() const { return fence_active_; }
+
+  /// Checkpoints are taken at quiescent points (no outstanding requests),
+  /// so the ledger's open-request map is empty by construction; only the
+  /// counters, the kFull retired-id set, and the watchdog/age-check clocks
+  /// persist. The fence window is closed at quiescence too.
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("VRFY");
+    w.u64(stats_.issued);
+    w.u64(stats_.accepted);
+    w.u64(stats_.merged);
+    w.u64(stats_.device_requests);
+    w.u64(stats_.dispatched_raws);
+    w.u64(stats_.responses);
+    w.u64(stats_.responded_raws);
+    w.u64(stats_.retired);
+    w.u64(stats_.fences);
+    w.u64(stats_.nacks);
+    w.u64(stats_.retransmissions);
+    std::vector<std::uint64_t> retired(retired_ids_.begin(),
+                                       retired_ids_.end());
+    std::sort(retired.begin(), retired.end());
+    w.u64(retired.size());
+    for (const std::uint64_t id : retired) w.u64(id);
+    w.u64(last_progress_);
+    w.u64(next_age_check_);
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("VRFY");
+    stats_.issued = r.u64();
+    stats_.accepted = r.u64();
+    stats_.merged = r.u64();
+    stats_.device_requests = r.u64();
+    stats_.dispatched_raws = r.u64();
+    stats_.responses = r.u64();
+    stats_.responded_raws = r.u64();
+    stats_.retired = r.u64();
+    stats_.fences = r.u64();
+    stats_.nacks = r.u64();
+    stats_.retransmissions = r.u64();
+    retired_ids_.clear();
+    const std::uint64_t n = r.u64();
+    retired_ids_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) retired_ids_.insert(r.u64());
+    last_progress_ = r.u64();
+    next_age_check_ = r.u64();
+  }
 
  private:
   /// Record the violation, write the forensics dump, throw.

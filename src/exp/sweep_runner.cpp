@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/concurrency.hpp"
 #include "core/verifier.hpp"
 #include "exp/interrupt.hpp"
 #include "exp/thread_pool.hpp"
@@ -161,6 +162,10 @@ std::vector<JobOutcome> SweepRunner::run_isolated(
         std::chrono::duration<double>(SteadyClock::now() - start).count();
   };
 
+  // Register the sweep's parallelism so intra-run `threads=` requests in
+  // the jobs clamp themselves against the remaining hardware budget.
+  const ActiveJobsGuard jobs_guard(
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, sweep.size())));
   parallel_for(jobs_, sweep.size(), [&](std::size_t i) {
     const SweepJob& job = sweep[i];
     JobOutcome& outcome = outcomes[i];

@@ -35,6 +35,12 @@ class Bank {
 
   [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
 
+  /// Checkpoint restore: reinstate the busy horizon and access count.
+  void restore(Cycle busy_until, std::uint64_t accesses) {
+    busy_until_ = busy_until;
+    accesses_ = accesses;
+  }
+
  private:
   Cycle busy_until_ = 0;
   std::uint64_t accesses_ = 0;

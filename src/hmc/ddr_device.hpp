@@ -66,6 +66,51 @@ class DdrDevice final : public MemoryBackend {
   void set_verifier(Verifier* verifier) override { verifier_ = verifier; }
   [[nodiscard]] std::string debug_json() const override;
 
+  /// Quiescent-point state: stats, sequence allocator, refresh grid, bus
+  /// busy horizons, and per-bank open-row / timing state.
+  void checkpoint_save(BinWriter& w) const override {
+    w.tag("DDRD");
+    stats_.checkpoint_save(w);
+    w.u64(next_seq_);
+    w.u64(next_refresh_);
+    w.u32(refresh_channel_);
+    w.u64(bus_busy_.size());
+    for (const Cycle c : bus_busy_) w.u64(c);
+    w.u64(banks_.size());
+    w.u64(banks_.empty() ? 0 : banks_[0].size());
+    for (const auto& channel : banks_) {
+      for (const DdrBank& bank : channel) {
+        w.u64(bank.busy_until);
+        w.u64(bank.ras_until);
+        w.u64(bank.open_row);
+        w.b(bank.row_open);
+      }
+    }
+  }
+  void checkpoint_load(BinReader& r) override {
+    r.tag("DDRD");
+    stats_.checkpoint_load(r);
+    next_seq_ = r.u64();
+    next_refresh_ = r.u64();
+    refresh_channel_ = r.u32();
+    if (r.u64() != bus_busy_.size()) {
+      throw SnapshotError("ddr channel count mismatch");
+    }
+    for (Cycle& c : bus_busy_) c = r.u64();
+    if (r.u64() != banks_.size() ||
+        r.u64() != (banks_.empty() ? 0 : banks_[0].size())) {
+      throw SnapshotError("ddr bank geometry mismatch");
+    }
+    for (auto& channel : banks_) {
+      for (DdrBank& bank : channel) {
+        bank.busy_until = r.u64();
+        bank.ras_until = r.u64();
+        bank.open_row = r.u64();
+        bank.row_open = r.b();
+      }
+    }
+  }
+
  private:
   struct Request;
 

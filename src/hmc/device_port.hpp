@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "mem/memory_backend.hpp"
 
 namespace pacsim {
@@ -100,6 +101,29 @@ class DevicePort {
 
   /// One-line JSON object describing retry-buffer occupancy, for forensics.
   [[nodiscard]] std::string debug_json() const;
+
+  /// At a quiescent point the retry buffer is empty (idle() holds), so only
+  /// the stats persist. Stale entries in the lazy-invalidation timer heap
+  /// are dropped by a restore; they carry no live state (their generation
+  /// was already bumped past), only an early-but-harmless next-event bound.
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("PORT");
+    w.u64(stats_.retransmissions);
+    w.u64(stats_.nacks);
+    w.u64(stats_.timeout_fires);
+    w.u64(stats_.spurious_timeouts);
+    w.u64(stats_.retransmitted_bytes);
+    w.u32(stats_.max_retry_depth);
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("PORT");
+    stats_.retransmissions = r.u64();
+    stats_.nacks = r.u64();
+    stats_.timeout_fires = r.u64();
+    stats_.spurious_timeouts = r.u64();
+    stats_.retransmitted_bytes = r.u64();
+    stats_.max_retry_depth = r.u32();
+  }
 
  private:
   struct Pending {

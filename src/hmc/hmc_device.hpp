@@ -97,6 +97,53 @@ class HmcDevice final : public MemoryBackend {
   /// One-line JSON object describing device occupancy, for forensics.
   [[nodiscard]] std::string debug_json() const override;
 
+  /// At a quiescent point (idle(): outstanding_ == 0) the event queue, the
+  /// vault queues, and the in-flight map are all empty and the pools are
+  /// fully recycled, so the snapshot carries stats, allocators, link/bank
+  /// busy horizons, and the refresh grid.
+  void checkpoint_save(BinWriter& w) const override {
+    w.tag("HMCD");
+    stats_.checkpoint_save(w);
+    w.u32(rr_link_);
+    w.u64(next_seq_);
+    w.u64(next_refresh_);
+    w.u32(refresh_vault_);
+    w.u64(link_req_busy_.size());
+    for (const Cycle c : link_req_busy_) w.u64(c);
+    for (const Cycle c : link_rsp_busy_) w.u64(c);
+    w.u64(banks_.size());
+    w.u64(banks_.empty() ? 0 : banks_[0].size());
+    for (const auto& vault : banks_) {
+      for (const Bank& bank : vault) {
+        w.u64(bank.busy_until());
+        w.u64(bank.accesses());
+      }
+    }
+  }
+  void checkpoint_load(BinReader& r) override {
+    r.tag("HMCD");
+    stats_.checkpoint_load(r);
+    rr_link_ = r.u32();
+    next_seq_ = r.u64();
+    next_refresh_ = r.u64();
+    refresh_vault_ = r.u32();
+    if (r.u64() != link_req_busy_.size()) {
+      throw SnapshotError("hmc link count mismatch");
+    }
+    for (Cycle& c : link_req_busy_) c = r.u64();
+    for (Cycle& c : link_rsp_busy_) c = r.u64();
+    if (r.u64() != banks_.size() ||
+        r.u64() != (banks_.empty() ? 0 : banks_[0].size())) {
+      throw SnapshotError("hmc bank geometry mismatch");
+    }
+    for (auto& vault : banks_) {
+      for (Bank& bank : vault) {
+        const Cycle busy = r.u64();
+        bank.restore(busy, r.u64());
+      }
+    }
+  }
+
  private:
   struct Request;  // a device request in flight
 

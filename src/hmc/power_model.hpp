@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace pacsim {
@@ -85,6 +86,15 @@ class PowerModel {
   [[nodiscard]] const PowerConfig& config() const { return cfg_; }
 
   void reset() { energy_.fill(0.0); }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("POWR");
+    for (const PicoJoule e : energy_) w.f64(e);
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("POWR");
+    for (PicoJoule& e : energy_) e = r.f64();
+  }
 
  private:
   PowerConfig cfg_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 
 namespace pacsim {
@@ -29,6 +30,37 @@ struct BackendStats {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
   RunningStat access_latency;         ///< submit -> completion, cycles
+
+  void checkpoint_save(BinWriter& w) const {
+    w.u64(requests);
+    w.u64(row_accesses);
+    w.u64(bank_conflicts);
+    w.u64(conflict_wait_cycles);
+    w.u64(refreshes);
+    w.u64(local_routes);
+    w.u64(remote_routes);
+    w.u64(request_flits);
+    w.u64(response_flits);
+    w.u64(payload_bytes);
+    w.u64(row_hits);
+    w.u64(row_misses);
+    access_latency.checkpoint_save(w);
+  }
+  void checkpoint_load(BinReader& r) {
+    requests = r.u64();
+    row_accesses = r.u64();
+    bank_conflicts = r.u64();
+    conflict_wait_cycles = r.u64();
+    refreshes = r.u64();
+    local_routes = r.u64();
+    remote_routes = r.u64();
+    request_flits = r.u64();
+    response_flits = r.u64();
+    payload_bytes = r.u64();
+    row_hits = r.u64();
+    row_misses = r.u64();
+    access_latency.checkpoint_load(r);
+  }
 };
 
 }  // namespace pacsim

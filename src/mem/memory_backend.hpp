@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 #include "mem/address_map.hpp"
 #include "mem/backend_stats.hpp"
@@ -106,6 +107,12 @@ class MemoryBackend {
 
   /// One-line JSON object describing device occupancy, for forensics.
   [[nodiscard]] virtual std::string debug_json() const = 0;
+
+  /// Persist / restore quiescent-point state (idle() true: no request in
+  /// flight, all queues drained). What survives idleness is statistics,
+  /// id/sequence allocators, bank busy/row state, and refresh timer grids.
+  virtual void checkpoint_save(BinWriter& w) const = 0;
+  virtual void checkpoint_load(BinReader& r) = 0;
 
   /// Convenience wrapper for tests and examples (allocates per call).
   std::vector<DeviceResponse> drain_completed() {

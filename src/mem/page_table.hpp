@@ -7,12 +7,14 @@
 // adjacency is fully preserved.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace pacsim {
@@ -37,6 +39,33 @@ class PageTable {
   /// Number of frames currently allocated.
   [[nodiscard]] std::uint64_t allocated() const { return next_free_; }
   [[nodiscard]] std::uint64_t capacity() const { return frames_.size(); }
+
+  /// The shuffled frame pool is rebuilt from the seed by the constructor,
+  /// so a snapshot only carries the allocation cursor and the mappings
+  /// (saved in sorted key order for deterministic snapshot bytes).
+  void checkpoint_save(BinWriter& w) const {
+    w.tag("PGTB");
+    w.u64(next_free_);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(
+        map_.begin(), map_.end());
+    std::sort(entries.begin(), entries.end());
+    w.u64(entries.size());
+    for (const auto& [key, pfn] : entries) {
+      w.u64(key);
+      w.u64(pfn);
+    }
+  }
+  void checkpoint_load(BinReader& r) {
+    r.tag("PGTB");
+    next_free_ = r.u64();
+    map_.clear();
+    const std::uint64_t n = r.u64();
+    map_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t key = r.u64();
+      map_[key] = r.u64();
+    }
+  }
 
  private:
   std::vector<std::uint64_t> frames_;  ///< shuffled physical frame numbers

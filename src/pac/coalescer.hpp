@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/request.hpp"
@@ -33,6 +34,27 @@ struct CoalescerStats {
                ? 0.0
                : static_cast<double>(coalesced_away) /
                      static_cast<double>(raw_requests);
+  }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.u64(raw_requests);
+    w.u64(coalesced_away);
+    w.u64(issued_requests);
+    w.u64(issued_payload_bytes);
+    w.u64(comparisons);
+    w.u64(atomics);
+    w.u64(fences);
+    request_size_bytes.checkpoint_save(w);
+  }
+  void checkpoint_load(BinReader& r) {
+    raw_requests = r.u64();
+    coalesced_away = r.u64();
+    issued_requests = r.u64();
+    issued_payload_bytes = r.u64();
+    comparisons = r.u64();
+    atomics = r.u64();
+    fences = r.u64();
+    request_size_bytes.checkpoint_load(r);
   }
 };
 
@@ -91,6 +113,14 @@ class Coalescer {
   /// One-line JSON object describing internal occupancy, for forensics
   /// dumps. Default: no interesting state.
   [[nodiscard]] virtual std::string debug_json() const { return "{}"; }
+
+  /// Persist / restore state that survives a quiescent point (no buffered
+  /// raw requests, idle() true): statistics, id allocators, and any timer
+  /// grids that outlive idleness. Defaults are no-ops so minimal test
+  /// coalescers (and the coalescer_factory hook) keep working; every real
+  /// controller overrides them.
+  virtual void checkpoint_save(BinWriter& w) const { (void)w; }
+  virtual void checkpoint_load(BinReader& r) { (void)r; }
 
  protected:
   Verifier* verifier_ = nullptr;

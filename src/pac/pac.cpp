@@ -470,4 +470,32 @@ void Pac::fast_forward_to(Cycle target) {
   }
 }
 
+void Pac::checkpoint_save(BinWriter& w) const {
+  w.tag("PAC_");
+  stats_.checkpoint_save(w);
+  w.u64(next_device_id_);
+  w.u64(last_tick_);
+  w.b(fence_draining_);
+  w.b(bypass_active_);
+  w.u64(maq_push_times_.size());
+  for (const Cycle c : maq_push_times_) w.u64(c);
+  w.u64(maq_pushes_);
+  w.u64(next_occupancy_sample_);
+}
+
+void Pac::checkpoint_load(BinReader& r) {
+  r.tag("PAC_");
+  stats_.checkpoint_load(r);
+  next_device_id_ = r.u64();
+  last_tick_ = r.u64();
+  fence_draining_ = r.b();
+  bypass_active_ = r.b();
+  if (r.u64() != maq_push_times_.size()) {
+    throw SnapshotError("pac maq ring size mismatch");
+  }
+  for (Cycle& c : maq_push_times_) c = r.u64();
+  maq_pushes_ = r.u64();
+  next_occupancy_sample_ = r.u64();
+}
+
 }  // namespace pacsim

@@ -39,6 +39,12 @@ class Pac final : public Coalescer, private MaqSink {
   }
   [[nodiscard]] std::string debug_json() const override;
 
+  /// Quiescent-point state: statistics, the device-id allocator, the MAQ
+  /// fill-latency ring, and the occupancy-sample / tick clocks. All pipeline
+  /// stages, the MAQ and the MSHRs are empty at a quiescent point (idle()).
+  void checkpoint_save(BinWriter& w) const override;
+  void checkpoint_load(BinReader& r) override;
+
   [[nodiscard]] const PacStats& pac_stats() const { return stats_; }
   [[nodiscard]] const PacConfig& config() const { return cfg_; }
   [[nodiscard]] const AdaptiveMshrFile& mshrs() const { return mshrs_; }

@@ -48,6 +48,39 @@ struct PacStats {
   /// Secondary coalescing: device requests absorbed by an in-flight
   /// adaptive-MSHR entry covering the same blocks.
   std::uint64_t mshr_merges = 0;
+
+  void checkpoint_save(BinWriter& w) const {
+    base.checkpoint_save(w);
+    w.u64(flushed_streams);
+    w.u64(timeout_flushes);
+    w.u64(fence_flushes);
+    w.u64(full_chunk_flushes);
+    w.u64(c0_bypass_requests);
+    w.u64(controller_bypass_requests);
+    w.u64(cross_page_adjacent);
+    stream_occupancy.checkpoint_save(w);
+    stage2_latency.checkpoint_save(w);
+    stage3_latency.checkpoint_save(w);
+    maq_fill_latency.checkpoint_save(w);
+    request_latency.checkpoint_save(w);
+    w.u64(mshr_merges);
+  }
+  void checkpoint_load(BinReader& r) {
+    base.checkpoint_load(r);
+    flushed_streams = r.u64();
+    timeout_flushes = r.u64();
+    fence_flushes = r.u64();
+    full_chunk_flushes = r.u64();
+    c0_bypass_requests = r.u64();
+    controller_bypass_requests = r.u64();
+    cross_page_adjacent = r.u64();
+    stream_occupancy.checkpoint_load(r);
+    stage2_latency.checkpoint_load(r);
+    stage3_latency.checkpoint_load(r);
+    maq_fill_latency.checkpoint_load(r);
+    request_latency.checkpoint_load(r);
+    mshr_merges = r.u64();
+  }
 };
 
 }  // namespace pacsim

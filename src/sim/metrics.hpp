@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/fault_injector.hpp"
@@ -56,11 +57,30 @@ struct SimThroughput {
   }
 };
 
+/// How the run was executed: sharding, threading, epochs, and snapshot
+/// provenance. Host-side like SimThroughput - excluded from bit-identity
+/// comparisons except for `shards` (which changes the simulated topology)
+/// and the restore provenance.
+struct ExecStats {
+  unsigned shards = 1;            ///< execution domains simulated
+  unsigned threads = 1;           ///< effective worker threads used
+  unsigned threads_requested = 1; ///< before the oversubscription clamp
+  std::uint64_t epochs = 0;       ///< barrier synchronizations performed
+  std::uint64_t checkpoints_written = 0;
+  /// Checkpoint attempts skipped because a shard never reached a quiescent
+  /// point before the next attempt came due.
+  std::uint64_t checkpoints_skipped = 0;
+  bool restored = false;          ///< run resumed from a snapshot
+  Cycle restore_cycle = 0;        ///< max shard cycle in that snapshot
+  std::string restored_from;      ///< snapshot path ("" when !restored)
+};
+
 struct RunResult {
   Cycle cycles = 0;  ///< total runtime in CPU cycles
   double ns_per_cycle = 0.5;
 
   SimThroughput throughput;  ///< host-side speed (not a simulated metric)
+  ExecStats exec;            ///< sharding/threading/snapshot provenance
 
   CoalescerStats coal;
   PacStats pac;        ///< valid only when has_pac

@@ -87,6 +87,22 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
         << ", \"mcycles_per_sec\": " << num(r.throughput.mcycles_per_sec())
         << ", \"fast_forward_jumps\": " << r.throughput.fast_forward_jumps
         << ", \"skipped_cycles\": " << r.throughput.skipped_cycles << "},\n";
+    // Host-side like sim_throughput (thread counts and epoch cadence do not
+    // change simulated results), so it shares the include_throughput gate:
+    // bit-identity comparisons exclude both blocks.
+    out << "  \"execution\": {\"shards\": " << r.exec.shards
+        << ", \"threads\": " << r.exec.threads
+        << ", \"threads_requested\": " << r.exec.threads_requested
+        << ", \"epochs\": " << r.exec.epochs
+        << ", \"checkpoints_written\": " << r.exec.checkpoints_written
+        << ", \"checkpoints_skipped\": " << r.exec.checkpoints_skipped
+        << ", \"restored\": " << (r.exec.restored ? "true" : "false");
+    if (r.exec.restored) {
+      out << ", \"restore_cycle\": " << r.exec.restore_cycle
+          << ", \"restored_from\": \"" << escape(r.exec.restored_from)
+          << "\"";
+    }
+    out << "},\n";
   }
   out << "  \"raw_requests\": " << r.coal.raw_requests << ",\n";
   out << "  \"issued_requests\": " << r.coal.issued_requests << ",\n";
@@ -253,7 +269,7 @@ std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 6,\n";
+  out << "  \"schema_version\": 7,\n";
   out << "  \"wall_time\": {\"generation_seconds\": "
       << num(generation_seconds_)
       << ", \"simulation_seconds\": " << num(simulation_seconds_) << "},\n";

@@ -28,12 +28,17 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 6,
+///   { "bench": "<name>", "schema_version": 7,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v6 added the per-run "backend" block ({"kind":
+/// Schema history: v7 added the per-run "execution" block (sharded-run
+/// provenance: "shards", effective and requested "threads", epoch-barrier
+/// count, "checkpoints_written"/"checkpoints_skipped", "restored" plus
+/// "restore_cycle"/"restored_from" on resumed runs; host-side like
+/// "sim_throughput" and emitted under the same include_throughput gate);
+/// v6 added the per-run "backend" block ({"kind":
 /// "hmc"|"hbm"|"ddr", "row_hits", "row_misses", "conflict_wait_cycles",
 /// "device_requests"} - open-page hit/miss counters are zero on the
 /// closed-page HMC substrate) and made the HMC-only "energy_pj" classes

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/sharded_system.hpp"
+
 namespace pacsim {
 
 RunResult simulate(const SystemConfig& cfg,
@@ -18,6 +20,19 @@ RunResult simulate(const SystemConfig& cfg,
                  "%zu..%u will run empty traces\n",
                  traces.size(), cfg.num_cores, traces.size(),
                  cfg.num_cores - 1);
+  }
+  if (cfg.exec.sharded()) {
+    // threads=/shards=/checkpoint=/restore= select the sharded epoch
+    // scheduler; everything else stays on the classic single-System path.
+    ShardedSystem system(cfg);
+    for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+      const std::uint8_t process =
+          core < processes.size() ? processes[core] : std::uint8_t{0};
+      system.load_trace(core,
+                        core < traces.size() ? traces[core] : SharedTrace{},
+                        process);
+    }
+    return system.run();
   }
   System system(cfg);
   for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {

@@ -1,0 +1,354 @@
+#include "sim/sharded_system.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/atomic_file.hpp"
+#include "common/concurrency.hpp"
+#include "common/serialize.hpp"
+
+namespace pacsim {
+namespace {
+
+constexpr char kSnapshotMagic[] = "PACSNAP";
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+// Shard results are merged in ascending shard order, so every fold below is
+// performed in a deterministic sequence and the merged doubles (RunningStat
+// sums, energies) are bit-reproducible across runs and thread counts.
+
+void merge(CoalescerStats& a, const CoalescerStats& b) {
+  a.raw_requests += b.raw_requests;
+  a.coalesced_away += b.coalesced_away;
+  a.issued_requests += b.issued_requests;
+  a.issued_payload_bytes += b.issued_payload_bytes;
+  a.comparisons += b.comparisons;
+  a.atomics += b.atomics;
+  a.fences += b.fences;
+  a.request_size_bytes.merge(b.request_size_bytes);
+}
+
+void merge(PacStats& a, const PacStats& b) {
+  merge(a.base, b.base);
+  a.flushed_streams += b.flushed_streams;
+  a.timeout_flushes += b.timeout_flushes;
+  a.fence_flushes += b.fence_flushes;
+  a.full_chunk_flushes += b.full_chunk_flushes;
+  a.c0_bypass_requests += b.c0_bypass_requests;
+  a.controller_bypass_requests += b.controller_bypass_requests;
+  a.cross_page_adjacent += b.cross_page_adjacent;
+  a.stream_occupancy.merge(b.stream_occupancy);
+  a.stage2_latency.merge(b.stage2_latency);
+  a.stage3_latency.merge(b.stage3_latency);
+  a.maq_fill_latency.merge(b.maq_fill_latency);
+  a.request_latency.merge(b.request_latency);
+  a.mshr_merges += b.mshr_merges;
+}
+
+void merge(BackendStats& a, const BackendStats& b) {
+  a.requests += b.requests;
+  a.row_accesses += b.row_accesses;
+  a.bank_conflicts += b.bank_conflicts;
+  a.conflict_wait_cycles += b.conflict_wait_cycles;
+  a.refreshes += b.refreshes;
+  a.local_routes += b.local_routes;
+  a.remote_routes += b.remote_routes;
+  a.request_flits += b.request_flits;
+  a.response_flits += b.response_flits;
+  a.payload_bytes += b.payload_bytes;
+  a.row_hits += b.row_hits;
+  a.row_misses += b.row_misses;
+  a.access_latency.merge(b.access_latency);
+}
+
+void merge(ResilienceStats& a, const ResilienceStats& b) {
+  a.enabled = a.enabled || b.enabled;
+  a.fault.link_errors += b.fault.link_errors;
+  a.fault.response_drops += b.fault.response_drops;
+  a.fault.vault_stalls += b.fault.vault_stalls;
+  a.retry.retransmissions += b.retry.retransmissions;
+  a.retry.nacks += b.retry.nacks;
+  a.retry.timeout_fires += b.retry.timeout_fires;
+  a.retry.spurious_timeouts += b.retry.spurious_timeouts;
+  a.retry.retransmitted_bytes += b.retry.retransmitted_bytes;
+  a.retry.max_retry_depth =
+      std::max(a.retry.max_retry_depth, b.retry.max_retry_depth);
+}
+
+void merge(VerifyStats& a, const VerifyStats& b) {
+  // enabled/level are config, identical across shards; keep shard 0's.
+  a.issued += b.issued;
+  a.accepted += b.accepted;
+  a.merged += b.merged;
+  a.device_requests += b.device_requests;
+  a.dispatched_raws += b.dispatched_raws;
+  a.responses += b.responses;
+  a.responded_raws += b.responded_raws;
+  a.retired += b.retired;
+  a.fences += b.fences;
+  a.nacks += b.nacks;
+  a.retransmissions += b.retransmissions;
+  a.violations += b.violations;
+}
+
+}  // namespace
+
+ShardedSystem::ShardedSystem(const SystemConfig& cfg) : cfg_(cfg) {
+  unsigned n = cfg.exec.shards != 0 ? cfg.exec.shards
+                                    : std::max(1u, cfg.exec.threads);
+  n = std::min(n, std::max(1u, cfg.num_cores));
+
+  // Contiguous partition; the first (num_cores % n) shards get the extra
+  // core, so the layout is a pure function of (num_cores, n).
+  const std::uint32_t base = cfg.num_cores / n;
+  const std::uint32_t rem = cfg.num_cores % n;
+  shard_start_.reserve(n + 1);
+  shard_start_.push_back(0);
+  shards_.reserve(n);
+  for (unsigned s = 0; s < n; ++s) {
+    const std::uint32_t count = base + (s < rem ? 1 : 0);
+    shard_start_.push_back(shard_start_.back() + count);
+
+    SystemConfig scfg = cfg;
+    scfg.num_cores = count;
+    // Distinct deterministic streams per shard; XOR with the shard index
+    // keeps shard 0 on the original seeds, so shards=1 reproduces the
+    // classic single-System run bit-for-bit.
+    scfg.page_table_seed ^= s;
+    scfg.fault.seed ^= s;
+    scfg.exec = ExecConfig{};  // shards never nest
+    shards_.push_back(std::make_unique<System>(scfg));
+  }
+  loaded_.resize(cfg.num_cores);
+}
+
+void ShardedSystem::load_trace(std::uint32_t core, SharedTrace trace,
+                               std::uint8_t process) {
+  if (core >= cfg_.num_cores) {
+    throw std::out_of_range("ShardedSystem::load_trace: core " +
+                            std::to_string(core) + " of " +
+                            std::to_string(cfg_.num_cores));
+  }
+  loaded_[core] = LoadedTrace{trace, process};
+  const auto it =
+      std::upper_bound(shard_start_.begin(), shard_start_.end(), core);
+  const auto s = static_cast<std::size_t>(it - shard_start_.begin()) - 1;
+  shards_[s]->load_trace(core - shard_start_[s], std::move(trace), process);
+}
+
+std::string ShardedSystem::snapshot_path(const std::string& dir,
+                                         Cycle cycle) {
+  return dir + "/ckpt-" + std::to_string(cycle) + ".pacsnap";
+}
+
+std::uint64_t ShardedSystem::trace_fingerprint() const {
+  // Field-by-field (TraceOp has padding bytes a raw memory hash would read).
+  const std::uint32_t cores = cfg_.num_cores;
+  std::uint64_t h = fnv1a(&cores, sizeof(cores));
+  for (const LoadedTrace& lt : loaded_) {
+    h = fnv1a(&lt.process, sizeof(lt.process), h);
+    if (lt.trace == nullptr) continue;
+    for (const TraceOp& op : *lt.trace) {
+      h = fnv1a(&op.vaddr, sizeof(op.vaddr), h);
+      h = fnv1a(&op.arg, sizeof(op.arg), h);
+      h = fnv1a(&op.kind, sizeof(op.kind), h);
+    }
+  }
+  return h;
+}
+
+bool ShardedSystem::all_finished() const {
+  for (const auto& s : shards_) {
+    if (!s->is_finished()) return false;
+  }
+  return true;
+}
+
+void ShardedSystem::run_epoch(Cycle bound) {
+  const std::size_t n = shards_.size();
+  if (threads_effective_ <= 1 || n <= 1) {
+    for (auto& s : shards_) {
+      if (!s->is_finished()) s->run_until(bound);
+    }
+    return;
+  }
+
+  // Fork-join per epoch with dynamic shard claiming. Scheduling order is
+  // irrelevant to the results (shards share no state), so work stealing
+  // costs nothing in determinism and balances uneven shards.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (shards_[i]->is_finished()) continue;
+      try {
+        shards_[i]->run_until(bound);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  const unsigned workers = std::min<unsigned>(
+      threads_effective_, static_cast<unsigned>(n));
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  // Rethrow the lowest-index failure so the surfaced error is deterministic
+  // even when several shards fail in the same epoch.
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void ShardedSystem::write_snapshot(Cycle bound) const {
+  // checkpoint= mirrors jsondir=: the directory is created on demand so a
+  // fresh path works without a prior mkdir.
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.exec.checkpoint_dir, ec);
+  BinWriter w;
+  w.str(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.u64(trace_fingerprint());
+  w.u32(static_cast<std::uint32_t>(shards_.size()));
+  w.u64(bound);
+  for (const auto& s : shards_) {
+    BinWriter shard;
+    s->checkpoint_save(shard);
+    w.str(shard.take());
+  }
+  write_file_atomic(snapshot_path(cfg_.exec.checkpoint_dir, bound),
+                    w.take());
+}
+
+void ShardedSystem::maybe_checkpoint(Cycle bound) {
+  if (cfg_.exec.checkpoint_every != 0 && bound < next_checkpoint_) return;
+  for (const auto& s : shards_) {
+    if (!s->quiescent()) {
+      // Some shard has requests in flight across this boundary; the
+      // attempt stays due and is retried at the next epoch.
+      ++exec_.checkpoints_skipped;
+      return;
+    }
+  }
+  write_snapshot(bound);
+  ++exec_.checkpoints_written;
+  next_checkpoint_ = bound + cfg_.exec.checkpoint_every;
+}
+
+void ShardedSystem::restore_from(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw SnapshotError("read error on '" + path + "'");
+  }
+
+  BinReader r(std::move(bytes));
+  if (r.str() != kSnapshotMagic) throw SnapshotError("bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version));
+  }
+  const std::uint64_t fp = r.u64();
+  if (fp != trace_fingerprint()) {
+    throw SnapshotError(
+        "trace fingerprint mismatch (snapshot was taken with different "
+        "workload traces or core count)");
+  }
+  if (r.u32() != shards_.size()) {
+    throw SnapshotError("shard count mismatch");
+  }
+  bound_ = r.u64();
+  for (auto& s : shards_) {
+    BinReader shard(r.str());
+    s->checkpoint_load(shard);
+    if (!shard.exhausted()) {
+      throw SnapshotError("trailing bytes in shard blob");
+    }
+  }
+  if (!r.exhausted()) throw SnapshotError("trailing bytes in snapshot");
+
+  exec_.restored = true;
+  exec_.restore_cycle = bound_;
+  exec_.restored_from = path;
+}
+
+RunResult ShardedSystem::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  exec_.shards = static_cast<unsigned>(shards_.size());
+  exec_.threads_requested = std::max(1u, cfg_.exec.threads);
+  threads_effective_ = clamp_intra_run_threads(std::min<unsigned>(
+      exec_.threads_requested, static_cast<unsigned>(shards_.size())));
+  exec_.threads = threads_effective_;
+
+  if (!cfg_.exec.restore_path.empty()) restore_from(cfg_.exec.restore_path);
+  for (auto& s : shards_) s->begin_run();
+
+  const Cycle epoch = std::max<Cycle>(1, cfg_.exec.epoch_cycles);
+  const bool checkpointing = !cfg_.exec.checkpoint_dir.empty();
+  next_checkpoint_ = bound_ + cfg_.exec.checkpoint_every;
+
+  while (!all_finished()) {
+    bound_ += epoch;
+    run_epoch(bound_);
+    ++exec_.epochs;
+    if (checkpointing && !all_finished()) maybe_checkpoint(bound_);
+  }
+
+  RunResult out = merge_results();
+  out.throughput.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  out.exec = exec_;
+  return out;
+}
+
+RunResult ShardedSystem::merge_results() const {
+  RunResult out = shards_.front()->collect_result();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    const RunResult r = shards_[i]->collect_result();
+    out.cycles = std::max(out.cycles, r.cycles);
+    out.throughput.sim_cycles =
+        std::max(out.throughput.sim_cycles, r.throughput.sim_cycles);
+    out.throughput.fast_forward_jumps += r.throughput.fast_forward_jumps;
+    out.throughput.skipped_cycles += r.throughput.skipped_cycles;
+    merge(out.coal, r.coal);
+    if (r.has_pac) {
+      merge(out.pac, r.pac);
+      out.has_pac = true;
+    }
+    merge(out.hmc, r.hmc);
+    merge(out.resilience, r.resilience);
+    merge(out.verification, r.verification);
+    for (std::size_t e = 0; e < out.energy.size(); ++e) {
+      out.energy[e] += r.energy[e];
+    }
+    out.total_energy += r.total_energy;
+    out.l1_hits += r.l1_hits;
+    out.l1_misses += r.l1_misses;
+    out.llc_hits += r.llc_hits;
+    out.llc_misses += r.llc_misses;
+    out.prefetches_issued += r.prefetches_issued;
+    out.core_stall_cycles += r.core_stall_cycles;
+    out.raw_trace.insert(out.raw_trace.end(), r.raw_trace.begin(),
+                         r.raw_trace.end());
+  }
+  return out;
+}
+
+}  // namespace pacsim

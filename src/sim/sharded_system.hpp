@@ -1,0 +1,89 @@
+// Deterministic sharded execution: the run is partitioned into independent
+// execution domains ("shards"), each owning a disjoint contiguous subset of
+// cores with its own private L1s, shared-within-shard LLC, page table,
+// coalescer, retry port, and memory device. Shards never interact, so
+// advancing them on worker threads under an epoch-barrier scheduler is
+// bit-identical to advancing the same shards serially - at any thread
+// count, in any scheduling order (DESIGN.md "Sharded execution").
+//
+// The epoch grid does double duty: it is also where checkpoints are taken.
+// At an epoch boundary every shard sits at exactly the same cycle; when all
+// shards are additionally quiescent (no raw request buffered or in flight),
+// the whole simulation state is a few counters per component, and a
+// versioned snapshot is written via write_file_atomic. Restoring that
+// snapshot into a freshly built ShardedSystem with the same config and
+// traces resumes the run bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+#include "sim/system_config.hpp"
+
+namespace pacsim {
+
+class ShardedSystem {
+ public:
+  /// Builds `exec.shards` Systems (0 derives the count from exec.threads),
+  /// clamped to one shard per core. Shard s receives cfg with num_cores =
+  /// its partition size and fault/page-table seeds XORed with s (shard 0
+  /// keeps the original seeds, so a 1-shard run is bit-identical to the
+  /// classic System path).
+  explicit ShardedSystem(const SystemConfig& cfg);
+
+  /// Install the trace for global core index `core`; routed to the owning
+  /// shard's local core slot.
+  void load_trace(std::uint32_t core, SharedTrace trace,
+                  std::uint8_t process = 0);
+
+  /// Restore (when exec.restore_path is set), then advance all shards in
+  /// epochs until every shard finishes, writing checkpoints on the way when
+  /// exec.checkpoint_dir is set. Returns the shard results merged into one
+  /// RunResult (counters summed, distributions merged in shard order,
+  /// cycles = max over shards) with ExecStats provenance filled in.
+  RunResult run();
+
+  [[nodiscard]] unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] const System& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  /// Snapshot filename for a given cycle ("<dir>/ckpt-<cycle>.pacsnap").
+  static std::string snapshot_path(const std::string& dir, Cycle cycle);
+
+ private:
+  struct LoadedTrace {
+    SharedTrace trace;  ///< never null once load_trace ran (empty otherwise)
+    std::uint8_t process = 0;
+  };
+
+  void run_epoch(Cycle bound);
+  void maybe_checkpoint(Cycle bound);
+  void write_snapshot(Cycle bound) const;
+  void restore_from(const std::string& path);
+  /// Order- and padding-independent hash of the loaded traces + processes;
+  /// snapshot headers carry it so a restore against different workload data
+  /// fails fast instead of silently diverging.
+  [[nodiscard]] std::uint64_t trace_fingerprint() const;
+  [[nodiscard]] bool all_finished() const;
+  [[nodiscard]] RunResult merge_results() const;
+
+  SystemConfig cfg_;
+  std::vector<std::unique_ptr<System>> shards_;
+  std::vector<std::uint32_t> shard_start_;  ///< size shards+1, global cores
+  std::vector<LoadedTrace> loaded_;         ///< per global core
+  unsigned threads_effective_ = 1;
+
+  Cycle bound_ = 0;             ///< last epoch boundary every shard reached
+  Cycle next_checkpoint_ = 0;   ///< next cycle a snapshot attempt is due
+  ExecStats exec_;
+};
+
+}  // namespace pacsim

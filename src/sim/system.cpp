@@ -11,6 +11,7 @@
 
 #include "baseline/direct_controller.hpp"
 #include "baseline/mshr_dmc.hpp"
+#include "common/serialize.hpp"
 #include "hmc/backend_factory.hpp"
 
 namespace pacsim {
@@ -481,14 +482,18 @@ void System::step() {
   ++now_;
 }
 
-RunResult System::run() {
-  const auto wall_start = std::chrono::steady_clock::now();
-  const bool fast_forward = cfg_.enable_fast_forward &&
-                            std::getenv("PACSIM_NO_FASTFORWARD") == nullptr;
+void System::begin_run() {
+  wall_seconds_ = 0.0;
+  fast_forward_ = cfg_.enable_fast_forward &&
+                  std::getenv("PACSIM_NO_FASTFORWARD") == nullptr;
   done_cores_ = 0;
   for (const CoreState& c : cores_) done_cores_ += c.done ? 1 : 0;
+}
 
-  while (!finished()) {
+bool System::run_until(Cycle bound) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  while (!finished() && now_ < bound) {
     if (cfg_.cancel != nullptr &&
         cfg_.cancel->load(std::memory_order_relaxed)) {
       throw std::runtime_error("System::run cancelled at cycle " +
@@ -524,13 +529,17 @@ RunResult System::run() {
           std::to_string(device_->outstanding()) +
           ", inflight=" + std::to_string(inflight_misses_.size()) + ")");
     }
-    if (!fast_forward || finished()) continue;
+    if (!fast_forward_ || finished()) continue;
 
     // Event horizon: jump straight to the next cycle where step() can do
     // real work. Clamped to max_cycles so the watchdog fires on exactly the
-    // same cycle as the naive loop, and to the verifier's next deadline so
-    // no jump can leap over a due watchdog or age scan.
-    Cycle target = std::min(next_event_cycle(), cfg_.max_cycles);
+    // same cycle as the naive loop, to the verifier's next deadline so no
+    // jump can leap over a due watchdog or age scan, and to the caller's
+    // bound (the epoch barrier). The bound clamp cannot perturb results:
+    // jumps are analytically exact for any target within the event horizon,
+    // so stopping early and re-deriving the remaining jump later lands in
+    // the identical state.
+    Cycle target = std::min({next_event_cycle(), cfg_.max_cycles, bound});
     if (verifier_ != nullptr) {
       target = std::min(target, verifier_->next_deadline(now_));
     }
@@ -550,17 +559,28 @@ RunResult System::run() {
     ff_skipped_cycles_ += skipped;
   }
 
-  if (verifier_ != nullptr) verifier_->final_check(now_);
+  const bool done = finished();
+  if (done && verifier_ != nullptr) verifier_->final_check(now_);
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return done;
+}
 
+RunResult System::run() {
+  begin_run();
+  run_until(kNeverCycle);
+  return collect_result();
+}
+
+RunResult System::collect_result() const {
   RunResult r;
   r.cycles = now_;
   r.throughput.sim_cycles = now_;
   r.throughput.fast_forward_jumps = ff_jumps_;
   r.throughput.skipped_cycles = ff_skipped_cycles_;
-  r.throughput.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  r.throughput.wall_seconds = wall_seconds_;
   r.ns_per_cycle = cfg_.ns_per_cycle();
   r.coal = coalescer_->stats();
   if (pac_ != nullptr) {
@@ -589,6 +609,87 @@ RunResult System::run() {
   for (const CoreState& c : cores_) r.core_stall_cycles += c.stall_cycles;
   r.raw_trace = raw_trace_;
   return r;
+}
+
+void System::checkpoint_save(BinWriter& w) const {
+  if (!quiescent()) {
+    throw SnapshotError("checkpoint_save requires a quiescent system");
+  }
+  w.tag("SYST");
+  w.u64(now_);
+  w.u64(next_raw_id_);
+  w.u64(prefetch_count_);
+  w.b(feed_from_wb_first_);
+  w.b(raw_trace_active_);
+  w.u64(ff_jumps_);
+  w.u64(ff_skipped_cycles_);
+  // Cores: everything except the trace contents (restored via load_trace).
+  w.u64(cores_.size());
+  for (const CoreState& c : cores_) {
+    w.u64(c.pc);
+    w.u8(c.process);
+    w.u64(c.ready_at);
+    w.u32(c.outstanding_loads);
+    w.u64(c.stall_cycles);
+    w.b(c.done);
+  }
+  w.u64(raw_trace_.size());
+  for (const Addr a : raw_trace_) w.u64(a);
+  for (const Cache& l1 : l1_) l1.checkpoint_save(w);
+  l2_.checkpoint_save(w);
+  prefetcher_.checkpoint_save(w);
+  page_table_.checkpoint_save(w);
+  power_.checkpoint_save(w);
+  w.b(fault_ != nullptr);
+  if (fault_ != nullptr) fault_->checkpoint_save(w);
+  w.b(verifier_ != nullptr);
+  if (verifier_ != nullptr) verifier_->checkpoint_save(w);
+  port_->checkpoint_save(w);
+  device_->checkpoint_save(w);
+  coalescer_->checkpoint_save(w);
+}
+
+void System::checkpoint_load(BinReader& r) {
+  r.tag("SYST");
+  now_ = r.u64();
+  next_raw_id_ = r.u64();
+  prefetch_count_ = r.u64();
+  feed_from_wb_first_ = r.b();
+  raw_trace_active_ = r.b();
+  ff_jumps_ = r.u64();
+  ff_skipped_cycles_ = r.u64();
+  if (r.u64() != cores_.size()) {
+    throw SnapshotError("core count mismatch");
+  }
+  for (CoreState& c : cores_) {
+    c.pc = r.u64();
+    c.process = r.u8();
+    c.ready_at = r.u64();
+    c.outstanding_loads = r.u32();
+    c.stall_cycles = r.u64();
+    c.done = r.b();
+    if (c.pc > c.trace->size()) {
+      throw SnapshotError("core pc beyond loaded trace (wrong trace?)");
+    }
+  }
+  raw_trace_.resize(r.u64());
+  for (Addr& a : raw_trace_) a = r.u64();
+  for (Cache& l1 : l1_) l1.checkpoint_load(r);
+  l2_.checkpoint_load(r);
+  prefetcher_.checkpoint_load(r);
+  page_table_.checkpoint_load(r);
+  power_.checkpoint_load(r);
+  if (r.b() != (fault_ != nullptr)) {
+    throw SnapshotError("fault-injection config mismatch");
+  }
+  if (fault_ != nullptr) fault_->checkpoint_load(r);
+  if (r.b() != (verifier_ != nullptr)) {
+    throw SnapshotError("verifier config mismatch");
+  }
+  if (verifier_ != nullptr) verifier_->checkpoint_load(r);
+  port_->checkpoint_load(r);
+  device_->checkpoint_load(r);
+  coalescer_->checkpoint_load(r);
 }
 
 }  // namespace pacsim

@@ -46,6 +46,36 @@ class System {
   /// Run to completion (all traces executed, all misses drained).
   RunResult run();
 
+  // --- Bounded execution (sharded epoch scheduler; see ShardedSystem). ---
+  // run() is exactly begin_run(); run_until(kNeverCycle); collect_result().
+  // The split lets a scheduler advance the System in epochs: run_until(b)
+  // executes the identical per-cycle sequence as run(), with fast-forward
+  // jumps additionally clamped to `b` - a clamp that cannot perturb results
+  // because jumps are analytically exact for any target within the event
+  // horizon, so state at every cycle matches the unbounded loop.
+
+  /// Reset per-run accounting (done-core count, wall-clock start). Call
+  /// once before the first run_until().
+  void begin_run();
+  /// Advance until finished() or now() >= bound. Returns finished().
+  bool run_until(Cycle bound);
+  /// Harvest the RunResult at the current cycle (normally after finishing).
+  [[nodiscard]] RunResult collect_result() const;
+  [[nodiscard]] bool is_finished() const { return finished(); }
+
+  // --- Checkpoint/restore (quiescent points only). ---
+  /// True when no raw request is buffered or in flight anywhere on the
+  /// memory path: the state capture below is complete at such a cycle
+  /// (cores may still be mid-compute; their state is a few scalars).
+  [[nodiscard]] bool quiescent() const { return !has_outstanding_work(); }
+  /// Serialize the full simulation state. Pre: quiescent(). Restoring into
+  /// a freshly constructed System with the same config and loaded traces
+  /// resumes the run bit-identically.
+  void checkpoint_save(BinWriter& w) const;
+  /// Restore state saved by checkpoint_save. Call after load_trace (the
+  /// traces themselves are not in the snapshot) and before begin_run.
+  void checkpoint_load(BinReader& r);
+
   [[nodiscard]] const Coalescer& coalescer() const { return *coalescer_; }
   [[nodiscard]] const MemoryBackend& device() const { return *device_; }
   [[nodiscard]] const DevicePort& port() const { return *port_; }
@@ -139,6 +169,8 @@ class System {
   bool raw_trace_active_ = false;  ///< capture enabled and limit not reached
   std::uint64_t ff_jumps_ = 0;
   std::uint64_t ff_skipped_cycles_ = 0;
+  bool fast_forward_ = true;  ///< resolved by begin_run (cfg + env override)
+  double wall_seconds_ = 0.0; ///< accumulated across run_until calls
 };
 
 }  // namespace pacsim

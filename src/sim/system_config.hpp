@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "baseline/direct_controller.hpp"
 #include "baseline/mshr_dmc.hpp"
@@ -39,6 +40,40 @@ constexpr std::string_view to_string(CoalescerKind k) {
   }
   return "?";
 }
+
+/// Sharded-execution and checkpoint/restore knobs (DESIGN.md "Sharded
+/// execution"). A run is partitioned into `shards` independent execution
+/// domains - each owning a disjoint subset of cores with its own
+/// controller, retry port, and memory device - advanced in deterministic
+/// epochs by up to `threads` worker threads. Because shards never interact,
+/// results are bit-identical to running the same shards serially, at any
+/// thread count.
+struct ExecConfig {
+  /// Worker threads for the intra-run epoch scheduler. <= 1 runs every
+  /// shard on the calling thread. Clamped against hardware concurrency
+  /// (and any active sweep jobs= parallelism) at run start.
+  unsigned threads = 1;
+  /// Execution domains. 0 derives the shard count from `threads`; 1 with
+  /// threads <= 1 selects the classic single-System path.
+  unsigned shards = 0;
+  /// Epoch length in cycles: shards synchronize (and checkpoints can be
+  /// taken) on this grid. Purely a scheduling/checkpoint alignment knob -
+  /// results are epoch-length-invariant.
+  Cycle epoch_cycles = 1 << 18;
+  /// Directory for checkpoint snapshots ("" disables checkpointing).
+  std::string checkpoint_dir;
+  /// Cycles between snapshot attempts (0 with checkpoint_dir set = one
+  /// snapshot attempt per epoch boundary).
+  Cycle checkpoint_every = 0;
+  /// Path of a snapshot to resume from ("" starts fresh).
+  std::string restore_path;
+
+  /// True when this config needs the sharded run path at all.
+  [[nodiscard]] bool sharded() const {
+    return threads > 1 || shards > 1 || !checkpoint_dir.empty() ||
+           !restore_path.empty();
+  }
+};
 
 struct SystemConfig {
   std::uint32_t num_cores = 8;        ///< Table 1: 8 RV64 cores @ 2 GHz
@@ -107,6 +142,10 @@ struct SystemConfig {
   bool record_raw_trace = false;
   Cycle raw_trace_start = 0;          ///< begin capturing at this cycle
   std::uint64_t raw_trace_limit = 10'000;
+
+  /// Sharded execution + checkpoint/restore (threads=/shards=/epochlen=/
+  /// checkpoint=/checkpointevery=/restore= knobs).
+  ExecConfig exec{};
 
   double cpu_ghz = 2.0;
   [[nodiscard]] double ns_per_cycle() const { return 1.0 / cpu_ghz; }

@@ -1,0 +1,404 @@
+// Checkpoint/restore: serializer unit tests, snapshot round-trips (an
+// interrupted run restored from a mid-run snapshot finishes bit-identically
+// to the uninterrupted run, including verifier counters and resilience
+// stats), header validation, and the atomic_file durability error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/sharded_system.hpp"
+
+namespace pacsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serializer unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTripsEveryPrimitive) {
+  BinWriter w;
+  w.u8(0xAB);
+  w.b(true);
+  w.b(false);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.str("hello\0world");  // literal truncates at NUL; see binary blob below
+  w.str(std::string("\x00\xFF\x7F", 3));
+  w.tag("TEST");
+
+  BinReader r(w.take());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not value, survives
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string("\x00\xFF\x7F", 3));
+  EXPECT_NO_THROW(r.tag("TEST"));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  BinWriter w;
+  w.tag("AAAA");
+  BinReader r(w.take());
+  EXPECT_THROW(r.tag("BBBB"), SnapshotError);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  BinWriter w;
+  w.u64(7);
+  std::string bytes = w.take();
+  bytes.resize(bytes.size() - 1);
+  BinReader r(std::move(bytes));
+  EXPECT_THROW(r.u64(), SnapshotError);
+
+  BinWriter w2;
+  w2.str("long string payload");
+  std::string bytes2 = w2.take();
+  bytes2.resize(bytes2.size() - 3);
+  BinReader r2(std::move(bytes2));
+  EXPECT_THROW(r2.str(), SnapshotError);
+}
+
+TEST(Serialize, StatsRoundTripBitExact) {
+  RunningStat s;
+  s.add(1.5);
+  s.add(-2.25);
+  s.add(1e18);
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(700);
+  BinWriter w;
+  s.checkpoint_save(w);
+  h.checkpoint_save(w);
+  BinReader r(w.take());
+  RunningStat s2;
+  Histogram h2;
+  s2.checkpoint_load(r);
+  h2.checkpoint_load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(s2.count(), s.count());
+  EXPECT_EQ(s2.sum(), s.sum());
+  EXPECT_EQ(s2.min(), s.min());
+  EXPECT_EQ(s2.max(), s.max());
+  EXPECT_EQ(h2.buckets(), h.buckets());
+  EXPECT_EQ(h2.total(), h.total());
+}
+
+TEST(Serialize, RngStateRoundTripContinuesStream) {
+  Rng rng(0xFEED);
+  (void)rng.below(1000);
+  (void)rng.below(1000);
+  const Rng::State mid = rng.state();
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 8; ++i) expect.push_back(rng.below(1'000'000));
+  Rng resumed(1);  // different seed; state install must fully override
+  resumed.set_state(mid);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(resumed.below(1'000'000), expect[i]) << "draw " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System-level snapshot round-trip.
+// ---------------------------------------------------------------------------
+
+Trace random_trace(Rng& rng, std::size_t ops) {
+  Trace t;
+  Addr cursor = 0x10000000 + rng.below(8) * 0x400000;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t pick = rng.below(100);
+    if (pick < 40) {
+      if (rng.below(8) == 0) cursor = 0x10000000 + rng.below(64) * 0x11000;
+      t.push_back({cursor, 8, OpKind::kLoad});
+      cursor += 64;
+    } else if (pick < 55) {
+      t.push_back({cursor + rng.below(16) * 64, 8, OpKind::kStore});
+    } else if (pick < 58) {
+      t.push_back({0x30000000 + rng.below(32) * 4096, 8, OpKind::kAtomic});
+    } else if (pick < 60) {
+      t.push_back({0, 0, OpKind::kFence});
+    } else if (pick < 85) {
+      t.push_back(
+          {0, static_cast<std::uint32_t>(1 + rng.below(8)), OpKind::kCompute});
+    } else {
+      // Long computes: wide quiescent windows for epoch boundaries to land
+      // in, so checkpoint attempts actually capture.
+      t.push_back({0, static_cast<std::uint32_t>(100 + rng.below(600)),
+                   OpKind::kCompute});
+    }
+  }
+  return t;
+}
+
+std::vector<Trace> make_traces(std::uint64_t seed, std::uint32_t cores,
+                               std::size_t ops) {
+  Rng rng(seed);
+  std::vector<Trace> traces;
+  traces.reserve(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    traces.push_back(random_trace(rng, ops));
+  }
+  return traces;
+}
+
+/// Full-observability config: verifier counters and fault injection on, so
+/// the round-trip must preserve their state too. Small epochs give many
+/// snapshot opportunities.
+SystemConfig checkpoint_config(BackendKind backend = BackendKind::kHmc) {
+  SystemConfig cfg;
+  cfg.coalescer = CoalescerKind::kPac;
+  cfg.backend = backend;
+  cfg.num_cores = 4;
+  cfg.record_raw_trace = true;
+  cfg.max_cycles = 50'000'000;
+  cfg.verify.level = VerifyLevel::kCounters;
+  cfg.fault.link_error_rate = 2e-3;
+  cfg.fault.response_drop_rate = 1e-3;
+  cfg.exec.shards = 2;
+  cfg.exec.threads = 2;
+  cfg.exec.epoch_cycles = 2048;
+  return cfg;
+}
+
+std::vector<std::string> snapshots_in(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".pacsnap") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    // ckpt-<cycle>.pacsnap: numeric cycle order, not lexicographic.
+    auto cycle = [](const std::string& p) {
+      const auto base = std::filesystem::path(p).stem().string();
+      return std::stoull(base.substr(base.find('-') + 1));
+    };
+    return cycle(a) < cycle(b);
+  });
+  return out;
+}
+
+// Deliberately does NOT create the directory: checkpoint= must work against
+// a fresh path, exactly like jsondir= (the run creates it on demand).
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Checkpoint, RestoredRunFinishesBitIdentically) {
+  const std::string dir = fresh_dir("pacsim_ckpt_roundtrip");
+  SystemConfig cfg = checkpoint_config();
+  const std::vector<Trace> traces = make_traces(0xACE, cfg.num_cores, 900);
+
+  // Uninterrupted run, writing snapshots along the way (snapshot capture is
+  // read-only, so it cannot perturb the run it observes).
+  cfg.exec.checkpoint_dir = dir;
+  const RunResult full = simulate(cfg, traces);
+  const std::vector<std::string> snaps = snapshots_in(dir);
+  ASSERT_EQ(snaps.size(), full.exec.checkpoints_written);
+  ASSERT_GE(snaps.size(), 2u)
+      << "no mid-run quiescent epoch boundary - tune epoch_cycles/trace mix";
+
+  // Checkpointing itself must not change results vs. a plain run.
+  SystemConfig plain = cfg;
+  plain.exec.checkpoint_dir.clear();
+  const RunResult undisturbed = simulate(plain, traces);
+  EXPECT_EQ(run_report_json("d", cfg.coalescer, full,
+                            /*include_throughput=*/false),
+            run_report_json("d", cfg.coalescer, undisturbed,
+                            /*include_throughput=*/false));
+
+  // "Kill" the run at a mid-run snapshot and resume: the restored run must
+  // finish byte-identically to the uninterrupted one - verifier counters,
+  // resilience stats, energies and all.
+  for (const std::string& snap :
+       {snaps.front(), snaps[snaps.size() / 2]}) {
+    SCOPED_TRACE("restore from " + snap);
+    SystemConfig rcfg = cfg;
+    rcfg.exec.checkpoint_dir.clear();
+    rcfg.exec.restore_path = snap;
+    const RunResult resumed = simulate(rcfg, traces);
+    EXPECT_EQ(run_report_json("d", cfg.coalescer, resumed,
+                              /*include_throughput=*/false),
+              run_report_json("d", cfg.coalescer, full,
+                              /*include_throughput=*/false));
+    EXPECT_EQ(resumed.cycles, full.cycles);
+    EXPECT_EQ(resumed.verification.issued, full.verification.issued);
+    EXPECT_EQ(resumed.verification.retired, full.verification.retired);
+    EXPECT_EQ(resumed.resilience.fault.link_errors,
+              full.resilience.fault.link_errors);
+    EXPECT_EQ(resumed.resilience.retry.retransmissions,
+              full.resilience.retry.retransmissions);
+    EXPECT_EQ(resumed.raw_trace, full.raw_trace);
+    EXPECT_TRUE(resumed.exec.restored);
+    EXPECT_EQ(resumed.exec.restored_from, snap);
+    EXPECT_GT(resumed.exec.restore_cycle, 0u);
+  }
+}
+
+TEST(Checkpoint, RoundTripOnOpenPageBackends) {
+  // HBM/DDR bank state (open rows, RAS horizons) persists across quiescent
+  // points and changes future hit/miss outcomes; the round-trip must carry
+  // it exactly.
+  for (BackendKind backend : {BackendKind::kHbm, BackendKind::kDdr}) {
+    SCOPED_TRACE(std::string(to_string(backend)));
+    const std::string dir =
+        fresh_dir(std::string("pacsim_ckpt_") +
+                  std::string(to_string(backend)));
+    SystemConfig cfg = checkpoint_config(backend);
+    const std::vector<Trace> traces = make_traces(0xB0B, cfg.num_cores, 700);
+    cfg.exec.checkpoint_dir = dir;
+    const RunResult full = simulate(cfg, traces);
+    const std::vector<std::string> snaps = snapshots_in(dir);
+    ASSERT_GE(snaps.size(), 1u);
+
+    SystemConfig rcfg = cfg;
+    rcfg.exec.checkpoint_dir.clear();
+    rcfg.exec.restore_path = snaps[snaps.size() / 2];
+    const RunResult resumed = simulate(rcfg, traces);
+    EXPECT_EQ(run_report_json("d", cfg.coalescer, resumed,
+                              /*include_throughput=*/false),
+              run_report_json("d", cfg.coalescer, full,
+                              /*include_throughput=*/false));
+    EXPECT_EQ(resumed.hmc.row_hits, full.hmc.row_hits);
+    EXPECT_EQ(resumed.hmc.row_misses, full.hmc.row_misses);
+  }
+}
+
+TEST(Checkpoint, CheckpointEveryThinsTheGrid) {
+  const std::string dir1 = fresh_dir("pacsim_ckpt_every_epoch");
+  const std::string dir2 = fresh_dir("pacsim_ckpt_every_16k");
+  SystemConfig cfg = checkpoint_config();
+  const std::vector<Trace> traces = make_traces(0xACE, cfg.num_cores, 900);
+
+  cfg.exec.checkpoint_dir = dir1;
+  const RunResult dense = simulate(cfg, traces);
+  cfg.exec.checkpoint_dir = dir2;
+  cfg.exec.checkpoint_every = 16 * 2048;
+  const RunResult sparse = simulate(cfg, traces);
+
+  EXPECT_LT(sparse.exec.checkpoints_written, dense.exec.checkpoints_written);
+  // Cadence is host-side policy: simulated results are unaffected.
+  EXPECT_EQ(run_report_json("d", cfg.coalescer, sparse,
+                            /*include_throughput=*/false),
+            run_report_json("d", cfg.coalescer, dense,
+                            /*include_throughput=*/false));
+}
+
+TEST(Checkpoint, RestoreRejectsWrongTraces) {
+  const std::string dir = fresh_dir("pacsim_ckpt_wrongtrace");
+  SystemConfig cfg = checkpoint_config();
+  const std::vector<Trace> traces = make_traces(0xACE, cfg.num_cores, 900);
+  cfg.exec.checkpoint_dir = dir;
+  (void)simulate(cfg, traces);
+  const std::vector<std::string> snaps = snapshots_in(dir);
+  ASSERT_GE(snaps.size(), 1u);
+
+  SystemConfig rcfg = cfg;
+  rcfg.exec.checkpoint_dir.clear();
+  rcfg.exec.restore_path = snaps.front();
+  // Different workload: the header fingerprint must reject the restore
+  // instead of silently diverging.
+  const std::vector<Trace> other = make_traces(0xBEE, cfg.num_cores, 900);
+  EXPECT_THROW(simulate(rcfg, other), SnapshotError);
+}
+
+TEST(Checkpoint, RestoreRejectsWrongShardCountAndGarbage) {
+  const std::string dir = fresh_dir("pacsim_ckpt_badheader");
+  SystemConfig cfg = checkpoint_config();
+  const std::vector<Trace> traces = make_traces(0xACE, cfg.num_cores, 900);
+  cfg.exec.checkpoint_dir = dir;
+  (void)simulate(cfg, traces);
+  const std::vector<std::string> snaps = snapshots_in(dir);
+  ASSERT_GE(snaps.size(), 1u);
+
+  SystemConfig rcfg = cfg;
+  rcfg.exec.checkpoint_dir.clear();
+  rcfg.exec.restore_path = snaps.front();
+  rcfg.exec.shards = 4;  // snapshot was taken with 2
+  EXPECT_THROW(simulate(rcfg, traces), SnapshotError);
+
+  rcfg.exec.shards = 2;
+  rcfg.exec.restore_path = dir + "/missing.pacsnap";
+  EXPECT_THROW(simulate(rcfg, traces), SnapshotError);
+
+  // Truncated snapshot: strict reader, never a half-restore.
+  std::string bytes;
+  {
+    std::ifstream in(snaps.front(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string truncated_path = dir + "/truncated.pacsnap";
+  write_file_atomic(truncated_path, bytes.substr(0, bytes.size() / 2));
+  rcfg.exec.restore_path = truncated_path;
+  EXPECT_THROW(simulate(rcfg, traces), SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// atomic_file durability error paths.
+// ---------------------------------------------------------------------------
+
+TEST(AtomicFile, ThrowsWhenDirectoryDoesNotExist) {
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/pacsim_no_such_dir/x/y/report.json";
+  EXPECT_THROW(write_file_atomic(path, "content"), std::runtime_error);
+}
+
+TEST(AtomicFile, ThrowsWhenParentIsAFile) {
+  // A regular file where the directory component should be: every stage of
+  // the temp-write/rename/dir-fsync pipeline must fail cleanly (and this
+  // path, unlike permission bits, also fails for root).
+  const std::string parent =
+      std::string(::testing::TempDir()) + "/pacsim_parent_file";
+  write_file_atomic(parent, "i am a file");
+  EXPECT_THROW(write_file_atomic(parent + "/child.json", "content"),
+               std::runtime_error);
+  std::filesystem::remove(parent);
+}
+
+TEST(AtomicFile, WriteSurvivesAndReplacesAtomically) {
+  const std::string dir = fresh_dir("pacsim_atomic_ok");
+  // write_file_atomic deliberately does NOT create directories (that is the
+  // ThrowsWhenDirectoryDoesNotExist contract); set one up for it.
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/f.bin";
+  write_file_atomic(path, "first");
+  write_file_atomic(path, std::string("\x00\x01second", 8));
+  std::ifstream in(path, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, std::string("\x00\x01second", 8));
+  // No stray temp files left behind.
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+}  // namespace
+}  // namespace pacsim

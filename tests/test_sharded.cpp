@@ -1,0 +1,355 @@
+// Deterministic sharded execution: differential property tests proving that
+// the epoch-barrier scheduler produces bit-identical results at any worker
+// thread count (threads=1 vs threads=4 over the same shards), that the
+// 1-shard path reproduces the classic System::run() exactly, and that the
+// jobs= / threads= oversubscription clamp composes both parallelism layers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/concurrency.hpp"
+#include "common/rng.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/sharded_system.hpp"
+#include "sim/system.hpp"
+
+namespace pacsim {
+namespace {
+
+// Force an 8-thread budget for this whole binary (covers the checkpoint
+// suite too): on a single-CPU host the oversubscription clamp would route
+// every threads=N run through the serial epoch path, and both the
+// differential proof and the thread-sanitizer coverage require the
+// fork-join workers to actually exist. Results are thread-count-invariant,
+// so widening the budget cannot change any expectation. setenv before main
+// (no threads yet), overwrite=0 so an explicit caller setting wins.
+const int g_forced_thread_budget = [] {
+  ::setenv("PACSIM_HW_THREADS", "8", /*overwrite=*/0);
+  return 0;
+}();
+
+/// A randomized trace mixing every op kind (same shape as the fast-forward
+/// differential suite): sequential load bursts exercise coalescing, long
+/// computes create the idle windows epochs and checkpoints land in.
+Trace random_trace(Rng& rng, std::size_t ops) {
+  Trace t;
+  Addr cursor = 0x10000000 + rng.below(8) * 0x400000;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t pick = rng.below(100);
+    if (pick < 40) {
+      if (rng.below(8) == 0) cursor = 0x10000000 + rng.below(64) * 0x11000;
+      t.push_back({cursor, 8, OpKind::kLoad});
+      cursor += 64;
+    } else if (pick < 55) {
+      t.push_back({cursor + rng.below(16) * 64, 8, OpKind::kStore});
+    } else if (pick < 58) {
+      t.push_back({0x30000000 + rng.below(32) * 4096, 8, OpKind::kAtomic});
+    } else if (pick < 60) {
+      t.push_back({0, 0, OpKind::kFence});
+    } else if (pick < 90) {
+      t.push_back({0, 1 + rng.below(8), OpKind::kCompute});
+    } else {
+      t.push_back({0, 50 + rng.below(400), OpKind::kCompute});
+    }
+  }
+  return t;
+}
+
+std::vector<Trace> make_traces(std::uint64_t seed, std::uint32_t cores,
+                               std::size_t ops) {
+  Rng rng(seed);
+  std::vector<Trace> traces;
+  traces.reserve(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    traces.push_back(random_trace(rng, ops));
+  }
+  return traces;
+}
+
+SystemConfig base_config(CoalescerKind kind, BackendKind backend) {
+  SystemConfig cfg;
+  cfg.coalescer = kind;
+  cfg.backend = backend;
+  cfg.num_cores = 6;
+  cfg.record_raw_trace = true;  // captured addresses must match too
+  cfg.max_cycles = 50'000'000;
+  return cfg;
+}
+
+void expect_stat_eq(const RunningStat& a, const RunningStat& b,
+                    const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+/// Field-by-field identity, including metrics the JSON report omits.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.core_stall_cycles, b.core_stall_cycles);
+  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+  EXPECT_EQ(a.llc_hits, b.llc_hits);
+  EXPECT_EQ(a.llc_misses, b.llc_misses);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+
+  EXPECT_EQ(a.coal.raw_requests, b.coal.raw_requests);
+  EXPECT_EQ(a.coal.coalesced_away, b.coal.coalesced_away);
+  EXPECT_EQ(a.coal.issued_requests, b.coal.issued_requests);
+  EXPECT_EQ(a.coal.issued_payload_bytes, b.coal.issued_payload_bytes);
+  EXPECT_EQ(a.coal.comparisons, b.coal.comparisons);
+  EXPECT_EQ(a.coal.atomics, b.coal.atomics);
+  EXPECT_EQ(a.coal.fences, b.coal.fences);
+  EXPECT_EQ(a.coal.request_size_bytes.buckets(),
+            b.coal.request_size_bytes.buckets());
+
+  EXPECT_EQ(a.hmc.requests, b.hmc.requests);
+  EXPECT_EQ(a.hmc.row_accesses, b.hmc.row_accesses);
+  EXPECT_EQ(a.hmc.bank_conflicts, b.hmc.bank_conflicts);
+  EXPECT_EQ(a.hmc.conflict_wait_cycles, b.hmc.conflict_wait_cycles);
+  EXPECT_EQ(a.hmc.refreshes, b.hmc.refreshes);
+  EXPECT_EQ(a.hmc.row_hits, b.hmc.row_hits);
+  EXPECT_EQ(a.hmc.row_misses, b.hmc.row_misses);
+  EXPECT_EQ(a.hmc.local_routes, b.hmc.local_routes);
+  EXPECT_EQ(a.hmc.remote_routes, b.hmc.remote_routes);
+  EXPECT_EQ(a.hmc.request_flits, b.hmc.request_flits);
+  EXPECT_EQ(a.hmc.response_flits, b.hmc.response_flits);
+  EXPECT_EQ(a.hmc.payload_bytes, b.hmc.payload_bytes);
+  expect_stat_eq(a.hmc.access_latency, b.hmc.access_latency,
+                 "hmc.access_latency");
+
+  ASSERT_EQ(a.energy.size(), b.energy.size());
+  for (std::size_t op = 0; op < a.energy.size(); ++op) {
+    EXPECT_EQ(a.energy[op], b.energy[op]) << "energy op " << op;
+  }
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.raw_trace, b.raw_trace);
+
+  ASSERT_EQ(a.has_pac, b.has_pac);
+  if (a.has_pac) {
+    EXPECT_EQ(a.pac.flushed_streams, b.pac.flushed_streams);
+    EXPECT_EQ(a.pac.timeout_flushes, b.pac.timeout_flushes);
+    EXPECT_EQ(a.pac.fence_flushes, b.pac.fence_flushes);
+    EXPECT_EQ(a.pac.mshr_merges, b.pac.mshr_merges);
+    EXPECT_EQ(a.pac.stream_occupancy.buckets(),
+              b.pac.stream_occupancy.buckets());
+    expect_stat_eq(a.pac.stage2_latency, b.pac.stage2_latency,
+                   "pac.stage2_latency");
+    expect_stat_eq(a.pac.request_latency, b.pac.request_latency,
+                   "pac.request_latency");
+  }
+
+  ASSERT_EQ(a.verification.enabled, b.verification.enabled);
+  if (a.verification.enabled) {
+    EXPECT_EQ(a.verification.issued, b.verification.issued);
+    EXPECT_EQ(a.verification.retired, b.verification.retired);
+    EXPECT_EQ(a.verification.merged, b.verification.merged);
+    EXPECT_EQ(a.verification.responses, b.verification.responses);
+  }
+}
+
+struct ShardCase {
+  CoalescerKind kind;
+  BackendKind backend = BackendKind::kHmc;
+};
+
+class ShardedDifferential : public ::testing::TestWithParam<ShardCase> {};
+
+// The tentpole determinism claim: the same 4-shard run advanced by 4 worker
+// threads is bit-identical to advancing it serially, for every controller
+// on every substrate.
+TEST_P(ShardedDifferential, ThreadedBitIdenticalToSerial) {
+  const ShardCase c = GetParam();
+  for (std::uint64_t seed : {0x5AADull, 0xC0DEull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SystemConfig cfg = base_config(c.kind, c.backend);
+    const std::vector<Trace> traces =
+        make_traces(seed, cfg.num_cores, 700);
+
+    cfg.exec.shards = 4;
+    cfg.exec.threads = 1;
+    const RunResult serial = simulate(cfg, traces);
+
+    cfg.exec.threads = 4;
+    const RunResult threaded = simulate(cfg, traces);
+
+    expect_identical(threaded, serial);
+    // Byte-equality of the serialized report (the union of everything the
+    // benches print); the host-side sim_throughput/execution blocks are
+    // wall-clock and thread-count derived, hence excluded.
+    EXPECT_EQ(
+        run_report_json("d", c.kind, threaded, /*include_throughput=*/false),
+        run_report_json("d", c.kind, serial, /*include_throughput=*/false));
+    EXPECT_EQ(serial.exec.shards, 4u);
+    EXPECT_EQ(serial.exec.threads, 1u);
+    // The binary-wide PACSIM_HW_THREADS budget guarantees the request is
+    // not clamped: the fork-join worker path genuinely ran. A clamp
+    // regression would silently turn this whole suite serial otherwise.
+    EXPECT_EQ(threaded.exec.threads, 4u);
+    EXPECT_EQ(threaded.exec.threads_requested, 4u);
+    EXPECT_GT(threaded.exec.epochs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBackends, ShardedDifferential,
+    ::testing::Values(ShardCase{CoalescerKind::kDirect},
+                      ShardCase{CoalescerKind::kMshrDmc},
+                      ShardCase{CoalescerKind::kSortingDmc},
+                      ShardCase{CoalescerKind::kPac},
+                      ShardCase{CoalescerKind::kDirect, BackendKind::kHbm},
+                      ShardCase{CoalescerKind::kMshrDmc, BackendKind::kHbm},
+                      ShardCase{CoalescerKind::kSortingDmc,
+                                BackendKind::kHbm},
+                      ShardCase{CoalescerKind::kPac, BackendKind::kHbm},
+                      ShardCase{CoalescerKind::kDirect, BackendKind::kDdr},
+                      ShardCase{CoalescerKind::kMshrDmc, BackendKind::kDdr},
+                      ShardCase{CoalescerKind::kSortingDmc,
+                                BackendKind::kDdr},
+                      ShardCase{CoalescerKind::kPac, BackendKind::kDdr}),
+    [](const auto& info) {
+      std::string n(to_string(info.param.kind));
+      if (info.param.backend != BackendKind::kHmc) {
+        n += "_" + std::string(to_string(info.param.backend));
+      }
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+// Shard 0 keeps the original seeds and a single shard owns every core, so
+// the 1-shard scheduler must reproduce the classic System path exactly.
+TEST(ShardedSystem, OneShardMatchesClassicSystem) {
+  SystemConfig cfg = base_config(CoalescerKind::kPac, BackendKind::kHmc);
+  const std::vector<Trace> traces = make_traces(0x1111, cfg.num_cores, 700);
+
+  const RunResult classic = simulate(cfg, traces);  // exec defaults: classic
+
+  cfg.exec.shards = 1;
+  cfg.exec.threads = 1;
+  cfg.exec.epoch_cycles = 10'000;  // force many epochs; must not matter
+  const RunResult sharded = simulate(cfg, traces);
+
+  expect_identical(sharded, classic);
+  EXPECT_EQ(run_report_json("d", cfg.coalescer, sharded,
+                            /*include_throughput=*/false),
+            run_report_json("d", cfg.coalescer, classic,
+                            /*include_throughput=*/false));
+}
+
+// Results are epoch-length-invariant: the barrier grid is pure scheduling.
+TEST(ShardedSystem, EpochLengthInvariant) {
+  SystemConfig cfg = base_config(CoalescerKind::kMshrDmc, BackendKind::kHmc);
+  const std::vector<Trace> traces = make_traces(0x2222, cfg.num_cores, 700);
+  cfg.exec.shards = 3;
+  cfg.exec.threads = 2;
+
+  cfg.exec.epoch_cycles = 1 << 18;
+  const RunResult coarse = simulate(cfg, traces);
+  cfg.exec.epoch_cycles = 777;  // odd, tiny: thousands of barriers
+  const RunResult fine = simulate(cfg, traces);
+
+  expect_identical(fine, coarse);
+  EXPECT_GT(fine.exec.epochs, coarse.exec.epochs);
+}
+
+// Verifier counters and fault-injection stats merge deterministically too:
+// the full-observability configuration is bit-identical across threads.
+TEST(ShardedSystem, VerifiedFaultInjectedRunIsThreadInvariant) {
+  SystemConfig cfg = base_config(CoalescerKind::kPac, BackendKind::kHmc);
+  cfg.verify.level = VerifyLevel::kCounters;
+  cfg.fault.link_error_rate = 2e-3;
+  cfg.fault.response_drop_rate = 1e-3;
+  const std::vector<Trace> traces = make_traces(0x3333, cfg.num_cores, 700);
+  cfg.exec.shards = 4;
+
+  cfg.exec.threads = 1;
+  const RunResult serial = simulate(cfg, traces);
+  cfg.exec.threads = 4;
+  const RunResult threaded = simulate(cfg, traces);
+
+  expect_identical(threaded, serial);
+  ASSERT_TRUE(serial.verification.enabled);
+  ASSERT_TRUE(serial.resilience.enabled);
+  EXPECT_EQ(threaded.resilience.fault.link_errors,
+            serial.resilience.fault.link_errors);
+  EXPECT_EQ(threaded.resilience.retry.retransmissions,
+            serial.resilience.retry.retransmissions);
+  EXPECT_EQ(run_report_json("d", cfg.coalescer, threaded,
+                            /*include_throughput=*/false),
+            run_report_json("d", cfg.coalescer, serial,
+                            /*include_throughput=*/false));
+}
+
+// Two identical threaded invocations must agree byte-for-byte: the dynamic
+// shard-claiming order is irrelevant because shards share no state.
+TEST(ShardedSystem, ThreadedRunIsReproducible) {
+  SystemConfig cfg = base_config(CoalescerKind::kSortingDmc,
+                                 BackendKind::kDdr);
+  const std::vector<Trace> traces = make_traces(0x4444, cfg.num_cores, 700);
+  cfg.exec.shards = 4;
+  cfg.exec.threads = 4;
+  const RunResult first = simulate(cfg, traces);
+  const RunResult second = simulate(cfg, traces);
+  expect_identical(first, second);
+}
+
+TEST(ShardedSystem, ShardCountClampsToCores) {
+  SystemConfig cfg = base_config(CoalescerKind::kDirect, BackendKind::kHmc);
+  cfg.num_cores = 2;
+  cfg.exec.shards = 8;  // more shards than cores
+  ShardedSystem sys(cfg);
+  EXPECT_EQ(sys.shard_count(), 2u);
+}
+
+// --- Satellite: jobs= / threads= oversubscription guard. -------------------
+
+TEST(Concurrency, ClampIsIdentityWithoutActiveJobs) {
+  // No sweep running: a request within hardware concurrency passes through.
+  EXPECT_EQ(clamp_intra_run_threads(1), 1u);
+  const unsigned hw = hardware_threads();
+  EXPECT_EQ(clamp_intra_run_threads(std::min(2u, hw)), std::min(2u, hw));
+}
+
+TEST(Concurrency, ClampCapsProductAgainstHardware) {
+  const unsigned hw = hardware_threads();
+  {
+    // A sweep already occupies every hardware thread: any intra-run request
+    // above 1 must collapse to the per-job budget of 1.
+    const ActiveJobsGuard guard(hw);
+    EXPECT_EQ(active_sweep_jobs(), hw);
+    EXPECT_EQ(clamp_intra_run_threads(4), 1u);
+    // threads<=1 never warns or clamps: it is the serial path.
+    EXPECT_EQ(clamp_intra_run_threads(1), 1u);
+  }
+  // Guard released: the budget is whole-machine again.
+  EXPECT_EQ(active_sweep_jobs(), 0u);
+  EXPECT_EQ(clamp_intra_run_threads(hw), hw);
+}
+
+TEST(Concurrency, GuardsNest) {
+  const ActiveJobsGuard outer(1);
+  {
+    const ActiveJobsGuard inner(2);
+    EXPECT_EQ(active_sweep_jobs(), 3u);
+  }
+  EXPECT_EQ(active_sweep_jobs(), 1u);
+}
+
+TEST(Concurrency, HardwareThreadsHonorsEnvOverride) {
+  // The binary-wide override at the top of this file guarantees the env var
+  // is set; hardware_threads() must report exactly that value regardless of
+  // the host's visible CPU count.
+  const char* env = std::getenv("PACSIM_HW_THREADS");
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(hardware_threads(),
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10)));
+}
+
+}  // namespace
+}  // namespace pacsim

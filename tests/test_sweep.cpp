@@ -147,8 +147,11 @@ TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
   EXPECT_EQ(report.runs(), 2u);
   const std::string json = report.json();
   EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  // v7: execution provenance rides inside the throughput-gated host block.
+  EXPECT_NE(json.find("\"execution\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints_written\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_time\""), std::string::npos);
   EXPECT_NE(json.find("\"generation_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"simulation_seconds\""), std::string::npos);
