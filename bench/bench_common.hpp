@@ -65,6 +65,21 @@ class EvalContext {
     scfg.fault.response_drop_rate = cli.get_double("faultdrop", 0.0);
     scfg.fault.vault_stall_rate = cli.get_double("faultstall", 0.0);
     scfg.fault.seed = cli.get_u64("faultseed", scfg.fault.seed);
+    // Multi-cube sharding (EXPERIMENTS.md "Multi-cube interconnect"):
+    //   cubes=<n>        shard the address space across n cube backends
+    //   topology=chain|mesh  inter-cube wiring (chain is the HMC default)
+    //   linkhop=<cycles> per-hop router + SERDES latency
+    //   linkbw=<bytes>   link serialization bandwidth, bytes/cycle
+    scfg.noc.cubes = static_cast<std::uint32_t>(
+        cli.get_u64("cubes", scfg.noc.cubes));
+    scfg.noc.topology = parse_topology(cli.get("topology", "chain"));
+    scfg.noc.hop_cycles = static_cast<std::uint32_t>(
+        cli.get_u64("linkhop", scfg.noc.hop_cycles));
+    scfg.noc.link_bytes_per_cycle = static_cast<std::uint32_t>(
+        cli.get_u64("linkbw", scfg.noc.link_bytes_per_cycle));
+    // The page pool must cover the whole sharded space, or the shuffled
+    // frame pool would alias every cube back onto the first ones.
+    scfg.phys_pages *= scfg.noc.cubes;
     // Requester-side retry: retrytimeout=<cycles>, retrymax=<n>.
     scfg.retry.response_timeout = cli.get_u64("retrytimeout",
                                               scfg.retry.response_timeout);

@@ -1,0 +1,273 @@
+// Multi-cube interconnect sweep: aggregate bandwidth scaling 1 -> 8 cubes
+// under uniform open-loop traffic, and hot-shard link saturation under
+// Zipf-skewed traffic (EXPERIMENTS.md "Multi-cube interconnect").
+//
+// Every cell drives the same Zipf traffic front-end (src/noc/traffic_gen)
+// through one of the four controllers into a MultiCubeBackend; runs use
+// identity paging so an address's cube bits survive translation. The bench
+// exits non-zero when the headline claims fail: uniform traffic must gain
+// aggregate bandwidth going from 1 cube to the largest swept count, and the
+// skewed sweep must saturate the hot shard's ingress link (the final hop
+// into the hot cube) relative to the uniform sweep at the same cube count.
+//
+// Knobs: cubes=<n> (sweep only that count), topology=chain|mesh,
+// zipf=<skew> (skewed leg, default 1.2), linkhop=/linkbw=, ops=/cores=/
+// seed=, threads=/shards= (sharded epoch scheduler), verify=, faultrate=/
+// faultdrop=/faultstall=, jsondir=<dir>, quick.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/verifier.hpp"
+#include "noc/traffic_gen.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace pacsim;
+
+namespace {
+
+struct Cell {
+  std::string label;
+  CoalescerKind kind = CoalescerKind::kPac;
+  std::uint32_t cubes = 1;
+  double zipf = 0.0;
+  RunResult result;
+};
+
+double bytes_per_cycle(const RunResult& r) {
+  return r.cycles > 0 ? static_cast<double>(r.coal.issued_payload_bytes) /
+                            static_cast<double>(r.cycles)
+                      : 0.0;
+}
+
+double gbytes_per_sec(const RunResult& r) {
+  const double ns = r.runtime_ns();
+  return ns > 0.0
+             ? static_cast<double>(r.coal.issued_payload_bytes) / ns
+             : 0.0;  // bytes/ns == GB/s
+}
+
+double max_link_occupancy(const RunResult& r) {
+  double occ = 0.0;
+  for (const LinkStats& l : r.noc.links) {
+    if (r.cycles > 0) {
+      occ = std::max(occ, static_cast<double>(l.busy_cycles) /
+                              static_cast<double>(r.cycles));
+    }
+  }
+  return occ;
+}
+
+const LinkStats* hottest_link(const RunResult& r) {
+  const LinkStats* hot = nullptr;
+  for (const LinkStats& l : r.noc.links) {
+    if (hot == nullptr || l.busy_cycles > hot->busy_cycles) hot = &l;
+  }
+  return hot;
+}
+
+// Occupancy of the hot shard's ingress link (the final request hop into the
+// hot cube, labelled "...->{hot}"). Under uniform traffic this edge link
+// carries ~1/N of the load; under skew it is where saturation shows up -
+// unlike the host-adjacent link, which funnels all remote traffic and is
+// busy under any pattern.
+double hot_ingress_occupancy(const RunResult& r, std::uint32_t hot_cube) {
+  const std::string suffix = "->" + std::to_string(hot_cube);
+  for (const LinkStats& l : r.noc.links) {
+    if (l.label.size() >= suffix.size() &&
+        l.label.compare(l.label.size() - suffix.size(), suffix.size(),
+                        suffix) == 0 &&
+        r.cycles > 0) {
+      return static_cast<double>(l.busy_cycles) /
+             static_cast<double>(r.cycles);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+
+  TrafficConfig tcfg;
+  tcfg.num_cores = static_cast<std::uint32_t>(cli.get_u64("cores", 8));
+  tcfg.ops_per_core = static_cast<std::uint32_t>(
+      cli.get_u64("ops", quick ? 6'000 : 20'000));
+  tcfg.seed = cli.get_u64("seed", tcfg.seed);
+  const double skew = cli.get_double("zipf", 1.2);
+
+  SystemConfig base;
+  base.num_cores = tcfg.num_cores;
+  base.identity_paging = true;
+  // Bandwidth-bound host profile: the sweep measures the memory substrate,
+  // so the cores must expose enough memory-level parallelism to saturate a
+  // single cube - otherwise every cube count is latency-bound and scaling
+  // is invisible. Override with mlp=<n>.
+  base.max_outstanding_loads =
+      static_cast<std::uint32_t>(cli.get_u64("mlp", 32));
+  base.noc.topology = parse_topology(cli.get("topology", "chain"));
+  base.noc.hop_cycles = static_cast<std::uint32_t>(
+      cli.get_u64("linkhop", base.noc.hop_cycles));
+  base.noc.link_bytes_per_cycle = static_cast<std::uint32_t>(
+      cli.get_u64("linkbw", base.noc.link_bytes_per_cycle));
+  base.backend = parse_backend_kind(cli.get("backend", "hmc"));
+  base.exec.threads =
+      static_cast<unsigned>(cli.get_u64("threads", base.exec.threads));
+  base.exec.shards =
+      static_cast<unsigned>(cli.get_u64("shards", base.exec.shards));
+  base.fault.link_error_rate = cli.get_double("faultrate", 0.0);
+  base.fault.response_drop_rate = cli.get_double("faultdrop", 0.0);
+  base.fault.vault_stall_rate = cli.get_double("faultstall", 0.0);
+  base.verify.level = parse_verify_level(cli.get("verify", "off"));
+  switch (base.backend) {
+    case BackendKind::kHmc: tcfg.cube_capacity_bytes =
+        base.hmc.map.capacity_bytes; break;
+    case BackendKind::kHbm: tcfg.cube_capacity_bytes =
+        base.hbm.map.capacity_bytes; break;
+    case BackendKind::kDdr: tcfg.cube_capacity_bytes =
+        base.ddr.map.capacity_bytes; break;
+  }
+
+  std::vector<std::uint32_t> cube_counts{1, 2, 4, 8};
+  if (cli.has("cubes")) {
+    cube_counts = {static_cast<std::uint32_t>(cli.get_u64("cubes", 1))};
+  }
+  const std::vector<CoalescerKind> kinds{
+      CoalescerKind::kDirect, CoalescerKind::kMshrDmc, CoalescerKind::kPac,
+      CoalescerKind::kSortingDmc};
+
+  SweepReport report("bench_multicube");
+  std::vector<Cell> cells;
+  for (const double zipf : {0.0, skew}) {
+    for (const CoalescerKind kind : kinds) {
+      for (const std::uint32_t cubes : cube_counts) {
+        Cell cell;
+        cell.kind = kind;
+        cell.cubes = cubes;
+        cell.zipf = zipf;
+        cell.label = std::string(to_string(kind)) + "/cubes=" +
+                     std::to_string(cubes) +
+                     (zipf == 0.0 ? "/uniform"
+                                  : "/zipf=" + Table::num(zipf));
+        std::fprintf(stderr, "[bench] %s ...\n", cell.label.c_str());
+
+        TrafficConfig t = tcfg;
+        t.cubes = cubes;
+        t.zipf = zipf;
+        SystemConfig cfg = base;
+        cfg.coalescer = kind;
+        cfg.noc.cubes = cubes;
+        // Weak scaling: a host driving an N-cube pool provisions N times
+        // the request concurrency (MSHRs / outstanding transactions), so
+        // the sweep measures the substrate and fabric rather than a fixed
+        // 16-entry host MSHR file. Override with mshrs=<n>.
+        const auto conc = static_cast<std::uint32_t>(
+            cli.get_u64("mshrs", 16ULL * cubes));
+        cfg.pac.maq_entries = conc;
+        cfg.pac.num_mshrs = conc;
+        cfg.mshr_dmc.num_mshrs = conc;
+        cfg.direct.max_outstanding = conc;
+        cfg.sorting_dmc.max_outstanding = conc;
+        cfg.miss_queue_entries = std::max(cfg.miss_queue_entries, conc);
+        cell.result = simulate(cfg, generate_traffic(t));
+        report.add(cell.label, kind, cell.result);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  bool ok = true;
+  const auto find_cell = [&](CoalescerKind kind, std::uint32_t cubes,
+                             double zipf) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.kind == kind && c.cubes == cubes && c.zipf == zipf) return &c;
+    }
+    return nullptr;
+  };
+
+  for (const double zipf : {0.0, skew}) {
+    Table t({"controller", "cubes", "sim cycles", "agg B/cyc", "GB/s",
+             "vs 1 cube", "max link occ", "hot link", "hot-shard occ",
+             "ingress retries"});
+    for (const CoalescerKind kind : kinds) {
+      const Cell* base_cell = find_cell(kind, cube_counts.front(), zipf);
+      for (const std::uint32_t cubes : cube_counts) {
+        const Cell* c = find_cell(kind, cubes, zipf);
+        if (c == nullptr) continue;
+        const RunResult& r = c->result;
+        const double scale =
+            base_cell != nullptr && bytes_per_cycle(base_cell->result) > 0.0
+                ? bytes_per_cycle(r) / bytes_per_cycle(base_cell->result)
+                : 0.0;
+        const LinkStats* hot = hottest_link(r);
+        t.add_row({std::string(to_string(kind)), std::to_string(cubes),
+                   std::to_string(r.cycles), Table::num(bytes_per_cycle(r)),
+                   Table::num(gbytes_per_sec(r)), Table::num(scale) + "x",
+                   Table::pct(max_link_occupancy(r) * 100.0),
+                   hot != nullptr ? hot->label : "-",
+                   Table::pct(hot_ingress_occupancy(r, cubes - 1) * 100.0),
+                   std::to_string(r.noc.ingress_retries)});
+      }
+    }
+    t.print(zipf == 0.0
+                ? "Multi-cube scaling - uniform traffic (aggregate payload "
+                  "bandwidth vs cube count)"
+                : "Multi-cube scaling - Zipf-skewed traffic (hot shard "
+                  "saturates its ingress links)");
+  }
+
+  // Headline gates. Uniform traffic must scale: more cubes means more
+  // aggregate bandwidth for every controller. Skewed traffic must
+  // concentrate: the hottest link outruns its uniform counterpart.
+  if (cube_counts.size() > 1) {
+    for (const CoalescerKind kind : kinds) {
+      const Cell* lo = find_cell(kind, cube_counts.front(), 0.0);
+      const Cell* hi = find_cell(kind, cube_counts.back(), 0.0);
+      if (lo == nullptr || hi == nullptr) continue;
+      const double b1 = bytes_per_cycle(lo->result);
+      const double bn = bytes_per_cycle(hi->result);
+      if (bn <= b1) {
+        ok = false;
+        std::fprintf(stderr,
+                     "[bench] FAIL: %s uniform bandwidth did not scale "
+                     "(%.3f B/cyc at %u cubes vs %.3f at %u)\n",
+                     to_string(kind).data(), bn, cube_counts.back(), b1,
+                     cube_counts.front());
+      }
+    }
+  }
+  for (const CoalescerKind kind : kinds) {
+    const std::uint32_t cubes = cube_counts.back();
+    if (cubes < 2) break;
+    const std::uint32_t hot_cube = cubes - 1;
+    const Cell* uni = find_cell(kind, cubes, 0.0);
+    const Cell* hotc = find_cell(kind, cubes, skew);
+    if (uni == nullptr || hotc == nullptr || skew <= 0.0) continue;
+    if (hot_ingress_occupancy(hotc->result, hot_cube) <=
+        hot_ingress_occupancy(uni->result, hot_cube)) {
+      ok = false;
+      std::fprintf(stderr,
+                   "[bench] FAIL: %s zipf=%.2f hot-shard ingress link "
+                   "(%.1f%%) not hotter than uniform (%.1f%%) at %u cubes\n",
+                   to_string(kind).data(), skew,
+                   hot_ingress_occupancy(hotc->result, hot_cube) * 100.0,
+                   hot_ingress_occupancy(uni->result, hot_cube) * 100.0,
+                   cubes);
+    }
+  }
+
+  const std::string report_dir = cli.get("jsondir", "results");
+  if (!report_dir.empty()) {
+    const std::string path = report.write(report_dir);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  }
+  std::fprintf(stderr, "[bench] multicube gates: %s\n",
+               ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -2,7 +2,9 @@
 // without event-horizon fast-forwarding (SystemConfig::enable_fast_forward),
 // the sharded-execution scaling of the threads= epoch scheduler (serial vs
 // 2 and 4 worker threads over the same 4-shard run, bit-identical results),
-// plus the generation time the shared TraceStore saves per suite.
+// the multi-cube fabric's self-time (cubes=1/2/4, with the wrapped-vs-bare
+// passthrough gate), plus the generation time the shared TraceStore saves
+// per suite.
 //
 // Runs a latency-bound suite mix (the Fig. 12 latency-analysis workloads)
 // under the no-coalescing controller and PAC, timing each run twice -
@@ -16,6 +18,7 @@
 #include <chrono>
 
 #include "bench_common.hpp"
+#include "noc/traffic_gen.hpp"
 
 using namespace pacsim;
 using namespace pacsim::bench;
@@ -209,6 +212,65 @@ bool report_thread_scaling(const WorkloadConfig& base_wcfg,
   return identical;
 }
 
+/// Multi-cube self-time: simulator speed as the fabric grows (cubes=1/2/4
+/// over the Zipf traffic front-end), plus the passthrough gate - wrapping a
+/// single cube in the MultiCubeBackend must not change any simulated result
+/// vs the bare backend. Returns false on passthrough divergence.
+bool report_cube_scaling(bool quick, SweepReport& report) {
+  TrafficConfig tcfg;
+  tcfg.num_cores = 4;
+  tcfg.ops_per_core = quick ? 4'000 : 12'000;
+  tcfg.zipf = 0.8;
+
+  Table t({"cubes", "sim cycles", "Mcyc/s", "links", "results"});
+  bool identical = true;
+  for (const std::uint32_t cubes : {1u, 2u, 4u}) {
+    const std::string label = "traffic/pac/cubes=" + std::to_string(cubes);
+    std::fprintf(stderr, "[bench] cube scaling: %s ...\n", label.c_str());
+    TrafficConfig tc = tcfg;
+    tc.cubes = cubes;
+    SystemConfig cfg;
+    cfg.coalescer = CoalescerKind::kPac;
+    cfg.num_cores = tc.num_cores;
+    cfg.identity_paging = true;
+    cfg.noc.cubes = cubes;
+    const TraceSet traces = generate_traffic(tc);
+    const RunResult r = simulate(cfg, traces);
+
+    std::string results = "-";
+    if (cubes == 1) {
+      // Passthrough gate: the wrapped single cube vs the bare backend.
+      SystemConfig wrapped_cfg = cfg;
+      wrapped_cfg.noc.wrap_single = true;
+      const RunResult wrapped = simulate(wrapped_cfg, traces);
+      const bool same = wrapped.cycles == r.cycles &&
+                        wrapped.coal.issued_requests ==
+                            r.coal.issued_requests &&
+                        wrapped.coal.issued_payload_bytes ==
+                            r.coal.issued_payload_bytes &&
+                        wrapped.hmc.requests == r.hmc.requests &&
+                        wrapped.total_energy == r.total_energy;
+      if (!same) {
+        std::fprintf(stderr,
+                     "[bench] DIVERGENCE: wrapped cubes=1 (%llu cycles) vs "
+                     "bare backend (%llu cycles)\n",
+                     static_cast<unsigned long long>(wrapped.cycles),
+                     static_cast<unsigned long long>(r.cycles));
+        identical = false;
+      }
+      results = same ? "identical" : "DIVERGED";
+    }
+    t.add_row({std::to_string(cubes), std::to_string(r.cycles),
+               Table::num(r.throughput.mcycles_per_sec()),
+               std::to_string(r.noc.links.size()), results});
+    report.add(label, CoalescerKind::kPac, r);
+  }
+  t.print(
+      "Multi-cube self-time - simulator throughput vs fabric size "
+      "(cubes=1 row gates wrapped-vs-bare passthrough identity)");
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +363,7 @@ int main(int argc, char** argv) {
 
   const bool scaling_identical =
       report_thread_scaling(wcfg, scfg, &store, report);
+  const bool cubes_identical = report_cube_scaling(cli.has("quick"), report);
   const bool verify_identical =
       report_verify_overhead(suites, wcfg, scfg, &store);
   const bool store_identical = report_trace_store(suites, wcfg);
@@ -311,8 +374,8 @@ int main(int argc, char** argv) {
     const std::string path = report.write(report_dir);
     std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
-  return identical && scaling_identical && verify_identical &&
-                 store_identical
+  return identical && scaling_identical && cubes_identical &&
+                 verify_identical && store_identical
              ? 0
              : 1;
 }

@@ -14,6 +14,10 @@ AddressMap::AddressMap(const AddressMapConfig& cfg) : cfg_(cfg) {
   row_shift_ = log2_exact(cfg_.row_bytes);
   vault_shift_ = log2_exact(cfg_.num_vaults);
   bank_shift_ = log2_exact(cfg_.banks_per_vault);
+  cube_shift_ = log2_exact(cfg_.capacity_bytes);
+  if (cfg_.num_cubes == 0) {
+    throw std::invalid_argument("AddressMap: num_cubes must be >= 1");
+  }
   // A capacity smaller than one row per bank would leave rows_per_bank_ at
   // zero and make every encode/decode alias onto row 0 of bank 0; fail the
   // construction loudly instead of silently producing a degenerate map.

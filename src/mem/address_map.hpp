@@ -17,7 +17,12 @@ struct AddressMapConfig {
   std::uint32_t num_vaults = 32;
   std::uint32_t banks_per_vault = 16;
   std::uint32_t row_bytes = 256;           ///< HMC block (row) size
-  std::uint64_t capacity_bytes = 8ULL << 30;  ///< 8 GB device
+  std::uint64_t capacity_bytes = 8ULL << 30;  ///< 8 GB device (per cube)
+  /// Cubes the physical address space is sharded across (multi-cube
+  /// chaining; see src/noc/). The cube index lives in the bits directly
+  /// above the per-cube capacity, so a child device handed the full address
+  /// sees its cube-local offset after decode()'s capacity wrap.
+  std::uint32_t num_cubes = 1;
 };
 
 /// Decoded location of an address inside the cube.
@@ -50,12 +55,24 @@ class AddressMap {
   [[nodiscard]] std::uint64_t capacity_bytes() const {
     return cfg_.capacity_bytes;
   }
+  [[nodiscard]] std::uint32_t num_cubes() const { return cfg_.num_cubes; }
+  /// Whole sharded address space (all cubes).
+  [[nodiscard]] std::uint64_t total_capacity_bytes() const {
+    return cfg_.capacity_bytes * cfg_.num_cubes;
+  }
+  /// Cube owning `a`: the bits directly above the per-cube capacity,
+  /// modulo num_cubes (addresses beyond the last cube wrap, mirroring
+  /// decode()'s capacity wrap).
+  [[nodiscard]] std::uint32_t cube_of(Addr a) const {
+    return static_cast<std::uint32_t>((a >> cube_shift_) % cfg_.num_cubes);
+  }
 
  private:
   AddressMapConfig cfg_;
   unsigned row_shift_;
   unsigned vault_shift_;
   unsigned bank_shift_;
+  unsigned cube_shift_;
   std::uint64_t rows_per_bank_;
 };
 

@@ -31,6 +31,25 @@ struct BackendStats {
   std::uint64_t row_misses = 0;
   RunningStat access_latency;         ///< submit -> completion, cycles
 
+  /// Fold another backend's counters in. Deterministic when callers fold in
+  /// a fixed order (cube order, shard order), keeping merged doubles
+  /// bit-reproducible.
+  void merge(const BackendStats& o) {
+    requests += o.requests;
+    row_accesses += o.row_accesses;
+    bank_conflicts += o.bank_conflicts;
+    conflict_wait_cycles += o.conflict_wait_cycles;
+    refreshes += o.refreshes;
+    local_routes += o.local_routes;
+    remote_routes += o.remote_routes;
+    request_flits += o.request_flits;
+    response_flits += o.response_flits;
+    payload_bytes += o.payload_bytes;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    access_latency.merge(o.access_latency);
+  }
+
   void checkpoint_save(BinWriter& w) const {
     w.u64(requests);
     w.u64(row_accesses);

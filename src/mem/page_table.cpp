@@ -4,7 +4,10 @@
 
 namespace pacsim {
 
-PageTable::PageTable(std::uint64_t phys_pages, std::uint64_t seed) {
+PageTable::PageTable(std::uint64_t phys_pages, std::uint64_t seed,
+                     bool identity)
+    : identity_(identity) {
+  if (identity_) return;  // passthrough: no frame pool to build
   frames_.resize(phys_pages);
   for (std::uint64_t i = 0; i < phys_pages; ++i) frames_[i] = i;
   // Fisher-Yates with the deterministic xoshiro stream.
@@ -16,6 +19,7 @@ PageTable::PageTable(std::uint64_t phys_pages, std::uint64_t seed) {
 }
 
 Addr PageTable::translate(std::uint8_t process, Addr vaddr) {
+  if (identity_) return vaddr;
   const std::uint64_t vpn = page_number(vaddr);
   // Processes get disjoint key spaces; 2^48 pages per process is ample.
   const std::uint64_t key = (static_cast<std::uint64_t>(process) << 48) | vpn;
@@ -30,6 +34,7 @@ Addr PageTable::translate(std::uint8_t process, Addr vaddr) {
 }
 
 std::optional<Addr> PageTable::lookup(std::uint8_t process, Addr vaddr) const {
+  if (identity_) return vaddr;
   const std::uint64_t vpn = page_number(vaddr);
   const std::uint64_t key = (static_cast<std::uint64_t>(process) << 48) | vpn;
   const auto it = map_.find(key);

@@ -23,8 +23,13 @@ class PageTable {
  public:
   /// `phys_pages` frames are shuffled with `seed`; allocation walks the
   /// shuffled free list, modelling a long-running OS with a fragmented
-  /// free-frame pool.
-  PageTable(std::uint64_t phys_pages, std::uint64_t seed);
+  /// free-frame pool. `identity` bypasses translation entirely (vaddr ==
+  /// paddr, no frame pool): the multi-cube traffic front-end uses it so a
+  /// generated address's cube bits survive to the memory device instead of
+  /// being scattered by the frame shuffle. Identity mode is single-address-
+  /// space - process tags are ignored.
+  PageTable(std::uint64_t phys_pages, std::uint64_t seed,
+            bool identity = false);
 
   /// Translate a virtual address of `process`; allocates the frame on first
   /// touch (demand paging).
@@ -70,6 +75,7 @@ class PageTable {
  private:
   std::vector<std::uint64_t> frames_;  ///< shuffled physical frame numbers
   std::uint64_t next_free_ = 0;
+  bool identity_ = false;              ///< vaddr == paddr passthrough
   std::unordered_map<std::uint64_t, std::uint64_t> map_;  ///< (proc,vpn)->pfn
 };
 

@@ -1,0 +1,417 @@
+#include "noc/multi_cube_backend.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fault_injector.hpp"
+
+namespace pacsim {
+namespace {
+
+AddressMapConfig with_cubes(AddressMapConfig cfg, std::uint32_t cubes) {
+  cfg.num_cubes = cubes;
+  return cfg;
+}
+
+}  // namespace
+
+MultiCubeBackend::MultiCubeBackend(
+    const NocConfig& cfg, AddressMapConfig map_cfg,
+    std::vector<std::unique_ptr<MemoryBackend>> children, FaultInjector* fault)
+    : cfg_(cfg),
+      map_(with_cubes(map_cfg, cfg.cubes)),
+      children_(std::move(children)),
+      fault_(fault),
+      passthrough_(children_.size() == 1) {
+  if (children_.empty() || children_.size() != cfg_.cubes) {
+    throw std::invalid_argument("MultiCubeBackend: need one child per cube");
+  }
+  stats_.cubes = cfg_.cubes;
+  stats_.topology = std::string(to_string(cfg_.topology));
+  stats_.cube_requests.assign(cfg_.cubes, 0);
+  build_topology();
+}
+
+std::uint32_t MultiCubeBackend::link_between(std::uint32_t from,
+                                             std::uint32_t to) {
+  // build_topology walks paths in a fixed order, so link indices (and with
+  // them the stats/report layout) are a pure function of the config.
+  links_.emplace_back("c" + std::to_string(from) + "->" + std::to_string(to),
+                      cfg_.link_bytes_per_cycle);
+  return static_cast<std::uint32_t>(links_.size() - 1);
+}
+
+void MultiCubeBackend::build_topology() {
+  const std::uint32_t n = cfg_.cubes;
+  req_path_.assign(n, {});
+  rsp_path_.assign(n, {});
+  if (n == 1) return;
+
+  // Deduplicate shared link segments: (from, to) -> link index.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> dir;
+  auto link_of = [&](std::uint32_t from, std::uint32_t to) {
+    auto [it, inserted] = dir.try_emplace({from, to}, 0);
+    if (inserted) it->second = link_between(from, to);
+    return it->second;
+  };
+
+  if (cfg_.topology == Topology::kChain) {
+    // Host -> c0 -> c1 -> ...; cube c is reached over links 0..c-1.
+    for (std::uint32_t c = 1; c < n; ++c) {
+      req_path_[c] = req_path_[c - 1];
+      req_path_[c].push_back(link_of(c - 1, c));
+      rsp_path_[c].push_back(link_of(c, c - 1));
+      rsp_path_[c].insert(rsp_path_[c].end(), rsp_path_[c - 1].begin(),
+                          rsp_path_[c - 1].end());
+    }
+    return;
+  }
+
+  // 2D mesh, XY dimension-ordered routing from the host corner (0, 0):
+  // walk x along row 0, then y up the destination column. Cube id c sits at
+  // (c % w, c / w); every intermediate node exists because ids are dense.
+  const auto w = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  for (std::uint32_t c = 1; c < n; ++c) {
+    const std::uint32_t cx = c % w;
+    const std::uint32_t cy = c / w;
+    std::vector<std::uint32_t> fwd;
+    std::vector<std::uint32_t> rev;
+    for (std::uint32_t x = 0; x < cx; ++x) {
+      fwd.push_back(link_of(x, x + 1));
+      rev.push_back(link_of(x + 1, x));
+    }
+    for (std::uint32_t y = 0; y < cy; ++y) {
+      fwd.push_back(link_of(y * w + cx, (y + 1) * w + cx));
+      rev.push_back(link_of((y + 1) * w + cx, y * w + cx));
+    }
+    req_path_[c] = std::move(fwd);
+    rsp_path_[c].assign(rev.rbegin(), rev.rend());
+  }
+}
+
+BackendKind MultiCubeBackend::kind() const { return children_[0]->kind(); }
+
+bool MultiCubeBackend::can_accept() const {
+  // Single-cube delegates exactly so dispatch timing stays bit-identical to
+  // the bare backend; multi-cube admits into the fabric and lets ingress
+  // retries absorb a momentarily full destination cube.
+  if (passthrough_) return children_[0]->can_accept();
+  return tracking_.size() < cfg_.max_outstanding;
+}
+
+void MultiCubeBackend::push_transit(Transit ev) {
+  ev.seq = next_seq_++;
+  transit_.push(std::move(ev));
+}
+
+void MultiCubeBackend::submit(DeviceRequest req, Cycle now) {
+  const std::uint32_t cube = passthrough_ ? 0 : map_.cube_of(req.base);
+  ++stats_.cube_requests[cube];
+  if (passthrough_) {
+    children_[0]->submit(std::move(req), now);
+    return;
+  }
+
+  Tracking& tr = tracking_[req.id];
+  tr.cube = cube;
+  // Loads and atomics carry the payload home; stores only an ack header.
+  tr.rsp_bytes = cfg_.control_bytes +
+                 (req.store && !req.atomic ? 0 : req.bytes);
+  tr.phase = Phase::kReqTransit;
+
+  const std::vector<std::uint32_t>& path = req_path_[cube];
+  if (path.empty()) {
+    // Host-attached cube: submit directly so cube-0 traffic keeps the exact
+    // single-cube timing (a same-cycle transit hop would deliver a cycle
+    // late because tick() already ran).
+    if (children_[cube]->can_accept()) {
+      tr.phase = Phase::kInChild;
+      children_[cube]->submit(std::move(req), now);
+    } else {
+      ++stats_.ingress_retries;
+      Transit ev;
+      ev.deliver = now + 1;
+      ev.kind = TransitKind::kRequest;
+      ev.cube = cube;
+      ev.req = std::move(req);
+      push_transit(std::move(ev));
+    }
+    return;
+  }
+
+  ++stats_.req_packets;
+  const std::uint32_t req_bytes =
+      cfg_.control_bytes + (req.store || req.atomic ? req.bytes : 0);
+  if (fault_ != nullptr && fault_->corrupt_request()) {
+    // Link CRC hit: the packet burns its first hop, then a NACK header
+    // returns over the last reverse link. The DevicePort retransmits.
+    ++stats_.link_crc_nacks;
+    Cycle t = links_[path.front()].traverse(now, req_bytes) + cfg_.hop_cycles;
+    t = links_[rsp_path_[cube].back()].traverse(t, cfg_.control_bytes) +
+        cfg_.hop_cycles;
+    tr.phase = Phase::kRspTransit;
+    Transit ev;
+    ev.deliver = t;
+    ev.kind = TransitKind::kNack;
+    ev.nack = DeviceNack{req.id, t};
+    push_transit(std::move(ev));
+    return;
+  }
+
+  // Store-and-forward: serialize onto each link in turn, one router
+  // latency per hop.
+  Cycle t = now;
+  for (const std::uint32_t link : path) {
+    t = links_[link].traverse(t, req_bytes) + cfg_.hop_cycles;
+  }
+  Transit ev;
+  ev.deliver = t;
+  ev.kind = TransitKind::kRequest;
+  ev.cube = cube;
+  ev.req = std::move(req);
+  push_transit(std::move(ev));
+}
+
+void MultiCubeBackend::deliver_due(Cycle now) {
+  while (!transit_.empty() && transit_.top().deliver <= now) {
+    // priority_queue exposes only a const top(); moving out before pop() is
+    // safe because the element is removed immediately after.
+    Transit ev = std::move(const_cast<Transit&>(transit_.top()));
+    transit_.pop();
+    switch (ev.kind) {
+      case TransitKind::kRequest: {
+        MemoryBackend& child = *children_[ev.cube];
+        if (!child.can_accept()) {
+          ++stats_.ingress_retries;
+          ev.deliver = now + 1;
+          push_transit(std::move(ev));
+          break;
+        }
+        const auto it = tracking_.find(ev.req.id);
+        if (it != tracking_.end()) it->second.phase = Phase::kInChild;
+        child.submit(std::move(ev.req), now);
+        break;
+      }
+      case TransitKind::kResponse:
+        tracking_.erase(ev.rsp.request_id);
+        completed_.push_back(std::move(ev.rsp));
+        break;
+      case TransitKind::kNack:
+        tracking_.erase(ev.nack.request_id);
+        nacks_.push_back(ev.nack);
+        break;
+    }
+  }
+}
+
+void MultiCubeBackend::route_response(std::uint32_t cube, DeviceResponse rsp,
+                                      Cycle now) {
+  const std::vector<std::uint32_t>& path = rsp_path_[cube];
+  if (path.empty()) {
+    tracking_.erase(rsp.request_id);
+    completed_.push_back(std::move(rsp));
+    return;
+  }
+  ++stats_.rsp_packets;
+  std::uint32_t bytes = cfg_.control_bytes;
+  const auto it = tracking_.find(rsp.request_id);
+  if (it != tracking_.end()) {
+    bytes = it->second.rsp_bytes;
+    it->second.phase = Phase::kRspTransit;
+  }
+  Cycle t = now;
+  for (const std::uint32_t link : path) {
+    t = links_[link].traverse(t, bytes) + cfg_.hop_cycles;
+  }
+  rsp.completed_at = t;  // the host sees the response when it arrives
+  Transit ev;
+  ev.deliver = t;
+  ev.kind = TransitKind::kResponse;
+  ev.cube = cube;
+  ev.rsp = std::move(rsp);
+  push_transit(std::move(ev));
+}
+
+void MultiCubeBackend::route_nack(std::uint32_t cube, DeviceNack nack,
+                                  Cycle now) {
+  const std::vector<std::uint32_t>& path = rsp_path_[cube];
+  if (path.empty()) {
+    tracking_.erase(nack.request_id);
+    nacks_.push_back(nack);
+    return;
+  }
+  ++stats_.nack_packets;
+  const auto it = tracking_.find(nack.request_id);
+  if (it != tracking_.end()) it->second.phase = Phase::kRspTransit;
+  Cycle t = now;
+  for (const std::uint32_t link : path) {
+    t = links_[link].traverse(t, cfg_.control_bytes) + cfg_.hop_cycles;
+  }
+  nack.nacked_at = t;
+  Transit ev;
+  ev.deliver = t;
+  ev.kind = TransitKind::kNack;
+  ev.cube = cube;
+  ev.nack = nack;
+  push_transit(std::move(ev));
+}
+
+void MultiCubeBackend::tick(Cycle now) {
+  for (auto& child : children_) child->tick(now);
+  if (passthrough_) return;
+  deliver_due(now);
+  for (std::uint32_t c = 0; c < children_.size(); ++c) {
+    children_[c]->drain_completed_into(child_rsp_buf_);
+    for (DeviceResponse& rsp : child_rsp_buf_) {
+      route_response(c, std::move(rsp), now);
+    }
+    children_[c]->drain_nacks_into(child_nack_buf_);
+    for (const DeviceNack& nack : child_nack_buf_) route_nack(c, nack, now);
+  }
+}
+
+Cycle MultiCubeBackend::next_event_cycle(Cycle now) const {
+  if (passthrough_) return children_[0]->next_event_cycle(now);
+  // Unlike a leaf device's completion buffer (always drained later in the
+  // same step), arrivals can sit in completed_/nacks_ across a step, so
+  // they pin the horizon at `now` until the port drains them.
+  if (!completed_.empty() || !nacks_.empty()) return now;
+  Cycle bound = kNeverCycle;
+  if (!transit_.empty()) {
+    bound = transit_.top().deliver > now ? transit_.top().deliver : now;
+  }
+  for (const auto& child : children_) {
+    const Cycle b = child->next_event_cycle(now);
+    if (b < bound) bound = b;
+  }
+  return bound;
+}
+
+void MultiCubeBackend::drain_completed_into(std::vector<DeviceResponse>& out) {
+  if (passthrough_) {
+    children_[0]->drain_completed_into(out);
+    return;
+  }
+  out.clear();
+  std::swap(out, completed_);
+}
+
+void MultiCubeBackend::drain_nacks_into(std::vector<DeviceNack>& out) {
+  if (passthrough_) {
+    children_[0]->drain_nacks_into(out);
+    return;
+  }
+  out.clear();
+  std::swap(out, nacks_);
+}
+
+bool MultiCubeBackend::in_flight(std::uint64_t id) const {
+  if (passthrough_) return children_[0]->in_flight(id);
+  const auto it = tracking_.find(id);
+  if (it == tracking_.end()) return false;
+  // Inside a cube the child is authoritative: an injected response drop
+  // must surface as not-in-flight so the port timeout retransmits.
+  if (it->second.phase == Phase::kInChild) {
+    return children_[it->second.cube]->in_flight(id);
+  }
+  return true;
+}
+
+bool MultiCubeBackend::idle() const {
+  // Must match checkpoint_save's quiescence precondition exactly: packets in
+  // flight, undelivered arrivals, or tracked requests all mean "not idle".
+  if (!transit_.empty() || !tracking_.empty() || !completed_.empty() ||
+      !nacks_.empty()) {
+    return false;
+  }
+  for (const auto& child : children_) {
+    if (!child->idle()) return false;
+  }
+  return true;
+}
+
+std::uint32_t MultiCubeBackend::outstanding() const {
+  std::uint32_t sum = 0;
+  for (const auto& child : children_) sum += child->outstanding();
+  if (!passthrough_) {
+    sum += static_cast<std::uint32_t>(transit_.size());
+  }
+  return sum;
+}
+
+const BackendStats& MultiCubeBackend::stats() const {
+  agg_ = BackendStats{};
+  for (const auto& child : children_) agg_.merge(child->stats());
+  return agg_;
+}
+
+const AddressMap& MultiCubeBackend::address_map() const { return map_; }
+
+void MultiCubeBackend::set_verifier(Verifier* verifier) {
+  for (auto& child : children_) child->set_verifier(verifier);
+}
+
+std::string MultiCubeBackend::debug_json() const {
+  std::ostringstream out;
+  out << "{\"cubes\": " << children_.size() << ", \"in_transit\": "
+      << transit_.size() << ", \"tracked\": " << tracking_.size()
+      << ", \"buffered_responses\": " << completed_.size()
+      << ", \"buffered_nacks\": " << nacks_.size() << ", \"children\": [";
+  for (std::size_t c = 0; c < children_.size(); ++c) {
+    if (c != 0) out << ", ";
+    out << children_[c]->debug_json();
+  }
+  out << "]}";
+  return out.str();
+}
+
+void MultiCubeBackend::checkpoint_save(BinWriter& w) const {
+  if (!transit_.empty() || !tracking_.empty() || !completed_.empty() ||
+      !nacks_.empty()) {
+    throw SnapshotError("multi-cube fabric not quiescent");
+  }
+  w.tag("NOCB");
+  w.u32(static_cast<std::uint32_t>(children_.size()));
+  w.u64(next_seq_);
+  w.u64(stats_.req_packets);
+  w.u64(stats_.rsp_packets);
+  w.u64(stats_.nack_packets);
+  w.u64(stats_.link_crc_nacks);
+  w.u64(stats_.ingress_retries);
+  for (const std::uint64_t n : stats_.cube_requests) w.u64(n);
+  w.u32(static_cast<std::uint32_t>(links_.size()));
+  for (const NocLink& link : links_) link.checkpoint_save(w);
+  for (const auto& child : children_) child->checkpoint_save(w);
+}
+
+void MultiCubeBackend::checkpoint_load(BinReader& r) {
+  r.tag("NOCB");
+  if (r.u32() != children_.size()) {
+    throw SnapshotError("multi-cube cube count mismatch");
+  }
+  next_seq_ = r.u64();
+  stats_.req_packets = r.u64();
+  stats_.rsp_packets = r.u64();
+  stats_.nack_packets = r.u64();
+  stats_.link_crc_nacks = r.u64();
+  stats_.ingress_retries = r.u64();
+  for (std::uint64_t& n : stats_.cube_requests) n = r.u64();
+  if (r.u32() != links_.size()) {
+    throw SnapshotError("multi-cube link count mismatch");
+  }
+  for (NocLink& link : links_) link.checkpoint_load(r);
+  for (auto& child : children_) child->checkpoint_load(r);
+}
+
+NocStats MultiCubeBackend::noc_stats() const {
+  NocStats out = stats_;
+  out.links.reserve(links_.size());
+  for (const NocLink& link : links_) out.links.push_back(link.stats());
+  return out;
+}
+
+}  // namespace pacsim

@@ -1,0 +1,138 @@
+// Multi-cube address-space sharding behind the MemoryBackend interface.
+//
+// The physical address space is sharded across N cube backends by the
+// address's cube bits (AddressMap::cube_of); the host port attaches at cube
+// 0 and reaches the others over a routed inter-cube link fabric (chain or
+// 2D mesh of NocLink occupancy queues with per-hop router latency). The
+// wrapper is itself a MemoryBackend, so every coalescer, the DevicePort
+// retry machinery, the verifier, fast-forwarding and checkpoint/restore
+// compose with multi-cube configurations unchanged.
+//
+// Event model: link traversals are charged analytically at injection time
+// (each packet's delivery cycle is exact when it enters the fabric), and a
+// priority queue of in-transit packets delivers them at tick(). That keeps
+// next_event_cycle() exact - the event-horizon fast-forward contract - with
+// zero per-cycle cost while the fabric is quiet.
+//
+// Faults: a multi-hop request rolls the link-CRC model once on fabric
+// ingress (inter-cube links are additional CRC exposure); the resulting
+// NACK travels back over the reverse path, so the requester-side DevicePort
+// retry machinery recovers it exactly like an intra-cube CRC error. Child
+// NACKs and responses are likewise routed home over the fabric with their
+// full link delay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_backend.hpp"
+#include "noc/link.hpp"
+#include "noc/noc_config.hpp"
+#include "noc/noc_stats.hpp"
+
+namespace pacsim {
+
+class FaultInjector;
+
+class MultiCubeBackend final : public MemoryBackend {
+ public:
+  /// `children` holds one backend per cfg.cubes, each modelling one cube of
+  /// the per-cube capacity in `map_cfg` (whose num_cubes field is
+  /// overridden with cfg.cubes to form the full sharded map). `fault`
+  /// (optional, unowned) adds the inter-cube link CRC model; the children
+  /// were typically built against the same injector.
+  MultiCubeBackend(const NocConfig& cfg, AddressMapConfig map_cfg,
+                   std::vector<std::unique_ptr<MemoryBackend>> children,
+                   FaultInjector* fault = nullptr);
+
+  [[nodiscard]] BackendKind kind() const override;
+  [[nodiscard]] bool can_accept() const override;
+  void submit(DeviceRequest req, Cycle now) override;
+  void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  void drain_completed_into(std::vector<DeviceResponse>& out) override;
+  void drain_nacks_into(std::vector<DeviceNack>& out) override;
+  [[nodiscard]] bool in_flight(std::uint64_t id) const override;
+  [[nodiscard]] bool idle() const override;
+  [[nodiscard]] std::uint32_t outstanding() const override;
+  [[nodiscard]] const BackendStats& stats() const override;
+  [[nodiscard]] const AddressMap& address_map() const override;
+  void set_verifier(Verifier* verifier) override;
+  [[nodiscard]] std::string debug_json() const override;
+  void checkpoint_save(BinWriter& w) const override;
+  void checkpoint_load(BinReader& r) override;
+
+  /// Fabric counters plus a snapshot of every link's stats.
+  [[nodiscard]] NocStats noc_stats() const;
+  [[nodiscard]] std::uint32_t cube_count() const {
+    return static_cast<std::uint32_t>(children_.size());
+  }
+  [[nodiscard]] const MemoryBackend& cube(std::uint32_t c) const {
+    return *children_[c];
+  }
+
+ private:
+  /// Where a tracked request currently is, for in_flight()'s slow-vs-lost
+  /// distinction: on the fabric (always in flight) or inside a cube
+  /// (delegate, so an injected response drop surfaces as not-in-flight).
+  enum class Phase : std::uint8_t { kReqTransit, kInChild, kRspTransit };
+  struct Tracking {
+    std::uint32_t cube = 0;
+    std::uint32_t rsp_bytes = 0;  ///< response size for the return links
+    Phase phase = Phase::kReqTransit;
+  };
+
+  enum class TransitKind : std::uint8_t { kRequest, kResponse, kNack };
+  struct Transit {
+    Cycle deliver = 0;
+    std::uint64_t seq = 0;  ///< insertion order tie-break (determinism)
+    TransitKind kind = TransitKind::kRequest;
+    std::uint32_t cube = 0;
+    DeviceRequest req;
+    DeviceResponse rsp;
+    DeviceNack nack;
+  };
+  struct TransitAfter {
+    bool operator()(const Transit& a, const Transit& b) const {
+      if (a.deliver != b.deliver) return a.deliver > b.deliver;
+      return a.seq > b.seq;
+    }
+  };
+
+  void build_topology();
+  std::uint32_t link_between(std::uint32_t from, std::uint32_t to);
+  void push_transit(Transit ev);
+  void deliver_due(Cycle now);
+  void route_response(std::uint32_t cube, DeviceResponse rsp, Cycle now);
+  void route_nack(std::uint32_t cube, DeviceNack nack, Cycle now);
+
+  NocConfig cfg_;
+  AddressMap map_;  ///< full sharded map (cube bits + per-cube geometry)
+  std::vector<std::unique_ptr<MemoryBackend>> children_;
+  FaultInjector* fault_;
+  bool passthrough_;  ///< cubes == 1: pure delegation, no fabric events
+
+  std::vector<NocLink> links_;
+  /// Link indices from the host (cube 0) to each cube, in traversal order.
+  std::vector<std::vector<std::uint32_t>> req_path_;
+  /// Link indices from each cube back to the host, in traversal order.
+  std::vector<std::vector<std::uint32_t>> rsp_path_;
+
+  std::priority_queue<Transit, std::vector<Transit>, TransitAfter> transit_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, Tracking> tracking_;
+
+  std::vector<DeviceResponse> completed_;  ///< arrived at the host port
+  std::vector<DeviceNack> nacks_;
+  std::vector<DeviceResponse> child_rsp_buf_;  ///< reusable drain buffers
+  std::vector<DeviceNack> child_nack_buf_;
+
+  NocStats stats_;
+  mutable BackendStats agg_;  ///< children folded in cube order, see stats()
+};
+
+}  // namespace pacsim

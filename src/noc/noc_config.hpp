@@ -1,0 +1,69 @@
+// Configuration of the multi-cube interconnect (src/noc/).
+//
+// HMC supports chaining cubes behind one host port; Hadidi et al.
+// ("Performance Implications of NoCs on 3D-Stacked Memories") show the
+// inter-cube network - not the vault controllers - dominates once aggregate
+// traffic exceeds one cube's bandwidth. The NocConfig describes how N cube
+// backends are wired: a linear chain (host -> c0 -> c1 -> ...) or a 2D mesh
+// with XY routing, with per-link serialization bandwidth and per-hop router
+// latency.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pacsim {
+
+/// Inter-cube wiring (topology=chain|mesh).
+enum class Topology : std::uint8_t {
+  kChain = 0,  ///< linear daisy chain, host attached to cube 0
+  kMesh,       ///< 2D mesh, XY (x-then-y) dimension-ordered routing
+};
+
+constexpr std::string_view to_string(Topology t) {
+  switch (t) {
+    case Topology::kChain: return "chain";
+    case Topology::kMesh: return "mesh";
+  }
+  return "?";
+}
+
+/// Parse a topology= CLI value; throws std::invalid_argument otherwise.
+inline Topology parse_topology(const std::string& name) {
+  if (name == "chain") return Topology::kChain;
+  if (name == "mesh") return Topology::kMesh;
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (expected chain or mesh)");
+}
+
+struct NocConfig {
+  /// Cube count the physical address space is sharded across (cubes=1..8).
+  std::uint32_t cubes = 1;
+  Topology topology = Topology::kChain;
+
+  /// Router + SERDES latency per hop, cycles (one cube-to-cube traversal
+  /// beyond link serialization). HMC 2.1 measures ~4-6 ns per chained hop;
+  /// 8 cycles at the 2 GHz reference clock.
+  std::uint32_t hop_cycles = 8;
+  /// Link serialization bandwidth, bytes per cycle (a full-width 16-lane
+  /// 32 Gb/s HMC link moves 64 GB/s each way = 32 B per 2 GHz cycle).
+  std::uint32_t link_bytes_per_cycle = 32;
+  /// Per-packet header/CRC charged on every link traversal, bytes.
+  std::uint32_t control_bytes = 16;
+  /// Admission limit across the whole fabric (requests submitted and not
+  /// yet answered or NACKed).
+  std::uint32_t max_outstanding = 4096;
+
+  /// Test hook: build the MultiCubeBackend wrapper even at cubes == 1. The
+  /// single-cube wrapper is pure passthrough (no link events, no extra
+  /// fault draws), which is what the cubes=1 differential suite proves
+  /// bit-identical to the bare backend.
+  bool wrap_single = false;
+
+  /// True when the multi-cube path is needed at all.
+  [[nodiscard]] bool active() const { return cubes > 1 || wrap_single; }
+};
+
+}  // namespace pacsim

@@ -1,0 +1,94 @@
+// Interconnect statistics: per-link occupancy/queueing plus fabric-level
+// packet counters, reported in the JSON schema v8 "interconnect" block.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace pacsim {
+
+/// Counters of one directed inter-cube link.
+struct LinkStats {
+  std::string label;                 ///< e.g. "c0->c1"
+  std::uint64_t packets = 0;         ///< packets serialized onto the link
+  std::uint64_t bytes = 0;           ///< header + payload bytes moved
+  std::uint64_t busy_cycles = 0;     ///< cycles the link was serializing
+  std::uint64_t queued_packets = 0;  ///< packets that waited for the link
+  Cycle max_queue_delay = 0;         ///< worst wait, cycles
+  /// Wait-for-link cycles per packet, log2-bucketed (bucket b covers
+  /// [2^(b-1), 2^b); bucket 0 is zero wait). total() == packets.
+  Histogram queue_delay;
+
+  /// Fold another link's counters in (sharded runs merge per link index).
+  void merge(const LinkStats& o) {
+    packets += o.packets;
+    bytes += o.bytes;
+    busy_cycles += o.busy_cycles;
+    queued_packets += o.queued_packets;
+    max_queue_delay = std::max(max_queue_delay, o.max_queue_delay);
+    queue_delay.merge(o.queue_delay);
+  }
+
+  void checkpoint_save(BinWriter& w) const {
+    w.str(label);
+    w.u64(packets);
+    w.u64(bytes);
+    w.u64(busy_cycles);
+    w.u64(queued_packets);
+    w.u64(max_queue_delay);
+    queue_delay.checkpoint_save(w);
+  }
+  void checkpoint_load(BinReader& r) {
+    label = r.str();
+    packets = r.u64();
+    bytes = r.u64();
+    busy_cycles = r.u64();
+    queued_packets = r.u64();
+    max_queue_delay = r.u64();
+    queue_delay.checkpoint_load(r);
+  }
+};
+
+/// Fabric-level view of one run's interconnect traffic.
+struct NocStats {
+  std::uint32_t cubes = 1;
+  std::string topology = "chain";
+  std::uint64_t req_packets = 0;    ///< requests that left the host port
+  std::uint64_t rsp_packets = 0;    ///< responses routed back over links
+  std::uint64_t nack_packets = 0;   ///< NACKs routed back over links
+  std::uint64_t link_crc_nacks = 0; ///< injected inter-cube CRC errors
+  /// Deliveries deferred because the destination cube was full (each retry
+  /// re-attempts next cycle).
+  std::uint64_t ingress_retries = 0;
+  std::vector<std::uint64_t> cube_requests;  ///< submissions per target cube
+  std::vector<LinkStats> links;
+
+  /// Fold another fabric's counters in. Topology/cube count are config and
+  /// identical across shards; link vectors merge by index.
+  void merge(const NocStats& o) {
+    req_packets += o.req_packets;
+    rsp_packets += o.rsp_packets;
+    nack_packets += o.nack_packets;
+    link_crc_nacks += o.link_crc_nacks;
+    ingress_retries += o.ingress_retries;
+    if (cube_requests.size() < o.cube_requests.size()) {
+      cube_requests.resize(o.cube_requests.size(), 0);
+    }
+    for (std::size_t i = 0; i < o.cube_requests.size(); ++i) {
+      cube_requests[i] += o.cube_requests[i];
+    }
+    if (links.size() < o.links.size()) links.resize(o.links.size());
+    for (std::size_t i = 0; i < o.links.size(); ++i) {
+      if (links[i].label.empty()) links[i].label = o.links[i].label;
+      links[i].merge(o.links[i]);
+    }
+  }
+};
+
+}  // namespace pacsim

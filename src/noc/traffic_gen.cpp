@@ -1,0 +1,84 @@
+#include "noc/traffic_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace pacsim {
+
+ZipfPicker::ZipfPicker(std::uint32_t cubes, double skew,
+                       std::uint32_t hot_cube)
+    : cubes_(cubes), hot_cube_(hot_cube % (cubes ? cubes : 1)) {
+  if (cubes == 0) throw std::invalid_argument("ZipfPicker: cubes == 0");
+  if (skew < 0.0) throw std::invalid_argument("ZipfPicker: negative skew");
+  cdf_.resize(cubes);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < cubes; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+}
+
+std::uint32_t ZipfPicker::pick(Rng& rng) const {
+  const double u = rng.uniform();
+  // cubes <= 8: a linear CDF scan beats binary search and is branch-cheap.
+  std::uint32_t rank = 0;
+  while (rank + 1 < cubes_ && u >= cdf_[rank]) ++rank;
+  return cube_of_rank(rank);
+}
+
+double ZipfPicker::rank_probability(std::uint32_t rank) const {
+  if (rank >= cubes_) return 0.0;
+  return cdf_[rank] - (rank == 0 ? 0.0 : cdf_[rank - 1]);
+}
+
+TraceSet generate_traffic(const TrafficConfig& cfg) {
+  if (cfg.cubes == 0) throw std::invalid_argument("traffic: cubes == 0");
+  const std::uint32_t hot =
+      cfg.hot_cube == UINT32_MAX ? cfg.cubes - 1 : cfg.hot_cube;
+  const ZipfPicker picker(cfg.cubes, cfg.zipf, hot);
+  const std::uint32_t burst = cfg.burst_blocks ? cfg.burst_blocks : 1;
+  const std::uint32_t gap_lo = cfg.gap_min_cycles;
+  const std::uint32_t gap_hi =
+      cfg.gap_max_cycles > gap_lo ? cfg.gap_max_cycles : gap_lo;
+
+  TraceSet traces;
+  traces.reserve(cfg.num_cores);
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    // Per-core streams: trace c is a function of (seed, c) alone.
+    Rng rng(cfg.seed ^ (0x9E3779B97F4A7C15ULL * (core + 1)));
+    Trace t;
+    t.reserve(cfg.ops_per_core);
+    std::size_t emitted = 0;
+    while (emitted < cfg.ops_per_core) {
+      const std::uint32_t cube = picker.pick(rng);
+      const std::uint64_t page = rng.below(cfg.pages_per_cube);
+      const bool store = rng.below(100) < cfg.store_percent;
+      const Addr base = static_cast<Addr>(cube) * cfg.cube_capacity_bytes +
+                        (page << kPageShift);
+      // Sequential blocks within one page: classic coalescing shape, and
+      // the whole burst targets a single cube.
+      const std::uint64_t blocks_in_page = kPageSize / kCacheBlockSize;
+      const std::uint64_t start = rng.below(blocks_in_page - burst + 1);
+      for (std::uint32_t b = 0; b < burst && emitted < cfg.ops_per_core;
+           ++b, ++emitted) {
+        t.push_back({base + (start + b) * kCacheBlockSize, 8,
+                     store ? OpKind::kStore : OpKind::kLoad});
+      }
+      if (emitted < cfg.ops_per_core) {
+        const std::uint32_t gap =
+            gap_lo + static_cast<std::uint32_t>(
+                         rng.below(gap_hi - gap_lo + 1));
+        t.push_back({0, gap, OpKind::kCompute});
+        ++emitted;
+      }
+    }
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+}  // namespace pacsim

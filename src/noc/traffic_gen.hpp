@@ -1,0 +1,73 @@
+// Open-loop skewed traffic front-end for the multi-cube sweeps.
+//
+// bench_multicube needs traffic whose cube distribution is controlled, not
+// emergent: a Zipfian cube picker (zipf= skew) concentrates load on one hot
+// cube so the sweep can show the hot shard's ingress links saturating while
+// a uniform sweep (zipf=0) shows aggregate bandwidth scaling with the cube
+// count. The generator emits ordinary per-core Traces (sequential cache
+// block bursts inside a picked page, short compute gaps for open-loop
+// pacing), addressed in the identity-paged physical space so a vaddr's cube
+// bits survive translation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/trace.hpp"
+
+namespace pacsim {
+
+/// Deterministic Zipf-distributed cube selector. Rank r (0 = hottest) gets
+/// weight 1/(r+1)^skew; rank r maps to cube (hot_cube + r) % cubes, so the
+/// hot cube defaults to the one farthest from the host (worst-case link
+/// path). skew = 0 degenerates to the uniform distribution.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::uint32_t cubes, double skew, std::uint32_t hot_cube);
+
+  /// Draw one cube index using the caller's xoshiro stream.
+  [[nodiscard]] std::uint32_t pick(Rng& rng) const;
+
+  /// P(rank r is chosen); exposed for the skew-monotonicity tests.
+  [[nodiscard]] double rank_probability(std::uint32_t rank) const;
+  [[nodiscard]] std::uint32_t cube_of_rank(std::uint32_t rank) const {
+    return (hot_cube_ + rank) % cubes_;
+  }
+
+ private:
+  std::uint32_t cubes_;
+  std::uint32_t hot_cube_;
+  std::vector<double> cdf_;  ///< cumulative rank probabilities
+};
+
+struct TrafficConfig {
+  std::uint32_t cubes = 1;
+  /// Zipf skew over cubes: 0 = uniform, ~1.2 = one clearly hot shard.
+  double zipf = 0.0;
+  /// Hot cube index; default (when left at UINT32_MAX) is cubes - 1, the
+  /// cube with the longest link path from the host.
+  std::uint32_t hot_cube = UINT32_MAX;
+  std::uint64_t seed = 0x70AFF1CULL;
+  std::uint32_t num_cores = 8;
+  std::uint32_t ops_per_core = 20'000;
+  /// Fraction of bursts that store instead of load, percent.
+  std::uint32_t store_percent = 20;
+  /// Per-cube capacity; a cube's address window is [c * cap, (c+1) * cap).
+  std::uint64_t cube_capacity_bytes = 8ULL << 30;
+  /// Pages touched per cube (bounds the footprint the page table must hold).
+  std::uint32_t pages_per_cube = 512;
+  /// Sequential cache blocks per burst (coalescing opportunity).
+  std::uint32_t burst_blocks = 8;
+  /// Compute-gap cycles between bursts (open-loop issue pacing); the gap is
+  /// uniform in [min, max].
+  std::uint32_t gap_min_cycles = 1;
+  std::uint32_t gap_max_cycles = 8;
+};
+
+/// Generate one deterministic trace per core. Core c draws from its own
+/// seed-derived stream, so a trace set is reproducible per (config, core)
+/// independent of generation order.
+[[nodiscard]] TraceSet generate_traffic(const TrafficConfig& cfg);
+
+}  // namespace pacsim

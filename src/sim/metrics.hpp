@@ -13,6 +13,7 @@
 #include "hmc/power_model.hpp"
 #include "mem/memory_backend.hpp"
 #include "mem/packet.hpp"
+#include "noc/noc_stats.hpp"
 #include "pac/coalescer.hpp"
 #include "pac/pac_stats.hpp"
 
@@ -90,6 +91,10 @@ struct RunResult {
   /// backends; it now holds whichever backend's BackendStats).
   BackendKind backend = BackendKind::kHmc;
   HmcStats hmc;
+  /// Inter-cube fabric traffic (valid only when has_noc: the run executed
+  /// on a MultiCubeBackend). Emitted as the JSON "interconnect" block.
+  NocStats noc;
+  bool has_noc = false;
   ResilienceStats resilience;
   /// Verifier counters (enabled=false on verify=off runs, block omitted in
   /// JSON). violations is always 0 here: a violating run throws instead of

@@ -156,6 +156,41 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
     first = false;
   }
   out << "}";
+  if (r.has_noc) {
+    const NocStats& n = r.noc;
+    out << ",\n  \"interconnect\": {\n";
+    out << "    \"cubes\": " << n.cubes << ",\n";
+    out << "    \"topology\": \"" << escape(n.topology) << "\",\n";
+    out << "    \"req_packets\": " << n.req_packets << ",\n";
+    out << "    \"rsp_packets\": " << n.rsp_packets << ",\n";
+    out << "    \"nack_packets\": " << n.nack_packets << ",\n";
+    out << "    \"link_crc_nacks\": " << n.link_crc_nacks << ",\n";
+    out << "    \"ingress_retries\": " << n.ingress_retries << ",\n";
+    out << "    \"cube_requests\": [";
+    for (std::size_t c = 0; c < n.cube_requests.size(); ++c) {
+      out << (c == 0 ? "" : ", ") << n.cube_requests[c];
+    }
+    out << "],\n";
+    out << "    \"links\": [";
+    for (std::size_t i = 0; i < n.links.size(); ++i) {
+      const LinkStats& l = n.links[i];
+      const double occupancy =
+          r.cycles > 0
+              ? static_cast<double>(l.busy_cycles) / static_cast<double>(r.cycles)
+              : 0.0;
+      out << (i == 0 ? "\n" : ",\n");
+      out << "      {\"label\": \"" << escape(l.label)
+          << "\", \"packets\": " << l.packets << ", \"bytes\": " << l.bytes
+          << ", \"busy_cycles\": " << l.busy_cycles
+          << ", \"occupancy\": " << num(occupancy)
+          << ", \"queued_packets\": " << l.queued_packets
+          << ", \"max_queue_delay\": " << l.max_queue_delay
+          << ", \"queue_delay_histogram\": " << hist_json(l.queue_delay)
+          << "}";
+    }
+    out << (n.links.empty() ? "]" : "\n    ]") << "\n";
+    out << "  }";
+  }
   if (r.has_pac) {
     out << ",\n  \"pac\": {\n";
     out << "    \"c0_bypass_requests\": " << r.pac.c0_bypass_requests
@@ -269,7 +304,7 @@ std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << escape(bench_) << "\",\n";
-  out << "  \"schema_version\": 7,\n";
+  out << "  \"schema_version\": " << kJsonSchemaVersion << ",\n";
   out << "  \"wall_time\": {\"generation_seconds\": "
       << num(generation_seconds_)
       << ", \"simulation_seconds\": " << num(simulation_seconds_) << "},\n";

@@ -11,6 +11,10 @@
 
 namespace pacsim {
 
+/// Version stamped into every SweepReport envelope ("schema_version").
+/// Bump together with a new entry in the schema history below.
+inline constexpr int kJsonSchemaVersion = 8;
+
 /// JSON object describing one run. `label` names the run (suite +
 /// coalescer); pretty-printed with two-space indentation. Serializes the
 /// headline RunResult metrics plus the PacStats / HmcStats detail,
@@ -28,12 +32,20 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 7,
+///   { "bench": "<name>", "schema_version": 8,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v7 added the per-run "execution" block (sharded-run
+/// Schema history: v8 added the per-run "interconnect" block on multi-cube
+/// runs ({"cubes", "topology", "req_packets", "rsp_packets",
+/// "nack_packets", "link_crc_nacks", "ingress_retries", "cube_requests"
+/// per-cube submission counts, and a "links" array whose elements carry
+/// {"label", "packets", "bytes", "busy_cycles", "occupancy",
+/// "queued_packets", "max_queue_delay", "queue_delay_histogram" with
+/// log2-bucketed waits}}; simulated data, so present regardless of the
+/// include_throughput gate); v7 added the per-run "execution" block
+/// (sharded-run
 /// provenance: "shards", effective and requested "threads", epoch-barrier
 /// count, "checkpoints_written"/"checkpoints_skipped", "restored" plus
 /// "restore_cycle"/"restored_from" on resumed runs; host-side like

@@ -52,21 +52,7 @@ void merge(PacStats& a, const PacStats& b) {
   a.mshr_merges += b.mshr_merges;
 }
 
-void merge(BackendStats& a, const BackendStats& b) {
-  a.requests += b.requests;
-  a.row_accesses += b.row_accesses;
-  a.bank_conflicts += b.bank_conflicts;
-  a.conflict_wait_cycles += b.conflict_wait_cycles;
-  a.refreshes += b.refreshes;
-  a.local_routes += b.local_routes;
-  a.remote_routes += b.remote_routes;
-  a.request_flits += b.request_flits;
-  a.response_flits += b.response_flits;
-  a.payload_bytes += b.payload_bytes;
-  a.row_hits += b.row_hits;
-  a.row_misses += b.row_misses;
-  a.access_latency.merge(b.access_latency);
-}
+void merge(BackendStats& a, const BackendStats& b) { a.merge(b); }
 
 void merge(ResilienceStats& a, const ResilienceStats& b) {
   a.enabled = a.enabled || b.enabled;
@@ -333,6 +319,11 @@ RunResult ShardedSystem::merge_results() const {
       out.has_pac = true;
     }
     merge(out.hmc, r.hmc);
+    if (r.has_noc) {
+      // Each shard owns a full fabric of identical layout; fold link-wise.
+      out.noc.merge(r.noc);
+      out.has_noc = true;
+    }
     merge(out.resilience, r.resilience);
     merge(out.verification, r.verification);
     for (std::size_t e = 0; e < out.energy.size(); ++e) {

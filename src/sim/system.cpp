@@ -13,6 +13,7 @@
 #include "baseline/mshr_dmc.hpp"
 #include "common/serialize.hpp"
 #include "hmc/backend_factory.hpp"
+#include "noc/multi_cube_backend.hpp"
 
 namespace pacsim {
 namespace {
@@ -22,6 +23,30 @@ namespace {
 const SharedTrace& empty_trace() {
   static const SharedTrace kEmpty = std::make_shared<const Trace>();
   return kEmpty;
+}
+
+/// Build the memory substrate: a single backend, or cfg.noc.cubes of them
+/// sharded behind the multi-cube fabric. All cubes share the power model
+/// (energies aggregate) and the fault injector (one deterministic stream
+/// across the whole substrate).
+std::unique_ptr<MemoryBackend> make_device(const SystemConfig& cfg,
+                                           PowerModel* power,
+                                           FaultInjector* fault) {
+  if (!cfg.noc.active()) {
+    return make_backend(cfg.backend, cfg.hmc, cfg.hbm, cfg.ddr, power, fault);
+  }
+  std::vector<std::unique_ptr<MemoryBackend>> cubes;
+  cubes.reserve(cfg.noc.cubes);
+  for (std::uint32_t c = 0; c < cfg.noc.cubes; ++c) {
+    cubes.push_back(
+        make_backend(cfg.backend, cfg.hmc, cfg.hbm, cfg.ddr, power, fault));
+  }
+  const AddressMapConfig& map = cfg.backend == BackendKind::kHmc ? cfg.hmc.map
+                                : cfg.backend == BackendKind::kHbm
+                                    ? cfg.hbm.map
+                                    : cfg.ddr.map;
+  return std::make_unique<MultiCubeBackend>(cfg.noc, map, std::move(cubes),
+                                            fault);
 }
 
 }  // namespace
@@ -34,15 +59,17 @@ System::System(const SystemConfig& cfg)
       verifier_(cfg.verify.level != VerifyLevel::kOff
                     ? std::make_unique<Verifier>(cfg.verify)
                     : nullptr),
-      device_(make_backend(cfg.backend, cfg.hmc, cfg.hbm, cfg.ddr, &power_,
-                           fault_.get())),
+      device_(make_device(cfg, &power_, fault_.get())),
       port_(std::make_unique<DevicePort>(device_.get(), cfg.retry,
                                          /*tracking=*/fault_ != nullptr)),
       l2_(cfg.l2),
       prefetcher_(cfg.num_cores, cfg.prefetch),
-      page_table_(cfg.phys_pages, cfg.page_table_seed),
+      page_table_(cfg.phys_pages, cfg.page_table_seed, cfg.identity_paging),
       miss_queue_(cfg.miss_queue_entries),
       wb_queue_(cfg.wb_queue_entries) {
+  if (cfg.noc.active()) {
+    noc_ = static_cast<MultiCubeBackend*>(device_.get());
+  }
   cores_.resize(cfg.num_cores);
   for (CoreState& core : cores_) core.trace = empty_trace();
   l1_.reserve(cfg.num_cores);
@@ -589,6 +616,10 @@ RunResult System::collect_result() const {
   }
   r.backend = cfg_.backend;
   r.hmc = device_->stats();
+  if (noc_ != nullptr) {
+    r.noc = noc_->noc_stats();
+    r.has_noc = true;
+  }
   if (fault_ != nullptr) {
     r.resilience.enabled = true;
     r.resilience.fault = fault_->stats();

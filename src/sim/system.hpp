@@ -27,6 +27,8 @@
 
 namespace pacsim {
 
+class MultiCubeBackend;
+
 class System {
  public:
   explicit System(const SystemConfig& cfg);
@@ -134,6 +136,7 @@ class System {
   std::unique_ptr<FaultInjector> fault_;  ///< null when faults disabled
   std::unique_ptr<Verifier> verifier_;    ///< null when verify.level == kOff
   std::unique_ptr<MemoryBackend> device_;  ///< backend-factory built
+  MultiCubeBackend* noc_ = nullptr;  ///< non-null when device_ is multi-cube
   std::unique_ptr<DevicePort> port_;  ///< retry buffer in front of device_
   std::unique_ptr<Coalescer> coalescer_;
   Pac* pac_ = nullptr;  ///< non-null when coalescer_ is a Pac

@@ -20,6 +20,7 @@
 #include "hmc/hmc_config.hpp"
 #include "hmc/power_model.hpp"
 #include "mem/memory_backend.hpp"
+#include "noc/noc_config.hpp"
 #include "pac/pac_config.hpp"
 
 namespace pacsim {
@@ -91,6 +92,10 @@ struct SystemConfig {
 
   std::uint64_t page_table_seed = 0xA11CEULL;
   std::uint64_t phys_pages = 2ULL << 20;  ///< 8 GB of 4 KB frames
+  /// Identity paging: vaddr == paddr, no frame shuffle. The multi-cube
+  /// traffic front-end needs it so an address's cube bits survive
+  /// translation (frame scatter would undo the Zipf cube targeting).
+  bool identity_paging = false;
 
   /// Which memory substrate the system drives (backend=hmc|hbm|ddr); only
   /// the matching config block below is consulted.
@@ -99,6 +104,11 @@ struct SystemConfig {
   HbmConfig hbm{};
   DdrConfig ddr{};
   PowerConfig power{};
+
+  /// Multi-cube sharding (cubes=/topology=/linkhop=/linkbw= knobs): when
+  /// active(), System builds `noc.cubes` instances of `backend` behind a
+  /// MultiCubeBackend with a routed inter-cube link fabric (src/noc/).
+  NocConfig noc{};
 
   /// Deterministic link/vault fault injection; all-zero rates (default)
   /// disable the subsystem entirely and keep runs bit-identical to a build

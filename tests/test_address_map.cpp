@@ -148,6 +148,54 @@ TEST_P(AddressMapRoundTrip, DistinctRowsDistinctLocations) {
   }
 }
 
+// --- Multi-cube sharding: the cube index lives above the per-cube
+// capacity, so child devices handed the full address stay correct via
+// decode()'s capacity wrap. ---------------------------------------------
+
+TEST(AddressMapCubes, CubeBitsSitDirectlyAboveCapacity) {
+  AddressMapConfig cfg;
+  cfg.capacity_bytes = 1ULL << 26;
+  cfg.num_cubes = 4;
+  const AddressMap map(cfg);
+  EXPECT_EQ(map.num_cubes(), 4u);
+  EXPECT_EQ(map.total_capacity_bytes(), 4ULL << 26);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const Addr base = static_cast<Addr>(c) << 26;
+    EXPECT_EQ(map.cube_of(base), c);
+    EXPECT_EQ(map.cube_of(base + (1ULL << 26) - 1), c);
+  }
+  // Addresses beyond the last cube wrap modulo the cube count, mirroring
+  // the per-cube capacity wrap.
+  EXPECT_EQ(map.cube_of(4ULL << 26), 0u);
+  EXPECT_EQ(map.cube_of(5ULL << 26), 1u);
+}
+
+TEST(AddressMapCubes, DecodeIsCubeLocal) {
+  AddressMapConfig cfg;
+  cfg.capacity_bytes = 1ULL << 26;
+  cfg.num_cubes = 8;
+  const AddressMap map(cfg);
+  // The same cube-local offset decodes identically in every cube: the cube
+  // bits are invisible to the (vault, bank, row) decomposition.
+  for (const Addr offset : {Addr{0}, Addr{0x1234C0}, (Addr{1} << 26) - 256}) {
+    const DramLocation home = map.decode(offset);
+    for (std::uint32_t c = 1; c < 8; ++c) {
+      EXPECT_EQ(map.decode((static_cast<Addr>(c) << 26) + offset), home)
+          << "cube " << c << " offset " << offset;
+    }
+  }
+}
+
+TEST(AddressMapCubes, SingleCubeIsWholeSpace) {
+  AddressMapConfig cfg;
+  cfg.capacity_bytes = 1ULL << 26;
+  const AddressMap map(cfg);  // num_cubes defaults to 1
+  EXPECT_EQ(map.num_cubes(), 1u);
+  EXPECT_EQ(map.total_capacity_bytes(), map.capacity_bytes());
+  EXPECT_EQ(map.cube_of(0), 0u);
+  EXPECT_EQ(map.cube_of(~Addr{0}), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, AddressMapRoundTrip,
     ::testing::Values(MapParam{32, 16, 256},   // HMC 2.1 (paper Table 1)

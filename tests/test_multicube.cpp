@@ -1,0 +1,543 @@
+// Multi-cube interconnect: the cubes=1 wrapper-passthrough differential
+// (wrapped MultiCubeBackend must be bit-identical to the bare backend for
+// every controller on every substrate), fast-forward differentials on
+// multi-cube chain and mesh fabrics, fault-injected + verified multi-cube
+// runs, checkpoint round-trips across the fabric, and the Zipf traffic
+// generator's distribution properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/traffic_gen.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/sharded_system.hpp"
+#include "sim/system.hpp"
+
+namespace pacsim {
+namespace {
+
+// Force an 8-thread budget for this binary (same rationale as the sharded
+// suite): on a single-CPU host the oversubscription clamp would route the
+// threads=2 differential through the serial path and the fork-join workers
+// this suite's thread-sanitizer coverage needs would never exist.
+const int g_forced_thread_budget = [] {
+  ::setenv("PACSIM_HW_THREADS", "8", /*overwrite=*/0);
+  return 0;
+}();
+
+// ---------------------------------------------------------------------------
+// Shared helpers (same trace shape as the sharded/fast-forward suites).
+// ---------------------------------------------------------------------------
+
+/// A randomized trace mixing every op kind: sequential load bursts exercise
+/// coalescing, atomics and fences hit the ordered paths, long computes
+/// create the idle windows fast-forwarding and checkpoints land in.
+Trace random_trace(Rng& rng, std::size_t ops) {
+  Trace t;
+  Addr cursor = 0x10000000 + rng.below(8) * 0x400000;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t pick = rng.below(100);
+    if (pick < 40) {
+      if (rng.below(8) == 0) cursor = 0x10000000 + rng.below(64) * 0x11000;
+      t.push_back({cursor, 8, OpKind::kLoad});
+      cursor += 64;
+    } else if (pick < 55) {
+      t.push_back({cursor + rng.below(16) * 64, 8, OpKind::kStore});
+    } else if (pick < 58) {
+      t.push_back({0x30000000 + rng.below(32) * 4096, 8, OpKind::kAtomic});
+    } else if (pick < 60) {
+      t.push_back({0, 0, OpKind::kFence});
+    } else if (pick < 90) {
+      t.push_back({0, 1 + rng.below(8), OpKind::kCompute});
+    } else {
+      t.push_back({0, 50 + rng.below(400), OpKind::kCompute});
+    }
+  }
+  return t;
+}
+
+std::vector<Trace> make_traces(std::uint64_t seed, std::uint32_t cores,
+                               std::size_t ops) {
+  Rng rng(seed);
+  std::vector<Trace> traces;
+  traces.reserve(cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    traces.push_back(random_trace(rng, ops));
+  }
+  return traces;
+}
+
+/// Multi-cube traffic spanning all cubes, from the bench's own front-end.
+/// Wide compute gaps (gap_max) carve out the idle windows fast-forwarding
+/// jumps over and quiescent epoch boundaries land in.
+std::vector<Trace> cube_traces(std::uint32_t cubes, double zipf,
+                               std::uint32_t cores, std::uint32_t ops,
+                               std::uint32_t gap_max = 8) {
+  TrafficConfig t;
+  t.cubes = cubes;
+  t.zipf = zipf;
+  t.num_cores = cores;
+  t.ops_per_core = ops;
+  t.gap_max_cycles = gap_max;
+  return generate_traffic(t);
+}
+
+SystemConfig base_config(CoalescerKind kind, BackendKind backend) {
+  SystemConfig cfg;
+  cfg.coalescer = kind;
+  cfg.backend = backend;
+  cfg.num_cores = 4;
+  cfg.identity_paging = true;  // cube bits must survive translation
+  cfg.record_raw_trace = true;
+  cfg.max_cycles = 50'000'000;
+  return cfg;
+}
+
+void expect_stat_eq(const RunningStat& a, const RunningStat& b,
+                    const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+/// Field-by-field identity, including metrics the JSON report omits. The
+/// interconnect block itself is excluded: the wrapped run reports one and
+/// the bare run does not, which is exactly what the passthrough test spells
+/// out separately.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.core_stall_cycles, b.core_stall_cycles);
+  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+  EXPECT_EQ(a.llc_hits, b.llc_hits);
+  EXPECT_EQ(a.llc_misses, b.llc_misses);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+
+  EXPECT_EQ(a.coal.raw_requests, b.coal.raw_requests);
+  EXPECT_EQ(a.coal.coalesced_away, b.coal.coalesced_away);
+  EXPECT_EQ(a.coal.issued_requests, b.coal.issued_requests);
+  EXPECT_EQ(a.coal.issued_payload_bytes, b.coal.issued_payload_bytes);
+  EXPECT_EQ(a.coal.comparisons, b.coal.comparisons);
+  EXPECT_EQ(a.coal.atomics, b.coal.atomics);
+  EXPECT_EQ(a.coal.fences, b.coal.fences);
+  EXPECT_EQ(a.coal.request_size_bytes.buckets(),
+            b.coal.request_size_bytes.buckets());
+
+  EXPECT_EQ(a.hmc.requests, b.hmc.requests);
+  EXPECT_EQ(a.hmc.row_accesses, b.hmc.row_accesses);
+  EXPECT_EQ(a.hmc.bank_conflicts, b.hmc.bank_conflicts);
+  EXPECT_EQ(a.hmc.conflict_wait_cycles, b.hmc.conflict_wait_cycles);
+  EXPECT_EQ(a.hmc.refreshes, b.hmc.refreshes);
+  EXPECT_EQ(a.hmc.row_hits, b.hmc.row_hits);
+  EXPECT_EQ(a.hmc.row_misses, b.hmc.row_misses);
+  EXPECT_EQ(a.hmc.local_routes, b.hmc.local_routes);
+  EXPECT_EQ(a.hmc.remote_routes, b.hmc.remote_routes);
+  EXPECT_EQ(a.hmc.request_flits, b.hmc.request_flits);
+  EXPECT_EQ(a.hmc.response_flits, b.hmc.response_flits);
+  EXPECT_EQ(a.hmc.payload_bytes, b.hmc.payload_bytes);
+  expect_stat_eq(a.hmc.access_latency, b.hmc.access_latency,
+                 "hmc.access_latency");
+
+  ASSERT_EQ(a.energy.size(), b.energy.size());
+  for (std::size_t op = 0; op < a.energy.size(); ++op) {
+    EXPECT_EQ(a.energy[op], b.energy[op]) << "energy op " << op;
+  }
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.raw_trace, b.raw_trace);
+
+  ASSERT_EQ(a.has_pac, b.has_pac);
+  if (a.has_pac) {
+    EXPECT_EQ(a.pac.flushed_streams, b.pac.flushed_streams);
+    EXPECT_EQ(a.pac.timeout_flushes, b.pac.timeout_flushes);
+    EXPECT_EQ(a.pac.fence_flushes, b.pac.fence_flushes);
+    EXPECT_EQ(a.pac.mshr_merges, b.pac.mshr_merges);
+    EXPECT_EQ(a.pac.stream_occupancy.buckets(),
+              b.pac.stream_occupancy.buckets());
+    expect_stat_eq(a.pac.stage2_latency, b.pac.stage2_latency,
+                   "pac.stage2_latency");
+    expect_stat_eq(a.pac.request_latency, b.pac.request_latency,
+                   "pac.request_latency");
+  }
+
+  ASSERT_EQ(a.verification.enabled, b.verification.enabled);
+  if (a.verification.enabled) {
+    EXPECT_EQ(a.verification.issued, b.verification.issued);
+    EXPECT_EQ(a.verification.retired, b.verification.retired);
+    EXPECT_EQ(a.verification.merged, b.verification.merged);
+    EXPECT_EQ(a.verification.responses, b.verification.responses);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: cubes=1 wrapped fabric is bit-identical to the bare backend.
+// ---------------------------------------------------------------------------
+
+struct CubeCase {
+  CoalescerKind kind;
+  BackendKind backend = BackendKind::kHmc;
+};
+
+class SingleCubePassthrough : public ::testing::TestWithParam<CubeCase> {};
+
+// The passthrough claim behind every other multi-cube result: wrapping one
+// cube in the fabric adds no cycles, no reordering, no extra fault draws -
+// the differential proves the wrapper inert before the multi-cube sweeps
+// attribute anything to the interconnect.
+TEST_P(SingleCubePassthrough, WrappedEqualsBare) {
+  const CubeCase c = GetParam();
+  SystemConfig cfg = base_config(c.kind, c.backend);
+  const std::vector<Trace> traces = make_traces(0xC0BE, cfg.num_cores, 600);
+
+  const RunResult bare = simulate(cfg, traces);
+
+  cfg.noc.wrap_single = true;  // cubes stays 1: fabric in passthrough mode
+  const RunResult wrapped = simulate(cfg, traces);
+
+  expect_identical(wrapped, bare);
+  // The wrapper reports an interconnect block - but one with zero link
+  // traffic: no links exist and nothing was ever serialized.
+  ASSERT_TRUE(wrapped.has_noc);
+  EXPECT_FALSE(bare.has_noc);
+  EXPECT_EQ(wrapped.noc.cubes, 1u);
+  EXPECT_EQ(wrapped.noc.req_packets, 0u);
+  EXPECT_EQ(wrapped.noc.rsp_packets, 0u);
+  EXPECT_EQ(wrapped.noc.nack_packets, 0u);
+  EXPECT_EQ(wrapped.noc.link_crc_nacks, 0u);
+  EXPECT_EQ(wrapped.noc.ingress_retries, 0u);
+  EXPECT_TRUE(wrapped.noc.links.empty());
+}
+
+// Passthrough must hold under fault injection too: the wrapper takes no
+// fabric-level CRC draws at cubes=1, so the fault stream the retry layer
+// sees is exactly the bare backend's.
+TEST_P(SingleCubePassthrough, WrappedEqualsBareUnderFaults) {
+  const CubeCase c = GetParam();
+  SystemConfig cfg = base_config(c.kind, c.backend);
+  cfg.verify.level = VerifyLevel::kCounters;
+  cfg.fault.link_error_rate = 2e-3;
+  cfg.fault.response_drop_rate = 1e-3;
+  const std::vector<Trace> traces = make_traces(0xFA17, cfg.num_cores, 600);
+
+  const RunResult bare = simulate(cfg, traces);
+  cfg.noc.wrap_single = true;
+  const RunResult wrapped = simulate(cfg, traces);
+
+  expect_identical(wrapped, bare);
+  ASSERT_TRUE(bare.resilience.enabled);
+  EXPECT_EQ(wrapped.resilience.fault.link_errors,
+            bare.resilience.fault.link_errors);
+  EXPECT_EQ(wrapped.resilience.retry.retransmissions,
+            bare.resilience.retry.retransmissions);
+  EXPECT_EQ(wrapped.noc.link_crc_nacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBackends, SingleCubePassthrough,
+    ::testing::Values(CubeCase{CoalescerKind::kDirect},
+                      CubeCase{CoalescerKind::kMshrDmc},
+                      CubeCase{CoalescerKind::kSortingDmc},
+                      CubeCase{CoalescerKind::kPac},
+                      CubeCase{CoalescerKind::kDirect, BackendKind::kHbm},
+                      CubeCase{CoalescerKind::kMshrDmc, BackendKind::kHbm},
+                      CubeCase{CoalescerKind::kSortingDmc, BackendKind::kHbm},
+                      CubeCase{CoalescerKind::kPac, BackendKind::kHbm},
+                      CubeCase{CoalescerKind::kDirect, BackendKind::kDdr},
+                      CubeCase{CoalescerKind::kMshrDmc, BackendKind::kDdr},
+                      CubeCase{CoalescerKind::kSortingDmc, BackendKind::kDdr},
+                      CubeCase{CoalescerKind::kPac, BackendKind::kDdr}),
+    [](const auto& info) {
+      std::string n(to_string(info.param.kind));
+      if (info.param.backend != BackendKind::kHmc) {
+        n += "_" + std::string(to_string(info.param.backend));
+      }
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Fast-forward differential on multi-cube fabrics.
+// ---------------------------------------------------------------------------
+
+// The tentpole timing claim: next_event_cycle() across links, transit
+// queues, and per-cube backends is never late, so event-horizon jumps are
+// bit-identical to the naive per-cycle loop on a 4-cube chain and mesh.
+TEST(MultiCube, FastForwardMatchesNaivePerCycleLoop) {
+  for (const Topology topo : {Topology::kChain, Topology::kMesh}) {
+    SCOPED_TRACE(std::string("topology ") + std::string(to_string(topo)));
+    SystemConfig cfg = base_config(CoalescerKind::kPac, BackendKind::kHmc);
+    cfg.noc.cubes = 4;
+    cfg.noc.topology = topo;
+    const std::vector<Trace> traces =
+        cube_traces(4, /*zipf=*/0.8, cfg.num_cores, 900);
+
+    cfg.enable_fast_forward = false;
+    const RunResult naive = simulate(cfg, traces);
+    cfg.enable_fast_forward = true;
+    const RunResult ff = simulate(cfg, traces);
+
+    expect_identical(ff, naive);
+    // Both runs are wrapped, so byte-equality covers the interconnect block
+    // (per-link busy cycles, queue-delay histograms) too.
+    EXPECT_EQ(
+        run_report_json("d", cfg.coalescer, ff, /*include_throughput=*/false),
+        run_report_json("d", cfg.coalescer, naive,
+                        /*include_throughput=*/false));
+    ASSERT_TRUE(ff.has_noc);
+    EXPECT_GT(ff.noc.req_packets, 0u);
+    EXPECT_GT(ff.noc.rsp_packets, 0u);
+  }
+}
+
+// Traffic to cubes behind at least one link must actually use the links,
+// and every cube must see requests under uniform traffic.
+TEST(MultiCube, UniformTrafficReachesEveryCubeOverLinks) {
+  SystemConfig cfg = base_config(CoalescerKind::kMshrDmc, BackendKind::kHmc);
+  cfg.noc.cubes = 4;
+  const RunResult r =
+      simulate(cfg, cube_traces(4, /*zipf=*/0.0, cfg.num_cores, 800));
+
+  ASSERT_TRUE(r.has_noc);
+  ASSERT_EQ(r.noc.cube_requests.size(), 4u);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_GT(r.noc.cube_requests[c], 0u) << "cube " << c;
+  }
+  // Chain with 4 cubes: 3 forward + 3 reverse links, all busy.
+  ASSERT_EQ(r.noc.links.size(), 6u);
+  for (const LinkStats& l : r.noc.links) {
+    EXPECT_GT(l.busy_cycles, 0u) << l.label;
+    EXPECT_GT(l.packets, 0u) << l.label;
+  }
+}
+
+// Mesh routing: a 2x2 mesh reaches cube 3 over two hops (XY through cube 1),
+// never over a diagonal; link labels pin the expected edges.
+TEST(MultiCube, MeshRoutesXYThroughIntermediates) {
+  SystemConfig cfg = base_config(CoalescerKind::kDirect, BackendKind::kHmc);
+  cfg.noc.cubes = 4;
+  cfg.noc.topology = Topology::kMesh;
+  const RunResult r =
+      simulate(cfg, cube_traces(4, /*zipf=*/0.0, cfg.num_cores, 600));
+
+  ASSERT_TRUE(r.has_noc);
+  EXPECT_EQ(r.noc.topology, "mesh");
+  std::vector<std::string> labels;
+  labels.reserve(r.noc.links.size());
+  for (const LinkStats& l : r.noc.links) labels.push_back(l.label);
+  // XY from host corner c0: x-hop c0->1, y-hops c0->2 and c1->3. No c0->3.
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "c0->1"), labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "c0->2"), labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "c1->3"), labels.end());
+  EXPECT_EQ(std::find(labels.begin(), labels.end(), "c0->3"), labels.end());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection + verification + sharded execution on multi-cube configs.
+// ---------------------------------------------------------------------------
+
+// Full-observability multi-cube run: link CRC NACKs from the fabric feed the
+// same DevicePort retry machinery as vault-level faults, the verifier's
+// conservation ledger must balance, and the threaded epoch scheduler must
+// reproduce the serial result bit-for-bit.
+TEST(MultiCube, FaultInjectedVerifiedRunIsThreadInvariant) {
+  SystemConfig cfg = base_config(CoalescerKind::kPac, BackendKind::kHmc);
+  cfg.noc.cubes = 4;
+  cfg.verify.level = VerifyLevel::kCounters;
+  cfg.fault.link_error_rate = 2e-3;
+  cfg.fault.response_drop_rate = 1e-3;
+  const std::vector<Trace> traces =
+      cube_traces(4, /*zipf=*/0.6, cfg.num_cores, 900);
+  cfg.exec.shards = 2;
+
+  cfg.exec.threads = 1;
+  const RunResult serial = simulate(cfg, traces);
+  cfg.exec.threads = 2;
+  const RunResult threaded = simulate(cfg, traces);
+
+  expect_identical(threaded, serial);
+  ASSERT_TRUE(serial.verification.enabled);
+  ASSERT_TRUE(serial.resilience.enabled);
+  EXPECT_GT(serial.resilience.retry.retransmissions, 0u);
+  ASSERT_TRUE(serial.has_noc);
+  EXPECT_GT(serial.noc.link_crc_nacks, 0u)
+      << "no fabric CRC hit - raise ops or link_error_rate";
+  EXPECT_EQ(threaded.noc.link_crc_nacks, serial.noc.link_crc_nacks);
+  EXPECT_EQ(run_report_json("d", cfg.coalescer, threaded,
+                            /*include_throughput=*/false),
+            run_report_json("d", cfg.coalescer, serial,
+                            /*include_throughput=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore across the fabric.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> snapshots_in(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".pacsnap") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    auto cycle = [](const std::string& p) {
+      const auto base = std::filesystem::path(p).stem().string();
+      return std::stoull(base.substr(base.find('-') + 1));
+    };
+    return cycle(a) < cycle(b);
+  });
+  return out;
+}
+
+// A run interrupted at a quiescent epoch boundary and restored must finish
+// byte-identically - including per-link occupancy counters, queue-delay
+// histograms, and per-cube request tallies serialized by the NOCB record.
+TEST(MultiCube, CheckpointRestoreRoundTripsTheFabric) {
+  const auto dir_path =
+      std::filesystem::path(::testing::TempDir()) / "pacsim_noc_ckpt";
+  std::filesystem::remove_all(dir_path);
+  const std::string dir = dir_path.string();
+
+  SystemConfig cfg = base_config(CoalescerKind::kPac, BackendKind::kHmc);
+  cfg.noc.cubes = 2;
+  // One core per shard with compute gaps wider than an epoch: most gaps
+  // contain a quiescent boundary, giving many mid-run snapshot points.
+  cfg.num_cores = 2;
+  cfg.exec.shards = 2;
+  cfg.exec.threads = 2;
+  cfg.exec.epoch_cycles = 1024;
+  const std::vector<Trace> traces =
+      cube_traces(2, /*zipf=*/0.5, cfg.num_cores, 600, /*gap_max=*/2500);
+
+  cfg.exec.checkpoint_dir = dir;
+  const RunResult full = simulate(cfg, traces);
+  const std::vector<std::string> snaps = snapshots_in(dir);
+  ASSERT_EQ(snaps.size(), full.exec.checkpoints_written);
+  ASSERT_GE(snaps.size(), 2u)
+      << "no mid-run quiescent epoch boundary - tune epoch_cycles/trace mix";
+
+  SystemConfig rcfg = cfg;
+  rcfg.exec.checkpoint_dir.clear();
+  rcfg.exec.restore_path = snaps[snaps.size() / 2];
+  const RunResult resumed = simulate(rcfg, traces);
+
+  EXPECT_EQ(run_report_json("d", cfg.coalescer, resumed,
+                            /*include_throughput=*/false),
+            run_report_json("d", cfg.coalescer, full,
+                            /*include_throughput=*/false));
+  EXPECT_EQ(resumed.cycles, full.cycles);
+  ASSERT_TRUE(resumed.has_noc);
+  EXPECT_EQ(resumed.noc.req_packets, full.noc.req_packets);
+  EXPECT_EQ(resumed.noc.rsp_packets, full.noc.rsp_packets);
+  EXPECT_EQ(resumed.noc.cube_requests, full.noc.cube_requests);
+  ASSERT_EQ(resumed.noc.links.size(), full.noc.links.size());
+  for (std::size_t i = 0; i < full.noc.links.size(); ++i) {
+    EXPECT_EQ(resumed.noc.links[i].busy_cycles,
+              full.noc.links[i].busy_cycles)
+        << full.noc.links[i].label;
+    EXPECT_EQ(resumed.noc.links[i].bytes, full.noc.links[i].bytes)
+        << full.noc.links[i].label;
+  }
+  EXPECT_TRUE(resumed.exec.restored);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: Zipf traffic generator distribution properties.
+// ---------------------------------------------------------------------------
+
+TEST(ZipfPicker, ZeroSkewIsUniform) {
+  const ZipfPicker p(8, 0.0, 7);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(p.rank_probability(r), 1.0 / 8.0, 1e-12) << "rank " << r;
+  }
+}
+
+TEST(ZipfPicker, RankProbabilitiesDecreaseWithRankAndGrowWithSkew) {
+  const ZipfPicker mild(8, 0.8, 0);
+  const ZipfPicker sharp(8, 1.6, 0);
+  for (std::uint32_t r = 1; r < 8; ++r) {
+    EXPECT_LT(mild.rank_probability(r), mild.rank_probability(r - 1))
+        << "rank " << r;
+    EXPECT_LT(sharp.rank_probability(r), sharp.rank_probability(r - 1))
+        << "rank " << r;
+  }
+  // Sharper skew concentrates more mass on the hot rank.
+  EXPECT_GT(sharp.rank_probability(0), mild.rank_probability(0));
+  // Probabilities are a distribution at every skew.
+  for (const ZipfPicker* p : {&mild, &sharp}) {
+    double sum = 0.0;
+    for (std::uint32_t r = 0; r < 8; ++r) sum += p->rank_probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ZipfPicker, HotRankMapsToRequestedCube) {
+  const ZipfPicker p(8, 1.2, 5);
+  EXPECT_EQ(p.cube_of_rank(0), 5u);
+  EXPECT_EQ(p.cube_of_rank(1), 6u);
+  EXPECT_EQ(p.cube_of_rank(3), 0u);  // wraps past cube 7
+}
+
+TEST(ZipfPicker, EmpiricalDrawsMatchRankOrder) {
+  const std::uint32_t cubes = 4;
+  const ZipfPicker p(cubes, 1.2, cubes - 1);
+  Rng rng(0xD1CE);
+  std::vector<std::uint64_t> counts(cubes, 0);
+  constexpr std::uint64_t kDraws = 200'000;
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++counts[p.pick(rng)];
+  // Hot cube (rank 0 = cube 3) beats every other; counts follow rank order.
+  for (std::uint32_t r = 1; r < cubes; ++r) {
+    EXPECT_GT(counts[p.cube_of_rank(r - 1)], counts[p.cube_of_rank(r)])
+        << "rank " << r;
+  }
+  // And the hot-cube share tracks the analytic probability within noise.
+  const double hot_share =
+      static_cast<double>(counts[cubes - 1]) / static_cast<double>(kDraws);
+  EXPECT_NEAR(hot_share, p.rank_probability(0), 0.01);
+}
+
+TEST(TrafficGen, DeterministicPerSeedAndSensitiveToIt) {
+  TrafficConfig cfg;
+  cfg.cubes = 4;
+  cfg.zipf = 1.2;
+  cfg.num_cores = 3;
+  cfg.ops_per_core = 2'000;
+  const TraceSet a = generate_traffic(cfg);
+  const TraceSet b = generate_traffic(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) EXPECT_EQ(a[c], b[c]);
+
+  cfg.seed ^= 1;
+  const TraceSet other = generate_traffic(cfg);
+  EXPECT_NE(a[0], other[0]);
+}
+
+TEST(TrafficGen, AddressesStayInsideTheShardedSpace) {
+  TrafficConfig cfg;
+  cfg.cubes = 8;
+  cfg.zipf = 0.0;
+  cfg.num_cores = 2;
+  cfg.ops_per_core = 4'000;
+  const std::uint64_t limit = cfg.cube_capacity_bytes * cfg.cubes;
+  std::vector<bool> cube_seen(cfg.cubes, false);
+  for (const Trace& t : generate_traffic(cfg)) {
+    for (const TraceOp& op : t) {
+      if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+      ASSERT_LT(op.vaddr, limit);
+      cube_seen[op.vaddr / cfg.cube_capacity_bytes] = true;
+    }
+  }
+  for (std::uint32_t c = 0; c < cfg.cubes; ++c) {
+    EXPECT_TRUE(cube_seen[c]) << "uniform traffic never reached cube " << c;
+  }
+}
+
+}  // namespace
+}  // namespace pacsim

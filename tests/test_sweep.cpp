@@ -147,7 +147,9 @@ TEST(SweepReport, JsonHasEnvelopeAndEveryRun) {
   EXPECT_EQ(report.runs(), 2u);
   const std::string json = report.json();
   EXPECT_NE(json.find("\"bench\": \"bench_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": " +
+                      std::to_string(kJsonSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
   // v7: execution provenance rides inside the throughput-gated host block.
   EXPECT_NE(json.find("\"execution\""), std::string::npos);
