@@ -1,0 +1,421 @@
+// Chaos campaigns: hard-failure timelines driven through every controller
+// on both multi-cube topologies (EXPERIMENTS.md "Hard failures and graceful
+// degradation"). Each cell runs the same open-loop uniform traffic as
+// bench_multicube while a scheduled fault campaign fires mid-run under
+// failpolicy=contain:
+//
+//   baseline     no scheduled events (reference bandwidth / availability 1)
+//   cubedown     cube 3 dies; its submissions become poisoned completions
+//                and the availability integral must match the lost quarter
+//                of vault capacity exactly
+//   routearound  (mesh) a redundant link dies; the fabric recomputes routes
+//                and every request still completes - no poisons, no lost
+//                capacity, the dead link reports up=false
+//   chaincut     (chain) a mid-chain link dies; the tail shards go
+//                unreachable, their capacity counts as lost, and the run
+//                still completes under contain
+//   linkflap     a link dies and repairs; repairs == 1 and the measured
+//                MTTR equals the scheduled outage exactly
+//
+// The bench exits non-zero when any cell aborts or any campaign gate fails.
+//
+// Knobs: topology=chain|mesh (default: both), cubes=<n> (default 4),
+// downcycle=/upcycle= (event schedule), ops=/cores=/seed=, mlp=/mshrs=,
+// threads=/shards= (sharded epoch scheduler), verify=off|counters|full,
+// faultrate=/faultdrop=/faultstall= (transient noise on top of the
+// timeline), faultplan=<file> (adds a user-scheduled campaign cell from a
+// CYCLE-kind-operands plan file, gated on completion under contain),
+// jsondir=<dir>, quick (fewer controllers and ops - the CI
+// thread-sanitizer cell).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/fault_injector.hpp"
+#include "noc/traffic_gen.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace pacsim;
+
+namespace {
+
+struct Cell {
+  std::string label;
+  std::string campaign;
+  std::string topology;
+  CoalescerKind kind = CoalescerKind::kPac;
+  bool completed = false;
+  RunResult result;
+};
+
+double bytes_per_cycle(const RunResult& r) {
+  return r.cycles > 0 ? static_cast<double>(r.coal.issued_payload_bytes) /
+                            static_cast<double>(r.cycles)
+                      : 0.0;
+}
+
+bool all_links_up(const RunResult& r) {
+  return std::all_of(r.noc.links.begin(), r.noc.links.end(),
+                     [](const LinkStats& l) { return l.up; });
+}
+
+bool any_link_down(const RunResult& r) {
+  return std::any_of(r.noc.links.begin(), r.noc.links.end(),
+                     [](const LinkStats& l) { return !l.up; });
+}
+
+/// Integrated end cycle implied by the exact capacity integral (equals the
+/// per-shard mean final cycle, so the expected-loss algebra below holds for
+/// sharded runs too).
+double integral_end_cycle(const DegradationStats& d) {
+  return d.capacity_units > 0
+             ? static_cast<double>(d.unit_cycles_total) /
+                   static_cast<double>(d.capacity_units)
+             : 0.0;
+}
+
+/// Expected unit_cycles_lost when `dead_frac` of capacity is out from
+/// `from` to `until` (kNeverCycle: the end of the run).
+double expected_lost(const DegradationStats& d, double dead_frac, Cycle from,
+                     Cycle until) {
+  const double end = until == kNeverCycle
+                         ? integral_end_cycle(d)
+                         : static_cast<double>(until);
+  if (end <= static_cast<double>(from)) return 0.0;
+  return static_cast<double>(d.capacity_units) * dead_frac *
+         (end - static_cast<double>(from));
+}
+
+bool near(double got, double want, double rel_tol, double abs_slack) {
+  return std::fabs(got - want) <= std::max(rel_tol * want, abs_slack);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+
+  TrafficConfig tcfg;
+  tcfg.num_cores = static_cast<std::uint32_t>(cli.get_u64("cores", 8));
+  tcfg.ops_per_core = static_cast<std::uint32_t>(
+      cli.get_u64("ops", quick ? 4'000 : 12'000));
+  tcfg.seed = cli.get_u64("seed", tcfg.seed);
+
+  const auto cubes =
+      static_cast<std::uint32_t>(cli.get_u64("cubes", 4));
+  if (cubes < 4) {
+    std::fprintf(stderr,
+                 "[bench] chaos campaigns need cubes>=4 (got %u)\n", cubes);
+    return 1;
+  }
+  // Early enough that every shard of a sharded run (whose per-shard clocks
+  // cover fewer cycles than the merged total) still lives through the full
+  // campaign; the gates below diagnose a schedule that outruns the run.
+  const Cycle down = cli.get_u64("downcycle", 8'000);
+  const Cycle up = cli.get_u64("upcycle", 16'000);
+
+  SystemConfig base;
+  base.num_cores = tcfg.num_cores;
+  base.identity_paging = true;
+  base.max_outstanding_loads =
+      static_cast<std::uint32_t>(cli.get_u64("mlp", 32));
+  base.backend = BackendKind::kHmc;
+  base.noc.cubes = cubes;
+  base.exec.threads =
+      static_cast<unsigned>(cli.get_u64("threads", base.exec.threads));
+  base.exec.shards =
+      static_cast<unsigned>(cli.get_u64("shards", base.exec.shards));
+  base.verify.level = parse_verify_level(cli.get("verify", "off"));
+  // Transient noise rides on top of the scheduled timeline: the chaos
+  // gates must hold with the stochastic model active too (the CI cell
+  // passes faultrate=).
+  base.fault.link_error_rate = cli.get_double("faultrate", 0.0);
+  base.fault.response_drop_rate = cli.get_double("faultdrop", 0.0);
+  base.fault.vault_stall_rate = cli.get_double("faultstall", 0.0);
+  base.fault.fail_policy = FailPolicy::kContain;
+  tcfg.cube_capacity_bytes = base.hmc.map.capacity_bytes;
+
+  const auto conc =
+      static_cast<std::uint32_t>(cli.get_u64("mshrs", 16ULL * cubes));
+
+  // A user-scheduled campaign from a plan file rides along as one more
+  // cell per (topology, controller): arbitrary events, gated only on
+  // surviving under contain with the schedule actually firing.
+  std::vector<FaultEvent> user_plan;
+  const std::string plan_path = cli.get("faultplan", "");
+  if (!plan_path.empty()) {
+    std::ifstream in(plan_path);
+    if (!in) {
+      std::fprintf(stderr, "[bench] cannot read faultplan=%s\n",
+                   plan_path.c_str());
+      return 1;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    user_plan = parse_fault_plan(body.str());
+    if (user_plan.empty()) {
+      std::fprintf(stderr, "[bench] faultplan=%s holds no events\n",
+                   plan_path.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> topologies{"chain", "mesh"};
+  if (cli.has("topology")) topologies = {cli.get("topology", "chain")};
+  const std::vector<CoalescerKind> kinds =
+      quick ? std::vector<CoalescerKind>{CoalescerKind::kDirect,
+                                         CoalescerKind::kPac}
+            : std::vector<CoalescerKind>{
+                  CoalescerKind::kDirect, CoalescerKind::kMshrDmc,
+                  CoalescerKind::kPac, CoalescerKind::kSortingDmc};
+
+  // Campaign timelines. Cube `cubes - 1` dies in cubedown; chaincut severs
+  // the chain between cubes 1 and 2 (the tail half goes unreachable);
+  // routearound kills the mesh's redundant 1-3 edge (cube 3 stays
+  // reachable via 0->2->3); linkflap cuts and repairs the host-adjacent
+  // 0-1 link for an exact MTTR of up - down cycles.
+  const auto campaigns_for = [&](const std::string& topo) {
+    std::vector<std::pair<std::string, std::vector<FaultEvent>>> c;
+    c.emplace_back("baseline", std::vector<FaultEvent>{});
+    c.emplace_back("cubedown",
+                   std::vector<FaultEvent>{
+                       {down, FaultEventKind::kCubeDown, cubes - 1, 0}});
+    if (topo == "mesh") {
+      c.emplace_back("routearound",
+                     std::vector<FaultEvent>{
+                         {down, FaultEventKind::kLinkDown, 1, 3}});
+    } else {
+      c.emplace_back("chaincut",
+                     std::vector<FaultEvent>{
+                         {down, FaultEventKind::kLinkDown, 1, 2}});
+    }
+    c.emplace_back("linkflap",
+                   std::vector<FaultEvent>{
+                       {down, FaultEventKind::kLinkDown, 0, 1},
+                       {up, FaultEventKind::kLinkUp, 0, 1}});
+    if (!user_plan.empty()) c.emplace_back("faultplan", user_plan);
+    return c;
+  };
+
+  SweepReport report("bench_chaos");
+  std::vector<Cell> cells;
+  bool ok = true;
+  for (const std::string& topo : topologies) {
+    for (const CoalescerKind kind : kinds) {
+      for (auto& [name, events] : campaigns_for(topo)) {
+        Cell cell;
+        cell.campaign = name;
+        cell.topology = topo;
+        cell.kind = kind;
+        cell.label = std::string(to_string(kind)) + "/" + topo + "/" + name;
+        std::fprintf(stderr, "[bench] %s ...\n", cell.label.c_str());
+
+        TrafficConfig t = tcfg;
+        t.cubes = cubes;
+        SystemConfig cfg = base;
+        cfg.coalescer = kind;
+        cfg.noc.topology = parse_topology(topo);
+        cfg.fault.timeline = events;
+        cfg.pac.maq_entries = conc;
+        cfg.pac.num_mshrs = conc;
+        cfg.mshr_dmc.num_mshrs = conc;
+        cfg.direct.max_outstanding = conc;
+        cfg.sorting_dmc.max_outstanding = conc;
+        cfg.miss_queue_entries = std::max(cfg.miss_queue_entries, conc);
+        try {
+          cell.result = simulate(cfg, generate_traffic(t));
+          cell.completed = true;
+          report.add(cell.label, kind, cell.result);
+        } catch (const std::exception& e) {
+          ok = false;
+          std::fprintf(stderr, "[bench] FAIL: %s aborted under contain: %s\n",
+                       cell.label.c_str(), e.what());
+          report.add_failure(cell.label, "failed", e.what(), 0.0);
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  Table table({"cell", "sim cycles", "B/cyc", "events", "poisoned raws",
+               "availability", "repairs", "MTTR", "reroutes", "migrated"});
+  for (const Cell& c : cells) {
+    if (!c.completed) continue;
+    const RunResult& r = c.result;
+    const DegradationStats& d = r.degradation;
+    table.add_row({c.label, std::to_string(r.cycles),
+                   Table::num(bytes_per_cycle(r)),
+                   std::to_string(d.events_fired),
+                   std::to_string(d.poisoned_raws),
+                   Table::num(d.availability()),
+                   std::to_string(d.repairs), Table::num(d.mttr_cycles()),
+                   std::to_string(r.noc.route_recomputes),
+                   std::to_string(d.pages_migrated)});
+  }
+  table.print("Chaos campaigns - hard failures under failpolicy=contain");
+
+  // -------------------------------------------------------------------
+  // Campaign gates.
+  const auto fail = [&ok](const Cell& c, const std::string& why) {
+    ok = false;
+    std::fprintf(stderr, "[bench] FAIL: %s %s\n", c.label.c_str(),
+                 why.c_str());
+  };
+  const Cycle flap_mttr = up - down;
+  for (const Cell& c : cells) {
+    if (!c.completed) continue;  // already failed the abort gate
+    const RunResult& r = c.result;
+    const DegradationStats& d = r.degradation;
+    // Sharded runs fold per-shard injectors together: every shard fires
+    // the timeline in its own clock, so event/repair tallies scale by the
+    // shard count while the ratio metrics (availability, MTTR) stay exact.
+    const std::uint64_t shards = std::max(1u, r.exec.shards);
+    if (c.campaign == "baseline") {
+      if (d.events_fired != 0 || d.unit_cycles_lost != 0) {
+        fail(c, "clean run reported degradation");
+      }
+      continue;
+    }
+    if (c.campaign == "faultplan") {
+      // User-scheduled events: the only universal claims are that the run
+      // survived contain (the abort gate above) and the plan fired.
+      if (d.events_fired == 0) {
+        fail(c, "no plan event fired (schedule beyond the run end?)");
+      }
+      continue;
+    }
+    if (r.cycles <= up) {
+      fail(c, "run ended before the scheduled campaign (cycles=" +
+                  std::to_string(r.cycles) + " <= upcycle=" +
+                  std::to_string(up) + "; raise ops= or lower downcycle=)");
+      continue;
+    }
+    if (d.events_fired == 0 || d.first_failure_cycle != down) {
+      fail(c, "timeline did not fire at the scheduled cycle (fired=" +
+                  std::to_string(d.events_fired) + ", first=" +
+                  std::to_string(d.first_failure_cycle) + ")");
+      continue;
+    }
+    if (c.campaign == "cubedown") {
+      // The dead cube is 1/cubes of vault capacity, lost from `down` to
+      // the end of the run; the exact integral must agree.
+      const double want =
+          expected_lost(d, 1.0 / cubes, down, kNeverCycle);
+      if (!near(static_cast<double>(d.unit_cycles_lost), want, 0.02,
+                static_cast<double>(d.capacity_units))) {
+        fail(c, "availability does not match the lost capacity (lost=" +
+                    std::to_string(d.unit_cycles_lost) + " expected~" +
+                    std::to_string(static_cast<std::uint64_t>(want)) + ")");
+      }
+      if (d.poisoned_raws == 0) {
+        fail(c, "no poisoned completions for the dead cube's traffic");
+      }
+      if (d.availability() >= 1.0) fail(c, "availability did not degrade");
+    } else if (c.campaign == "routearound") {
+      if (r.noc.route_recomputes < 1) {
+        fail(c, "link-down did not trigger a route recompute");
+      }
+      if (d.poisoned_raws != 0) {
+        fail(c, "route-around still poisoned " +
+                    std::to_string(d.poisoned_raws) + " raws");
+      }
+      if (d.unit_cycles_lost != 0) {
+        fail(c, "redundant link loss must not cost vault capacity");
+      }
+      if (!any_link_down(r)) {
+        fail(c, "dead link still reports up in the link stats");
+      }
+    } else if (c.campaign == "chaincut") {
+      if (r.noc.route_recomputes < 1) {
+        fail(c, "chain cut did not trigger a route recompute");
+      }
+      if (d.poisoned_raws == 0) {
+        fail(c, "unreachable tail produced no poisoned completions");
+      }
+      // Cubes 2..cubes-1 go unreachable: their capacity is lost.
+      const double want = expected_lost(
+          d, static_cast<double>(cubes - 2) / cubes, down, kNeverCycle);
+      if (!near(static_cast<double>(d.unit_cycles_lost), want, 0.02,
+                static_cast<double>(d.capacity_units))) {
+        fail(c, "unreachable capacity not accounted (lost=" +
+                    std::to_string(d.unit_cycles_lost) + " expected~" +
+                    std::to_string(static_cast<std::uint64_t>(want)) + ")");
+      }
+    } else if (c.campaign == "linkflap") {
+      if (d.repairs != shards) {
+        fail(c, "expected one repair per shard (" + std::to_string(shards) +
+                    "), got " + std::to_string(d.repairs));
+      } else if (d.repair_cycles_total != flap_mttr * shards) {
+        fail(c, "MTTR is not the scheduled outage (got " +
+                    std::to_string(d.repair_cycles_total) + " over " +
+                    std::to_string(shards) + " repairs, want " +
+                    std::to_string(flap_mttr) + " each)");
+      }
+      if (!all_links_up(r)) {
+        fail(c, "repaired link still reports down");
+      }
+      if (c.topology == "chain") {
+        // The outage severs everything behind cube 0; the loss window is
+        // exactly [down, up).
+        const double want = expected_lost(
+            d, static_cast<double>(cubes - 1) / cubes, down, up);
+        if (!near(static_cast<double>(d.unit_cycles_lost), want, 0.02,
+                  static_cast<double>(d.capacity_units))) {
+          fail(c, "outage-window capacity loss mismatch (lost=" +
+                      std::to_string(d.unit_cycles_lost) + " expected~" +
+                      std::to_string(static_cast<std::uint64_t>(want)) +
+                      ")");
+        }
+      } else if (d.unit_cycles_lost != 0) {
+        fail(c, "mesh flap must route around without losing capacity");
+      }
+    }
+  }
+
+  // Degraded service: after the death the port poisons the dead cube's
+  // traffic instead of submitting it, so the fabric's per-cube submission
+  // count for that cube must fall visibly short of the baseline's. (Raw
+  // B/cyc is NOT a valid gate here - poisoned completions retire
+  // instantly, so the surviving traffic can finish faster per cycle.)
+  for (const std::string& topo : topologies) {
+    for (const CoalescerKind kind : kinds) {
+      const Cell* bl = nullptr;
+      const Cell* cd = nullptr;
+      for (const Cell& c : cells) {
+        if (c.topology != topo || c.kind != kind || !c.completed) continue;
+        if (c.campaign == "baseline") bl = &c;
+        if (c.campaign == "cubedown") cd = &c;
+      }
+      if (bl == nullptr || cd == nullptr) continue;
+      const std::uint32_t dead = cubes - 1;
+      const std::uint64_t clean = bl->result.noc.cube_requests[dead];
+      const std::uint64_t degraded = cd->result.noc.cube_requests[dead];
+      if (degraded >= clean) {
+        ok = false;
+        std::fprintf(stderr,
+                     "[bench] FAIL: %s/%s/cubedown kept feeding dead cube "
+                     "%u (%llu submissions vs %llu clean)\n",
+                     to_string(kind).data(), topo.c_str(), dead,
+                     static_cast<unsigned long long>(degraded),
+                     static_cast<unsigned long long>(clean));
+      }
+    }
+  }
+
+  const std::string report_dir = cli.get("jsondir", "results");
+  if (!report_dir.empty()) {
+    const std::string path = report.write(report_dir);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  }
+  std::fprintf(stderr, "[bench] chaos gates: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

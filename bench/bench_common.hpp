@@ -3,13 +3,17 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "core/fault_injector.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/verifier.hpp"
@@ -65,6 +69,52 @@ class EvalContext {
     scfg.fault.response_drop_rate = cli.get_double("faultdrop", 0.0);
     scfg.fault.vault_stall_rate = cli.get_double("faultstall", 0.0);
     scfg.fault.seed = cli.get_u64("faultseed", scfg.fault.seed);
+    // Hard-failure timeline (EXPERIMENTS.md "Hard failures and graceful
+    // degradation"):
+    //   burstlen=<n>           consecutive faults per stochastic hit (>= 1)
+    //   faultplan=<file>       scheduled events, one per line
+    //   linkdown=C:A-B[,...]   link between cubes A and B dies at cycle C
+    //   linkup=C:A-B[,...]     that link is repaired at cycle C
+    //   vaultdown=C:CU.V[,...] vault V of cube CU dies at cycle C
+    //   cubedown=C:CU[,...]    cube CU dies at cycle C
+    //   failpolicy=abort|contain  undeliverable-request policy
+    //   sparepages=<n>         spare frames for the page remap (0 disables)
+    //   migratecycles=<c>      per-page migration stall, cycles
+    scfg.fault.burst_length = static_cast<std::uint32_t>(
+        cli.get_u64("burstlen", scfg.fault.burst_length));
+    const std::string plan_path = cli.get("faultplan", "");
+    if (!plan_path.empty()) {
+      std::ifstream plan(plan_path);
+      if (!plan) {
+        throw std::invalid_argument("faultplan= cannot read file '" +
+                                    plan_path + "'");
+      }
+      std::ostringstream body;
+      body << plan.rdbuf();
+      const auto events = parse_fault_plan(body.str());
+      scfg.fault.timeline.insert(scfg.fault.timeline.end(), events.begin(),
+                                 events.end());
+    }
+    const auto append_events = [&](const char* knob, FaultEventKind kind) {
+      const std::string spec = cli.get(knob, "");
+      if (spec.empty()) return;
+      const auto events = parse_fault_events(knob, kind, spec);
+      scfg.fault.timeline.insert(scfg.fault.timeline.end(), events.begin(),
+                                 events.end());
+    };
+    append_events("linkdown", FaultEventKind::kLinkDown);
+    append_events("linkup", FaultEventKind::kLinkUp);
+    append_events("vaultdown", FaultEventKind::kVaultDown);
+    append_events("cubedown", FaultEventKind::kCubeDown);
+    scfg.fault.fail_policy = parse_fail_policy(cli.get("failpolicy", "abort"));
+    scfg.fault.spare_pages =
+        cli.get_u64("sparepages", scfg.fault.spare_pages);
+    scfg.fault.page_migrate_cycles =
+        cli.get_u64("migratecycles", scfg.fault.page_migrate_cycles);
+    // Strict validation up front: a malformed rate, burst length or
+    // timeline entry is a one-line error naming the knob, not a crash (or
+    // silent misconfiguration) mid-sweep.
+    validate_fault_config(scfg.fault);
     // Multi-cube sharding (EXPERIMENTS.md "Multi-cube interconnect"):
     //   cubes=<n>        shard the address space across n cube backends
     //   topology=chain|mesh  inter-cube wiring (chain is the HMC default)

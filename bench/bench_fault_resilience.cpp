@@ -11,6 +11,12 @@
 //                   ladder with the link rate; default faultrate/10)
 //   jobtimeout=<s>  per-job watchdog - a hung cell becomes a structured
 //                   "timeout" entry instead of wedging the bench
+//
+// A second ladder sweeps burst_length {1, 2, 4, 8} at the top error rate
+// on the first suite: correlated fault bursts stress the retry layer's
+// exponential backoff far harder than independent draws at the same rate.
+// The bench exits nonzero (regression gate) if any cell fails to complete
+// losslessly or a fault-rung cell observes no injected faults.
 #include "bench_common.hpp"
 
 using namespace pacsim;
@@ -67,11 +73,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Burst ladder: fixed top-rung rates, correlated-burst window swept.
+  const std::uint32_t bursts[] = {1, 2, 4, 8};
+  const std::size_t burst_base = sweep.size();
+  if (!suites.empty()) {
+    const Workload* suite = suites.front();
+    for (CoalescerKind kind : kinds) {
+      for (std::uint32_t burst : bursts) {
+        exp::SweepJob job;
+        job.suite = suite;
+        job.cfg = ctx.scfg;
+        job.cfg.coalescer = kind;
+        job.cfg.fault.link_error_rate = top_rate;
+        job.cfg.fault.response_drop_rate = top_drop;
+        job.cfg.fault.vault_stall_rate = top_rate;
+        job.cfg.fault.burst_length = burst;
+        job.label = std::string(suite->name()) + "/" +
+                    std::string(to_string(kind)) + "@burst" +
+                    std::to_string(burst);
+        sweep.push_back(std::move(job));
+      }
+    }
+  }
+
   const exp::SweepRunner runner(ctx.jobs);
   exp::SweepOptions opts;
   opts.job_timeout_seconds = ctx.job_timeout_seconds;
   const std::vector<exp::JobOutcome> outcomes =
       runner.run_isolated(sweep, ctx.wcfg, opts, ctx.trace_store());
+
+  bool gates_ok = true;
 
   Table t({"suite", "coalescer", "rate", "link errs", "drops", "stalls",
            "retx", "timeouts", "eff payload", "slowdown"});
@@ -85,6 +116,7 @@ int main(int argc, char** argv) {
         const exp::SweepJob& job = sweep[next];
         ++next;
         if (!oc.ok()) {
+          gates_ok = false;
           t.add_row({std::string(suite->name()),
                      std::string(to_string(kind)),
                      rate_label(job.cfg.fault.link_error_rate),
@@ -119,6 +151,59 @@ int main(int argc, char** argv) {
       "fault resilience: injected link errors, retry traffic and slowdown "
       "(rate 0 = fault-free reference; all runs complete losslessly)");
 
+  if (burst_base < sweep.size()) {
+    Table bt({"suite", "coalescer", "burst", "link errs", "drops", "retx",
+              "timeouts", "max depth", "eff payload", "slowdown"});
+    // Slowdown is relative to the burst=1 cell of the same coalescer: the
+    // ladder isolates the cost of correlation, not of the rate itself.
+    for (std::size_t i = burst_base; i < sweep.size(); ++i) {
+      const exp::SweepJob& job = sweep[i];
+      const exp::JobOutcome& oc = outcomes[i];
+      const std::size_t ref_idx =
+          burst_base + ((i - burst_base) / std::size(bursts)) *
+                           std::size(bursts);  // burst=1 of this coalescer
+      if (!oc.ok()) {
+        gates_ok = false;
+        std::fprintf(stderr, "[bench] FAIL: %s did not complete (%s)\n",
+                     job.label.c_str(), exp::to_string(oc.status));
+        bt.add_row({std::string(job.suite->name()),
+                    std::string(to_string(job.cfg.coalescer)),
+                    std::to_string(job.cfg.fault.burst_length),
+                    std::string(exp::to_string(oc.status)), "-", "-", "-",
+                    "-", "-", "-"});
+        continue;
+      }
+      const RunResult& r = oc.result;
+      const ResilienceStats& res = r.resilience;
+      if (res.fault.total() == 0) {
+        gates_ok = false;
+        std::fprintf(stderr, "[bench] FAIL: %s observed no faults\n",
+                     job.label.c_str());
+      }
+      const exp::JobOutcome& ref = outcomes[ref_idx];
+      const double slowdown =
+          ref.ok() && ref.result.cycles > 0
+              ? static_cast<double>(r.cycles) /
+                    static_cast<double>(ref.result.cycles)
+              : 0.0;
+      bt.add_row({std::string(job.suite->name()),
+                  std::string(to_string(job.cfg.coalescer)),
+                  std::to_string(job.cfg.fault.burst_length),
+                  std::to_string(res.fault.link_errors),
+                  std::to_string(res.fault.response_drops),
+                  std::to_string(res.retry.retransmissions),
+                  std::to_string(res.retry.timeout_fires),
+                  std::to_string(res.retry.max_retry_depth),
+                  Table::pct(res.effective_payload_fraction(
+                                 r.coal.issued_payload_bytes) *
+                             100.0),
+                  Table::num(slowdown)});
+    }
+    bt.print(
+        "burst ladder: correlated fault windows at the top error rate "
+        "(slowdown vs the burst=1 cell of the same coalescer)");
+  }
+
   if (!ctx.report_dir.empty()) {
     SweepReport report("bench_fault_resilience");
     for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -135,5 +220,7 @@ int main(int argc, char** argv) {
     const std::string path = report.write(ctx.report_dir);
     std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
   }
-  return 0;
+  std::fprintf(stderr, "[bench] resilience gates: %s\n",
+               gates_ok ? "PASS" : "FAIL");
+  return gates_ok ? 0 : 1;
 }

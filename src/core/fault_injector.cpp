@@ -1,9 +1,201 @@
 #include "core/fault_injector.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
 namespace pacsim {
 
+const char* to_string(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kLinkDown: return "linkdown";
+    case FaultEventKind::kLinkUp: return "linkup";
+    case FaultEventKind::kVaultDown: return "vaultdown";
+    case FaultEventKind::kCubeDown: return "cubedown";
+  }
+  return "?";
+}
+
+FailPolicy parse_fail_policy(const std::string& name) {
+  if (name == "abort") return FailPolicy::kAbort;
+  if (name == "contain") return FailPolicy::kContain;
+  throw std::invalid_argument("failpolicy=" + name +
+                              " (expected abort or contain)");
+}
+
+const char* to_string(FailPolicy policy) {
+  return policy == FailPolicy::kContain ? "contain" : "abort";
+}
+
+namespace {
+
+void check_rate(const char* knob, double rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s must be in [0, 1], got %g", knob,
+                  rate);
+    throw std::invalid_argument(buf);
+  }
+}
+
+std::uint64_t parse_number(const std::string& knob, const std::string& tok) {
+  std::size_t end = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(tok, &end);
+  } catch (const std::exception&) {
+    end = 0;
+  }
+  if (end != tok.size() || tok.empty()) {
+    throw std::invalid_argument(knob + ": bad number '" + tok + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void validate_fault_config(const FaultConfig& cfg) {
+  check_rate("faultrate= (link_error_rate)", cfg.link_error_rate);
+  check_rate("faultdrop= (response_drop_rate)", cfg.response_drop_rate);
+  check_rate("faultstall= (vault_stall_rate)", cfg.vault_stall_rate);
+  if (cfg.burst_length == 0) {
+    throw std::invalid_argument(
+        "burstlen= (burst_length) must be >= 1, got 0");
+  }
+  for (const FaultEvent& e : cfg.timeline) {
+    if ((e.kind == FaultEventKind::kLinkDown ||
+         e.kind == FaultEventKind::kLinkUp) &&
+        e.a == e.b) {
+      std::ostringstream os;
+      os << to_string(e.kind) << "= self-link " << e.a << "-" << e.b
+         << " at cycle " << e.cycle << " is malformed";
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+std::vector<FaultEvent> parse_fault_events(const std::string& knob,
+                                           FaultEventKind kind,
+                                           const std::string& spec) {
+  std::vector<FaultEvent> events;
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(knob + "=" + entry +
+                                  " (expected CYCLE:OPERANDS)");
+    }
+    FaultEvent e;
+    e.kind = kind;
+    e.cycle = parse_number(knob + "=" + entry, entry.substr(0, colon));
+    const std::string ops = entry.substr(colon + 1);
+    switch (kind) {
+      case FaultEventKind::kLinkDown:
+      case FaultEventKind::kLinkUp: {
+        const std::size_t dash = ops.find('-');
+        if (dash == std::string::npos) {
+          throw std::invalid_argument(knob + "=" + entry +
+                                      " (expected CYCLE:CUBE-CUBE)");
+        }
+        e.a = static_cast<std::uint32_t>(
+            parse_number(knob + "=" + entry, ops.substr(0, dash)));
+        e.b = static_cast<std::uint32_t>(
+            parse_number(knob + "=" + entry, ops.substr(dash + 1)));
+        break;
+      }
+      case FaultEventKind::kVaultDown: {
+        const std::size_t dot = ops.find('.');
+        if (dot == std::string::npos) {
+          throw std::invalid_argument(knob + "=" + entry +
+                                      " (expected CYCLE:CUBE.VAULT)");
+        }
+        e.a = static_cast<std::uint32_t>(
+            parse_number(knob + "=" + entry, ops.substr(0, dot)));
+        e.b = static_cast<std::uint32_t>(
+            parse_number(knob + "=" + entry, ops.substr(dot + 1)));
+        break;
+      }
+      case FaultEventKind::kCubeDown:
+        e.a = static_cast<std::uint32_t>(
+            parse_number(knob + "=" + entry, ops));
+        break;
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<FaultEvent> parse_fault_plan(const std::string& text) {
+  std::vector<FaultEvent> events;
+  std::stringstream ss(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::stringstream ls(line);
+    std::string cycle_tok;
+    std::string kind_tok;
+    if (!(ls >> cycle_tok)) continue;  // blank / comment-only line
+    const std::string where = "faultplan line " + std::to_string(lineno);
+    if (!(ls >> kind_tok)) {
+      throw std::invalid_argument(where + ": missing event kind");
+    }
+    FaultEvent e;
+    e.cycle = parse_number(where, cycle_tok);
+    std::string a_tok;
+    std::string b_tok;
+    if (kind_tok == "linkdown" || kind_tok == "linkup") {
+      e.kind = kind_tok == "linkdown" ? FaultEventKind::kLinkDown
+                                      : FaultEventKind::kLinkUp;
+      if (!(ls >> a_tok >> b_tok)) {
+        throw std::invalid_argument(where + ": expected '" + kind_tok +
+                                    " A B'");
+      }
+      e.a = static_cast<std::uint32_t>(parse_number(where, a_tok));
+      e.b = static_cast<std::uint32_t>(parse_number(where, b_tok));
+    } else if (kind_tok == "vaultdown") {
+      e.kind = FaultEventKind::kVaultDown;
+      if (!(ls >> a_tok >> b_tok)) {
+        throw std::invalid_argument(where + ": expected 'vaultdown CUBE "
+                                            "VAULT'");
+      }
+      e.a = static_cast<std::uint32_t>(parse_number(where, a_tok));
+      e.b = static_cast<std::uint32_t>(parse_number(where, b_tok));
+    } else if (kind_tok == "cubedown") {
+      e.kind = FaultEventKind::kCubeDown;
+      if (!(ls >> a_tok)) {
+        throw std::invalid_argument(where + ": expected 'cubedown CUBE'");
+      }
+      e.a = static_cast<std::uint32_t>(parse_number(where, a_tok));
+    } else {
+      throw std::invalid_argument(where + ": unknown event kind '" +
+                                  kind_tok + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      throw std::invalid_argument(where + ": trailing token '" + extra +
+                                  "'");
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
 FaultInjector::FaultInjector(const FaultConfig& cfg)
-    : cfg_(cfg), rng_(cfg.seed) {}
+    : cfg_(cfg), rng_(cfg.seed) {
+  validate_fault_config(cfg_);
+  // Stable sort: same-cycle events keep their configured order, so a
+  // timeline is deterministic however the knobs spelled it.
+  std::stable_sort(cfg_.timeline.begin(), cfg_.timeline.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.cycle < y.cycle;
+                   });
+}
 
 bool FaultInjector::decide(double rate, std::uint32_t& burst_left,
                            std::uint64_t& counter) {
@@ -33,6 +225,98 @@ bool FaultInjector::drop_response() {
 bool FaultInjector::stall_vault() {
   return decide(cfg_.vault_stall_rate, stall_burst_left_,
                 stats_.vault_stalls);
+}
+
+void FaultInjector::apply_event(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultEventKind::kLinkDown: {
+      const auto key = norm_link(e.a, e.b);
+      if (dead_links_.insert(key).second) {
+        link_down_since_.emplace_back(key, e.cycle);
+      }
+      break;
+    }
+    case FaultEventKind::kLinkUp: {
+      const auto key = norm_link(e.a, e.b);
+      if (dead_links_.erase(key) != 0) {
+        for (auto it = link_down_since_.begin();
+             it != link_down_since_.end(); ++it) {
+          if (it->first == key) {
+            ++repairs_;
+            repair_cycles_total_ += e.cycle - it->second;
+            link_down_since_.erase(it);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case FaultEventKind::kVaultDown:
+      dead_vaults_.insert({e.a, e.b});
+      break;
+    case FaultEventKind::kCubeDown:
+      dead_cubes_.insert(e.a);
+      break;
+  }
+}
+
+bool FaultInjector::poll(Cycle now) {
+  bool fired = false;
+  while (timeline_idx_ < cfg_.timeline.size() &&
+         cfg_.timeline[timeline_idx_].cycle <= now) {
+    apply_event(cfg_.timeline[timeline_idx_]);
+    ++timeline_idx_;
+    fired = true;
+  }
+  return fired;
+}
+
+Cycle FaultInjector::next_timeline_cycle(Cycle now) const {
+  if (timeline_idx_ >= cfg_.timeline.size()) return kNeverCycle;
+  return std::max(cfg_.timeline[timeline_idx_].cycle, now);
+}
+
+void FaultInjector::checkpoint_save(BinWriter& w) const {
+  w.tag("FLTI");
+  w.u64(stats_.link_errors);
+  w.u64(stats_.response_drops);
+  w.u64(stats_.vault_stalls);
+  const Rng::State st = rng_.state();
+  for (const std::uint64_t word : st.s) w.u64(word);
+  w.u32(link_burst_left_);
+  w.u32(drop_burst_left_);
+  w.u32(stall_burst_left_);
+  w.u64(timeline_idx_);
+}
+
+void FaultInjector::checkpoint_load(BinReader& r) {
+  r.tag("FLTI");
+  stats_.link_errors = r.u64();
+  stats_.response_drops = r.u64();
+  stats_.vault_stalls = r.u64();
+  Rng::State st{};
+  for (std::uint64_t& word : st.s) word = r.u64();
+  rng_.set_state(st);
+  link_burst_left_ = r.u32();
+  drop_burst_left_ = r.u32();
+  stall_burst_left_ = r.u32();
+  const std::uint64_t fired = r.u64();
+  if (fired > cfg_.timeline.size()) {
+    throw SnapshotError("FLTI: timeline index exceeds configured timeline");
+  }
+  // Rebuild derived dead-state by replaying the already-fired prefix;
+  // events carry their scheduled cycles, so MTTR accounting is exact.
+  timeline_idx_ = 0;
+  dead_links_.clear();
+  dead_vaults_.clear();
+  dead_cubes_.clear();
+  link_down_since_.clear();
+  repairs_ = 0;
+  repair_cycles_total_ = 0;
+  while (timeline_idx_ < fired) {
+    apply_event(cfg_.timeline[timeline_idx_]);
+    ++timeline_idx_;
+  }
 }
 
 }  // namespace pacsim

@@ -7,19 +7,64 @@
 // workload seed and the same fault seed therefore inject the identical
 // fault pattern - the property the resilience acceptance tests rely on.
 //
-// A default-constructed FaultConfig has every rate at zero; components hold
-// a `FaultInjector*` that is simply null in that case, so the fault-free
-// configuration pays no RNG draws and stays bit-identical to a build
-// without the subsystem.
+// On top of the stochastic transient model sits a deterministic hard-failure
+// timeline: a sorted list of scheduled FaultEvents (link-down, link-up,
+// vault-down, cube-down) that fire at exact cycles via poll(). The injector
+// is the system-wide holder of hard failure state - dead links, dead vaults,
+// dead cubes, and the fabric-reported unreachable set - which DevicePort,
+// MultiCubeBackend and PageTable all query. next_timeline_cycle() keeps
+// event-horizon fast-forwarding exact across scheduled events, and the
+// timeline fire index is checkpointed so a restored run replays the same
+// failure history bit-identically.
+//
+// A default-constructed FaultConfig has every rate at zero and an empty
+// timeline; components hold a `FaultInjector*` that is simply null in that
+// case, so the fault-free configuration pays no RNG draws and stays
+// bit-identical to a build without the subsystem.
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace pacsim {
+
+/// Scheduled hard-failure event kinds. Links repair (kLinkUp); vault and
+/// cube deaths are permanent for the remainder of the run.
+enum class FaultEventKind : std::uint8_t {
+  kLinkDown = 0,  ///< the bidirectional link between cubes a and b dies
+  kLinkUp = 1,    ///< a previously-dead link comes back (repair)
+  kVaultDown = 2, ///< vault b of cube a dies
+  kCubeDown = 3,  ///< cube a dies (no new requests admitted)
+};
+
+[[nodiscard]] const char* to_string(FaultEventKind kind);
+
+/// One scheduled hard event. `a`/`b` are kind-dependent operands: link
+/// events use (cube a, cube b); vault-down uses (cube, vault); cube-down
+/// uses (cube, unused).
+struct FaultEvent {
+  Cycle cycle = 0;
+  FaultEventKind kind = FaultEventKind::kLinkDown;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// What happens when a request cannot be delivered (retry exhaustion, dead
+/// vault/cube, unreachable destination).
+enum class FailPolicy : std::uint8_t {
+  kAbort = 0,    ///< legacy behavior: verifier violation / std::runtime_error
+  kContain = 1,  ///< synthesize a poisoned completion; the run continues
+};
+
+[[nodiscard]] FailPolicy parse_fail_policy(const std::string& name);
+[[nodiscard]] const char* to_string(FailPolicy policy);
 
 /// Error model for the SerDes links and vault controllers. Rates are
 /// per-decision probabilities in [0, 1].
@@ -40,11 +85,45 @@ struct FaultConfig {
   Cycle vault_stall_cycles = 64;
   std::uint64_t seed = 0xFA017ULL;
 
+  /// Scheduled hard failures, fired in cycle order (stable for ties).
+  std::vector<FaultEvent> timeline;
+  /// Undeliverable-request policy (only meaningful once hard events or
+  /// retry exhaustion can occur).
+  FailPolicy fail_policy = FailPolicy::kAbort;
+  /// Spare frames reserved for sparing-based page remap once a vault or
+  /// cube dies (see PageTable::enable_sparing).
+  std::uint64_t spare_pages = 4096;
+  /// Modeled cost of migrating one page to the spare region: the touching
+  /// core stalls this many cycles before the access retries.
+  Cycle page_migrate_cycles = 512;
+
   [[nodiscard]] bool enabled() const {
     return link_error_rate > 0.0 || response_drop_rate > 0.0 ||
-           vault_stall_rate > 0.0;
+           vault_stall_rate > 0.0 || hard_enabled();
   }
+  /// True when a hard-failure timeline is configured.
+  [[nodiscard]] bool hard_enabled() const { return !timeline.empty(); }
 };
+
+/// Throws std::invalid_argument (one line, naming the offending knob) when
+/// a rate is outside [0, 1], burst_length is 0, or a timeline event is
+/// malformed (link a == b). Called by the FaultInjector constructor and by
+/// the bench CLI front-end.
+void validate_fault_config(const FaultConfig& cfg);
+
+/// Parse a comma-separated CLI event list, e.g. `linkdown=1000:0-1,5000:1-2`,
+/// `vaultdown=2000:1.3` (cube 1, vault 3), `cubedown=4000:2`,
+/// `linkup=9000:0-1`. Throws std::invalid_argument naming `knob` on any
+/// malformed entry.
+[[nodiscard]] std::vector<FaultEvent> parse_fault_events(
+    const std::string& knob, FaultEventKind kind, const std::string& spec);
+
+/// Parse a faultplan file body: one event per line,
+/// `CYCLE linkdown|linkup A B` / `CYCLE vaultdown CUBE VAULT` /
+/// `CYCLE cubedown CUBE`, with '#' comments and blank lines ignored.
+/// Throws std::invalid_argument naming the line number.
+[[nodiscard]] std::vector<FaultEvent> parse_fault_plan(
+    const std::string& text);
 
 struct FaultStats {
   std::uint64_t link_errors = 0;     ///< request packets NACKed
@@ -70,38 +149,85 @@ class FaultInjector {
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
-  /// Mid-stream RNG position, counters, and burst state all persist, so a
-  /// restored run draws the identical fault pattern the uninterrupted run
-  /// would have from this point on.
-  void checkpoint_save(BinWriter& w) const {
-    w.tag("FLTI");
-    w.u64(stats_.link_errors);
-    w.u64(stats_.response_drops);
-    w.u64(stats_.vault_stalls);
-    const Rng::State st = rng_.state();
-    for (const std::uint64_t word : st.s) w.u64(word);
-    w.u32(link_burst_left_);
-    w.u32(drop_burst_left_);
-    w.u32(stall_burst_left_);
+  // --- hard-failure timeline ---
+
+  /// Fire every scheduled event with cycle <= now (in timeline order).
+  /// Returns true when at least one event fired this call, so the caller
+  /// can recompute routes / degradation accounting.
+  bool poll(Cycle now);
+  /// Exact cycle of the next unfired scheduled event (clamped to >= now),
+  /// or kNeverCycle - the fast-forward bound that keeps poll() exact.
+  [[nodiscard]] Cycle next_timeline_cycle(Cycle now) const;
+
+  [[nodiscard]] bool hard_active() const { return cfg_.hard_enabled(); }
+  /// True once any hard state exists (cheap pre-check for hot paths).
+  [[nodiscard]] bool any_dead() const {
+    return !dead_links_.empty() || !dead_vaults_.empty() ||
+           !dead_cubes_.empty() || !unreachable_.empty();
   }
-  void checkpoint_load(BinReader& r) {
-    r.tag("FLTI");
-    stats_.link_errors = r.u64();
-    stats_.response_drops = r.u64();
-    stats_.vault_stalls = r.u64();
-    Rng::State st{};
-    for (std::uint64_t& word : st.s) word = r.u64();
-    rng_.set_state(st);
-    link_burst_left_ = r.u32();
-    drop_burst_left_ = r.u32();
-    stall_burst_left_ = r.u32();
+  /// Link liveness is direction-agnostic: a SerDes link dies whole.
+  [[nodiscard]] bool link_dead(std::uint32_t a, std::uint32_t b) const {
+    return dead_links_.count(norm_link(a, b)) != 0;
+  }
+  [[nodiscard]] bool cube_dead(std::uint32_t cube) const {
+    return dead_cubes_.count(cube) != 0;
+  }
+  [[nodiscard]] bool vault_dead(std::uint32_t cube,
+                                std::uint32_t vault) const {
+    return dead_vaults_.count({cube, vault}) != 0;
+  }
+  /// Fabric-reported: cube alive but no surviving route from the host.
+  [[nodiscard]] bool cube_unreachable(std::uint32_t cube) const {
+    return unreachable_.count(cube) != 0;
+  }
+  /// Installed by the fabric after each route recompute (and after
+  /// checkpoint restore); not itself checkpointed.
+  void set_unreachable(std::vector<std::uint32_t> cubes) {
+    unreachable_ = std::set<std::uint32_t>(cubes.begin(), cubes.end());
   }
 
+  [[nodiscard]] std::uint64_t timeline_fired() const { return timeline_idx_; }
+  [[nodiscard]] std::uint64_t repairs() const { return repairs_; }
+  [[nodiscard]] std::uint64_t repair_cycles_total() const {
+    return repair_cycles_total_;
+  }
+  [[nodiscard]] const std::set<std::pair<std::uint32_t, std::uint32_t>>&
+  dead_links() const {
+    return dead_links_;
+  }
+  [[nodiscard]] const std::set<std::pair<std::uint32_t, std::uint32_t>>&
+  dead_vaults() const {
+    return dead_vaults_;
+  }
+  [[nodiscard]] const std::set<std::uint32_t>& dead_cubes() const {
+    return dead_cubes_;
+  }
+  [[nodiscard]] const std::set<std::uint32_t>& unreachable_cubes() const {
+    return unreachable_;
+  }
+
+  /// Mid-stream RNG position, counters, burst state and the timeline fire
+  /// index all persist, so a restored run draws the identical fault pattern
+  /// (and replays the identical failure history) the uninterrupted run
+  /// would have from this point on. Derived dead-state is rebuilt by
+  /// replaying timeline[0, idx) - events carry their own cycles, so repair
+  /// accounting restores exactly.
+  void checkpoint_save(BinWriter& w) const;
+  void checkpoint_load(BinReader& r);
+
  private:
+  static std::pair<std::uint32_t, std::uint32_t> norm_link(std::uint32_t a,
+                                                           std::uint32_t b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
   /// One decision: either continue an active burst or roll `rate`. A fresh
   /// fault arms `burst_left` so the next `burst_length - 1` decisions of
   /// the same kind fault without rolling.
   bool decide(double rate, std::uint32_t& burst_left, std::uint64_t& counter);
+
+  /// Apply one timeline event's effect on the derived dead-state.
+  void apply_event(const FaultEvent& e);
 
   FaultConfig cfg_;
   FaultStats stats_;
@@ -109,6 +235,17 @@ class FaultInjector {
   std::uint32_t link_burst_left_ = 0;
   std::uint32_t drop_burst_left_ = 0;
   std::uint32_t stall_burst_left_ = 0;
+
+  std::uint64_t timeline_idx_ = 0;  ///< events fired so far
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dead_links_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dead_vaults_;
+  std::set<std::uint32_t> dead_cubes_;
+  std::set<std::uint32_t> unreachable_;  ///< fabric-reported, not saved
+  /// Cycle each currently-dead link went down (for MTTR on repair).
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, Cycle>>
+      link_down_since_;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t repair_cycles_total_ = 0;
 };
 
 }  // namespace pacsim

@@ -16,6 +16,7 @@ const char* to_string(ReqStage stage) {
     case ReqStage::kResponseDropped: return "response-dropped";
     case ReqStage::kResponded: return "responded";
     case ReqStage::kRetired: return "retired";
+    case ReqStage::kPoisoned: return "poisoned";
   }
   return "?";
 }

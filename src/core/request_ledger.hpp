@@ -30,6 +30,7 @@ enum class ReqStage : std::uint8_t {
   kResponseDropped,///< the device produced a response the link then lost
   kResponded,      ///< covered by a completed device response
   kRetired,        ///< satisfied back to the system scoreboard
+  kPoisoned,       ///< declared lost via a poisoned completion (contain)
 };
 
 [[nodiscard]] const char* to_string(ReqStage stage);

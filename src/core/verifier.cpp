@@ -248,6 +248,23 @@ void Verifier::on_retired(std::uint64_t raw_id, Cycle now) {
   retired_ids_.insert(raw_id);
 }
 
+void Verifier::on_poisoned(std::uint64_t raw_id, Cycle now) {
+  ++stats_.poisoned;
+  last_progress_ = now;
+  if (!full_) return;
+  ReqRecord* rec = ledger_.note(raw_id, ReqStage::kPoisoned, now);
+  if (rec == nullptr) {
+    const bool dup = retired_ids_.count(raw_id) != 0;
+    fail("conservation",
+         std::string(dup ? "duplicate poisoning of raw id "
+                         : "poisoning of never-issued raw id ") +
+             std::to_string(raw_id),
+         now);
+  }
+  ledger_.close(raw_id);
+  retired_ids_.insert(raw_id);
+}
+
 void Verifier::on_retry_exhausted(const DeviceRequest& req,
                                   std::uint32_t attempts,
                                   std::uint32_t max_retries, Cycle now) {
@@ -299,13 +316,17 @@ void Verifier::final_check(Cycle now) {
              " still draining",
          now);
   }
-  if (stats_.retired + stats_.fences != stats_.issued) {
+  // Poisoned raws are declared losses (failpolicy=contain), not silent
+  // ones: they close the equation as their own term.
+  if (stats_.retired + stats_.fences + stats_.poisoned != stats_.issued) {
     fail("conservation",
          "conservation equation failed: issued=" +
              std::to_string(stats_.issued) +
              " != retired=" + std::to_string(stats_.retired) + " + fences=" +
-             std::to_string(stats_.fences) + " (" +
-             std::to_string(stats_.issued - stats_.retired - stats_.fences) +
+             std::to_string(stats_.fences) + " + poisoned=" +
+             std::to_string(stats_.poisoned) + " (" +
+             std::to_string(stats_.issued - stats_.retired - stats_.fences -
+                            stats_.poisoned) +
              " raw requests lost)",
          now);
   }
@@ -336,7 +357,8 @@ std::string Verifier::render_forensics(const std::string& kind,
       << ", \"retired\": " << stats_.retired
       << ", \"fences\": " << stats_.fences
       << ", \"nacks\": " << stats_.nacks
-      << ", \"retransmissions\": " << stats_.retransmissions << "},\n";
+      << ", \"retransmissions\": " << stats_.retransmissions
+      << ", \"poisoned\": " << stats_.poisoned << "},\n";
   out << "  \"fence_active\": " << (fence_active_ ? "true" : "false") << ",\n";
   out << "  \"last_progress_cycle\": " << last_progress_ << ",\n";
   out << "  \"components\": "

@@ -87,6 +87,10 @@ struct VerifyStats {
   std::uint64_t fences = 0;           ///< fence raws (retire at accept)
   std::uint64_t nacks = 0;            ///< link NACKs observed
   std::uint64_t retransmissions = 0;  ///< packet retransmits observed
+  /// Raws declared lost via poisoned completions (failpolicy=contain).
+  /// These close the conservation equation as an explicit loss term:
+  /// issued == retired + fences + poisoned.
+  std::uint64_t poisoned = 0;
   std::uint64_t violations = 0;       ///< 0 on any run that returned
 };
 
@@ -120,6 +124,10 @@ class Verifier {
   void on_response_dropped(const DeviceRequest& req, Cycle now);
   void on_response(const DeviceResponse& rsp, Cycle now);
   void on_retired(std::uint64_t raw_id, Cycle now);
+  /// A raw carried by a poisoned completion is declared lost instead of
+  /// retired (failpolicy=contain): counted separately so the conservation
+  /// equation closes without a spurious violation.
+  void on_poisoned(std::uint64_t raw_id, Cycle now);
 
   // --- Fence ordering. ---
   /// PAC's drain window: begin at fence accept, end when the drain clears.
@@ -185,6 +193,7 @@ class Verifier {
     w.u64(stats_.fences);
     w.u64(stats_.nacks);
     w.u64(stats_.retransmissions);
+    w.u64(stats_.poisoned);
     std::vector<std::uint64_t> retired(retired_ids_.begin(),
                                        retired_ids_.end());
     std::sort(retired.begin(), retired.end());
@@ -206,6 +215,7 @@ class Verifier {
     stats_.fences = r.u64();
     stats_.nacks = r.u64();
     stats_.retransmissions = r.u64();
+    stats_.poisoned = r.u64();
     retired_ids_.clear();
     const std::uint64_t n = r.u64();
     retired_ids_.reserve(n);

@@ -7,13 +7,14 @@
 #include <string>
 #include <utility>
 
+#include "core/fault_injector.hpp"
 #include "core/verifier.hpp"
 
 namespace pacsim {
 
 DevicePort::DevicePort(MemoryBackend* device, const RetryConfig& cfg,
-                       bool tracking)
-    : device_(device), cfg_(cfg), tracking_(tracking) {}
+                       bool tracking, FaultInjector* fault)
+    : device_(device), cfg_(cfg), tracking_(tracking), fault_(fault) {}
 
 Cycle backoff_cycles(Cycle base, std::uint32_t attempts, Cycle cap) {
   if (base == 0) base = 1;
@@ -28,13 +29,57 @@ Cycle backoff_cycles(Cycle base, std::uint32_t attempts, Cycle cap) {
 
 void DevicePort::arm(std::uint64_t id, Pending& p, Cycle cycle) {
   ++p.timer_gen;
+  p.timer_cycle = cycle;
   timers_.push(Timer{cycle, id, p.timer_gen});
 }
 
-void DevicePort::bump_attempts(std::uint64_t id, Pending& p, Cycle now) {
+bool DevicePort::contain() const {
+  return fault_ != nullptr &&
+         fault_->config().fail_policy == FailPolicy::kContain;
+}
+
+bool DevicePort::dead_destination(Addr addr) const {
+  if (fault_ == nullptr || !fault_->any_dead()) return false;
+  const AddressMap& map = device_->address_map();
+  const std::uint32_t cube = map.cube_of(addr);
+  if (fault_->cube_dead(cube) || fault_->cube_unreachable(cube)) return true;
+  return fault_->vault_dead(cube, map.decode(addr).vault);
+}
+
+void DevicePort::push_poisoned(const DeviceRequest& req, Cycle now) {
+  ++stats_.poisoned_completions;
+  // The request is being declared lost: scrub any residual routing-layer
+  // bookkeeping (the multi-cube fabric may still track an id whose child
+  // retired a dropped response internally) so the device can reach idle().
+  device_->forget(req.id);
+  DeviceResponse rsp;
+  rsp.request_id = req.id;
+  rsp.completed_at = now;
+  rsp.raw_ids = req.raw_ids;
+  rsp.poisoned = true;
+  responses_.push_back(std::move(rsp));
+}
+
+void DevicePort::fail_undeliverable(const DeviceRequest& req, Cycle now) {
+  if (verifier_ != nullptr) {
+    verifier_->on_retry_exhausted(req, 0, cfg_.max_retries, now);
+  }
+  throw std::runtime_error(
+      "DevicePort: request " + std::to_string(req.id) +
+      " addressed to a dead/unreachable destination under failpolicy=abort");
+}
+
+bool DevicePort::bump_attempts(std::uint64_t id, Pending& p, Cycle now) {
   ++p.attempts;
   stats_.max_retry_depth = std::max(stats_.max_retry_depth, p.attempts);
   if (p.attempts > cfg_.max_retries) {
+    if (contain()) {
+      // Declare the request lost instead of wedging the run: its raws ride
+      // home on a poisoned completion and retire as declared losses.
+      push_poisoned(p.req, now);
+      pending_.erase(id);
+      return true;
+    }
     if (verifier_ != nullptr) {
       verifier_->on_retry_exhausted(p.req, p.attempts, cfg_.max_retries, now);
     }
@@ -43,12 +88,18 @@ void DevicePort::bump_attempts(std::uint64_t id, Pending& p, Cycle now) {
                              std::to_string(cfg_.max_retries) +
                              " retransmissions; link unrecoverable");
   }
+  return false;
 }
 
 void DevicePort::submit(DeviceRequest req, Cycle now) {
   if (verifier_ != nullptr) verifier_->on_dispatched(req, now);
   if (!tracking_) {
     device_->submit(std::move(req), now);
+    return;
+  }
+  if (dead_destination(req.base)) {
+    if (!contain()) fail_undeliverable(req, now);
+    push_poisoned(req, now);
     return;
   }
   auto [it, inserted] = pending_.try_emplace(req.id);
@@ -83,7 +134,7 @@ void DevicePort::tick(Cycle now) {
     Pending& p = it->second;
     ++stats_.nacks;
     if (verifier_ != nullptr) verifier_->on_nack(p.req, now);
-    bump_attempts(nack.request_id, p, now);
+    if (bump_attempts(nack.request_id, p, now)) continue;  // contained
     p.awaiting_resend = true;
     arm(nack.request_id, p, now + expo(cfg_.backoff_base, p.attempts - 1));
   }
@@ -111,6 +162,14 @@ void DevicePort::tick(Cycle now) {
     }
     Pending& p = it->second;
     if (p.awaiting_resend) {
+      // A destination that died while the request was backing off can
+      // never be reached again: resolve it now instead of resubmitting.
+      if (dead_destination(p.req.base)) {
+        if (!contain()) fail_undeliverable(p.req, now);
+        push_poisoned(p.req, now);
+        pending_.erase(it);
+        continue;
+      }
       if (!device_->can_accept()) {
         arm(t.id, p, now + 1);  // device full: retry next cycle
         continue;
@@ -128,7 +187,7 @@ void DevicePort::tick(Cycle now) {
     }
     // Not in flight and never answered: the response was dropped.
     ++stats_.timeout_fires;
-    bump_attempts(t.id, p, now);
+    if (bump_attempts(t.id, p, now)) continue;  // contained
     p.awaiting_resend = true;
     arm(t.id, p, now);
   }
@@ -148,6 +207,82 @@ Cycle DevicePort::next_event_cycle(Cycle now) const {
   if (!responses_.empty()) return now;
   if (!timers_.empty()) return std::max(timers_.top().cycle, now);
   return kNeverCycle;
+}
+
+void DevicePort::checkpoint_save(BinWriter& w) const {
+  w.tag("PORT");
+  w.u64(stats_.retransmissions);
+  w.u64(stats_.nacks);
+  w.u64(stats_.timeout_fires);
+  w.u64(stats_.spurious_timeouts);
+  w.u64(stats_.retransmitted_bytes);
+  w.u32(stats_.max_retry_depth);
+  w.u64(stats_.poisoned_completions);
+  if (!responses_.empty()) {
+    throw SnapshotError("PORT: undrained responses at checkpoint");
+  }
+  // Pending retries in deterministic (id) order; each entry restores with
+  // its timer re-armed for the identical cycle.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (const std::uint64_t id : ids) {
+    const Pending& p = pending_.at(id);
+    w.u32(p.attempts);
+    w.b(p.awaiting_resend);
+    w.u64(p.timer_cycle);
+    w.u64(p.req.id);
+    w.u64(p.req.base);
+    w.u32(p.req.bytes);
+    w.b(p.req.store);
+    w.b(p.req.atomic);
+    w.u64(p.req.created_at);
+    w.u64(p.req.raw_ids.size());
+    for (const std::uint64_t raw : p.req.raw_ids) w.u64(raw);
+    w.u64(p.req.raw_blocks.size());
+    for (const std::uint16_t blk : p.req.raw_blocks) w.u32(blk);
+  }
+}
+
+void DevicePort::checkpoint_load(BinReader& r) {
+  r.tag("PORT");
+  stats_.retransmissions = r.u64();
+  stats_.nacks = r.u64();
+  stats_.timeout_fires = r.u64();
+  stats_.spurious_timeouts = r.u64();
+  stats_.retransmitted_bytes = r.u64();
+  stats_.max_retry_depth = r.u32();
+  stats_.poisoned_completions = r.u64();
+  pending_.clear();
+  timers_ = {};
+  responses_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Pending p;
+    p.attempts = r.u32();
+    p.awaiting_resend = r.b();
+    const Cycle timer_cycle = r.u64();
+    p.req.id = r.u64();
+    p.req.base = r.u64();
+    p.req.bytes = r.u32();
+    p.req.store = r.b();
+    p.req.atomic = r.b();
+    p.req.created_at = r.u64();
+    const std::uint64_t raws = r.u64();
+    p.req.raw_ids.reserve(raws);
+    for (std::uint64_t j = 0; j < raws; ++j) p.req.raw_ids.push_back(r.u64());
+    const std::uint64_t blocks = r.u64();
+    p.req.raw_blocks.reserve(blocks);
+    for (std::uint64_t j = 0; j < blocks; ++j) {
+      p.req.raw_blocks.push_back(static_cast<std::uint16_t>(r.u32()));
+    }
+    const std::uint64_t id = p.req.id;
+    auto [it, inserted] = pending_.emplace(id, std::move(p));
+    if (!inserted) throw SnapshotError("PORT: duplicate pending id");
+    arm(id, it->second, timer_cycle);
+  }
 }
 
 std::string DevicePort::debug_json() const {

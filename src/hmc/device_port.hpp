@@ -8,7 +8,11 @@
 // an exponential backoff, and a response that never arrives (injected
 // "poisoned response" drop) is recovered by a response timeout that also
 // backs off exponentially per attempt. A request that exhausts
-// RetryConfig::max_retries throws - an unrecoverable link.
+// RetryConfig::max_retries throws - an unrecoverable link - unless
+// failpolicy=contain turns it (and any request addressed to a dead vault,
+// dead cube, or unreachable shard on the hard-failure timeline) into a
+// structured poisoned completion: the raws it carried are declared lost,
+// counted in RetryStats::poisoned_completions, and the run continues.
 //
 // In passthrough mode (fault injection disabled) every call forwards
 // straight to the device: no copies, no timers, no draws - the fault-free
@@ -26,6 +30,7 @@
 
 namespace pacsim {
 
+class FaultInjector;
 class Verifier;
 
 struct RetryConfig {
@@ -56,13 +61,18 @@ struct RetryStats {
   std::uint64_t spurious_timeouts = 0;
   std::uint64_t retransmitted_bytes = 0;  ///< payload re-sent on the link
   std::uint32_t max_retry_depth = 0;      ///< worst attempts for one request
+  /// failpolicy=contain: undeliverable requests completed as structured
+  /// per-request failures (their raws declared lost, not retired).
+  std::uint64_t poisoned_completions = 0;
 };
 
 class DevicePort {
  public:
   /// `tracking = false` selects passthrough mode. The port never owns the
-  /// device.
-  DevicePort(MemoryBackend* device, const RetryConfig& cfg, bool tracking);
+  /// device. `fault` (optional) supplies the hard-failure state and the
+  /// fail policy; dead-destination checks only run in tracking mode.
+  DevicePort(MemoryBackend* device, const RetryConfig& cfg, bool tracking,
+             FaultInjector* fault = nullptr);
 
   [[nodiscard]] bool can_accept() const { return device_->can_accept(); }
 
@@ -102,28 +112,16 @@ class DevicePort {
   /// One-line JSON object describing retry-buffer occupancy, for forensics.
   [[nodiscard]] std::string debug_json() const;
 
-  /// At a quiescent point the retry buffer is empty (idle() holds), so only
-  /// the stats persist. Stale entries in the lazy-invalidation timer heap
-  /// are dropped by a restore; they carry no live state (their generation
-  /// was already bumped past), only an early-but-harmless next-event bound.
-  void checkpoint_save(BinWriter& w) const {
-    w.tag("PORT");
-    w.u64(stats_.retransmissions);
-    w.u64(stats_.nacks);
-    w.u64(stats_.timeout_fires);
-    w.u64(stats_.spurious_timeouts);
-    w.u64(stats_.retransmitted_bytes);
-    w.u32(stats_.max_retry_depth);
-  }
-  void checkpoint_load(BinReader& r) {
-    r.tag("PORT");
-    stats_.retransmissions = r.u64();
-    stats_.nacks = r.u64();
-    stats_.timeout_fires = r.u64();
-    stats_.spurious_timeouts = r.u64();
-    stats_.retransmitted_bytes = r.u64();
-    stats_.max_retry_depth = r.u32();
-  }
+  /// Serializes the stats plus the live retry buffer: every pending entry
+  /// (its retransmittable request copy, attempt count, resend flag) and the
+  /// cycle its single live timer is armed for, so a snapshot taken while
+  /// retries are in flight restores with the same backoff timers firing at
+  /// the same cycles. Stale entries in the lazy-invalidation timer heap are
+  /// dropped by a restore; they carry no live state (their generation was
+  /// already bumped past), only an early-but-harmless next-event bound.
+  /// Undrained responses may not cross a snapshot (SnapshotError).
+  void checkpoint_save(BinWriter& w) const;
+  void checkpoint_load(BinReader& r);
 
  private:
   struct Pending {
@@ -131,6 +129,7 @@ class DevicePort {
     std::uint32_t attempts = 0;   ///< retransmissions so far
     std::uint64_t timer_gen = 0;  ///< invalidates stale heap entries
     bool awaiting_resend = false; ///< armed timer is a retransmit slot
+    Cycle timer_cycle = 0;        ///< cycle the live timer is armed for
   };
 
   struct Timer {
@@ -149,14 +148,28 @@ class DevicePort {
   [[nodiscard]] Cycle expo(Cycle base, std::uint32_t attempts) const {
     return backoff_cycles(base, attempts, cfg_.backoff_cap);
   }
-  void bump_attempts(std::uint64_t id, Pending& p, Cycle now);
+  /// Count a retry attempt. Past max_retries: under failpolicy=contain the
+  /// entry is poisoned and erased (returns true - the caller must not touch
+  /// `p` again); under abort it throws.
+  bool bump_attempts(std::uint64_t id, Pending& p, Cycle now);
   void retransmit(std::uint64_t id, Pending& p, Cycle now);
+
+  /// True when `addr` targets a dead vault, a dead cube, or a cube the
+  /// fabric reports unreachable (hard-failure timeline state).
+  [[nodiscard]] bool dead_destination(Addr addr) const;
+  [[nodiscard]] bool contain() const;
+  /// Synthesize a poisoned completion for `req` (buffered like any other
+  /// response; the raws it names are declared lost downstream).
+  void push_poisoned(const DeviceRequest& req, Cycle now);
+  /// Abort-policy structured failure for an undeliverable destination.
+  [[noreturn]] void fail_undeliverable(const DeviceRequest& req, Cycle now);
 
   MemoryBackend* device_;
   RetryConfig cfg_;
   bool tracking_;
   RetryStats stats_;
   Verifier* verifier_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;

@@ -97,6 +97,15 @@ class MemoryBackend {
   /// port uses this to tell a slow response apart from a dropped one.
   [[nodiscard]] virtual bool in_flight(std::uint64_t id) const = 0;
 
+  /// Abandon any residual bookkeeping for `id`. The retry port calls this
+  /// when it declares a request lost (failpolicy=contain poisoning): the
+  /// request is, by the poison paths' preconditions, no longer physically
+  /// in flight anywhere, but a routing layer may still hold a tracking
+  /// entry for it (e.g. the multi-cube fabric after a child retired a
+  /// dropped response internally) that would otherwise pin idle() false
+  /// forever. Default: nothing to forget.
+  virtual void forget(std::uint64_t id) { (void)id; }
+
   [[nodiscard]] virtual bool idle() const = 0;
   [[nodiscard]] virtual std::uint32_t outstanding() const = 0;
   [[nodiscard]] virtual const BackendStats& stats() const = 0;

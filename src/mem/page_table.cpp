@@ -1,12 +1,13 @@
 #include "mem/page_table.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace pacsim {
 
 PageTable::PageTable(std::uint64_t phys_pages, std::uint64_t seed,
                      bool identity)
-    : identity_(identity) {
+    : phys_pages_(phys_pages), identity_(identity) {
   if (identity_) return;  // passthrough: no frame pool to build
   frames_.resize(phys_pages);
   for (std::uint64_t i = 0; i < phys_pages; ++i) frames_[i] = i;
@@ -18,27 +19,94 @@ PageTable::PageTable(std::uint64_t phys_pages, std::uint64_t seed,
   }
 }
 
+void PageTable::enable_sparing(std::uint64_t spare_pages,
+                               std::function<bool(std::uint64_t)> dead_frame) {
+  if (spare_pages >= phys_pages_) {
+    throw std::invalid_argument(
+        "PageTable: spare_pages must leave usable capacity");
+  }
+  if (next_free_ != 0 || !map_.empty()) {
+    throw std::logic_error("PageTable: enable_sparing after first touch");
+  }
+  sparing_ = true;
+  spare_pages_ = spare_pages;
+  dead_frame_ = std::move(dead_frame);
+}
+
+std::uint64_t PageTable::spare_pfn(std::uint64_t k) const {
+  // Identity mode has no shuffled pool: the spare region is the literal top
+  // of the physical capacity. Otherwise the pool's reserved tail (already
+  // scattered by the shuffle) supplies the spares.
+  if (identity_) return phys_pages_ - spare_pages_ + k;
+  return frames_[frames_.size() - spare_pages_ + k];
+}
+
+std::optional<std::uint64_t> PageTable::take_spare() {
+  while (spare_next_ < spare_pages_) {
+    const std::uint64_t pfn = spare_pfn(spare_next_);
+    ++spare_next_;
+    if (!dead_frame_(pfn)) return pfn;  // dead spares are skipped for good
+  }
+  return std::nullopt;
+}
+
 Addr PageTable::translate(std::uint8_t process, Addr vaddr) {
-  if (identity_) return vaddr;
+  if (identity_) {
+    if (!sparing_) return vaddr;
+    const std::uint64_t vpn = page_number(vaddr);
+    const auto it = map_.find(vpn);
+    if (it != map_.end()) {
+      return (it->second << kPageShift) | page_offset(vaddr);
+    }
+    if (dead_frame_(vpn)) {
+      if (const auto spare = take_spare()) {
+        map_[vpn] = *spare;
+        ++pages_migrated_;
+        migration_pending_ = true;
+        return (*spare << kPageShift) | page_offset(vaddr);
+      }
+    }
+    return vaddr;  // live frame, or spare pool dry (port will poison)
+  }
   const std::uint64_t vpn = page_number(vaddr);
   // Processes get disjoint key spaces; 2^48 pages per process is ample.
   const std::uint64_t key = (static_cast<std::uint64_t>(process) << 48) | vpn;
   auto [it, inserted] = map_.try_emplace(key, 0);
   if (inserted) {
-    if (next_free_ >= frames_.size()) {
+    const std::uint64_t usable = frames_.size() - spare_pages_;
+    if (next_free_ >= usable) {
       throw std::runtime_error("PageTable: out of physical frames");
     }
     it->second = frames_[next_free_++];
+    if (sparing_ && dead_frame_(it->second)) {
+      // Fresh touch on a dead frame: allocate straight from the spare pool,
+      // no migration penalty - there is no resident data to move yet.
+      if (const auto spare = take_spare()) it->second = *spare;
+    }
+  } else if (sparing_ && dead_frame_(it->second)) {
+    if (const auto spare = take_spare()) {
+      it->second = *spare;
+      ++pages_migrated_;
+      migration_pending_ = true;
+    }
   }
   return (it->second << kPageShift) | page_offset(vaddr);
 }
 
 std::optional<Addr> PageTable::lookup(std::uint8_t process, Addr vaddr) const {
-  if (identity_) return vaddr;
+  if (identity_) {
+    if (!sparing_) return vaddr;
+    const std::uint64_t vpn = page_number(vaddr);
+    const auto it = map_.find(vpn);
+    const std::uint64_t pfn = it != map_.end() ? it->second : vpn;
+    if (dead_frame_(pfn)) return std::nullopt;  // migration pending
+    return (pfn << kPageShift) | page_offset(vaddr);
+  }
   const std::uint64_t vpn = page_number(vaddr);
   const std::uint64_t key = (static_cast<std::uint64_t>(process) << 48) | vpn;
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
+  if (sparing_ && dead_frame_(it->second)) return std::nullopt;
   return (it->second << kPageShift) | page_offset(vaddr);
 }
 

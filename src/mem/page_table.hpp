@@ -5,10 +5,22 @@
 // contiguous pages land in arbitrary physical frames, so cross-page
 // coalescing is almost never possible (paper Fig. 2: 0.04%), while in-page
 // adjacency is fully preserved.
+//
+// Sparing (hard-failure timelines): enable_sparing() reserves the top
+// `spare_pages` frames as a spare pool and installs a dead-frame predicate.
+// When a touch lands on a page whose frame sits on dead hardware (vault or
+// cube), the mapping migrates to the next live spare frame; the System
+// charges the touching core a configurable migration latency. In identity
+// mode (no frame pool) the spare region sits at the top of the physical
+// capacity and migrated pages live in an overlay map consulted before the
+// vaddr == paddr passthrough. A spare pool that runs dry stops migrating -
+// accesses to the dead frames then resolve as poisoned completions at the
+// DevicePort instead.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -31,26 +43,52 @@ class PageTable {
   PageTable(std::uint64_t phys_pages, std::uint64_t seed,
             bool identity = false);
 
+  /// Reserve the top `spare_pages` frames as the sparing pool and install
+  /// the dead-frame predicate (true when the frame sits on failed
+  /// hardware). Call before the first translate: the reserved frames must
+  /// not have been handed to normal allocations.
+  void enable_sparing(std::uint64_t spare_pages,
+                      std::function<bool(std::uint64_t)> dead_frame);
+
   /// Translate a virtual address of `process`; allocates the frame on first
-  /// touch (demand paging).
+  /// touch (demand paging). With sparing enabled, a touch on a dead-framed
+  /// page migrates it to a live spare and sets the migration-pending flag
+  /// (see consume_migration()).
   Addr translate(std::uint8_t process, Addr vaddr);
 
   /// Side-effect-free probe: the physical address iff the page is already
   /// mapped. The fast-forward stall re-check uses this because it must not
-  /// demand-page.
+  /// demand-page. A mapping whose frame is currently dead reports
+  /// std::nullopt - "not steadily translatable" - so fast-forward never
+  /// reasons past a migration the next real step would perform.
   [[nodiscard]] std::optional<Addr> lookup(std::uint8_t process,
                                            Addr vaddr) const;
+
+  /// True exactly once after a translate() that migrated a page (cleared by
+  /// the call). The System turns it into the configured migration stall.
+  [[nodiscard]] bool consume_migration() {
+    const bool m = migration_pending_;
+    migration_pending_ = false;
+    return m;
+  }
 
   /// Number of frames currently allocated.
   [[nodiscard]] std::uint64_t allocated() const { return next_free_; }
   [[nodiscard]] std::uint64_t capacity() const { return frames_.size(); }
+  [[nodiscard]] std::uint64_t pages_migrated() const {
+    return pages_migrated_;
+  }
+  [[nodiscard]] std::uint64_t spares_used() const { return spare_next_; }
 
   /// The shuffled frame pool is rebuilt from the seed by the constructor,
-  /// so a snapshot only carries the allocation cursor and the mappings
-  /// (saved in sorted key order for deterministic snapshot bytes).
+  /// so a snapshot only carries the allocation cursor, the mappings (saved
+  /// in sorted key order for deterministic snapshot bytes), and the sparing
+  /// cursors. The dead-frame predicate is reinstalled by the owner.
   void checkpoint_save(BinWriter& w) const {
     w.tag("PGTB");
     w.u64(next_free_);
+    w.u64(spare_next_);
+    w.u64(pages_migrated_);
     std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(
         map_.begin(), map_.end());
     std::sort(entries.begin(), entries.end());
@@ -63,6 +101,9 @@ class PageTable {
   void checkpoint_load(BinReader& r) {
     r.tag("PGTB");
     next_free_ = r.u64();
+    spare_next_ = r.u64();
+    pages_migrated_ = r.u64();
+    migration_pending_ = false;
     map_.clear();
     const std::uint64_t n = r.u64();
     map_.reserve(n);
@@ -73,10 +114,24 @@ class PageTable {
   }
 
  private:
+  /// Physical frame number of the k-th spare (top of the pool/capacity).
+  [[nodiscard]] std::uint64_t spare_pfn(std::uint64_t k) const;
+  /// Next live spare frame, or nullopt when the pool ran dry (dead spares
+  /// are consumed and skipped deterministically).
+  std::optional<std::uint64_t> take_spare();
+
   std::vector<std::uint64_t> frames_;  ///< shuffled physical frame numbers
+  std::uint64_t phys_pages_ = 0;       ///< capacity (identity has no pool)
   std::uint64_t next_free_ = 0;
   bool identity_ = false;              ///< vaddr == paddr passthrough
   std::unordered_map<std::uint64_t, std::uint64_t> map_;  ///< (proc,vpn)->pfn
+
+  bool sparing_ = false;
+  std::uint64_t spare_pages_ = 0;
+  std::uint64_t spare_next_ = 0;       ///< spares consumed (incl. dead ones)
+  std::uint64_t pages_migrated_ = 0;
+  bool migration_pending_ = false;
+  std::function<bool(std::uint64_t)> dead_frame_;
 };
 
 }  // namespace pacsim

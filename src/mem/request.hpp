@@ -61,6 +61,11 @@ struct DeviceResponse {
   std::uint64_t request_id = 0;
   Cycle completed_at = 0;
   std::vector<std::uint64_t> raw_ids;
+  /// Under failpolicy=contain, an undeliverable request (retry exhaustion,
+  /// dead vault/cube, unreachable destination) completes as a structured
+  /// per-request failure instead of wedging the run: the raws it carried
+  /// are declared lost and counted, not silently retired.
+  bool poisoned = false;
 };
 
 /// Link-level negative acknowledgement: the device detected a CRC error on

@@ -1,6 +1,8 @@
 #include "noc/multi_cube_backend.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -32,7 +34,14 @@ MultiCubeBackend::MultiCubeBackend(
   stats_.cubes = cfg_.cubes;
   stats_.topology = std::string(to_string(cfg_.topology));
   stats_.cube_requests.assign(cfg_.cubes, 0);
-  build_topology();
+  hard_ = fault_ != nullptr && fault_->hard_active() && !passthrough_;
+  reachable_.assign(cfg_.cubes, true);
+  if (hard_) {
+    build_adjacency();
+    recompute_routes(/*count=*/false);
+  } else {
+    build_topology();
+  }
 }
 
 std::uint32_t MultiCubeBackend::link_between(std::uint32_t from,
@@ -41,7 +50,92 @@ std::uint32_t MultiCubeBackend::link_between(std::uint32_t from,
   // them the stats/report layout) are a pure function of the config.
   links_.emplace_back("c" + std::to_string(from) + "->" + std::to_string(to),
                       cfg_.link_bytes_per_cycle);
+  link_ends_.emplace_back(from, to);
   return static_cast<std::uint32_t>(links_.size() - 1);
+}
+
+void MultiCubeBackend::build_adjacency() {
+  // Full physical link set of the topology, both directions per edge, in a
+  // deterministic enumeration order (link indices stay a pure function of
+  // the config). The legacy lazy build only creates links the initial
+  // routes touch; route-around needs every neighbor edge available.
+  const std::uint32_t n = cfg_.cubes;
+  adjacency_.assign(n, {});
+  auto add_edge = [&](std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t fwd = link_between(a, b);
+    const std::uint32_t rev = link_between(b, a);
+    adjacency_[a].emplace_back(b, fwd);
+    adjacency_[b].emplace_back(a, rev);
+  };
+  if (cfg_.topology == Topology::kChain) {
+    for (std::uint32_t c = 0; c + 1 < n; ++c) add_edge(c, c + 1);
+  } else {
+    const auto w = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if ((c + 1) % w != 0 && c + 1 < n) add_edge(c, c + 1);
+      if (c + w < n) add_edge(c, c + w);
+    }
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+void MultiCubeBackend::recompute_routes(bool count) {
+  const std::uint32_t n = cfg_.cubes;
+  const auto kNoParent = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> parent(n, kNoParent);
+  std::vector<std::uint32_t> parent_link(n, 0);  // link parent -> node
+  std::deque<std::uint32_t> frontier;
+  parent[0] = 0;
+  frontier.push_back(0);
+  // BFS with ascending-neighbor expansion: shortest alive routes with a
+  // deterministic tie-break, so every run (serial, threaded, restored)
+  // derives identical paths from identical fault state.
+  while (!frontier.empty()) {
+    const std::uint32_t c = frontier.front();
+    frontier.pop_front();
+    for (const auto& [nbr, link] : adjacency_[c]) {
+      if (parent[nbr] != kNoParent) continue;
+      if (fault_->link_dead(c, nbr)) continue;
+      parent[nbr] = c;
+      parent_link[nbr] = link;
+      frontier.push_back(nbr);
+    }
+  }
+  req_path_.assign(n, {});
+  rsp_path_.assign(n, {});
+  std::vector<std::uint32_t> unreachable;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    reachable_[c] = parent[c] != kNoParent;
+    if (!reachable_[c]) {
+      unreachable.push_back(c);
+      continue;
+    }
+    if (c == 0) continue;
+    // Walk the parent chain home, collecting forward links (reversed into
+    // host->cube order) and the reverse-direction link of each hop.
+    std::vector<std::uint32_t> fwd;
+    std::vector<std::uint32_t> rev;
+    for (std::uint32_t node = c; node != 0; node = parent[node]) {
+      fwd.push_back(parent_link[node]);
+      for (const auto& [nbr, link] : adjacency_[node]) {
+        if (nbr == parent[node]) {
+          rev.push_back(link);
+          break;
+        }
+      }
+    }
+    req_path_[c].assign(fwd.rbegin(), fwd.rend());
+    rsp_path_[c] = std::move(rev);
+  }
+  fault_->set_unreachable(std::move(unreachable));
+  if (count) ++stats_.route_recomputes;
+}
+
+void MultiCubeBackend::on_fault_state_changed(Cycle now) {
+  (void)now;
+  if (!hard_) return;
+  recompute_routes(/*count=*/true);
 }
 
 void MultiCubeBackend::build_topology() {
@@ -113,6 +207,26 @@ void MultiCubeBackend::submit(DeviceRequest req, Cycle now) {
   ++stats_.cube_requests[cube];
   if (passthrough_) {
     children_[0]->submit(std::move(req), now);
+    return;
+  }
+
+  if (hard_ && !reachable_[cube]) {
+    // Belt-and-braces: the DevicePort intercepts dead destinations before
+    // they reach the fabric. A request that arrives anyway must not route
+    // over an empty (stale) path into the void: complete it poisoned
+    // (contain) or abort, same contract as the port.
+    if (fault_->config().fail_policy != FailPolicy::kContain) {
+      throw std::runtime_error(
+          "MultiCubeBackend: request " + std::to_string(req.id) +
+          " addressed to unreachable cube " + std::to_string(cube) +
+          " under failpolicy=abort");
+    }
+    DeviceResponse rsp;
+    rsp.request_id = req.id;
+    rsp.completed_at = now;
+    rsp.raw_ids = std::move(req.raw_ids);
+    rsp.poisoned = true;
+    completed_.push_back(std::move(rsp));
     return;
   }
 
@@ -210,6 +324,14 @@ void MultiCubeBackend::deliver_due(Cycle now) {
 
 void MultiCubeBackend::route_response(std::uint32_t cube, DeviceResponse rsp,
                                       Cycle now) {
+  if (hard_ && !reachable_[cube]) {
+    // The source cube lost every route home: the response cannot be
+    // delivered. Drop it; the requester-side port timeout recovers (and,
+    // seeing the destination unreachable, poisons under contain).
+    ++stats_.dropped_packets;
+    tracking_.erase(rsp.request_id);
+    return;
+  }
   const std::vector<std::uint32_t>& path = rsp_path_[cube];
   if (path.empty()) {
     tracking_.erase(rsp.request_id);
@@ -238,6 +360,11 @@ void MultiCubeBackend::route_response(std::uint32_t cube, DeviceResponse rsp,
 
 void MultiCubeBackend::route_nack(std::uint32_t cube, DeviceNack nack,
                                   Cycle now) {
+  if (hard_ && !reachable_[cube]) {
+    ++stats_.dropped_packets;
+    tracking_.erase(nack.request_id);
+    return;
+  }
   const std::vector<std::uint32_t>& path = rsp_path_[cube];
   if (path.empty()) {
     tracking_.erase(nack.request_id);
@@ -321,6 +448,19 @@ bool MultiCubeBackend::in_flight(std::uint64_t id) const {
   return true;
 }
 
+void MultiCubeBackend::forget(std::uint64_t id) {
+  if (passthrough_) {
+    children_[0]->forget(id);
+    return;
+  }
+  // Poisoning only happens once the request is physically gone (the child
+  // retired a dropped response internally, or a NACK already cleaned up),
+  // so at most a stale tracking entry remains; dropping it keeps idle()
+  // honest. No transit packet can exist for the id - in_flight() reports
+  // kReqTransit/kRspTransit phases as live, which blocks the poison paths.
+  tracking_.erase(id);
+}
+
 bool MultiCubeBackend::idle() const {
   // Must match checkpoint_save's quiescence precondition exactly: packets in
   // flight, undelivered arrivals, or tracked requests all mean "not idle".
@@ -382,6 +522,8 @@ void MultiCubeBackend::checkpoint_save(BinWriter& w) const {
   w.u64(stats_.nack_packets);
   w.u64(stats_.link_crc_nacks);
   w.u64(stats_.ingress_retries);
+  w.u64(stats_.route_recomputes);
+  w.u64(stats_.dropped_packets);
   for (const std::uint64_t n : stats_.cube_requests) w.u64(n);
   w.u32(static_cast<std::uint32_t>(links_.size()));
   for (const NocLink& link : links_) link.checkpoint_save(w);
@@ -399,18 +541,30 @@ void MultiCubeBackend::checkpoint_load(BinReader& r) {
   stats_.nack_packets = r.u64();
   stats_.link_crc_nacks = r.u64();
   stats_.ingress_retries = r.u64();
+  stats_.route_recomputes = r.u64();
+  stats_.dropped_packets = r.u64();
   for (std::uint64_t& n : stats_.cube_requests) n = r.u64();
   if (r.u32() != links_.size()) {
     throw SnapshotError("multi-cube link count mismatch");
   }
   for (NocLink& link : links_) link.checkpoint_load(r);
   for (auto& child : children_) child->checkpoint_load(r);
+  // Derive routes/reachability from the restored injector state (the FLTI
+  // section loads before NOCB): the same fault set always yields the same
+  // BFS, so a restored run continues on identical paths.
+  if (hard_) recompute_routes(/*count=*/false);
 }
 
 NocStats MultiCubeBackend::noc_stats() const {
   NocStats out = stats_;
   out.links.reserve(links_.size());
-  for (const NocLink& link : links_) out.links.push_back(link.stats());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkStats ls = links_[i].stats();
+    if (hard_) {
+      ls.up = !fault_->link_dead(link_ends_[i].first, link_ends_[i].second);
+    }
+    out.links.push_back(std::move(ls));
+  }
   return out;
 }
 

@@ -20,6 +20,20 @@
 // retry machinery recovers it exactly like an intra-cube CRC error. Child
 // NACKs and responses are likewise routed home over the fabric with their
 // full link delay.
+//
+// Hard failures: when the injector carries a scheduled fault timeline, the
+// fabric builds the topology's full physical adjacency (every neighbor
+// link, both directions) instead of the lazy route-only link set, and
+// recomputes routes with a deterministic BFS from the host corner whenever
+// a scheduled link event fires. A mesh routes around a non-cut link loss;
+// a chain (no redundancy) reports the cubes beyond the cut unreachable.
+// The unreachable set is pushed into the FaultInjector, where the
+// DevicePort's dead-destination check turns new submissions into poisoned
+// completions (failpolicy=contain) instead of wedging. In-transit packets
+// keep their already-charged delivery times; a response whose source cube
+// lost every route home is dropped (dropped_packets) and recovered by the
+// port's response timeout. Configs without a timeline build the legacy
+// link set, so their routes, stats layout and reports stay bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +41,7 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/memory_backend.hpp"
@@ -57,6 +72,7 @@ class MultiCubeBackend final : public MemoryBackend {
   void drain_completed_into(std::vector<DeviceResponse>& out) override;
   void drain_nacks_into(std::vector<DeviceNack>& out) override;
   [[nodiscard]] bool in_flight(std::uint64_t id) const override;
+  void forget(std::uint64_t id) override;
   [[nodiscard]] bool idle() const override;
   [[nodiscard]] std::uint32_t outstanding() const override;
   [[nodiscard]] const BackendStats& stats() const override;
@@ -73,6 +89,15 @@ class MultiCubeBackend final : public MemoryBackend {
   }
   [[nodiscard]] const MemoryBackend& cube(std::uint32_t c) const {
     return *children_[c];
+  }
+
+  /// Called by the System when scheduled fault events fired: recompute
+  /// routes around dead links and refresh the injector's unreachable set.
+  /// No-op unless the config carries a hard-failure timeline.
+  void on_fault_state_changed(Cycle now);
+  /// True when cube `c` currently has a route from the host.
+  [[nodiscard]] bool cube_reachable(std::uint32_t c) const {
+    return !hard_ || reachable_[c];
   }
 
  private:
@@ -104,6 +129,12 @@ class MultiCubeBackend final : public MemoryBackend {
   };
 
   void build_topology();
+  /// Hard-failure mode: full physical adjacency + BFS routes (all links up).
+  void build_adjacency();
+  /// Deterministic BFS from cube 0 over currently-alive links; fills
+  /// req_path_/rsp_path_/reachable_ and pushes the unreachable set into the
+  /// injector. `count` increments stats_.route_recomputes.
+  void recompute_routes(bool count);
   std::uint32_t link_between(std::uint32_t from, std::uint32_t to);
   void push_transit(Transit ev);
   void deliver_due(Cycle now);
@@ -115,8 +146,15 @@ class MultiCubeBackend final : public MemoryBackend {
   std::vector<std::unique_ptr<MemoryBackend>> children_;
   FaultInjector* fault_;
   bool passthrough_;  ///< cubes == 1: pure delegation, no fabric events
+  bool hard_ = false; ///< hard-failure timeline configured: BFS routing
 
   std::vector<NocLink> links_;
+  /// Directed endpoints of links_[i] (for liveness + reverse lookup).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> link_ends_;
+  /// Hard mode: per-cube sorted (neighbor, out-link index) adjacency.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      adjacency_;
+  std::vector<bool> reachable_;  ///< hard mode: route-from-host exists
   /// Link indices from the host (cube 0) to each cube, in traversal order.
   std::vector<std::vector<std::uint32_t>> req_path_;
   /// Link indices from each cube back to the host, in traversal order.

@@ -21,6 +21,9 @@ struct LinkStats {
   std::uint64_t busy_cycles = 0;     ///< cycles the link was serializing
   std::uint64_t queued_packets = 0;  ///< packets that waited for the link
   Cycle max_queue_delay = 0;         ///< worst wait, cycles
+  /// Liveness snapshot at report time (false once a scheduled link-down
+  /// fired without a matching link-up). Derived, not checkpointed.
+  bool up = true;
   /// Wait-for-link cycles per packet, log2-bucketed (bucket b covers
   /// [2^(b-1), 2^b); bucket 0 is zero wait). total() == packets.
   Histogram queue_delay;
@@ -33,6 +36,7 @@ struct LinkStats {
     queued_packets += o.queued_packets;
     max_queue_delay = std::max(max_queue_delay, o.max_queue_delay);
     queue_delay.merge(o.queue_delay);
+    up = up && o.up;
   }
 
   void checkpoint_save(BinWriter& w) const {
@@ -66,6 +70,11 @@ struct NocStats {
   /// Deliveries deferred because the destination cube was full (each retry
   /// re-attempts next cycle).
   std::uint64_t ingress_retries = 0;
+  /// Route-around recomputes triggered by scheduled link events.
+  std::uint64_t route_recomputes = 0;
+  /// Responses/NACKs dropped because their source cube lost every route
+  /// home (the DevicePort timeout recovers or poisons the request).
+  std::uint64_t dropped_packets = 0;
   std::vector<std::uint64_t> cube_requests;  ///< submissions per target cube
   std::vector<LinkStats> links;
 
@@ -77,6 +86,8 @@ struct NocStats {
     nack_packets += o.nack_packets;
     link_crc_nacks += o.link_crc_nacks;
     ingress_retries += o.ingress_retries;
+    route_recomputes += o.route_recomputes;
+    dropped_packets += o.dropped_packets;
     if (cube_requests.size() < o.cube_requests.size()) {
       cube_requests.resize(o.cube_requests.size(), 0);
     }

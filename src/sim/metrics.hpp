@@ -1,6 +1,7 @@
 // Results of one full-system run and the derived evaluation metrics.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -34,6 +35,58 @@ struct ResilienceStats {
                                              retry.retransmitted_bytes);
     return total > 0.0 ? static_cast<double>(issued_payload_bytes) / total
                        : 1.0;
+  }
+};
+
+/// Graceful-degradation outcome of a hard-failure timeline: integer-exact
+/// capacity-availability integration, repair (MTTR) accounting, and the
+/// sparing-based page-remap tallies. Only populated (enabled=true) when the
+/// run carried a scheduled fault timeline.
+struct DegradationStats {
+  bool enabled = false;
+  std::uint64_t events_fired = 0;  ///< scheduled events applied
+  /// Capacity integral: one unit is one vault. `unit_cycles_total` is
+  /// capacity_units x integrated cycles; `unit_cycles_lost` accumulates
+  /// dead/unreachable units over the cycles they were out. Both are exact
+  /// integers, so availability is bit-stable across FF/threaded runs.
+  std::uint64_t capacity_units = 0;
+  std::uint64_t unit_cycles_total = 0;
+  std::uint64_t unit_cycles_lost = 0;
+  std::uint64_t repairs = 0;              ///< link-up events on a dead link
+  std::uint64_t repair_cycles_total = 0;  ///< summed down-time of repairs
+  std::uint64_t pages_migrated = 0;       ///< sparing remaps performed
+  std::uint64_t spares_used = 0;          ///< spare frames consumed
+  std::uint64_t poisoned_raws = 0;        ///< raw requests declared lost
+  /// Cycle the first scheduled event fired (kNeverCycle: none fired).
+  Cycle first_failure_cycle = kNeverCycle;
+
+  /// Fraction of vault-cycles that were available: 1.0 for a clean run.
+  [[nodiscard]] double availability() const {
+    return unit_cycles_total > 0
+               ? 1.0 - static_cast<double>(unit_cycles_lost) /
+                           static_cast<double>(unit_cycles_total)
+               : 1.0;
+  }
+  /// Mean cycles from link-down to the matching link-up, over repairs.
+  [[nodiscard]] double mttr_cycles() const {
+    return repairs > 0 ? static_cast<double>(repair_cycles_total) /
+                             static_cast<double>(repairs)
+                       : 0.0;
+  }
+
+  /// Fold a shard's accounting in (integrals and tallies all sum).
+  void merge(const DegradationStats& o) {
+    enabled = enabled || o.enabled;
+    events_fired += o.events_fired;
+    capacity_units += o.capacity_units;
+    unit_cycles_total += o.unit_cycles_total;
+    unit_cycles_lost += o.unit_cycles_lost;
+    repairs += o.repairs;
+    repair_cycles_total += o.repair_cycles_total;
+    pages_migrated += o.pages_migrated;
+    spares_used += o.spares_used;
+    poisoned_raws += o.poisoned_raws;
+    first_failure_cycle = std::min(first_failure_cycle, o.first_failure_cycle);
   }
 };
 
@@ -96,6 +149,9 @@ struct RunResult {
   NocStats noc;
   bool has_noc = false;
   ResilienceStats resilience;
+  /// Hard-failure availability/MTTR/sparing accounting (schema v9
+  /// "degradation" block, omitted when no timeline was configured).
+  DegradationStats degradation;
   /// Verifier counters (enabled=false on verify=off runs, block omitted in
   /// JSON). violations is always 0 here: a violating run throws instead of
   /// returning a RunResult.

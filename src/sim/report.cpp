@@ -166,6 +166,8 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
     out << "    \"nack_packets\": " << n.nack_packets << ",\n";
     out << "    \"link_crc_nacks\": " << n.link_crc_nacks << ",\n";
     out << "    \"ingress_retries\": " << n.ingress_retries << ",\n";
+    out << "    \"route_recomputes\": " << n.route_recomputes << ",\n";
+    out << "    \"dropped_packets\": " << n.dropped_packets << ",\n";
     out << "    \"cube_requests\": [";
     for (std::size_t c = 0; c < n.cube_requests.size(); ++c) {
       out << (c == 0 ? "" : ", ") << n.cube_requests[c];
@@ -185,6 +187,7 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
           << ", \"occupancy\": " << num(occupancy)
           << ", \"queued_packets\": " << l.queued_packets
           << ", \"max_queue_delay\": " << l.max_queue_delay
+          << ", \"up\": " << (l.up ? "true" : "false")
           << ", \"queue_delay_histogram\": " << hist_json(l.queue_delay)
           << "}";
     }
@@ -229,6 +232,7 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
     out << "    \"responded_raws\": " << v.responded_raws << ",\n";
     out << "    \"retired\": " << v.retired << ",\n";
     out << "    \"fences\": " << v.fences << ",\n";
+    out << "    \"poisoned\": " << v.poisoned << ",\n";
     out << "    \"nacks\": " << v.nacks << ",\n";
     out << "    \"retransmissions\": " << v.retransmissions << ",\n";
     out << "    \"violations\": " << v.violations << "\n";
@@ -247,11 +251,35 @@ std::string run_report_json(const std::string& label, CoalescerKind kind,
     out << "    \"spurious_timeouts\": " << rt.spurious_timeouts << ",\n";
     out << "    \"max_retry_depth\": " << rt.max_retry_depth << ",\n";
     out << "    \"retransmitted_bytes\": " << rt.retransmitted_bytes << ",\n";
+    out << "    \"poisoned_completions\": " << rt.poisoned_completions
+        << ",\n";
     out << "    \"effective_payload_fraction\": "
         << num(r.resilience.effective_payload_fraction(
                r.coal.issued_payload_bytes))
         << "\n";
     out << "  }";
+  }
+  if (r.degradation.enabled) {
+    const DegradationStats& d = r.degradation;
+    out << ",\n  \"degradation\": {\n";
+    out << "    \"events_fired\": " << d.events_fired << ",\n";
+    out << "    \"capacity_units\": " << d.capacity_units << ",\n";
+    out << "    \"unit_cycles_total\": " << d.unit_cycles_total << ",\n";
+    out << "    \"unit_cycles_lost\": " << d.unit_cycles_lost << ",\n";
+    out << "    \"availability\": " << num(d.availability()) << ",\n";
+    out << "    \"repairs\": " << d.repairs << ",\n";
+    out << "    \"repair_cycles_total\": " << d.repair_cycles_total << ",\n";
+    out << "    \"mttr_cycles\": " << num(d.mttr_cycles()) << ",\n";
+    out << "    \"pages_migrated\": " << d.pages_migrated << ",\n";
+    out << "    \"spares_used\": " << d.spares_used << ",\n";
+    out << "    \"poisoned_raws\": " << d.poisoned_raws << ",\n";
+    out << "    \"first_failure_cycle\": ";
+    if (d.first_failure_cycle == kNeverCycle) {
+      out << "null";
+    } else {
+      out << d.first_failure_cycle;
+    }
+    out << "\n  }";
   }
   out << "\n}\n";
   return out.str();

@@ -13,7 +13,7 @@ namespace pacsim {
 
 /// Version stamped into every SweepReport envelope ("schema_version").
 /// Bump together with a new entry in the schema history below.
-inline constexpr int kJsonSchemaVersion = 8;
+inline constexpr int kJsonSchemaVersion = 9;
 
 /// JSON object describing one run. `label` names the run (suite +
 /// coalescer); pretty-printed with two-space indentation. Serializes the
@@ -32,12 +32,20 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 8,
+///   { "bench": "<name>", "schema_version": 9,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v8 added the per-run "interconnect" block on multi-cube
+/// Schema history: v9 added the per-run "degradation" block on runs with a
+/// scheduled hard-failure timeline ({"events_fired", "capacity_units",
+/// "unit_cycles_total", "unit_cycles_lost", "availability", "repairs",
+/// "mttr_cycles", "pages_migrated", "spares_used", "poisoned_raws",
+/// "first_failure_cycle" or null when no event fired}), the
+/// "poisoned_completions" counter in "resilience", the "poisoned" counter
+/// in "verification", and "route_recomputes"/"dropped_packets" plus the
+/// per-link "up" liveness flag in "interconnect"; v8 added the per-run
+/// "interconnect" block on multi-cube
 /// runs ({"cubes", "topology", "req_packets", "rsp_packets",
 /// "nack_packets", "link_crc_nacks", "ingress_retries", "cube_requests"
 /// per-cube submission counts, and a "links" array whose elements carry

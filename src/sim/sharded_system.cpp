@@ -66,6 +66,7 @@ void merge(ResilienceStats& a, const ResilienceStats& b) {
   a.retry.retransmitted_bytes += b.retry.retransmitted_bytes;
   a.retry.max_retry_depth =
       std::max(a.retry.max_retry_depth, b.retry.max_retry_depth);
+  a.retry.poisoned_completions += b.retry.poisoned_completions;
 }
 
 void merge(VerifyStats& a, const VerifyStats& b) {
@@ -81,6 +82,7 @@ void merge(VerifyStats& a, const VerifyStats& b) {
   a.fences += b.fences;
   a.nacks += b.nacks;
   a.retransmissions += b.retransmissions;
+  a.poisoned += b.poisoned;
   a.violations += b.violations;
 }
 
@@ -326,6 +328,7 @@ RunResult ShardedSystem::merge_results() const {
     }
     merge(out.resilience, r.resilience);
     merge(out.verification, r.verification);
+    out.degradation.merge(r.degradation);
     for (std::size_t e = 0; e < out.energy.size(); ++e) {
       out.energy[e] += r.energy[e];
     }

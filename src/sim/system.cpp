@@ -61,7 +61,8 @@ System::System(const SystemConfig& cfg)
                     : nullptr),
       device_(make_device(cfg, &power_, fault_.get())),
       port_(std::make_unique<DevicePort>(device_.get(), cfg.retry,
-                                         /*tracking=*/fault_ != nullptr)),
+                                         /*tracking=*/fault_ != nullptr,
+                                         fault_.get())),
       l2_(cfg.l2),
       prefetcher_(cfg.num_cores, cfg.prefetch),
       page_table_(cfg.phys_pages, cfg.page_table_seed, cfg.identity_paging),
@@ -102,6 +103,18 @@ System::System(const SystemConfig& cfg)
     }
   }
 
+  hard_failures_ = fault_ != nullptr && cfg.fault.hard_enabled();
+  if (hard_failures_) {
+    capacity_units_ =
+        (cfg.noc.active() ? cfg.noc.cubes : 1) *
+        device_->address_map().num_vaults();
+    if (cfg.fault.spare_pages > 0) {
+      page_table_.enable_sparing(
+          cfg.fault.spare_pages,
+          [this](std::uint64_t pfn) { return frame_dead(pfn); });
+    }
+  }
+
   if (verifier_ != nullptr) {
     coalescer_->set_verifier(verifier_.get());
     port_->set_verifier(verifier_.get());
@@ -109,6 +122,55 @@ System::System(const SystemConfig& cfg)
     verifier_->set_state_provider(
         [this] { return verifier_components_json(); });
   }
+}
+
+bool System::frame_dead(std::uint64_t pfn) const {
+  if (fault_ == nullptr || !fault_->any_dead()) return false;
+  const AddressMap& map = device_->address_map();
+  const Addr base = pfn << kPageShift;
+  const std::uint32_t cube = map.cube_of(base);
+  if (fault_->cube_dead(cube) || fault_->cube_unreachable(cube)) return true;
+  if (fault_->dead_vaults().empty()) return false;
+  // Vault interleaving scatters a 4 KB page across vaults at row
+  // granularity; probe every cache block so any dead-vault overlap counts.
+  for (Addr a = base; a < base + kPageSize; a += kCacheBlockSize) {
+    if (fault_->vault_dead(cube, map.decode(a).vault)) return true;
+  }
+  return false;
+}
+
+void System::integrate_degradation(Cycle now) {
+  degrade_lost_units_ +=
+      static_cast<std::uint64_t>(dead_units_now_) * (now - degrade_last_cycle_);
+  degrade_last_cycle_ = now;
+}
+
+void System::refresh_dead_units() {
+  const std::uint32_t vaults = device_->address_map().num_vaults();
+  const std::uint32_t cubes = cfg_.noc.active() ? cfg_.noc.cubes : 1;
+  std::uint32_t dead = 0;
+  for (std::uint32_t c = 0; c < cubes; ++c) {
+    if (fault_->cube_dead(c) || fault_->cube_unreachable(c)) {
+      dead += vaults;
+      continue;
+    }
+    for (std::uint32_t v = 0; v < vaults; ++v) {
+      if (fault_->vault_dead(c, v)) ++dead;
+    }
+  }
+  dead_units_now_ = dead;
+}
+
+void System::apply_fault_events() {
+  // Commit the availability integral with the pre-event dead-unit count,
+  // then apply the events and re-derive routes and capacity from the new
+  // state. poll() fires exactly at the scheduled cycle because
+  // next_event_cycle() clamps fast-forward jumps to the timeline.
+  integrate_degradation(now_);
+  fault_->poll(now_);
+  if (noc_ != nullptr) noc_->on_fault_state_changed(now_);
+  refresh_dead_units();
+  if (first_failure_cycle_ == kNeverCycle) first_failure_cycle_ = now_;
 }
 
 void System::load_trace(std::uint32_t core, Trace trace, std::uint8_t process) {
@@ -214,6 +276,12 @@ void System::step_core(std::uint32_t i) {
         return;
       }
       const Addr paddr = page_table_.translate(c.process, op.vaddr);
+      if (page_table_.consume_migration()) {
+        // Sparing remap: charge the migration latency and retry the access
+        // (the mapping now points at the spare frame).
+        c.ready_at = now_ + cfg_.fault.page_migrate_cycles;
+        return;
+      }
       MemRequest req = make_raw(paddr, MemOp::kAtomic,
                                 static_cast<std::uint8_t>(i), op.arg);
       inflight_misses_.emplace(
@@ -231,6 +299,10 @@ void System::step_core(std::uint32_t i) {
     case OpKind::kStore: {
       const bool is_store = op.kind == OpKind::kStore;
       const Addr paddr = page_table_.translate(c.process, op.vaddr);
+      if (page_table_.consume_migration()) {
+        c.ready_at = now_ + cfg_.fault.page_migrate_cycles;
+        return;
+      }
       const Addr block = block_base(paddr);
 
       if (l1_[i].probe(block)) {
@@ -375,7 +447,15 @@ void System::record_raw_trace(const MemRequest& req) {
 }
 
 void System::on_satisfied(std::uint64_t raw_id) {
-  if (verifier_ != nullptr) verifier_->on_retired(raw_id, now_);
+  // Raws named by a poisoned completion are declared losses, not
+  // retirements; raws merged into the same device request after its submit
+  // snapshot retire normally (each raw resolves exactly once either way).
+  if (!poisoned_raws_.empty() && poisoned_raws_.erase(raw_id) > 0) {
+    ++poisoned_raw_count_;
+    if (verifier_ != nullptr) verifier_->on_poisoned(raw_id, now_);
+  } else if (verifier_ != nullptr) {
+    verifier_->on_retired(raw_id, now_);
+  }
   auto it = inflight_misses_.find(raw_id);
   if (it == inflight_misses_.end()) return;  // write-backs are untracked
   if (it->second.demand_load) {
@@ -473,6 +553,12 @@ Cycle System::next_event_cycle() const {
   // jump attempts nearly free during bandwidth-bound phases.
   Cycle bound = device_->next_event_cycle(now_);
   if (bound == now_) return now_;
+  // Scheduled hard-failure events fire at exact cycles: clamp jumps so
+  // poll() runs on precisely the scheduled cycle.
+  if (hard_failures_) {
+    bound = std::min(bound, fault_->next_timeline_cycle(now_));
+    if (bound == now_) return now_;
+  }
   // Pending retry timers (NACK backoff, response deadlines) bound the jump
   // in fault-injected runs; passthrough reports kNeverCycle.
   bound = std::min(bound, port_->next_event_cycle(now_));
@@ -494,10 +580,16 @@ Cycle System::next_event_cycle() const {
 }
 
 void System::step() {
+  if (hard_failures_ && fault_->next_timeline_cycle(now_) <= now_) {
+    apply_fault_events();
+  }
   device_->tick(now_);
   port_->tick(now_);  // retries/timeouts; passthrough no-op without faults
   port_->drain_completed_into(completed_buf_);
   for (const DeviceResponse& rsp : completed_buf_) {
+    if (rsp.poisoned) {
+      for (const std::uint64_t raw : rsp.raw_ids) poisoned_raws_.insert(raw);
+    }
     if (verifier_ != nullptr) verifier_->on_response(rsp, now_);
     coalescer_->complete(rsp, now_);
   }
@@ -625,6 +717,24 @@ RunResult System::collect_result() const {
     r.resilience.fault = fault_->stats();
     r.resilience.retry = port_->stats();
   }
+  if (hard_failures_) {
+    DegradationStats& d = r.degradation;
+    d.enabled = true;
+    d.events_fired = fault_->timeline_fired();
+    d.capacity_units = capacity_units_;
+    d.unit_cycles_total = static_cast<std::uint64_t>(capacity_units_) * now_;
+    // Commit the open integration interval without mutating state (collect
+    // may run mid-campaign from a const context).
+    d.unit_cycles_lost =
+        degrade_lost_units_ + static_cast<std::uint64_t>(dead_units_now_) *
+                                  (now_ - degrade_last_cycle_);
+    d.repairs = fault_->repairs();
+    d.repair_cycles_total = fault_->repair_cycles_total();
+    d.pages_migrated = page_table_.pages_migrated();
+    d.spares_used = page_table_.spares_used();
+    d.poisoned_raws = poisoned_raw_count_;
+    d.first_failure_cycle = first_failure_cycle_;
+  }
   if (verifier_ != nullptr) r.verification = verifier_->stats_snapshot();
   for (std::size_t i = 0; i < r.energy.size(); ++i) {
     r.energy[i] = power_.energy(static_cast<HmcOp>(i));
@@ -654,6 +764,13 @@ void System::checkpoint_save(BinWriter& w) const {
   w.b(raw_trace_active_);
   w.u64(ff_jumps_);
   w.u64(ff_skipped_cycles_);
+  // Hard-failure accounting (zeros when no timeline is configured). The
+  // dead-unit count and poisoned_raws_ set are derived/transient: the
+  // former is recomputed after restore, the latter empty at quiescence.
+  w.u64(poisoned_raw_count_);
+  w.u64(degrade_last_cycle_);
+  w.u64(degrade_lost_units_);
+  w.u64(first_failure_cycle_);
   // Cores: everything except the trace contents (restored via load_trace).
   w.u64(cores_.size());
   for (const CoreState& c : cores_) {
@@ -689,6 +806,11 @@ void System::checkpoint_load(BinReader& r) {
   raw_trace_active_ = r.b();
   ff_jumps_ = r.u64();
   ff_skipped_cycles_ = r.u64();
+  poisoned_raw_count_ = r.u64();
+  degrade_last_cycle_ = r.u64();
+  degrade_lost_units_ = r.u64();
+  first_failure_cycle_ = r.u64();
+  poisoned_raws_.clear();
   if (r.u64() != cores_.size()) {
     throw SnapshotError("core count mismatch");
   }
@@ -721,6 +843,9 @@ void System::checkpoint_load(BinReader& r) {
   port_->checkpoint_load(r);
   device_->checkpoint_load(r);
   coalescer_->checkpoint_load(r);
+  // The injector replayed its timeline prefix and the fabric re-derived
+  // routes (pushing the unreachable set); recount capacity from that state.
+  if (hard_failures_) refresh_dead_units();
 }
 
 }  // namespace pacsim

@@ -105,6 +105,18 @@ class System {
   void step_core(std::uint32_t i);
   void feed_coalescer();
   void on_satisfied(std::uint64_t raw_id);
+  /// Fire due scheduled fault events: commit the availability integral with
+  /// the old dead-unit count, apply the events, recompute fabric routes,
+  /// and refresh the dead-unit count. Called from step() when due.
+  void apply_fault_events();
+  /// Recount currently-unavailable capacity units (vaults) from the
+  /// injector's dead/unreachable sets.
+  void refresh_dead_units();
+  /// Commit the availability integral up to `now` (exact integers).
+  void integrate_degradation(Cycle now);
+  /// True when physical frame `pfn` sits on dead/unreachable hardware
+  /// (sparing predicate; checks the frame's cube and every block's vault).
+  [[nodiscard]] bool frame_dead(std::uint64_t pfn) const;
   /// Install an L1 victim into the LLC (full line present, no memory fetch).
   void l2_install_dirty(Addr block);
   void issue_prefetches(std::uint32_t core, Addr block);
@@ -163,6 +175,20 @@ class System {
   /// vectors each cycle, so the steady-state hot loop allocates nothing.
   std::vector<DeviceResponse> completed_buf_;
   std::vector<std::uint64_t> satisfied_buf_;
+
+  /// Raw ids named by a poisoned completion this cycle: on_satisfied routes
+  /// them to Verifier::on_poisoned (declared losses) instead of on_retired.
+  /// Drained within the same step, so empty at every quiescent point.
+  std::unordered_set<std::uint64_t> poisoned_raws_;
+  std::uint64_t poisoned_raw_count_ = 0;
+
+  // Hard-failure degradation accounting (active iff cfg_.fault.hard_enabled).
+  bool hard_failures_ = false;
+  std::uint32_t capacity_units_ = 0;   ///< cubes x vaults (config-derived)
+  std::uint32_t dead_units_now_ = 0;   ///< derived from the injector state
+  Cycle degrade_last_cycle_ = 0;       ///< last integral commit point
+  std::uint64_t degrade_lost_units_ = 0;  ///< committed unit-cycles lost
+  Cycle first_failure_cycle_ = kNeverCycle;
 
   Cycle now_ = 0;
   std::uint64_t next_raw_id_ = 1;

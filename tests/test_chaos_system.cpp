@@ -1,0 +1,259 @@
+// System-level chaos coverage: scheduled hard-failure timelines driven
+// through full simulations. Fast-forward and threaded-shard differentials
+// prove the timeline fires at identical cycles in every execution mode,
+// mid-campaign checkpoints restore to byte-identical final reports,
+// verify=full stays clean under contained failures (poisoned raws close
+// the conservation ledger), mesh route-around keeps availability at 1.0,
+// and the degradation integral is integer-exact against the event algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "noc/traffic_gen.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+
+namespace pacsim {
+namespace {
+
+// Same rationale as the multi-cube suite: force a thread budget so the
+// threads=2 cells exercise real fork-join workers on single-CPU hosts.
+const int g_forced_thread_budget = [] {
+  ::setenv("PACSIM_HW_THREADS", "8", /*overwrite=*/0);
+  return 0;
+}();
+
+constexpr std::uint32_t kCubes = 4;
+
+std::vector<Trace> chaos_traces(std::uint32_t cores, std::uint32_t ops,
+                                std::uint32_t gap_max = 8) {
+  TrafficConfig t;
+  t.cubes = kCubes;
+  t.zipf = 0.6;  // skewed but not degenerate: every cube sees traffic
+  t.num_cores = cores;
+  t.ops_per_core = ops;
+  t.gap_max_cycles = gap_max;
+  return generate_traffic(t);
+}
+
+SystemConfig chaos_config(Topology topo, std::vector<FaultEvent> timeline) {
+  SystemConfig cfg;
+  cfg.coalescer = CoalescerKind::kPac;
+  cfg.backend = BackendKind::kHmc;
+  cfg.num_cores = 4;
+  cfg.identity_paging = true;  // cube bits must survive translation
+  cfg.max_cycles = 50'000'000;
+  cfg.noc.cubes = kCubes;
+  cfg.noc.topology = topo;
+  cfg.fault.fail_policy = FailPolicy::kContain;
+  cfg.fault.timeline = std::move(timeline);
+  cfg.verify.level = VerifyLevel::kCounters;
+  return cfg;
+}
+
+std::vector<std::string> snapshots_in(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".pacsnap") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    // ckpt-<cycle>.pacsnap: numeric cycle order, not lexicographic.
+    auto cycle = [](const std::string& p) {
+      const auto base = std::filesystem::path(p).stem().string();
+      return std::stoull(base.substr(base.find('-') + 1));
+    };
+    return cycle(a) < cycle(b);
+  });
+  return out;
+}
+
+std::string report_of(const SystemConfig& cfg, const RunResult& r) {
+  return run_report_json("chaos", cfg.coalescer, r,
+                         /*include_throughput=*/false);
+}
+
+/// A campaign that exercises every event kind: a link flaps (down at 2000,
+/// repaired at 6000) and a corner cube dies for good at 9000.
+std::vector<FaultEvent> mixed_campaign() {
+  return {
+      {2000, FaultEventKind::kLinkDown, 0, 1},
+      {6000, FaultEventKind::kLinkUp, 0, 1},
+      {9000, FaultEventKind::kCubeDown, kCubes - 1, 0},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Determinism differentials with the timeline active.
+// ---------------------------------------------------------------------------
+
+// Event-horizon fast-forwarding must fire scheduled events at the exact
+// same cycles as the naive per-cycle loop: the injector's
+// next_timeline_cycle() bound clamps every jump. Byte-equality of the full
+// report covers the availability integral, MTTR, per-link state, and the
+// poisoned-raw ledger.
+TEST(ChaosSystem, FastForwardMatchesNaiveUnderFaultTimeline) {
+  for (const Topology topo : {Topology::kChain, Topology::kMesh}) {
+    SCOPED_TRACE(std::string("topology ") + std::string(to_string(topo)));
+    SystemConfig cfg = chaos_config(topo, mixed_campaign());
+    const std::vector<Trace> traces = chaos_traces(cfg.num_cores, 800);
+
+    cfg.enable_fast_forward = false;
+    const RunResult naive = simulate(cfg, traces);
+    cfg.enable_fast_forward = true;
+    const RunResult ff = simulate(cfg, traces);
+
+    EXPECT_EQ(report_of(cfg, ff), report_of(cfg, naive));
+    ASSERT_TRUE(ff.degradation.enabled);
+    EXPECT_EQ(ff.degradation.events_fired, 3u);
+    EXPECT_EQ(ff.degradation.first_failure_cycle, 2000u);
+    EXPECT_EQ(ff.degradation.repairs, 1u);
+    EXPECT_EQ(ff.degradation.repair_cycles_total, 4000u);
+    EXPECT_GT(ff.degradation.poisoned_raws, 0u)
+        << "the dead cube's traffic must resolve as contained losses";
+  }
+}
+
+// The epoch-barrier threaded scheduler must observe the same timeline:
+// every shard's injector fires the same events in its own clock, and the
+// merged report is invariant to the worker-thread count.
+TEST(ChaosSystem, ShardedRunIsThreadInvariant) {
+  SystemConfig cfg = chaos_config(Topology::kMesh, mixed_campaign());
+  cfg.exec.shards = 2;
+  cfg.exec.epoch_cycles = 2048;
+  const std::vector<Trace> traces = chaos_traces(cfg.num_cores, 800);
+
+  cfg.exec.threads = 2;
+  const RunResult threaded = simulate(cfg, traces);
+  cfg.exec.threads = 1;
+  const RunResult serial = simulate(cfg, traces);
+
+  EXPECT_EQ(report_of(cfg, threaded), report_of(cfg, serial));
+  ASSERT_TRUE(threaded.degradation.enabled);
+  // Each of the two shards fires the full 3-event campaign in its own
+  // clock; ratio metrics stay exact while event counts scale by shards.
+  EXPECT_EQ(threaded.degradation.events_fired, 6u);
+  EXPECT_EQ(threaded.degradation.repairs, 2u);
+  EXPECT_EQ(threaded.degradation.repair_cycles_total, 8000u);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-campaign checkpoint/restore.
+// ---------------------------------------------------------------------------
+
+// Snapshots land between (and after) scheduled events; restoring from the
+// middle of the campaign must replay the fired prefix from the FLTI record
+// and reproduce the final report byte-for-byte - availability integral,
+// link states, and poison ledger included.
+TEST(ChaosSystem, MidCampaignCheckpointRestoresByteIdentically) {
+  const auto dir_path =
+      std::filesystem::path(::testing::TempDir()) / "pacsim_chaos_ckpt";
+  std::filesystem::remove_all(dir_path);
+  const std::string dir = dir_path.string();
+
+  SystemConfig cfg = chaos_config(Topology::kMesh, mixed_campaign());
+  cfg.num_cores = 2;  // one core per shard: frequent quiescent boundaries
+  cfg.exec.shards = 2;
+  cfg.exec.threads = 2;
+  cfg.exec.epoch_cycles = 1024;
+  const std::vector<Trace> traces =
+      chaos_traces(cfg.num_cores, 600, /*gap_max=*/2500);
+
+  cfg.exec.checkpoint_dir = dir;
+  const RunResult full = simulate(cfg, traces);
+  const std::vector<std::string> snaps = snapshots_in(dir);
+  ASSERT_EQ(snaps.size(), full.exec.checkpoints_written);
+  ASSERT_GE(snaps.size(), 2u)
+      << "no mid-run quiescent epoch boundary - tune epoch_cycles/trace mix";
+  ASSERT_TRUE(full.degradation.enabled);
+  ASSERT_EQ(full.degradation.events_fired, 6u)
+      << "campaign must complete inside the run for the test to mean much";
+
+  SystemConfig rcfg = cfg;
+  rcfg.exec.checkpoint_dir.clear();
+  rcfg.exec.restore_path = snaps[snaps.size() / 2];
+  const RunResult resumed = simulate(rcfg, traces);
+
+  EXPECT_EQ(report_of(cfg, resumed), report_of(cfg, full));
+  EXPECT_EQ(resumed.cycles, full.cycles);
+  EXPECT_EQ(resumed.degradation.unit_cycles_lost,
+            full.degradation.unit_cycles_lost);
+  EXPECT_EQ(resumed.degradation.poisoned_raws,
+            full.degradation.poisoned_raws);
+  EXPECT_TRUE(resumed.exec.restored);
+}
+
+// ---------------------------------------------------------------------------
+// Contained failures under full verification.
+// ---------------------------------------------------------------------------
+
+// verify=full keeps the complete per-raw ledger; a contained cube-down run
+// must close conservation as issued == retired + fences + poisoned, with
+// the verifier's poisoned count agreeing with the degradation block's.
+TEST(ChaosSystem, FullVerifyClosesLedgerUnderContainedCubeDown) {
+  SystemConfig cfg = chaos_config(
+      Topology::kChain, {{3000, FaultEventKind::kCubeDown, kCubes - 1, 0}});
+  cfg.verify.level = VerifyLevel::kFull;
+  const std::vector<Trace> traces = chaos_traces(cfg.num_cores, 700);
+
+  const RunResult r = simulate(cfg, traces);  // throws on any violation
+  ASSERT_TRUE(r.verification.enabled);
+  EXPECT_GT(r.verification.poisoned, 0u);
+  EXPECT_EQ(r.verification.poisoned, r.degradation.poisoned_raws);
+  EXPECT_LT(r.degradation.availability(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Route-around and the degradation integral.
+// ---------------------------------------------------------------------------
+
+// Killing the redundant mesh edge (1-3 in the 2x2: cube 3 stays reachable
+// via 0->2->3) must trigger a route recompute and nothing else: no
+// unreachable shard, no poisoned traffic, availability exactly 1.0.
+TEST(ChaosSystem, MeshRouteAroundKeepsFullAvailability) {
+  SystemConfig cfg = chaos_config(
+      Topology::kMesh, {{2500, FaultEventKind::kLinkDown, 1, 3}});
+  const std::vector<Trace> traces = chaos_traces(cfg.num_cores, 700);
+
+  const RunResult r = simulate(cfg, traces);
+  ASSERT_TRUE(r.has_noc);
+  EXPECT_GE(r.noc.route_recomputes, 1u);
+  ASSERT_TRUE(r.degradation.enabled);
+  EXPECT_EQ(r.degradation.events_fired, 1u);
+  EXPECT_EQ(r.degradation.poisoned_raws, 0u);
+  EXPECT_EQ(r.degradation.unit_cycles_lost, 0u);
+  EXPECT_EQ(r.degradation.availability(), 1.0);
+  // The dead link itself must be reported down.
+  bool saw_dead_link = false;
+  for (const auto& link : r.noc.links) saw_dead_link |= !link.up;
+  EXPECT_TRUE(saw_dead_link);
+}
+
+// The availability integral is exact integer arithmetic: with one cube
+// (1/kCubes of the vault capacity) dead from cycle D to the end E, the
+// loss satisfies lost * capacity == dead_units * (total - capacity * D)
+// where total = capacity * E. Cross-multiplied form avoids any division.
+TEST(ChaosSystem, DegradationIntegralIsIntegerExact) {
+  constexpr Cycle kDown = 4000;
+  SystemConfig cfg = chaos_config(
+      Topology::kChain, {{kDown, FaultEventKind::kCubeDown, kCubes - 1, 0}});
+  const std::vector<Trace> traces = chaos_traces(cfg.num_cores, 700);
+
+  const RunResult r = simulate(cfg, traces);
+  const DegradationStats& d = r.degradation;
+  ASSERT_TRUE(d.enabled);
+  ASSERT_GT(d.capacity_units, 0u);
+  ASSERT_EQ(d.capacity_units % kCubes, 0u);
+  const std::uint64_t dead_units = d.capacity_units / kCubes;
+  ASSERT_GT(d.unit_cycles_total, d.capacity_units * kDown)
+      << "run ended before the scheduled event - raise ops";
+  EXPECT_EQ(d.unit_cycles_lost * d.capacity_units,
+            dead_units * (d.unit_cycles_total - d.capacity_units * kDown));
+}
+
+}  // namespace
+}  // namespace pacsim

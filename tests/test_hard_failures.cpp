@@ -1,0 +1,514 @@
+// Hard-failure model unit tests: FaultConfig validation and the CLI event
+// grammars (timeline knobs, faultplan files), the scheduled-event timeline
+// inside FaultInjector (exact firing cycles, repair/MTTR accounting, and
+// checkpoint replay - including a snapshot taken inside a burst window),
+// the DevicePort retry-buffer snapshot with in-flight retries (backoff
+// timers fire at the same cycles after restore), and the PageTable sparing
+// remap (migration penalties, dead-spare skipping, pool exhaustion).
+#include "core/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+#include "hmc/device_port.hpp"
+#include "hmc/hmc_device.hpp"
+#include "mem/page_table.hpp"
+
+namespace pacsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultConfig validation (strict CLI front-end contract): one-line errors
+// naming the offending knob.
+
+TEST(FaultConfigValidation, AcceptsDefaultsAndSaneConfigs) {
+  EXPECT_NO_THROW(validate_fault_config(FaultConfig{}));
+  FaultConfig cfg;
+  cfg.link_error_rate = 0.5;
+  cfg.response_drop_rate = 1.0;
+  cfg.burst_length = 3;
+  cfg.timeline.push_back({100, FaultEventKind::kLinkDown, 0, 1});
+  EXPECT_NO_THROW(validate_fault_config(cfg));
+}
+
+TEST(FaultConfigValidation, RejectsRatesOutsideUnitInterval) {
+  for (const char* knob : {"faultrate", "faultdrop", "faultstall"}) {
+    FaultConfig cfg;
+    if (std::string(knob) == "faultrate") cfg.link_error_rate = 1.5;
+    if (std::string(knob) == "faultdrop") cfg.response_drop_rate = -0.1;
+    if (std::string(knob) == "faultstall") cfg.vault_stall_rate = 2.0;
+    try {
+      validate_fault_config(cfg);
+      FAIL() << knob << " out of range was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(knob), std::string::npos)
+          << "error does not name the knob: " << e.what();
+    }
+  }
+}
+
+TEST(FaultConfigValidation, RejectsZeroBurstLength) {
+  FaultConfig cfg;
+  cfg.burst_length = 0;
+  try {
+    validate_fault_config(cfg);
+    FAIL() << "burst_length=0 was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("burstlen"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultConfigValidation, RejectsSelfLoopLinkEvents) {
+  FaultConfig cfg;
+  cfg.timeline.push_back({10, FaultEventKind::kLinkDown, 2, 2});
+  EXPECT_THROW(validate_fault_config(cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CLI event grammars.
+
+TEST(FaultEventParse, ParsesLinkVaultAndCubeSpecs) {
+  const auto links = parse_fault_events("linkdown", FaultEventKind::kLinkDown,
+                                        "1000:0-1,5000:1-2");
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].cycle, 1000u);
+  EXPECT_EQ(links[0].a, 0u);
+  EXPECT_EQ(links[0].b, 1u);
+  EXPECT_EQ(links[1].cycle, 5000u);
+  EXPECT_EQ(links[1].kind, FaultEventKind::kLinkDown);
+
+  const auto vaults = parse_fault_events(
+      "vaultdown", FaultEventKind::kVaultDown, "2000:1.3");
+  ASSERT_EQ(vaults.size(), 1u);
+  EXPECT_EQ(vaults[0].a, 1u);
+  EXPECT_EQ(vaults[0].b, 3u);
+
+  const auto dead = parse_fault_events("cubedown", FaultEventKind::kCubeDown,
+                                       "4000:2");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].a, 2u);
+}
+
+TEST(FaultEventParse, MalformedEntriesNameTheKnob) {
+  // Note: an empty spec is a deliberate no-op (the knob parsed to nothing),
+  // so it is not in this list.
+  for (const std::string spec : {"abc", "1000", "1000:", "1000:0-",
+                                 "1000:-1", "x:0-1"}) {
+    try {
+      (void)parse_fault_events("linkdown", FaultEventKind::kLinkDown, spec);
+      FAIL() << "accepted malformed spec '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("linkdown"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(FaultPlanParse, ParsesFileBodyWithCommentsAndBlankLines) {
+  const std::string body =
+      "# chaos plan\n"
+      "\n"
+      "1000 linkdown 0 1\n"
+      "2000 vaultdown 1 3   # vault 3 of cube 1\n"
+      "3000 cubedown 2\n"
+      "4000 linkup 0 1\n";
+  const auto events = parse_fault_plan(body);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, FaultEventKind::kLinkDown);
+  EXPECT_EQ(events[1].kind, FaultEventKind::kVaultDown);
+  EXPECT_EQ(events[2].kind, FaultEventKind::kCubeDown);
+  EXPECT_EQ(events[3].kind, FaultEventKind::kLinkUp);
+  EXPECT_EQ(events[3].cycle, 4000u);
+}
+
+TEST(FaultPlanParse, MalformedLineNamesItsLineNumber) {
+  try {
+    (void)parse_fault_plan("1000 linkdown 0 1\nbogus line here\n");
+    FAIL() << "accepted a malformed plan";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FailPolicyParse, RoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_fail_policy("abort"), FailPolicy::kAbort);
+  EXPECT_EQ(parse_fail_policy("contain"), FailPolicy::kContain);
+  EXPECT_STREQ(to_string(FailPolicy::kAbort), "abort");
+  EXPECT_STREQ(to_string(FailPolicy::kContain), "contain");
+  EXPECT_THROW((void)parse_fail_policy("explode"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline mechanics inside the injector.
+
+FaultConfig timeline_config() {
+  FaultConfig cfg;
+  cfg.timeline = {
+      {100, FaultEventKind::kLinkDown, 0, 1},
+      {200, FaultEventKind::kVaultDown, 1, 3},
+      {300, FaultEventKind::kCubeDown, 2, 0},
+      {450, FaultEventKind::kLinkUp, 0, 1},
+  };
+  return cfg;
+}
+
+TEST(FaultTimeline, FiresAtExactCyclesInOrder) {
+  FaultInjector inj(timeline_config());
+  EXPECT_TRUE(inj.hard_active());
+  EXPECT_FALSE(inj.any_dead());
+  EXPECT_EQ(inj.next_timeline_cycle(0), 100u);
+
+  EXPECT_FALSE(inj.poll(99));
+  EXPECT_FALSE(inj.any_dead());
+  EXPECT_TRUE(inj.poll(100));
+  EXPECT_TRUE(inj.link_dead(0, 1));
+  EXPECT_TRUE(inj.link_dead(1, 0)) << "link death must be direction-agnostic";
+  EXPECT_EQ(inj.timeline_fired(), 1u);
+  EXPECT_EQ(inj.next_timeline_cycle(100), 200u);
+  EXPECT_EQ(inj.next_timeline_cycle(250), 250u)
+      << "an overdue unfired event must bind the horizon to now";
+
+  // A late poll fires everything due, in order.
+  EXPECT_TRUE(inj.poll(300));
+  EXPECT_TRUE(inj.vault_dead(1, 3));
+  EXPECT_FALSE(inj.vault_dead(1, 2));
+  EXPECT_TRUE(inj.cube_dead(2));
+  EXPECT_EQ(inj.timeline_fired(), 3u);
+
+  EXPECT_TRUE(inj.poll(450));
+  EXPECT_FALSE(inj.link_dead(0, 1)) << "linkup must repair the link";
+  EXPECT_EQ(inj.repairs(), 1u);
+  EXPECT_EQ(inj.repair_cycles_total(), 350u) << "MTTR = 450 - 100 exactly";
+  EXPECT_EQ(inj.next_timeline_cycle(451), kNeverCycle);
+  // Vault and cube deaths are permanent.
+  EXPECT_TRUE(inj.vault_dead(1, 3));
+  EXPECT_TRUE(inj.cube_dead(2));
+}
+
+TEST(FaultTimeline, UnreachableSetIsFabricOwned) {
+  FaultInjector inj(timeline_config());
+  EXPECT_FALSE(inj.cube_unreachable(3));
+  inj.set_unreachable({2, 3});
+  EXPECT_TRUE(inj.cube_unreachable(2));
+  EXPECT_TRUE(inj.cube_unreachable(3));
+  EXPECT_TRUE(inj.any_dead());
+  inj.set_unreachable({});
+  EXPECT_FALSE(inj.cube_unreachable(3));
+}
+
+TEST(FaultTimeline, CheckpointReplaysFiredPrefix) {
+  FaultInjector inj(timeline_config());
+  (void)inj.poll(250);  // linkdown + vaultdown fired, link still dead
+  BinWriter w;
+  inj.checkpoint_save(w);
+
+  FaultInjector restored(timeline_config());
+  BinReader r(w.take());
+  restored.checkpoint_load(r);
+  EXPECT_EQ(restored.timeline_fired(), 2u);
+  EXPECT_TRUE(restored.link_dead(0, 1));
+  EXPECT_TRUE(restored.vault_dead(1, 3));
+  EXPECT_FALSE(restored.cube_dead(2));
+  EXPECT_EQ(restored.next_timeline_cycle(250), 300u);
+
+  // The replayed down-since record must yield the exact same MTTR when the
+  // repair fires after the restore.
+  EXPECT_TRUE(restored.poll(450));
+  EXPECT_EQ(restored.repairs(), 1u);
+  EXPECT_EQ(restored.repair_cycles_total(), 350u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: burst-fault carry-over across checkpoint/restore. A snapshot
+// taken inside a burst_length=3 window must restore mid-burst: the next
+// decisions continue the burst, then the RNG stream continues identically.
+
+TEST(FaultBurst, CheckpointInsideBurstWindowRestoresBitIdentically) {
+  FaultConfig cfg;
+  cfg.link_error_rate = 0.05;
+  cfg.burst_length = 3;
+  FaultInjector inj(cfg);
+
+  // Walk to a fresh fault: the injector now owes two more burst faults.
+  int draws = 0;
+  while (!inj.corrupt_request()) {
+    ++draws;
+    ASSERT_LT(draws, 10'000) << "rate 0.05 never fired";
+  }
+  BinWriter w;
+  inj.checkpoint_save(w);
+
+  // The uninterrupted stream: two burst continuations, then fresh rolls.
+  std::vector<bool> expect;
+  for (int i = 0; i < 500; ++i) expect.push_back(inj.corrupt_request());
+  ASSERT_TRUE(expect[0] && expect[1]) << "burst carry-over missing";
+
+  FaultConfig other = cfg;
+  other.seed ^= 0xBADF00DULL;  // restore must fully override the seed
+  FaultInjector restored(other);
+  BinReader r(w.take());
+  restored.checkpoint_load(r);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(restored.corrupt_request(), expect[i]) << "draw " << i;
+  }
+  EXPECT_EQ(restored.stats().link_errors, inj.stats().link_errors);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: checkpoint/restore while the DevicePort retry buffer holds an
+// in-flight retry. The armed backoff timer must survive restore and fire at
+// the same cycle, producing the identical completion sequence.
+
+struct PortStack {
+  PowerModel power;
+  std::unique_ptr<FaultInjector> fault;
+  std::unique_ptr<HmcDevice> device;
+  std::unique_ptr<DevicePort> port;
+
+  explicit PortStack(const FaultConfig& fcfg, const RetryConfig& rcfg) {
+    fault = std::make_unique<FaultInjector>(fcfg);
+    device = std::make_unique<HmcDevice>(HmcConfig{}, &power, fault.get());
+    port = std::make_unique<DevicePort>(device.get(), rcfg, /*tracking=*/true,
+                                        fault.get());
+  }
+
+  void tick(Cycle now) {
+    device->tick(now);
+    port->tick(now);
+  }
+};
+
+FaultConfig always_drop() {
+  FaultConfig f;
+  f.response_drop_rate = 1.0;  // every response is lost; timers drive all
+  f.fail_policy = FailPolicy::kContain;
+  return f;
+}
+
+RetryConfig tight_retry() {
+  RetryConfig r;
+  r.response_timeout = 256;
+  r.max_retries = 2;
+  r.backoff_base = 16;
+  return r;
+}
+
+TEST(DevicePortCheckpoint, RetryTimersSurviveRestoreAndFireOnSchedule) {
+  // Uninterrupted reference: one request whose responses always drop walks
+  // timeout -> retransmit -> timeout -> ... -> poisoned completion, every
+  // step scheduled purely by retry timers.
+  PortStack ref(always_drop(), tight_retry());
+  DeviceRequest req;
+  req.id = 42;
+  req.base = 0x4000;
+  req.bytes = 64;
+  req.raw_ids = {7, 8};
+  ref.port->submit(req, 0);
+
+  std::vector<DeviceResponse> buf;
+  std::vector<std::pair<Cycle, bool>> ref_events;  // (cycle, poisoned)
+  Cycle snap_cycle = 0;
+  Cycle snap_next_event = kNeverCycle;
+  std::string snapshot;
+  for (Cycle now = 0; now < 100'000 && ref_events.empty(); ++now) {
+    ref.tick(now);
+    // Snapshot at the first cycle where the device has dropped the response
+    // (idle) but the port still owes a retry: a timer is armed, mid-flight.
+    if (snapshot.empty() && ref.port->stats().timeout_fires >= 1 &&
+        ref.device->idle() && !ref.port->idle()) {
+      snap_cycle = now;
+      snap_next_event = ref.port->next_event_cycle(now);
+      BinWriter w;
+      ref.fault->checkpoint_save(w);
+      ref.device->checkpoint_save(w);
+      ref.port->checkpoint_save(w);
+      snapshot = w.take();
+    }
+    ref.port->drain_completed_into(buf);
+    for (const DeviceResponse& rsp : buf) {
+      ref_events.emplace_back(now, rsp.poisoned);
+      EXPECT_EQ(rsp.request_id, 42u);
+      EXPECT_EQ(rsp.raw_ids, (std::vector<std::uint64_t>{7, 8}));
+    }
+  }
+  ASSERT_EQ(ref_events.size(), 1u) << "request never resolved";
+  ASSERT_TRUE(ref_events[0].second) << "always-drop must end poisoned";
+  ASSERT_FALSE(snapshot.empty()) << "no mid-retry quiescent point found";
+  ASSERT_GT(ref.port->stats().retransmissions, 0u)
+      << "snapshot must cover a live retransmission schedule";
+
+  // Restore into a fresh stack (different seed: state must fully override)
+  // and drive from the snapshot cycle: the poisoned completion must arrive
+  // at the identical cycle with identical stats.
+  FaultConfig fcfg = always_drop();
+  fcfg.seed ^= 0x5EEDULL;
+  PortStack res(fcfg, tight_retry());
+  BinReader r(snapshot);
+  res.fault->checkpoint_load(r);
+  res.device->checkpoint_load(r);
+  res.port->checkpoint_load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(res.port->idle()) << "pending retry entry did not restore";
+  EXPECT_EQ(res.port->next_event_cycle(snap_cycle), snap_next_event)
+      << "restored timer must be armed for the same cycle";
+  EXPECT_NE(snap_next_event, kNeverCycle)
+      << "snapshot point must hold an armed backoff timer";
+
+  std::vector<std::pair<Cycle, bool>> res_events;
+  for (Cycle now = snap_cycle + 1; now < 100'000 && res_events.empty();
+       ++now) {
+    res.tick(now);
+    res.port->drain_completed_into(buf);
+    for (const DeviceResponse& rsp : buf) {
+      res_events.emplace_back(now, rsp.poisoned);
+    }
+  }
+  EXPECT_EQ(res_events, ref_events);
+  EXPECT_EQ(res.port->stats().retransmissions,
+            ref.port->stats().retransmissions);
+  EXPECT_EQ(res.port->stats().timeout_fires, ref.port->stats().timeout_fires);
+  EXPECT_EQ(res.port->stats().poisoned_completions,
+            ref.port->stats().poisoned_completions);
+  EXPECT_TRUE(res.port->idle());
+}
+
+// ---------------------------------------------------------------------------
+// PageTable sparing remap.
+
+constexpr std::uint64_t kPages = 4096;
+constexpr std::uint64_t kSpares = 16;
+
+TEST(PageTableSparing, IdentityModeMigratesDeadPagesToSpareRegion) {
+  std::set<std::uint64_t> dead;
+  PageTable pt(kPages, 1, /*identity=*/true);
+  pt.enable_sparing(kSpares,
+                    [&dead](std::uint64_t pfn) { return dead.count(pfn) > 0; });
+
+  const Addr vaddr = 0x200 << kPageShift | 0x40;
+  EXPECT_EQ(pt.translate(0, vaddr), vaddr) << "identity before any failure";
+  EXPECT_FALSE(pt.consume_migration());
+
+  // The page's frame dies: the established mapping migrates, with penalty.
+  dead.insert(0x200);
+  const Addr migrated = pt.translate(0, vaddr);
+  EXPECT_TRUE(pt.consume_migration());
+  EXPECT_FALSE(pt.consume_migration()) << "flag must be one-shot";
+  const std::uint64_t spare_base = kPages - kSpares;
+  EXPECT_EQ(migrated >> kPageShift, spare_base)
+      << "first spare sits at the top of the physical capacity";
+  EXPECT_EQ(migrated & (kPageSize - 1), vaddr & (kPageSize - 1))
+      << "page offset must survive the remap";
+  EXPECT_EQ(pt.pages_migrated(), 1u);
+  EXPECT_EQ(pt.spares_used(), 1u);
+
+  // Re-translate: stable spare mapping, no second migration.
+  EXPECT_EQ(pt.translate(0, vaddr), migrated);
+  EXPECT_FALSE(pt.consume_migration());
+
+  // Identity mode keeps no per-page residency record, so every touch on a
+  // dead frame is conservatively modeled as a migration (with penalty) -
+  // unlike the pooled mode, where a genuinely fresh touch is penalty-free.
+  dead.insert(0x201);
+  const Addr next = pt.translate(0, Addr{0x201} << kPageShift);
+  EXPECT_TRUE(pt.consume_migration());
+  EXPECT_EQ(next >> kPageShift, spare_base + 1);
+  EXPECT_EQ(pt.pages_migrated(), 2u);
+  EXPECT_EQ(pt.spares_used(), 2u);
+}
+
+TEST(PageTableSparing, SkipsDeadSparesAndStopsWhenDry) {
+  std::set<std::uint64_t> dead;
+  PageTable pt(kPages, 1, /*identity=*/true);
+  pt.enable_sparing(2, [&dead](std::uint64_t pfn) { return dead.count(pfn); });
+  const std::uint64_t spare_base = kPages - 2;
+
+  // The first spare frame itself sits on dead hardware: migration must
+  // consume-and-skip it deterministically.
+  dead.insert(spare_base);
+  dead.insert(0x10);
+  const Addr moved = pt.translate(0, Addr{0x10} << kPageShift);
+  EXPECT_TRUE(pt.consume_migration());
+  EXPECT_EQ(moved >> kPageShift, spare_base + 1);
+  EXPECT_EQ(pt.spares_used(), 2u) << "dead spare consumed and skipped";
+  EXPECT_EQ(pt.pages_migrated(), 1u);
+
+  // Pool is dry now: a dead page keeps its identity translation (the
+  // DevicePort resolves the access as a poisoned completion downstream).
+  dead.insert(0x11);
+  const Addr vaddr = Addr{0x11} << kPageShift;
+  EXPECT_EQ(pt.translate(0, vaddr), vaddr);
+  EXPECT_FALSE(pt.consume_migration());
+  EXPECT_EQ(pt.pages_migrated(), 1u) << "a dry pool must not count a move";
+}
+
+TEST(PageTableSparing, PooledModeMigratesWithPenaltyAndCapsAllocation) {
+  std::set<std::uint64_t> dead;
+  PageTable pt(256, 7);  // shuffled pool
+  pt.enable_sparing(8, [&dead](std::uint64_t pfn) { return dead.count(pfn); });
+
+  const Addr vaddr = Addr{5} << kPageShift;
+  const Addr first = pt.translate(0, vaddr);
+  EXPECT_FALSE(pt.consume_migration());
+  ASSERT_TRUE(pt.lookup(0, vaddr).has_value());
+
+  dead.insert(first >> kPageShift);
+  EXPECT_FALSE(pt.lookup(0, vaddr).has_value())
+      << "a dead-framed mapping must read as not steadily translatable";
+  const Addr second = pt.translate(0, vaddr);
+  EXPECT_TRUE(pt.consume_migration());
+  EXPECT_NE(second >> kPageShift, first >> kPageShift);
+  EXPECT_EQ(pt.pages_migrated(), 1u);
+  EXPECT_EQ(pt.lookup(0, vaddr), second);
+}
+
+TEST(PageTableSparing, RejectsLateEnableAndOversizedPool) {
+  PageTable late(256, 7);
+  (void)late.translate(0, 0x1000);
+  EXPECT_THROW(late.enable_sparing(8, [](std::uint64_t) { return false; }),
+               std::logic_error);
+
+  PageTable fresh(256, 7);
+  EXPECT_THROW(fresh.enable_sparing(256, [](std::uint64_t) { return false; }),
+               std::invalid_argument);
+}
+
+TEST(PageTableSparing, SparingCursorsSurviveCheckpoint) {
+  std::set<std::uint64_t> dead;
+  PageTable pt(kPages, 1, /*identity=*/true);
+  pt.enable_sparing(kSpares,
+                    [&dead](std::uint64_t pfn) { return dead.count(pfn); });
+  const Addr vaddr = Addr{0x30} << kPageShift;
+  (void)pt.translate(0, vaddr);
+  dead.insert(0x30);
+  const Addr migrated = pt.translate(0, vaddr);
+  (void)pt.consume_migration();
+
+  BinWriter w;
+  pt.checkpoint_save(w);
+  PageTable restored(kPages, 1, /*identity=*/true);
+  restored.enable_sparing(kSpares,
+                          [&dead](std::uint64_t pfn) { return dead.count(pfn); });
+  BinReader r(w.take());
+  restored.checkpoint_load(r);
+  EXPECT_EQ(restored.pages_migrated(), 1u);
+  EXPECT_EQ(restored.spares_used(), 1u);
+  EXPECT_EQ(restored.translate(0, vaddr), migrated)
+      << "overlay mapping must survive the round-trip";
+  EXPECT_FALSE(restored.consume_migration());
+  // The next migration must take the NEXT spare, not reuse the first.
+  dead.insert(0x31);
+  (void)restored.translate(0, Addr{0x31} << kPageShift);
+  EXPECT_EQ(restored.spares_used(), 2u);
+}
+
+}  // namespace
+}  // namespace pacsim
