@@ -1,0 +1,353 @@
+// Randomized chaos-soak campaign (EXPERIMENTS.md "Chaos soak", DESIGN.md
+// "Chaos-soak fuzzing").
+//
+// Samples `soakcases=` random configurations from the full supported knob
+// space (controller x backend x cubes x topology x traffic shape x fault
+// plan x execution plan), runs each in a forked isolation cell through the
+// differential oracle battery (naive vs fast-forward, serial vs threaded,
+// checkpoint+restore, all under verify=full), delta-minimizes every
+// failure, and writes self-contained reproducer files that replay under
+// `repro=<file>`.
+//
+// For a fixed soakseed=/soakcases= (and no wall-clock soakbudget=) the
+// campaign - sampled cases, verdicts, summary table, JSON artifact - is
+// bit-reproducible. The exit code is nonzero iff any case failed.
+//
+// Knobs:
+//   soakseed=N       campaign seed (default 1)
+//   soakcases=N      cases to run (default 100)
+//   soakbudget=SECS  wall-clock budget; remaining cases are skipped, not
+//                    failed (default 0 = unlimited; breaks reproducibility)
+//   soaktimeout=SECS per-case wall watchdog (default 120)
+//   soakmem=MB       per-case RLIMIT_AS (default 8192, 0 = unlimited;
+//                    ignored in sanitizer builds)
+//   jobs=N           parallel isolation cells (default: hardware)
+//   minimize=0|1     delta-minimize failures (default 1)
+//   minevals=N       minimizer predicate budget per failure (default 48)
+//   maxminim=N       failures to minimize (default 4)
+//   reprodir=DIR     where reproducers land (default results/soak-repros)
+//   jsondir=DIR      JSON campaign report (schema v10 "soak" block)
+//   quick            CI smoke domains (smaller traces)
+//   repro=FILE       replay one reproducer in-process (verbose) and exit
+//                    nonzero iff it still fails
+//   soakplant=ffovershoot|skipclamp
+//                    plant a deliberate run-loop bug in every sampled case
+//                    (acceptance harness for the oracles themselves)
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "exp/thread_pool.hpp"
+#include "fuzz/case_isolator.hpp"
+#include "fuzz/config_sampler.hpp"
+#include "fuzz/minimizer.hpp"
+#include "fuzz/oracle_runner.hpp"
+#include "fuzz/soak_case.hpp"
+#include "sim/report.hpp"
+
+using namespace pacsim;
+using namespace pacsim::fuzz;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Outcome {
+  SoakCase c;
+  Verdict v;
+  bool skipped = false;  ///< wall-budget exhausted before this case ran
+  std::string stderr_tail;
+  double wall_seconds = 0.0;
+};
+
+/// Replace every occurrence of `from` (host-specific scratch paths) so the
+/// campaign's stdout/JSON stay bit-reproducible across machines and runs.
+std::string scrub(std::string s, const std::string& from) {
+  if (from.empty()) return s;
+  std::size_t at = 0;
+  while ((at = s.find(from, at)) != std::string::npos) {
+    s.replace(at, from.size(), "<scratch>");
+    at += 9;
+  }
+  return s;
+}
+
+/// One isolated oracle run: fork, rlimit, watchdog; the child ships its
+/// verdict back over the report pipe, and child death without a verdict is
+/// classified from the exit status.
+Verdict run_isolated(const SoakCase& c, const std::string& workbase,
+                     const IsolateLimits& limits, std::string* stderr_tail,
+                     double* wall_seconds) {
+  const CaseIsolator iso(limits);
+  const std::string workdir =
+      workbase + "/case-" + std::to_string(c.id);
+  const IsolateResult res = iso.run([&](std::string& report) {
+    OracleOptions opts;
+    opts.workdir = workdir;
+    const Verdict v = OracleRunner(opts).run(c);
+    report = v.text();
+    return v.failed() ? 20 + static_cast<int>(v.cls) : 0;
+  });
+  if (stderr_tail != nullptr) *stderr_tail = res.stderr_tail;
+  if (wall_seconds != nullptr) *wall_seconds = res.wall_seconds;
+
+  Verdict v;
+  if (res.status == IsolateResult::Status::kTimedOut) {
+    v.cls = SoakClass::kHang;
+    v.oracle = "isolator";
+    v.detail = "wall-clock watchdog expired after " +
+               std::to_string(static_cast<unsigned>(limits.wall_seconds)) +
+               "s (SIGKILL)";
+    return v;
+  }
+  if (res.status == IsolateResult::Status::kSignaled) {
+    v.cls = res.term_signal == SIGXCPU ? SoakClass::kHang : SoakClass::kCrash;
+    v.oracle = "isolator";
+    v.detail = "child killed by signal " + std::to_string(res.term_signal);
+    return v;
+  }
+  try {
+    return Verdict::parse(res.report);
+  } catch (const std::exception&) {
+    if (res.exit_code == 0) {
+      v.cls = SoakClass::kClean;  // clean exit, report lost: trust the code
+      return v;
+    }
+    v.cls = SoakClass::kCrash;
+    v.oracle = "isolator";
+    v.detail = "child exited " + std::to_string(res.exit_code) +
+               " without a verdict";
+    return v;
+  }
+}
+
+int replay_repro(const Cli& cli, const std::string& path) {
+  const SoakCase c = load_repro(path);
+  OracleOptions opts;
+  opts.workdir =
+      (fs::temp_directory_path() / "pacsim-soak-replay").string();
+  opts.verbose = !cli.has("terse");
+  opts.keep_artifacts = cli.has("keep");
+  std::printf("replaying %s\n", path.c_str());
+  for (const std::string& knob : to_knobs(c)) {
+    std::printf("  %s\n", knob.c_str());
+  }
+  const Verdict v = OracleRunner(opts).run(c);
+  std::printf("verdict: %s", to_string(v.cls));
+  if (v.failed()) {
+    std::printf(" (%s): %s", v.oracle.c_str(), v.detail.c_str());
+  }
+  std::printf(" [%u oracle(s) checked, %u skipped]\n", v.oracles_checked,
+              v.oracles_skipped);
+  return v.failed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  const std::string repro_path = cli.get("repro", "");
+  if (!repro_path.empty()) {
+    try {
+      return replay_repro(cli, repro_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[soak] repro replay failed: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  const std::uint64_t seed = cli.get_u64("soakseed", 1);
+  const std::uint64_t cases = cli.get_u64("soakcases", 100);
+  const double budget_seconds =
+      static_cast<double>(cli.get_u64("soakbudget", 0));
+  const bool quick = cli.has("quick");
+
+  IsolateLimits limits;
+  limits.wall_seconds = static_cast<double>(cli.get_u64("soaktimeout", 120));
+  limits.cpu_seconds = static_cast<unsigned>(2.0 * limits.wall_seconds);
+  limits.address_space_bytes = cli.get_u64("soakmem", 8192) << 20;
+
+  PerturbPlan plant;
+  const std::string plant_name = cli.get("soakplant", "");
+  if (plant_name == "ffovershoot") {
+    plant.ff_overshoot = cli.get_u64("ffovershoot", 64);
+  } else if (plant_name == "skipclamp") {
+    plant.skip_timeline_clamp = true;
+  } else if (!plant_name.empty()) {
+    std::fprintf(stderr,
+                 "[soak] unknown soakplant=%s (ffovershoot, skipclamp)\n",
+                 plant_name.c_str());
+    return 2;
+  }
+
+  const ConfigSampler sampler(
+      seed, quick ? KnobDomains::quick() : KnobDomains::defaults(), plant);
+  const unsigned jobs =
+      static_cast<unsigned>(cli.get_u64("jobs", exp::default_jobs()));
+  const std::string workbase =
+      cli.get("workdir", (fs::temp_directory_path() /
+                          ("pacsim-soak-" + std::to_string(::getpid())))
+                             .string());
+  const std::string reprodir = cli.get("reprodir", "results/soak-repros");
+
+  std::fprintf(stderr,
+               "[soak] seed=%llu cases=%llu jobs=%u timeout=%.0fs "
+               "scratch=%s\n",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(cases), jobs,
+               limits.wall_seconds, workbase.c_str());
+
+  std::vector<Outcome> outcomes(cases);
+  std::atomic<bool> out_of_budget{false};
+  const auto campaign_start = std::chrono::steady_clock::now();
+  exp::parallel_for(jobs, cases, [&](std::size_t i) {
+    Outcome& out = outcomes[i];
+    out.c = sampler.sample(i);
+    if (budget_seconds > 0.0) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 campaign_start)
+                                 .count();
+      if (elapsed > budget_seconds) out_of_budget.store(true);
+    }
+    if (out_of_budget.load()) {
+      out.skipped = true;
+      return;
+    }
+    out.v = run_isolated(out.c, workbase, limits, &out.stderr_tail,
+                         &out.wall_seconds);
+    std::fprintf(stderr, "[soak] case %zu: %s%s%s (%.1fs)\n", i,
+                 to_string(out.v.cls),
+                 out.v.failed() ? " via " : "",
+                 out.v.failed() ? out.v.oracle.c_str() : "",
+                 out.wall_seconds);
+  });
+
+  // Deterministic summary (campaign order, scratch paths scrubbed).
+  std::uint64_t counts[5] = {0, 0, 0, 0, 0};
+  std::uint64_t skipped = 0;
+  std::vector<std::size_t> failing;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].skipped) {
+      ++skipped;
+      continue;
+    }
+    ++counts[static_cast<int>(outcomes[i].v.cls)];
+    if (outcomes[i].v.failed()) failing.push_back(i);
+  }
+  std::printf("bench_soak: seed=%llu cases=%llu\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(cases));
+  std::printf(
+      "  clean=%llu divergences=%llu violations=%llu crashes=%llu "
+      "hangs=%llu skipped=%llu\n",
+      static_cast<unsigned long long>(counts[0]),
+      static_cast<unsigned long long>(counts[1]),
+      static_cast<unsigned long long>(counts[2]),
+      static_cast<unsigned long long>(counts[3]),
+      static_cast<unsigned long long>(counts[4]),
+      static_cast<unsigned long long>(skipped));
+
+  // Minimize the first maxminim failures (serially: deterministic budget
+  // spend), then persist every failure as a reproducer.
+  const bool do_minimize = cli.get_u64("minimize", 1) != 0;
+  const std::uint64_t max_minimized = cli.get_u64("maxminim", 4);
+  MinimizeOptions min_opts;
+  min_opts.max_evals = static_cast<unsigned>(cli.get_u64("minevals", 48));
+  std::uint64_t minimized = 0;
+  std::vector<std::string> repro_files;
+  if (!failing.empty()) {
+    fs::create_directories(reprodir);
+  }
+  for (const std::size_t i : failing) {
+    Outcome& out = outcomes[i];
+    if (do_minimize && minimized < max_minimized) {
+      ++minimized;
+      const SoakClass want = out.v.cls;
+      const Minimizer mini(
+          [&](const SoakCase& cand) {
+            return run_isolated(cand, workbase, limits, nullptr, nullptr)
+                       .cls == want;
+          },
+          min_opts);
+      const MinimizeResult m = mini.minimize(out.c);
+      std::fprintf(stderr,
+                   "[soak] case %zu minimized: %u eval(s), %u shrink(s)\n", i,
+                   m.evals, m.shrinks);
+      out.c = m.best;
+      // Re-derive the verdict on the minimized case so the repro header
+      // quotes what the file actually reproduces.
+      out.v = run_isolated(out.c, workbase, limits, nullptr, nullptr);
+    }
+    const std::string verdict_line =
+        std::string(to_string(out.v.cls)) + " (" + out.v.oracle +
+        "): " + scrub(out.v.detail, workbase);
+    const std::string file =
+        (fs::path(reprodir) / ("repro-case" + std::to_string(out.c.id) +
+                               ".txt"))
+            .string();
+    write_repro(file, out.c, verdict_line);
+    repro_files.push_back(file);
+    std::printf("  case %llu: %s\n    repro: %s\n",
+                static_cast<unsigned long long>(out.c.id),
+                verdict_line.c_str(), file.c_str());
+    if (!out.stderr_tail.empty()) {
+      std::fprintf(stderr, "[soak] case %llu stderr tail:\n%s\n",
+                   static_cast<unsigned long long>(out.c.id),
+                   scrub(out.stderr_tail, workbase).c_str());
+    }
+  }
+
+  // JSON artifact: schema v10 "soak" envelope block plus one structured
+  // failure entry per failing case. wall_seconds is reported as 0 so the
+  // artifact stays bit-reproducible.
+  SweepReport report("bench_soak");
+  std::string soak = "{\"seed\": " + std::to_string(seed) +
+                     ", \"cases\": " + std::to_string(cases) +
+                     ", \"clean\": " + std::to_string(counts[0]) +
+                     ", \"divergences\": " + std::to_string(counts[1]) +
+                     ", \"violations\": " + std::to_string(counts[2]) +
+                     ", \"crashes\": " + std::to_string(counts[3]) +
+                     ", \"hangs\": " + std::to_string(counts[4]) +
+                     ", \"skipped\": " + std::to_string(skipped) +
+                     ", \"minimized\": " + std::to_string(minimized) +
+                     ", \"repro_files\": [";
+  for (std::size_t i = 0; i < repro_files.size(); ++i) {
+    soak += (i == 0 ? "\"" : ", \"") + repro_files[i] + "\"";
+  }
+  soak += "]}";
+  report.set_extra("soak", soak);
+  for (const std::size_t i : failing) {
+    const Outcome& out = outcomes[i];
+    report.add_failure("case-" + std::to_string(out.c.id) + "/" +
+                           std::string(to_string(out.c.coalescer)) + "/" +
+                           std::string(to_string(out.c.backend)),
+                       to_string(out.v.cls),
+                       out.v.oracle + ": " + scrub(out.v.detail, workbase),
+                       /*wall_seconds=*/0.0);
+  }
+  if (cli.has("jsondir")) {
+    const std::string path = report.write(cli.get("jsondir", "results"));
+    std::fprintf(stderr, "[soak] wrote %s\n", path.c_str());
+  }
+
+  if (failing.empty()) {
+    std::error_code ec;
+    fs::remove_all(workbase, ec);  // nothing worth keeping
+    std::printf("OK\n");
+    return 0;
+  }
+  std::fprintf(stderr, "[soak] failure artifacts kept under %s\n",
+               workbase.c_str());
+  std::printf("FAIL: %zu failing case(s), reproducers in %s\n",
+              failing.size(), reprodir.c_str());
+  return 1;
+}

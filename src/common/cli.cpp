@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 
 namespace pacsim {
@@ -18,17 +19,40 @@ namespace {
 }  // namespace
 
 Cli::Cli(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string raw = argv[i];
-    const auto start = raw.find_first_not_of('-');
-    if (start == std::string::npos) continue;
-    std::string arg = raw.substr(start);
-    const auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      kv_.insert_or_assign(std::move(arg), std::string("1"));
-    } else {
-      kv_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
-    }
+  for (int i = 1; i < argc; ++i) add_arg(argv[i]);
+}
+
+Cli::Cli(const std::vector<std::string>& args) {
+  for (const std::string& a : args) add_arg(a);
+}
+
+Cli Cli::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("Cli: cannot open knob file '" + path + "'");
+  }
+  std::vector<std::string> args;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    args.push_back(line.substr(first, last - first + 1));
+  }
+  return Cli(args);
+}
+
+void Cli::add_arg(const std::string& raw) {
+  const auto start = raw.find_first_not_of('-');
+  if (start == std::string::npos) return;
+  std::string arg = raw.substr(start);
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) {
+    kv_.insert_or_assign(std::move(arg), std::string("1"));
+  } else {
+    kv_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
   }
 }
 

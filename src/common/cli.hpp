@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace pacsim {
 
@@ -18,7 +19,16 @@ namespace pacsim {
 class Cli {
  public:
   Cli(int argc, char** argv);
+  /// Same parsing rules as the argv form, for programmatic construction
+  /// (repro files, tests). Every element is one argument.
+  explicit Cli(const std::vector<std::string>& args);
   ~Cli();
+
+  /// Loads one argument per line from a knob file ('#' comments and blank
+  /// lines ignored, surrounding whitespace trimmed) - the on-disk format of
+  /// soak reproducers. Throws std::invalid_argument if the file is
+  /// unreadable.
+  static Cli from_file(const std::string& path);
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
@@ -29,6 +39,8 @@ class Cli {
                                   double fallback) const;
 
  private:
+  void add_arg(const std::string& raw);
+
   std::map<std::string, std::string> kv_;
   /// Keys some accessor has looked up; `mutable` because querying is
   /// logically const but still registers the key as known.

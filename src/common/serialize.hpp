@@ -88,13 +88,20 @@ class BinReader {
     need(4);
     if (data_.compare(pos_, 4, name, 4) != 0) {
       throw SnapshotError("expected section '" + std::string(name, 4) +
-                          "', found '" + data_.substr(pos_, 4) + "'");
+                          "', found '" + data_.substr(pos_, 4) + "'" +
+                          context());
     }
+    section_.assign(name, 4);
     pos_ += 4;
   }
 
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Byte offset of the next read; error messages quote it so a minimized
+  /// checkpoint repro points at the exact failing position.
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+  /// Tag of the most recently entered section ("" before the first tag).
+  [[nodiscard]] const std::string& section() const { return section_; }
 
  private:
   template <typename T>
@@ -109,10 +116,24 @@ class BinReader {
     return v;
   }
   void need(std::uint64_t n) const {
-    if (pos_ + n > data_.size()) throw SnapshotError("truncated stream");
+    // Subtract-form comparison: pos_ + n could wrap for an adversarial
+    // string length decoded from the stream itself.
+    if (n > data_.size() - pos_) {
+      throw SnapshotError("truncated stream: need " + std::to_string(n) +
+                          " byte(s), have " +
+                          std::to_string(data_.size() - pos_) + context());
+    }
+  }
+  [[nodiscard]] std::string context() const {
+    std::string c = " at byte offset " + std::to_string(pos_) + " of " +
+                    std::to_string(data_.size());
+    c += section_.empty() ? " (before any section tag)"
+                          : " in section '" + section_ + "'";
+    return c;
   }
 
   std::string data_;
+  std::string section_;
   std::size_t pos_ = 0;
 };
 

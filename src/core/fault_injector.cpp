@@ -181,6 +181,30 @@ std::vector<FaultEvent> parse_fault_plan(const std::string& text) {
       throw std::invalid_argument(where + ": trailing token '" + extra +
                                   "'");
     }
+    // Plans are an authored timeline, so hold them to authoring standards:
+    // cycles must be non-decreasing and an event may appear only once.
+    // (The injector would stable_sort a shuffled plan into *some* order,
+    // but silently reordering or double-firing is never what the author
+    // meant - found while scoping the soak sampler domains.)
+    if (!events.empty() && e.cycle < events.back().cycle) {
+      throw std::invalid_argument(
+          where + ": out-of-order event (cycle " + std::to_string(e.cycle) +
+          " after cycle " + std::to_string(events.back().cycle) + ")");
+    }
+    const auto normalized = [](FaultEvent ev) {
+      const bool link = ev.kind == FaultEventKind::kLinkDown ||
+                        ev.kind == FaultEventKind::kLinkUp;
+      if (link && ev.b < ev.a) std::swap(ev.a, ev.b);  // links are undirected
+      return ev;
+    };
+    const FaultEvent key = normalized(e);
+    for (const FaultEvent& prev : events) {
+      const FaultEvent p = normalized(prev);
+      if (p.cycle == key.cycle && p.kind == key.kind && p.a == key.a &&
+          p.b == key.b) {
+        throw std::invalid_argument(where + ": duplicate event");
+      }
+    }
     events.push_back(e);
   }
   return events;

@@ -1,0 +1,180 @@
+#include "fuzz/case_isolator.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+// Sanitizers reserve huge virtual address ranges up front; an RLIMIT_AS cap
+// would kill every child at startup, so the limit is compiled out.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PACSIM_SANITIZER_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PACSIM_SANITIZER_BUILD 1
+#endif
+#endif
+
+namespace pacsim::fuzz {
+namespace {
+
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // parent gone; nothing useful left to do in the child
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void apply_limits(const IsolateLimits& limits) {
+  if (limits.cpu_seconds > 0) {
+    rlimit rl{limits.cpu_seconds, limits.cpu_seconds + 2};
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+#if !defined(PACSIM_SANITIZER_BUILD)
+  if (limits.address_space_bytes > 0) {
+    rlimit rl{static_cast<rlim_t>(limits.address_space_bytes),
+              static_cast<rlim_t>(limits.address_space_bytes)};
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+#endif
+}
+
+/// Drain whatever is currently readable from a nonblocking fd.
+void drain_pipe(int fd, std::string* out) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out->append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // 0 = EOF, EAGAIN = nothing more right now
+  }
+}
+
+}  // namespace
+
+CaseIsolator::CaseIsolator(IsolateLimits limits) : limits_(limits) {}
+
+IsolateResult CaseIsolator::run(
+    const std::function<int(std::string& report)>& body) const {
+  int report_pipe[2];
+  if (::pipe(report_pipe) != 0) {
+    throw std::runtime_error("CaseIsolator: pipe() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  // Unlinked temp file shared by fd: the child's stderr lands here and the
+  // parent reads the tail back after the child is gone.
+  std::FILE* err_file = std::tmpfile();
+
+  // Flush stdio before forking so buffered output is not emitted twice.
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(report_pipe[0]);
+    ::close(report_pipe[1]);
+    if (err_file != nullptr) std::fclose(err_file);
+    throw std::runtime_error("CaseIsolator: fork() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+
+  if (pid == 0) {
+    // --- child ---
+    ::close(report_pipe[0]);
+    if (err_file != nullptr) ::dup2(::fileno(err_file), STDERR_FILENO);
+    apply_limits(limits_);
+    int code = 125;  // harness sentinel: body threw out of the child
+    std::string report;
+    try {
+      code = body(report);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[isolator] child body threw: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "[isolator] child body threw (non-std)\n");
+    }
+    write_all(report_pipe[1], report.data(), report.size());
+    ::close(report_pipe[1]);
+    std::fflush(nullptr);
+    ::_exit(code & 0xFF);
+  }
+
+  // --- parent ---
+  ::close(report_pipe[1]);
+  const int flags = ::fcntl(report_pipe[0], F_GETFL, 0);
+  ::fcntl(report_pipe[0], F_SETFL, flags | O_NONBLOCK);
+
+  IsolateResult res;
+  const auto start = std::chrono::steady_clock::now();
+  int status = 0;
+  bool reaped = false;
+  while (!reaped) {
+    // Keep the pipe drained so a chatty child never blocks on a full pipe.
+    drain_pipe(report_pipe[0], &res.report);
+    const pid_t w = ::waitpid(pid, &status, WNOHANG);
+    if (w == pid) {
+      reaped = true;
+      break;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed > limits_.wall_seconds) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      res.status = IsolateResult::Status::kTimedOut;
+      reaped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  drain_pipe(report_pipe[0], &res.report);
+  ::close(report_pipe[0]);
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (res.status != IsolateResult::Status::kTimedOut) {
+    if (WIFEXITED(status)) {
+      res.status = IsolateResult::Status::kExited;
+      res.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      res.status = IsolateResult::Status::kSignaled;
+      res.term_signal = WTERMSIG(status);
+    }
+  }
+
+  if (err_file != nullptr) {
+    std::fflush(err_file);
+    const long size = [&] {
+      std::fseek(err_file, 0, SEEK_END);
+      return std::ftell(err_file);
+    }();
+    const long tail = static_cast<long>(limits_.stderr_tail_bytes);
+    const long from = size > tail ? size - tail : 0;
+    if (size > 0) {
+      std::fseek(err_file, from, SEEK_SET);
+      res.stderr_tail.resize(static_cast<std::size_t>(size - from));
+      const std::size_t got = std::fread(res.stderr_tail.data(), 1,
+                                         res.stderr_tail.size(), err_file);
+      res.stderr_tail.resize(got);
+    }
+    std::fclose(err_file);
+  }
+  return res;
+}
+
+}  // namespace pacsim::fuzz

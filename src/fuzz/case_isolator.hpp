@@ -1,0 +1,61 @@
+// Fork-based case isolation: one wedged, crashing, or memory-hogging soak
+// case must never take the campaign down with it.
+//
+// Each case runs in a forked child under resource limits (CPU seconds,
+// address space) with a parent-side wall-clock watchdog; the child reports
+// its verdict back over a pipe and its stderr is redirected to an unlinked
+// temp file whose tail the parent harvests into the case record. A child
+// that outlives the watchdog is SIGKILLed and classified as a hang; a child
+// that dies on a signal (SIGSEGV, SIGABRT, sanitizer abort) is captured as
+// exactly that, with the signal number and stderr tail preserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pacsim::fuzz {
+
+struct IsolateLimits {
+  /// Parent-side watchdog; the child is SIGKILLed past this.
+  double wall_seconds = 120.0;
+  /// RLIMIT_CPU for the child (0 = unlimited). A CPU-bound wedge dies on
+  /// SIGXCPU even if the parent goes away.
+  unsigned cpu_seconds = 0;
+  /// RLIMIT_AS for the child (0 = unlimited). Ignored in sanitizer builds:
+  /// ASan/TSan reserve terabytes of shadow address space by design.
+  std::uint64_t address_space_bytes = 0;
+  /// Bytes of the child's stderr tail to keep.
+  std::size_t stderr_tail_bytes = 4096;
+};
+
+struct IsolateResult {
+  enum class Status : std::uint8_t {
+    kExited = 0,   ///< normal _exit; see exit_code
+    kSignaled,     ///< killed by a signal; see term_signal
+    kTimedOut,     ///< wall-clock watchdog fired (SIGKILL)
+  };
+  Status status = Status::kExited;
+  int exit_code = 0;
+  int term_signal = 0;
+  std::string report;       ///< bytes the child body wrote for the parent
+  std::string stderr_tail;  ///< last stderr_tail_bytes of the child's stderr
+  double wall_seconds = 0.0;
+};
+
+class CaseIsolator {
+ public:
+  explicit CaseIsolator(IsolateLimits limits = {});
+
+  /// Fork and run `body` in the child. The body's return value becomes the
+  /// child exit code; whatever it appends to `report` is shipped back to
+  /// the parent verbatim (keep it under the pipe capacity, ~64 KB). Throws
+  /// std::runtime_error only on harness failures (fork/pipe).
+  [[nodiscard]] IsolateResult run(
+      const std::function<int(std::string& report)>& body) const;
+
+ private:
+  IsolateLimits limits_;
+};
+
+}  // namespace pacsim::fuzz

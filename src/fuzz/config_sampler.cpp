@@ -1,0 +1,128 @@
+#include "fuzz/config_sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace pacsim::fuzz {
+namespace {
+
+template <typename T>
+const T& pick(Rng& rng, const std::vector<T>& domain) {
+  if (domain.empty()) throw std::logic_error("ConfigSampler: empty domain");
+  return domain[rng.below(domain.size())];
+}
+
+constexpr std::uint32_t kHmcVaults = 32;  // AddressMapConfig::num_vaults
+
+}  // namespace
+
+ConfigSampler::ConfigSampler(std::uint64_t campaign_seed, KnobDomains domains,
+                             PerturbPlan plant)
+    : campaign_seed_(campaign_seed),
+      domains_(std::move(domains)),
+      plant_(plant) {}
+
+SoakCase ConfigSampler::sample(std::uint64_t case_id) const {
+  // Per-case stream: hash (campaign seed, id) so neighbouring ids do not
+  // share xoshiro prefixes and sampling stays order-independent.
+  Rng rng(fnv1a(&case_id, sizeof(case_id), campaign_seed_));
+  const KnobDomains& d = domains_;
+
+  SoakCase c;
+  c.id = case_id;
+  c.coalescer = pick(rng, d.controllers);
+  c.backend = pick(rng, d.backends);
+  c.cubes = pick(rng, d.cube_counts);
+  c.topology = c.cubes >= 2 && rng.below(2) == 1 ? Topology::kMesh
+                                                 : Topology::kChain;
+  c.cores = pick(rng, d.core_counts);
+  c.ops = pick(rng, d.ops_values);
+  c.seed = rng.next();
+  c.zipf = pick(rng, d.zipf_values);
+  c.store_percent = pick(rng, d.store_pcts);
+  c.gap_max = pick(rng, d.gap_maxes);
+  c.quiesce_bursts = pick(rng, d.quiesce_burst_counts);
+  c.mlp = pick(rng, d.mlps);
+  c.conc = pick(rng, d.concs);
+
+  c.fault_rate = pick(rng, d.rates);
+  c.drop_rate = pick(rng, d.rates);
+  c.stall_rate = pick(rng, d.rates);
+  c.burst_length = pick(rng, d.burst_lengths);
+  c.fault_seed = rng.next();
+
+  // Scheduled hard failures only make sense on a multi-cube fabric; draw
+  // distinct cycles so the plan stays canonical under normalize().
+  if (c.cubes >= 2 && rng.uniform() < d.timeline_probability) {
+    const std::uint32_t n =
+        1 + static_cast<std::uint32_t>(rng.below(d.max_timeline_events));
+    std::vector<Cycle> cycles;
+    while (cycles.size() < n) {
+      const Cycle span = d.timeline_max_cycle - d.timeline_min_cycle + 1;
+      Cycle cyc = d.timeline_min_cycle + rng.below(span);
+      while (std::find(cycles.begin(), cycles.end(), cyc) != cycles.end()) {
+        ++cyc;  // nudge collisions: cycles must be distinct
+      }
+      cycles.push_back(cyc);
+    }
+    for (const Cycle cyc : cycles) {
+      FaultEvent e;
+      e.cycle = cyc;
+      // Vault deaths are an HMC notion; the other kinds apply everywhere.
+      const std::uint64_t kinds = c.backend == BackendKind::kHmc ? 4 : 3;
+      switch (rng.below(kinds)) {
+        case 0:
+        case 1: {
+          // Adjacent pair: always a real chain link, and on the mesh a
+          // non-edge down/up is a legal no-op that still soaks the
+          // timeline machinery.
+          e.kind = rng.below(2) == 0 ? FaultEventKind::kLinkDown
+                                     : FaultEventKind::kLinkUp;
+          e.a = static_cast<std::uint32_t>(rng.below(c.cubes - 1));
+          e.b = e.a + 1;
+          break;
+        }
+        case 2:
+          e.kind = FaultEventKind::kCubeDown;
+          e.a = static_cast<std::uint32_t>(rng.below(c.cubes));
+          break;
+        default:
+          e.kind = FaultEventKind::kVaultDown;
+          e.a = static_cast<std::uint32_t>(rng.below(c.cubes));
+          e.b = static_cast<std::uint32_t>(rng.below(kHmcVaults));
+          break;
+      }
+      c.timeline.push_back(e);
+    }
+  }
+  // Scheduled hardware death under abort would (correctly) kill the run -
+  // a soak case must only abort when the simulator is actually broken.
+  c.fail_policy = c.timeline.empty() && rng.below(2) == 0
+                      ? FailPolicy::kAbort
+                      : FailPolicy::kContain;
+
+  // Execution plan: shards need at least one core each; extra threads
+  // beyond the shard count add nothing.
+  std::vector<unsigned> shard_domain;
+  for (const unsigned s : d.shard_counts) {
+    if (s <= c.cores) shard_domain.push_back(s);
+  }
+  c.shards = shard_domain.empty() ? 1 : pick(rng, shard_domain);
+  std::vector<unsigned> thread_domain;
+  for (const unsigned t : d.thread_counts) {
+    if (t <= c.shards) thread_domain.push_back(t);
+  }
+  c.threads = thread_domain.empty() ? 1 : pick(rng, thread_domain);
+  c.epoch_cycles = pick(rng, d.epoch_lens);
+
+  c.ff_overshoot = plant_.ff_overshoot;
+  c.skip_timeline_clamp = plant_.skip_timeline_clamp;
+
+  c.normalize();
+  return c;
+}
+
+}  // namespace pacsim::fuzz

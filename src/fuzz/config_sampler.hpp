@@ -1,0 +1,90 @@
+// Seeded random sampling of valid SoakCases from a declarative knob-domain
+// table (DESIGN.md "Chaos-soak fuzzing").
+//
+// The sampler is the campaign's only source of randomness, and it is
+// stateless per case: case i is drawn from an RNG seeded by
+// (campaign seed, i) alone, so sampling is order-independent - parallel
+// campaigns, replays, and resumed sweeps all see the identical case list.
+// Validity constraints (timeline operands inside the sampled cube count,
+// shards bounded by cores, failpolicy=contain whenever scheduled hardware
+// death is in play, vault events only on the backend that has vaults) are
+// enforced here so every sampled case is a *legal* configuration - the
+// fuzzer hunts simulator bugs, not CLI validation errors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/soak_case.hpp"
+
+namespace pacsim::fuzz {
+
+/// The per-knob value domains a campaign draws from. Defaults cover the
+/// full supported cross-product at soak-friendly trace sizes; quick() is
+/// the CI smoke variant (smaller traces, same shape coverage).
+struct KnobDomains {
+  std::vector<CoalescerKind> controllers{
+      CoalescerKind::kDirect, CoalescerKind::kMshrDmc, CoalescerKind::kPac,
+      CoalescerKind::kSortingDmc};
+  std::vector<BackendKind> backends{BackendKind::kHmc, BackendKind::kHbm,
+                                    BackendKind::kDdr};
+  std::vector<std::uint32_t> cube_counts{1, 2, 4, 8};
+  std::vector<std::uint32_t> core_counts{1, 2, 4, 8};
+  std::vector<std::uint32_t> ops_values{200, 400, 800, 1500, 3000};
+  std::vector<double> zipf_values{0.0, 0.6, 1.2};
+  std::vector<std::uint32_t> store_pcts{0, 20, 50};
+  std::vector<std::uint32_t> gap_maxes{2, 8, 32};
+  /// Quiescent-window cadence (bursts between long drain gaps; 0 = none).
+  /// Nonzero draws keep the checkpoint-restore oracle alive: without drain
+  /// windows no epoch boundary is quiescent and restores are always
+  /// skipped.
+  std::vector<std::uint32_t> quiesce_burst_counts{0, 0, 4, 16};
+  std::vector<std::uint32_t> mlps{4, 8, 32};
+  std::vector<std::uint32_t> concs{8, 16, 32};
+  /// Transient fault rates; 0 keeps the stochastic model off for the case.
+  std::vector<double> rates{0.0, 0.0, 0.002, 0.01};
+  std::vector<std::uint32_t> burst_lengths{1, 4};
+  std::vector<unsigned> shard_counts{1, 2, 4};
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  std::vector<Cycle> epoch_lens{1024, 4096, 32768};
+
+  /// P(a multi-cube case gets a scheduled hard-failure timeline).
+  double timeline_probability = 0.5;
+  std::uint32_t max_timeline_events = 3;
+  /// Scheduled cycles are drawn distinct in [min, max]; events past the
+  /// end of a short run simply never fire (legal, still soaks the clamp).
+  Cycle timeline_min_cycle = 1'000;
+  Cycle timeline_max_cycle = 16'000;
+
+  [[nodiscard]] static KnobDomains defaults() { return {}; }
+  /// CI smoke cell: smaller traces, the rest of the space intact.
+  [[nodiscard]] static KnobDomains quick() {
+    KnobDomains d;
+    d.ops_values = {200, 400, 800};
+    return d;
+  }
+};
+
+/// Deterministic perturbation schedule applied to every sampled case: the
+/// planted-bug knobs the acceptance tests use to prove the oracles bite.
+struct PerturbPlan {
+  Cycle ff_overshoot = 0;
+  bool skip_timeline_clamp = false;
+};
+
+class ConfigSampler {
+ public:
+  explicit ConfigSampler(std::uint64_t campaign_seed,
+                         KnobDomains domains = KnobDomains::defaults(),
+                         PerturbPlan plant = {});
+
+  /// Draw case `case_id` (deterministic, order-independent).
+  [[nodiscard]] SoakCase sample(std::uint64_t case_id) const;
+
+ private:
+  std::uint64_t campaign_seed_;
+  KnobDomains domains_;
+  PerturbPlan plant_;
+};
+
+}  // namespace pacsim::fuzz

@@ -1,0 +1,170 @@
+#include "fuzz/minimizer.hpp"
+
+#include <utility>
+
+namespace pacsim::fuzz {
+namespace {
+
+/// True when every timeline event's operands stay valid with `cubes`.
+bool timeline_fits(const SoakCase& c, std::uint32_t cubes) {
+  for (const FaultEvent& e : c.timeline) {
+    switch (e.kind) {
+      case FaultEventKind::kLinkDown:
+      case FaultEventKind::kLinkUp:
+        if (e.a >= cubes || e.b >= cubes) return false;
+        break;
+      case FaultEventKind::kVaultDown:
+      case FaultEventKind::kCubeDown:
+        if (e.a >= cubes) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Minimizer::Minimizer(std::function<bool(const SoakCase&)> still_fails,
+                     MinimizeOptions opts)
+    : still_fails_(std::move(still_fails)), opts_(opts) {}
+
+MinimizeResult Minimizer::minimize(const SoakCase& failing) const {
+  MinimizeResult r;
+  r.best = failing;
+  r.best.normalize();
+
+  // Try one candidate; adopt it if it still fails. Returns true on adopt.
+  const auto attempt = [&](SoakCase cand) {
+    cand.normalize();
+    if (cand == r.best) return false;
+    if (r.evals >= opts_.max_evals) return false;
+    ++r.evals;
+    if (!still_fails_(cand)) return false;
+    r.best = std::move(cand);
+    ++r.shrinks;
+    return true;
+  };
+  const auto budget_left = [&] { return r.evals < opts_.max_evals; };
+
+  bool progress = true;
+  while (progress && budget_left()) {
+    progress = false;
+
+    // Trace size dominates replay time: shrink it first, repeatedly.
+    while (budget_left() && r.best.ops / 2 >= opts_.min_ops) {
+      SoakCase cand = r.best;
+      cand.ops /= 2;
+      if (!attempt(std::move(cand))) break;
+      progress = true;
+    }
+    while (budget_left() && r.best.cores > 1) {
+      SoakCase cand = r.best;
+      cand.cores /= 2;
+      // Shrinking cores can invalidate the execution plan.
+      if (cand.shards > cand.cores) cand.shards = cand.cores;
+      if (cand.threads > cand.shards) cand.threads = cand.shards;
+      if (!attempt(std::move(cand))) break;
+      progress = true;
+    }
+
+    // Drop timeline events one at a time (classic ddmin granularity 1 -
+    // plans here are at most a handful of events).
+    for (std::size_t i = 0; budget_left() && i < r.best.timeline.size();) {
+      SoakCase cand = r.best;
+      cand.timeline.erase(cand.timeline.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (attempt(std::move(cand))) {
+        progress = true;  // same index now names the next event
+      } else {
+        ++i;
+      }
+    }
+
+    // Zero each transient-fault knob independently.
+    for (double SoakCase::* rate :
+         {&SoakCase::fault_rate, &SoakCase::drop_rate, &SoakCase::stall_rate}) {
+      if (!budget_left() || r.best.*rate == 0.0) continue;
+      SoakCase cand = r.best;
+      cand.*rate = 0.0;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.burst_length != 1) {
+      SoakCase cand = r.best;
+      cand.burst_length = 1;
+      progress |= attempt(std::move(cand));
+    }
+
+    // Collapse the execution plan toward the classic serial path.
+    if (budget_left() && r.best.threads != 1) {
+      SoakCase cand = r.best;
+      cand.threads = 1;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.shards != 1) {
+      SoakCase cand = r.best;
+      cand.shards = 1;
+      cand.threads = 1;
+      progress |= attempt(std::move(cand));
+    }
+
+    // Step the fabric down; skip any shrink that orphans a timeline
+    // operand.
+    if (budget_left() && r.best.cubes > 1) {
+      const std::uint32_t next = r.best.cubes / 2;
+      if (timeline_fits(r.best, next)) {
+        SoakCase cand = r.best;
+        cand.cubes = next;
+        if (next < 2) cand.topology = Topology::kChain;
+        progress |= attempt(std::move(cand));
+      }
+    }
+    if (budget_left() && r.best.topology == Topology::kMesh) {
+      SoakCase cand = r.best;
+      cand.topology = Topology::kChain;
+      progress |= attempt(std::move(cand));
+    }
+
+    // Simplify the traffic shape and concurrency knobs.
+    if (budget_left() && r.best.zipf != 0.0) {
+      SoakCase cand = r.best;
+      cand.zipf = 0.0;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.store_percent != 0) {
+      SoakCase cand = r.best;
+      cand.store_percent = 0;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.quiesce_bursts != 0) {
+      SoakCase cand = r.best;
+      cand.quiesce_bursts = 0;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.mlp != 8) {
+      SoakCase cand = r.best;
+      cand.mlp = 8;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.conc != 16) {
+      SoakCase cand = r.best;
+      cand.conc = 16;
+      progress |= attempt(std::move(cand));
+    }
+
+    // Perturbation knobs last: if the failure survives without the planted
+    // bug, the planted bug was not the cause.
+    if (budget_left() && r.best.ff_overshoot != 0) {
+      SoakCase cand = r.best;
+      cand.ff_overshoot = 0;
+      progress |= attempt(std::move(cand));
+    }
+    if (budget_left() && r.best.skip_timeline_clamp) {
+      SoakCase cand = r.best;
+      cand.skip_timeline_clamp = false;
+      progress |= attempt(std::move(cand));
+    }
+  }
+  return r;
+}
+
+}  // namespace pacsim::fuzz

@@ -1,0 +1,48 @@
+// Delta-debugging reproducer minimization (DESIGN.md "Chaos-soak
+// fuzzing").
+//
+// Given a failing SoakCase and a `still_fails` predicate (in the campaign:
+// an isolated oracle re-run that must reproduce the same failure class),
+// the minimizer greedily applies shrinking transformations - halve the
+// trace, drop timeline events one at a time, zero each transient rate,
+// collapse the execution plan, step the fabric down - accepting any
+// candidate that still fails, and repeats to a fixpoint or until the
+// evaluation budget runs out. The result is the small, human-readable case
+// that lands in the repro file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/soak_case.hpp"
+
+namespace pacsim::fuzz {
+
+struct MinimizeOptions {
+  /// Predicate-evaluation budget; each evaluation re-runs the oracles.
+  unsigned max_evals = 64;
+  /// Never shrink the per-core trace below this (a case needs enough ops
+  /// to reach its interesting state at all).
+  std::uint32_t min_ops = 100;
+};
+
+struct MinimizeResult {
+  SoakCase best;
+  unsigned evals = 0;    ///< predicate evaluations spent
+  unsigned shrinks = 0;  ///< accepted (still-failing) candidates
+};
+
+class Minimizer {
+ public:
+  Minimizer(std::function<bool(const SoakCase&)> still_fails,
+            MinimizeOptions opts = {});
+
+  /// `failing` must satisfy the predicate already (it is not re-checked).
+  [[nodiscard]] MinimizeResult minimize(const SoakCase& failing) const;
+
+ private:
+  std::function<bool(const SoakCase&)> still_fails_;
+  MinimizeOptions opts_;
+};
+
+}  // namespace pacsim::fuzz

@@ -1,0 +1,270 @@
+#include "fuzz/oracle_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace pacsim::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Classify an exception thrown by a run. Watchdog expiries (max_cycles,
+/// verifier no-progress, sweep cancellation) are hangs; any other verifier
+/// violation is an invariant failure; everything else is a crash.
+SoakClass classify(const std::exception& e, bool is_violation) {
+  const std::string what = e.what();
+  if (what.find("watchdog") != std::string::npos ||
+      what.find("no lifecycle event") != std::string::npos ||
+      what.find("max_cycles") != std::string::npos ||
+      what.find("cancelled") != std::string::npos) {
+    return SoakClass::kHang;
+  }
+  return is_violation ? SoakClass::kViolation : SoakClass::kCrash;
+}
+
+/// First line where two reports disagree, quoted from both sides.
+std::string first_diff(const std::string& a, const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return "reports identical";  // caller compared unequal?
+    if (!ga || !gb || la != lb) {
+      auto trim = [](std::string s) {
+        const auto f = s.find_first_not_of(" \t");
+        return f == std::string::npos ? std::string("<eof>") : s.substr(f);
+      };
+      return "report line " + std::to_string(line) + ": '" +
+             (ga ? trim(la) : "<eof>") + "' vs '" + (gb ? trim(lb) : "<eof>") +
+             "'";
+    }
+  }
+}
+
+std::vector<std::string> snapshots_in(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".pacsnap") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    // ckpt-<cycle>.pacsnap: numeric cycle order, not lexicographic.
+    auto cycle = [](const std::string& p) {
+      const auto base = fs::path(p).stem().string();
+      return std::stoull(base.substr(base.find('-') + 1));
+    };
+    return cycle(a) < cycle(b);
+  });
+  return out;
+}
+
+std::string escape_lines(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    if (ch == '\n') {
+      out += "\\n";
+    } else if (ch != '\r') {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SoakClass cls) {
+  switch (cls) {
+    case SoakClass::kClean: return "clean";
+    case SoakClass::kDivergence: return "divergence";
+    case SoakClass::kViolation: return "violation";
+    case SoakClass::kCrash: return "crash";
+    case SoakClass::kHang: return "hang";
+  }
+  return "?";
+}
+
+SoakClass parse_soak_class(const std::string& name) {
+  for (const SoakClass cls :
+       {SoakClass::kClean, SoakClass::kDivergence, SoakClass::kViolation,
+        SoakClass::kCrash, SoakClass::kHang}) {
+    if (name == to_string(cls)) return cls;
+  }
+  throw std::invalid_argument("unknown soak class '" + name + "'");
+}
+
+std::string Verdict::text() const {
+  std::string out;
+  out += "class=" + std::string(to_string(cls)) + "\n";
+  out += "oracle=" + escape_lines(oracle) + "\n";
+  out += "detail=" + escape_lines(detail) + "\n";
+  out += "checked=" + std::to_string(oracles_checked) + "\n";
+  out += "skipped=" + std::to_string(oracles_skipped) + "\n";
+  return out;
+}
+
+Verdict Verdict::parse(const std::string& text) {
+  Verdict v;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_class = false;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "class") {
+      v.cls = parse_soak_class(value);
+      saw_class = true;
+    } else if (key == "oracle") {
+      v.oracle = value;
+    } else if (key == "detail") {
+      v.detail = value;
+    } else if (key == "checked") {
+      v.oracles_checked = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "skipped") {
+      v.oracles_skipped = static_cast<unsigned>(std::stoul(value));
+    }
+  }
+  if (!saw_class) {
+    throw std::invalid_argument("Verdict::parse: no 'class=' line");
+  }
+  return v;
+}
+
+OracleRunner::OracleRunner(OracleOptions opts) : opts_(std::move(opts)) {}
+
+Verdict OracleRunner::run(const SoakCase& c) const {
+  Verdict v;
+  const std::string workdir = opts_.workdir;
+  // Fresh scratch: stale snapshots from a previous (differently-shaped)
+  // case would poison the restore oracle's snapshot pick.
+  fs::remove_all(workdir);
+  fs::create_directories(workdir);
+
+  SystemConfig base = build_system_config(c);
+  base.verify.forensics_dir = workdir + "/forensics";
+
+  const auto narrate = [&](const char* mode) {
+    if (opts_.verbose) {
+      std::fprintf(stderr, "[soak] case %llu: running %s ...\n",
+                   static_cast<unsigned long long>(c.id), mode);
+    }
+  };
+
+  // One execution mode; returns false (with the verdict filled in) when the
+  // run itself fails. `digest` is the byte-comparable report.
+  const auto attempt = [&](const char* mode, const SystemConfig& cfg,
+                           const std::vector<Trace>& traces,
+                           std::string* digest) {
+    narrate(mode);
+    try {
+      const RunResult r = simulate(cfg, traces);
+      *digest = run_report_json("soak", cfg.coalescer, r,
+                                /*include_throughput=*/false);
+      return true;
+    } catch (const VerificationError& e) {
+      v.cls = classify(e, /*is_violation=*/true);
+      v.oracle = std::string("run:") + mode;
+      v.detail = e.what();
+      if (!e.forensics_path().empty()) {
+        v.detail += " [forensics: " + e.forensics_path() + "]";
+      }
+    } catch (const std::exception& e) {
+      v.cls = classify(e, /*is_violation=*/false);
+      v.oracle = std::string("run:") + mode;
+      v.detail = e.what();
+    }
+    return false;
+  };
+
+  std::vector<Trace> traces;
+  try {
+    traces = generate_traffic(build_traffic_config(c));
+  } catch (const std::exception& e) {
+    v.cls = SoakClass::kCrash;
+    v.oracle = "traffic-gen";
+    v.detail = e.what();
+    return v;
+  }
+
+  const auto diverged = [&](const char* oracle, const std::string& got,
+                            const std::string& want) {
+    ++v.oracles_checked;
+    if (got == want) return false;
+    v.cls = SoakClass::kDivergence;
+    v.oracle = oracle;
+    v.detail = first_diff(got, want);
+    return true;
+  };
+
+  // Reference: the naive per-cycle loop, classic single-System path.
+  SystemConfig naive_cfg = base;
+  naive_cfg.enable_fast_forward = false;
+  std::string d_naive;
+  if (!attempt("naive", naive_cfg, traces, &d_naive)) return v;
+
+  // Oracle 1: event-horizon fast-forward must be bit-identical.
+  SystemConfig ff_cfg = base;
+  ff_cfg.enable_fast_forward = true;
+  std::string d_ff;
+  if (!attempt("ff", ff_cfg, traces, &d_ff)) return v;
+  if (diverged("ff-vs-naive", d_ff, d_naive)) return v;
+
+  // Sharded serial run, writing quiescent-point snapshots: the reference
+  // side of the threaded and restore oracles (and, at shards=1, one more
+  // differential against the classic path).
+  SystemConfig shard_cfg = base;
+  shard_cfg.exec.shards = c.shards;
+  shard_cfg.exec.threads = 1;
+  shard_cfg.exec.epoch_cycles = c.epoch_cycles;
+  shard_cfg.exec.checkpoint_dir = workdir + "/ckpt";
+  std::string d_shard;
+  if (!attempt("sharded-serial", shard_cfg, traces, &d_shard)) return v;
+  if (c.shards == 1 && diverged("sharded-vs-classic", d_shard, d_ff)) {
+    return v;
+  }
+
+  // Oracle 2: worker-thread count must not change the merged report.
+  if (c.threads > 1) {
+    SystemConfig thr_cfg = shard_cfg;
+    thr_cfg.exec.checkpoint_dir.clear();
+    thr_cfg.exec.threads = c.threads;
+    std::string d_thr;
+    if (!attempt("threaded", thr_cfg, traces, &d_thr)) return v;
+    if (diverged("threaded-vs-serial", d_thr, d_shard)) return v;
+  }
+
+  // Oracle 3: a split run through a mid-trace snapshot must land on the
+  // byte-identical final report. Skipped (and counted) when no epoch
+  // boundary was quiescent enough to snapshot.
+  const std::vector<std::string> snaps = snapshots_in(shard_cfg.exec.checkpoint_dir);
+  if (snaps.empty()) {
+    ++v.oracles_skipped;
+  } else {
+    SystemConfig res_cfg = shard_cfg;
+    res_cfg.exec.checkpoint_dir.clear();
+    res_cfg.exec.restore_path = snaps[snaps.size() / 2];
+    std::string d_res;
+    if (!attempt("restored", res_cfg, traces, &d_res)) return v;
+    if (diverged("checkpoint-restore", d_res, d_shard)) return v;
+  }
+
+  if (!opts_.keep_artifacts) fs::remove_all(workdir);
+  return v;
+}
+
+}  // namespace pacsim::fuzz

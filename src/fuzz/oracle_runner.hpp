@@ -1,0 +1,72 @@
+// Differential oracle execution for one soak case (DESIGN.md "Chaos-soak
+// fuzzing", oracle matrix).
+//
+// A case is executed up to five ways, all under verify=full, and every pair
+// that must agree is compared on the byte-identical run report (host-side
+// wall-clock blocks excluded, the same idiom as the differential tests):
+//
+//   naive                fast-forward off, classic single-System path
+//   ff                   fast-forward on                  == naive
+//   sharded serial       shards=S threads=1 + checkpoints == ff (when S==1)
+//   threaded             shards=S threads=T               == sharded serial
+//   restored             resume from a mid-run snapshot   == sharded serial
+//
+// Outcomes classify as clean / divergence / invariant violation / crash /
+// hang; in-process hangs surface deterministically via the max_cycles and
+// verifier no-progress watchdogs (wall-clock wedges are the CaseIsolator's
+// job).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/soak_case.hpp"
+
+namespace pacsim::fuzz {
+
+enum class SoakClass : std::uint8_t {
+  kClean = 0,
+  kDivergence,   ///< two execution modes disagree on the report
+  kViolation,    ///< the verifier's invariant ledger fired
+  kCrash,        ///< any other exception (or child death in the isolator)
+  kHang,         ///< watchdog expiry (in-process or wall-clock)
+};
+
+[[nodiscard]] const char* to_string(SoakClass cls);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] SoakClass parse_soak_class(const std::string& name);
+
+struct Verdict {
+  SoakClass cls = SoakClass::kClean;
+  std::string oracle;  ///< which oracle flagged (e.g. "ff-vs-naive")
+  std::string detail;  ///< first differing report line / exception text
+  unsigned oracles_checked = 0;  ///< differential comparisons performed
+  unsigned oracles_skipped = 0;  ///< e.g. no quiescent snapshot to restore
+
+  [[nodiscard]] bool failed() const { return cls != SoakClass::kClean; }
+  /// Line-oriented serialization for the isolator's report pipe.
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] static Verdict parse(const std::string& text);
+};
+
+struct OracleOptions {
+  /// Scratch root for this case's checkpoints and verifier forensics;
+  /// recreated fresh per run, removed again on a clean verdict.
+  std::string workdir = "pacsim-soak-scratch";
+  /// Keep the scratch directory even when the case is clean.
+  bool keep_artifacts = false;
+  /// Narrate each oracle run to stderr (repro replay mode).
+  bool verbose = false;
+};
+
+class OracleRunner {
+ public:
+  explicit OracleRunner(OracleOptions opts);
+
+  [[nodiscard]] Verdict run(const SoakCase& c) const;
+
+ private:
+  OracleOptions opts_;
+};
+
+}  // namespace pacsim::fuzz

@@ -1,0 +1,237 @@
+#include "fuzz/soak_case.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/atomic_file.hpp"
+
+namespace pacsim::fuzz {
+namespace {
+
+/// Shortest string that parses back to exactly the same double (strtod and
+/// to_chars are both correctly rounded), so repro files stay human-readable
+/// without losing a single bit.
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) throw std::runtime_error("fmt_double: to_chars");
+  return std::string(buf, end);
+}
+
+CoalescerKind parse_coalescer_kind(const std::string& name) {
+  if (name == "direct") return CoalescerKind::kDirect;
+  if (name == "mshr-dmc") return CoalescerKind::kMshrDmc;
+  if (name == "pac") return CoalescerKind::kPac;
+  if (name == "sorting-dmc") return CoalescerKind::kSortingDmc;
+  throw std::invalid_argument(
+      "unknown controller '" + name +
+      "' (expected direct, mshr-dmc, pac or sorting-dmc)");
+}
+
+/// One timeline event in the CLI spec syntax of its kind knob.
+std::string event_spec(const FaultEvent& e) {
+  std::string s = std::to_string(e.cycle) + ":" + std::to_string(e.a);
+  switch (e.kind) {
+    case FaultEventKind::kLinkDown:
+    case FaultEventKind::kLinkUp:
+      s += "-" + std::to_string(e.b);
+      break;
+    case FaultEventKind::kVaultDown:
+      s += "." + std::to_string(e.b);
+      break;
+    case FaultEventKind::kCubeDown:
+      break;
+  }
+  return s;
+}
+
+std::string event_knob(const SoakCase& c, const char* knob,
+                       FaultEventKind kind) {
+  std::string spec;
+  for (const FaultEvent& e : c.timeline) {
+    if (e.kind != kind) continue;
+    if (!spec.empty()) spec += ",";
+    spec += event_spec(e);
+  }
+  return spec.empty() ? std::string() : std::string(knob) + "=" + spec;
+}
+
+}  // namespace
+
+void SoakCase::normalize() {
+  std::sort(timeline.begin(), timeline.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              return std::tie(x.cycle, x.kind, x.a, x.b) <
+                     std::tie(y.cycle, y.kind, y.a, y.b);
+            });
+}
+
+bool SoakCase::operator==(const SoakCase& other) const {
+  return to_knobs(*this) == to_knobs(other);
+}
+
+std::vector<std::string> to_knobs(const SoakCase& c) {
+  std::vector<std::string> k;
+  k.push_back("case=" + std::to_string(c.id));
+  k.push_back("controller=" + std::string(to_string(c.coalescer)));
+  k.push_back("backend=" + std::string(to_string(c.backend)));
+  k.push_back("cubes=" + std::to_string(c.cubes));
+  k.push_back("topology=" + std::string(to_string(c.topology)));
+  k.push_back("cores=" + std::to_string(c.cores));
+  k.push_back("ops=" + std::to_string(c.ops));
+  k.push_back("seed=" + std::to_string(c.seed));
+  k.push_back("zipf=" + fmt_double(c.zipf));
+  k.push_back("storepct=" + std::to_string(c.store_percent));
+  k.push_back("gapmax=" + std::to_string(c.gap_max));
+  k.push_back("qbursts=" + std::to_string(c.quiesce_bursts));
+  k.push_back("mlp=" + std::to_string(c.mlp));
+  k.push_back("conc=" + std::to_string(c.conc));
+  k.push_back("faultrate=" + fmt_double(c.fault_rate));
+  k.push_back("faultdrop=" + fmt_double(c.drop_rate));
+  k.push_back("faultstall=" + fmt_double(c.stall_rate));
+  k.push_back("burstlen=" + std::to_string(c.burst_length));
+  k.push_back("faultseed=" + std::to_string(c.fault_seed));
+  for (const auto& [knob, kind] :
+       {std::pair{"linkdown", FaultEventKind::kLinkDown},
+        std::pair{"linkup", FaultEventKind::kLinkUp},
+        std::pair{"vaultdown", FaultEventKind::kVaultDown},
+        std::pair{"cubedown", FaultEventKind::kCubeDown}}) {
+    const std::string knob_line = event_knob(c, knob, kind);
+    if (!knob_line.empty()) k.push_back(knob_line);
+  }
+  k.push_back("failpolicy=" + std::string(to_string(c.fail_policy)));
+  k.push_back("sparepages=" + std::to_string(c.spare_pages));
+  k.push_back("threads=" + std::to_string(c.threads));
+  k.push_back("shards=" + std::to_string(c.shards));
+  k.push_back("epochlen=" + std::to_string(c.epoch_cycles));
+  k.push_back("ffovershoot=" + std::to_string(c.ff_overshoot));
+  k.push_back("skipclamp=" + std::to_string(c.skip_timeline_clamp ? 1 : 0));
+  return k;
+}
+
+std::string to_repro_text(const SoakCase& c, const std::string& verdict) {
+  std::string out =
+      "# pacsim soak reproducer - replay with `bench_soak repro=<this "
+      "file>`\n";
+  if (!verdict.empty()) out += "# verdict: " + verdict + "\n";
+  for (const std::string& knob : to_knobs(c)) out += knob + "\n";
+  return out;
+}
+
+SoakCase soak_case_from_cli(const Cli& cli) {
+  SoakCase c;
+  c.id = cli.get_u64("case", c.id);
+  c.coalescer = parse_coalescer_kind(
+      cli.get("controller", std::string(to_string(c.coalescer))));
+  c.backend =
+      parse_backend_kind(cli.get("backend", std::string(to_string(c.backend))));
+  c.cubes = static_cast<std::uint32_t>(cli.get_u64("cubes", c.cubes));
+  c.topology =
+      parse_topology(cli.get("topology", std::string(to_string(c.topology))));
+  c.cores = static_cast<std::uint32_t>(cli.get_u64("cores", c.cores));
+  c.ops = static_cast<std::uint32_t>(cli.get_u64("ops", c.ops));
+  c.seed = cli.get_u64("seed", c.seed);
+  c.zipf = cli.get_double("zipf", c.zipf);
+  c.store_percent =
+      static_cast<std::uint32_t>(cli.get_u64("storepct", c.store_percent));
+  c.gap_max = static_cast<std::uint32_t>(cli.get_u64("gapmax", c.gap_max));
+  c.quiesce_bursts =
+      static_cast<std::uint32_t>(cli.get_u64("qbursts", c.quiesce_bursts));
+  c.mlp = static_cast<std::uint32_t>(cli.get_u64("mlp", c.mlp));
+  c.conc = static_cast<std::uint32_t>(cli.get_u64("conc", c.conc));
+  c.fault_rate = cli.get_double("faultrate", c.fault_rate);
+  c.drop_rate = cli.get_double("faultdrop", c.drop_rate);
+  c.stall_rate = cli.get_double("faultstall", c.stall_rate);
+  c.burst_length =
+      static_cast<std::uint32_t>(cli.get_u64("burstlen", c.burst_length));
+  c.fault_seed = cli.get_u64("faultseed", c.fault_seed);
+  for (const auto& [knob, kind] :
+       {std::pair{"linkdown", FaultEventKind::kLinkDown},
+        std::pair{"linkup", FaultEventKind::kLinkUp},
+        std::pair{"vaultdown", FaultEventKind::kVaultDown},
+        std::pair{"cubedown", FaultEventKind::kCubeDown}}) {
+    const std::string spec = cli.get(knob, "");
+    if (spec.empty()) continue;
+    const std::vector<FaultEvent> events = parse_fault_events(knob, kind, spec);
+    c.timeline.insert(c.timeline.end(), events.begin(), events.end());
+  }
+  c.fail_policy = parse_fail_policy(
+      cli.get("failpolicy", std::string(to_string(c.fail_policy))));
+  c.spare_pages = cli.get_u64("sparepages", c.spare_pages);
+  c.threads = static_cast<unsigned>(cli.get_u64("threads", c.threads));
+  c.shards = static_cast<unsigned>(cli.get_u64("shards", c.shards));
+  c.epoch_cycles = cli.get_u64("epochlen", c.epoch_cycles);
+  c.ff_overshoot = cli.get_u64("ffovershoot", c.ff_overshoot);
+  c.skip_timeline_clamp = cli.get_u64("skipclamp", 0) != 0;
+  c.normalize();
+  return c;
+}
+
+void write_repro(const std::string& path, const SoakCase& c,
+                 const std::string& verdict) {
+  write_file_atomic(path, to_repro_text(c, verdict));
+}
+
+SoakCase load_repro(const std::string& path) {
+  return soak_case_from_cli(Cli::from_file(path));
+}
+
+TrafficConfig build_traffic_config(const SoakCase& c) {
+  TrafficConfig t;
+  t.cubes = c.cubes;
+  t.zipf = c.zipf;
+  t.seed = c.seed;
+  t.num_cores = c.cores;
+  t.ops_per_core = c.ops;
+  t.store_percent = c.store_percent;
+  t.gap_max_cycles = c.gap_max;
+  t.quiesce_every_bursts = c.quiesce_bursts;
+  // The cube address window must match the backend the case drives.
+  const SystemConfig cfg = build_system_config(c);
+  switch (c.backend) {
+    case BackendKind::kHmc: t.cube_capacity_bytes = cfg.hmc.map.capacity_bytes;
+      break;
+    case BackendKind::kHbm: t.cube_capacity_bytes = cfg.hbm.map.capacity_bytes;
+      break;
+    case BackendKind::kDdr: t.cube_capacity_bytes = cfg.ddr.map.capacity_bytes;
+      break;
+  }
+  return t;
+}
+
+SystemConfig build_system_config(const SoakCase& c) {
+  SystemConfig cfg;
+  cfg.coalescer = c.coalescer;
+  cfg.backend = c.backend;
+  cfg.num_cores = c.cores;
+  cfg.identity_paging = true;  // cube bits must survive translation
+  cfg.max_outstanding_loads = c.mlp;
+  cfg.noc.cubes = c.cubes;
+  cfg.noc.topology = c.topology;
+  cfg.fault.link_error_rate = c.fault_rate;
+  cfg.fault.response_drop_rate = c.drop_rate;
+  cfg.fault.vault_stall_rate = c.stall_rate;
+  cfg.fault.burst_length = c.burst_length;
+  cfg.fault.seed = c.fault_seed;
+  cfg.fault.timeline = c.timeline;
+  cfg.fault.fail_policy = c.fail_policy;
+  cfg.fault.spare_pages = c.spare_pages;
+  cfg.pac.maq_entries = c.conc;
+  cfg.pac.num_mshrs = c.conc;
+  cfg.mshr_dmc.num_mshrs = c.conc;
+  cfg.direct.max_outstanding = c.conc;
+  cfg.sorting_dmc.max_outstanding = c.conc;
+  cfg.miss_queue_entries = std::max(cfg.miss_queue_entries, c.conc);
+  // Every oracle run is fully verified; violations surface as exceptions.
+  cfg.verify.level = VerifyLevel::kFull;
+  // Soak traces are small; anything that runs this long is a wedge, and the
+  // watchdog turns it into a deterministic in-process hang verdict.
+  cfg.max_cycles = 20'000'000;
+  cfg.perturb.ff_overshoot = c.ff_overshoot;
+  cfg.perturb.skip_timeline_clamp = c.skip_timeline_clamp;
+  return cfg;
+}
+
+}  // namespace pacsim::fuzz

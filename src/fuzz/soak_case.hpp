@@ -1,0 +1,102 @@
+// One chaos-soak case: the complete knob tuple the fuzzer draws, runs,
+// shrinks, and persists (DESIGN.md "Chaos-soak fuzzing").
+//
+// A SoakCase is self-contained: every knob needed to rebuild the traffic,
+// the SystemConfig, and the execution plan round-trips through the
+// `key=value` text format shared with the bench CLI, so a reproducer file
+// written by one campaign replays byte-identically under `bench_soak
+// repro=<file>` (or inside a gtest) with no other state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/fault_injector.hpp"
+#include "noc/noc_config.hpp"
+#include "noc/traffic_gen.hpp"
+#include "sim/system_config.hpp"
+
+namespace pacsim::fuzz {
+
+struct SoakCase {
+  std::uint64_t id = 0;  ///< campaign ordinal; informational only
+
+  // Topology / controller.
+  CoalescerKind coalescer = CoalescerKind::kPac;
+  BackendKind backend = BackendKind::kHmc;
+  std::uint32_t cubes = 1;
+  Topology topology = Topology::kChain;
+
+  // Trace recipe (deterministic from these knobs alone).
+  std::uint32_t cores = 4;
+  std::uint32_t ops = 1000;        ///< per core
+  std::uint64_t seed = 0x70AFF1CULL;
+  double zipf = 0.0;
+  std::uint32_t store_percent = 20;
+  std::uint32_t gap_max = 8;
+  /// Every Nth burst gap becomes a long drain window (0 = never). Nonzero
+  /// values give the checkpoint-restore oracle quiescent epoch boundaries
+  /// to snapshot at; 0 keeps the open-loop pressure unbroken.
+  std::uint32_t quiesce_bursts = 0;
+
+  // Host-side concurrency shape.
+  std::uint32_t mlp = 8;           ///< per-core outstanding loads
+  std::uint32_t conc = 16;         ///< controller MSHR/MAQ depth
+
+  // Fault plan: transient rates plus a scheduled hard-failure timeline.
+  double fault_rate = 0.0;
+  double drop_rate = 0.0;
+  double stall_rate = 0.0;
+  std::uint32_t burst_length = 1;
+  std::uint64_t fault_seed = 0xFA017ULL;
+  std::vector<FaultEvent> timeline;
+  FailPolicy fail_policy = FailPolicy::kContain;
+  std::uint64_t spare_pages = 4096;
+
+  // Execution plan the threaded / checkpoint oracles exercise.
+  unsigned threads = 1;
+  unsigned shards = 1;
+  Cycle epoch_cycles = 4096;
+
+  // Perturbation schedule: deterministic planted-bug hooks (PerturbConfig).
+  Cycle ff_overshoot = 0;
+  bool skip_timeline_clamp = false;
+
+  /// Canonical form: timeline sorted by (cycle, kind, a, b) so the knob
+  /// round-trip is order-stable. Semantically free for sampler-generated
+  /// plans (distinct cycles).
+  void normalize();
+
+  [[nodiscard]] bool operator==(const SoakCase& other) const;
+};
+
+/// Every knob as `key=value` arguments, in fixed order (timeline grouped
+/// into the linkdown=/linkup=/vaultdown=/cubedown= CLI event syntax).
+[[nodiscard]] std::vector<std::string> to_knobs(const SoakCase& c);
+
+/// The on-disk reproducer: a '#'-comment header (carrying `verdict`
+/// verbatim when non-empty) followed by one knob per line.
+[[nodiscard]] std::string to_repro_text(const SoakCase& c,
+                                        const std::string& verdict = "");
+
+/// Rebuild a case from parsed knobs (defaults fill anything absent); the
+/// exact inverse of to_knobs(). Throws std::invalid_argument on malformed
+/// values, like the bench CLI front-ends.
+[[nodiscard]] SoakCase soak_case_from_cli(const Cli& cli);
+
+/// write_repro: atomic temp+rename via common/atomic_file. load_repro:
+/// Cli::from_file + soak_case_from_cli.
+void write_repro(const std::string& path, const SoakCase& c,
+                 const std::string& verdict = "");
+[[nodiscard]] SoakCase load_repro(const std::string& path);
+
+/// The traffic recipe of a case (identity-paged multi-cube front-end).
+[[nodiscard]] TrafficConfig build_traffic_config(const SoakCase& c);
+
+/// The simulator config of a case, verify=full always; the oracle runner
+/// layers exec/checkpoint knobs and per-run fast-forward choices on top.
+[[nodiscard]] SystemConfig build_system_config(const SoakCase& c);
+
+}  // namespace pacsim::fuzz

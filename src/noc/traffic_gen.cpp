@@ -53,7 +53,9 @@ TraceSet generate_traffic(const TrafficConfig& cfg) {
     Trace t;
     t.reserve(cfg.ops_per_core);
     std::size_t emitted = 0;
+    std::uint64_t bursts = 0;
     while (emitted < cfg.ops_per_core) {
+      ++bursts;
       const std::uint32_t cube = picker.pick(rng);
       const std::uint64_t page = rng.below(cfg.pages_per_cube);
       const bool store = rng.below(100) < cfg.store_percent;
@@ -69,9 +71,13 @@ TraceSet generate_traffic(const TrafficConfig& cfg) {
                      store ? OpKind::kStore : OpKind::kLoad});
       }
       if (emitted < cfg.ops_per_core) {
-        const std::uint32_t gap =
+        std::uint32_t gap =
             gap_lo + static_cast<std::uint32_t>(
                          rng.below(gap_hi - gap_lo + 1));
+        if (cfg.quiesce_every_bursts != 0 &&
+            bursts % cfg.quiesce_every_bursts == 0) {
+          gap = cfg.quiesce_gap_cycles;
+        }
         t.push_back({0, gap, OpKind::kCompute});
         ++emitted;
       }

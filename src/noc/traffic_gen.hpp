@@ -63,6 +63,13 @@ struct TrafficConfig {
   /// uniform in [min, max].
   std::uint32_t gap_min_cycles = 1;
   std::uint32_t gap_max_cycles = 8;
+  /// Every Nth burst gap is stretched to quiesce_gap_cycles (0 = never):
+  /// long drain windows wide enough for the system to go fully quiescent,
+  /// so epoch boundaries can land where checkpoint attempts capture. The
+  /// soak fuzzer needs these phases or its checkpoint-restore oracle
+  /// (quiescent points only) would be perpetually skipped.
+  std::uint32_t quiesce_every_bursts = 0;
+  std::uint32_t quiesce_gap_cycles = 2'000;
 };
 
 /// Generate one deterministic trace per core. Core c draws from its own

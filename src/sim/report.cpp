@@ -328,6 +328,16 @@ void SweepReport::set_trace_store(const TraceStoreStats& stats) {
   has_store_stats_ = true;
 }
 
+void SweepReport::set_extra(const std::string& key, const std::string& json) {
+  for (auto& [k, v] : extras_) {
+    if (k == key) {
+      v = json;
+      return;
+    }
+  }
+  extras_.emplace_back(key, json);
+}
+
 std::string SweepReport::json() const {
   std::ostringstream out;
   out << "{\n";
@@ -345,6 +355,9 @@ std::string SweepReport::json() const {
         << ", \"generation_seconds\": " << num(store_stats_.generation_seconds)
         << ", \"warm_load_seconds\": " << num(store_stats_.warm_load_seconds)
         << "},\n";
+  }
+  for (const auto& [key, value] : extras_) {
+    out << "  \"" << escape(key) << "\": " << value << ",\n";
   }
   out << "  \"runs\": [";
   for (std::size_t i = 0; i < entries_.size(); ++i) {

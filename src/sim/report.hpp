@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/trace_store.hpp"
@@ -13,7 +14,7 @@ namespace pacsim {
 
 /// Version stamped into every SweepReport envelope ("schema_version").
 /// Bump together with a new entry in the schema history below.
-inline constexpr int kJsonSchemaVersion = 9;
+inline constexpr int kJsonSchemaVersion = 10;
 
 /// JSON object describing one run. `label` names the run (suite +
 /// coalescer); pretty-printed with two-space indentation. Serializes the
@@ -32,12 +33,17 @@ void write_run_report(const std::string& path, const std::string& label,
 
 /// Accumulates the labelled runs of one bench into a single JSON artifact:
 ///
-///   { "bench": "<name>", "schema_version": 9,
+///   { "bench": "<name>", "schema_version": 10,
 ///     "wall_time": { "generation_seconds": g, "simulation_seconds": s },
 ///     "trace_store": { "hits": ..., ... },   // when set_trace_store()d
+///     "soak": { ... },                       // when set_extra()d
 ///     "runs": [ <run>, ... ] }
 ///
-/// Schema history: v9 added the per-run "degradation" block on runs with a
+/// Schema history: v10 added optional envelope-level extra blocks via
+/// set_extra() - bench_soak emits a "soak" campaign summary ({"seed",
+/// "cases", "clean", "divergences", "violations", "crashes", "hangs",
+/// "skipped", "minimized", "repro_files"}); v9 added the per-run
+/// "degradation" block on runs with a
 /// scheduled hard-failure timeline ({"events_fired", "capacity_units",
 /// "unit_cycles_total", "unit_cycles_lost", "availability", "repairs",
 /// "mttr_cycles", "pages_migrated", "spares_used", "poisoned_raws",
@@ -111,6 +117,12 @@ class SweepReport {
   /// last run, right before json()/write().
   void set_trace_store(const TraceStoreStats& stats);
 
+  /// Attach an envelope-level block emitted as `"<key>": <json>` right
+  /// before "runs". `json` must be a pre-rendered JSON value (the caller
+  /// owns its validity); repeated keys overwrite. bench_soak uses this for
+  /// its "soak" campaign summary.
+  void set_extra(const std::string& key, const std::string& json);
+
   [[nodiscard]] std::size_t runs() const { return entries_.size(); }
   [[nodiscard]] std::string json() const;
 
@@ -125,6 +137,8 @@ class SweepReport {
   double simulation_seconds_ = 0.0;   ///< summed run wall_seconds
   TraceStoreStats store_stats_;
   bool has_store_stats_ = false;
+  /// Envelope-level extra blocks, in insertion order (key, rendered JSON).
+  std::vector<std::pair<std::string, std::string>> extras_;
 };
 
 }  // namespace pacsim

@@ -554,8 +554,10 @@ Cycle System::next_event_cycle() const {
   Cycle bound = device_->next_event_cycle(now_);
   if (bound == now_) return now_;
   // Scheduled hard-failure events fire at exact cycles: clamp jumps so
-  // poll() runs on precisely the scheduled cycle.
-  if (hard_failures_) {
+  // poll() runs on precisely the scheduled cycle. perturb.skip_timeline_clamp
+  // is the soak fuzzer's planted bug: omitting the clamp lets fast-forward
+  // leap over a scheduled event and fire it late.
+  if (hard_failures_ && !cfg_.perturb.skip_timeline_clamp) {
     bound = std::min(bound, fault_->next_timeline_cycle(now_));
     if (bound == now_) return now_;
   }
@@ -658,7 +660,14 @@ bool System::run_until(Cycle bound) {
     // jumps are analytically exact for any target within the event horizon,
     // so stopping early and re-deriving the remaining jump later lands in
     // the identical state.
-    Cycle target = std::min({next_event_cycle(), cfg_.max_cycles, bound});
+    Cycle horizon = next_event_cycle();
+    if (cfg_.perturb.ff_overshoot != 0 && horizon > now_ &&
+        horizon != kNeverCycle) {
+      // Planted bug (soak fuzzer): overshoot the proven event horizon. The
+      // naive loop never jumps, so the ff-vs-naive oracle must catch this.
+      horizon += cfg_.perturb.ff_overshoot;
+    }
+    Cycle target = std::min({horizon, cfg_.max_cycles, bound});
     if (verifier_ != nullptr) {
       target = std::min(target, verifier_->next_deadline(now_));
     }

@@ -76,6 +76,27 @@ struct ExecConfig {
   }
 };
 
+/// Deterministic test-only perturbation hooks for the chaos-soak fuzzer
+/// (src/fuzz/, DESIGN.md "Chaos-soak fuzzing"). Each knob plants a specific,
+/// deliberate bug in the run loop so the soak harness's differential oracles
+/// can be proven to catch (and minimize) real divergence. All defaults are
+/// inert: a default PerturbConfig changes nothing.
+struct PerturbConfig {
+  /// Planted bug: fast-forward jumps this many cycles PAST the proven
+  /// event horizon, violating next_event_cycle()'s "nothing happens before
+  /// the bound" contract. The naive loop is unaffected, so the ff-vs-naive
+  /// oracle must flag the divergence.
+  Cycle ff_overshoot = 0;
+  /// Planted bug: next_event_cycle() skips the fault-timeline clamp, so
+  /// fast-forward can jump over a scheduled hard-failure cycle and fire the
+  /// event late.
+  bool skip_timeline_clamp = false;
+
+  [[nodiscard]] bool active() const {
+    return ff_overshoot != 0 || skip_timeline_clamp;
+  }
+};
+
 struct SystemConfig {
   std::uint32_t num_cores = 8;        ///< Table 1: 8 RV64 cores @ 2 GHz
   CacheConfig l1{16 * 1024, 8, 64, 2};        ///< 16 KB, 8-way
@@ -132,6 +153,9 @@ struct SystemConfig {
   /// no-progress watchdog). level = kOff constructs no Verifier: every hook
   /// site is one untaken null check, runs stay bit-identical.
   VerifyConfig verify{};
+
+  /// Test-only planted-bug hooks for the soak fuzzer; inert by default.
+  PerturbConfig perturb{};
 
   Cycle max_cycles = 500'000'000;  ///< deadlock watchdog
 

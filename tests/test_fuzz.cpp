@@ -1,0 +1,501 @@
+// Chaos-soak fuzzer unit tests (DESIGN.md "Chaos-soak fuzzing"): sampler
+// determinism and domain validity, reproducer knob round-trips, the
+// fork-based case isolator's exit/signal/watchdog/stderr contracts, the
+// delta-debugging minimizer on a synthetic failure predicate, and the
+// differential oracle runner on a clean case and on the planted
+// fast-forward-overshoot bug.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "fuzz/case_isolator.hpp"
+#include "fuzz/config_sampler.hpp"
+#include "fuzz/minimizer.hpp"
+#include "fuzz/oracle_runner.hpp"
+#include "fuzz/soak_case.hpp"
+
+namespace pacsim::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------------
+// ConfigSampler: determinism, order independence, and domain validity.
+
+TEST(ConfigSampler, SameSeedSameCaseIdIsBitIdentical) {
+  const ConfigSampler a(42);
+  const ConfigSampler b(42);
+  for (std::uint64_t id : {0ULL, 1ULL, 7ULL, 1000ULL, 123456789ULL}) {
+    EXPECT_TRUE(a.sample(id) == b.sample(id)) << "id " << id;
+  }
+}
+
+TEST(ConfigSampler, SamplingIsOrderIndependent) {
+  const ConfigSampler s(7);
+  // Draw in one order, then the reverse: case i depends only on (seed, i).
+  std::vector<SoakCase> forward;
+  for (std::uint64_t id = 0; id < 8; ++id) forward.push_back(s.sample(id));
+  for (std::uint64_t id = 8; id-- > 0;) {
+    EXPECT_TRUE(s.sample(id) == forward[id]) << "id " << id;
+  }
+}
+
+TEST(ConfigSampler, DifferentSeedsOrIdsDiverge) {
+  const ConfigSampler a(1);
+  const ConfigSampler b(2);
+  int differing = 0;
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    if (!(a.sample(id) == b.sample(id))) ++differing;
+    if (id > 0 && !(a.sample(id) == a.sample(0))) ++differing;
+  }
+  // With these domains a collision across all 31 comparisons is
+  // astronomically unlikely; any nonzero count proves the streams differ.
+  EXPECT_GT(differing, 24);
+}
+
+TEST(ConfigSampler, EverySampledCaseIsValid) {
+  const KnobDomains d = KnobDomains::defaults();
+  const ConfigSampler s(0xDECAF, d);
+  constexpr std::uint32_t kHmcVaults = 32;
+  bool saw_timeline = false;
+  bool saw_multicube = false;
+  for (std::uint64_t id = 0; id < 300; ++id) {
+    const SoakCase c = s.sample(id);
+    // Execution plan constraints.
+    EXPECT_LE(c.shards, c.cores) << "id " << id;
+    EXPECT_LE(c.threads, c.shards) << "id " << id;
+    EXPECT_GE(c.shards, 1u);
+    EXPECT_GE(c.threads, 1u);
+    // Timeline constraints.
+    if (!c.timeline.empty()) {
+      saw_timeline = true;
+      EXPECT_GE(c.cubes, 2u) << "id " << id;
+      // Scheduled hardware death must not run under abort (a legal death
+      // would kill the campaign's child and read as a crash).
+      EXPECT_EQ(c.fail_policy, FailPolicy::kContain) << "id " << id;
+      std::set<Cycle> cycles;
+      for (const FaultEvent& e : c.timeline) {
+        EXPECT_TRUE(cycles.insert(e.cycle).second)
+            << "id " << id << ": duplicate cycle " << e.cycle;
+        switch (e.kind) {
+          case FaultEventKind::kLinkDown:
+          case FaultEventKind::kLinkUp:
+            EXPECT_LT(e.a, c.cubes) << "id " << id;
+            EXPECT_EQ(e.b, e.a + 1) << "id " << id;  // adjacent pair
+            EXPECT_LT(e.b, c.cubes) << "id " << id;
+            break;
+          case FaultEventKind::kCubeDown:
+            EXPECT_LT(e.a, c.cubes) << "id " << id;
+            break;
+          case FaultEventKind::kVaultDown:
+            // Vaults are an HMC notion.
+            EXPECT_EQ(c.backend, BackendKind::kHmc) << "id " << id;
+            EXPECT_LT(e.a, c.cubes) << "id " << id;
+            EXPECT_LT(e.b, kHmcVaults) << "id " << id;
+            break;
+        }
+      }
+      // normalize() was applied: sorted by cycle.
+      for (std::size_t i = 1; i < c.timeline.size(); ++i) {
+        EXPECT_LE(c.timeline[i - 1].cycle, c.timeline[i].cycle);
+      }
+    }
+    if (c.cubes >= 2) {
+      saw_multicube = true;
+    } else {
+      EXPECT_EQ(c.topology, Topology::kChain);
+    }
+    // Sampled values come from the declared domains.
+    EXPECT_NE(std::find(d.cube_counts.begin(), d.cube_counts.end(), c.cubes),
+              d.cube_counts.end());
+    EXPECT_NE(std::find(d.ops_values.begin(), d.ops_values.end(), c.ops),
+              d.ops_values.end());
+    // No perturbation plan given: sampled cases carry none.
+    EXPECT_EQ(c.ff_overshoot, 0u);
+    EXPECT_FALSE(c.skip_timeline_clamp);
+  }
+  EXPECT_TRUE(saw_timeline);
+  EXPECT_TRUE(saw_multicube);
+}
+
+TEST(ConfigSampler, PerturbPlanIsStampedOnEveryCase) {
+  PerturbPlan plant;
+  plant.ff_overshoot = 64;
+  const ConfigSampler s(3, KnobDomains::quick(), plant);
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    EXPECT_EQ(s.sample(id).ff_overshoot, 64u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reproducer round-trip: knobs -> Cli -> case is the identity.
+
+TEST(SoakRepro, SampledCasesRoundTripThroughKnobs) {
+  const ConfigSampler s(0xBEEF);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    const SoakCase c = s.sample(id);
+    const Cli cli(to_knobs(c));
+    const SoakCase back = soak_case_from_cli(cli);
+    EXPECT_TRUE(back == c) << "id " << id;
+  }
+}
+
+TEST(SoakRepro, WriteAndLoadReproFileRoundTrips) {
+  const std::string dir = scratch_dir("pacsim_fuzz_repro");
+  fs::create_directories(dir);
+  const ConfigSampler s(11, KnobDomains::defaults(),
+                        PerturbPlan{/*ff_overshoot=*/64,
+                                    /*skip_timeline_clamp=*/true});
+  const SoakCase c = s.sample(4);
+  const std::string path = dir + "/repro-case4.txt";
+  write_repro(path, c, "divergence (ff-vs-naive): synthetic");
+  const SoakCase back = load_repro(path);
+  EXPECT_TRUE(back == c);
+  // The verdict rides along as a comment, invisible to the parser.
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("# verdict: divergence"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(SoakRepro, FractionalDoublesSurviveTheTextFormat) {
+  SoakCase c;
+  c.zipf = 0.6;
+  c.fault_rate = 0.002;
+  c.drop_rate = 1e-9;
+  const SoakCase back = soak_case_from_cli(Cli(to_knobs(c)));
+  EXPECT_EQ(back.zipf, 0.6);
+  EXPECT_EQ(back.fault_rate, 0.002);
+  EXPECT_EQ(back.drop_rate, 1e-9);
+}
+
+TEST(CliFromFile, ParsesCommentsBlanksAndWhitespace) {
+  const std::string dir = scratch_dir("pacsim_fuzz_clifile");
+  fs::create_directories(dir);
+  const std::string path = dir + "/knobs.txt";
+  {
+    std::ofstream out(path);
+    out << "# header comment\n"
+        << "\n"
+        << "  cores=4   \n"
+        << "ops=200  # trailing comment\n"
+        << "\tzipf=0.6\r\n";
+  }
+  const Cli cli = Cli::from_file(path);
+  EXPECT_EQ(cli.get_u64("cores", 0), 4u);
+  EXPECT_EQ(cli.get_u64("ops", 0), 200u);
+  EXPECT_EQ(cli.get_double("zipf", 0.0), 0.6);
+  fs::remove_all(dir);
+}
+
+TEST(CliFromFile, MissingFileThrows) {
+  EXPECT_THROW((void)Cli::from_file("/nonexistent/pacsim/knobs.txt"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict text round-trip (the isolator's report-pipe wire format).
+
+TEST(Verdict, TextRoundTripsThroughParse) {
+  Verdict v;
+  v.cls = SoakClass::kDivergence;
+  v.oracle = "ff-vs-naive";
+  v.detail = "report line 5: '\"cycles\": 3453,' vs '\"cycles\": 2887,'";
+  v.oracles_checked = 3;
+  v.oracles_skipped = 1;
+  const Verdict back = Verdict::parse(v.text());
+  EXPECT_EQ(back.cls, v.cls);
+  EXPECT_EQ(back.oracle, v.oracle);
+  EXPECT_EQ(back.detail, v.detail);
+  EXPECT_EQ(back.oracles_checked, 3u);
+  EXPECT_EQ(back.oracles_skipped, 1u);
+  EXPECT_TRUE(back.failed());
+}
+
+TEST(Verdict, ParseRejectsTextWithoutClass) {
+  EXPECT_THROW((void)Verdict::parse("oracle=x\ndetail=y\n"),
+               std::invalid_argument);
+}
+
+TEST(Verdict, ClassNamesRoundTrip) {
+  for (const SoakClass cls :
+       {SoakClass::kClean, SoakClass::kDivergence, SoakClass::kViolation,
+        SoakClass::kCrash, SoakClass::kHang}) {
+    EXPECT_EQ(parse_soak_class(to_string(cls)), cls);
+  }
+  EXPECT_THROW((void)parse_soak_class("meltdown"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CaseIsolator: the fork harness's status, report, and stderr contracts.
+
+TEST(CaseIsolator, CapturesExitCodeAndReport) {
+  const CaseIsolator iso;
+  const IsolateResult r = iso.run([](std::string& report) {
+    report = "class=clean\noracle=\n";
+    return 0;
+  });
+  EXPECT_EQ(r.status, IsolateResult::Status::kExited);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.report, "class=clean\noracle=\n");
+}
+
+TEST(CaseIsolator, NonzeroExitAndStderrTailSurvive) {
+  IsolateLimits lim;
+  lim.stderr_tail_bytes = 32;
+  const CaseIsolator iso(lim);
+  const IsolateResult r = iso.run([](std::string& report) {
+    std::fprintf(stderr, "%s", std::string(100, 'x').c_str());
+    std::fprintf(stderr, "LAST-WORDS");
+    report = "partial";
+    return 21;
+  });
+  EXPECT_EQ(r.status, IsolateResult::Status::kExited);
+  EXPECT_EQ(r.exit_code, 21);
+  EXPECT_EQ(r.report, "partial");
+  // Only the tail is kept, and it ends with the child's final bytes.
+  EXPECT_LE(r.stderr_tail.size(), 32u);
+  EXPECT_NE(r.stderr_tail.find("LAST-WORDS"), std::string::npos);
+}
+
+TEST(CaseIsolator, ChildCrashIsCapturedAsItsSignal) {
+  const CaseIsolator iso;
+  const IsolateResult r = iso.run([](std::string&) -> int {
+    std::raise(SIGSEGV);
+    return 0;  // unreachable
+  });
+  EXPECT_EQ(r.status, IsolateResult::Status::kSignaled);
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+}
+
+TEST(CaseIsolator, ThrowingBodyExitsWithHarnessSentinel) {
+  const CaseIsolator iso;
+  const IsolateResult r = iso.run([](std::string&) -> int {
+    throw std::runtime_error("soak body exploded");
+  });
+  EXPECT_EQ(r.status, IsolateResult::Status::kExited);
+  EXPECT_EQ(r.exit_code, 125);
+  // The exception text lands on the child's stderr.
+  EXPECT_NE(r.stderr_tail.find("soak body exploded"), std::string::npos);
+}
+
+TEST(CaseIsolator, WallClockWatchdogKillsAWedgedChild) {
+  IsolateLimits lim;
+  lim.wall_seconds = 0.3;
+  const CaseIsolator iso(lim);
+  const IsolateResult r = iso.run([](std::string&) -> int {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  });
+  EXPECT_EQ(r.status, IsolateResult::Status::kTimedOut);
+  EXPECT_GE(r.wall_seconds, 0.3);
+  EXPECT_LT(r.wall_seconds, 30.0);  // watchdog fired, not ctest's timeout
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer: greedy shrink against a synthetic predicate with a known
+// 1-minimal form.
+
+TEST(Minimizer, ShrinksToTheCauseAndKeepsIt) {
+  // Synthetic bug: only bites with the planted overshoot AND a trace of at
+  // least 150 ops. Everything else is shrinkable noise.
+  const auto still_fails = [](const SoakCase& c) {
+    return c.ff_overshoot != 0 && c.ops >= 150;
+  };
+  SoakCase big;
+  big.ff_overshoot = 64;
+  big.ops = 3000;
+  big.cores = 8;
+  big.cubes = 4;
+  big.topology = Topology::kMesh;
+  big.zipf = 1.2;
+  big.store_percent = 50;
+  big.mlp = 32;
+  big.conc = 32;
+  big.fault_rate = 0.01;
+  big.drop_rate = 0.002;
+  big.threads = 4;
+  big.shards = 4;
+  big.timeline = {{2000, FaultEventKind::kLinkDown, 0, 1},
+                  {4000, FaultEventKind::kCubeDown, 2, 0}};
+  ASSERT_TRUE(still_fails(big));
+
+  MinimizeOptions opts;
+  opts.max_evals = 128;
+  opts.min_ops = 100;
+  const Minimizer m(still_fails, opts);
+  const MinimizeResult r = m.minimize(big);
+
+  EXPECT_TRUE(still_fails(r.best));  // a minimized case must still fail
+  EXPECT_GT(r.shrinks, 0u);
+  EXPECT_LE(r.evals, opts.max_evals);
+  // The cause survives; the noise does not.
+  EXPECT_EQ(r.best.ff_overshoot, 64u);
+  EXPECT_LT(r.best.ops, 300u);  // halved from 3000 toward the 150 threshold
+  EXPECT_GE(r.best.ops, 150u);
+  EXPECT_EQ(r.best.cores, 1u);
+  EXPECT_EQ(r.best.cubes, 1u);
+  EXPECT_EQ(r.best.topology, Topology::kChain);
+  EXPECT_TRUE(r.best.timeline.empty());
+  EXPECT_EQ(r.best.fault_rate, 0.0);
+  EXPECT_EQ(r.best.drop_rate, 0.0);
+  EXPECT_EQ(r.best.threads, 1u);
+  EXPECT_EQ(r.best.shards, 1u);
+  EXPECT_EQ(r.best.zipf, 0.0);
+  EXPECT_EQ(r.best.store_percent, 0u);
+  EXPECT_EQ(r.best.mlp, 8u);
+  EXPECT_EQ(r.best.conc, 16u);
+}
+
+TEST(Minimizer, AlreadyMinimalCaseShrinksNothing) {
+  const auto still_fails = [](const SoakCase& c) {
+    return c.skip_timeline_clamp;
+  };
+  SoakCase tiny;
+  tiny.skip_timeline_clamp = true;
+  tiny.ops = 100;
+  tiny.cores = 1;
+  tiny.store_percent = 0;  // the default 20 would be one more shrink
+  const Minimizer m(still_fails, MinimizeOptions{/*max_evals=*/32,
+                                                 /*min_ops=*/100});
+  const MinimizeResult r = m.minimize(tiny);
+  EXPECT_EQ(r.shrinks, 0u);
+  EXPECT_TRUE(r.best == tiny || r.best.skip_timeline_clamp);
+  EXPECT_TRUE(still_fails(r.best));
+}
+
+TEST(Minimizer, RespectsTheEvalBudget) {
+  int evals = 0;
+  const auto still_fails = [&evals](const SoakCase& c) {
+    ++evals;
+    return c.ff_overshoot != 0;
+  };
+  SoakCase big;
+  big.ff_overshoot = 64;
+  big.ops = 3000;
+  big.cores = 8;
+  const Minimizer m(still_fails, MinimizeOptions{/*max_evals=*/5,
+                                                 /*min_ops=*/100});
+  const MinimizeResult r = m.minimize(big);
+  EXPECT_LE(r.evals, 5u);
+  EXPECT_EQ(evals, static_cast<int>(r.evals));
+  EXPECT_TRUE(r.best.ff_overshoot != 0);
+}
+
+// ---------------------------------------------------------------------------
+// OracleRunner: end-to-end differential verdicts. Small traces keep these
+// in unit-test time; each run() executes up to five full simulations.
+
+SoakCase small_case() {
+  SoakCase c;
+  c.coalescer = CoalescerKind::kPac;
+  c.backend = BackendKind::kHmc;
+  c.cubes = 1;
+  c.cores = 2;
+  c.ops = 800;
+  c.quiesce_bursts = 4;  // drain windows: quiescent barriers to snapshot at
+  c.mlp = 4;
+  c.conc = 8;
+  c.shards = 2;
+  c.threads = 2;
+  c.epoch_cycles = 1024;
+  return c;
+}
+
+TEST(OracleRunner, CleanCaseRunsAllOraclesAndRemovesScratch) {
+  OracleOptions opts;
+  opts.workdir = scratch_dir("pacsim_fuzz_oracle_clean");
+  const OracleRunner runner(opts);
+  const Verdict v = runner.run(small_case());
+  EXPECT_EQ(v.cls, SoakClass::kClean) << v.text();
+  EXPECT_FALSE(v.failed());
+  // ff-vs-naive, threaded-vs-serial, checkpoint-restore
+  // (sharded-vs-classic needs shards==1); the drain windows guarantee the
+  // restore oracle found a snapshot, so nothing was skipped.
+  EXPECT_GE(v.oracles_checked, 3u) << v.text();
+  EXPECT_EQ(v.oracles_skipped, 0u) << v.text();
+  EXPECT_FALSE(fs::exists(opts.workdir));  // clean verdicts leave no scratch
+}
+
+TEST(OracleRunner, ShardedVsClassicOracleEngagesAtOneShard) {
+  SoakCase c = small_case();
+  c.shards = 1;
+  c.threads = 1;
+  OracleOptions opts;
+  opts.workdir = scratch_dir("pacsim_fuzz_oracle_s1");
+  const Verdict v = OracleRunner(opts).run(c);
+  EXPECT_EQ(v.cls, SoakClass::kClean) << v.text();
+  // ff-vs-naive, sharded-vs-classic, checkpoint-restore.
+  EXPECT_GE(v.oracles_checked, 3u) << v.text();
+  EXPECT_EQ(v.oracles_skipped, 0u) << v.text();
+}
+
+TEST(OracleRunner, UnquiescedCaseSkipsTheRestoreOracleDeterministically) {
+  SoakCase c = small_case();
+  c.quiesce_bursts = 0;  // continuous pressure: no snapshot can be taken
+  c.ops = 200;
+  OracleOptions opts;
+  opts.workdir = scratch_dir("pacsim_fuzz_oracle_noq");
+  const Verdict v = OracleRunner(opts).run(c);
+  EXPECT_EQ(v.cls, SoakClass::kClean) << v.text();
+  EXPECT_EQ(v.oracles_skipped, 1u) << v.text();  // counted, not ignored
+}
+
+TEST(OracleRunner, PlantedOvershootIsCaughtAsFfDivergence) {
+  SoakCase c = small_case();
+  c.ff_overshoot = 64;  // the planted next_event_cycle bound bug
+  OracleOptions opts;
+  opts.workdir = scratch_dir("pacsim_fuzz_oracle_plant");
+  const Verdict v = OracleRunner(opts).run(c);
+  EXPECT_EQ(v.cls, SoakClass::kDivergence) << v.text();
+  EXPECT_EQ(v.oracle, "ff-vs-naive") << v.text();
+  EXPECT_FALSE(v.detail.empty());
+  fs::remove_all(opts.workdir);  // failing verdicts keep artifacts
+}
+
+TEST(OracleRunner, MinimizerDrivenByOraclesKeepsThePlantedKnob) {
+  // The acceptance-path integration: minimize a planted failure with the
+  // real oracle stack as the predicate, as bench_soak does.
+  SoakCase c = small_case();
+  c.ff_overshoot = 64;
+  c.zipf = 1.2;
+  c.store_percent = 50;
+  OracleOptions opts;
+  opts.workdir = scratch_dir("pacsim_fuzz_oracle_min");
+  const OracleRunner runner(opts);
+  const Verdict original = runner.run(c);
+  ASSERT_EQ(original.cls, SoakClass::kDivergence) << original.text();
+
+  const auto still_fails = [&](const SoakCase& cand) {
+    const Verdict v = runner.run(cand);
+    return v.cls == original.cls;
+  };
+  const Minimizer m(still_fails, MinimizeOptions{/*max_evals=*/12,
+                                                 /*min_ops=*/100});
+  const MinimizeResult r = m.minimize(c);
+  EXPECT_GT(r.shrinks, 0u);
+  EXPECT_EQ(r.best.ff_overshoot, 64u);  // the cause is not shrinkable
+  EXPECT_TRUE(still_fails(r.best));
+  fs::remove_all(opts.workdir);
+}
+
+}  // namespace
+}  // namespace pacsim::fuzz

@@ -139,6 +139,49 @@ TEST(FaultPlanParse, MalformedLineNamesItsLineNumber) {
   }
 }
 
+TEST(FaultPlanParse, OutOfOrderEventNamesItsLine) {
+  try {
+    (void)parse_fault_plan("2000 linkdown 0 1\n1000 cubedown 2\n");
+    FAIL() << "accepted an out-of-order plan";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out-of-order"), std::string::npos) << what;
+    EXPECT_NE(what.find("1000"), std::string::npos) << what;
+    EXPECT_NE(what.find("2000"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlanParse, DuplicateEventNamesItsLine) {
+  try {
+    (void)parse_fault_plan(
+        "1000 linkdown 0 1\n"
+        "2000 vaultdown 1 3\n"
+        "2000 vaultdown 1 3\n");
+    FAIL() << "accepted a duplicate event";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlanParse, DuplicateDetectionNormalizesLinkEndpoints) {
+  // "linkdown 1 0" and "linkdown 0 1" name the same physical link.
+  EXPECT_THROW((void)parse_fault_plan("1000 linkdown 0 1\n1000 linkdown 1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanParse, SameCycleDistinctEventsAreLegal) {
+  // Equal cycles are fine (not out-of-order) as long as the events differ.
+  const auto events =
+      parse_fault_plan("1000 linkdown 0 1\n1000 cubedown 2\n");
+  ASSERT_EQ(events.size(), 2u);
+  // A down/up pair on the same link at different cycles is also legal.
+  EXPECT_NO_THROW(
+      (void)parse_fault_plan("1000 linkdown 0 1\n2000 linkup 0 1\n"));
+}
+
 TEST(FailPolicyParse, RoundTripsAndRejectsUnknown) {
   EXPECT_EQ(parse_fail_policy("abort"), FailPolicy::kAbort);
   EXPECT_EQ(parse_fail_policy("contain"), FailPolicy::kContain);

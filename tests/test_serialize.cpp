@@ -1,0 +1,308 @@
+// Fuzz-lite property tests for the binary snapshot layer
+// (common/serialize.hpp): random payloads round-trip exactly, every
+// truncated prefix of a valid stream throws SnapshotError (never crashes,
+// never half-reads), adversarial length prefixes cannot wrap the bounds
+// check, and error messages carry the byte offset and section tag a
+// minimized checkpoint repro needs.
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pacsim {
+namespace {
+
+// A random record exercising every primitive plus section tags; `ops`
+// records the write order so the reader can replay it field-for-field.
+enum class Field : std::uint8_t { kU8, kB, kU32, kU64, kI64, kF64, kStr, kTag };
+
+struct RandomPayload {
+  std::vector<Field> ops;
+  std::vector<std::uint64_t> ints;   // one entry per integer-ish field
+  std::vector<double> doubles;       // one entry per f64
+  std::vector<std::string> strings;  // one entry per str
+  std::size_t tags = 0;              // tag fields cycle HDRX/CORE/VLT0/STAT
+};
+
+RandomPayload random_payload(Rng& rng, std::size_t fields) {
+  RandomPayload p;
+  for (std::size_t i = 0; i < fields; ++i) {
+    const auto f = static_cast<Field>(rng.below(8));
+    p.ops.push_back(f);
+    switch (f) {
+      case Field::kU8:
+        p.ints.push_back(rng.below(256));
+        break;
+      case Field::kB:
+        p.ints.push_back(rng.below(2));
+        break;
+      case Field::kU32:
+        p.ints.push_back(rng.next() & 0xFFFFFFFFULL);
+        break;
+      case Field::kU64:
+      case Field::kI64:
+        p.ints.push_back(rng.next());
+        break;
+      case Field::kF64: {
+        // Mix of ordinary magnitudes and exact bit patterns; NaN excluded
+        // only because NaN != NaN would complicate the comparison, the
+        // format itself is bit-transparent.
+        const double candidates[] = {0.0, -0.0, 1.5, -3.25e10,
+                                     std::numeric_limits<double>::infinity(),
+                                     rng.uniform() * 1e18};
+        p.doubles.push_back(candidates[rng.below(6)]);
+        break;
+      }
+      case Field::kStr: {
+        std::string s(rng.below(64), '\0');
+        for (char& ch : s) ch = static_cast<char>(rng.below(256));
+        p.strings.push_back(std::move(s));
+        break;
+      }
+      case Field::kTag:
+        ++p.tags;
+        break;
+    }
+  }
+  return p;
+}
+
+std::string encode(const RandomPayload& p) {
+  BinWriter w;
+  std::size_t ii = 0;
+  std::size_t di = 0;
+  std::size_t si = 0;
+  std::size_t ti = 0;
+  for (const Field f : p.ops) {
+    switch (f) {
+      case Field::kU8:
+        w.u8(static_cast<std::uint8_t>(p.ints[ii++]));
+        break;
+      case Field::kB:
+        w.b(p.ints[ii++] != 0);
+        break;
+      case Field::kU32:
+        w.u32(static_cast<std::uint32_t>(p.ints[ii++]));
+        break;
+      case Field::kU64:
+        w.u64(p.ints[ii++]);
+        break;
+      case Field::kI64:
+        w.i64(static_cast<std::int64_t>(p.ints[ii++]));
+        break;
+      case Field::kF64:
+        w.f64(p.doubles[di++]);
+        break;
+      case Field::kStr:
+        w.str(p.strings[si++]);
+        break;
+      case Field::kTag:
+        switch (ti++ % 4) {
+          case 0: w.tag("HDRX"); break;
+          case 1: w.tag("CORE"); break;
+          case 2: w.tag("VLT0"); break;
+          default: w.tag("STAT"); break;
+        }
+        break;
+    }
+  }
+  return w.buffer();
+}
+
+// Replays the payload's field sequence against `r`, checking values when
+// `check` is set. Throws SnapshotError out of the reader on a bad stream.
+void decode(BinReader& r, const RandomPayload& p, bool check) {
+  std::size_t ii = 0;
+  std::size_t di = 0;
+  std::size_t si = 0;
+  std::size_t ti = 0;
+  for (const Field f : p.ops) {
+    switch (f) {
+      case Field::kU8: {
+        const std::uint8_t v = r.u8();
+        if (check) { EXPECT_EQ(v, static_cast<std::uint8_t>(p.ints[ii])); }
+        ++ii;
+        break;
+      }
+      case Field::kB: {
+        const bool v = r.b();
+        if (check) { EXPECT_EQ(v, p.ints[ii] != 0); }
+        ++ii;
+        break;
+      }
+      case Field::kU32: {
+        const std::uint32_t v = r.u32();
+        if (check) { EXPECT_EQ(v, static_cast<std::uint32_t>(p.ints[ii])); }
+        ++ii;
+        break;
+      }
+      case Field::kU64: {
+        const std::uint64_t v = r.u64();
+        if (check) { EXPECT_EQ(v, p.ints[ii]); }
+        ++ii;
+        break;
+      }
+      case Field::kI64: {
+        const std::int64_t v = r.i64();
+        if (check) { EXPECT_EQ(v, static_cast<std::int64_t>(p.ints[ii])); }
+        ++ii;
+        break;
+      }
+      case Field::kF64: {
+        const double v = r.f64();
+        if (check) { EXPECT_EQ(v, p.doubles[di]); }
+        ++di;
+        break;
+      }
+      case Field::kStr: {
+        const std::string v = r.str();
+        if (check) { EXPECT_EQ(v, p.strings[si]); }
+        ++si;
+        break;
+      }
+      case Field::kTag:
+        switch (ti++ % 4) {
+          case 0: r.tag("HDRX"); break;
+          case 1: r.tag("CORE"); break;
+          case 2: r.tag("VLT0"); break;
+          default: r.tag("STAT"); break;
+        }
+        break;
+    }
+  }
+}
+
+TEST(SerializeProperty, RandomPayloadsRoundTripExactly) {
+  Rng rng(0x5E41A11Ull);
+  for (int iter = 0; iter < 200; ++iter) {
+    const RandomPayload p = random_payload(rng, 1 + rng.below(40));
+    const std::string bytes = encode(p);
+    BinReader r(bytes);
+    decode(r, p, /*check=*/true);
+    EXPECT_TRUE(r.exhausted()) << "iteration " << iter;
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(SerializeProperty, EveryTruncatedPrefixThrowsSnapshotError) {
+  Rng rng(0xC0FFEEull);
+  for (int iter = 0; iter < 40; ++iter) {
+    const RandomPayload p = random_payload(rng, 2 + rng.below(12));
+    const std::string bytes = encode(p);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      BinReader r(bytes.substr(0, cut));
+      bool threw = false;
+      try {
+        // The decoder replays the exact field sequence, which needs exactly
+        // bytes.size() bytes, so every strict prefix must fail a bounds
+        // check. Anything other than SnapshotError escapes the try and
+        // fails the test.
+        decode(r, p, /*check=*/false);
+      } catch (const SnapshotError&) {
+        threw = true;
+      }
+      EXPECT_TRUE(threw) << "cut=" << cut << " of " << bytes.size()
+                         << " decoded cleanly";
+      EXPECT_LE(r.offset(), cut);  // never reads past the prefix
+    }
+  }
+}
+
+TEST(SerializeProperty, TruncationMidStringThrowsNotCrashes) {
+  BinWriter w;
+  w.tag("HDRX");
+  w.str("hello snapshot world");
+  const std::string bytes = w.buffer();
+  // Cut inside the string body: length prefix says 20, body is shorter.
+  BinReader r(bytes.substr(0, bytes.size() - 5));
+  r.tag("HDRX");
+  try {
+    (void)r.str();
+    FAIL() << "read past the truncation point";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated stream"), std::string::npos) << what;
+    EXPECT_NE(what.find("need 20 byte(s)"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeProperty, AdversarialStringLengthCannotWrapBoundsCheck) {
+  // A length prefix near UINT64_MAX must not wrap pos_ + n and "pass".
+  BinWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max() - 2);
+  w.u8(0xAB);  // one byte of "body"
+  BinReader r(w.buffer());
+  EXPECT_THROW((void)r.str(), SnapshotError);
+}
+
+TEST(SerializeErrors, TruncationMessageCarriesOffsetAndSection) {
+  BinWriter w;
+  w.tag("CORE");
+  w.u32(7);
+  BinReader r(w.buffer());
+  r.tag("CORE");
+  (void)r.u32();
+  try {
+    (void)r.u64();  // nothing left
+    FAIL() << "read past the end";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at byte offset 8 of 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("in section 'CORE'"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeErrors, PreTagTruncationSaysBeforeAnySection) {
+  BinReader r(std::string("ab"));
+  try {
+    (void)r.u32();
+    FAIL() << "read past the end";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("before any section tag"), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte offset 0 of 2"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeErrors, TagMismatchNamesBothTagsAndPosition) {
+  BinWriter w;
+  w.tag("HDRX");
+  w.tag("VLT0");
+  BinReader r(w.buffer());
+  r.tag("HDRX");
+  try {
+    r.tag("CORE");  // stream actually holds VLT0
+    FAIL() << "accepted a mismatched tag";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("expected section 'CORE'"), std::string::npos) << what;
+    EXPECT_NE(what.find("found 'VLT0'"), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte offset 4 of 8"), std::string::npos) << what;
+    // The previous successful tag is the reader's current section.
+    EXPECT_NE(what.find("in section 'HDRX'"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeErrors, SectionTracksMostRecentTag) {
+  BinWriter w;
+  w.tag("HDRX");
+  w.u8(1);
+  w.tag("STAT");
+  BinReader r(w.buffer());
+  EXPECT_EQ(r.section(), "");
+  r.tag("HDRX");
+  EXPECT_EQ(r.section(), "HDRX");
+  (void)r.u8();
+  r.tag("STAT");
+  EXPECT_EQ(r.section(), "STAT");
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace pacsim

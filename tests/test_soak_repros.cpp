@@ -1,0 +1,159 @@
+// Promoted soak reproducers (DESIGN.md "Chaos-soak fuzzing", reproducer
+// promotion). Each test embeds a `bench_soak`-written reproducer file
+// verbatim, replays it through the same load_repro + OracleRunner path the
+// bench's `repro=` mode uses, and asserts the verdict the campaign
+// recorded. Soak findings graduate here so they stay fixed (or, for the
+// planted acceptance bug, stay *caught*) under plain ctest.
+//
+// Status as of the initial campaign sweep: a 200-case defaults-domain
+// campaign (soakseed=1) ran fully clean, so the suite currently carries
+// the planted-bug reproducers that prove the oracle/minimizer pipeline
+// bites; genuine findings get appended with a comment naming the campaign
+// seed and case id that produced them.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz/oracle_runner.hpp"
+#include "fuzz/soak_case.hpp"
+
+namespace pacsim::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Replays repro text exactly as `bench_soak repro=<file>` does: write the
+// bytes out, load through the Cli file parser, run the oracle stack.
+Verdict replay(const std::string& name, const std::string& repro_text) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "pacsim_soak_repros";
+  fs::create_directories(dir);
+  const std::string path = (dir / (name + ".txt")).string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << repro_text;
+  }
+  const SoakCase c = load_repro(path);
+  OracleOptions opts;
+  opts.workdir = (dir / (name + "-scratch")).string();
+  const Verdict v = OracleRunner(opts).run(c);
+  fs::remove_all(dir);
+  return v;
+}
+
+// Campaign soakseed=1 soakcases=6 soakplant=ffovershoot, case 1, minimized
+// by the campaign's delta-debugger (16 evals, 13 shrinks). The planted
+// fast-forward overshoot pushes run_until() past the proven event horizon;
+// ff-vs-naive catches it as a cycle-count divergence. The minimized form
+// keeps only the cause (ffovershoot=64) plus the smallest trace that still
+// exposes it.
+constexpr const char* kPlantedOvershootRepro =
+    "# pacsim soak reproducer - replay with `bench_soak repro=<this file>`\n"
+    "# verdict: divergence (ff-vs-naive)\n"
+    "case=1\n"
+    "controller=pac\n"
+    "backend=hbm\n"
+    "cubes=1\n"
+    "topology=chain\n"
+    "cores=1\n"
+    "ops=187\n"
+    "seed=14257765434098697751\n"
+    "zipf=0\n"
+    "storepct=0\n"
+    "gapmax=8\n"
+    "mlp=8\n"
+    "conc=16\n"
+    "faultrate=0\n"
+    "faultdrop=0\n"
+    "faultstall=0\n"
+    "burstlen=1\n"
+    "faultseed=12195351233415548220\n"
+    "failpolicy=contain\n"
+    "sparepages=4096\n"
+    "threads=1\n"
+    "shards=1\n"
+    "epochlen=32768\n"
+    "ffovershoot=64\n"
+    "skipclamp=0\n";
+
+TEST(SoakRepros, PlantedFfOvershootStillCaughtAsDivergence) {
+  const Verdict v = replay("planted-ff-overshoot", kPlantedOvershootRepro);
+  EXPECT_EQ(v.cls, SoakClass::kDivergence) << v.text();
+  EXPECT_EQ(v.oracle, "ff-vs-naive") << v.text();
+}
+
+// The same minimized case with the perturbation knob cleared must be
+// clean: proves the reproducer isolates the planted cause, not an
+// incidental configuration the simulator genuinely mishandles.
+TEST(SoakRepros, PlantedReproIsCleanWithoutThePerturbation) {
+  std::string fixed = kPlantedOvershootRepro;
+  const auto at = fixed.find("ffovershoot=64");
+  ASSERT_NE(at, std::string::npos);
+  fixed.replace(at, std::string("ffovershoot=64").size(), "ffovershoot=0");
+  const Verdict v = replay("planted-ff-overshoot-fixed", fixed);
+  EXPECT_EQ(v.cls, SoakClass::kClean) << v.text();
+}
+
+// Second planted bug, campaign soakseed=9 soakcases=40
+// soakplant=skipclamp, case 11, minimized by the campaign's
+// delta-debugger. Skipping the hard-failure timeline clamp in
+// next_event_cycle() lets fast-forward leap over a scheduled event's
+// cycle and fire it late; the dead-unit downtime accounting
+// (unit_cycles_lost) then disagrees with the naive per-cycle path. The
+// late firing is only observable when a drain window (qbursts) spans a
+// scheduled cubedown, which is why the minimized case keeps the timeline
+// and the quiescent-window cadence.
+constexpr const char* kPlantedSkipClampRepro =
+    "# pacsim soak reproducer - replay with `bench_soak repro=<this file>`\n"
+    "# verdict: divergence (ff-vs-naive): report line 94: "
+    "'\"unit_cycles_lost\": 364684,' vs '\"unit_cycles_lost\": 364700,'\n"
+    "case=11\n"
+    "controller=direct\n"
+    "backend=ddr\n"
+    "cubes=4\n"
+    "topology=chain\n"
+    "cores=2\n"
+    "ops=3000\n"
+    "seed=13074369672509604716\n"
+    "zipf=0\n"
+    "storepct=50\n"
+    "gapmax=8\n"
+    "qbursts=16\n"
+    "mlp=4\n"
+    "conc=8\n"
+    "faultrate=0\n"
+    "faultdrop=0.01\n"
+    "faultstall=0.01\n"
+    "burstlen=1\n"
+    "faultseed=18056980004387648804\n"
+    "linkdown=15511:0-1\n"
+    "cubedown=8729:0,10474:0\n"
+    "failpolicy=contain\n"
+    "sparepages=4096\n"
+    "threads=1\n"
+    "shards=1\n"
+    "epochlen=1024\n"
+    "ffovershoot=0\n"
+    "skipclamp=1\n";
+
+TEST(SoakRepros, PlantedTimelineClampSkipIsCaught) {
+  const Verdict v = replay("planted-skip-clamp", kPlantedSkipClampRepro);
+  EXPECT_TRUE(v.failed()) << v.text();
+  // Missing the scheduled cycle surfaces as an ff-vs-naive divergence
+  // (the naive path steps cycle-by-cycle and cannot overshoot).
+  EXPECT_EQ(v.cls, SoakClass::kDivergence) << v.text();
+  EXPECT_EQ(v.oracle, "ff-vs-naive") << v.text();
+}
+
+TEST(SoakRepros, SkipClampReproIsCleanWithoutThePerturbation) {
+  std::string fixed = kPlantedSkipClampRepro;
+  const auto at = fixed.find("skipclamp=1");
+  ASSERT_NE(at, std::string::npos);
+  fixed.replace(at, std::string("skipclamp=1").size(), "skipclamp=0");
+  const Verdict v = replay("planted-skip-clamp-fixed", fixed);
+  EXPECT_EQ(v.cls, SoakClass::kClean) << v.text();
+}
+
+}  // namespace
+}  // namespace pacsim::fuzz

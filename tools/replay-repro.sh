@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Replay a chaos-soak reproducer file (written by bench_soak or downloaded
+# from a CI soak artifact) through the full differential oracle stack.
+#
+# Usage:
+#   tools/replay-repro.sh <repro-file> [build-dir]
+#
+# Exits with bench_soak's replay status: 0 when the case is now clean,
+# 1 when it still fails (verdict printed), 2 when the file cannot be
+# loaded. The build directory defaults to ./build; pass a sanitizer build
+# dir (e.g. build-asan) to replay under instrumentation.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <repro-file> [build-dir]" >&2
+  exit 2
+fi
+
+repro=$1
+build=${2:-build}
+bench="$build/bench/bench_soak"
+
+if [ ! -f "$repro" ]; then
+  echo "replay-repro: no such reproducer file: $repro" >&2
+  exit 2
+fi
+if [ ! -x "$bench" ]; then
+  echo "replay-repro: $bench not built (cmake --build $build --target bench_soak)" >&2
+  exit 2
+fi
+
+exec "$bench" "repro=$repro"
